@@ -1,0 +1,57 @@
+//! Delta-store probe cost: the §4.2 Bloom-filter ablation.
+//!
+//! The paper suggests the Bloom filter "would predict the majority of
+//! non-outliers, and thus save several probes into the hash table".
+//! Measured here: hit and miss probes with and without the filter, at
+//! outlier densities bracketing real SVDD stores.
+
+use ats_compress::delta::DeltaStore;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const COLS: usize = 366;
+
+fn build(outliers: usize, bloom: bool) -> DeltaStore {
+    DeltaStore::build(
+        COLS,
+        (0..outliers).map(|i| (i * 7 / COLS, (i * 7) % COLS, i as f64)),
+        bloom,
+    )
+    .expect("delta store")
+}
+
+fn bench_miss_probes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta_probe_miss");
+    for &outliers in &[1_000usize, 50_000] {
+        for &bloom in &[false, true] {
+            let store = build(outliers, bloom);
+            let label = format!("{outliers}_{}", if bloom { "bloom" } else { "nobloom" });
+            group.bench_with_input(BenchmarkId::from_parameter(label), &store, |b, s| {
+                let mut i = 1_000_000usize; // guaranteed misses
+                b.iter(|| {
+                    i += 1;
+                    black_box(s.probe(i, i % COLS))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_hit_probes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta_probe_hit");
+    for &bloom in &[false, true] {
+        let store = build(50_000, bloom);
+        let label = if bloom { "bloom" } else { "nobloom" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &store, |b, s| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7) % 50_000;
+                black_box(s.probe(i * 7 / COLS, (i * 7) % COLS))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_miss_probes, bench_hit_probes);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! LZ (LZSS + Huffman) throughput on warehouse-shaped byte streams.
+
+use ats_compress::lz;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn csv_corpus(rows: usize) -> Vec<u8> {
+    let mut s = String::new();
+    for i in 0..rows {
+        s.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            i,
+            i % 7,
+            (i % 100) as f64 * 1.25,
+            0,
+            i * 3 % 997,
+            "2026-07-05"
+        ));
+    }
+    s.into_bytes()
+}
+
+fn bench_lz(c: &mut Criterion) {
+    let input = csv_corpus(20_000);
+    let compressed = lz::compress(&input);
+    let mut group = c.benchmark_group("lz");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    group.bench_function("compress_csv", |b| {
+        b.iter(|| black_box(lz::compress(&input)))
+    });
+    group.throughput(Throughput::Bytes(compressed.len() as u64));
+    group.bench_function("decompress_csv", |b| {
+        b.iter(|| black_box(lz::decompress(&compressed).expect("roundtrip")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lz);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Query-engine latency: cell queries and aggregate queries of varying
+//! selectivity over an SVDD-compressed matrix, plus the disk-backed
+//! store's cached-read path.
+
+use ats_compress::{CompressedMatrix, SpaceBudget, SvddCompressed, SvddOptions};
+use ats_core::disk::{save_svdd, DiskStore};
+use ats_linalg::Matrix;
+use ats_query::engine::{AggregateFn, QueryEngine};
+use ats_query::selection::{Axis, Selection};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn dataset() -> Matrix {
+    Matrix::from_fn(2_000, 128, |i, j| {
+        ((i % 7) + 1) as f64 * if j % 7 < 5 { 2.0 } else { 0.3 }
+    })
+}
+
+fn bench_aggregate_selectivity(c: &mut Criterion) {
+    let x = dataset();
+    let svdd =
+        SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(10.0)))
+            .expect("svdd");
+    let mut group = c.benchmark_group("aggregate_avg_by_rows_selected");
+    group.sample_size(10);
+    for rows in [10usize, 100, 1000] {
+        let sel = Selection {
+            rows: Axis::Range(0, rows),
+            cols: Axis::Range(0, 64),
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &sel, |b, sel| {
+            let engine = QueryEngine::new(&svdd);
+            b.iter(|| black_box(engine.aggregate(sel, AggregateFn::Avg).expect("agg")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_disk_store_cell(c: &mut Criterion) {
+    let x = dataset();
+    let svdd =
+        SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(10.0)))
+            .expect("svdd");
+    let dir = std::env::temp_dir().join(format!("ats-bench-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    save_svdd(&dir, &svdd).expect("save");
+
+    let mut group = c.benchmark_group("disk_store_cell");
+    // Hot: pool big enough for everything — measures the cached path.
+    let hot = DiskStore::open(&dir, 4_096).expect("open");
+    group.bench_function("hot_cache", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 997) % 2000;
+            black_box(hot.cell(i, i % 128).expect("cell"))
+        })
+    });
+    // Cold-ish: tiny pool forces page churn (still OS-cached I/O).
+    let cold = DiskStore::open(&dir, 4).expect("open");
+    group.bench_function("churning_pool", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 997) % 2000;
+            black_box(cold.cell(i, i % 128).expect("cell"))
+        })
+    });
+    group.finish();
+}
+
+fn bench_in_memory_vs_disk_row(c: &mut Criterion) {
+    let x = dataset();
+    let svdd =
+        SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(10.0)))
+            .expect("svdd");
+    let dir = std::env::temp_dir().join(format!("ats-bench-row-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    save_svdd(&dir, &svdd).expect("save");
+    let disk = DiskStore::open(&dir, 4_096).expect("open");
+
+    let mut group = c.benchmark_group("row_reconstruction_backends");
+    let mut out = vec![0.0; 128];
+    group.bench_function("in_memory", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 997) % 2000;
+            svdd.row_into(i, &mut out).expect("row");
+            black_box(out[0])
+        })
+    });
+    group.bench_function("disk_backed", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 997) % 2000;
+            disk.row_into(i, &mut out).expect("row");
+            black_box(out[0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aggregate_selectivity,
+    bench_disk_store_cell,
+    bench_in_memory_vs_disk_row
+);
+criterion_main!(benches);

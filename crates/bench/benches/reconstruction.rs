@@ -1,0 +1,101 @@
+//! Cell-reconstruction latency: the paper's core efficiency claim.
+//!
+//! §4.1: reconstruction "requires O(k) compute time, independent of N
+//! and M". This bench measures cell reconstruction across `k` (should
+//! scale linearly) and across `N` at fixed `k` (should be flat), plus
+//! whole-row reconstruction and the SVDD delta-probe overhead.
+
+use ats_compress::{CompressedMatrix, SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions};
+use ats_linalg::Matrix;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn structured(n: usize, m: usize, seed: u64) -> Matrix {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut x = Matrix::from_fn(n, m, |i, j| {
+        ((i % 7) + 1) as f64 * if j % 7 < 5 { 2.0 } else { 0.3 }
+    });
+    for v in x.as_mut_slice() {
+        *v *= rng.gen_range(0.8..1.2);
+    }
+    x
+}
+
+fn bench_cell_vs_k(c: &mut Criterion) {
+    let x = structured(2000, 128, 1);
+    let mut group = c.benchmark_group("cell_reconstruction_vs_k");
+    for k in [1usize, 4, 16, 64] {
+        let svd = SvdCompressed::compress(&x, k, 1).expect("svd");
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 997) % 2000;
+                black_box(svd.cell(i, i % 128).expect("cell"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cell_vs_n(c: &mut Criterion) {
+    // O(k) must be independent of N: same k, growing N.
+    let mut group = c.benchmark_group("cell_reconstruction_vs_n");
+    for n in [500usize, 2000, 8000] {
+        let x = structured(n, 64, 2);
+        let svd = SvdCompressed::compress(&x, 8, 1).expect("svd");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 997) % n;
+                black_box(svd.cell(i, i % 64).expect("cell"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_row_reconstruction(c: &mut Criterion) {
+    let x = structured(2000, 366, 3);
+    let svd = SvdCompressed::compress(&x, 16, 1).expect("svd");
+    let mut out = vec![0.0; 366];
+    c.bench_function("row_reconstruction_m366_k16", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 997) % 2000;
+            svd.row_into(i, &mut out).expect("row");
+            black_box(out[0])
+        })
+    });
+}
+
+fn bench_svdd_probe_overhead(c: &mut Criterion) {
+    let x = structured(2000, 128, 4);
+    let budget = SpaceBudget::from_percent(10.0);
+    let svdd = SvddCompressed::compress(&x, &SvddOptions::new(budget)).expect("svdd");
+    let svd = SvdCompressed::compress(&x, svdd.k_opt(), 1).expect("svd");
+    let mut group = c.benchmark_group("svdd_delta_probe_overhead");
+    group.bench_function("plain_svd", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 997) % 2000;
+            black_box(svd.cell(i, i % 128).expect("cell"))
+        })
+    });
+    group.bench_function("svdd_with_probe", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 997) % 2000;
+            black_box(svdd.cell(i, i % 128).expect("cell"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cell_vs_k,
+    bench_cell_vs_n,
+    bench_row_reconstruction,
+    bench_svdd_probe_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E5 — Figure 10: scale-up — SVDD's RMSPE vs space for dataset sizes
+//! N = 1 000 … 100 000 (the `phone100K` prefixes).
+//!
+//! ```sh
+//! cargo run -p ats-bench --release --bin exp_fig10          # full (N ≤ 100k)
+//! ATS_MAX_N=20000 cargo run -p ats-bench --release --bin exp_fig10  # quicker
+//! ```
+//!
+//! Expected shape (paper §5.3): the curves are "fairly homogeneous" —
+//! error ≈2% at 10% space regardless of N.
+
+use ats_bench::{fmt, phone_n, scaleup_sizes, timed, ResultTable};
+use ats_compress::{SpaceBudget, SvddCompressed, SvddOptions};
+use ats_query::metrics::error_report;
+
+fn main() {
+    println!("E5 / Figure 10: SVDD scale-up on phone100K prefixes\n");
+    let sizes = scaleup_sizes();
+    let budgets = [2.0, 5.0, 10.0, 15.0, 20.0];
+
+    // One generation of the largest dataset; prefixes share its rows
+    // (the paper's phoneN subsets are prefixes of phone100K).
+    let max_n = *sizes.last().expect("at least one size");
+    let (full, gen_secs) = timed(|| phone_n(max_n));
+    println!(
+        "generated phone{} ({} x {}) in {:.1}s\n",
+        max_n,
+        full.rows(),
+        full.cols(),
+        gen_secs
+    );
+
+    let mut header: Vec<String> = vec!["s%".to_string()];
+    header.extend(sizes.iter().map(|n| format!("N={n}")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = ResultTable::new("Fig. 10 — RMSPE% vs s%, per N", &header_refs);
+
+    // errors[budget][size]
+    let mut grid = vec![vec![String::from("-"); sizes.len()]; budgets.len()];
+    for (si, &n) in sizes.iter().enumerate() {
+        let sub = full.subset(n).expect("prefix");
+        for (bi, &pct) in budgets.iter().enumerate() {
+            let budget = SpaceBudget::from_percent(pct);
+            let (result, secs) = timed(|| {
+                SvddCompressed::compress(sub.matrix(), &SvddOptions::new(budget))
+            });
+            match result {
+                Ok(svdd) => {
+                    let rmspe = error_report(sub.matrix(), &svdd).expect("report").rmspe;
+                    grid[bi][si] = fmt(rmspe * 100.0, 3);
+                    println!(
+                        "  N={n:6} s={pct:4.1}%  k_opt={:3} deltas={:8}  rmspe={:7.3}%  ({secs:.1}s)",
+                        svdd.k_opt(),
+                        svdd.num_deltas(),
+                        rmspe * 100.0
+                    );
+                }
+                Err(e) => println!("  N={n:6} s={pct:4.1}%  infeasible: {e}"),
+            }
+        }
+    }
+    println!();
+    for (bi, &pct) in budgets.iter().enumerate() {
+        let mut row = vec![fmt(pct, 1)];
+        row.extend(grid[bi].iter().cloned());
+        table.row(row);
+    }
+    table.emit("fig10_scaleup");
+    println!("expected: each row roughly flat across N; ~2% at s=10%.");
+}

@@ -1,0 +1,62 @@
+//! E3 — Figure 8: rank-ordered absolute cell-error distribution for
+//! plain SVD on `phone2000` at 10% storage.
+//!
+//! ```sh
+//! cargo run -p ats-bench --release --bin exp_fig8
+//! ```
+//!
+//! Expected shape (paper §5.1): a steep initial drop on a log scale —
+//! only a few cells suffer anywhere near the worst-case error, and the
+//! median error is one or two orders of magnitude below the mean. That
+//! tail is exactly what SVDD's deltas buy back.
+
+use ats_bench::{fmt, phone2000, ResultTable};
+use ats_common::Summary;
+use ats_compress::{SpaceBudget, SvdCompressed};
+use ats_query::metrics::{error_report, error_spectrum};
+
+fn main() {
+    println!("E3 / Figure 8: error distribution, plain SVD, phone2000 @ 10%\n");
+    let dataset = phone2000();
+    let x = dataset.matrix();
+    let budget = SpaceBudget::from_percent(10.0);
+    let svd = SvdCompressed::compress_budget(x, budget, 1).expect("svd");
+    println!("k = {} principal components (paper: k = 31)\n", svd.k());
+
+    let spectrum = error_spectrum(x, &svd, 50_000).expect("spectrum");
+
+    let mut table = ResultTable::new(
+        "Fig. 8 — absolute error by rank (log spacing)",
+        &["rank", "abs_error"],
+    );
+    let mut rank = 1usize;
+    while rank <= spectrum.len() {
+        table.row(vec![rank.to_string(), fmt(spectrum[rank - 1], 6)]);
+        rank = if rank < 10 {
+            rank + 3
+        } else {
+            (rank as f64 * 1.8).round() as usize
+        };
+    }
+    if let Some(last) = spectrum.last() {
+        table.row(vec![spectrum.len().to_string(), fmt(*last, 6)]);
+    }
+    table.emit("fig8_spectrum");
+
+    // The median-vs-mean observation under Fig. 8.
+    let summary = Summary::from_values(spectrum.iter().copied());
+    let report = error_report(x, &svd).expect("report");
+    println!(
+        "worst error {:.3}; among the top-50k cells: mean {:.4}, median {:.4}",
+        report.max_abs_error,
+        summary.mean(),
+        summary.median()
+    );
+    println!(
+        "mean abs error over ALL cells {:.5} — the tail is thin: {}x drop across\n\
+         the first 1000 ranks (paper: 'steep initial drop ... only a few points\n\
+         suffer an error anywhere close to the worst-case bound')",
+        report.mean_abs_error,
+        fmt(spectrum[0] / spectrum[999.min(spectrum.len() - 1)].max(1e-12), 1),
+    );
+}

@@ -1,0 +1,66 @@
+//! E4 — Figure 9: aggregate-query error vs space, SVDD, on `phone2000`.
+//!
+//! ```sh
+//! cargo run -p ats-bench --release --bin exp_fig9
+//! ```
+//!
+//! The paper's protocol (§5.2): 50 random `avg` queries whose row/column
+//! selections cover ≈10% of the cells; report the mean normalized query
+//! error `Q_err` (Eq. 14) per storage size, next to the single-cell
+//! RMSPE for comparison. Expected shape: aggregate errors well below the
+//! RMSPE curve (errors cancel), ≲0.5% at s=2%.
+
+use ats_bench::{fmt, phone2000, ResultTable};
+use ats_compress::{SpaceBudget, SvddCompressed, SvddOptions};
+use ats_query::engine::{aggregate_exact, AggregateFn, QueryEngine};
+use ats_query::metrics::{error_report, QueryError};
+use ats_query::workload::{random_aggregate_queries, WorkloadConfig};
+
+fn main() {
+    println!("E4 / Figure 9: aggregate (avg) query error vs space, phone2000\n");
+    let dataset = phone2000();
+    let x = dataset.matrix();
+    let (n, m) = x.shape();
+
+    let queries = random_aggregate_queries(n, m, &WorkloadConfig::default()).expect("workload");
+    println!(
+        "{} random avg-queries, each covering ~10% of cells\n",
+        queries.len()
+    );
+
+    let mut table = ResultTable::new(
+        "Fig. 9 — mean Q_err vs space (SVDD)",
+        &["s%", "qerr_avg%", "qerr_max%", "rmspe%"],
+    );
+
+    for pct in [1.0, 2.0, 3.0, 5.0, 7.5, 10.0, 15.0, 20.0] {
+        let budget = SpaceBudget::from_percent(pct);
+        let Ok(svdd) = SvddCompressed::compress(x, &SvddOptions::new(budget)) else {
+            table.row(vec![fmt(pct, 1), "-".into(), "-".into(), "-".into()]);
+            continue;
+        };
+        let engine = QueryEngine::new(&svdd);
+        let mut total = 0.0;
+        let mut worst = 0.0f64;
+        for q in &queries {
+            let exact = aggregate_exact(x, q, AggregateFn::Avg).expect("exact");
+            let approx = engine.aggregate(q, AggregateFn::Avg).expect("approx");
+            let e = QueryError::q_err(exact, approx);
+            total += e;
+            worst = worst.max(e);
+        }
+        let mean_qerr = total / queries.len() as f64;
+        let rmspe = error_report(x, &svdd).expect("report").rmspe;
+        table.row(vec![
+            fmt(pct, 1),
+            fmt(mean_qerr * 100.0, 4),
+            fmt(worst * 100.0, 4),
+            fmt(rmspe * 100.0, 3),
+        ]);
+    }
+    table.emit("fig9_aggregate");
+    println!(
+        "expected: qerr_avg well under rmspe at every s (errors cancel when\n\
+         cells are aggregated, §5.2), and well under 1% by s=2%."
+    );
+}

@@ -1,0 +1,54 @@
+//! E6 — Table 4: worst-case normalized error at 10% storage for
+//! increasing dataset sizes, SVD vs SVDD.
+//!
+//! ```sh
+//! cargo run -p ats-bench --release --bin exp_table4          # full (N ≤ 100k)
+//! ATS_MAX_N=20000 cargo run -p ats-bench --release --bin exp_table4
+//! ```
+//!
+//! Expected shape (paper §5.3): plain SVD's worst case *grows with N*
+//! ("a greater likelihood of one bad outlier point"), from ~200% at
+//! N=1000 to >5000% at N=100 000; SVDD stays approximately flat around
+//! 7–11%.
+
+use ats_bench::{fmt, phone_n, scaleup_sizes, ResultTable};
+use ats_compress::{SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions};
+use ats_query::metrics::error_report;
+
+fn main() {
+    println!("E6 / Table 4: worst-case normalized error @ 10% storage vs N\n");
+    let sizes = scaleup_sizes();
+    let max_n = *sizes.last().expect("sizes");
+    let full = phone_n(max_n);
+    let budget = SpaceBudget::from_percent(10.0);
+
+    let mut table = ResultTable::new(
+        "Table 4 — worst-case normalized error @ 10%",
+        &["dataset", "svd_norm%", "svdd_norm%"],
+    );
+
+    for &n in &sizes {
+        let sub = full.subset(n).expect("prefix");
+        let x = sub.matrix();
+        let svd = SvdCompressed::compress_budget(x, budget, 1).expect("svd");
+        let svdd = SvddCompressed::compress(x, &SvddOptions::new(budget)).expect("svdd");
+        let r_svd = error_report(x, &svd).expect("report");
+        let r_svdd = error_report(x, &svdd).expect("report");
+        println!(
+            "  phone{n:<6}  svd worst {:8.1}%   svdd worst {:6.2}%",
+            r_svd.max_normalized_error * 100.0,
+            r_svdd.max_normalized_error * 100.0
+        );
+        table.row(vec![
+            format!("phone{n}"),
+            fmt(r_svd.max_normalized_error * 100.0, 1),
+            fmt(r_svdd.max_normalized_error * 100.0, 2),
+        ]);
+    }
+    println!();
+    table.emit("table4_scaleup_worstcase");
+    println!(
+        "expected: svd_norm% increasing with N (paper: 227% -> 5336%),\n\
+         svdd_norm% roughly flat (paper: 7-11%)."
+    );
+}

@@ -1,0 +1,181 @@
+//! Experiment harness shared by the `exp_*` binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §4 for the index). This library holds the shared
+//! plumbing: the canonical experiment datasets, result tables that print
+//! aligned to stdout *and* persist as CSV under `results/`, and small
+//! measurement helpers.
+
+#![warn(missing_docs)]
+
+use ats_data::{generate_phone, generate_stocks, Dataset, PhoneConfig, StocksConfig};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Canonical `phone2000` experiment dataset (N=2000, M=366, seeded).
+pub fn phone2000() -> Dataset {
+    generate_phone(&PhoneConfig {
+        customers: 2_000,
+        days: 366,
+        ..PhoneConfig::default()
+    })
+}
+
+/// A full `phoneN` dataset for the scale-up experiments. `n` is clamped
+/// by the `ATS_MAX_N` environment variable (default 100 000).
+pub fn phone_n(n: usize) -> Dataset {
+    generate_phone(&PhoneConfig {
+        customers: n,
+        days: 366,
+        ..PhoneConfig::default()
+    })
+}
+
+/// Canonical `stocks` dataset (N=381, M=128, seeded).
+pub fn stocks() -> Dataset {
+    generate_stocks(&StocksConfig::paper())
+}
+
+/// Scale-up sizes honoured by `exp_fig10`/`exp_table4`, filtered by the
+/// `ATS_MAX_N` env var (default 100 000 — the paper's full run; set it
+/// lower for a quick pass).
+pub fn scaleup_sizes() -> Vec<usize> {
+    let cap: usize = std::env::var("ATS_MAX_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    [1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000]
+        .into_iter()
+        .filter(|&n| n <= cap)
+        .collect()
+}
+
+/// Where result CSVs land (workspace `results/`, or `ATS_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("ATS_RESULTS_DIR") {
+        return PathBuf::from(d);
+    }
+    // crates/bench -> workspace root
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    p
+}
+
+/// A result table that renders aligned text and persists to CSV.
+pub struct ResultTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        ResultTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Render as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            for (w, c) in widths.iter().zip(cells) {
+                let _ = write!(out, "{c:>w$}  ");
+            }
+            let _ = writeln!(out);
+        };
+        line(&mut out, &self.headers);
+        let rule: String = widths.iter().map(|w| "-".repeat(*w) + "  ").collect();
+        let _ = writeln!(out, "{rule}");
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Print to stdout and write `results/<name>.csv`.
+    pub fn emit(&self, name: &str) {
+        println!("{}", self.render());
+        let dir = results_dir();
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let mut csv = String::new();
+            let _ = writeln!(csv, "{}", self.headers.join(","));
+            for row in &self.rows {
+                let _ = writeln!(csv, "{}", row.join(","));
+            }
+            let path = dir.join(format!("{name}.csv"));
+            if std::fs::write(&path, csv).is_ok() {
+                println!("[written {}]", path.display());
+            }
+        }
+    }
+}
+
+/// Format a float with fixed decimals for table cells.
+pub fn fmt(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Time a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = std::time::Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_and_aligns() {
+        let mut t = ResultTable::new("demo", &["a", "longheader"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "2000".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("longheader"));
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    fn canonical_datasets_shaped() {
+        let s = stocks();
+        assert_eq!((s.rows(), s.cols()), (381, 128));
+    }
+
+    #[test]
+    fn scaleup_respects_env() {
+        // NOTE: env-var mutation is process-global; keep this the only
+        // test touching ATS_MAX_N.
+        std::env::set_var("ATS_MAX_N", "5000");
+        let sizes = scaleup_sizes();
+        assert_eq!(sizes, vec![1_000, 2_000, 5_000]);
+        std::env::remove_var("ATS_MAX_N");
+    }
+
+    #[test]
+    fn timing_helper() {
+        let (v, secs) = timed(|| 2 + 2);
+        assert_eq!(v, 4);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Little-endian byte codecs for the on-disk formats.
+//!
+//! `ats-storage` lays matrices out as raw little-endian IEEE-754 doubles;
+//! the SVDD delta file stores `(row, col, delta)` triplets; headers carry
+//! fixed-width integers. These helpers centralize the encoding so every
+//! file format in the workspace agrees on byte order and width, and so the
+//! hot row-decode path (`read_f64_slice_into`) is a single tight loop.
+
+use crate::error::{AtsError, Result};
+
+/// Append a `u32` little-endian.
+#[inline]
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` little-endian.
+#[inline]
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` little-endian.
+#[inline]
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a whole `f64` slice little-endian.
+pub fn put_f64_slice(buf: &mut Vec<u8>, vs: &[f64]) {
+    buf.reserve(vs.len() * 8);
+    for &v in vs {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Read a `u32` at `offset`, or error if out of range.
+#[inline]
+pub fn get_u32(buf: &[u8], offset: usize) -> Result<u32> {
+    let end = offset
+        .checked_add(4)
+        .ok_or_else(|| AtsError::Corrupt("u32 offset overflow".into()))?;
+    let bytes = buf
+        .get(offset..end)
+        .ok_or_else(|| AtsError::Corrupt(format!("u32 read at {offset} past end {}", buf.len())))?;
+    Ok(u32::from_le_bytes(bytes.try_into().expect("length 4")))
+}
+
+/// Read a `u64` at `offset`, or error if out of range.
+#[inline]
+pub fn get_u64(buf: &[u8], offset: usize) -> Result<u64> {
+    let end = offset
+        .checked_add(8)
+        .ok_or_else(|| AtsError::Corrupt("u64 offset overflow".into()))?;
+    let bytes = buf
+        .get(offset..end)
+        .ok_or_else(|| AtsError::Corrupt(format!("u64 read at {offset} past end {}", buf.len())))?;
+    Ok(u64::from_le_bytes(bytes.try_into().expect("length 8")))
+}
+
+/// Read an `f64` at `offset`, or error if out of range.
+#[inline]
+pub fn get_f64(buf: &[u8], offset: usize) -> Result<f64> {
+    Ok(f64::from_bits(get_u64(buf, offset)?))
+}
+
+/// Decode `out.len()` doubles starting at `offset`. Errors if the buffer
+/// is too short.
+pub fn read_f64_slice_into(buf: &[u8], offset: usize, out: &mut [f64]) -> Result<()> {
+    let need = out.len() * 8;
+    let end = offset
+        .checked_add(need)
+        .ok_or_else(|| AtsError::Corrupt("f64 slice offset overflow".into()))?;
+    let src = buf.get(offset..end).ok_or_else(|| {
+        AtsError::Corrupt(format!(
+            "f64 slice read of {need} bytes at {offset} past end {}",
+            buf.len()
+        ))
+    })?;
+    for (i, chunk) in src.chunks_exact(8).enumerate() {
+        out[i] = f64::from_le_bytes(chunk.try_into().expect("length 8"));
+    }
+    Ok(())
+}
+
+/// Encode an `f64` slice to a fresh byte vector.
+pub fn f64s_to_bytes(vs: &[f64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(vs.len() * 8);
+    put_f64_slice(&mut buf, vs);
+    buf
+}
+
+/// Decode a byte buffer (whose length must be a multiple of 8) into doubles.
+pub fn bytes_to_f64s(buf: &[u8]) -> Result<Vec<f64>> {
+    if buf.len() % 8 != 0 {
+        return Err(AtsError::Corrupt(format!(
+            "byte length {} is not a multiple of 8",
+            buf.len()
+        )));
+    }
+    let mut out = vec![0.0f64; buf.len() / 8];
+    read_f64_slice_into(buf, 0, &mut out)?;
+    Ok(out)
+}
+
+/// LEB128-style variable-length encoding of a `u64` (used by the LZ
+/// container and delta files where most rows/cols are small).
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decode a varint at `offset`; returns `(value, bytes_consumed)`.
+pub fn get_varint(buf: &[u8], offset: usize) -> Result<(u64, usize)> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().skip(offset).enumerate() {
+        if shift >= 64 {
+            return Err(AtsError::Corrupt("varint longer than 10 bytes".into()));
+        }
+        v |= u64::from(byte & 0x7F)
+            .checked_shl(shift)
+            .ok_or_else(|| AtsError::Corrupt("varint shift overflow".into()))?;
+        if byte & 0x80 == 0 {
+            return Ok((v, i + 1));
+        }
+        shift += 7;
+    }
+    Err(AtsError::Corrupt("varint truncated".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_roundtrip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        assert_eq!(get_u32(&buf, 0).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX - 7);
+        assert_eq!(get_u64(&buf, 0).unwrap(), u64::MAX - 7);
+    }
+
+    #[test]
+    fn f64_roundtrip_preserves_bits() {
+        for v in [0.0, -0.0, 1.5, f64::INFINITY, f64::MIN_POSITIVE, 1e300] {
+            let mut buf = Vec::new();
+            put_f64(&mut buf, v);
+            assert_eq!(get_f64(&buf, 0).unwrap().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let vs: Vec<f64> = (0..100).map(|i| f64::from(i) * 0.25 - 3.0).collect();
+        let bytes = f64s_to_bytes(&vs);
+        assert_eq!(bytes.len(), 800);
+        assert_eq!(bytes_to_f64s(&bytes).unwrap(), vs);
+    }
+
+    #[test]
+    fn slice_into_with_offset() {
+        let mut buf = vec![0xAA; 3]; // 3 bytes of junk prefix
+        put_f64_slice(&mut buf, &[1.0, 2.0]);
+        let mut out = [0.0; 2];
+        read_f64_slice_into(&buf, 3, &mut out).unwrap();
+        assert_eq!(out, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn short_reads_error() {
+        let buf = vec![0u8; 7];
+        assert!(get_u64(&buf, 0).is_err());
+        assert!(get_u32(&buf, 5).is_err());
+        let mut out = [0.0; 1];
+        assert!(read_f64_slice_into(&buf, 0, &mut out).is_err());
+        assert!(bytes_to_f64s(&buf).is_err());
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let (got, used) = get_varint(&buf, 0).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_truncated_errors() {
+        let buf = vec![0x80, 0x80]; // continuation bits but no terminator
+        assert!(get_varint(&buf, 0).is_err());
+        assert!(get_varint(&[], 0).is_err());
+    }
+
+    #[test]
+    fn varint_sizes() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        put_varint(&mut buf, 128);
+        assert_eq!(buf.len(), 2);
+        buf.clear();
+        put_varint(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10);
+    }
+
+    #[test]
+    fn offset_overflow_is_error_not_panic() {
+        let buf = vec![0u8; 16];
+        assert!(get_u32(&buf, usize::MAX - 1).is_err());
+        assert!(get_u64(&buf, usize::MAX - 2).is_err());
+    }
+}

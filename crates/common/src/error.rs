@@ -1,0 +1,161 @@
+//! Workspace-wide error type.
+//!
+//! Every fallible public API in the `adhoc-ts` workspace returns
+//! [`Result<T>`], an alias for `std::result::Result<T, AtsError>`.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, AtsError>;
+
+/// The error type shared by all `adhoc-ts` crates.
+#[derive(Debug)]
+pub enum AtsError {
+    /// An operation received a matrix/vector whose dimensions do not match
+    /// what the operation requires (e.g. multiplying a `2×3` by a `2×2`).
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        context: String,
+        /// Dimensions the caller supplied.
+        got: (usize, usize),
+        /// Dimensions the operation expected.
+        expected: (usize, usize),
+    },
+    /// A row/column/cell index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound the index must respect.
+        bound: usize,
+        /// What kind of index (row, column, page, ...).
+        what: &'static str,
+    },
+    /// An iterative numerical routine failed to converge.
+    NoConvergence {
+        /// The routine that failed.
+        routine: &'static str,
+        /// How many iterations were attempted.
+        iterations: usize,
+    },
+    /// A numerical precondition was violated (singular matrix, negative
+    /// eigenvalue where none may exist, NaN in the input, ...).
+    Numerical(String),
+    /// The requested compression budget cannot be met (e.g. a space target
+    /// smaller than one principal component).
+    Budget(String),
+    /// A file had an invalid header, bad magic, version mismatch, or a
+    /// checksum failure.
+    Corrupt(String),
+    /// Invalid configuration or argument value.
+    InvalidArgument(String),
+    /// Wrapper around `std::io::Error` for all storage-layer failures.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for AtsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtsError::DimensionMismatch {
+                context,
+                got,
+                expected,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: got {}x{}, expected {}x{}",
+                got.0, got.1, expected.0, expected.1
+            ),
+            AtsError::IndexOutOfBounds { index, bound, what } => {
+                write!(f, "{what} index {index} out of bounds (must be < {bound})")
+            }
+            AtsError::NoConvergence {
+                routine,
+                iterations,
+            } => write!(f, "{routine} failed to converge after {iterations} iterations"),
+            AtsError::Numerical(msg) => write!(f, "numerical error: {msg}"),
+            AtsError::Budget(msg) => write!(f, "space budget error: {msg}"),
+            AtsError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            AtsError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            AtsError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AtsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AtsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for AtsError {
+    fn from(e: std::io::Error) -> Self {
+        AtsError::Io(e)
+    }
+}
+
+impl AtsError {
+    /// Construct a [`AtsError::DimensionMismatch`] with less ceremony.
+    pub fn dims(
+        context: impl Into<String>,
+        got: (usize, usize),
+        expected: (usize, usize),
+    ) -> Self {
+        AtsError::DimensionMismatch {
+            context: context.into(),
+            got,
+            expected,
+        }
+    }
+
+    /// Construct an [`AtsError::IndexOutOfBounds`].
+    pub fn oob(what: &'static str, index: usize, bound: usize) -> Self {
+        AtsError::IndexOutOfBounds { index, bound, what }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = AtsError::dims("matmul", (2, 3), (3, 2));
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("3x2"));
+    }
+
+    #[test]
+    fn display_oob() {
+        let e = AtsError::oob("row", 10, 5);
+        assert_eq!(e.to_string(), "row index 10 out of bounds (must be < 5)");
+    }
+
+    #[test]
+    fn io_error_roundtrip_source() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: AtsError = ioe.into();
+        assert!(matches!(e, AtsError::Io(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = AtsError::NoConvergence {
+            routine: "ql_implicit",
+            iterations: 30,
+        };
+        assert!(e.to_string().contains("ql_implicit"));
+        assert!(e.to_string().contains("30"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AtsError>();
+    }
+}

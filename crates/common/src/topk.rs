@@ -1,0 +1,232 @@
+//! Bounded "keep the γ largest" tracker.
+//!
+//! The 3-pass SVDD algorithm (Fig. 5 of the paper) maintains, during its
+//! second pass, **one priority queue per candidate cutoff `k`**, each
+//! holding the `γ_k` cells with the largest reconstruction error seen so
+//! far. [`TopK`] is that queue: a min-heap of bounded capacity, so that the
+//! smallest retained item is evicted when a larger one arrives. All
+//! operations are `O(log γ)`; a full pass over `N·M` cells costs
+//! `O(N·M·log γ)` per queue.
+
+/// A bounded tracker that retains the `capacity` items with the largest
+/// `f64` priority.
+///
+/// Ties are broken arbitrarily. Items are any `T`; the priority is carried
+/// alongside. NaN priorities are rejected by [`TopK::offer`] (returns
+/// `false`) so the heap order is always total.
+///
+/// # Examples
+///
+/// ```
+/// use ats_common::TopK;
+/// let mut t = TopK::new(2);
+/// t.offer(1.0, "a");
+/// t.offer(3.0, "b");
+/// t.offer(2.0, "c");
+/// let mut kept: Vec<_> = t.into_sorted_vec().into_iter().map(|(_, v)| v).collect();
+/// kept.sort();
+/// assert_eq!(kept, vec!["b", "c"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopK<T> {
+    /// Min-heap on priority: `heap[0]` is the *smallest* retained item.
+    heap: Vec<(f64, T)>,
+    capacity: usize,
+}
+
+impl<T> TopK<T> {
+    /// Create a tracker keeping at most `capacity` items.
+    /// A zero capacity is legal and retains nothing.
+    pub fn new(capacity: usize) -> Self {
+        TopK {
+            heap: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity,
+        }
+    }
+
+    /// Offer an item with the given priority. Returns `true` if it was
+    /// retained (possibly evicting the current minimum).
+    pub fn offer(&mut self, priority: f64, item: T) -> bool {
+        if self.capacity == 0 || priority.is_nan() {
+            return false;
+        }
+        if self.heap.len() < self.capacity {
+            self.heap.push((priority, item));
+            self.sift_up(self.heap.len() - 1);
+            true
+        } else if priority > self.heap[0].0 {
+            self.heap[0] = (priority, item);
+            self.sift_down(0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The smallest priority currently retained, or `None` if empty.
+    pub fn threshold(&self) -> Option<f64> {
+        self.heap.first().map(|&(p, _)| p)
+    }
+
+    /// Whether an offer with this priority would be retained.
+    pub fn would_accept(&self, priority: f64) -> bool {
+        self.capacity > 0
+            && !priority.is_nan()
+            && (self.heap.len() < self.capacity || priority > self.heap[0].0)
+    }
+
+    /// Number of retained items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterate retained `(priority, item)` pairs in heap (arbitrary) order.
+    pub fn iter(&self) -> impl Iterator<Item = &(f64, T)> {
+        self.heap.iter()
+    }
+
+    /// Consume, returning items sorted by *descending* priority.
+    pub fn into_sorted_vec(mut self) -> Vec<(f64, T)> {
+        self.heap
+            .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        self.heap
+    }
+
+    /// Sum of all retained priorities (used to compute how much error mass
+    /// the retained outliers account for).
+    pub fn priority_sum(&self) -> f64 {
+        self.heap.iter().map(|&(p, _)| p).sum()
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].0 < self.heap[parent].0 {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < n && self.heap[l].0 < self.heap[smallest].0 {
+                smallest = l;
+            }
+            if r < n && self.heap[r].0 < self.heap[smallest].0 {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.heap.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_largest() {
+        let mut t = TopK::new(3);
+        for (p, v) in [(5.0, 5), (1.0, 1), (9.0, 9), (3.0, 3), (7.0, 7)] {
+            t.offer(p, v);
+        }
+        let kept: Vec<i32> = t.into_sorted_vec().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(kept, vec![9, 7, 5]);
+    }
+
+    #[test]
+    fn zero_capacity_retains_nothing() {
+        let mut t = TopK::new(0);
+        assert!(!t.offer(100.0, ()));
+        assert!(t.is_empty());
+        assert_eq!(t.threshold(), None);
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let mut t = TopK::new(2);
+        assert!(!t.offer(f64::NAN, 1));
+        assert!(t.is_empty());
+        assert!(!t.would_accept(f64::NAN));
+    }
+
+    #[test]
+    fn threshold_is_min_retained() {
+        let mut t = TopK::new(2);
+        t.offer(4.0, ());
+        t.offer(8.0, ());
+        assert_eq!(t.threshold(), Some(4.0));
+        t.offer(6.0, ());
+        assert_eq!(t.threshold(), Some(6.0));
+    }
+
+    #[test]
+    fn would_accept_consistent_with_offer() {
+        let mut t = TopK::new(2);
+        t.offer(4.0, ());
+        t.offer(8.0, ());
+        assert!(t.would_accept(5.0));
+        assert!(!t.would_accept(4.0)); // strict: equal priority not accepted
+        assert!(!t.would_accept(3.0));
+    }
+
+    #[test]
+    fn sorted_output_descending() {
+        let mut t = TopK::new(100);
+        for i in 0..100 {
+            t.offer(f64::from((i * 37) % 100), i);
+        }
+        let v = t.into_sorted_vec();
+        for w in v.windows(2) {
+            assert!(w[0].0 >= w[1].0);
+        }
+    }
+
+    #[test]
+    fn heap_invariant_under_random_stream() {
+        // Compare against a sort-based oracle for many random offers.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut t = TopK::new(16);
+        let mut all: Vec<f64> = Vec::new();
+        for _ in 0..2_000 {
+            let p: f64 = rng.gen_range(0.0..1000.0);
+            t.offer(p, ());
+            all.push(p);
+        }
+        all.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let expect: Vec<f64> = all.into_iter().take(16).collect();
+        let mut got: Vec<f64> = t.iter().map(|&(p, _)| p).collect();
+        got.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn priority_sum_tracks_retained() {
+        let mut t = TopK::new(2);
+        t.offer(1.0, ());
+        t.offer(2.0, ());
+        t.offer(3.0, ()); // evicts 1.0
+        assert!((t.priority_sum() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,294 @@
+//! Batched appends via a persistent Gram cache (extension).
+//!
+//! The paper assumes "there are no updates on the data matrix, or they
+//! are so rare that they can be batched and performed off-line" (§1).
+//! The naive off-line rebuild re-runs both passes over *all* rows. But
+//! the pass-1 state is just the Gram matrix `C = XᵀX`, and `C` is a sum
+//! over rows — so keeping `C` around makes an append cheap:
+//!
+//! 1. ingest only the **new** rows into the cached `C` (`C += Xₙₑᵥᵥᵀ Xₙₑᵥᵥ`);
+//! 2. eigendecompose the updated `C` (in-memory, `O(M³)`);
+//! 3. one pass over all rows emits the new `U`.
+//!
+//! Net effect: a rebuild costs **one** pass over the full data instead
+//! of two, and the expensive similarity accumulation is incremental.
+//! [`GramCache`] also serializes to the `.atsm` matrix format so the
+//! cache survives restarts.
+
+use crate::gram::compute_gram_parallel;
+use crate::method::SpaceBudget;
+use crate::svd::{project_row, SvdCompressed};
+use ats_common::{AtsError, Result};
+use ats_linalg::{sym_eigen, Matrix};
+use ats_storage::RowSource;
+use std::path::Path;
+
+/// An incrementally-maintained Gram matrix `C = XᵀX` with a row count.
+#[derive(Debug, Clone)]
+pub struct GramCache {
+    c: Matrix,
+    rows_seen: usize,
+}
+
+impl GramCache {
+    /// Empty cache for `M`-column data.
+    pub fn new(cols: usize) -> Self {
+        GramCache {
+            c: Matrix::zeros(cols, cols),
+            rows_seen: 0,
+        }
+    }
+
+    /// Build a cache from an initial source (one pass).
+    pub fn from_source<S: RowSource + ?Sized>(source: &S, threads: usize) -> Result<Self> {
+        let c = compute_gram_parallel(source, threads.max(1))?;
+        Ok(GramCache {
+            c,
+            rows_seen: source.rows(),
+        })
+    }
+
+    /// Number of columns (`M`).
+    pub fn cols(&self) -> usize {
+        self.c.rows()
+    }
+
+    /// Rows ingested so far.
+    pub fn rows_seen(&self) -> usize {
+        self.rows_seen
+    }
+
+    /// Ingest a batch of appended rows (one pass over the batch only).
+    pub fn ingest<S: RowSource + ?Sized>(&mut self, batch: &S, threads: usize) -> Result<()> {
+        if batch.cols() != self.cols() {
+            return Err(AtsError::dims(
+                "GramCache::ingest",
+                (batch.rows(), batch.cols()),
+                (batch.rows(), self.cols()),
+            ));
+        }
+        let add = compute_gram_parallel(batch, threads.max(1))?;
+        for (acc, v) in self.c.as_mut_slice().iter_mut().zip(add.as_slice()) {
+            *acc += v;
+        }
+        self.rows_seen += batch.rows();
+        Ok(())
+    }
+
+    /// Ingest a single appended row.
+    pub fn ingest_row(&mut self, row: &[f64]) -> Result<()> {
+        if row.len() != self.cols() {
+            return Err(AtsError::dims(
+                "GramCache::ingest_row",
+                (1, row.len()),
+                (1, self.cols()),
+            ));
+        }
+        let m = self.cols();
+        for j in 0..m {
+            let xj = row[j];
+            if xj == 0.0 {
+                continue;
+            }
+            for (l, &xl) in row.iter().enumerate() {
+                self.c[(j, l)] += xj * xl;
+            }
+        }
+        self.rows_seen += 1;
+        Ok(())
+    }
+
+    /// Finish: compress `full` (which must contain exactly the ingested
+    /// rows) to `k` components using the cached `C` — **one** pass.
+    pub fn compress<S: RowSource + ?Sized>(&self, full: &S, k: usize) -> Result<SvdCompressed> {
+        if full.rows() != self.rows_seen || full.cols() != self.cols() {
+            return Err(AtsError::InvalidArgument(format!(
+                "cache covers {} rows x {} cols but source is {} x {}",
+                self.rows_seen,
+                self.cols(),
+                full.rows(),
+                full.cols()
+            )));
+        }
+        if k == 0 {
+            return Err(AtsError::Budget("k = 0 stores nothing".into()));
+        }
+        let m = self.cols();
+        let eig = sym_eigen(&self.c)?;
+        let lambda_all: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
+        let lmax = lambda_all.first().copied().unwrap_or(0.0);
+        let rank = lambda_all
+            .iter()
+            .take_while(|&&s| s > 1e-6 * lmax.max(1e-300))
+            .count();
+        let k = k.min(rank.max(1)).min(m);
+        let lambda = lambda_all[..k].to_vec();
+        let mut v = Matrix::zeros(m, k);
+        for j in 0..k {
+            for i in 0..m {
+                v[(i, j)] = eig.vectors[(i, j)];
+            }
+        }
+        let mut u = Matrix::zeros(full.rows(), k);
+        full.for_each_row(&mut |i, row| {
+            project_row(row, &v, &lambda, u.row_mut(i));
+            Ok(())
+        })?;
+        Ok(SvdCompressed::from_parts(u, lambda, v))
+    }
+
+    /// Budgeted variant of [`GramCache::compress`].
+    pub fn compress_budget<S: RowSource + ?Sized>(
+        &self,
+        full: &S,
+        budget: SpaceBudget,
+    ) -> Result<SvdCompressed> {
+        let k = budget.max_svd_k(full.rows(), full.cols());
+        if k == 0 {
+            return Err(AtsError::Budget("budget holds no component".into()));
+        }
+        self.compress(full, k)
+    }
+
+    /// Persist the cache (`C` plus the row count encoded as an extra
+    /// trailing row) as an `.atsm` file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let m = self.cols();
+        let mut with_count = Matrix::zeros(m + 1, m);
+        for i in 0..m {
+            with_count.row_mut(i).copy_from_slice(self.c.row(i));
+        }
+        with_count[(m, 0)] = self.rows_seen as f64;
+        ats_storage::file::write_matrix(path, &with_count)?;
+        Ok(())
+    }
+
+    /// Load a cache saved by [`GramCache::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let with_count = ats_storage::file::read_matrix(path)?;
+        let m = with_count.cols();
+        if with_count.rows() != m + 1 {
+            return Err(AtsError::Corrupt(format!(
+                "gram cache file should be {}x{m}, found {}x{m}",
+                m + 1,
+                with_count.rows()
+            )));
+        }
+        let rows_seen = with_count[(m, 0)] as usize;
+        let mut c = Matrix::zeros(m, m);
+        for i in 0..m {
+            c.row_mut(i).copy_from_slice(with_count.row(i));
+        }
+        Ok(GramCache { c, rows_seen })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::CompressedMatrix;
+    use rand::{Rng, SeedableRng};
+
+    fn random(n: usize, m: usize, seed: u64) -> Matrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Matrix::from_fn(n, m, |_, _| rng.gen_range(-3.0..3.0))
+    }
+
+    fn concat(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut rows: Vec<Vec<f64>> = a.iter_rows().map(|r| r.to_vec()).collect();
+        rows.extend(b.iter_rows().map(|r| r.to_vec()));
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn incremental_equals_full_rebuild() {
+        let old = random(60, 8, 1);
+        let new = random(20, 8, 2);
+        let full = concat(&old, &new);
+
+        let mut cache = GramCache::from_source(&old, 1).unwrap();
+        cache.ingest(&new, 1).unwrap();
+        let inc = cache.compress(&full, 4).unwrap();
+        let scratch = SvdCompressed::compress(&full, 4, 1).unwrap();
+        for i in (0..80).step_by(7) {
+            for j in 0..8 {
+                assert!(
+                    (inc.cell(i, j).unwrap() - scratch.cell(i, j).unwrap()).abs() < 1e-8,
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_row_equals_batch() {
+        let batch = random(10, 5, 3);
+        let mut a = GramCache::new(5);
+        a.ingest(&batch, 1).unwrap();
+        let mut b = GramCache::new(5);
+        for row in batch.iter_rows() {
+            b.ingest_row(row).unwrap();
+        }
+        assert_eq!(a.rows_seen(), b.rows_seen());
+        assert!(a.c.approx_eq(&b.c, 1e-9));
+    }
+
+    #[test]
+    fn single_pass_for_rebuild() {
+        let dir = std::env::temp_dir().join(format!("ats-append-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let full = random(100, 6, 4);
+        let path = dir.join("full.atsm");
+        ats_storage::file::write_matrix(&path, &full).unwrap();
+
+        let cache = GramCache::from_source(&full, 1).unwrap();
+        let f = ats_storage::MatrixFile::open(&path).unwrap();
+        cache.compress(&f, 3).unwrap();
+        assert_eq!(
+            f.stats().logical_reads(),
+            100,
+            "rebuild with a cache should cost one pass, not two"
+        );
+    }
+
+    #[test]
+    fn dimension_and_coverage_checks() {
+        let mut cache = GramCache::new(5);
+        assert!(cache.ingest(&random(3, 4, 5), 1).is_err());
+        assert!(cache.ingest_row(&[0.0; 4]).is_err());
+        cache.ingest(&random(10, 5, 6), 1).unwrap();
+        // source with mismatched row count rejected
+        assert!(cache.compress(&random(9, 5, 7), 2).is_err());
+        assert!(cache.compress(&random(10, 5, 7), 0).is_err());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("ats-gramsave-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = random(30, 7, 8);
+        let cache = GramCache::from_source(&data, 1).unwrap();
+        let path = dir.join("cache.atsm");
+        cache.save(&path).unwrap();
+        let back = GramCache::load(&path).unwrap();
+        assert_eq!(back.rows_seen(), 30);
+        assert_eq!(back.cols(), 7);
+        assert!(back.c.approx_eq(&cache.c, 0.0));
+        // and it still compresses identically
+        let a = cache.compress(&data, 3).unwrap();
+        let b = back.compress(&data, 3).unwrap();
+        assert!((a.cell(5, 5).unwrap() - b.cell(5, 5).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budgeted_compress() {
+        let data = random(200, 10, 9);
+        let cache = GramCache::from_source(&data, 1).unwrap();
+        let budget = SpaceBudget::from_percent(20.0);
+        let c = cache.compress_budget(&data, budget).unwrap();
+        assert!(c.storage_bytes() <= budget.bytes(200, 10));
+        assert!(cache
+            .compress_budget(&data, SpaceBudget { fraction: 1e-9 })
+            .is_err());
+    }
+}

@@ -1,0 +1,271 @@
+//! Row-wise Discrete Cosine Transform compression (§2.3).
+//!
+//! The paper uses the DCT as the representative spectral baseline
+//! "because it is very close to optimal when the data is correlated".
+//! Each row is transformed independently with the orthonormal DCT-II and
+//! only the `k` lowest-frequency coefficients are kept, so storage is
+//! `N·k` numbers and any cell is reconstructed in `O(k)` from its row's
+//! coefficients — the same random-access contract as SVD, but with a
+//! *fixed* basis instead of the data-optimal one (which is exactly why
+//! the paper expects it to lose, §2.3).
+//!
+//! The transform here is the direct `O(M²)` form; `M` is a few hundred
+//! in this problem, and compression is offline.
+
+use crate::method::{CompressedMatrix, SpaceBudget, BYTES_PER_NUMBER};
+use ats_common::{AtsError, Result};
+use ats_linalg::Matrix;
+use ats_storage::RowSource;
+
+/// Orthonormal DCT-II basis value: `basis(t, j)` is the `t`-th basis
+/// function evaluated at sample `j`, for length `m`.
+///
+/// `X_t = basis_scale(t) · Σ_j x_j cos(π t (2j+1) / 2m)`, with scaling
+/// chosen so the transform matrix is orthonormal (inverse = transpose).
+#[inline]
+fn basis(t: usize, j: usize, m: usize) -> f64 {
+    let scale = if t == 0 {
+        (1.0 / m as f64).sqrt()
+    } else {
+        (2.0 / m as f64).sqrt()
+    };
+    scale * ((std::f64::consts::PI * t as f64 * (2 * j + 1) as f64) / (2.0 * m as f64)).cos()
+}
+
+/// Forward DCT-II of one row, writing the first `k` coefficients.
+pub fn dct_forward(row: &[f64], out: &mut [f64]) {
+    let m = row.len();
+    for (t, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (j, &x) in row.iter().enumerate() {
+            acc += x * basis(t, j, m);
+        }
+        *o = acc;
+    }
+}
+
+/// Inverse of the orthonormal DCT-II from `k ≤ M` coefficients, sampled
+/// at position `j`.
+#[inline]
+pub fn dct_inverse_at(coeffs: &[f64], j: usize, m: usize) -> f64 {
+    coeffs
+        .iter()
+        .enumerate()
+        .map(|(t, &c)| c * basis(t, j, m))
+        .sum()
+}
+
+/// A matrix compressed by keeping `k` low-frequency DCT coefficients per
+/// row.
+#[derive(Debug, Clone)]
+pub struct DctCompressed {
+    /// `N × k` coefficient matrix.
+    coeffs: Matrix,
+    /// Original row length `M`.
+    m: usize,
+}
+
+impl DctCompressed {
+    /// Single-pass compression keeping `k` coefficients per row.
+    pub fn compress<S: RowSource + ?Sized>(source: &S, k: usize) -> Result<Self> {
+        let (n, m) = (source.rows(), source.cols());
+        if k == 0 || k > m {
+            return Err(AtsError::InvalidArgument(format!(
+                "DCT coefficient count k={k} must be in 1..={m}"
+            )));
+        }
+        let mut coeffs = Matrix::zeros(n, k);
+        source.for_each_row(&mut |i, row| {
+            dct_forward(row, coeffs.row_mut(i));
+            Ok(())
+        })?;
+        Ok(DctCompressed { coeffs, m })
+    }
+
+    /// Compression at a space budget: `k = ⌊fraction · M⌋` (storage is
+    /// `N·k` numbers).
+    pub fn compress_budget<S: RowSource + ?Sized>(source: &S, budget: SpaceBudget) -> Result<Self> {
+        let k = budget.max_dct_k(source.cols());
+        if k == 0 {
+            return Err(AtsError::Budget(format!(
+                "budget {:.3}% cannot hold even one DCT coefficient per row",
+                budget.fraction * 100.0
+            )));
+        }
+        Self::compress(source, k)
+    }
+
+    /// Number of retained coefficients per row.
+    pub fn k(&self) -> usize {
+        self.coeffs.cols()
+    }
+}
+
+impl CompressedMatrix for DctCompressed {
+    fn rows(&self) -> usize {
+        self.coeffs.rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.m
+    }
+
+    fn cell(&self, i: usize, j: usize) -> Result<f64> {
+        if i >= self.rows() {
+            return Err(AtsError::oob("row", i, self.rows()));
+        }
+        if j >= self.m {
+            return Err(AtsError::oob("column", j, self.m));
+        }
+        Ok(dct_inverse_at(self.coeffs.row(i), j, self.m))
+    }
+
+    fn row_into(&self, i: usize, out: &mut [f64]) -> Result<()> {
+        if i >= self.rows() {
+            return Err(AtsError::oob("row", i, self.rows()));
+        }
+        if out.len() != self.m {
+            return Err(AtsError::dims(
+                "DctCompressed::row_into",
+                (1, out.len()),
+                (1, self.m),
+            ));
+        }
+        let c = self.coeffs.row(i);
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = dct_inverse_at(c, j, self.m);
+        }
+        Ok(())
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.rows() * self.k() * BYTES_PER_NUMBER
+    }
+
+    fn method_name(&self) -> &'static str {
+        "dct"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn full_transform_is_lossless() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let x = Matrix::from_fn(10, 16, |_, _| rng.gen_range(-5.0..5.0));
+        let c = DctCompressed::compress(&x, 16).unwrap();
+        for i in 0..10 {
+            for j in 0..16 {
+                assert!(
+                    (c.cell(i, j).unwrap() - x[(i, j)]).abs() < 1e-9,
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn basis_is_orthonormal() {
+        let m = 12;
+        for t1 in 0..m {
+            for t2 in 0..m {
+                let dot: f64 = (0..m).map(|j| basis(t1, j, m) * basis(t2, j, m)).sum();
+                let expect = if t1 == t2 { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-10, "t1={t1} t2={t2} dot={dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_signal_needs_one_coefficient() {
+        let x = Matrix::from_fn(3, 20, |i, _| (i + 1) as f64);
+        let c = DctCompressed::compress(&x, 1).unwrap();
+        for i in 0..3 {
+            for j in 0..20 {
+                assert!((c.cell(i, j).unwrap() - (i + 1) as f64).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_signal_compresses_well() {
+        // A slow sinusoid: energy concentrated in low frequencies.
+        let m = 64;
+        let x = Matrix::from_fn(
+            5,
+            m,
+            |i, j| ((i + 1) as f64) * (2.0 * std::f64::consts::PI * j as f64 / m as f64).sin(),
+        );
+        let c = DctCompressed::compress(&x, 8).unwrap();
+        let mut sse = 0.0;
+        let mut energy = 0.0;
+        let mut row = vec![0.0; m];
+        for i in 0..5 {
+            c.row_into(i, &mut row).unwrap();
+            for (a, b) in row.iter().zip(x.row(i)) {
+                sse += (a - b) * (a - b);
+                energy += b * b;
+            }
+        }
+        assert!(sse / energy < 1e-2, "relative error {}", sse / energy);
+    }
+
+    #[test]
+    fn error_decreases_with_k() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        // random walk rows: the DCT-friendly case (stocks)
+        let x = Matrix::from_fn(8, 32, |_, _| rng.gen_range(-1.0..1.0));
+        let mut walk = x.clone();
+        for i in 0..8 {
+            let r = walk.row_mut(i);
+            for j in 1..32 {
+                r[j] += r[j - 1];
+            }
+        }
+        let mut prev = f64::INFINITY;
+        for k in [1, 2, 4, 8, 16, 32] {
+            let c = DctCompressed::compress(&walk, k).unwrap();
+            let mut sse = 0.0;
+            let mut row = vec![0.0; 32];
+            for i in 0..8 {
+                c.row_into(i, &mut row).unwrap();
+                for (a, b) in row.iter().zip(walk.row(i)) {
+                    sse += (a - b) * (a - b);
+                }
+            }
+            assert!(sse <= prev + 1e-9);
+            prev = sse;
+        }
+    }
+
+    #[test]
+    fn budget_accounting() {
+        let x = Matrix::from_fn(100, 40, |i, j| (i + j) as f64);
+        let b = SpaceBudget::from_percent(25.0);
+        let c = DctCompressed::compress_budget(&x, b).unwrap();
+        assert_eq!(c.k(), 10);
+        assert!(c.storage_bytes() <= b.bytes(100, 40));
+        assert_eq!(c.method_name(), "dct");
+        assert!(DctCompressed::compress_budget(&x, SpaceBudget { fraction: 0.001 }).is_err());
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let x = Matrix::from_fn(4, 8, |_, _| 1.0);
+        assert!(DctCompressed::compress(&x, 0).is_err());
+        assert!(DctCompressed::compress(&x, 9).is_err());
+    }
+
+    #[test]
+    fn oob_checked() {
+        let x = Matrix::from_fn(4, 8, |i, j| (i * j) as f64);
+        let c = DctCompressed::compress(&x, 4).unwrap();
+        assert!(c.cell(4, 0).is_err());
+        assert!(c.cell(0, 8).is_err());
+        let mut wrong = vec![0.0; 7];
+        assert!(c.row_into(0, &mut wrong).is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! The SVDD outlier store (§4.2).
+//!
+//! SVDD keeps `(row, column, delta)` triplets for the worst-reconstructed
+//! cells "in a hash table, where the key is the combination of
+//! `row·M + column`, that is, the order of the cell in the row-major
+//! scanning", optionally fronted by "a main-memory Bloom filter, which
+//! would predict the majority of non-outliers, and thus save several
+//! probes into the hash table". [`DeltaStore`] is exactly that: an
+//! open-addressing (linear-probing) hash table over `u64` cell ordinals
+//! built once from the chosen outliers, plus the optional Bloom filter.
+//!
+//! Space accounting (a delta costs [`DELTA_BYTES`]) matches the paper's
+//! "`O(b)` bytes for each delta stored".
+
+use ats_common::hash::hash_u64;
+use ats_common::{AtsError, BloomFilter, Result};
+
+/// Bytes charged per stored delta: a packed 8-byte cell ordinal plus an
+/// 8-byte delta value.
+pub const DELTA_BYTES: usize = 16;
+
+const EMPTY: u64 = u64::MAX;
+
+/// Immutable open-addressing hash table of cell deltas.
+#[derive(Debug, Clone)]
+pub struct DeltaStore {
+    /// Slot keys (cell ordinal `row·M + col`), `EMPTY` for vacant.
+    keys: Vec<u64>,
+    /// Slot values (deltas), parallel to `keys`.
+    values: Vec<f64>,
+    mask: u64,
+    len: usize,
+    cols: u64,
+    bloom: Option<BloomFilter>,
+}
+
+impl DeltaStore {
+    /// Build from `(row, col, delta)` triplets for an `N × M` matrix.
+    ///
+    /// `with_bloom` attaches the §4.2 Bloom filter sized for a ~1% false
+    /// positive rate. Duplicate cells are rejected. The table is sized at
+    /// load factor ≤ 0.7 so probes stay short.
+    pub fn build(
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f64)>,
+        with_bloom: bool,
+    ) -> Result<Self> {
+        let triplets: Vec<(usize, usize, f64)> = triplets.into_iter().collect();
+        let n = triplets.len();
+        let capacity = ((n as f64 / 0.7).ceil() as usize).max(8).next_power_of_two();
+        let mut store = DeltaStore {
+            keys: vec![EMPTY; capacity],
+            values: vec![0.0; capacity],
+            mask: capacity as u64 - 1,
+            len: 0,
+            cols: cols as u64,
+            bloom: if with_bloom {
+                Some(BloomFilter::with_capacity(n.max(1), 0.01))
+            } else {
+                None
+            },
+        };
+        for (row, col, delta) in triplets {
+            if col >= cols {
+                return Err(AtsError::oob("delta column", col, cols));
+            }
+            let key = row as u64 * store.cols + col as u64;
+            store.insert(key, delta)?;
+        }
+        Ok(store)
+    }
+
+    fn insert(&mut self, key: u64, delta: f64) -> Result<()> {
+        debug_assert_ne!(key, EMPTY, "cell ordinal cannot be the sentinel");
+        let mut slot = (hash_u64(key, 0) & self.mask) as usize;
+        loop {
+            if self.keys[slot] == EMPTY {
+                self.keys[slot] = key;
+                self.values[slot] = delta;
+                self.len += 1;
+                if let Some(b) = &mut self.bloom {
+                    b.insert(key);
+                }
+                return Ok(());
+            }
+            if self.keys[slot] == key {
+                return Err(AtsError::InvalidArgument(format!(
+                    "duplicate delta for cell ordinal {key}"
+                )));
+            }
+            slot = (slot + 1) & self.mask as usize;
+        }
+    }
+
+    /// Probe for a delta at cell `(i, j)`. The Bloom filter (when
+    /// present) short-circuits the common non-outlier case.
+    #[inline]
+    pub fn probe(&self, i: usize, j: usize) -> Option<f64> {
+        let key = i as u64 * self.cols + j as u64;
+        if let Some(b) = &self.bloom {
+            if !b.contains(key) {
+                return None;
+            }
+        }
+        let mut slot = (hash_u64(key, 0) & self.mask) as usize;
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                return Some(self.values[slot]);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            slot = (slot + 1) & self.mask as usize;
+        }
+    }
+
+    /// Number of stored deltas (the paper's `γ`).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store holds no deltas.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the Bloom filter is attached.
+    pub fn has_bloom(&self) -> bool {
+        self.bloom.is_some()
+    }
+
+    /// Bytes charged against the space budget: [`DELTA_BYTES`] per delta.
+    /// (The Bloom filter is main-memory metadata in the paper's model and
+    /// is reported separately by [`DeltaStore::bloom_bytes`].)
+    pub fn storage_bytes(&self) -> usize {
+        self.len * DELTA_BYTES
+    }
+
+    /// Memory consumed by the optional Bloom filter.
+    pub fn bloom_bytes(&self) -> usize {
+        self.bloom.as_ref().map_or(0, |b| b.storage_bytes())
+    }
+
+    /// Iterate stored `(row, col, delta)` triplets (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.keys
+            .iter()
+            .zip(&self.values)
+            .filter(|(&k, _)| k != EMPTY)
+            .map(move |(&k, &v)| {
+                (
+                    (k / self.cols) as usize,
+                    (k % self.cols) as usize,
+                    v,
+                )
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_probe() {
+        let store = DeltaStore::build(
+            10,
+            vec![(0, 1, 2.5), (3, 7, -1.0), (99, 9, 0.125)],
+            false,
+        )
+        .unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.probe(0, 1), Some(2.5));
+        assert_eq!(store.probe(3, 7), Some(-1.0));
+        assert_eq!(store.probe(99, 9), Some(0.125));
+        assert_eq!(store.probe(0, 2), None);
+        assert_eq!(store.probe(4, 7), None);
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = DeltaStore::build(5, vec![], true).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.probe(0, 0), None);
+        assert_eq!(store.storage_bytes(), 0);
+    }
+
+    #[test]
+    fn duplicate_cell_rejected() {
+        let r = DeltaStore::build(10, vec![(1, 1, 1.0), (1, 1, 2.0)], false);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn column_bound_checked() {
+        assert!(DeltaStore::build(10, vec![(0, 10, 1.0)], false).is_err());
+    }
+
+    #[test]
+    fn bloom_agrees_with_table() {
+        let triplets: Vec<(usize, usize, f64)> =
+            (0..500).map(|i| (i * 3, i % 20, i as f64)).collect();
+        let with = DeltaStore::build(20, triplets.clone(), true).unwrap();
+        let without = DeltaStore::build(20, triplets, false).unwrap();
+        assert!(with.has_bloom() && !without.has_bloom());
+        for i in 0..1600 {
+            for j in 0..20 {
+                assert_eq!(with.probe(i, j), without.probe(i, j), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_load_many_keys() {
+        // Stress the linear probing: 10_000 deltas, all retrievable.
+        let triplets: Vec<(usize, usize, f64)> = (0..10_000usize)
+            .map(|i| (i / 366, i % 366, (i as f64) * 0.5 - 7.0))
+            .collect();
+        let store = DeltaStore::build(366, triplets.clone(), true).unwrap();
+        assert_eq!(store.len(), 10_000);
+        for &(r, c, d) in &triplets {
+            assert_eq!(store.probe(r, c), Some(d));
+        }
+    }
+
+    #[test]
+    fn iter_returns_all_triplets() {
+        let mut triplets = vec![(0usize, 0usize, 1.0), (5, 3, 2.0), (2, 9, 3.0)];
+        let store = DeltaStore::build(10, triplets.clone(), false).unwrap();
+        let mut got: Vec<_> = store.iter().collect();
+        got.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        triplets.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        assert_eq!(got, triplets);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let store = DeltaStore::build(10, vec![(0, 0, 1.0), (1, 1, 2.0)], true).unwrap();
+        assert_eq!(store.storage_bytes(), 2 * DELTA_BYTES);
+        assert!(store.bloom_bytes() > 0);
+    }
+
+    #[test]
+    fn large_row_indices_no_overflow() {
+        // row * M + col for big N must not collide or wrap surprisingly.
+        let store =
+            DeltaStore::build(366, vec![(10_000_000, 365, 9.0), (10_000_001, 0, 8.0)], false)
+                .unwrap();
+        assert_eq!(store.probe(10_000_000, 365), Some(9.0));
+        assert_eq!(store.probe(10_000_001, 0), Some(8.0));
+        assert_eq!(store.probe(10_000_000, 364), None);
+    }
+}

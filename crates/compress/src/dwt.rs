@@ -1,0 +1,271 @@
+//! Row-wise Haar wavelet compression (the §2.3 "plethora of other
+//! techniques" — wavelets — as a second spectral baseline).
+//!
+//! Like the DCT baseline, each row is transformed independently and the
+//! largest-`k` *fixed positions* are kept: here the coarsest `k`
+//! coefficients of an orthonormal Haar DWT. Wavelets localize in both
+//! time and scale, so on signals with abrupt level shifts they can beat
+//! the DCT — §2.3 predicts spectral methods suffer on "spikes or abrupt
+//! jumps", and the Haar basis is the friendliest fixed basis for such
+//! jumps. Rows whose length is not a power of two are zero-padded (the
+//! pad length is implicit from `M`).
+
+use crate::method::{CompressedMatrix, SpaceBudget, BYTES_PER_NUMBER};
+use ats_common::{AtsError, Result};
+use ats_linalg::Matrix;
+use ats_storage::RowSource;
+
+/// In-place orthonormal Haar DWT of a power-of-two-length buffer:
+/// output layout `[approx | detail_coarse | … | detail_fine]`.
+pub fn haar_forward(buf: &mut [f64]) {
+    let n = buf.len();
+    debug_assert!(n.is_power_of_two());
+    let mut tmp = vec![0.0f64; n];
+    let mut len = n;
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    while len > 1 {
+        let half = len / 2;
+        for i in 0..half {
+            tmp[i] = (buf[2 * i] + buf[2 * i + 1]) * s;
+            tmp[half + i] = (buf[2 * i] - buf[2 * i + 1]) * s;
+        }
+        buf[..len].copy_from_slice(&tmp[..len]);
+        len = half;
+    }
+}
+
+/// Inverse of [`haar_forward`].
+pub fn haar_inverse(buf: &mut [f64]) {
+    let n = buf.len();
+    debug_assert!(n.is_power_of_two());
+    let mut tmp = vec![0.0f64; n];
+    let mut len = 2;
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    while len <= n {
+        let half = len / 2;
+        for i in 0..half {
+            tmp[2 * i] = (buf[i] + buf[half + i]) * s;
+            tmp[2 * i + 1] = (buf[i] - buf[half + i]) * s;
+        }
+        buf[..len].copy_from_slice(&tmp[..len]);
+        len *= 2;
+    }
+}
+
+/// A matrix compressed by keeping the first `k` Haar coefficients of
+/// each (zero-padded) row.
+#[derive(Debug, Clone)]
+pub struct DwtCompressed {
+    /// `N × k` coefficients.
+    coeffs: Matrix,
+    /// Original row length.
+    m: usize,
+    /// Padded (power-of-two) length.
+    padded: usize,
+}
+
+impl DwtCompressed {
+    /// Single-pass compression keeping `k` coarsest coefficients.
+    pub fn compress<S: RowSource + ?Sized>(source: &S, k: usize) -> Result<Self> {
+        let (n, m) = (source.rows(), source.cols());
+        if m == 0 {
+            return Err(AtsError::InvalidArgument("empty rows".into()));
+        }
+        let padded = m.next_power_of_two();
+        if k == 0 || k > padded {
+            return Err(AtsError::InvalidArgument(format!(
+                "DWT coefficient count k={k} must be in 1..={padded}"
+            )));
+        }
+        let mut coeffs = Matrix::zeros(n, k);
+        let mut buf = vec![0.0f64; padded];
+        source.for_each_row(&mut |i, row| {
+            buf[..m].copy_from_slice(row);
+            buf[m..].fill(0.0);
+            haar_forward(&mut buf);
+            coeffs.row_mut(i).copy_from_slice(&buf[..k]);
+            Ok(())
+        })?;
+        Ok(DwtCompressed { coeffs, m, padded })
+    }
+
+    /// Budgeted build: storage is `N·k` numbers, so `k = ⌊fraction·M⌋`.
+    pub fn compress_budget<S: RowSource + ?Sized>(source: &S, budget: SpaceBudget) -> Result<Self> {
+        let k = budget.max_dct_k(source.cols());
+        if k == 0 {
+            return Err(AtsError::Budget(format!(
+                "budget {:.3}% cannot hold even one DWT coefficient per row",
+                budget.fraction * 100.0
+            )));
+        }
+        Self::compress(source, k)
+    }
+
+    /// Retained coefficients per row.
+    pub fn k(&self) -> usize {
+        self.coeffs.cols()
+    }
+}
+
+impl CompressedMatrix for DwtCompressed {
+    fn rows(&self) -> usize {
+        self.coeffs.rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.m
+    }
+
+    fn cell(&self, i: usize, j: usize) -> Result<f64> {
+        if i >= self.rows() {
+            return Err(AtsError::oob("row", i, self.rows()));
+        }
+        if j >= self.m {
+            return Err(AtsError::oob("column", j, self.m));
+        }
+        // O(padded) inverse for a single cell; rows are short (M ≤ a few
+        // hundred), and cell queries batch through row_into anyway.
+        let mut buf = vec![0.0f64; self.padded];
+        buf[..self.k()].copy_from_slice(self.coeffs.row(i));
+        haar_inverse(&mut buf);
+        Ok(buf[j])
+    }
+
+    fn row_into(&self, i: usize, out: &mut [f64]) -> Result<()> {
+        if i >= self.rows() {
+            return Err(AtsError::oob("row", i, self.rows()));
+        }
+        if out.len() != self.m {
+            return Err(AtsError::dims(
+                "DwtCompressed::row_into",
+                (1, out.len()),
+                (1, self.m),
+            ));
+        }
+        let mut buf = vec![0.0f64; self.padded];
+        buf[..self.k()].copy_from_slice(self.coeffs.row(i));
+        haar_inverse(&mut buf);
+        out.copy_from_slice(&buf[..self.m]);
+        Ok(())
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.rows() * self.k() * BYTES_PER_NUMBER
+    }
+
+    fn method_name(&self) -> &'static str {
+        "dwt"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn haar_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 4, 8, 64, 256] {
+            let orig: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let mut buf = orig.clone();
+            haar_forward(&mut buf);
+            haar_inverse(&mut buf);
+            for (a, b) in buf.iter().zip(&orig) {
+                assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn haar_is_orthonormal() {
+        // Energy preservation (Parseval).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let orig: Vec<f64> = (0..64).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let e0: f64 = orig.iter().map(|v| v * v).sum();
+        let mut buf = orig;
+        haar_forward(&mut buf);
+        let e1: f64 = buf.iter().map(|v| v * v).sum();
+        assert!((e0 - e1).abs() < 1e-9 * e0);
+    }
+
+    #[test]
+    fn constant_signal_one_coefficient() {
+        let x = Matrix::from_fn(3, 32, |i, _| (i + 1) as f64);
+        let c = DwtCompressed::compress(&x, 1).unwrap();
+        for i in 0..3 {
+            for j in 0..32 {
+                assert!((c.cell(i, j).unwrap() - (i + 1) as f64).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn step_function_compresses_perfectly() {
+        // A single level shift halfway: Haar's best case — 2 coefficients
+        // suffice (paper §2.3: spectral methods vs jumps; Haar handles
+        // aligned jumps exactly).
+        let x = Matrix::from_fn(2, 32, |_, j| if j < 16 { 5.0 } else { 1.0 });
+        let c = DwtCompressed::compress(&x, 2).unwrap();
+        let mut row = vec![0.0; 32];
+        c.row_into(0, &mut row).unwrap();
+        for (j, v) in row.iter().enumerate() {
+            let want = if j < 16 { 5.0 } else { 1.0 };
+            assert!((v - want).abs() < 1e-9, "j={j}");
+        }
+    }
+
+    #[test]
+    fn full_coefficients_lossless_padded() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let x = Matrix::from_fn(5, 20, |_, _| rng.gen_range(-3.0..3.0)); // pads to 32
+        let c = DwtCompressed::compress(&x, 32).unwrap();
+        let mut row = vec![0.0; 20];
+        for i in 0..5 {
+            c.row_into(i, &mut row).unwrap();
+            for (a, b) in row.iter().zip(x.row(i)) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn error_decreases_with_k() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut x = Matrix::from_fn(6, 64, |_, _| rng.gen_range(-1.0..1.0));
+        for i in 0..6 {
+            let r = x.row_mut(i);
+            for j in 1..64 {
+                r[j] += r[j - 1]; // random walk
+            }
+        }
+        let mut prev = f64::INFINITY;
+        for k in [1usize, 2, 4, 8, 16, 32, 64] {
+            let c = DwtCompressed::compress(&x, k).unwrap();
+            let mut sse = 0.0;
+            let mut row = vec![0.0; 64];
+            for i in 0..6 {
+                c.row_into(i, &mut row).unwrap();
+                for (a, b) in row.iter().zip(x.row(i)) {
+                    sse += (a - b) * (a - b);
+                }
+            }
+            assert!(sse <= prev + 1e-9, "k={k}");
+            prev = sse;
+        }
+    }
+
+    #[test]
+    fn budget_and_bounds() {
+        let x = Matrix::from_fn(10, 40, |i, j| (i + j) as f64);
+        let b = SpaceBudget::from_percent(25.0);
+        let c = DwtCompressed::compress_budget(&x, b).unwrap();
+        assert_eq!(c.k(), 10);
+        assert!(c.storage_bytes() <= b.bytes(10, 40));
+        assert!(c.cell(10, 0).is_err());
+        assert!(c.cell(0, 40).is_err());
+        assert!(DwtCompressed::compress(&x, 0).is_err());
+        assert!(DwtCompressed::compress(&x, 65).is_err());
+        assert_eq!(c.method_name(), "dwt");
+    }
+}

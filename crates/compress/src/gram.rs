@@ -1,0 +1,179 @@
+//! Pass 1: streaming accumulation of the Gram matrix `C = XᵀX`.
+//!
+//! This is Fig. 2 of the paper verbatim — read one row at a time, add the
+//! outer product of the row with itself into an `M × M` accumulator held
+//! in memory — plus a row-partitioned parallel variant: `C` is a sum over
+//! rows, so each worker accumulates a private partial `C` over a disjoint
+//! row range and the partials are added at the end (the same reduction
+//! trick as the paper's single-pass claim, just spread over cores).
+//!
+//! Only the upper triangle is accumulated (C is symmetric), halving the
+//! inner-loop work relative to the paper's pseudocode.
+
+use ats_common::Result;
+use ats_linalg::Matrix;
+use ats_storage::RowSource;
+
+/// Accumulate one row's outer product into the upper triangle of `c`.
+#[inline]
+fn accumulate_row(c: &mut Matrix, row: &[f64]) {
+    let m = row.len();
+    for j in 0..m {
+        let xj = row[j];
+        if xj == 0.0 {
+            continue; // sparse customer-days are common in phone data
+        }
+        let c_row = c.row_mut(j);
+        for (l, &xl) in row.iter().enumerate().skip(j) {
+            c_row[l] += xj * xl;
+        }
+    }
+}
+
+/// Mirror the accumulated upper triangle into the lower.
+fn symmetrize(c: &mut Matrix) {
+    let m = c.rows();
+    for j in 0..m {
+        for l in (j + 1)..m {
+            c[(l, j)] = c[(j, l)];
+        }
+    }
+}
+
+/// Single-threaded pass 1 (Fig. 2): one sequential scan, `O(N·M²)` work,
+/// `O(M²)` memory.
+pub fn compute_gram(source: &dyn RowSource) -> Result<Matrix> {
+    let m = source.cols();
+    let mut c = Matrix::zeros(m, m);
+    source.for_each_row(&mut |_, row| {
+        accumulate_row(&mut c, row);
+        Ok(())
+    })?;
+    symmetrize(&mut c);
+    Ok(c)
+}
+
+/// Multi-threaded pass 1: `threads` workers each scan a contiguous row
+/// range into a private partial Gram matrix; partials are summed.
+///
+/// Falls back to the serial path for `threads ≤ 1` or tiny inputs.
+pub fn compute_gram_parallel<S: RowSource + ?Sized>(source: &S, threads: usize) -> Result<Matrix> {
+    let n = source.rows();
+    let m = source.cols();
+    if threads <= 1 || n < 2 * threads {
+        return compute_gram_dyn(source);
+    }
+    let chunk = n.div_ceil(threads);
+    let partials: Vec<Result<Matrix>> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(n);
+            if start >= end {
+                continue;
+            }
+            handles.push(scope.spawn(move |_| -> Result<Matrix> {
+                let mut c = Matrix::zeros(m, m);
+                source.scan_range(start, end, &mut |_, row| {
+                    accumulate_row(&mut c, row);
+                    Ok(())
+                })?;
+                Ok(c)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+    })
+    .expect("crossbeam scope");
+
+    let mut total = Matrix::zeros(m, m);
+    for p in partials {
+        let p = p?;
+        for (acc, v) in total.as_mut_slice().iter_mut().zip(p.as_slice()) {
+            *acc += v;
+        }
+    }
+    symmetrize(&mut total);
+    Ok(total)
+}
+
+fn compute_gram_dyn<S: RowSource + ?Sized>(source: &S) -> Result<Matrix> {
+    let m = source.cols();
+    let mut c = Matrix::zeros(m, m);
+    source.scan_range(0, source.rows(), &mut |_, row| {
+        accumulate_row(&mut c, row);
+        Ok(())
+    })?;
+    symmetrize(&mut c);
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(n: usize, m: usize, seed: u64) -> Matrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Matrix::from_fn(n, m, |_, _| rng.gen_range(-4.0..4.0))
+    }
+
+    #[test]
+    fn matches_in_memory_gram() {
+        let x = random_matrix(50, 8, 1);
+        let c = compute_gram(&x).unwrap();
+        assert!(c.approx_eq(&x.gram(), 1e-9));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let x = random_matrix(203, 11, 2); // odd N to exercise ragged chunks
+        let serial = compute_gram(&x).unwrap();
+        for threads in [2, 3, 8] {
+            let par = compute_gram_parallel(&x, threads).unwrap();
+            assert!(
+                par.approx_eq(&serial, 1e-8),
+                "threads={threads} diverged by {}",
+                par.sub(&serial).unwrap().max_abs()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_falls_back_on_tiny_input() {
+        let x = random_matrix(3, 4, 3);
+        let par = compute_gram_parallel(&x, 8).unwrap();
+        assert!(par.approx_eq(&x.gram(), 1e-10));
+    }
+
+    #[test]
+    fn gram_of_zero_matrix_is_zero() {
+        let x = Matrix::zeros(10, 5);
+        let c = compute_gram(&x).unwrap();
+        assert_eq!(c.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn works_against_disk_source() {
+        let dir = std::env::temp_dir().join(format!("ats-gram-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gram.atsm");
+        let x = random_matrix(300, 6, 4);
+        ats_storage::file::write_matrix(&path, &x).unwrap();
+        let f = ats_storage::MatrixFile::open(&path).unwrap();
+        let c = compute_gram_parallel(&f, 4).unwrap();
+        assert!(c.approx_eq(&x.gram(), 1e-8));
+    }
+
+    #[test]
+    fn single_pass_io() {
+        // The whole point of Fig. 2: exactly one sequential pass.
+        let dir = std::env::temp_dir().join(format!("ats-gram1p-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("onepass.atsm");
+        let x = random_matrix(100, 5, 5);
+        ats_storage::file::write_matrix(&path, &x).unwrap();
+        let f = ats_storage::MatrixFile::open(&path).unwrap();
+        compute_gram(&f).unwrap();
+        assert_eq!(f.stats().logical_reads(), 100, "each row read exactly once");
+    }
+}

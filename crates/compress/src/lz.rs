@@ -1,0 +1,554 @@
+//! Lossless LZ compression (the §2.1 reference point).
+//!
+//! The paper reports that "the Lempel-Ziv (gzip) algorithm had a space
+//! requirement of s ≈ 25%" on its datasets — and then argues such
+//! compression is useless for ad hoc queries because any access requires
+//! decompressing everything. To reproduce that reference row without a
+//! gzip dependency, this module implements the same family from scratch:
+//!
+//! - an **LZSS** stage — greedy longest-match parsing over a 32 KiB
+//!   sliding window with a hash-chain match finder (the LZ77 core of
+//!   gzip's deflate), emitting a byte-aligned token stream;
+//! - a **canonical Huffman** stage — an order-0 entropy coder over the
+//!   token bytes with a 256-entry code-length table in the header.
+//!
+//! [`compress`]/[`decompress`] compose the two. The implementation
+//! favours clarity over speed; it exists to measure *space*, and its
+//! "decompress everything to read anything" API is itself the point the
+//! paper makes about lossless methods.
+
+use ats_common::codec::{get_u64, put_u64};
+use ats_common::{AtsError, Result};
+
+const MAGIC: &[u8; 6] = b"ATSLZ1";
+const WINDOW: usize = 32 * 1024;
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = MIN_MATCH + 255;
+const HASH_BITS: u32 = 15;
+const MAX_CHAIN: usize = 64;
+
+#[inline]
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
+}
+
+// ---------------------------------------------------------------- LZSS --
+
+/// LZSS-encode `input` into a byte-aligned token stream:
+/// groups of 8 tokens preceded by a control byte (bit set = match),
+/// literals are 1 byte, matches are `offset:u16le, len-MIN_MATCH:u8`.
+pub fn lzss_encode(input: &[u8]) -> Vec<u8> {
+    let n = input.len();
+    let mut out = Vec::with_capacity(n / 2 + 16);
+    let mut head = vec![-1i64; 1 << HASH_BITS];
+    let mut prev = vec![-1i64; n.max(1)];
+
+    let mut ctrl_pos = 0usize; // index of the pending control byte
+    let mut ctrl_bits = 0u8;
+    let mut ntok = 0u8;
+    out.push(0); // first control byte placeholder
+
+    let flush_group = |out: &mut Vec<u8>, ctrl_pos: &mut usize, bits: &mut u8, n: &mut u8| {
+        out[*ctrl_pos] = *bits;
+        *ctrl_pos = out.len();
+        out.push(0);
+        *bits = 0;
+        *n = 0;
+    };
+
+    let mut i = 0usize;
+    while i < n {
+        // Find the longest match at i via the hash chain.
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        if i + MIN_MATCH <= n {
+            let h = hash4(&input[i..]);
+            let mut cand = head[h];
+            let mut chain = 0usize;
+            while cand >= 0 && chain < MAX_CHAIN {
+                let c = cand as usize;
+                if i - c > WINDOW {
+                    break;
+                }
+                let limit = (n - i).min(MAX_MATCH);
+                let mut l = 0usize;
+                while l < limit && input[c + l] == input[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_off = i - c;
+                    if l == limit {
+                        break;
+                    }
+                }
+                cand = prev[c];
+                chain += 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            ctrl_bits |= 1 << ntok;
+            out.extend_from_slice(&(best_off as u16).to_le_bytes());
+            out.push((best_len - MIN_MATCH) as u8);
+            // Insert hash entries for every position the match covers.
+            let end = i + best_len;
+            while i < end {
+                if i + MIN_MATCH <= n {
+                    let h = hash4(&input[i..]);
+                    prev[i] = head[h];
+                    head[h] = i as i64;
+                }
+                i += 1;
+            }
+        } else {
+            out.push(input[i]);
+            if i + MIN_MATCH <= n {
+                let h = hash4(&input[i..]);
+                prev[i] = head[h];
+                head[h] = i as i64;
+            }
+            i += 1;
+        }
+        ntok += 1;
+        if ntok == 8 {
+            flush_group(&mut out, &mut ctrl_pos, &mut ctrl_bits, &mut ntok);
+        }
+    }
+    out[ctrl_pos] = ctrl_bits;
+    if ntok == 0 && out.len() == ctrl_pos + 1 && n > 0 {
+        // trailing placeholder already the live control byte — nothing to do
+    }
+    out
+}
+
+/// Decode an LZSS token stream produced by [`lzss_encode`]; `raw_len` is
+/// the exact original length (tokens beyond it are a corruption error).
+pub fn lzss_decode(tokens: &[u8], raw_len: usize) -> Result<Vec<u8>> {
+    let mut out: Vec<u8> = Vec::with_capacity(raw_len);
+    let mut p = 0usize;
+    while out.len() < raw_len {
+        if p >= tokens.len() {
+            return Err(AtsError::Corrupt("LZSS stream truncated".into()));
+        }
+        let ctrl = tokens[p];
+        p += 1;
+        for bit in 0..8 {
+            if out.len() >= raw_len {
+                break;
+            }
+            if ctrl & (1 << bit) != 0 {
+                if p + 3 > tokens.len() {
+                    return Err(AtsError::Corrupt("LZSS match truncated".into()));
+                }
+                let off = u16::from_le_bytes([tokens[p], tokens[p + 1]]) as usize;
+                let len = tokens[p + 2] as usize + MIN_MATCH;
+                p += 3;
+                if off == 0 || off > out.len() {
+                    return Err(AtsError::Corrupt(format!(
+                        "LZSS offset {off} out of range at {}",
+                        out.len()
+                    )));
+                }
+                let start = out.len() - off;
+                for l in 0..len {
+                    let b = out[start + l];
+                    out.push(b);
+                }
+            } else {
+                if p >= tokens.len() {
+                    return Err(AtsError::Corrupt("LZSS literal truncated".into()));
+                }
+                out.push(tokens[p]);
+                p += 1;
+            }
+        }
+    }
+    if out.len() != raw_len {
+        return Err(AtsError::Corrupt(format!(
+            "LZSS decoded {} bytes, expected {raw_len}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+// ------------------------------------------------------------- Huffman --
+
+/// Build Huffman code lengths for 256 byte symbols from frequencies,
+/// by constructing the tree with a tiny binary heap.
+fn huffman_lengths(freq: &[u64; 256]) -> [u8; 256] {
+    let mut lengths = [0u8; 256];
+    let symbols: Vec<usize> = (0..256).filter(|&s| freq[s] > 0).collect();
+    match symbols.len() {
+        0 => return lengths,
+        1 => {
+            lengths[symbols[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    // Node arena: (freq, left, right); leaves have left == right == NONE.
+    const NONE: usize = usize::MAX;
+    let mut nodes: Vec<(u64, usize, usize)> = Vec::with_capacity(symbols.len() * 2);
+    let mut heap: Vec<(u64, usize)> = Vec::with_capacity(symbols.len());
+    for &s in &symbols {
+        nodes.push((freq[s], NONE, s)); // leaf: store symbol in .2
+        heap.push((freq[s], nodes.len() - 1));
+    }
+    heap.sort_unstable_by(|a, b| b.0.cmp(&a.0)); // treat as a max-last stack
+    // simple O(n²)-ish merge loop (n ≤ 256: negligible)
+    while heap.len() > 1 {
+        heap.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        let a = heap.pop().expect("len>1");
+        let b = heap.pop().expect("len>1");
+        nodes.push((a.0 + b.0, a.1, b.1));
+        heap.push((a.0 + b.0, nodes.len() - 1));
+    }
+    // Depth-first assign lengths.
+    let root = heap[0].1;
+    let mut stack = vec![(root, 0u8)];
+    while let Some((idx, depth)) = stack.pop() {
+        let (_, left, right) = nodes[idx];
+        if left == NONE {
+            lengths[right] = depth.max(1);
+        } else {
+            stack.push((left, depth + 1));
+            stack.push((right, depth + 1));
+        }
+    }
+    lengths
+}
+
+/// Canonical codes from lengths: symbols sorted by (length, value).
+fn canonical_codes(lengths: &[u8; 256]) -> [(u64, u8); 256] {
+    let mut codes = [(0u64, 0u8); 256];
+    let mut symbols: Vec<usize> = (0..256).filter(|&s| lengths[s] > 0).collect();
+    symbols.sort_by_key(|&s| (lengths[s], s));
+    let mut code = 0u64;
+    let mut prev_len = 0u8;
+    for &s in &symbols {
+        let l = lengths[s];
+        code <<= l - prev_len;
+        codes[s] = (code, l);
+        code += 1;
+        prev_len = l;
+    }
+    codes
+}
+
+struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter {
+            out: Vec::new(),
+            acc: 0,
+            nbits: 0,
+        }
+    }
+    #[inline]
+    fn put(&mut self, code: u64, len: u8) {
+        // MSB-first within the code, appended LSB-first to the stream.
+        for i in (0..len).rev() {
+            let bit = (code >> i) & 1;
+            self.acc |= bit << self.nbits;
+            self.nbits += 1;
+            if self.nbits == 64 {
+                self.out.extend_from_slice(&self.acc.to_le_bytes());
+                self.acc = 0;
+                self.nbits = 0;
+            }
+        }
+    }
+    fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let bytes = self.acc.to_le_bytes();
+            self.out
+                .extend_from_slice(&bytes[..self.nbits.div_ceil(8) as usize]);
+        }
+        self.out
+    }
+}
+
+struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+    #[inline]
+    fn bit(&mut self) -> Result<u32> {
+        if self.nbits == 0 {
+            if self.pos >= self.data.len() {
+                return Err(AtsError::Corrupt("Huffman bitstream truncated".into()));
+            }
+            self.acc = u64::from(self.data[self.pos]);
+            self.pos += 1;
+            self.nbits = 8;
+        }
+        let b = (self.acc & 1) as u32;
+        self.acc >>= 1;
+        self.nbits -= 1;
+        Ok(b)
+    }
+}
+
+/// Huffman-encode `input`: 256-byte length table + bit stream.
+pub fn huffman_encode(input: &[u8]) -> Vec<u8> {
+    let mut freq = [0u64; 256];
+    for &b in input {
+        freq[b as usize] += 1;
+    }
+    let lengths = huffman_lengths(&freq);
+    let codes = canonical_codes(&lengths);
+    let mut out = Vec::with_capacity(input.len() / 2 + 300);
+    put_u64(&mut out, input.len() as u64);
+    out.extend_from_slice(&lengths);
+    let mut bw = BitWriter::new();
+    for &b in input {
+        let (code, len) = codes[b as usize];
+        bw.put(code, len);
+    }
+    out.extend_from_slice(&bw.finish());
+    out
+}
+
+/// Decode a [`huffman_encode`] payload.
+pub fn huffman_decode(data: &[u8]) -> Result<Vec<u8>> {
+    if data.len() < 8 + 256 {
+        return Err(AtsError::Corrupt("Huffman header truncated".into()));
+    }
+    let raw_len = get_u64(data, 0)? as usize;
+    let mut lengths = [0u8; 256];
+    lengths.copy_from_slice(&data[8..264]);
+    if raw_len == 0 {
+        return Ok(Vec::new());
+    }
+    // Rebuild the canonical decode tree.
+    let codes = canonical_codes(&lengths);
+    #[derive(Clone)]
+    struct Node {
+        child: [i32; 2],
+        symbol: i32,
+    }
+    let mut tree = vec![Node {
+        child: [-1, -1],
+        symbol: -1,
+    }];
+    let mut live_symbols = 0usize;
+    for s in 0..256 {
+        let (code, len) = codes[s];
+        if len == 0 {
+            continue;
+        }
+        live_symbols += 1;
+        let mut at = 0usize;
+        for i in (0..len).rev() {
+            let bit = ((code >> i) & 1) as usize;
+            if tree[at].child[bit] < 0 {
+                tree.push(Node {
+                    child: [-1, -1],
+                    symbol: -1,
+                });
+                let newidx = (tree.len() - 1) as i32;
+                tree[at].child[bit] = newidx;
+            }
+            at = tree[at].child[bit] as usize;
+        }
+        tree[at].symbol = s as i32;
+    }
+    if live_symbols == 0 {
+        return Err(AtsError::Corrupt("Huffman table empty but data expected".into()));
+    }
+    let mut br = BitReader::new(&data[264..]);
+    let mut out = Vec::with_capacity(raw_len);
+    while out.len() < raw_len {
+        let mut at = 0usize;
+        loop {
+            if tree[at].symbol >= 0 {
+                out.push(tree[at].symbol as u8);
+                break;
+            }
+            let bit = br.bit()? as usize;
+            let next = tree[at].child[bit];
+            if next < 0 {
+                return Err(AtsError::Corrupt("invalid Huffman code".into()));
+            }
+            at = next as usize;
+        }
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------------- container --
+
+/// Compress: LZSS then Huffman, with a small container header.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let tokens = lzss_encode(input);
+    let entropy = huffman_encode(&tokens);
+    let mut out = Vec::with_capacity(entropy.len() + 22);
+    out.extend_from_slice(MAGIC);
+    put_u64(&mut out, input.len() as u64);
+    out.extend_from_slice(&entropy);
+    out
+}
+
+/// Decompress a [`compress`] container.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    if data.len() < 14 || &data[..6] != MAGIC {
+        return Err(AtsError::Corrupt("not an ATSLZ1 container".into()));
+    }
+    let raw_len = get_u64(data, 6)? as usize;
+    let tokens = huffman_decode(&data[14..])?;
+    lzss_decode(&tokens, raw_len)
+}
+
+/// Compression ratio of [`compress`] on `input` (compressed/original).
+pub fn ratio(input: &[u8]) -> f64 {
+    if input.is_empty() {
+        return 1.0;
+    }
+    compress(input).len() as f64 / input.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_empty() {
+        let c = compress(b"");
+        assert_eq!(decompress(&c).unwrap(), b"");
+    }
+
+    #[test]
+    fn roundtrip_single_byte() {
+        let c = compress(b"x");
+        assert_eq!(decompress(&c).unwrap(), b"x");
+    }
+
+    #[test]
+    fn roundtrip_repetitive() {
+        let input: Vec<u8> = b"abcabcabcabc".iter().cycle().take(10_000).copied().collect();
+        let c = compress(&input);
+        assert_eq!(decompress(&c).unwrap(), input);
+        assert!(
+            c.len() < input.len() / 10,
+            "repetitive text should crush: {} of {}",
+            c.len(),
+            input.len()
+        );
+    }
+
+    #[test]
+    fn roundtrip_all_same() {
+        let input = vec![7u8; 5000];
+        let c = compress(&input);
+        assert_eq!(decompress(&c).unwrap(), input);
+        assert!(c.len() < 600);
+    }
+
+    #[test]
+    fn roundtrip_random_binary() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let input: Vec<u8> = (0..20_000).map(|_| rng.gen()).collect();
+        let c = compress(&input);
+        assert_eq!(decompress(&c).unwrap(), input);
+        // incompressible: should not balloon much
+        assert!(c.len() < input.len() + input.len() / 8 + 512);
+    }
+
+    #[test]
+    fn csv_like_text_compresses_well() {
+        // The kind of byte stream the paper gzipped: numeric records.
+        let mut text = String::new();
+        for i in 0..2000 {
+            text.push_str(&format!("{},{},{},{},{}\n", i, i % 7, 100.25, 0, i * 3));
+        }
+        let r = ratio(text.as_bytes());
+        assert!(r < 0.35, "CSV ratio {r} worse than expected");
+    }
+
+    #[test]
+    fn lzss_layer_alone_roundtrips() {
+        let input = b"the quick brown fox jumps over the lazy dog; the quick brown fox again";
+        let t = lzss_encode(input);
+        assert_eq!(lzss_decode(&t, input.len()).unwrap(), input);
+    }
+
+    #[test]
+    fn huffman_layer_alone_roundtrips() {
+        let input = b"mississippi river mississippi delta";
+        let e = huffman_encode(input);
+        assert_eq!(huffman_decode(&e).unwrap(), input);
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let mut c = compress(b"hello world hello world");
+        c[0] = b'X';
+        assert!(decompress(&c).is_err());
+        assert!(decompress(&[]).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let c = compress(b"some reasonably long input string for truncation testing, repeated: some reasonably long input");
+        for cut in [10usize, c.len() / 2, c.len() - 1] {
+            assert!(decompress(&c[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn bad_offset_rejected() {
+        // Handcraft a token stream whose first token is a match (invalid:
+        // nothing emitted yet).
+        let tokens = vec![0b0000_0001u8, 5, 0, 0]; // match offset 5 len 4
+        assert!(lzss_decode(&tokens, 4).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn roundtrip_arbitrary(input in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            let c = compress(&input);
+            prop_assert_eq!(decompress(&c).unwrap(), input);
+        }
+
+        #[test]
+        fn roundtrip_structured(
+            seed in any::<u64>(),
+            n in 0usize..2000,
+        ) {
+            // byte streams with long runs and repeats — LZ's happy path
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut input = Vec::with_capacity(n);
+            while input.len() < n {
+                let run = rng.gen_range(1..32usize).min(n - input.len());
+                let b: u8 = rng.gen_range(0..8);
+                input.extend(std::iter::repeat(b).take(run));
+            }
+            let c = compress(&input);
+            prop_assert_eq!(decompress(&c).unwrap(), input);
+        }
+    }
+}

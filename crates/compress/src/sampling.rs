@@ -1,0 +1,295 @@
+//! Uniform row sampling (§5.2's comparison point for aggregate queries).
+//!
+//! "Estimates of answers to aggregate queries can be obtained through
+//! sampling. (Note that sampling is not likely to be able to provide
+//! estimates of individual cell values…)". This module implements that
+//! baseline honestly: a uniform-without-replacement sample of rows, kept
+//! verbatim. Aggregates over a query's selected rows are estimated from
+//! the sampled rows that fall inside the selection, scaled by the
+//! sampling fraction; cell queries fall back to the sample's column mean
+//! — deliberately poor, which is §5.2's point.
+
+use crate::method::{CompressedMatrix, SpaceBudget, BYTES_PER_NUMBER};
+use ats_common::{AtsError, Result};
+use ats_linalg::Matrix;
+use ats_storage::RowSource;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A uniform row sample of a matrix.
+#[derive(Debug, Clone)]
+pub struct SampleCompressed {
+    /// The sampled rows, in ascending original-index order.
+    sample: Matrix,
+    /// Original index of each sampled row.
+    indices: Vec<u32>,
+    /// Fast membership: original row -> position in `sample`.
+    lookup: HashMap<u32, u32>,
+    /// Column means of the sample (the cell-query fallback).
+    col_means: Vec<f64>,
+    rows: usize,
+}
+
+impl SampleCompressed {
+    /// Sample `sample_size` rows uniformly without replacement
+    /// (single pass; reservoir sampling, then one scan to materialize).
+    pub fn compress<S: RowSource + ?Sized>(
+        source: &S,
+        sample_size: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        let (n, m) = (source.rows(), source.cols());
+        if sample_size == 0 || sample_size > n {
+            return Err(AtsError::InvalidArgument(format!(
+                "sample size {sample_size} must be in 1..={n}"
+            )));
+        }
+        // Choose indices by reservoir over 0..n (cheap, no data access).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut chosen: Vec<u32> = (0..sample_size as u32).collect();
+        for i in sample_size..n {
+            let j = rng.gen_range(0..=i);
+            if j < sample_size {
+                chosen[j] = i as u32;
+            }
+        }
+        chosen.sort_unstable();
+        let lookup: HashMap<u32, u32> = chosen
+            .iter()
+            .enumerate()
+            .map(|(pos, &orig)| (orig, pos as u32))
+            .collect();
+
+        let mut sample = Matrix::zeros(sample_size, m);
+        let mut next = 0usize;
+        source.for_each_row(&mut |i, row| {
+            if next < chosen.len() && chosen[next] as usize == i {
+                sample.row_mut(next).copy_from_slice(row);
+                next += 1;
+            }
+            Ok(())
+        })?;
+        debug_assert_eq!(next, sample_size);
+
+        let col_means: Vec<f64> = (0..m)
+            .map(|j| sample.col(j).iter().sum::<f64>() / sample_size as f64)
+            .collect();
+
+        Ok(SampleCompressed {
+            sample,
+            indices: chosen,
+            lookup,
+            col_means,
+            rows: n,
+        })
+    }
+
+    /// Sample sized to a space budget: each kept row costs `M + 1`
+    /// numbers (the row plus its index), so
+    /// `sample_size = ⌊fraction · N·M / (M+1)⌋`.
+    pub fn compress_budget<S: RowSource + ?Sized>(
+        source: &S,
+        budget: SpaceBudget,
+        seed: u64,
+    ) -> Result<Self> {
+        let (n, m) = (source.rows(), source.cols());
+        let size = ((budget.fraction * (n * m) as f64 / (m + 1) as f64).floor() as usize)
+            .min(source.rows());
+        if size == 0 {
+            return Err(AtsError::Budget(format!(
+                "budget {:.3}% holds no complete row",
+                budget.fraction * 100.0
+            )));
+        }
+        Self::compress(source, size, seed)
+    }
+
+    /// Number of sampled rows.
+    pub fn sample_size(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Sampling fraction `|sample| / N`.
+    pub fn fraction(&self) -> f64 {
+        self.sample_size() as f64 / self.rows as f64
+    }
+
+    /// Estimate `Σ x[i][j]` over `rows × cols` via Horvitz–Thompson
+    /// scaling: sum over sampled rows inside the selection, divided by
+    /// the sampling fraction.
+    pub fn estimate_sum(&self, rows: &[usize], cols: &[usize]) -> f64 {
+        let mut s = 0.0;
+        for &i in rows {
+            if let Some(&pos) = self.lookup.get(&(i as u32)) {
+                let row = self.sample.row(pos as usize);
+                for &j in cols {
+                    s += row[j];
+                }
+            }
+        }
+        s / self.fraction()
+    }
+
+    /// Estimate the average over the selection.
+    pub fn estimate_avg(&self, rows: &[usize], cols: &[usize]) -> f64 {
+        let cells = rows.len() * cols.len();
+        if cells == 0 {
+            return 0.0;
+        }
+        self.estimate_sum(rows, cols) / cells as f64
+    }
+}
+
+impl CompressedMatrix for SampleCompressed {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.col_means.len()
+    }
+
+    /// Sampled rows are exact; everything else falls back to the sample's
+    /// column mean — sampling cannot reconstruct individual cells (§5.2).
+    fn cell(&self, i: usize, j: usize) -> Result<f64> {
+        if i >= self.rows {
+            return Err(AtsError::oob("row", i, self.rows));
+        }
+        if j >= self.cols() {
+            return Err(AtsError::oob("column", j, self.cols()));
+        }
+        Ok(match self.lookup.get(&(i as u32)) {
+            Some(&pos) => self.sample[(pos as usize, j)],
+            None => self.col_means[j],
+        })
+    }
+
+    /// Sample rows plus the index array.
+    fn storage_bytes(&self) -> usize {
+        (self.sample_size() * self.cols() + self.sample_size()) * BYTES_PER_NUMBER
+    }
+
+    fn method_name(&self) -> &'static str {
+        "sampling"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize, m: usize) -> Matrix {
+        Matrix::from_fn(n, m, |i, j| (i % 13) as f64 + (j % 5) as f64)
+    }
+
+    #[test]
+    fn sampled_rows_exact() {
+        let x = data(100, 6);
+        let s = SampleCompressed::compress(&x, 20, 1).unwrap();
+        assert_eq!(s.sample_size(), 20);
+        for (pos, &orig) in s.indices.iter().enumerate() {
+            for j in 0..6 {
+                assert_eq!(
+                    s.cell(orig as usize, j).unwrap(),
+                    x[(orig as usize, j)],
+                    "sampled row {orig} pos {pos}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unsampled_rows_fall_back_to_mean() {
+        let x = data(50, 4);
+        let s = SampleCompressed::compress(&x, 10, 2).unwrap();
+        let unsampled = (0..50).find(|i| !s.lookup.contains_key(&(*i as u32))).unwrap();
+        let got = s.cell(unsampled, 2).unwrap();
+        assert_eq!(got, s.col_means[2]);
+    }
+
+    #[test]
+    fn indices_unique_and_sorted() {
+        let x = data(200, 3);
+        let s = SampleCompressed::compress(&x, 50, 3).unwrap();
+        for w in s.indices.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn estimate_sum_unbiased_on_full_selection() {
+        // Selecting *all* rows and columns: the HT estimator's expectation
+        // equals the true sum; with a deterministic seed check it is close.
+        let x = data(500, 4);
+        let s = SampleCompressed::compress(&x, 250, 4).unwrap();
+        let rows: Vec<usize> = (0..500).collect();
+        let cols: Vec<usize> = (0..4).collect();
+        let truth: f64 = x.as_slice().iter().sum();
+        let est = s.estimate_sum(&rows, &cols);
+        let rel = (est - truth).abs() / truth;
+        assert!(rel < 0.10, "relative error {rel}");
+    }
+
+    #[test]
+    fn estimate_avg_consistent_with_sum() {
+        let x = data(100, 5);
+        let s = SampleCompressed::compress(&x, 40, 5).unwrap();
+        let rows = [1usize, 3, 5, 7];
+        let cols = [0usize, 2];
+        let sum = s.estimate_sum(&rows, &cols);
+        let avg = s.estimate_avg(&rows, &cols);
+        assert!((avg - sum / 8.0).abs() < 1e-12);
+        assert_eq!(s.estimate_avg(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn full_sample_is_lossless() {
+        let x = data(30, 4);
+        let s = SampleCompressed::compress(&x, 30, 6).unwrap();
+        for i in 0..30 {
+            for j in 0..4 {
+                assert_eq!(s.cell(i, j).unwrap(), x[(i, j)]);
+            }
+        }
+        assert!((s.fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_sizes_rejected() {
+        let x = data(10, 2);
+        assert!(SampleCompressed::compress(&x, 0, 1).is_err());
+        assert!(SampleCompressed::compress(&x, 11, 1).is_err());
+    }
+
+    #[test]
+    fn budget_sizing() {
+        let x = data(100, 10);
+        let b = SpaceBudget::from_percent(10.0);
+        let s = SampleCompressed::compress_budget(&x, b, 7).unwrap();
+        // ⌊0.1 · 1000 / 11⌋ = 9 rows (each row costs M+1 = 11 numbers)
+        assert_eq!(s.sample_size(), 9);
+        assert_eq!(s.storage_bytes(), (90 + 9) * 8);
+        assert!(s.storage_bytes() <= b.bytes(100, 10));
+        assert!(SampleCompressed::compress_budget(&x, SpaceBudget { fraction: 0.001 }, 7).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x = data(100, 3);
+        let a = SampleCompressed::compress(&x, 30, 9).unwrap();
+        let b = SampleCompressed::compress(&x, 30, 9).unwrap();
+        assert_eq!(a.indices, b.indices);
+        let c = SampleCompressed::compress(&x, 30, 10).unwrap();
+        assert_ne!(a.indices, c.indices);
+    }
+
+    #[test]
+    fn method_name() {
+        let x = data(10, 2);
+        let s = SampleCompressed::compress(&x, 5, 1).unwrap();
+        assert_eq!(s.method_name(), "sampling");
+        assert_eq!(s.rows(), 10);
+        assert_eq!(s.cols(), 2);
+    }
+}

@@ -1,0 +1,604 @@
+//! SVDD — SVD with Deltas (§4.2): the paper's contribution.
+//!
+//! Plain SVD has excellent *average* error but terrible *worst-case*
+//! error: a handful of cells (spiky customer-days) reconstruct wildly
+//! wrong, and the worst case grows with `N` (Table 4). SVDD trades some
+//! principal components for explicit `(row, col, delta)` corrections on
+//! exactly those cells, solving:
+//!
+//! > **Given** a space budget `s%`, **find** the cutoff `k_opt`
+//! > minimizing total reconstruction error when the leftover space holds
+//! > `γ_k` cell deltas.
+//!
+//! The build is the paper's **three-pass algorithm** (Fig. 5):
+//!
+//! 1. **Pass 1** — accumulate `C = XᵀX`, eigendecompose, keep `k_max`
+//!    eigenvectors; size `γ_k` for every candidate `k`; create one
+//!    bounded priority queue per candidate.
+//! 2. **Pass 2** — for each row, compute its projections once and sweep
+//!    the reconstruction cumulatively in `k`, offering each cell's
+//!    squared error to every candidate queue and accumulating per-`k`
+//!    SSE. Pick `k_opt` minimizing `SSE_k − (error mass of the γ_k kept
+//!    outliers)`.
+//! 3. **Pass 3** — emit `U` truncated to `k_opt` (Eq. 11) and freeze the
+//!    winning queue into the [`DeltaStore`] (hash table + Bloom filter).
+//!
+//! The naive alternative (Fig. 4) — recompute an SVD per candidate `k` —
+//! is provided as [`SvddCompressed::compress_naive`] for tests and the
+//! ablation benchmark.
+
+use crate::delta::{DeltaStore, DELTA_BYTES};
+use crate::gram::compute_gram_parallel;
+use crate::method::{svd_bytes, CompressedMatrix, SpaceBudget};
+use crate::svd::{project_row, SvdCompressed};
+use ats_common::{AtsError, Result, TopK};
+use ats_linalg::{sym_eigen, Matrix};
+use ats_storage::RowSource;
+
+/// Options for [`SvddCompressed::compress`].
+#[derive(Debug, Clone)]
+pub struct SvddOptions {
+    /// The space budget the compressed form must fit in.
+    pub budget: SpaceBudget,
+    /// Upper bound on candidate cutoffs; defaults to the largest `k`
+    /// the budget could hold with zero deltas (`k_max` in the paper).
+    pub k_max: Option<usize>,
+    /// Attach the §4.2 Bloom filter in front of the delta hash table.
+    pub with_bloom: bool,
+    /// Worker threads for pass 1.
+    pub threads: usize,
+    /// Soft cap on the total number of queue entries across all candidate
+    /// `k` values during pass 2. If exceeded, the candidate set is
+    /// thinned (smallest-`k` candidates, which have the largest `γ_k`,
+    /// are dropped first). Bounds pass-2 memory on huge datasets.
+    pub max_queue_entries: usize,
+}
+
+impl SvddOptions {
+    /// Defaults for a given budget.
+    pub fn new(budget: SpaceBudget) -> Self {
+        SvddOptions {
+            budget,
+            k_max: None,
+            with_bloom: true,
+            threads: 1,
+            max_queue_entries: 8_000_000,
+        }
+    }
+}
+
+/// Per-candidate diagnostics from the `k_opt` search.
+#[derive(Debug, Clone, Copy)]
+pub struct KCandidate {
+    /// Candidate cutoff.
+    pub k: usize,
+    /// Outliers affordable at this cutoff (`γ_k`).
+    pub gamma: usize,
+    /// Total squared reconstruction error before deltas.
+    pub sse_raw: f64,
+    /// Squared error remaining after the `γ_k` kept outliers are patched.
+    pub sse_after_deltas: f64,
+}
+
+/// A matrix compressed by SVD-with-deltas.
+#[derive(Debug, Clone)]
+pub struct SvddCompressed {
+    svd: SvdCompressed,
+    deltas: DeltaStore,
+    candidates: Vec<KCandidate>,
+}
+
+/// Queue item: (row, col, delta).
+type Outlier = (u32, u32, f64);
+
+impl SvddCompressed {
+    /// The paper's three-pass build (Fig. 5).
+    pub fn compress<S: RowSource + ?Sized>(source: &S, opts: &SvddOptions) -> Result<Self> {
+        let (n, m) = (source.rows(), source.cols());
+        if n == 0 || m == 0 {
+            return Err(AtsError::InvalidArgument("empty matrix".into()));
+        }
+        let budget_k_max = opts.budget.max_svd_k(n, m);
+        let k_max = opts.k_max.unwrap_or(budget_k_max).min(m);
+        if k_max == 0 {
+            return Err(AtsError::Budget(format!(
+                "budget {:.3}% cannot hold even one principal component",
+                opts.budget.fraction * 100.0
+            )));
+        }
+
+        // ---- Pass 1: Gram, eigendecomposition, candidate sizing ----
+        let c = compute_gram_parallel(source, opts.threads.max(1))?;
+        let eig = sym_eigen(&c)?;
+        let lambda_all: Vec<f64> = eig
+            .values
+            .iter()
+            .take(k_max)
+            .map(|&l| l.max(0.0).sqrt())
+            .collect();
+        let mut v_full = Matrix::zeros(m, k_max);
+        for j in 0..k_max {
+            for i in 0..m {
+                v_full[(i, j)] = eig.vectors[(i, j)];
+            }
+        }
+
+        // γ_k for every candidate k (k where the SVD alone busts the
+        // budget are infeasible).
+        let mut candidate_ks: Vec<(usize, usize)> = (1..=k_max)
+            .filter_map(|k| {
+                let sb = svd_bytes(n, m, k);
+                if sb > opts.budget.bytes(n, m) {
+                    None
+                } else {
+                    Some((k, opts.budget.deltas_affordable(n, m, sb, DELTA_BYTES)))
+                }
+            })
+            .collect();
+        if candidate_ks.is_empty() {
+            return Err(AtsError::Budget(
+                "no feasible cutoff k under this budget".into(),
+            ));
+        }
+        // Thin candidates if the queues would take too much memory.
+        let mut total: usize = candidate_ks.iter().map(|&(_, g)| g).sum();
+        while total > opts.max_queue_entries && candidate_ks.len() > 1 {
+            // Drop the candidate with the largest γ (always the smallest
+            // k) unless it is the last feasible one.
+            let (pos, _) = candidate_ks
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &(_, g))| g)
+                .expect("non-empty");
+            total -= candidate_ks[pos].1;
+            candidate_ks.remove(pos);
+        }
+
+        let mut queues: Vec<TopK<Outlier>> = candidate_ks
+            .iter()
+            .map(|&(_, gamma)| TopK::new(gamma))
+            .collect();
+        let mut sse = vec![0.0f64; candidate_ks.len()];
+
+        // ---- Pass 2: per-cell errors for every candidate k ----
+        let mut proj = vec![0.0f64; k_max];
+        let mut recon = vec![0.0f64; candidate_ks.len()];
+        source.for_each_row(&mut |i, row| {
+            // proj[j] = x · v_j = λ_j u_{i,j}
+            for j in 0..k_max {
+                proj[j] = 0.0;
+            }
+            for (l, &xl) in row.iter().enumerate() {
+                if xl == 0.0 {
+                    continue;
+                }
+                let v_row = v_full.row(l);
+                for j in 0..k_max {
+                    proj[j] += xl * v_row[j];
+                }
+            }
+            for (j, &x) in row.iter().enumerate() {
+                // cumulative reconstruction over k; sample at candidates
+                let v_row = v_full.row(j);
+                let mut acc = 0.0f64;
+                let mut ci = 0usize;
+                for k in 1..=k_max {
+                    acc += proj[k - 1] * v_row[k - 1];
+                    if ci < candidate_ks.len() && candidate_ks[ci].0 == k {
+                        recon[ci] = acc;
+                        ci += 1;
+                    }
+                }
+                for (ci, q) in queues.iter_mut().enumerate() {
+                    let err = x - recon[ci];
+                    let sq = err * err;
+                    sse[ci] += sq;
+                    if q.would_accept(sq) {
+                        q.offer(sq, (i as u32, j as u32, err));
+                    }
+                }
+            }
+            Ok(())
+        })?;
+
+        // Pick k_opt: smallest residual after the kept outliers go exact.
+        let mut candidates = Vec::with_capacity(candidate_ks.len());
+        let mut best = 0usize;
+        let mut best_eps = f64::INFINITY;
+        for (ci, &(k, gamma)) in candidate_ks.iter().enumerate() {
+            let eps = sse[ci] - queues[ci].priority_sum();
+            candidates.push(KCandidate {
+                k,
+                gamma,
+                sse_raw: sse[ci],
+                sse_after_deltas: eps,
+            });
+            if eps < best_eps {
+                best_eps = eps;
+                best = ci;
+            }
+        }
+        let (k_opt, _) = candidate_ks[best];
+        let winner = queues.swap_remove(best);
+
+        // ---- Pass 3: emit U truncated to k_opt ----
+        let lambda = lambda_all[..k_opt].to_vec();
+        let mut v = Matrix::zeros(m, k_opt);
+        for j in 0..k_opt {
+            for i in 0..m {
+                v[(i, j)] = v_full[(i, j)];
+            }
+        }
+        let mut u = Matrix::zeros(n, k_opt);
+        source.for_each_row(&mut |i, row| {
+            project_row(row, &v, &lambda, u.row_mut(i));
+            Ok(())
+        })?;
+
+        let deltas = DeltaStore::build(
+            m,
+            winner
+                .into_sorted_vec()
+                .into_iter()
+                .map(|(_, (r, c, d))| (r as usize, c as usize, d)),
+            opts.with_bloom,
+        )?;
+
+        Ok(SvddCompressed {
+            svd: SvdCompressed::from_parts(u, lambda, v),
+            deltas,
+            candidates,
+        })
+    }
+
+    /// The straightforward, inefficient algorithm of Fig. 4: one full SVD
+    /// compression and one full error pass **per candidate `k`**
+    /// (`3·k_max` passes total). Exists to validate the 3-pass algorithm
+    /// and to measure its speedup; picks the same `k_opt` up to ties.
+    pub fn compress_naive<S: RowSource + ?Sized>(source: &S, opts: &SvddOptions) -> Result<Self> {
+        let (n, m) = (source.rows(), source.cols());
+        let k_max = opts.k_max.unwrap_or(opts.budget.max_svd_k(n, m)).min(m);
+        if k_max == 0 {
+            return Err(AtsError::Budget("budget too small".into()));
+        }
+        let mut best: Option<(f64, SvdCompressed, TopK<Outlier>, Vec<KCandidate>)> = None;
+        let mut all_candidates = Vec::new();
+        for k in 1..=k_max {
+            let sb = svd_bytes(n, m, k);
+            if sb > opts.budget.bytes(n, m) {
+                continue;
+            }
+            let gamma = opts.budget.deltas_affordable(n, m, sb, DELTA_BYTES);
+            let svd = SvdCompressed::compress(source, k, opts.threads.max(1))?;
+            let mut queue: TopK<Outlier> = TopK::new(gamma);
+            let mut sse_raw = 0.0;
+            let mut recon = vec![0.0; m];
+            source.for_each_row(&mut |i, row| {
+                svd.row_into(i, &mut recon)?;
+                for (j, (&x, &r)) in row.iter().zip(recon.iter()).enumerate() {
+                    let err = x - r;
+                    let sq = err * err;
+                    sse_raw += sq;
+                    if queue.would_accept(sq) {
+                        queue.offer(sq, (i as u32, j as u32, err));
+                    }
+                }
+                Ok(())
+            })?;
+            let eps = sse_raw - queue.priority_sum();
+            all_candidates.push(KCandidate {
+                k,
+                gamma,
+                sse_raw,
+                sse_after_deltas: eps,
+            });
+            let better = best.as_ref().map_or(true, |(b, ..)| eps < *b);
+            if better {
+                best = Some((eps, svd, queue, all_candidates.clone()));
+            }
+        }
+        let (_, svd, queue, _) =
+            best.ok_or_else(|| AtsError::Budget("no feasible cutoff k".into()))?;
+        let deltas = DeltaStore::build(
+            m,
+            queue
+                .into_sorted_vec()
+                .into_iter()
+                .map(|(_, (r, c, d))| (r as usize, c as usize, d)),
+            opts.with_bloom,
+        )?;
+        Ok(SvddCompressed {
+            svd,
+            deltas,
+            candidates: all_candidates,
+        })
+    }
+
+    /// The chosen cutoff `k_opt`.
+    pub fn k_opt(&self) -> usize {
+        self.svd.k()
+    }
+
+    /// Number of stored deltas (`γ_{k_opt}` actually used).
+    pub fn num_deltas(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// The underlying truncated SVD.
+    pub fn svd(&self) -> &SvdCompressed {
+        &self.svd
+    }
+
+    /// The delta store.
+    pub fn deltas(&self) -> &DeltaStore {
+        &self.deltas
+    }
+
+    /// Diagnostics of the `k_opt` search (one entry per candidate `k`).
+    pub fn candidates(&self) -> &[KCandidate] {
+        &self.candidates
+    }
+}
+
+impl CompressedMatrix for SvddCompressed {
+    fn rows(&self) -> usize {
+        self.svd.rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.svd.cols()
+    }
+
+    /// SVD reconstruction (Eq. 12) plus one hash probe; outlier cells
+    /// "enjoy error-free reconstruction" (§4.2).
+    fn cell(&self, i: usize, j: usize) -> Result<f64> {
+        let base = self.svd.cell(i, j)?;
+        Ok(match self.deltas.probe(i, j) {
+            Some(delta) => base + delta,
+            None => base,
+        })
+    }
+
+    fn row_into(&self, i: usize, out: &mut [f64]) -> Result<()> {
+        self.svd.row_into(i, out)?;
+        // patch any outliers in this row
+        for (j, o) in out.iter_mut().enumerate() {
+            if let Some(delta) = self.deltas.probe(i, j) {
+                *o += delta;
+            }
+        }
+        Ok(())
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.svd.storage_bytes() + self.deltas.storage_bytes()
+    }
+
+    fn method_name(&self) -> &'static str {
+        "svdd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    /// Low-rank data + a few huge spikes: the shape SVDD is built for.
+    fn spiky_matrix(n: usize, m: usize, seed: u64) -> Matrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::from_fn(n, 2, |_, _| rng.gen_range(0.0..2.0));
+        let b = Matrix::from_fn(2, m, |_, _| rng.gen_range(0.0..2.0));
+        let mut x = a.matmul(&b).unwrap();
+        for _ in 0..(n * m / 50).max(3) {
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..m);
+            x[(i, j)] += rng.gen_range(50.0..200.0);
+        }
+        x
+    }
+
+    fn sse(c: &dyn CompressedMatrix, x: &Matrix) -> f64 {
+        let mut total = 0.0;
+        let mut row = vec![0.0; x.cols()];
+        for i in 0..x.rows() {
+            c.row_into(i, &mut row).unwrap();
+            for (a, b) in row.iter().zip(x.row(i)) {
+                total += (a - b) * (a - b);
+            }
+        }
+        total
+    }
+
+    fn max_err(c: &dyn CompressedMatrix, x: &Matrix) -> f64 {
+        let mut worst = 0.0f64;
+        let mut row = vec![0.0; x.cols()];
+        for i in 0..x.rows() {
+            c.row_into(i, &mut row).unwrap();
+            for (a, b) in row.iter().zip(x.row(i)) {
+                worst = worst.max((a - b).abs());
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn beats_plain_svd_at_equal_space() {
+        let x = spiky_matrix(120, 20, 1);
+        let budget = SpaceBudget::from_percent(20.0);
+        let svdd = SvddCompressed::compress(&x, &SvddOptions::new(budget)).unwrap();
+        let svd = SvdCompressed::compress_budget(&x, budget, 1).unwrap();
+        assert!(svdd.storage_bytes() <= budget.bytes(120, 20));
+        let (e_svdd, e_svd) = (sse(&svdd, &x), sse(&svd, &x));
+        assert!(
+            e_svdd <= e_svd * 1.0001,
+            "SVDD {e_svdd} worse than SVD {e_svd}"
+        );
+        // Worst case must be dramatically better (Fig. 7/Table 3 shape).
+        assert!(max_err(&svdd, &x) < max_err(&svd, &x));
+    }
+
+    #[test]
+    fn outlier_cells_reconstruct_exactly() {
+        let x = spiky_matrix(60, 10, 2);
+        let svdd =
+            SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(25.0)))
+                .unwrap();
+        assert!(svdd.num_deltas() > 0, "no deltas kept");
+        for (i, j, _) in svdd.deltas().iter() {
+            let got = svdd.cell(i, j).unwrap();
+            assert!(
+                (got - x[(i, j)]).abs() < 1e-9,
+                "outlier ({i},{j}) not exact: {got} vs {}",
+                x[(i, j)]
+            );
+        }
+    }
+
+    #[test]
+    fn respects_budget() {
+        // N ≫ M so even a 5% budget affords a component (Eq. 1's regime).
+        let x = spiky_matrix(500, 30, 3);
+        for pct in [5.0, 10.0, 20.0, 40.0] {
+            let b = SpaceBudget::from_percent(pct);
+            let svdd = SvddCompressed::compress(&x, &SvddOptions::new(b)).unwrap();
+            assert!(
+                svdd.storage_bytes() <= b.bytes(500, 30),
+                "{pct}%: {} > {}",
+                svdd.storage_bytes(),
+                b.bytes(500, 30)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_algorithm() {
+        let x = spiky_matrix(50, 8, 4);
+        let opts = SvddOptions::new(SpaceBudget::from_percent(30.0));
+        let fast = SvddCompressed::compress(&x, &opts).unwrap();
+        let naive = SvddCompressed::compress_naive(&x, &opts).unwrap();
+        // Same candidate diagnostics...
+        assert_eq!(fast.candidates().len(), naive.candidates().len());
+        for (a, b) in fast.candidates().iter().zip(naive.candidates()) {
+            assert_eq!(a.k, b.k);
+            assert_eq!(a.gamma, b.gamma);
+            assert!(
+                (a.sse_raw - b.sse_raw).abs() <= 1e-6 * a.sse_raw.max(1.0),
+                "k={}: {} vs {}",
+                a.k,
+                a.sse_raw,
+                b.sse_raw
+            );
+        }
+        // ...and the same chosen cutoff.
+        assert_eq!(fast.k_opt(), naive.k_opt());
+        assert!((sse(&fast, &x) - sse(&naive, &x)).abs() < 1e-6 * sse(&fast, &x).max(1.0));
+    }
+
+    #[test]
+    fn three_passes_exactly() {
+        let dir = std::env::temp_dir().join(format!("ats-svdd3p-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.atsm");
+        let x = spiky_matrix(80, 10, 5);
+        ats_storage::file::write_matrix(&path, &x).unwrap();
+        let f = ats_storage::MatrixFile::open(&path).unwrap();
+        SvddCompressed::compress(&f, &SvddOptions::new(SpaceBudget::from_percent(20.0))).unwrap();
+        assert_eq!(
+            f.stats().logical_reads(),
+            3 * 80,
+            "Fig. 5 promises exactly three passes"
+        );
+    }
+
+    #[test]
+    fn tiny_budget_uses_all_space_for_pcs() {
+        // §5.1: "for very small storage sizes ... it turned out best to
+        // devote all the available storage to keeping as many principal
+        // components as possible". With a budget of ~1 PC, k_opt is k_max
+        // and γ is tiny/zero.
+        let x = spiky_matrix(1500, 80, 6);
+        let b = SpaceBudget::from_percent(1.5); // fits exactly one PC
+        assert_eq!(b.max_svd_k(1500, 80), 1);
+        let svdd = SvddCompressed::compress(&x, &SvddOptions::new(b)).unwrap();
+        assert_eq!(svdd.k_opt(), 1);
+        assert!(svdd.storage_bytes() <= b.bytes(1500, 80));
+    }
+
+    #[test]
+    fn budget_too_small_errors() {
+        let x = spiky_matrix(50, 10, 7);
+        let r = SvddCompressed::compress(
+            &x,
+            &SvddOptions::new(SpaceBudget { fraction: 1e-7 }),
+        );
+        assert!(matches!(r, Err(AtsError::Budget(_))));
+    }
+
+    #[test]
+    fn bloom_filter_optional_and_equivalent() {
+        let x = spiky_matrix(60, 12, 8);
+        let b = SpaceBudget::from_percent(25.0);
+        let mut o1 = SvddOptions::new(b);
+        o1.with_bloom = true;
+        let mut o2 = SvddOptions::new(b);
+        o2.with_bloom = false;
+        let c1 = SvddCompressed::compress(&x, &o1).unwrap();
+        let c2 = SvddCompressed::compress(&x, &o2).unwrap();
+        assert!(c1.deltas().has_bloom());
+        assert!(!c2.deltas().has_bloom());
+        for i in (0..60).step_by(7) {
+            for j in 0..12 {
+                assert_eq!(c1.cell(i, j).unwrap(), c2.cell(i, j).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn queue_thinning_still_works() {
+        let x = spiky_matrix(100, 16, 9);
+        let mut opts = SvddOptions::new(SpaceBudget::from_percent(30.0));
+        opts.max_queue_entries = 50; // absurdly small: forces thinning
+        let svdd = SvddCompressed::compress(&x, &opts).unwrap();
+        assert!(svdd.candidates().len() >= 1);
+        assert!(svdd.storage_bytes() <= opts.budget.bytes(100, 16));
+    }
+
+    #[test]
+    fn candidate_diagnostics_consistent() {
+        let x = spiky_matrix(80, 10, 10);
+        let svdd =
+            SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(20.0)))
+                .unwrap();
+        for c in svdd.candidates() {
+            assert!(c.sse_after_deltas <= c.sse_raw + 1e-9);
+            assert!(c.sse_after_deltas >= -1e-6);
+        }
+        // k_opt is the argmin of sse_after_deltas
+        let best = svdd
+            .candidates()
+            .iter()
+            .min_by(|a, b| a.sse_after_deltas.partial_cmp(&b.sse_after_deltas).unwrap())
+            .unwrap();
+        assert_eq!(best.k, svdd.k_opt());
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        let x = Matrix::zeros(0, 0);
+        assert!(
+            SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(10.0)))
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn method_name_and_ratio() {
+        let x = spiky_matrix(50, 10, 11);
+        let b = SpaceBudget::from_percent(20.0);
+        let svdd = SvddCompressed::compress(&x, &SvddOptions::new(b)).unwrap();
+        assert_eq!(svdd.method_name(), "svdd");
+        assert!(svdd.space_ratio() <= 0.2 + 1e-9);
+        assert!(svdd.space_ratio() > 0.0);
+    }
+}

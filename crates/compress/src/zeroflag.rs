@@ -1,0 +1,196 @@
+//! Zero-customer flagging (§6.2's "practical issue").
+//!
+//! "We observed that there were several customers that did not make any
+//! purchases at all. An 'engineering' solution in this case is to flag
+//! all these customers, and build a Bloom filter, to help detect them
+//! quickly." [`ZeroRowIndex`] is that structure: one streaming pass
+//! records which rows are entirely zero; queries answer through a Bloom
+//! filter first (definitive *no* for the overwhelming majority of
+//! non-zero customers) and fall back to a sorted-ID exact check on a
+//! filter hit. Wrapping any [`CompressedMatrix`] with
+//! [`ZeroAwareMatrix`] then short-circuits reconstruction for zero rows
+//! — both faster (no U fetch) and *exact* for those rows.
+
+use crate::method::CompressedMatrix;
+use ats_common::{BloomFilter, Result};
+use ats_storage::RowSource;
+
+/// An index of the all-zero rows of a matrix.
+#[derive(Debug, Clone)]
+pub struct ZeroRowIndex {
+    /// Sorted IDs of all-zero rows (exact).
+    zero_rows: Vec<u32>,
+    /// Fast negative filter in front of the binary search.
+    bloom: BloomFilter,
+}
+
+impl ZeroRowIndex {
+    /// Build in one streaming pass.
+    pub fn build<S: RowSource + ?Sized>(source: &S) -> Result<Self> {
+        let mut zero_rows: Vec<u32> = Vec::new();
+        source.for_each_row(&mut |i, row| {
+            if row.iter().all(|&v| v == 0.0) {
+                zero_rows.push(i as u32);
+            }
+            Ok(())
+        })?;
+        let mut bloom = BloomFilter::with_capacity(zero_rows.len().max(1), 0.01);
+        for &r in &zero_rows {
+            bloom.insert(u64::from(r));
+        }
+        Ok(ZeroRowIndex { zero_rows, bloom })
+    }
+
+    /// Whether row `i` is entirely zero. Exact (the Bloom filter only
+    /// accelerates the common negative case).
+    #[inline]
+    pub fn is_zero_row(&self, i: usize) -> bool {
+        let key = i as u64;
+        if key > u64::from(u32::MAX) || !self.bloom.contains(key) {
+            return false;
+        }
+        self.zero_rows.binary_search(&(i as u32)).is_ok()
+    }
+
+    /// Number of flagged rows.
+    pub fn len(&self) -> usize {
+        self.zero_rows.len()
+    }
+
+    /// Whether no rows are flagged.
+    pub fn is_empty(&self) -> bool {
+        self.zero_rows.is_empty()
+    }
+
+    /// Memory consumed (IDs + Bloom bits).
+    pub fn storage_bytes(&self) -> usize {
+        self.zero_rows.len() * 4 + self.bloom.storage_bytes()
+    }
+}
+
+/// A [`CompressedMatrix`] wrapper that answers zero rows exactly without
+/// touching the inner representation.
+pub struct ZeroAwareMatrix<C> {
+    inner: C,
+    index: ZeroRowIndex,
+}
+
+impl<C: CompressedMatrix> ZeroAwareMatrix<C> {
+    /// Wrap `inner`, using a prebuilt index.
+    pub fn new(inner: C, index: ZeroRowIndex) -> Self {
+        ZeroAwareMatrix { inner, index }
+    }
+
+    /// The zero-row index.
+    pub fn index(&self) -> &ZeroRowIndex {
+        &self.index
+    }
+
+    /// The wrapped representation.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: CompressedMatrix> CompressedMatrix for ZeroAwareMatrix<C> {
+    fn rows(&self) -> usize {
+        self.inner.rows()
+    }
+    fn cols(&self) -> usize {
+        self.inner.cols()
+    }
+    fn cell(&self, i: usize, j: usize) -> Result<f64> {
+        if i < self.rows() && j < self.cols() && self.index.is_zero_row(i) {
+            return Ok(0.0);
+        }
+        self.inner.cell(i, j)
+    }
+    fn row_into(&self, i: usize, out: &mut [f64]) -> Result<()> {
+        if i < self.rows() && out.len() == self.cols() && self.index.is_zero_row(i) {
+            out.fill(0.0);
+            return Ok(());
+        }
+        self.inner.row_into(i, out)
+    }
+    fn storage_bytes(&self) -> usize {
+        self.inner.storage_bytes() + self.index.storage_bytes()
+    }
+    fn method_name(&self) -> &'static str {
+        self.inner.method_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svd::SvdCompressed;
+    use ats_linalg::Matrix;
+
+    fn with_zero_rows() -> Matrix {
+        Matrix::from_fn(50, 10, |i, j| {
+            if i % 7 == 0 {
+                0.0 // every 7th customer made no calls
+            } else {
+                ((i % 5) + 1) as f64 * (j + 1) as f64
+            }
+        })
+    }
+
+    #[test]
+    fn index_finds_exactly_the_zero_rows() {
+        let x = with_zero_rows();
+        let idx = ZeroRowIndex::build(&x).unwrap();
+        assert_eq!(idx.len(), 8); // rows 0, 7, 14, ..., 49
+        for i in 0..50 {
+            assert_eq!(idx.is_zero_row(i), i % 7 == 0, "row {i}");
+        }
+        assert!(!idx.is_zero_row(1_000_000));
+    }
+
+    #[test]
+    fn empty_index_when_no_zero_rows() {
+        let x = Matrix::from_fn(10, 3, |i, j| (i + j + 1) as f64);
+        let idx = ZeroRowIndex::build(&x).unwrap();
+        assert!(idx.is_empty());
+        assert!((0..10).all(|i| !idx.is_zero_row(i)));
+    }
+
+    #[test]
+    fn wrapper_makes_zero_rows_exact() {
+        let x = with_zero_rows();
+        // k=1 SVD reconstructs zero rows imperfectly in general; the
+        // wrapper must fix them to exactly 0.
+        let svd = SvdCompressed::compress(&x, 1, 1).unwrap();
+        let idx = ZeroRowIndex::build(&x).unwrap();
+        let wrapped = ZeroAwareMatrix::new(svd, idx);
+        for j in 0..10 {
+            assert_eq!(wrapped.cell(7, j).unwrap(), 0.0);
+            assert_eq!(wrapped.cell(14, j).unwrap(), 0.0);
+        }
+        let mut row = vec![1.0; 10];
+        wrapped.row_into(21, &mut row).unwrap();
+        assert!(row.iter().all(|&v| v == 0.0));
+        // non-zero rows still answered by the inner matrix
+        assert!(wrapped.cell(1, 5).unwrap() != 0.0);
+        assert_eq!(wrapped.method_name(), "svd");
+        assert!(wrapped.storage_bytes() > wrapped.inner().storage_bytes());
+    }
+
+    #[test]
+    fn wrapper_propagates_oob() {
+        let x = with_zero_rows();
+        let svd = SvdCompressed::compress(&x, 1, 1).unwrap();
+        let idx = ZeroRowIndex::build(&x).unwrap();
+        let wrapped = ZeroAwareMatrix::new(svd, idx);
+        assert!(wrapped.cell(50, 0).is_err());
+        assert!(wrapped.cell(0, 10).is_err());
+    }
+
+    #[test]
+    fn all_zero_matrix() {
+        let x = Matrix::zeros(20, 4);
+        let idx = ZeroRowIndex::build(&x).unwrap();
+        assert_eq!(idx.len(), 20);
+        assert!(idx.storage_bytes() > 0);
+    }
+}

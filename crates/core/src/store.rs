@@ -1,0 +1,368 @@
+//! [`SequenceStore`]: build once, query forever.
+
+use ats_common::{AtsError, Result};
+use ats_compress::cluster::{ClusterAlgo, ClusterCompressed};
+use ats_compress::dct::DctCompressed;
+use ats_compress::sampling::SampleCompressed;
+use ats_compress::{
+    CompressedMatrix, SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions,
+};
+use ats_linalg::Matrix;
+use ats_query::engine::{AggregateFn, QueryEngine};
+use ats_query::metrics::{error_report, ErrorReport};
+use ats_query::selection::Selection;
+use ats_storage::RowSource;
+
+/// The compression method behind a [`SequenceStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Plain truncated SVD (§3.4).
+    Svd,
+    /// SVD with deltas — the paper's proposal (§4.2). Default.
+    Svdd,
+    /// Row-wise DCT (§2.3 baseline).
+    Dct,
+    /// Hierarchical complete-linkage clustering (§2.2 baseline;
+    /// `O(N²)`, in-memory only).
+    ClusterHierarchical,
+    /// K-means clustering (the scalable clustering variant).
+    ClusterKMeans,
+    /// Uniform row sampling (§5.2 baseline; aggregates only).
+    Sampling,
+}
+
+impl Method {
+    /// Short method name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Svd => "svd",
+            Method::Svdd => "svdd",
+            Method::Dct => "dct",
+            Method::ClusterHierarchical | Method::ClusterKMeans => "cluster",
+            Method::Sampling => "sampling",
+        }
+    }
+}
+
+/// Builder for [`SequenceStore`].
+#[derive(Debug, Clone)]
+pub struct StoreBuilder {
+    method: Method,
+    budget: SpaceBudget,
+    threads: usize,
+    with_bloom: bool,
+    seed: u64,
+}
+
+impl StoreBuilder {
+    /// Compression method (default [`Method::Svdd`]).
+    pub fn method(mut self, m: Method) -> Self {
+        self.method = m;
+        self
+    }
+
+    /// Space budget (default 10%).
+    pub fn budget(mut self, b: SpaceBudget) -> Self {
+        self.budget = b;
+        self
+    }
+
+    /// Threads for the streaming passes (default 1).
+    pub fn threads(mut self, t: usize) -> Self {
+        self.threads = t.max(1);
+        self
+    }
+
+    /// Attach a Bloom filter to the SVDD delta table (default true).
+    pub fn bloom(mut self, on: bool) -> Self {
+        self.with_bloom = on;
+        self
+    }
+
+    /// Seed for randomized methods (k-means, sampling).
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Compress from any [`RowSource`] (disk file or in-memory matrix).
+    ///
+    /// Clustering methods need the data in memory and will materialize
+    /// the source (they are the paper's non-streaming baseline).
+    pub fn build<S: RowSource + ?Sized>(self, source: &S) -> Result<SequenceStore> {
+        let compressed: Box<dyn CompressedMatrix> = match self.method {
+            Method::Svd => Box::new(SvdCompressed::compress_budget(
+                source,
+                self.budget,
+                self.threads,
+            )?),
+            Method::Svdd => {
+                let mut opts = SvddOptions::new(self.budget);
+                opts.threads = self.threads;
+                opts.with_bloom = self.with_bloom;
+                Box::new(SvddCompressed::compress(source, &opts)?)
+            }
+            Method::Dct => Box::new(DctCompressed::compress_budget(source, self.budget)?),
+            Method::ClusterHierarchical => {
+                let x = source.to_matrix()?;
+                Box::new(ClusterCompressed::compress_budget(
+                    &x,
+                    self.budget,
+                    ClusterAlgo::Hierarchical,
+                )?)
+            }
+            Method::ClusterKMeans => {
+                let x = source.to_matrix()?;
+                Box::new(ClusterCompressed::compress_budget(
+                    &x,
+                    self.budget,
+                    ClusterAlgo::KMeans {
+                        max_iters: 50,
+                        seed: self.seed,
+                    },
+                )?)
+            }
+            Method::Sampling => Box::new(SampleCompressed::compress_budget(
+                source,
+                self.budget,
+                self.seed,
+            )?),
+        };
+        Ok(SequenceStore {
+            compressed,
+            method: self.method,
+        })
+    }
+}
+
+/// A compressed, queryable time-sequence store.
+pub struct SequenceStore {
+    compressed: Box<dyn CompressedMatrix>,
+    method: Method,
+}
+
+impl SequenceStore {
+    /// Start building a store.
+    pub fn builder() -> StoreBuilder {
+        StoreBuilder {
+            method: Method::Svdd,
+            budget: SpaceBudget::from_percent(10.0),
+            threads: 1,
+            with_bloom: true,
+            seed: 0,
+        }
+    }
+
+    /// The method used.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// Number of sequences (`N`).
+    pub fn rows(&self) -> usize {
+        self.compressed.rows()
+    }
+
+    /// Sequence length (`M`).
+    pub fn cols(&self) -> usize {
+        self.compressed.cols()
+    }
+
+    /// Cell query: reconstruct the value at `(i, j)`.
+    pub fn cell(&self, i: usize, j: usize) -> Result<f64> {
+        self.compressed.cell(i, j)
+    }
+
+    /// Reconstruct a full sequence.
+    pub fn sequence(&self, i: usize) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.cols()];
+        self.compressed.row_into(i, &mut out)?;
+        Ok(out)
+    }
+
+    /// Aggregate query over a selection.
+    pub fn aggregate(&self, sel: &Selection, f: AggregateFn) -> Result<f64> {
+        QueryEngine::new(self.compressed.as_ref()).aggregate(sel, f)
+    }
+
+    /// Compressed size in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.compressed.storage_bytes()
+    }
+
+    /// Space ratio vs the uncompressed matrix (Eq. 9's `s`).
+    pub fn space_ratio(&self) -> f64 {
+        self.compressed.space_ratio()
+    }
+
+    /// Borrow the underlying compressed matrix (for the experiment
+    /// harness and persistence helpers).
+    pub fn compressed(&self) -> &dyn CompressedMatrix {
+        self.compressed.as_ref()
+    }
+
+    /// Compare this store against the original data (one streaming pass).
+    pub fn error_report(&self, original: &dyn RowSource) -> Result<ErrorReport> {
+        error_report(original, self.compressed.as_ref())
+    }
+
+    /// Batched append (§1 assumes updates are rare and batched): rebuild
+    /// the store from a source containing old + new rows, keeping method
+    /// and budget semantics. Returns the fresh store.
+    pub fn rebuild_with<S: RowSource + ?Sized>(
+        &self,
+        source: &S,
+        budget: SpaceBudget,
+        threads: usize,
+    ) -> Result<SequenceStore> {
+        SequenceStore::builder()
+            .method(self.method)
+            .budget(budget)
+            .threads(threads)
+            .build(source)
+    }
+}
+
+/// Convenience: compress an in-memory matrix with defaults (SVDD @ 10%).
+pub fn compress_default(x: &Matrix) -> Result<SequenceStore> {
+    SequenceStore::builder().build(x)
+}
+
+/// Convenience: pick a method by name (for CLI-ish examples and the
+/// experiment harness).
+pub fn method_by_name(name: &str) -> Result<Method> {
+    Ok(match name {
+        "svd" => Method::Svd,
+        "svdd" => Method::Svdd,
+        "dct" => Method::Dct,
+        "hc" | "cluster" | "hierarchical" => Method::ClusterHierarchical,
+        "kmeans" => Method::ClusterKMeans,
+        "sampling" | "sample" => Method::Sampling,
+        other => {
+            return Err(AtsError::InvalidArgument(format!(
+                "unknown method {other:?} (try svd, svdd, dct, hc, kmeans, sampling)"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ats_query::selection::Axis;
+
+    fn structured(n: usize, m: usize) -> Matrix {
+        Matrix::from_fn(n, m, |i, j| {
+            ((i % 5) + 1) as f64 * if j % 7 < 5 { 2.0 } else { 0.2 }
+        })
+    }
+
+    #[test]
+    fn builds_every_method() {
+        let x = structured(300, 28);
+        for method in [
+            Method::Svd,
+            Method::Svdd,
+            Method::Dct,
+            Method::ClusterHierarchical,
+            Method::ClusterKMeans,
+            Method::Sampling,
+        ] {
+            let store = SequenceStore::builder()
+                .method(method)
+                .budget(SpaceBudget::from_percent(25.0))
+                .build(&x)
+                .unwrap_or_else(|e| panic!("{method:?}: {e}"));
+            assert_eq!(store.rows(), 300);
+            assert_eq!(store.cols(), 28);
+            assert!(store.space_ratio() <= 0.25 + 1e-9, "{method:?}");
+            store.cell(0, 0).unwrap();
+        }
+    }
+
+    #[test]
+    fn svdd_default_reconstructs_structured_data() {
+        let x = structured(300, 28);
+        let store = compress_default(&x).unwrap();
+        assert_eq!(store.method(), Method::Svdd);
+        let r = store.error_report(&x).unwrap();
+        assert!(r.rmspe < 0.05, "rmspe {}", r.rmspe);
+    }
+
+    #[test]
+    fn aggregate_queries_close_to_truth() {
+        let x = structured(300, 28);
+        let store = SequenceStore::builder()
+            .budget(SpaceBudget::from_percent(15.0))
+            .build(&x)
+            .unwrap();
+        let sel = Selection {
+            rows: Axis::Range(10, 200),
+            cols: Axis::Range(0, 14),
+        };
+        let approx = store.aggregate(&sel, AggregateFn::Avg).unwrap();
+        let exact = ats_query::engine::aggregate_exact(&x, &sel, AggregateFn::Avg).unwrap();
+        assert!(
+            (approx - exact).abs() / exact.abs() < 0.01,
+            "{approx} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn sequence_reconstruction() {
+        let x = structured(100, 14);
+        let store = SequenceStore::builder()
+            .budget(SpaceBudget::from_percent(30.0))
+            .build(&x)
+            .unwrap();
+        let seq = store.sequence(42).unwrap();
+        assert_eq!(seq.len(), 14);
+        for (a, b) in seq.iter().zip(x.row(42)) {
+            assert!((a - b).abs() < 0.3);
+        }
+        assert!(store.sequence(100).is_err());
+    }
+
+    #[test]
+    fn method_names_parse() {
+        assert_eq!(method_by_name("svdd").unwrap(), Method::Svdd);
+        assert_eq!(method_by_name("hc").unwrap(), Method::ClusterHierarchical);
+        assert!(method_by_name("zstd").is_err());
+        assert_eq!(Method::Svdd.name(), "svdd");
+    }
+
+    #[test]
+    fn rebuild_with_appended_rows() {
+        let x = structured(100, 14);
+        let store = SequenceStore::builder()
+            .budget(SpaceBudget::from_percent(20.0))
+            .build(&x)
+            .unwrap();
+        let bigger = structured(150, 14);
+        let rebuilt = store
+            .rebuild_with(&bigger, SpaceBudget::from_percent(20.0), 1)
+            .unwrap();
+        assert_eq!(rebuilt.rows(), 150);
+        assert_eq!(rebuilt.method(), Method::Svdd);
+    }
+
+    #[test]
+    fn seeded_methods_deterministic() {
+        let x = structured(120, 14);
+        let a = SequenceStore::builder()
+            .method(Method::Sampling)
+            .budget(SpaceBudget::from_percent(20.0))
+            .seed(5)
+            .build(&x)
+            .unwrap();
+        let b = SequenceStore::builder()
+            .method(Method::Sampling)
+            .budget(SpaceBudget::from_percent(20.0))
+            .seed(5)
+            .build(&x)
+            .unwrap();
+        for i in (0..120).step_by(11) {
+            assert_eq!(a.cell(i, 3).unwrap(), b.cell(i, 3).unwrap());
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Visualization (Appendix A): datasets in SVD space, "essentially for
+//! free".
+//!
+//! "We readily have the first 2 or 3 axes, which can be used to map each
+//! time sequence into a point in 2- or 3-dimensional space. These points
+//! can be plotted to give an idea of the density and structure of the
+//! dataset." [`project_2d`] computes the Fig. 11 scatter coordinates
+//! (each row's `U·Λ` coordinates along the top principal components);
+//! [`ascii_scatter`] renders them in a terminal for the examples, and
+//! [`outliers_by_residual`] flags the points SVDD would spend deltas on.
+
+use ats_common::Result;
+use ats_compress::{CompressedMatrix, SvdCompressed};
+use ats_storage::RowSource;
+
+/// Project every row onto the first `dims` principal components
+/// (`dims ≤ k` of the provided SVD). Returns one coordinate vector per
+/// row — the `U Λ` coordinates of Observation 3.4.
+pub fn project(svd: &SvdCompressed, dims: usize) -> Vec<Vec<f64>> {
+    let d = dims.min(svd.k());
+    (0..svd.rows())
+        .map(|i| {
+            (0..d)
+                .map(|m| svd.u()[(i, m)] * svd.lambda()[m])
+                .collect()
+        })
+        .collect()
+}
+
+/// Convenience: compress with 2 components and return `(x, y)` scatter
+/// coordinates — the Fig. 11 plot data.
+pub fn project_2d<S: RowSource + ?Sized>(source: &S) -> Result<Vec<(f64, f64)>> {
+    let svd = SvdCompressed::compress(source, 2, 1)?;
+    Ok(project(&svd, 2)
+        .into_iter()
+        .map(|p| (p[0], *p.get(1).unwrap_or(&0.0)))
+        .collect())
+}
+
+/// Rank rows by how badly a rank-`k` SVD reconstructs them (residual
+/// norm); the head of the list is Appendix A's "outliers … it is much
+/// cheaper to store their deltas". Returns `(row, residual)` descending.
+pub fn outliers_by_residual<S: RowSource + ?Sized>(
+    source: &S,
+    k: usize,
+    top: usize,
+) -> Result<Vec<(usize, f64)>> {
+    let svd = SvdCompressed::compress(source, k, 1)?;
+    let m = source.cols();
+    let mut residuals: Vec<(usize, f64)> = Vec::with_capacity(source.rows());
+    let mut recon = vec![0.0; m];
+    source.for_each_row(&mut |i, row| {
+        ats_compress::CompressedMatrix::row_into(&svd, i, &mut recon)?;
+        let r: f64 = row
+            .iter()
+            .zip(recon.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        residuals.push((i, r.sqrt()));
+        Ok(())
+    })?;
+    residuals.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    residuals.truncate(top);
+    Ok(residuals)
+}
+
+/// Render points as an ASCII scatter plot (`width × height` characters,
+/// density shown as ` .:+*#`). Axes are scaled to the data's bounding
+/// box; an empty input yields an empty plot.
+pub fn ascii_scatter(points: &[(f64, f64)], width: usize, height: usize) -> String {
+    let (width, height) = (width.max(8), height.max(4));
+    if points.is_empty() {
+        return String::new();
+    }
+    let (mut x0, mut x1, mut y0, mut y1) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
+    for &(x, y) in points {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    let xr = (x1 - x0).max(1e-12);
+    let yr = (y1 - y0).max(1e-12);
+    let mut grid = vec![0u32; width * height];
+    for &(x, y) in points {
+        let cx = (((x - x0) / xr) * (width - 1) as f64).round() as usize;
+        let cy = (((y - y0) / yr) * (height - 1) as f64).round() as usize;
+        grid[(height - 1 - cy) * width + cx] += 1;
+    }
+    let glyphs = [' ', '.', ':', '+', '*', '#'];
+    let maxd = grid.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = String::with_capacity((width + 1) * height);
+    for r in 0..height {
+        for c in 0..width {
+            let d = grid[r * width + c];
+            let g = if d == 0 {
+                0
+            } else {
+                1 + ((d - 1) as usize * (glyphs.len() - 2)) / maxd as usize
+            };
+            out.push(glyphs[g.min(glyphs.len() - 1)]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ats_linalg::Matrix;
+
+    fn two_groups() -> Matrix {
+        // weekday-heavy rows and weekend-heavy rows (Table 1 style)
+        Matrix::from_fn(40, 7, |i, j| {
+            if i < 20 {
+                if j < 5 {
+                    (1 + i % 3) as f64
+                } else {
+                    0.0
+                }
+            } else if j >= 5 {
+                (1 + i % 3) as f64
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn projection_separates_groups() {
+        let pts = project_2d(&two_groups()).unwrap();
+        assert_eq!(pts.len(), 40);
+        // The two customer groups occupy orthogonal patterns: within each
+        // group one coordinate dominates; across groups the dominant
+        // coordinate differs.
+        let dom = |p: &(f64, f64)| p.0.abs() > p.1.abs();
+        let first = dom(&pts[0]);
+        assert!(pts[..20].iter().all(|p| dom(p) == first));
+        assert!(pts[20..].iter().all(|p| dom(p) != first));
+    }
+
+    #[test]
+    fn project_matches_u_lambda() {
+        let x = two_groups();
+        let svd = SvdCompressed::compress(&x, 2, 1).unwrap();
+        let pts = project(&svd, 2);
+        for (i, p) in pts.iter().enumerate() {
+            assert!((p[0] - svd.u()[(i, 0)] * svd.lambda()[0]).abs() < 1e-12);
+        }
+        // dims clamped to k
+        let p3 = project(&svd, 5);
+        assert_eq!(p3[0].len(), 2);
+    }
+
+    #[test]
+    fn outliers_ranked_descending() {
+        let mut x = two_groups();
+        // An outlier big enough to dominate its row's residual but small
+        // enough not to hijack the principal components themselves (the
+        // "distraction" effect of Fig. 11 is tested elsewhere).
+        x[(7, 2)] += 15.0;
+        let out = outliers_by_residual(&x, 2, 5).unwrap();
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[0].0, 7, "spiked row should rank first");
+        for w in out.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn ascii_scatter_renders() {
+        let pts = vec![(0.0, 0.0), (1.0, 1.0), (0.5, 0.5), (0.5, 0.5)];
+        let s = ascii_scatter(&pts, 20, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.len() == 20));
+        assert!(s.chars().any(|c| c != ' ' && c != '\n'));
+    }
+
+    #[test]
+    fn ascii_scatter_degenerate_inputs() {
+        assert_eq!(ascii_scatter(&[], 10, 5), "");
+        // single point / zero range must not divide by zero
+        let s = ascii_scatter(&[(3.0, 3.0)], 10, 5);
+        assert!(s.contains('.') || s.contains('#') || s.contains(':'));
+    }
+}

@@ -1,0 +1,227 @@
+//! A compressed cube: any [`CompressedMatrix`] behind cube coordinates.
+//!
+//! §6.1's punchline — "since the cells in the array are reconstructed
+//! individually, how dimensions are collapsed makes no difference to the
+//! availability of access" — becomes an API here: compress the flattened
+//! matrix with SVD or SVDD, keep the [`Flattening`], and answer
+//! `cell(&[p, s, w])` by mapping coordinates and reconstructing one
+//! matrix cell.
+
+use crate::cube::Cube;
+use crate::flatten::Flattening;
+use ats_common::Result;
+use ats_compress::{CompressedMatrix, SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions};
+
+/// Which compression method backs the cube.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CubeMethod {
+    /// Plain truncated SVD.
+    Svd,
+    /// SVD with deltas (the paper's SVDD).
+    Svdd,
+}
+
+/// A lossy-compressed N-dimensional cube.
+pub struct CompressedCube {
+    shape: Vec<usize>,
+    flattening: Flattening,
+    inner: Box<dyn CompressedMatrix>,
+}
+
+impl CompressedCube {
+    /// Flatten `cube` (with the §6.1 auto-chosen grouping capped at
+    /// `max_cols` columns) and compress to `budget` with `method`.
+    pub fn compress(
+        cube: &Cube,
+        budget: SpaceBudget,
+        method: CubeMethod,
+        max_cols: usize,
+    ) -> Result<Self> {
+        let flattening = Flattening::choose(cube.shape(), max_cols)?;
+        Self::compress_with(cube, budget, method, flattening)
+    }
+
+    /// Compress with an explicit flattening.
+    pub fn compress_with(
+        cube: &Cube,
+        budget: SpaceBudget,
+        method: CubeMethod,
+        flattening: Flattening,
+    ) -> Result<Self> {
+        flattening.validate(cube.shape())?;
+        let matrix = flattening.flatten_cube(cube)?;
+        let inner: Box<dyn CompressedMatrix> = match method {
+            CubeMethod::Svd => Box::new(SvdCompressed::compress_budget(&matrix, budget, 1)?),
+            CubeMethod::Svdd => Box::new(SvddCompressed::compress(
+                &matrix,
+                &SvddOptions::new(budget),
+            )?),
+        };
+        Ok(CompressedCube {
+            shape: cube.shape().to_vec(),
+            flattening,
+            inner,
+        })
+    }
+
+    /// The cube's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The flattening in use.
+    pub fn flattening(&self) -> &Flattening {
+        &self.flattening
+    }
+
+    /// Reconstruct one cube cell.
+    pub fn cell(&self, coords: &[usize]) -> Result<f64> {
+        // bounds are validated by the index mapping path below
+        if coords.len() != self.shape.len() {
+            return Err(ats_common::AtsError::dims(
+                "CompressedCube::cell",
+                (coords.len(), 1),
+                (self.shape.len(), 1),
+            ));
+        }
+        for (d, (&c, &s)) in coords.iter().zip(&self.shape).enumerate() {
+            if c >= s {
+                return Err(ats_common::AtsError::InvalidArgument(format!(
+                    "coordinate {c} out of bounds {s} in mode {d}"
+                )));
+            }
+        }
+        let (r, c) = self.flattening.to_matrix_index(&self.shape, coords);
+        self.inner.cell(r, c)
+    }
+
+    /// Compressed size in bytes (delegates to the inner matrix).
+    pub fn storage_bytes(&self) -> usize {
+        self.inner.storage_bytes()
+    }
+
+    /// Space ratio relative to the uncompressed cube.
+    pub fn space_ratio(&self) -> f64 {
+        self.inner.space_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sales-like cube with low-rank structure: product popularity ×
+    /// store size × weekly seasonality (a rank-1 tensor), plus noise.
+    fn sales_cube() -> Cube {
+        let (p, s, w) = (40, 12, 10);
+        Cube::from_fn(vec![p, s, w], |co| {
+            let prod = 1.0 + (co[0] % 7) as f64;
+            let store = 1.0 + (co[1] % 4) as f64 * 0.5;
+            let week = 1.0 + 0.3 * ((co[2] as f64) * 0.7).sin();
+            prod * store * week * 10.0
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn svd_cube_reconstructs_well() {
+        let cube = sales_cube();
+        let cc = CompressedCube::compress(
+            &cube,
+            SpaceBudget::from_percent(20.0),
+            CubeMethod::Svd,
+            128,
+        )
+        .unwrap();
+        let mut sse = 0.0;
+        let mut energy = 0.0;
+        for a in 0..40 {
+            for b in 0..12 {
+                for c in 0..10 {
+                    let truth = cube.get(&[a, b, c]).unwrap();
+                    let got = cc.cell(&[a, b, c]).unwrap();
+                    sse += (truth - got) * (truth - got);
+                    energy += truth * truth;
+                }
+            }
+        }
+        assert!(sse / energy < 1e-3, "relative error {}", sse / energy);
+        assert!(cc.space_ratio() <= 0.2 + 1e-9);
+    }
+
+    #[test]
+    fn svdd_cube_also_works() {
+        let cube = sales_cube();
+        let cc = CompressedCube::compress(
+            &cube,
+            SpaceBudget::from_percent(25.0),
+            CubeMethod::Svdd,
+            128,
+        )
+        .unwrap();
+        let truth = cube.get(&[3, 5, 7]).unwrap();
+        let got = cc.cell(&[3, 5, 7]).unwrap();
+        assert!((truth - got).abs() / truth < 0.2);
+    }
+
+    #[test]
+    fn grouping_choice_respects_cap() {
+        let cube = sales_cube(); // 40 × 12 × 10
+        let cc = CompressedCube::compress(
+            &cube,
+            SpaceBudget::from_percent(20.0),
+            CubeMethod::Svd,
+            100, // cols ≤ 100: best grouping not the 120-col one
+        )
+        .unwrap();
+        let (_, cols) = cc.flattening().matrix_shape(cube.shape());
+        assert!(cols <= 100);
+    }
+
+    #[test]
+    fn both_groupings_give_access_to_every_cell() {
+        // §6.1: how dimensions are collapsed doesn't affect access.
+        let cube = sales_cube();
+        for flattening in [
+            Flattening {
+                row_modes: vec![0],
+                col_modes: vec![1, 2],
+            },
+            Flattening {
+                row_modes: vec![0, 1],
+                col_modes: vec![2],
+            },
+        ] {
+            let cc = CompressedCube::compress_with(
+                &cube,
+                SpaceBudget::from_percent(30.0),
+                CubeMethod::Svd,
+                flattening,
+            )
+            .unwrap();
+            for coords in [[0usize, 0, 0], [39, 11, 9], [17, 3, 5]] {
+                let truth = cube.get(&coords).unwrap();
+                let got = cc.cell(&coords).unwrap();
+                assert!(
+                    (truth - got).abs() / truth.max(1.0) < 0.25,
+                    "{coords:?}: {got} vs {truth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_coords_rejected() {
+        let cube = sales_cube();
+        let cc = CompressedCube::compress(
+            &cube,
+            SpaceBudget::from_percent(20.0),
+            CubeMethod::Svd,
+            128,
+        )
+        .unwrap();
+        assert!(cc.cell(&[40, 0, 0]).is_err());
+        assert!(cc.cell(&[0, 0]).is_err());
+        assert!(cc.cell(&[0, 0, 0, 0]).is_err());
+    }
+}

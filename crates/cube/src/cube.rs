@@ -1,0 +1,171 @@
+//! Dense N-dimensional arrays.
+
+use ats_common::{AtsError, Result};
+
+/// A dense N-dimensional array of `f64`, row-major (last mode varies
+/// fastest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cube {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Cube {
+    /// An all-zero cube. Errors on an empty shape or a zero-length mode.
+    pub fn zeros(shape: Vec<usize>) -> Result<Self> {
+        if shape.is_empty() || shape.iter().any(|&d| d == 0) {
+            return Err(AtsError::InvalidArgument(format!(
+                "invalid cube shape {shape:?}"
+            )));
+        }
+        let cells: usize = shape.iter().product();
+        Ok(Cube {
+            shape,
+            data: vec![0.0; cells],
+        })
+    }
+
+    /// Build by evaluating `f(coords)` at every cell.
+    pub fn from_fn(shape: Vec<usize>, mut f: impl FnMut(&[usize]) -> f64) -> Result<Self> {
+        let mut cube = Cube::zeros(shape)?;
+        let mut coords = vec![0usize; cube.ndim()];
+        for flat in 0..cube.len() {
+            cube.unflatten_into(flat, &mut coords);
+            cube.data[flat] = f(&coords);
+        }
+        Ok(cube)
+    }
+
+    /// Number of modes (dimensions).
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// The shape vector.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the cube has zero cells (never true for a valid cube).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major offset of `coords`.
+    pub fn flatten_index(&self, coords: &[usize]) -> Result<usize> {
+        if coords.len() != self.ndim() {
+            return Err(AtsError::dims(
+                "Cube::flatten_index",
+                (coords.len(), 1),
+                (self.ndim(), 1),
+            ));
+        }
+        let mut flat = 0usize;
+        for (d, (&c, &s)) in coords.iter().zip(&self.shape).enumerate() {
+            if c >= s {
+                return Err(AtsError::oob("cube coordinate", c, s).with_mode(d));
+            }
+            flat = flat * s + c;
+        }
+        Ok(flat)
+    }
+
+    fn unflatten_into(&self, mut flat: usize, coords: &mut [usize]) {
+        for d in (0..self.ndim()).rev() {
+            coords[d] = flat % self.shape[d];
+            flat /= self.shape[d];
+        }
+    }
+
+    /// Read one cell.
+    pub fn get(&self, coords: &[usize]) -> Result<f64> {
+        Ok(self.data[self.flatten_index(coords)?])
+    }
+
+    /// Write one cell.
+    pub fn set(&mut self, coords: &[usize], v: f64) -> Result<()> {
+        let i = self.flatten_index(coords)?;
+        self.data[i] = v;
+        Ok(())
+    }
+
+    /// The flat backing storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// Internal helper so `flatten_index` can mention which mode failed
+/// without a new error variant.
+trait WithMode {
+    fn with_mode(self, mode: usize) -> AtsError;
+}
+
+impl WithMode for AtsError {
+    fn with_mode(self, mode: usize) -> AtsError {
+        match self {
+            AtsError::IndexOutOfBounds { index, bound, .. } => AtsError::InvalidArgument(format!(
+                "cube coordinate {index} out of bounds {bound} in mode {mode}"
+            )),
+            e => e,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut c = Cube::zeros(vec![2, 3, 4]).unwrap();
+        assert_eq!(c.ndim(), 3);
+        assert_eq!(c.len(), 24);
+        c.set(&[1, 2, 3], 7.5).unwrap();
+        assert_eq!(c.get(&[1, 2, 3]).unwrap(), 7.5);
+        assert_eq!(c.get(&[0, 0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn row_major_layout() {
+        let c = Cube::from_fn(vec![2, 3], |co| (co[0] * 10 + co[1]) as f64).unwrap();
+        assert_eq!(c.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn from_fn_coords_correct() {
+        let c = Cube::from_fn(vec![2, 2, 2], |co| (co[0] * 100 + co[1] * 10 + co[2]) as f64)
+            .unwrap();
+        assert_eq!(c.get(&[1, 0, 1]).unwrap(), 101.0);
+        assert_eq!(c.get(&[0, 1, 0]).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn invalid_shapes_rejected() {
+        assert!(Cube::zeros(vec![]).is_err());
+        assert!(Cube::zeros(vec![3, 0, 2]).is_err());
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let c = Cube::zeros(vec![2, 2]).unwrap();
+        assert!(c.get(&[2, 0]).is_err());
+        assert!(c.get(&[0, 0, 0]).is_err());
+        assert!(c.get(&[0]).is_err());
+        let msg = c.get(&[0, 5]).unwrap_err().to_string();
+        assert!(msg.contains("mode 1"), "{msg}");
+    }
+
+    #[test]
+    fn one_dimensional_cube() {
+        let mut c = Cube::zeros(vec![5]).unwrap();
+        c.set(&[4], 1.0).unwrap();
+        assert_eq!(c.get(&[4]).unwrap(), 1.0);
+        assert_eq!(c.flatten_index(&[3]).unwrap(), 3);
+    }
+}

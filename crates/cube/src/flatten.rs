@@ -1,0 +1,275 @@
+//! Mode flattening: cube coordinates ↔ matrix coordinates.
+//!
+//! A [`Flattening`] partitions the cube's modes into **row modes** and
+//! **column modes**; a cube cell maps to the matrix cell whose row index
+//! is the mixed-radix combination of its row-mode coordinates and whose
+//! column index combines the column-mode coordinates. §6.1: which
+//! grouping is preferable "is a function of the number of values in each
+//! dimension … the more square the matrix, the better the compression,
+//! but also the more the work that has to be done to compress. So we
+//! pick the largest size for the smaller dimension that still leaves it
+//! computable within the available memory resources" —
+//! [`Flattening::choose`] implements exactly that rule.
+
+use crate::cube::Cube;
+use ats_common::{AtsError, Result};
+use ats_linalg::Matrix;
+
+/// A partition of cube modes into matrix rows and columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flattening {
+    /// Modes combined into the matrix row index, in significance order.
+    pub row_modes: Vec<usize>,
+    /// Modes combined into the matrix column index, in significance order.
+    pub col_modes: Vec<usize>,
+}
+
+impl Flattening {
+    /// Validate against a cube shape: the two lists must partition
+    /// `0..ndim` exactly, and the column side must be non-empty.
+    pub fn validate(&self, shape: &[usize]) -> Result<()> {
+        let nd = shape.len();
+        let mut seen = vec![false; nd];
+        for &m in self.row_modes.iter().chain(&self.col_modes) {
+            if m >= nd {
+                return Err(AtsError::oob("mode", m, nd));
+            }
+            if seen[m] {
+                return Err(AtsError::InvalidArgument(format!(
+                    "mode {m} appears twice in flattening"
+                )));
+            }
+            seen[m] = true;
+        }
+        if !seen.iter().all(|&s| s) {
+            return Err(AtsError::InvalidArgument(
+                "flattening does not cover every mode".into(),
+            ));
+        }
+        if self.row_modes.is_empty() || self.col_modes.is_empty() {
+            return Err(AtsError::InvalidArgument(
+                "flattening needs at least one row mode and one column mode".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Matrix dimensions `(rows, cols)` this flattening produces.
+    pub fn matrix_shape(&self, shape: &[usize]) -> (usize, usize) {
+        let rows = self.row_modes.iter().map(|&m| shape[m]).product();
+        let cols = self.col_modes.iter().map(|&m| shape[m]).product();
+        (rows, cols)
+    }
+
+    /// Map cube coordinates to `(row, col)`.
+    pub fn to_matrix_index(&self, shape: &[usize], coords: &[usize]) -> (usize, usize) {
+        let mut row = 0usize;
+        for &m in &self.row_modes {
+            row = row * shape[m] + coords[m];
+        }
+        let mut col = 0usize;
+        for &m in &self.col_modes {
+            col = col * shape[m] + coords[m];
+        }
+        (row, col)
+    }
+
+    /// Map `(row, col)` back to cube coordinates.
+    pub fn to_cube_coords(&self, shape: &[usize], mut row: usize, mut col: usize) -> Vec<usize> {
+        let mut coords = vec![0usize; shape.len()];
+        for &m in self.row_modes.iter().rev() {
+            coords[m] = row % shape[m];
+            row /= shape[m];
+        }
+        for &m in self.col_modes.iter().rev() {
+            coords[m] = col % shape[m];
+            col /= shape[m];
+        }
+        coords
+    }
+
+    /// The paper's §6.1 sizing rule: among all non-trivial mode
+    /// partitions, pick the one whose **column count is as large as
+    /// possible without exceeding `max_cols`** (the in-memory `M × M`
+    /// Gram/eigen budget), preferring squarer matrices on ties; if every
+    /// partition exceeds `max_cols`, fall back to the smallest column
+    /// count. Modes within each side keep ascending order.
+    pub fn choose(shape: &[usize], max_cols: usize) -> Result<Flattening> {
+        let nd = shape.len();
+        if nd < 2 {
+            return Err(AtsError::InvalidArgument(
+                "need at least two modes to flatten".into(),
+            ));
+        }
+        let mut best: Option<(Flattening, usize)> = None;
+        let mut fallback: Option<(Flattening, usize)> = None;
+        // Every assignment of modes to {row, col}, both sides non-empty.
+        for mask in 1..((1usize << nd) - 1) {
+            let row_modes: Vec<usize> = (0..nd).filter(|&m| mask & (1 << m) == 0).collect();
+            let col_modes: Vec<usize> = (0..nd).filter(|&m| mask & (1 << m) != 0).collect();
+            let f = Flattening {
+                row_modes,
+                col_modes,
+            };
+            let (rows, cols) = f.matrix_shape(shape);
+            // Keep N ≥ M: the algorithms assume the row side is the long
+            // one (Eq. 1).
+            if rows < cols {
+                continue;
+            }
+            if cols <= max_cols {
+                let better = best.as_ref().map_or(true, |&(_, c)| cols > c);
+                if better {
+                    best = Some((f, cols));
+                }
+            } else {
+                let better = fallback.as_ref().map_or(true, |&(_, c)| cols < c);
+                if better {
+                    fallback = Some((f, cols));
+                }
+            }
+        }
+        best.or(fallback)
+            .map(|(f, _)| f)
+            .ok_or_else(|| AtsError::InvalidArgument("no valid flattening".into()))
+    }
+
+    /// Materialize the flattened cube as a dense matrix.
+    pub fn flatten_cube(&self, cube: &Cube) -> Result<Matrix> {
+        self.validate(cube.shape())?;
+        let (rows, cols) = self.matrix_shape(cube.shape());
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let coords = self.to_cube_coords(cube.shape(), r, c);
+                m[(r, c)] = cube.get(&coords)?;
+            }
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> Vec<usize> {
+        vec![4, 3, 5] // product × store × week
+    }
+
+    #[test]
+    fn validate_partition() {
+        let good = Flattening {
+            row_modes: vec![0],
+            col_modes: vec![1, 2],
+        };
+        assert!(good.validate(&shape()).is_ok());
+        let dup = Flattening {
+            row_modes: vec![0, 1],
+            col_modes: vec![1, 2],
+        };
+        assert!(dup.validate(&shape()).is_err());
+        let missing = Flattening {
+            row_modes: vec![0],
+            col_modes: vec![2],
+        };
+        assert!(missing.validate(&shape()).is_err());
+        let empty = Flattening {
+            row_modes: vec![],
+            col_modes: vec![0, 1, 2],
+        };
+        assert!(empty.validate(&shape()).is_err());
+    }
+
+    #[test]
+    fn shapes_multiply() {
+        let f = Flattening {
+            row_modes: vec![0, 1],
+            col_modes: vec![2],
+        };
+        assert_eq!(f.matrix_shape(&shape()), (12, 5));
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let s = shape();
+        let f = Flattening {
+            row_modes: vec![0, 2],
+            col_modes: vec![1],
+        };
+        for a in 0..4 {
+            for b in 0..3 {
+                for c in 0..5 {
+                    let (r, col) = f.to_matrix_index(&s, &[a, b, c]);
+                    assert!(r < 20 && col < 3);
+                    assert_eq!(f.to_cube_coords(&s, r, col), vec![a, b, c]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_mapping_bijective() {
+        let s = shape();
+        let f = Flattening {
+            row_modes: vec![1, 0],
+            col_modes: vec![2],
+        };
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..4 {
+            for b in 0..3 {
+                for c in 0..5 {
+                    assert!(seen.insert(f.to_matrix_index(&s, &[a, b, c])));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 60);
+    }
+
+    #[test]
+    fn choose_maximizes_cols_under_cap() {
+        // shape (100, 10, 6): options for col side (keeping rows ≥ cols):
+        // {1}=10, {2}=6, {1,2}=60. With cap 64 → cols 60.
+        let f = Flattening::choose(&[100, 10, 6], 64).unwrap();
+        let (r, c) = f.matrix_shape(&[100, 10, 6]);
+        assert_eq!(c, 60);
+        assert_eq!(r, 100);
+        // With cap 16 → best is {1}=10.
+        let f2 = Flattening::choose(&[100, 10, 6], 16).unwrap();
+        assert_eq!(f2.matrix_shape(&[100, 10, 6]).1, 10);
+    }
+
+    #[test]
+    fn choose_falls_back_when_cap_tiny() {
+        let f = Flattening::choose(&[100, 10, 6], 2).unwrap();
+        // nothing fits; smallest cols (6) chosen
+        assert_eq!(f.matrix_shape(&[100, 10, 6]).1, 6);
+    }
+
+    #[test]
+    fn choose_requires_two_modes() {
+        assert!(Flattening::choose(&[5], 10).is_err());
+    }
+
+    #[test]
+    fn flatten_cube_values_preserved() {
+        let cube = Cube::from_fn(vec![2, 3, 4], |co| {
+            (co[0] * 100 + co[1] * 10 + co[2]) as f64
+        })
+        .unwrap();
+        let f = Flattening {
+            row_modes: vec![0, 1],
+            col_modes: vec![2],
+        };
+        let m = f.flatten_cube(&cube).unwrap();
+        assert_eq!(m.shape(), (6, 4));
+        for a in 0..2 {
+            for b in 0..3 {
+                for c in 0..4 {
+                    let (r, col) = f.to_matrix_index(&[2, 3, 4], &[a, b, c]);
+                    assert_eq!(m[(r, col)], (a * 100 + b * 10 + c) as f64);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # ats-cube
+//!
+//! DataCube compression (§6.1 of the paper).
+//!
+//! "Whereas we focus on time sequences in this paper, the techniques
+//! described above apply in general to multi-dimensional data" — e.g. the
+//! `productid × storeid × weekid` sales cube. The paper's recipe is to
+//! **flatten** the cube into a 2-d matrix by grouping modes, e.g.
+//! `productid × (storeid × weekid)` or `(productid × storeid) × weekid`,
+//! then compress the matrix as usual; "since the cells in the array are
+//! reconstructed individually, how dimensions are collapsed makes no
+//! difference to the availability of access."
+//!
+//! - [`cube::Cube`] — a dense N-dimensional array;
+//! - [`flatten::Flattening`] — a partition of modes into row-modes and
+//!   column-modes, with the mixed-radix index arithmetic both ways, and
+//!   [`flatten::Flattening::choose`] implementing the paper's sizing rule
+//!   ("pick the largest size for the smaller dimension that still leaves
+//!   it computable within the available memory resources");
+//! - [`compressed::CompressedCube`] — any
+//!   [`ats_compress::CompressedMatrix`] behind a cube-coordinate façade.
+
+#![warn(missing_docs)]
+
+pub mod compressed;
+pub mod cube;
+pub mod flatten;
+
+pub use compressed::CompressedCube;
+pub use cube::Cube;
+pub use flatten::Flattening;

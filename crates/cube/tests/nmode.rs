@@ -1,0 +1,98 @@
+//! N-mode generalization tests: §6.1 mentions "N-mode analysis" as the
+//! extension beyond 3 modes — the flattening machinery must handle
+//! arbitrary dimensionality.
+
+use ats_compress::SpaceBudget;
+use ats_cube::compressed::CubeMethod;
+use ats_cube::{CompressedCube, Cube, Flattening};
+
+fn cube_4d() -> Cube {
+    // product × store × week × channel, multiplicative low-rank model
+    Cube::from_fn(vec![12, 6, 10, 3], |co| {
+        let p = 1.0 + (co[0] % 5) as f64;
+        let s = 0.5 + (co[1] % 3) as f64 * 0.4;
+        let w = 1.0 + 0.3 * ((co[2] as f64) * 0.6).sin();
+        let c = [1.0, 0.6, 0.25][co[3]];
+        p * s * w * c * 10.0
+    })
+    .unwrap()
+}
+
+#[test]
+fn four_mode_flatten_roundtrip_indices() {
+    let cube = cube_4d();
+    let f = Flattening {
+        row_modes: vec![0, 3],
+        col_modes: vec![2, 1],
+    };
+    f.validate(cube.shape()).unwrap();
+    let (r, c) = f.matrix_shape(cube.shape());
+    assert_eq!(r, 36);
+    assert_eq!(c, 60);
+    let mut seen = std::collections::HashSet::new();
+    for a in 0..12 {
+        for b in 0..6 {
+            for w in 0..10 {
+                for ch in 0..3 {
+                    let coords = [a, b, w, ch];
+                    let (ri, ci) = f.to_matrix_index(cube.shape(), &coords);
+                    assert!(ri < r && ci < c);
+                    assert!(seen.insert((ri, ci)), "collision at {coords:?}");
+                    assert_eq!(f.to_cube_coords(cube.shape(), ri, ci), coords.to_vec());
+                }
+            }
+        }
+    }
+    assert_eq!(seen.len(), cube.len());
+}
+
+#[test]
+fn four_mode_compress_and_query() {
+    let cube = cube_4d();
+    let cc = CompressedCube::compress(&cube, SpaceBudget::from_percent(20.0), CubeMethod::Svd, 128)
+        .unwrap();
+    let mut sse = 0.0;
+    let mut energy = 0.0;
+    for a in 0..12 {
+        for b in 0..6 {
+            for w in 0..10 {
+                for ch in 0..3 {
+                    let t = cube.get(&[a, b, w, ch]).unwrap();
+                    let g = cc.cell(&[a, b, w, ch]).unwrap();
+                    sse += (t - g) * (t - g);
+                    energy += t * t;
+                }
+            }
+        }
+    }
+    assert!(
+        sse / energy < 0.01,
+        "4-mode relative error {}",
+        (sse / energy).sqrt()
+    );
+}
+
+#[test]
+fn auto_grouping_prefers_largest_cols_under_cap() {
+    let cube = cube_4d(); // shape [12, 6, 10, 3]
+    let f = Flattening::choose(cube.shape(), 50).unwrap();
+    let (r, c) = f.matrix_shape(cube.shape());
+    assert!(c <= 50);
+    assert!(r >= c, "Eq. 1 orientation: rows should be the long side");
+    // better than the trivial "first mode vs rest" if that busts the cap
+    assert_eq!(r * c, cube.len());
+}
+
+#[test]
+fn two_mode_cube_is_a_matrix() {
+    let cube = Cube::from_fn(vec![8, 5], |co| (co[0] * 5 + co[1]) as f64).unwrap();
+    let f = Flattening::choose(cube.shape(), 5).unwrap();
+    let m = f.flatten_cube(&cube).unwrap();
+    assert_eq!(m.shape(), (8, 5));
+    for i in 0..8 {
+        for j in 0..5 {
+            let (r, c) = f.to_matrix_index(cube.shape(), &[i, j]);
+            assert_eq!(m[(r, c)], (i * 5 + j) as f64);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests for the flattening index arithmetic: for any shape and
+//! any valid mode partition, cube↔matrix index mapping must be a
+//! bijection that preserves cell values.
+
+use ats_cube::{Cube, Flattening};
+use proptest::prelude::*;
+
+/// Random small cube shapes (2–4 modes, each of extent 1–6).
+fn shape_strategy() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..6, 2..5)
+}
+
+/// A random valid partition of `0..nd` into non-empty row/col sides.
+fn partition_strategy(nd: usize) -> impl Strategy<Value = Flattening> {
+    // bitmask with at least one bit set and one clear
+    (1usize..((1 << nd) - 1)).prop_map(move |mask| Flattening {
+        row_modes: (0..nd).filter(|&m| mask & (1 << m) == 0).collect(),
+        col_modes: (0..nd).filter(|&m| mask & (1 << m) != 0).collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn index_mapping_is_a_value_preserving_bijection(
+        (shape, flattening) in shape_strategy()
+            .prop_flat_map(|s| {
+                let nd = s.len();
+                (Just(s), partition_strategy(nd))
+            })
+    ) {
+        flattening.validate(&shape).unwrap();
+        // fill the cube with its own flat ordinal so values identify cells
+        let mut counter = 0.0;
+        let cube = Cube::from_fn(shape.clone(), |_| {
+            counter += 1.0;
+            counter
+        }).unwrap();
+
+        let m = flattening.flatten_cube(&cube).unwrap();
+        let (rows, cols) = flattening.matrix_shape(&shape);
+        prop_assert_eq!(rows * cols, cube.len());
+
+        // every matrix cell maps back to a cube cell with the same value
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let coords = flattening.to_cube_coords(&shape, r, c);
+                prop_assert_eq!(m[(r, c)], cube.get(&coords).unwrap());
+                prop_assert!(seen.insert(coords.clone()));
+                // and forward mapping inverts backward mapping
+                prop_assert_eq!(flattening.to_matrix_index(&shape, &coords), (r, c));
+            }
+        }
+        prop_assert_eq!(seen.len(), cube.len());
+    }
+
+    #[test]
+    fn choose_always_returns_valid_partition(
+        shape in shape_strategy(),
+        cap in 1usize..64,
+    ) {
+        let f = Flattening::choose(&shape, cap).unwrap();
+        prop_assert!(f.validate(&shape).is_ok());
+        let (r, c) = f.matrix_shape(&shape);
+        prop_assert_eq!(r * c, shape.iter().product::<usize>());
+    }
+}

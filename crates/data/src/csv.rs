@@ -1,0 +1,141 @@
+//! Minimal CSV import/export for numeric matrices.
+//!
+//! Real deployments of this system would ingest warehouse extracts; CSV
+//! is the lingua franca. The dialect is deliberately strict: comma
+//! separator, one row per line, every cell a decimal number, optional
+//! single header line (skipped on request). No quoting — these are
+//! numeric matrices.
+
+use ats_common::{AtsError, Result};
+use ats_linalg::Matrix;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Write `m` as CSV to `path` (no header line).
+pub fn write_csv(path: impl AsRef<Path>, m: &Matrix) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut out = BufWriter::new(file);
+    let mut line = String::new();
+    for row in m.iter_rows() {
+        line.clear();
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                line.push(',');
+            }
+            // Shortest roundtrip representation.
+            line.push_str(&format!("{v}"));
+        }
+        line.push('\n');
+        out.write_all(line.as_bytes())?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Read a CSV of numbers into a matrix. `skip_header` drops the first
+/// line. Blank lines are ignored; ragged rows and non-numeric cells are
+/// errors.
+pub fn read_csv(path: impl AsRef<Path>, skip_header: bool) -> Result<Matrix> {
+    let file = std::fs::File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut width: Option<usize> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if lineno == 0 && skip_header {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let row: Vec<f64> = trimmed
+            .split(',')
+            .map(|cell| {
+                cell.trim().parse::<f64>().map_err(|_| {
+                    AtsError::Corrupt(format!(
+                        "line {}: cell {cell:?} is not a number",
+                        lineno + 1
+                    ))
+                })
+            })
+            .collect::<Result<_>>()?;
+        if let Some(w) = width {
+            if row.len() != w {
+                return Err(AtsError::Corrupt(format!(
+                    "line {}: {} cells, expected {w}",
+                    lineno + 1,
+                    row.len()
+                )));
+            }
+        } else {
+            width = Some(row.len());
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(AtsError::Corrupt("CSV contains no data rows".into()));
+    }
+    Matrix::from_rows(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("ats-csv-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(name)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = tmp("rt.csv");
+        let m = Matrix::from_fn(5, 3, |i, j| i as f64 * 1.5 - j as f64 * 0.25);
+        write_csv(&p, &m).unwrap();
+        let back = read_csv(&p, false).unwrap();
+        assert!(back.approx_eq(&m, 0.0), "CSV roundtrip must be exact");
+    }
+
+    #[test]
+    fn header_skipped() {
+        let p = tmp("hdr.csv");
+        std::fs::write(&p, "a,b\n1,2\n3,4\n").unwrap();
+        let m = read_csv(&p, true).unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m[(1, 1)], 4.0);
+        assert!(read_csv(&p, false).is_err()); // header not numeric
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let p = tmp("blank.csv");
+        std::fs::write(&p, "1,2\n\n3,4\n\n").unwrap();
+        assert_eq!(read_csv(&p, false).unwrap().shape(), (2, 2));
+    }
+
+    #[test]
+    fn ragged_rejected() {
+        let p = tmp("ragged.csv");
+        std::fs::write(&p, "1,2\n3\n").unwrap();
+        let err = read_csv(&p, false).unwrap_err();
+        assert!(err.to_string().contains("expected 2"));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let p = tmp("empty.csv");
+        std::fs::write(&p, "").unwrap();
+        assert!(read_csv(&p, false).is_err());
+    }
+
+    #[test]
+    fn special_values_roundtrip() {
+        let p = tmp("special.csv");
+        let m = Matrix::from_rows(vec![vec![1e-300, -1e300, 0.1 + 0.2]]).unwrap();
+        write_csv(&p, &m).unwrap();
+        let back = read_csv(&p, false).unwrap();
+        assert!(back.approx_eq(&m, 0.0));
+    }
+}

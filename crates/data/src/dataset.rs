@@ -1,0 +1,154 @@
+//! The [`Dataset`] carrier type.
+
+use ats_common::{AtsError, OnlineStats, Result};
+use ats_linalg::Matrix;
+use std::path::Path;
+
+/// A named `N × M` time-sequence dataset: `N` sequences ("customers") of
+/// `M` observations ("days") each.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    name: String,
+    matrix: Matrix,
+}
+
+impl Dataset {
+    /// Wrap a matrix with a name.
+    pub fn new(name: impl Into<String>, matrix: Matrix) -> Self {
+        Dataset {
+            name: name.into(),
+            matrix,
+        }
+    }
+
+    /// Dataset name (e.g. `"phone2000"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// Consume into the underlying matrix.
+    pub fn into_matrix(self) -> Matrix {
+        self.matrix
+    }
+
+    /// Number of sequences (`N`).
+    pub fn rows(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Sequence length (`M`).
+    pub fn cols(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// The paper's `phoneN` convention: a prefix of the first `n` rows,
+    /// renamed accordingly. Errors if `n` exceeds the row count.
+    pub fn subset(&self, n: usize) -> Result<Dataset> {
+        if n > self.rows() {
+            return Err(AtsError::oob("subset rows", n, self.rows() + 1));
+        }
+        let mut m = self.matrix.clone();
+        m.truncate_rows(n);
+        Ok(Dataset {
+            name: format!("{}[..{n}]", self.name),
+            matrix: m,
+        })
+    }
+
+    /// Single-pass summary statistics over all cells.
+    pub fn cell_stats(&self) -> OnlineStats {
+        let mut s = OnlineStats::new();
+        s.push_slice(self.matrix.as_slice());
+        s
+    }
+
+    /// Standard deviation of all cells — the normalizer in the paper's
+    /// RMSPE (Def. 5.1) and worst-case error tables.
+    pub fn std_dev(&self) -> f64 {
+        self.cell_stats().population_std_dev()
+    }
+
+    /// Uncompressed size in bytes at `b` bytes per number (the paper uses
+    /// `b = 8` for doubles in our experiments).
+    pub fn uncompressed_bytes(&self, b: usize) -> usize {
+        self.rows() * self.cols() * b
+    }
+
+    /// Persist to an `.atsm` matrix file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        ats_storage::file::write_matrix(path, &self.matrix)?;
+        Ok(())
+    }
+
+    /// Load from an `.atsm` matrix file.
+    pub fn load(name: impl Into<String>, path: impl AsRef<Path>) -> Result<Dataset> {
+        let m = ats_storage::file::read_matrix(path)?;
+        Ok(Dataset::new(name, m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        Dataset::new(
+            "toy",
+            Matrix::from_fn(10, 4, |i, j| (i * 4 + j) as f64),
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let d = ds();
+        assert_eq!(d.name(), "toy");
+        assert_eq!(d.rows(), 10);
+        assert_eq!(d.cols(), 4);
+    }
+
+    #[test]
+    fn subset_prefix_semantics() {
+        let d = ds();
+        let s = d.subset(3).unwrap();
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.cols(), 4);
+        assert_eq!(s.matrix().row(2), d.matrix().row(2));
+        assert!(s.name().contains("3"));
+        assert!(d.subset(11).is_err());
+        assert_eq!(d.subset(10).unwrap().rows(), 10);
+    }
+
+    #[test]
+    fn stats_match_direct_computation() {
+        let d = ds();
+        let vals: Vec<f64> = (0..40).map(f64::from).collect();
+        let mean = vals.iter().sum::<f64>() / 40.0;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / 40.0;
+        let s = d.cell_stats();
+        assert!((s.mean() - mean).abs() < 1e-9);
+        assert!((d.std_dev() - var.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncompressed_bytes_formula() {
+        assert_eq!(ds().uncompressed_bytes(8), 10 * 4 * 8);
+        assert_eq!(ds().uncompressed_bytes(4), 160);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("ats-data-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.atsm");
+        let d = ds();
+        d.save(&path).unwrap();
+        let back = Dataset::load("toy2", &path).unwrap();
+        assert_eq!(back.name(), "toy2");
+        assert!(back.matrix().approx_eq(d.matrix(), 0.0));
+    }
+}

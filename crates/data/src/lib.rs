@@ -1,0 +1,34 @@
+//! # ats-data
+//!
+//! Datasets for the `adhoc-ts` workspace.
+//!
+//! The paper evaluates on two real datasets we cannot have:
+//!
+//! - **`phone100K`** — daily call volumes of 100 000 AT&T customers over
+//!   366 days (≈0.2 GB), plus prefixes `phone1000`, `phone2000`, … used
+//!   for the scale-up study;
+//! - **`stocks`** — daily closing prices of 381 stocks over 128 days.
+//!
+//! [`phone`] and [`stocks`] are synthetic generators engineered to
+//! reproduce the *structural* properties those datasets contribute to the
+//! paper's results (see DESIGN.md §2 for the substitution argument):
+//! low-rank day-pattern structure with a Zipf-heavy customer-volume tail
+//! and sparse spikes for phone data; a dominant common market factor with
+//! highly autocorrelated rows for stocks.
+//!
+//! [`dataset::Dataset`] is the carrier type: a named matrix with summary
+//! statistics, subset extraction (the paper's `phoneN` prefixes), and
+//! CSV / `.atsm` persistence.
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod dataset;
+pub mod phone;
+pub mod sales;
+pub mod stocks;
+
+pub use dataset::Dataset;
+pub use phone::{PhoneConfig, generate_phone};
+pub use sales::{generate_sales, SalesConfig, SalesCube};
+pub use stocks::{StocksConfig, generate_stocks};

@@ -1,0 +1,39 @@
+//! # ats-linalg
+//!
+//! Dense linear algebra for the `adhoc-ts` workspace, written from scratch
+//! (no external linear-algebra crates): the substrate beneath the paper's
+//! SVD/SVDD compression (Korn, Jagadish & Faloutsos, SIGMOD 1997, §3–4).
+//!
+//! What lives here:
+//!
+//! - [`matrix::Matrix`] — a dense, row-major `f64` matrix with the handful
+//!   of operations the paper's algorithms need (products, transpose, Gram
+//!   matrices, norms);
+//! - [`vecops`] — tight kernels over `&[f64]` (dot, axpy, scaled outer
+//!   products) used by the hot reconstruction paths;
+//! - [`eigen`] — two symmetric eigensolvers: the production path
+//!   (Householder tridiagonalization + implicit-shift QL, `O(M³)`) and a
+//!   cyclic Jacobi solver kept as a slow, independently-derived oracle for
+//!   tests, plus a Lanczos top-`k` engine ([`lanczos`]) for the regime
+//!   where only a few extremal pairs are needed;
+//! - [`svd`] — singular value decomposition via the Gram-matrix route the
+//!   paper uses (Lemma 3.2: eigendecompose `C = XᵀX = V Λ² Vᵀ`, then
+//!   `U = X V Λ⁻¹`), plus truncation to `k` principal components (Eq. 8)
+//!   and cell reconstruction (Eq. 12).
+//!
+//! The out-of-core two-pass variant of the same SVD (which never holds `X`
+//! in memory) lives in `ats-compress`; this crate is the in-memory engine
+//! and the numerical ground truth it is tested against.
+
+#![warn(missing_docs)]
+
+pub mod eigen;
+pub mod lanczos;
+pub mod matrix;
+pub mod svd;
+pub mod vecops;
+
+pub use eigen::{sym_eigen, sym_eigen_jacobi, EigenDecomposition};
+pub use lanczos::{lanczos_top_k, LanczosOptions};
+pub use matrix::Matrix;
+pub use svd::{Svd, SvdOptions};

@@ -1,0 +1,165 @@
+//! Tight kernels over `&[f64]`.
+//!
+//! These are the inner loops of the whole system: cell reconstruction
+//! (Eq. 12) is a `k`-term dot product, pass 2 of the SVD (Eq. 11) is a
+//! matrix–vector product built from dots, and the Gram accumulation of
+//! pass 1 (Fig. 2) is a sequence of scaled-row updates (axpy). Keeping
+//! them free of bounds checks in the hot path (via exact-size zips, which
+//! LLVM vectorizes) is what makes the 100k×366 experiments fast enough to
+//! run in CI.
+
+/// Dot product. Panics in debug builds if lengths differ; in release the
+/// shorter length wins (callers in this workspace always pass equal
+/// lengths).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y ← y + alpha · x` (the BLAS "axpy").
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean (`L₂`) norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two equal-length vectors — the
+/// clustering distance of §2.2.
+#[inline]
+pub fn dist2_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Normalize `a` to unit `L₂` norm in place; returns the original norm.
+/// A zero vector is left untouched (returns 0).
+pub fn normalize(a: &mut [f64]) -> f64 {
+    let n = norm2(a);
+    if n > 0.0 {
+        for v in a.iter_mut() {
+            *v /= n;
+        }
+    }
+    n
+}
+
+/// Scale in place.
+#[inline]
+pub fn scale(a: &mut [f64], s: f64) {
+    for v in a.iter_mut() {
+        *v *= s;
+    }
+}
+
+/// Element-wise sum accumulated into `acc`.
+#[inline]
+pub fn add_assign(acc: &mut [f64], x: &[f64]) {
+    debug_assert_eq!(acc.len(), x.len());
+    for (a, &b) in acc.iter_mut().zip(x) {
+        *a += b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_basic() {
+        let mut y = [1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, [7.0, 9.0]);
+    }
+
+    #[test]
+    fn norm_and_normalize() {
+        let mut v = [3.0, 4.0];
+        assert_eq!(norm2(&v), 5.0);
+        let n = normalize(&mut v);
+        assert_eq!(n, 5.0);
+        assert!((norm2(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_vector_noop() {
+        let mut v = [0.0, 0.0];
+        assert_eq!(normalize(&mut v), 0.0);
+        assert_eq!(v, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn dist2_sq_basic() {
+        assert_eq!(dist2_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist2_sq(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = [1.0, 2.0];
+        add_assign(&mut a, &[10.0, 20.0]);
+        assert_eq!(a, [11.0, 22.0]);
+        scale(&mut a, 0.5);
+        assert_eq!(a, [5.5, 11.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn dot_commutative(a in proptest::collection::vec(-1e3f64..1e3, 0..64)) {
+            let b: Vec<f64> = a.iter().rev().copied().collect();
+            prop_assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn cauchy_schwarz(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..64)
+        ) {
+            let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let lhs = dot(&a, &b).abs();
+            let rhs = norm2(&a) * norm2(&b);
+            prop_assert!(lhs <= rhs * (1.0 + 1e-10) + 1e-10);
+        }
+
+        #[test]
+        fn dist_is_symmetric_nonneg(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..64)
+        ) {
+            let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let d = dist2_sq(&a, &b);
+            prop_assert!(d >= 0.0);
+            prop_assert!((d - dist2_sq(&b, &a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn normalized_vector_unit_norm(a in proptest::collection::vec(-1e3f64..1e3, 1..64)) {
+            let mut v = a.clone();
+            let n = normalize(&mut v);
+            if n > 1e-9 {
+                prop_assert!((norm2(&v) - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the numerical core: invariants that must
+//! hold for arbitrary inputs, plus cross-solver agreement.
+
+use ats_linalg::{
+    lanczos_top_k, sym_eigen, sym_eigen_jacobi, LanczosOptions, Matrix, Svd, SvdOptions,
+};
+use proptest::prelude::*;
+
+/// Random symmetric matrix strategy.
+fn symmetric(max_n: usize) -> impl Strategy<Value = Matrix> {
+    (1usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec(-50.0f64..50.0, n * n).prop_map(move |data| {
+            let mut a = Matrix::from_vec(n, n, data).unwrap();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let v = a[(i, j)];
+                    a[(j, i)] = v;
+                }
+            }
+            a
+        })
+    })
+}
+
+fn rectangular(max_n: usize, max_m: usize) -> impl Strategy<Value = Matrix> {
+    (1usize..max_n, 1usize..max_m).prop_flat_map(|(n, m)| {
+        proptest::collection::vec(-50.0f64..50.0, n * m)
+            .prop_map(move |data| Matrix::from_vec(n, m, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn eigen_reconstructs_input(a in symmetric(16)) {
+        let e = sym_eigen(&a).unwrap();
+        let back = e.reconstruct();
+        let scale = a.max_abs().max(1.0);
+        prop_assert!(back.approx_eq(&a, 1e-8 * scale));
+    }
+
+    #[test]
+    fn eigen_trace_and_frobenius_invariants(a in symmetric(16)) {
+        let e = sym_eigen(&a).unwrap();
+        let n = a.rows();
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-7 * trace.abs().max(1.0));
+        // ‖A‖_F² = Σ λᵢ²
+        let f2 = a.frobenius_norm().powi(2);
+        let l2: f64 = e.values.iter().map(|v| v * v).sum();
+        prop_assert!((f2 - l2).abs() < 1e-6 * f2.max(1.0));
+    }
+
+    #[test]
+    fn ql_and_jacobi_agree_on_spectra(a in symmetric(12)) {
+        let e1 = sym_eigen(&a).unwrap();
+        let e2 = sym_eigen_jacobi(&a).unwrap();
+        let scale = a.max_abs().max(1.0);
+        for (v1, v2) in e1.values.iter().zip(&e2.values) {
+            prop_assert!((v1 - v2).abs() < 1e-7 * scale);
+        }
+    }
+
+    #[test]
+    fn svd_singular_values_nonneg_sorted(x in rectangular(16, 10)) {
+        let svd = Svd::compute(&x, SvdOptions::default()).unwrap();
+        for w in svd.sigma().windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        for &s in svd.sigma() {
+            prop_assert!(s > 0.0); // rank-truncated: strictly positive
+        }
+        // σ₁ ≤ ‖X‖_F always; equality iff rank 1
+        prop_assert!(svd.sigma().first().copied().unwrap_or(0.0)
+                     <= x.frobenius_norm() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn svd_full_rank_roundtrip(x in rectangular(12, 8)) {
+        let svd = Svd::compute(&x, SvdOptions::default()).unwrap();
+        let scale = x.max_abs().max(1.0);
+        prop_assert!(svd.reconstruct().approx_eq(&x, 1e-7 * scale));
+    }
+
+    #[test]
+    fn svd_projection_norm_bounded(x in rectangular(12, 8)) {
+        // ‖proj(row)‖ ≤ ‖row‖ (V has orthonormal columns)
+        let svd = Svd::compute(&x, SvdOptions::default()).unwrap();
+        for i in 0..x.rows() {
+            let p = svd.project(x.row(i), svd.rank()).unwrap();
+            let pn: f64 = p.iter().map(|v| v * v).sum::<f64>().sqrt();
+            let rn: f64 = x.row(i).iter().map(|v| v * v).sum::<f64>().sqrt();
+            prop_assert!(pn <= rn * (1.0 + 1e-9) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn lanczos_top_eigenvalue_matches_dense(x in rectangular(14, 8)) {
+        let c = x.gram();
+        let dense = sym_eigen(&c).unwrap();
+        if dense.values[0] <= 1e-9 {
+            return Ok(()); // zero matrix: nothing to compare
+        }
+        let top = lanczos_top_k(&c, 1, LanczosOptions::default()).unwrap();
+        let rel = (top.values[0] - dense.values[0]).abs() / dense.values[0];
+        prop_assert!(rel < 1e-7, "rel err {rel}");
+    }
+
+    #[test]
+    fn matmul_associates_with_transpose(x in rectangular(8, 6)) {
+        // (XᵀX)ᵀ = XᵀX
+        let g = x.gram();
+        prop_assert!(g.transpose().approx_eq(&g, 1e-9));
+    }
+}

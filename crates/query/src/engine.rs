@@ -1,0 +1,362 @@
+//! The query engine: cell and aggregate queries over a compressed matrix.
+//!
+//! §1 names the two query classes this system must serve:
+//!
+//! - "queries on specific cells of the data matrix" — answered by one
+//!   `O(k)` reconstruction (plus, for SVDD, one delta probe);
+//! - "aggregate queries on selected rows and columns" — an aggregate
+//!   function `f()` (`sum()`, `avg()`, `stddev()`, …, §5.2) folded over
+//!   every reconstructed cell of a [`Selection`].
+//!
+//! The engine reconstructs whole rows where it can (one `U`-row fetch
+//! amortized over all selected columns) rather than per-cell.
+
+use crate::selection::Selection;
+use ats_common::{AtsError, OnlineStats, Result};
+use ats_compress::CompressedMatrix;
+use ats_linalg::Matrix;
+
+/// Aggregate functions supported by [`QueryEngine::aggregate`] (the
+/// paper's `f()`, §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateFn {
+    /// Sum of the selected cells.
+    Sum,
+    /// Arithmetic mean of the selected cells.
+    Avg,
+    /// Number of selected cells.
+    Count,
+    /// Minimum cell value.
+    Min,
+    /// Maximum cell value.
+    Max,
+    /// Population standard deviation of the selected cells.
+    StdDev,
+}
+
+impl AggregateFn {
+    /// All supported functions (handy for exhaustive experiment sweeps).
+    pub const ALL: [AggregateFn; 6] = [
+        AggregateFn::Sum,
+        AggregateFn::Avg,
+        AggregateFn::Count,
+        AggregateFn::Min,
+        AggregateFn::Max,
+        AggregateFn::StdDev,
+    ];
+
+    /// Short name for experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregateFn::Sum => "sum",
+            AggregateFn::Avg => "avg",
+            AggregateFn::Count => "count",
+            AggregateFn::Min => "min",
+            AggregateFn::Max => "max",
+            AggregateFn::StdDev => "stddev",
+        }
+    }
+
+    fn finish(&self, stats: &OnlineStats) -> f64 {
+        match self {
+            AggregateFn::Sum => stats.sum(),
+            AggregateFn::Avg => stats.mean(),
+            AggregateFn::Count => stats.count() as f64,
+            AggregateFn::Min => {
+                if stats.count() == 0 {
+                    0.0
+                } else {
+                    stats.min()
+                }
+            }
+            AggregateFn::Max => {
+                if stats.count() == 0 {
+                    0.0
+                } else {
+                    stats.max()
+                }
+            }
+            AggregateFn::StdDev => stats.population_std_dev(),
+        }
+    }
+}
+
+/// A query engine over any compressed matrix.
+pub struct QueryEngine<'a> {
+    matrix: &'a dyn CompressedMatrix,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Wrap a compressed matrix.
+    pub fn new(matrix: &'a dyn CompressedMatrix) -> Self {
+        QueryEngine { matrix }
+    }
+
+    /// Number of rows of the underlying matrix.
+    pub fn rows(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Number of columns of the underlying matrix.
+    pub fn cols(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// Cell query: the reconstructed value at `(i, j)`.
+    pub fn cell(&self, i: usize, j: usize) -> Result<f64> {
+        self.matrix.cell(i, j)
+    }
+
+    /// Aggregate query over a selection.
+    ///
+    /// Reconstructs each selected row once and folds the selected columns
+    /// into a single-pass accumulator.
+    pub fn aggregate(&self, sel: &Selection, f: AggregateFn) -> Result<f64> {
+        let (n, m) = (self.matrix.rows(), self.matrix.cols());
+        sel.validate(n, m)?;
+        let cols: Vec<usize> = sel.cols.to_vec(m);
+        let mut stats = OnlineStats::new();
+        let mut row_buf = vec![0.0f64; m];
+        // Heuristic: if most of the row is selected, reconstruct the whole
+        // row; otherwise reconstruct only the selected cells.
+        let dense_cols = cols.len() * 3 >= m;
+        for i in sel.rows.iter(n) {
+            if dense_cols {
+                self.matrix.row_into(i, &mut row_buf)?;
+                for &j in &cols {
+                    stats.push(row_buf[j]);
+                }
+            } else {
+                for &j in &cols {
+                    stats.push(self.matrix.cell(i, j)?);
+                }
+            }
+        }
+        Ok(f.finish(&stats))
+    }
+
+    /// Evaluate every aggregate function at once over one selection scan.
+    pub fn aggregate_all(&self, sel: &Selection) -> Result<AggregateRow> {
+        let (n, m) = (self.matrix.rows(), self.matrix.cols());
+        sel.validate(n, m)?;
+        let cols: Vec<usize> = sel.cols.to_vec(m);
+        let mut stats = OnlineStats::new();
+        let mut row_buf = vec![0.0f64; m];
+        for i in sel.rows.iter(n) {
+            self.matrix.row_into(i, &mut row_buf)?;
+            for &j in &cols {
+                stats.push(row_buf[j]);
+            }
+        }
+        Ok(AggregateRow {
+            sum: stats.sum(),
+            avg: stats.mean(),
+            count: stats.count(),
+            min: if stats.count() == 0 { 0.0 } else { stats.min() },
+            max: if stats.count() == 0 { 0.0 } else { stats.max() },
+            stddev: stats.population_std_dev(),
+        })
+    }
+}
+
+/// All aggregates of one selection, computed in a single scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregateRow {
+    /// Sum of selected cells.
+    pub sum: f64,
+    /// Mean of selected cells.
+    pub avg: f64,
+    /// Number of selected cells.
+    pub count: u64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+/// Ground truth: evaluate an aggregate directly on an uncompressed
+/// matrix (used by the experiments to compute `Q_err`).
+pub fn aggregate_exact(x: &Matrix, sel: &Selection, f: AggregateFn) -> Result<f64> {
+    let (n, m) = x.shape();
+    sel.validate(n, m)?;
+    let cols: Vec<usize> = sel.cols.to_vec(m);
+    let mut stats = OnlineStats::new();
+    for i in sel.rows.iter(n) {
+        let row = x.row(i);
+        for &j in &cols {
+            stats.push(row[j]);
+        }
+    }
+    Ok(f.finish(&stats))
+}
+
+/// An exact (lossless, in-memory) [`CompressedMatrix`] — the identity
+/// "compression". Useful as a ground-truth adapter and in tests.
+#[derive(Debug, Clone)]
+pub struct ExactMatrix(pub Matrix);
+
+impl CompressedMatrix for ExactMatrix {
+    fn rows(&self) -> usize {
+        self.0.rows()
+    }
+    fn cols(&self) -> usize {
+        self.0.cols()
+    }
+    fn cell(&self, i: usize, j: usize) -> Result<f64> {
+        self.0.get(i, j)
+    }
+    fn row_into(&self, i: usize, out: &mut [f64]) -> Result<()> {
+        if i >= self.0.rows() {
+            return Err(AtsError::oob("row", i, self.0.rows()));
+        }
+        if out.len() != self.0.cols() {
+            return Err(AtsError::dims(
+                "ExactMatrix::row_into",
+                (1, out.len()),
+                (1, self.0.cols()),
+            ));
+        }
+        out.copy_from_slice(self.0.row(i));
+        Ok(())
+    }
+    fn storage_bytes(&self) -> usize {
+        self.0.rows() * self.0.cols() * crate::engine::BYTES_PER_NUMBER_LOCAL
+    }
+    fn method_name(&self) -> &'static str {
+        "exact"
+    }
+}
+
+pub(crate) const BYTES_PER_NUMBER_LOCAL: usize = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::Axis;
+
+    fn x() -> Matrix {
+        Matrix::from_rows(vec![
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn cell_query() {
+        let e = ExactMatrix(x());
+        let q = QueryEngine::new(&e);
+        assert_eq!(q.cell(1, 2).unwrap(), 6.0);
+        assert!(q.cell(3, 0).is_err());
+    }
+
+    #[test]
+    fn aggregates_over_all() {
+        let e = ExactMatrix(x());
+        let q = QueryEngine::new(&e);
+        let sel = Selection::all();
+        assert_eq!(q.aggregate(&sel, AggregateFn::Sum).unwrap(), 45.0);
+        assert_eq!(q.aggregate(&sel, AggregateFn::Avg).unwrap(), 5.0);
+        assert_eq!(q.aggregate(&sel, AggregateFn::Count).unwrap(), 9.0);
+        assert_eq!(q.aggregate(&sel, AggregateFn::Min).unwrap(), 1.0);
+        assert_eq!(q.aggregate(&sel, AggregateFn::Max).unwrap(), 9.0);
+        let sd = q.aggregate(&sel, AggregateFn::StdDev).unwrap();
+        assert!((sd - (60.0f64 / 9.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregates_over_subrectangle() {
+        let e = ExactMatrix(x());
+        let q = QueryEngine::new(&e);
+        let sel = Selection {
+            rows: Axis::Range(1, 3),
+            cols: Axis::set(vec![0, 2]),
+        };
+        // cells: 4, 6, 7, 9
+        assert_eq!(q.aggregate(&sel, AggregateFn::Sum).unwrap(), 26.0);
+        assert_eq!(q.aggregate(&sel, AggregateFn::Avg).unwrap(), 6.5);
+        assert_eq!(q.aggregate(&sel, AggregateFn::Min).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn sparse_column_path_matches_dense() {
+        // One selected column of a wide matrix exercises the per-cell path.
+        let wide = Matrix::from_fn(5, 30, |i, j| (i * 30 + j) as f64);
+        let e = ExactMatrix(wide.clone());
+        let q = QueryEngine::new(&e);
+        let sel = Selection::col(7);
+        let got = q.aggregate(&sel, AggregateFn::Sum).unwrap();
+        let expect: f64 = (0..5).map(|i| (i * 30 + 7) as f64).sum();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let e = ExactMatrix(x());
+        let q = QueryEngine::new(&e);
+        let sel = Selection {
+            rows: Axis::Range(1, 1),
+            cols: Axis::All,
+        };
+        assert_eq!(q.aggregate(&sel, AggregateFn::Sum).unwrap(), 0.0);
+        assert_eq!(q.aggregate(&sel, AggregateFn::Count).unwrap(), 0.0);
+        assert_eq!(q.aggregate(&sel, AggregateFn::Min).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn invalid_selection_rejected() {
+        let e = ExactMatrix(x());
+        let q = QueryEngine::new(&e);
+        let sel = Selection {
+            rows: Axis::Set(vec![5]),
+            cols: Axis::All,
+        };
+        assert!(q.aggregate(&sel, AggregateFn::Sum).is_err());
+    }
+
+    #[test]
+    fn aggregate_all_consistent_with_individual() {
+        let e = ExactMatrix(x());
+        let q = QueryEngine::new(&e);
+        let sel = Selection {
+            rows: Axis::Range(0, 2),
+            cols: Axis::Range(1, 3),
+        };
+        let all = q.aggregate_all(&sel).unwrap();
+        assert_eq!(all.sum, q.aggregate(&sel, AggregateFn::Sum).unwrap());
+        assert_eq!(all.avg, q.aggregate(&sel, AggregateFn::Avg).unwrap());
+        assert_eq!(all.count as f64, q.aggregate(&sel, AggregateFn::Count).unwrap());
+        assert_eq!(all.min, q.aggregate(&sel, AggregateFn::Min).unwrap());
+        assert_eq!(all.max, q.aggregate(&sel, AggregateFn::Max).unwrap());
+        assert_eq!(all.stddev, q.aggregate(&sel, AggregateFn::StdDev).unwrap());
+    }
+
+    #[test]
+    fn exact_aggregate_matches_engine_on_exact_matrix() {
+        let m = x();
+        let e = ExactMatrix(m.clone());
+        let q = QueryEngine::new(&e);
+        let sel = Selection {
+            rows: Axis::set(vec![0, 2]),
+            cols: Axis::Range(0, 2),
+        };
+        for f in AggregateFn::ALL {
+            assert_eq!(
+                q.aggregate(&sel, f).unwrap(),
+                aggregate_exact(&m, &sel, f).unwrap(),
+                "{}",
+                f.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(AggregateFn::Sum.name(), "sum");
+        assert_eq!(AggregateFn::StdDev.name(), "stddev");
+        assert_eq!(AggregateFn::ALL.len(), 6);
+    }
+}

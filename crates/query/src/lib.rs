@@ -1,0 +1,33 @@
+//! # ats-query
+//!
+//! The query layer of the `adhoc-ts` workspace: the two query classes the
+//! paper studies (§1, §5), executed over any
+//! [`ats_compress::CompressedMatrix`], plus the error metrics its
+//! experiments report.
+//!
+//! - [`selection`] — row/column selections ("some customers, some days"):
+//!   everything, ranges, or explicit sets;
+//! - [`engine`] — [`engine::QueryEngine`]: cell queries ("what was the
+//!   amount of sales to GHI Inc. on July 11?") and aggregate queries
+//!   ("total sales to business customers for the week ending July 12")
+//!   with `sum`/`avg`/`count`/`min`/`max`/`stddev`;
+//! - [`metrics`] — RMSPE (Def. 5.1), normalized worst-case cell error
+//!   (Table 3/4), the rank-ordered error spectrum (Fig. 8), and the
+//!   aggregate query error `Q_err` (Eq. 14);
+//! - [`workload`] — the random aggregate-query workload generator of
+//!   §5.2 (50 queries selecting ≈10% of the cells);
+//! - [`parse`] — a tiny textual query language (`cell 42 17`,
+//!   `avg rows 0..100 cols all`) for the REPL example.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod metrics;
+pub mod parse;
+pub mod selection;
+pub mod workload;
+
+pub use engine::{AggregateFn, QueryEngine};
+pub use parse::{parse_query, run_query, Query};
+pub use metrics::{ErrorReport, QueryError};
+pub use selection::Selection;

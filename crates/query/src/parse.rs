@@ -1,0 +1,180 @@
+//! A tiny ad hoc query language.
+//!
+//! The paper's motivating interface is an analyst typing exploratory
+//! queries ("what was the amount of sales to GHI Inc. on July 11?",
+//! "find the total sales to business customers for the week ending July
+//! 12"). This module gives the examples and the REPL a concrete syntax
+//! for exactly the two query classes:
+//!
+//! ```text
+//! cell <row> <col>                       -- single cell
+//! <agg> rows <axis> cols <axis>          -- aggregate over a selection
+//!
+//! <agg>  ::= sum | avg | count | min | max | stddev
+//! <axis> ::= all | <a>..<b> | <i>,<i>,...
+//! ```
+//!
+//! Examples: `cell 42 17`, `avg rows 0..100 cols all`,
+//! `sum rows 1,5,9 cols 0..7`.
+
+use crate::engine::AggregateFn;
+use crate::selection::{Axis, Selection};
+use ats_common::{AtsError, Result};
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// `cell i j`
+    Cell(usize, usize),
+    /// `<agg> rows … cols …`
+    Aggregate(AggregateFn, Selection),
+}
+
+fn parse_usize(tok: &str, what: &str) -> Result<usize> {
+    tok.parse::<usize>()
+        .map_err(|_| AtsError::InvalidArgument(format!("expected a number for {what}, got {tok:?}")))
+}
+
+fn parse_axis(tok: &str) -> Result<Axis> {
+    if tok.eq_ignore_ascii_case("all") {
+        return Ok(Axis::All);
+    }
+    if let Some((a, b)) = tok.split_once("..") {
+        let start = parse_usize(a, "range start")?;
+        let end = parse_usize(b, "range end")?;
+        if start > end {
+            return Err(AtsError::InvalidArgument(format!(
+                "range {start}..{end} is backwards"
+            )));
+        }
+        return Ok(Axis::Range(start, end));
+    }
+    let indices = tok
+        .split(',')
+        .map(|t| parse_usize(t.trim(), "index"))
+        .collect::<Result<Vec<usize>>>()?;
+    if indices.is_empty() {
+        return Err(AtsError::InvalidArgument("empty index list".into()));
+    }
+    Ok(Axis::set(indices))
+}
+
+fn parse_agg(tok: &str) -> Result<AggregateFn> {
+    Ok(match tok.to_ascii_lowercase().as_str() {
+        "sum" => AggregateFn::Sum,
+        "avg" | "mean" => AggregateFn::Avg,
+        "count" => AggregateFn::Count,
+        "min" => AggregateFn::Min,
+        "max" => AggregateFn::Max,
+        "stddev" | "std" => AggregateFn::StdDev,
+        other => {
+            return Err(AtsError::InvalidArgument(format!(
+                "unknown aggregate {other:?} (try sum, avg, count, min, max, stddev)"
+            )))
+        }
+    })
+}
+
+/// Parse one query line.
+pub fn parse_query(line: &str) -> Result<Query> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    match tokens.as_slice() {
+        [] => Err(AtsError::InvalidArgument("empty query".into())),
+        ["cell", i, j] => Ok(Query::Cell(
+            parse_usize(i, "row")?,
+            parse_usize(j, "column")?,
+        )),
+        [agg, "rows", rows, "cols", cols] => Ok(Query::Aggregate(
+            parse_agg(agg)?,
+            Selection {
+                rows: parse_axis(rows)?,
+                cols: parse_axis(cols)?,
+            },
+        )),
+        _ => Err(AtsError::InvalidArgument(format!(
+            "cannot parse {line:?}; expected `cell <i> <j>` or `<agg> rows <axis> cols <axis>`"
+        ))),
+    }
+}
+
+/// Parse and execute against a query engine.
+pub fn run_query(engine: &crate::engine::QueryEngine<'_>, line: &str) -> Result<f64> {
+    match parse_query(line)? {
+        Query::Cell(i, j) => engine.cell(i, j),
+        Query::Aggregate(f, sel) => engine.aggregate(&sel, f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ExactMatrix, QueryEngine};
+    use ats_linalg::Matrix;
+
+    #[test]
+    fn parses_cell() {
+        assert_eq!(parse_query("cell 3 7").unwrap(), Query::Cell(3, 7));
+        assert!(parse_query("cell 3").is_err());
+        assert!(parse_query("cell x 7").is_err());
+    }
+
+    #[test]
+    fn parses_aggregates() {
+        let q = parse_query("avg rows 0..10 cols all").unwrap();
+        assert_eq!(
+            q,
+            Query::Aggregate(
+                AggregateFn::Avg,
+                Selection {
+                    rows: Axis::Range(0, 10),
+                    cols: Axis::All
+                }
+            )
+        );
+        let q = parse_query("SUM rows 5,1,5 cols 2..4").unwrap();
+        assert_eq!(
+            q,
+            Query::Aggregate(
+                AggregateFn::Sum,
+                Selection {
+                    rows: Axis::Set(vec![1, 5]),
+                    cols: Axis::Range(2, 4)
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("median rows all cols all").is_err());
+        assert!(parse_query("avg rows 5..2 cols all").is_err());
+        assert!(parse_query("avg rows all").is_err());
+        assert!(parse_query("avg cols all rows all").is_err());
+        assert!(parse_query("avg rows , cols all").is_err());
+    }
+
+    #[test]
+    fn executes_end_to_end() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let e = ExactMatrix(m);
+        let engine = QueryEngine::new(&e);
+        assert_eq!(run_query(&engine, "cell 1 0").unwrap(), 3.0);
+        assert_eq!(run_query(&engine, "sum rows all cols all").unwrap(), 10.0);
+        assert_eq!(run_query(&engine, "max rows 0..2 cols 1,1").unwrap(), 4.0);
+        assert_eq!(run_query(&engine, "count rows all cols 0").unwrap(), 2.0);
+        assert!(run_query(&engine, "cell 9 9").is_err());
+    }
+
+    #[test]
+    fn aliases() {
+        assert!(matches!(
+            parse_query("mean rows all cols all").unwrap(),
+            Query::Aggregate(AggregateFn::Avg, _)
+        ));
+        assert!(matches!(
+            parse_query("std rows all cols all").unwrap(),
+            Query::Aggregate(AggregateFn::StdDev, _)
+        ));
+    }
+}

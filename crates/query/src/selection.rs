@@ -1,0 +1,184 @@
+//! Row/column selections for ad hoc queries.
+//!
+//! The paper's aggregate queries "specify some rows and columns of the
+//! data matrix" (§5.2). [`Axis`] describes one dimension — everything, a
+//! contiguous range, or an explicit set — and [`Selection`] pairs two of
+//! them into a rectangle-of-sorts over the matrix.
+
+use ats_common::{AtsError, Result};
+
+/// A selection along one axis (rows or columns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Axis {
+    /// Every index.
+    All,
+    /// A half-open range `[start, end)`.
+    Range(usize, usize),
+    /// An explicit index set (deduplicated, sorted at construction).
+    Set(Vec<usize>),
+}
+
+impl Axis {
+    /// An explicit set, deduplicated and sorted.
+    pub fn set(mut indices: Vec<usize>) -> Axis {
+        indices.sort_unstable();
+        indices.dedup();
+        Axis::Set(indices)
+    }
+
+    /// Number of selected indices, given the axis length `len`.
+    pub fn count(&self, len: usize) -> usize {
+        match self {
+            Axis::All => len,
+            Axis::Range(a, b) => b.saturating_sub(*a),
+            Axis::Set(s) => s.len(),
+        }
+    }
+
+    /// Validate against an axis of length `len`.
+    pub fn validate(&self, len: usize, what: &'static str) -> Result<()> {
+        match self {
+            Axis::All => Ok(()),
+            Axis::Range(a, b) => {
+                if a > b || *b > len {
+                    Err(AtsError::InvalidArgument(format!(
+                        "{what} range [{a}, {b}) out of 0..{len}"
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            Axis::Set(s) => {
+                for &i in s {
+                    if i >= len {
+                        return Err(AtsError::oob(what, i, len));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Iterate the selected indices in ascending order.
+    pub fn iter(&self, len: usize) -> Box<dyn Iterator<Item = usize> + '_> {
+        match self {
+            Axis::All => Box::new(0..len),
+            Axis::Range(a, b) => Box::new(*a..*b),
+            Axis::Set(s) => Box::new(s.iter().copied()),
+        }
+    }
+
+    /// Materialize the selected indices.
+    pub fn to_vec(&self, len: usize) -> Vec<usize> {
+        self.iter(len).collect()
+    }
+}
+
+/// A two-dimensional selection: some rows × some columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selection {
+    /// Row selection ("customers").
+    pub rows: Axis,
+    /// Column selection ("days").
+    pub cols: Axis,
+}
+
+impl Selection {
+    /// Everything.
+    pub fn all() -> Self {
+        Selection {
+            rows: Axis::All,
+            cols: Axis::All,
+        }
+    }
+
+    /// A single cell.
+    pub fn cell(i: usize, j: usize) -> Self {
+        Selection {
+            rows: Axis::Set(vec![i]),
+            cols: Axis::Set(vec![j]),
+        }
+    }
+
+    /// One whole row.
+    pub fn row(i: usize) -> Self {
+        Selection {
+            rows: Axis::Set(vec![i]),
+            cols: Axis::All,
+        }
+    }
+
+    /// One whole column.
+    pub fn col(j: usize) -> Self {
+        Selection {
+            rows: Axis::All,
+            cols: Axis::Set(vec![j]),
+        }
+    }
+
+    /// Number of selected cells in an `n × m` matrix.
+    pub fn cell_count(&self, n: usize, m: usize) -> usize {
+        self.rows.count(n) * self.cols.count(m)
+    }
+
+    /// Validate both axes.
+    pub fn validate(&self, n: usize, m: usize) -> Result<()> {
+        self.rows.validate(n, "row")?;
+        self.cols.validate(m, "column")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_counts() {
+        assert_eq!(Axis::All.count(10), 10);
+        assert_eq!(Axis::Range(2, 7).count(10), 5);
+        assert_eq!(Axis::set(vec![3, 1, 3]).count(10), 2);
+    }
+
+    #[test]
+    fn set_dedup_sorts() {
+        let a = Axis::set(vec![5, 1, 5, 2]);
+        assert_eq!(a.to_vec(10), vec![1, 2, 5]);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Axis::All.validate(0, "row").is_ok());
+        assert!(Axis::Range(0, 5).validate(5, "row").is_ok());
+        assert!(Axis::Range(0, 6).validate(5, "row").is_err());
+        assert!(Axis::Range(4, 2).validate(5, "row").is_err());
+        assert!(Axis::Set(vec![4]).validate(5, "row").is_ok());
+        assert!(Axis::Set(vec![5]).validate(5, "row").is_err());
+    }
+
+    #[test]
+    fn iteration() {
+        assert_eq!(Axis::All.to_vec(3), vec![0, 1, 2]);
+        assert_eq!(Axis::Range(1, 3).to_vec(10), vec![1, 2]);
+        assert_eq!(Axis::Range(3, 3).to_vec(10), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn selection_cells() {
+        let s = Selection {
+            rows: Axis::Range(0, 4),
+            cols: Axis::set(vec![1, 3, 5]),
+        };
+        assert_eq!(s.cell_count(100, 10), 12);
+        assert!(s.validate(100, 10).is_ok());
+        assert!(s.validate(3, 10).is_err());
+        assert!(s.validate(100, 5).is_err());
+    }
+
+    #[test]
+    fn convenience_constructors() {
+        assert_eq!(Selection::cell(2, 3).cell_count(10, 10), 1);
+        assert_eq!(Selection::row(2).cell_count(10, 7), 7);
+        assert_eq!(Selection::col(2).cell_count(10, 7), 10);
+        assert_eq!(Selection::all().cell_count(10, 7), 70);
+    }
+}

@@ -1,0 +1,176 @@
+//! Random aggregate-query workloads (§5.2).
+//!
+//! "We posed 50 aggregate queries to determine the average of a randomly
+//! selected set of rows and columns … The number of rows and columns
+//! selected was tuned so that approximately 10% of the data cells would
+//! be included in the selection." This module generates exactly that
+//! workload, deterministically per seed.
+
+use crate::selection::{Axis, Selection};
+use ats_common::{AtsError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`random_aggregate_queries`].
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Number of queries (paper: 50).
+    pub queries: usize,
+    /// Target fraction of cells each query covers (paper: ~0.10).
+    pub cell_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            queries: 50,
+            cell_fraction: 0.10,
+            seed: 4242,
+        }
+    }
+}
+
+/// Sample `count` distinct indices from `0..len` (Floyd's algorithm).
+fn sample_indices(rng: &mut StdRng, len: usize, count: usize) -> Vec<usize> {
+    debug_assert!(count <= len);
+    let mut chosen = std::collections::HashSet::with_capacity(count);
+    for j in (len - count)..len {
+        let t = rng.gen_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    let mut v: Vec<usize> = chosen.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Generate random row×column selections each covering about
+/// `cell_fraction` of an `n × m` matrix.
+///
+/// The row/column split is itself randomized per query: a random row
+/// fraction `fr ∈ [cell_fraction, 1]` is drawn, and the column fraction
+/// is `cell_fraction / fr`, so queries range from "many customers, few
+/// days" to "few customers, many days" like real ad hoc workloads.
+pub fn random_aggregate_queries(
+    n: usize,
+    m: usize,
+    cfg: &WorkloadConfig,
+) -> Result<Vec<Selection>> {
+    if n == 0 || m == 0 {
+        return Err(AtsError::InvalidArgument("empty matrix".into()));
+    }
+    if !(0.0..=1.0).contains(&cfg.cell_fraction) || cfg.cell_fraction == 0.0 {
+        return Err(AtsError::InvalidArgument(format!(
+            "cell_fraction {} must be in (0, 1]",
+            cfg.cell_fraction
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.queries);
+    for _ in 0..cfg.queries {
+        let fr: f64 = rng.gen_range(cfg.cell_fraction..=1.0);
+        let fc = (cfg.cell_fraction / fr).min(1.0);
+        let rows = ((fr * n as f64).round() as usize).clamp(1, n);
+        let cols = ((fc * m as f64).round() as usize).clamp(1, m);
+        out.push(Selection {
+            rows: Axis::Set(sample_indices(&mut rng, n, rows)),
+            cols: Axis::Set(sample_indices(&mut rng, m, cols)),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        let qs = random_aggregate_queries(1000, 100, &WorkloadConfig::default()).unwrap();
+        assert_eq!(qs.len(), 50);
+    }
+
+    #[test]
+    fn coverage_near_target() {
+        let (n, m) = (2000usize, 366usize);
+        let cfg = WorkloadConfig::default();
+        let qs = random_aggregate_queries(n, m, &cfg).unwrap();
+        let mut total = 0.0;
+        for q in &qs {
+            q.validate(n, m).unwrap();
+            total += q.cell_count(n, m) as f64 / (n * m) as f64;
+        }
+        let avg = total / qs.len() as f64;
+        assert!(
+            (0.05..=0.2).contains(&avg),
+            "average coverage {avg} far from 10%"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = WorkloadConfig::default();
+        let a = random_aggregate_queries(100, 30, &cfg).unwrap();
+        let b = random_aggregate_queries(100, 30, &cfg).unwrap();
+        assert_eq!(a, b);
+        let c = random_aggregate_queries(
+            100,
+            30,
+            &WorkloadConfig {
+                seed: 1,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn indices_unique_sorted_in_bounds() {
+        let qs = random_aggregate_queries(50, 20, &WorkloadConfig::default()).unwrap();
+        for q in &qs {
+            if let Axis::Set(rows) = &q.rows {
+                for w in rows.windows(2) {
+                    assert!(w[0] < w[1]);
+                }
+                assert!(*rows.last().unwrap() < 50);
+            } else {
+                panic!("expected Set rows");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_matrix_still_valid() {
+        let qs = random_aggregate_queries(1, 1, &WorkloadConfig::default()).unwrap();
+        for q in &qs {
+            assert_eq!(q.cell_count(1, 1), 1);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(random_aggregate_queries(0, 5, &WorkloadConfig::default()).is_err());
+        let bad = WorkloadConfig {
+            cell_fraction: 0.0,
+            ..WorkloadConfig::default()
+        };
+        assert!(random_aggregate_queries(10, 5, &bad).is_err());
+    }
+
+    #[test]
+    fn full_fraction_selects_everything() {
+        let cfg = WorkloadConfig {
+            queries: 3,
+            cell_fraction: 1.0,
+            seed: 1,
+        };
+        let qs = random_aggregate_queries(10, 4, &cfg).unwrap();
+        for q in &qs {
+            assert_eq!(q.cell_count(10, 4), 40);
+        }
+    }
+}

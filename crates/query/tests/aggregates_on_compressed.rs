@@ -1,0 +1,107 @@
+//! Aggregate semantics over real compressed representations: §5.2's
+//! observation that aggregation is *more* accurate than cell access,
+//! checked per aggregate function.
+
+use ats_compress::{SpaceBudget, SvddCompressed, SvddOptions};
+use ats_data::{generate_phone, PhoneConfig};
+use ats_query::engine::{aggregate_exact, AggregateFn, QueryEngine};
+use ats_query::metrics::QueryError;
+use ats_query::selection::{Axis, Selection};
+use ats_query::workload::{random_aggregate_queries, WorkloadConfig};
+
+fn setup() -> (ats_linalg::Matrix, SvddCompressed) {
+    let d = generate_phone(&PhoneConfig {
+        customers: 600,
+        days: 84,
+        ..PhoneConfig::default()
+    });
+    let x = d.into_matrix();
+    let svdd =
+        SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(10.0)))
+            .unwrap();
+    (x, svdd)
+}
+
+#[test]
+fn sum_and_avg_track_truth_closely() {
+    let (x, svdd) = setup();
+    let engine = QueryEngine::new(&svdd);
+    let queries =
+        random_aggregate_queries(600, 84, &WorkloadConfig { queries: 20, ..Default::default() })
+            .unwrap();
+    for (qi, q) in queries.iter().enumerate() {
+        for f in [AggregateFn::Sum, AggregateFn::Avg] {
+            let exact = aggregate_exact(&x, q, f).unwrap();
+            let approx = engine.aggregate(q, f).unwrap();
+            let e = QueryError::q_err(exact, approx);
+            assert!(e < 0.10, "query {qi} {}: q_err {e}", f.name());
+        }
+    }
+}
+
+#[test]
+fn count_is_always_exact() {
+    let (x, svdd) = setup();
+    let engine = QueryEngine::new(&svdd);
+    let sel = Selection {
+        rows: Axis::Range(3, 77),
+        cols: Axis::set(vec![0, 5, 80]),
+    };
+    assert_eq!(
+        engine.aggregate(&sel, AggregateFn::Count).unwrap(),
+        aggregate_exact(&x, &sel, AggregateFn::Count).unwrap()
+    );
+}
+
+#[test]
+fn min_max_bounded_by_worst_cell_error() {
+    let (x, svdd) = setup();
+    let engine = QueryEngine::new(&svdd);
+    let report = ats_query::metrics::error_report(&x, &svdd).unwrap();
+    let sel = Selection {
+        rows: Axis::Range(0, 600),
+        cols: Axis::Range(0, 84),
+    };
+    for f in [AggregateFn::Min, AggregateFn::Max] {
+        let exact = aggregate_exact(&x, &sel, f).unwrap();
+        let approx = engine.aggregate(&sel, f).unwrap();
+        // extreme statistics can each be off by at most the worst
+        // single-cell reconstruction error
+        assert!(
+            (exact - approx).abs() <= report.max_abs_error + 1e-9,
+            "{}: {exact} vs {approx} (worst cell {})",
+            f.name(),
+            report.max_abs_error
+        );
+    }
+}
+
+#[test]
+fn stddev_reasonable() {
+    let (x, svdd) = setup();
+    let engine = QueryEngine::new(&svdd);
+    let sel = Selection::all();
+    let exact = aggregate_exact(&x, &sel, AggregateFn::StdDev).unwrap();
+    let approx = engine.aggregate(&sel, AggregateFn::StdDev).unwrap();
+    assert!(
+        QueryError::q_err(exact, approx) < 0.05,
+        "stddev: {exact} vs {approx}"
+    );
+}
+
+#[test]
+fn single_row_and_column_selections() {
+    let (x, svdd) = setup();
+    let engine = QueryEngine::new(&svdd);
+    for sel in [Selection::row(42), Selection::col(17), Selection::cell(3, 3)] {
+        let exact = aggregate_exact(&x, &sel, AggregateFn::Sum).unwrap();
+        let approx = engine.aggregate(&sel, AggregateFn::Sum).unwrap();
+        // single rows/columns don't enjoy full cancellation, but must
+        // stay within a loose relative band
+        let denom = exact.abs().max(1.0);
+        assert!(
+            (exact - approx).abs() / denom < 0.5,
+            "{sel:?}: {exact} vs {approx}"
+        );
+    }
+}

@@ -1,0 +1,462 @@
+//! Matrix files: positioned row reads and buffered sequential scans.
+//!
+//! [`MatrixFileWriter`] streams rows out to disk without buffering the
+//! whole matrix; [`MatrixFile`] reads them back either one row at a time
+//! by position (the query path: `pread` at `header.row_offset(i)`) or as
+//! a buffered sequential scan (the pass path used by the compression
+//! algorithms, which reads a chunk of rows per syscall).
+
+use crate::format::{Header, HEADER_LEN};
+use crate::iostats::IoStats;
+use ats_common::{AtsError, Result};
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+#[cfg(unix)]
+use std::os::unix::fs::FileExt;
+
+/// Number of rows fetched per syscall during sequential scans.
+const SCAN_CHUNK_ROWS: usize = 256;
+
+/// Streaming writer for `.atsm` matrix files.
+///
+/// Rows are appended one at a time; [`MatrixFileWriter::finish`] patches
+/// the header (which carries the final row count and checksum) and syncs.
+pub struct MatrixFileWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+    cols: usize,
+    rows_written: usize,
+    f32_cells: bool,
+}
+
+impl MatrixFileWriter {
+    /// Create (truncating) a matrix file with `cols` columns of `f64`
+    /// cells.
+    pub fn create(path: impl AsRef<Path>, cols: usize) -> Result<Self> {
+        Self::create_inner(path, cols, false)
+    }
+
+    /// Create a file storing cells quantized to `f32` (half the space,
+    /// ~7 decimal digits — the "b bytes per number" knob of §5.1).
+    pub fn create_f32(path: impl AsRef<Path>, cols: usize) -> Result<Self> {
+        Self::create_inner(path, cols, true)
+    }
+
+    fn create_inner(path: impl AsRef<Path>, cols: usize, f32_cells: bool) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        let mut out = BufWriter::new(file);
+        // Placeholder header; patched in finish().
+        out.write_all(&vec![0u8; HEADER_LEN])?;
+        Ok(MatrixFileWriter {
+            out,
+            path,
+            cols,
+            rows_written: 0,
+            f32_cells,
+        })
+    }
+
+    /// Append one row. Errors if the length differs from `cols`.
+    pub fn append_row(&mut self, row: &[f64]) -> Result<()> {
+        if row.len() != self.cols {
+            return Err(AtsError::dims(
+                "MatrixFileWriter::append_row",
+                (1, row.len()),
+                (1, self.cols),
+            ));
+        }
+        if self.f32_cells {
+            for &v in row {
+                self.out.write_all(&(v as f32).to_le_bytes())?;
+            }
+        } else {
+            for &v in row {
+                self.out.write_all(&v.to_le_bytes())?;
+            }
+        }
+        self.rows_written += 1;
+        Ok(())
+    }
+
+    /// Number of rows appended so far.
+    pub fn rows_written(&self) -> usize {
+        self.rows_written
+    }
+
+    /// Finalize: flush data, write the real header, sync, and return it.
+    pub fn finish(mut self) -> Result<Header> {
+        let header = if self.f32_cells {
+            Header::new_f32(self.rows_written, self.cols)
+        } else {
+            Header::new(self.rows_written, self.cols)
+        };
+        self.out.flush()?;
+        let mut file = self.out.into_inner().map_err(|e| {
+            AtsError::Io(std::io::Error::other(format!("flush failed: {e}")))
+        })?;
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&header.encode())?;
+        file.sync_all()?;
+        let _ = &self.path;
+        Ok(header)
+    }
+}
+
+/// Read-only handle to a `.atsm` matrix file.
+///
+/// All reads are positioned (`pread`), so a `MatrixFile` is freely
+/// shareable across threads — the parallel pass in `ats-compress` scans
+/// disjoint row ranges of one handle concurrently.
+pub struct MatrixFile {
+    file: File,
+    header: Header,
+    stats: Arc<IoStats>,
+}
+
+impl MatrixFile {
+    /// Open and validate a matrix file.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with_stats(path, IoStats::new())
+    }
+
+    /// Open with caller-provided I/O counters.
+    pub fn open_with_stats(path: impl AsRef<Path>, stats: Arc<IoStats>) -> Result<Self> {
+        let mut file = File::open(path.as_ref())?;
+        let mut buf = [0u8; HEADER_LEN];
+        file.read_exact(&mut buf)?;
+        let header = Header::decode(&buf)?;
+        let actual = file.metadata()?.len();
+        if actual < header.file_len() {
+            return Err(AtsError::Corrupt(format!(
+                "file truncated: {} bytes < expected {}",
+                actual,
+                header.file_len()
+            )));
+        }
+        Ok(MatrixFile {
+            file,
+            header,
+            stats,
+        })
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// Number of rows (`N`).
+    pub fn rows(&self) -> usize {
+        self.header.rows
+    }
+
+    /// Number of columns (`M`).
+    pub fn cols(&self) -> usize {
+        self.header.cols
+    }
+
+    /// The I/O counters this handle reports into.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> Result<()> {
+        #[cfg(unix)]
+        {
+            self.file.read_exact_at(buf, offset)?;
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::Read as _;
+            let mut f = &self.file;
+            let mut f2 = f.try_clone()?;
+            f2.seek(SeekFrom::Start(offset))?;
+            f2.read_exact(buf)?;
+            let _ = &mut f;
+        }
+        Ok(())
+    }
+
+    /// Raw positioned read at an absolute file offset, with no stats
+    /// accounting — used by the buffer pool, which does its own.
+    pub(crate) fn raw_read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.read_exact_at(buf, offset)
+    }
+
+    /// Positioned read of row `i` into `out` (length must be `cols`).
+    /// One physical read.
+    pub fn read_row_into(&self, i: usize, out: &mut [f64]) -> Result<()> {
+        if i >= self.header.rows {
+            return Err(AtsError::oob("row", i, self.header.rows));
+        }
+        if out.len() != self.header.cols {
+            return Err(AtsError::dims(
+                "read_row_into",
+                (1, out.len()),
+                (1, self.header.cols),
+            ));
+        }
+        self.stats.record_logical();
+        let mut buf = vec![0u8; self.header.row_bytes()];
+        self.read_exact_at(&mut buf, self.header.row_offset(i))?;
+        self.stats.record_physical(buf.len() as u64);
+        decode_cells(&buf, self.header.is_f32(), out);
+        Ok(())
+    }
+
+    /// Positioned read of row `i`, allocating.
+    pub fn read_row(&self, i: usize) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.header.cols];
+        self.read_row_into(i, &mut out)?;
+        Ok(out)
+    }
+
+    /// Buffered sequential scan of rows `[start, end)`, invoking
+    /// `f(row_index, row)` for each. Reads a fixed-size chunk of rows per
+    /// physical read.
+    pub fn scan_range(
+        &self,
+        start: usize,
+        end: usize,
+        f: &mut dyn FnMut(usize, &[f64]) -> Result<()>,
+    ) -> Result<()> {
+        if start > end || end > self.header.rows {
+            return Err(AtsError::InvalidArgument(format!(
+                "scan_range [{start}, {end}) out of 0..{}",
+                self.header.rows
+            )));
+        }
+        if self.header.cols == 0 {
+            return Ok(());
+        }
+        let row_bytes = self.header.row_bytes();
+        let mut buf = vec![0u8; row_bytes * SCAN_CHUNK_ROWS.min((end - start).max(1))];
+        let mut row = vec![0.0f64; self.header.cols];
+        let mut i = start;
+        while i < end {
+            let chunk = SCAN_CHUNK_ROWS.min(end - i);
+            let bytes = &mut buf[..chunk * row_bytes];
+            self.read_exact_at(bytes, self.header.row_offset(i))?;
+            self.stats.record_physical(bytes.len() as u64);
+            for r in 0..chunk {
+                self.stats.record_logical();
+                decode_cells(&bytes[r * row_bytes..(r + 1) * row_bytes], self.header.is_f32(), &mut row);
+                f(i + r, &row)?;
+            }
+            i += chunk;
+        }
+        Ok(())
+    }
+}
+
+fn decode_cells(buf: &[u8], is_f32: bool, out: &mut [f64]) {
+    if is_f32 {
+        for (o, chunk) in out.iter_mut().zip(buf.chunks_exact(4)) {
+            *o = f64::from(f32::from_le_bytes(chunk.try_into().expect("len 4")));
+        }
+    } else {
+        for (o, chunk) in out.iter_mut().zip(buf.chunks_exact(8)) {
+            *o = f64::from_le_bytes(chunk.try_into().expect("len 8"));
+        }
+    }
+}
+
+/// Convenience: write an in-memory matrix to a file in one call.
+pub fn write_matrix(path: impl AsRef<Path>, m: &ats_linalg::Matrix) -> Result<Header> {
+    let mut w = MatrixFileWriter::create(path, m.cols())?;
+    for row in m.iter_rows() {
+        w.append_row(row)?;
+    }
+    w.finish()
+}
+
+/// Convenience: read an entire file into an in-memory matrix.
+pub fn read_matrix(path: impl AsRef<Path>) -> Result<ats_linalg::Matrix> {
+    let f = MatrixFile::open(path)?;
+    let mut m = ats_linalg::Matrix::zeros(f.rows(), f.cols());
+    f.scan_range(0, f.rows(), &mut |i, row| {
+        m.row_mut(i).copy_from_slice(row);
+        Ok(())
+    })?;
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ats_linalg::Matrix;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "ats-storage-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample_matrix(n: usize, m: usize) -> Matrix {
+        Matrix::from_fn(n, m, |i, j| (i * 1000 + j) as f64 * 0.5 - 3.0)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let path = tmpdir().join("roundtrip.atsm");
+        let m = sample_matrix(37, 11);
+        let h = write_matrix(&path, &m).unwrap();
+        assert_eq!(h.rows, 37);
+        assert_eq!(h.cols, 11);
+        let back = read_matrix(&path).unwrap();
+        assert!(back.approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn positioned_row_read() {
+        let path = tmpdir().join("pos.atsm");
+        let m = sample_matrix(20, 7);
+        write_matrix(&path, &m).unwrap();
+        let f = MatrixFile::open(&path).unwrap();
+        for i in [0usize, 7, 19] {
+            assert_eq!(f.read_row(i).unwrap(), m.row(i));
+        }
+        assert!(f.read_row(20).is_err());
+    }
+
+    #[test]
+    fn physical_reads_counted_one_per_row_query() {
+        let path = tmpdir().join("count.atsm");
+        write_matrix(&path, &sample_matrix(10, 4)).unwrap();
+        let stats = IoStats::new();
+        let f = MatrixFile::open_with_stats(&path, Arc::clone(&stats)).unwrap();
+        f.read_row(3).unwrap();
+        f.read_row(7).unwrap();
+        // The paper's claim: each cell/row query = one disk access.
+        assert_eq!(stats.physical_reads(), 2);
+        assert_eq!(stats.logical_reads(), 2);
+    }
+
+    #[test]
+    fn scan_visits_all_rows_in_order() {
+        let path = tmpdir().join("scan.atsm");
+        let m = sample_matrix(1000, 5); // > SCAN_CHUNK_ROWS to cross chunks
+        write_matrix(&path, &m).unwrap();
+        let f = MatrixFile::open(&path).unwrap();
+        let mut seen = Vec::new();
+        f.scan_range(0, 1000, &mut |i, row| {
+            assert_eq!(row, m.row(i));
+            seen.push(i);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, (0..1000).collect::<Vec<_>>());
+        // Chunked: far fewer physical reads than rows.
+        assert!(f.stats().physical_reads() <= 4 + 1);
+    }
+
+    #[test]
+    fn scan_subrange() {
+        let path = tmpdir().join("sub.atsm");
+        let m = sample_matrix(50, 3);
+        write_matrix(&path, &m).unwrap();
+        let f = MatrixFile::open(&path).unwrap();
+        let mut seen = Vec::new();
+        f.scan_range(10, 20, &mut |i, _| {
+            seen.push(i);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, (10..20).collect::<Vec<_>>());
+        assert!(f.scan_range(20, 10, &mut |_, _| Ok(())).is_err());
+        assert!(f.scan_range(0, 51, &mut |_, _| Ok(())).is_err());
+    }
+
+    #[test]
+    fn scan_propagates_callback_error() {
+        let path = tmpdir().join("cberr.atsm");
+        write_matrix(&path, &sample_matrix(10, 2)).unwrap();
+        let f = MatrixFile::open(&path).unwrap();
+        let r = f.scan_range(0, 10, &mut |i, _| {
+            if i == 5 {
+                Err(AtsError::Numerical("boom".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn wrong_row_length_rejected_on_write() {
+        let path = tmpdir().join("badrow.atsm");
+        let mut w = MatrixFileWriter::create(&path, 3).unwrap();
+        assert!(w.append_row(&[1.0, 2.0]).is_err());
+        assert!(w.append_row(&[1.0, 2.0, 3.0]).is_ok());
+        assert_eq!(w.rows_written(), 1);
+    }
+
+    #[test]
+    fn truncated_file_detected_on_open() {
+        let path = tmpdir().join("trunc.atsm");
+        write_matrix(&path, &sample_matrix(10, 4)).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 8]).unwrap();
+        assert!(MatrixFile::open(&path).is_err());
+    }
+
+    #[test]
+    fn f32_quantized_roundtrip() {
+        let path = tmpdir().join("f32.atsm");
+        let m = sample_matrix(12, 6);
+        let mut w = MatrixFileWriter::create_f32(&path, 6).unwrap();
+        for row in m.iter_rows() {
+            w.append_row(row).unwrap();
+        }
+        let h = w.finish().unwrap();
+        assert!(h.is_f32());
+        let f = MatrixFile::open(&path).unwrap();
+        for i in 0..12 {
+            let row = f.read_row(i).unwrap();
+            for (a, b) in row.iter().zip(m.row(i)) {
+                assert!((a - b).abs() < 1e-3, "f32 quantization error too large");
+            }
+        }
+        // File is about half the size of an f64 file.
+        let len = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(len, HEADER_LEN as u64 + 12 * 6 * 4);
+    }
+
+    #[test]
+    fn empty_matrix_file() {
+        let path = tmpdir().join("empty.atsm");
+        let w = MatrixFileWriter::create(&path, 5).unwrap();
+        let h = w.finish().unwrap();
+        assert_eq!(h.rows, 0);
+        let f = MatrixFile::open(&path).unwrap();
+        assert_eq!(f.rows(), 0);
+        f.scan_range(0, 0, &mut |_, _| panic!("no rows")).unwrap();
+    }
+
+    #[test]
+    fn concurrent_positioned_reads() {
+        let path = tmpdir().join("conc.atsm");
+        let m = sample_matrix(100, 8);
+        write_matrix(&path, &m).unwrap();
+        let f = Arc::new(MatrixFile::open(&path).unwrap());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let f = Arc::clone(&f);
+                let m = &m;
+                s.spawn(move || {
+                    for i in (t..100).step_by(4) {
+                        assert_eq!(f.read_row(i).unwrap(), m.row(i));
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,242 @@
+//! The `.atsm` on-disk matrix format.
+//!
+//! Layout:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"ATSMATRX"
+//! 8       4     format version (currently 1), little-endian u32
+//! 12      4     flags (bit 0: f32 cells instead of f64)
+//! 16      8     rows (u64)
+//! 24      8     cols (u64)
+//! 32      8     reserved (0)
+//! 40      8     header checksum: hash of bytes [0, 40)
+//! 48      …     cell data, row-major, little-endian
+//! ```
+//!
+//! The header is fixed-size so the data region starts at a stable offset
+//! and row `i` lives at `HEADER_LEN + i * row_bytes` — the arithmetic that
+//! makes single-row positioned reads possible.
+
+use ats_common::codec::{get_u32, get_u64, put_u32, put_u64};
+use ats_common::hash::hash_bytes;
+use ats_common::{AtsError, Result};
+
+/// Magic bytes identifying a matrix file.
+pub const MAGIC: &[u8; 8] = b"ATSMATRX";
+/// Current format version.
+pub const VERSION: u32 = 1;
+/// Total header length in bytes; the data region starts here.
+pub const HEADER_LEN: usize = 48;
+
+/// Flag bit: cells are stored as `f32` (quantized) instead of `f64`.
+pub const FLAG_F32: u32 = 1;
+
+/// Parsed `.atsm` header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Format version found in the file.
+    pub version: u32,
+    /// Flag bits (see [`FLAG_F32`]).
+    pub flags: u32,
+    /// Number of rows (`N`).
+    pub rows: usize,
+    /// Number of columns (`M`).
+    pub cols: usize,
+}
+
+impl Header {
+    /// Create a header for an `rows × cols` f64 matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Header {
+            version: VERSION,
+            flags: 0,
+            rows,
+            cols,
+        }
+    }
+
+    /// Create a header for an f32-quantized matrix.
+    pub fn new_f32(rows: usize, cols: usize) -> Self {
+        Header {
+            version: VERSION,
+            flags: FLAG_F32,
+            rows,
+            cols,
+        }
+    }
+
+    /// Whether cells are stored as `f32`.
+    pub fn is_f32(&self) -> bool {
+        self.flags & FLAG_F32 != 0
+    }
+
+    /// Bytes per cell (4 or 8).
+    pub fn cell_bytes(&self) -> usize {
+        if self.is_f32() {
+            4
+        } else {
+            8
+        }
+    }
+
+    /// Bytes per row of cell data.
+    pub fn row_bytes(&self) -> usize {
+        self.cols * self.cell_bytes()
+    }
+
+    /// Byte offset of row `i`'s first cell within the file.
+    pub fn row_offset(&self, i: usize) -> u64 {
+        HEADER_LEN as u64 + (i as u64) * self.row_bytes() as u64
+    }
+
+    /// Total file size this header implies.
+    pub fn file_len(&self) -> u64 {
+        self.row_offset(self.rows)
+    }
+
+    /// Serialize to the fixed [`HEADER_LEN`]-byte representation,
+    /// including the trailing checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(HEADER_LEN);
+        buf.extend_from_slice(MAGIC);
+        put_u32(&mut buf, self.version);
+        put_u32(&mut buf, self.flags);
+        put_u64(&mut buf, self.rows as u64);
+        put_u64(&mut buf, self.cols as u64);
+        put_u64(&mut buf, 0); // reserved
+        let csum = hash_bytes(&buf);
+        put_u64(&mut buf, csum);
+        debug_assert_eq!(buf.len(), HEADER_LEN);
+        buf
+    }
+
+    /// Parse and validate a header from the first [`HEADER_LEN`] bytes of
+    /// a file. Checks magic, version, checksum, and dimension sanity.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() < HEADER_LEN {
+            return Err(AtsError::Corrupt(format!(
+                "header too short: {} < {HEADER_LEN}",
+                buf.len()
+            )));
+        }
+        if &buf[..8] != MAGIC {
+            return Err(AtsError::Corrupt("bad magic (not an .atsm file)".into()));
+        }
+        let version = get_u32(buf, 8)?;
+        if version != VERSION {
+            return Err(AtsError::Corrupt(format!(
+                "unsupported format version {version} (expected {VERSION})"
+            )));
+        }
+        let flags = get_u32(buf, 12)?;
+        let rows = get_u64(buf, 16)? as usize;
+        let cols = get_u64(buf, 24)? as usize;
+        let stored = get_u64(buf, 40)?;
+        let computed = hash_bytes(&buf[..40]);
+        if stored != computed {
+            return Err(AtsError::Corrupt(format!(
+                "header checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+            )));
+        }
+        if cols == 0 && rows > 0 {
+            return Err(AtsError::Corrupt("zero columns with nonzero rows".into()));
+        }
+        // Guard against absurd sizes that would overflow offsets.
+        let cell = if flags & FLAG_F32 != 0 { 4u64 } else { 8u64 };
+        (rows as u64)
+            .checked_mul(cols as u64)
+            .and_then(|cells| cells.checked_mul(cell))
+            .ok_or_else(|| AtsError::Corrupt("dimensions overflow file size".into()))?;
+        Ok(Header {
+            version,
+            flags,
+            rows,
+            cols,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = Header::new(100_000, 366);
+        let buf = h.encode();
+        assert_eq!(buf.len(), HEADER_LEN);
+        assert_eq!(Header::decode(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn f32_flag_roundtrip() {
+        let h = Header::new_f32(10, 4);
+        let got = Header::decode(&h.encode()).unwrap();
+        assert!(got.is_f32());
+        assert_eq!(got.cell_bytes(), 4);
+        assert_eq!(got.row_bytes(), 16);
+    }
+
+    #[test]
+    fn offsets() {
+        let h = Header::new(3, 2);
+        assert_eq!(h.row_offset(0), 48);
+        assert_eq!(h.row_offset(1), 48 + 16);
+        assert_eq!(h.file_len(), 48 + 3 * 16);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Header::new(1, 1).encode();
+        buf[0] = b'X';
+        assert!(matches!(Header::decode(&buf), Err(AtsError::Corrupt(_))));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let h = Header {
+            version: 99,
+            ..Header::new(1, 1)
+        };
+        // encode() embeds whatever version we set, with a valid checksum.
+        assert!(Header::decode(&h.encode()).is_err());
+    }
+
+    #[test]
+    fn corrupted_field_fails_checksum() {
+        let mut buf = Header::new(7, 5).encode();
+        buf[20] ^= 0xFF; // flip a byte of `rows`
+        let err = Header::decode(&buf).unwrap_err();
+        assert!(err.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let buf = Header::new(1, 1).encode();
+        assert!(Header::decode(&buf[..HEADER_LEN - 1]).is_err());
+        assert!(Header::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn overflow_dimensions_rejected() {
+        // Hand-craft a header with rows*cols*8 overflowing u64.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        put_u32(&mut buf, VERSION);
+        put_u32(&mut buf, 0);
+        put_u64(&mut buf, u64::MAX / 2);
+        put_u64(&mut buf, u64::MAX / 2);
+        put_u64(&mut buf, 0);
+        let csum = hash_bytes(&buf);
+        put_u64(&mut buf, csum);
+        assert!(Header::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        let h = Header::new(0, 0);
+        assert_eq!(Header::decode(&h.encode()).unwrap(), h);
+        assert_eq!(h.file_len(), HEADER_LEN as u64);
+    }
+}

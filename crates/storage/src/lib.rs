@@ -1,0 +1,38 @@
+//! # ats-storage
+//!
+//! Out-of-core storage substrate for the `adhoc-ts` workspace.
+//!
+//! The paper's algorithms are explicitly *streaming*: the data matrix `X`
+//! lives on disk, and every computation is phrased as a small number of
+//! sequential **passes** over its rows (two passes for plain SVD, three
+//! for SVDD — §4.1, Fig. 5), while the query path performs **random**
+//! reads of single rows of the compressed `U` matrix ("one disk access
+//! per cell", §4.1). This crate provides both access patterns:
+//!
+//! - [`mod@format`] — the `.atsm` binary file format: a checksummed header
+//!   followed by raw little-endian row-major `f64` data;
+//! - [`mod@file`] — [`file::MatrixFile`]: positioned (pread-style) row reads
+//!   and buffered sequential scans, plus [`file::MatrixFileWriter`];
+//! - [`source`] — the [`source::RowSource`] trait abstracting "something
+//!   you can make passes over" (disk file or in-memory matrix), so the
+//!   compression algorithms in `ats-compress` are oblivious to where the
+//!   data lives;
+//! - [`pool`] — a fixed-capacity LRU [`pool::BufferPool`] of pages with
+//!   hit/miss accounting, and [`pool::CachedFile`] which serves row reads
+//!   through it — this is what lets tests *prove* the paper's
+//!   one-disk-access-per-cell-query claim instead of asserting it;
+//! - [`iostats`] — atomic I/O counters shared by the readers.
+
+#![warn(missing_docs)]
+
+pub mod file;
+pub mod format;
+pub mod iostats;
+pub mod pool;
+pub mod source;
+
+pub use file::{MatrixFile, MatrixFileWriter};
+pub use format::Header;
+pub use iostats::IoStats;
+pub use pool::{BufferPool, CachedFile};
+pub use source::{MemSource, RowSource};

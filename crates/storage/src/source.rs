@@ -1,0 +1,245 @@
+//! The [`RowSource`] abstraction: "something you can make passes over".
+//!
+//! Every compression algorithm in the paper is expressed as a small,
+//! fixed number of sequential passes over the rows of `X` (Figs. 2, 3, 5).
+//! `RowSource` captures exactly that access pattern — sequential scans of
+//! row ranges — so the algorithms in `ats-compress` run unchanged against
+//! an on-disk [`crate::MatrixFile`] (the realistic setting) or an
+//! in-memory [`MemSource`]/[`ats_linalg::Matrix`] (tests, small data).
+//!
+//! `RowSource: Sync` so that one source can serve several threads scanning
+//! disjoint ranges — the parallel pass-1 Gram accumulation.
+
+use crate::file::MatrixFile;
+use ats_common::{AtsError, Result};
+use ats_linalg::Matrix;
+
+/// A matrix that supports sequential row scans.
+pub trait RowSource: Sync {
+    /// Number of rows (`N`).
+    fn rows(&self) -> usize;
+    /// Number of columns (`M`).
+    fn cols(&self) -> usize;
+
+    /// Scan rows `[start, end)` in order, calling `f(i, row)` for each.
+    fn scan_range(
+        &self,
+        start: usize,
+        end: usize,
+        f: &mut dyn FnMut(usize, &[f64]) -> Result<()>,
+    ) -> Result<()>;
+
+    /// One full pass: scan every row in order.
+    fn for_each_row(&self, f: &mut dyn FnMut(usize, &[f64]) -> Result<()>) -> Result<()> {
+        self.scan_range(0, self.rows(), f)
+    }
+
+    /// Materialize the source as an in-memory [`Matrix`] (test helper; do
+    /// not call on datasets that motivated this paper).
+    fn to_matrix(&self) -> Result<Matrix> {
+        let mut m = Matrix::zeros(self.rows(), self.cols());
+        self.for_each_row(&mut |i, row| {
+            m.row_mut(i).copy_from_slice(row);
+            Ok(())
+        })?;
+        Ok(m)
+    }
+}
+
+impl RowSource for MatrixFile {
+    fn rows(&self) -> usize {
+        MatrixFile::rows(self)
+    }
+    fn cols(&self) -> usize {
+        MatrixFile::cols(self)
+    }
+    fn scan_range(
+        &self,
+        start: usize,
+        end: usize,
+        f: &mut dyn FnMut(usize, &[f64]) -> Result<()>,
+    ) -> Result<()> {
+        MatrixFile::scan_range(self, start, end, f)
+    }
+}
+
+impl RowSource for Matrix {
+    fn rows(&self) -> usize {
+        Matrix::rows(self)
+    }
+    fn cols(&self) -> usize {
+        Matrix::cols(self)
+    }
+    fn scan_range(
+        &self,
+        start: usize,
+        end: usize,
+        f: &mut dyn FnMut(usize, &[f64]) -> Result<()>,
+    ) -> Result<()> {
+        if start > end || end > Matrix::rows(self) {
+            return Err(AtsError::InvalidArgument(format!(
+                "scan_range [{start}, {end}) out of 0..{}",
+                Matrix::rows(self)
+            )));
+        }
+        for i in start..end {
+            f(i, self.row(i))?;
+        }
+        Ok(())
+    }
+}
+
+/// An owned flat in-memory row source (useful when a `Matrix` would be an
+/// unnecessary dependency for the caller).
+#[derive(Debug, Clone)]
+pub struct MemSource {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl MemSource {
+    /// Build from flat row-major data. Errors if the length is not
+    /// `rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(AtsError::dims(
+                "MemSource::new",
+                (data.len(), 1),
+                (rows * cols, 1),
+            ));
+        }
+        Ok(MemSource { data, rows, cols })
+    }
+
+    /// Borrow row `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+}
+
+impl From<Matrix> for MemSource {
+    fn from(m: Matrix) -> Self {
+        let (rows, cols) = m.shape();
+        MemSource {
+            data: m.into_vec(),
+            rows,
+            cols,
+        }
+    }
+}
+
+impl RowSource for MemSource {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    fn scan_range(
+        &self,
+        start: usize,
+        end: usize,
+        f: &mut dyn FnMut(usize, &[f64]) -> Result<()>,
+    ) -> Result<()> {
+        if start > end || end > self.rows {
+            return Err(AtsError::InvalidArgument(format!(
+                "scan_range [{start}, {end}) out of 0..{}",
+                self.rows
+            )));
+        }
+        for i in start..end {
+            f(i, self.row(i))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::write_matrix;
+
+    fn sample(n: usize, m: usize) -> Matrix {
+        Matrix::from_fn(n, m, |i, j| (i * 10 + j) as f64)
+    }
+
+    #[test]
+    fn matrix_is_a_row_source() {
+        let m = sample(5, 3);
+        let mut count = 0;
+        RowSource::for_each_row(&m, &mut |i, row| {
+            assert_eq!(row[0], (i * 10) as f64);
+            count += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn mem_source_roundtrip() {
+        let m = sample(4, 2);
+        let s: MemSource = m.clone().into();
+        assert_eq!(s.rows(), 4);
+        assert_eq!(s.cols(), 2);
+        let back = s.to_matrix().unwrap();
+        assert!(back.approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn mem_source_length_check() {
+        assert!(MemSource::new(2, 3, vec![0.0; 5]).is_err());
+        assert!(MemSource::new(2, 3, vec![0.0; 6]).is_ok());
+    }
+
+    #[test]
+    fn file_and_memory_sources_agree() {
+        let dir = std::env::temp_dir().join(format!("ats-src-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("agree.atsm");
+        let m = sample(30, 4);
+        write_matrix(&path, &m).unwrap();
+        let f = MatrixFile::open(&path).unwrap();
+        let from_file = RowSource::to_matrix(&f).unwrap();
+        assert!(from_file.approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn scan_range_bounds_checked() {
+        let m = sample(3, 2);
+        assert!(RowSource::scan_range(&m, 2, 1, &mut |_, _| Ok(())).is_err());
+        assert!(RowSource::scan_range(&m, 0, 4, &mut |_, _| Ok(())).is_err());
+        let s: MemSource = m.into();
+        assert!(s.scan_range(0, 4, &mut |_, _| Ok(())).is_err());
+    }
+
+    #[test]
+    fn disjoint_parallel_scans() {
+        // RowSource: Sync — two threads scanning halves of one source.
+        let m = sample(100, 3);
+        let total: f64 = std::thread::scope(|s| {
+            let h1 = s.spawn(|| {
+                let mut acc = 0.0;
+                m.scan_range(0, 50, &mut |_, row| {
+                    acc += row[0];
+                    Ok(())
+                })
+                .unwrap();
+                acc
+            });
+            let h2 = s.spawn(|| {
+                let mut acc = 0.0;
+                m.scan_range(50, 100, &mut |_, row| {
+                    acc += row[0];
+                    Ok(())
+                })
+                .unwrap();
+                acc
+            });
+            h1.join().unwrap() + h2.join().unwrap()
+        });
+        let expect: f64 = (0..100).map(|i| (i * 10) as f64).sum();
+        assert!((total - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,163 @@
+//! Failure injection: the storage layer must detect, not propagate,
+//! corrupted and half-written files, and the cache must stay correct
+//! under churn and odd geometries.
+
+use ats_linalg::Matrix;
+use ats_storage::file::{read_matrix, write_matrix, MatrixFileWriter};
+use ats_storage::{CachedFile, MatrixFile};
+use std::sync::Arc;
+
+fn dir() -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("ats-failinj-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn sample(n: usize, m: usize) -> Matrix {
+    Matrix::from_fn(n, m, |i, j| (i * m + j) as f64 * 0.5)
+}
+
+#[test]
+fn unfinished_writer_leaves_unopenable_file() {
+    let path = dir().join("unfinished.atsm");
+    {
+        let mut w = MatrixFileWriter::create(&path, 4).unwrap();
+        w.append_row(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        // dropped without finish(): header stays zeroed
+    }
+    let err = match MatrixFile::open(&path) {
+        Err(e) => e,
+        Ok(_) => panic!("unfinished file must not open"),
+    };
+    assert!(err.to_string().contains("magic"), "{err}");
+}
+
+#[test]
+fn bitflip_in_header_detected() {
+    let path = dir().join("bitflip.atsm");
+    write_matrix(&path, &sample(5, 3)).unwrap();
+    for byte in [9usize, 17, 25, 33] {
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[byte] ^= 0x01;
+        let victim = dir().join(format!("bitflip-{byte}.atsm"));
+        std::fs::write(&victim, &bytes).unwrap();
+        assert!(
+            MatrixFile::open(&victim).is_err(),
+            "flip at {byte} accepted"
+        );
+    }
+}
+
+#[test]
+fn truncation_at_every_boundary_detected() {
+    let path = dir().join("alltrunc.atsm");
+    write_matrix(&path, &sample(4, 2)).unwrap();
+    let full = std::fs::read(&path).unwrap();
+    for cut in [0usize, 10, 47, 48, full.len() - 1] {
+        let victim = dir().join(format!("alltrunc-{cut}.atsm"));
+        std::fs::write(&victim, &full[..cut]).unwrap();
+        assert!(MatrixFile::open(&victim).is_err(), "cut at {cut} accepted");
+    }
+}
+
+#[test]
+fn data_corruption_changes_values_but_not_safety() {
+    // Data-region corruption is not checksummed per cell (by design: the
+    // header guards metadata); reads must still be memory-safe and
+    // return *some* finite-or-not value rather than erroring.
+    let path = dir().join("datacorrupt.atsm");
+    let m = sample(10, 4);
+    write_matrix(&path, &m).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let off = 48 + 3 * 32 + 8; // row 3, col 1
+    bytes[off] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    let f = MatrixFile::open(&path).unwrap();
+    let row3 = f.read_row(3).unwrap();
+    assert_ne!(row3[1], m[(3, 1)]);
+    assert_eq!(row3[0], m[(3, 0)]);
+    assert_eq!(f.read_row(2).unwrap(), m.row(2));
+}
+
+#[test]
+fn cache_correct_under_heavy_churn() {
+    let path = dir().join("churn.atsm");
+    let m = sample(128, 6);
+    write_matrix(&path, &m).unwrap();
+    let file = Arc::new(MatrixFile::open(&path).unwrap());
+    let cf = CachedFile::row_aligned(Arc::clone(&file), 3); // absurdly small pool
+    // Pseudo-random access pattern, every row eventually touched.
+    let mut i = 7usize;
+    for step in 0..2000 {
+        i = (i * 31 + 17) % 128;
+        assert_eq!(cf.read_row(i).unwrap(), m.row(i), "row {i}");
+        if step % 5 == 0 {
+            // immediate re-read: must hit the tiny pool
+            assert_eq!(cf.read_row(i).unwrap(), m.row(i));
+        }
+    }
+    assert_eq!(cf.stats().cache_hits(), 400, "every re-read hits");
+    assert_eq!(cf.stats().physical_reads(), 2000, "every fresh row misses a 3-page pool");
+}
+
+#[test]
+fn cached_f32_file_roundtrips() {
+    let path = dir().join("cachedf32.atsm");
+    let m = sample(20, 5);
+    let mut w = MatrixFileWriter::create_f32(&path, 5).unwrap();
+    for row in m.iter_rows() {
+        w.append_row(row).unwrap();
+    }
+    w.finish().unwrap();
+    let file = Arc::new(MatrixFile::open(&path).unwrap());
+    let cf = CachedFile::row_aligned(file, 8);
+    for i in 0..20 {
+        let got = cf.read_row(i).unwrap();
+        for (a, b) in got.iter().zip(m.row(i)) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+}
+
+#[test]
+fn tiny_pages_spanning_rows_under_churn() {
+    let path = dir().join("tinypages.atsm");
+    let m = sample(40, 10); // 80-byte rows
+    write_matrix(&path, &m).unwrap();
+    let file = Arc::new(MatrixFile::open(&path).unwrap());
+    let cf = CachedFile::new(file, 5, 48); // pages smaller than rows, not aligned
+    let mut i = 3usize;
+    for _ in 0..500 {
+        i = (i * 13 + 7) % 40;
+        assert_eq!(cf.read_row(i).unwrap(), m.row(i));
+    }
+}
+
+#[test]
+fn empty_and_single_cell_files() {
+    let p1 = dir().join("empty2.atsm");
+    let w = MatrixFileWriter::create(&p1, 3).unwrap();
+    w.finish().unwrap();
+    let f = MatrixFile::open(&p1).unwrap();
+    assert_eq!(f.rows(), 0);
+    assert!(f.read_row(0).is_err());
+
+    let p2 = dir().join("single.atsm");
+    let m = Matrix::from_rows(vec![vec![42.0]]).unwrap();
+    write_matrix(&p2, &m).unwrap();
+    assert!(read_matrix(&p2).unwrap().approx_eq(&m, 0.0));
+}
+
+#[test]
+fn zero_length_file_rejected() {
+    let p = dir().join("zerolen.atsm");
+    std::fs::write(&p, b"").unwrap();
+    assert!(MatrixFile::open(&p).is_err());
+}
+
+#[test]
+fn directory_instead_of_file_rejected() {
+    let d = dir().join("iamadir.atsm");
+    std::fs::create_dir_all(&d).unwrap();
+    assert!(MatrixFile::open(&d).is_err());
+}

@@ -1,0 +1,81 @@
+//! An interactive ad hoc query shell over a compressed store.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example repl
+//! # or non-interactively:
+//! echo "avg rows 0..100 cols all" | cargo run --release --example repl
+//! ```
+//!
+//! Compresses a synthetic phone dataset with SVDD at 10% space, then
+//! reads queries from stdin in the `ats-query` mini-language:
+//!
+//! ```text
+//! cell <row> <col>
+//! <sum|avg|count|min|max|stddev> rows <all|a..b|i,j,k> cols <…>
+//! truth <row> <col>          -- the uncompressed value, for comparison
+//! ```
+
+use adhoc_ts::compress::SpaceBudget;
+use adhoc_ts::core::store::{Method, SequenceStore};
+use adhoc_ts::data::{generate_phone, PhoneConfig};
+use adhoc_ts::query::engine::QueryEngine;
+use adhoc_ts::query::parse::run_query;
+use std::io::BufRead;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = generate_phone(&PhoneConfig {
+        customers: 2_000,
+        days: 180,
+        ..PhoneConfig::default()
+    });
+    eprintln!(
+        "compressing {} ({} x {}) with SVDD @ 10%…",
+        dataset.name(),
+        dataset.rows(),
+        dataset.cols()
+    );
+    let store = SequenceStore::builder()
+        .method(Method::Svdd)
+        .budget(SpaceBudget::from_percent(10.0))
+        .build(dataset.matrix())?;
+    eprintln!(
+        "ready: {:.1} KB compressed from {:.1} KB. Type queries, e.g.:",
+        store.storage_bytes() as f64 / 1024.0,
+        dataset.uncompressed_bytes(8) as f64 / 1024.0
+    );
+    eprintln!("  cell 42 17");
+    eprintln!("  avg rows 0..500 cols all");
+    eprintln!("  sum rows 1,5,9 cols 0..30");
+    eprintln!("  truth 42 17          (uncompressed value)");
+    eprintln!("  quit");
+
+    let engine = QueryEngine::new(store.compressed());
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == "quit" || trimmed == "exit" {
+            break;
+        }
+        // `truth i j`: bypass compression for comparison.
+        let toks: Vec<&str> = trimmed.split_whitespace().collect();
+        if let ["truth", i, j] = toks.as_slice() {
+            match (i.parse::<usize>(), j.parse::<usize>()) {
+                (Ok(i), Ok(j)) if i < dataset.rows() && j < dataset.cols() => {
+                    println!("{}", dataset.matrix()[(i, j)]);
+                }
+                _ => eprintln!("error: truth needs two in-range numbers"),
+            }
+            continue;
+        }
+        match run_query(&engine, trimmed) {
+            Ok(v) => println!("{v}"),
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    Ok(())
+}

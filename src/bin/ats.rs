@@ -1,0 +1,195 @@
+//! `ats` — command-line front end for adhoc-ts.
+//!
+//! ```text
+//! ats generate phone --rows 2000 --cols 366 --out data.atsm
+//! ats generate stocks --out stocks.atsm
+//! ats info data.atsm
+//! ats compress data.atsm --out store/ --percent 10 [--method svdd] [--threads 4]
+//! ats query store/ "cell 42 17"
+//! ats query store/ "avg rows 0..100 cols all"
+//! ats verify data.atsm store/         # RMSPE / worst-case report
+//! ```
+//!
+//! The store directory is the paper's §4.1 layout (`u.atsm` paged from
+//! disk; `v.atsm`, `lambda.atsm`, `deltas.bin` pinned at open).
+
+use adhoc_ts::compress::{SpaceBudget, SvddCompressed, SvddOptions};
+use adhoc_ts::core::disk::{save_svd, save_svdd, DiskStore};
+use adhoc_ts::data::{generate_phone, generate_stocks, Dataset, PhoneConfig, StocksConfig};
+use adhoc_ts::query::engine::QueryEngine;
+use adhoc_ts::query::metrics::error_report;
+use adhoc_ts::query::parse::run_query;
+use adhoc_ts::storage::MatrixFile;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ats — ad hoc queries over compressed time sequences (SIGMOD '97 SVDD)
+
+USAGE:
+  ats generate <phone|stocks> [--rows N] [--cols M] [--seed S] --out FILE
+  ats info FILE
+  ats compress FILE --out DIR [--percent P] [--method svd|svdd] [--threads T]
+  ats query DIR \"<query>\"       e.g. \"cell 42 17\", \"avg rows 0..100 cols all\"
+  ats verify FILE DIR            compare a store against the original data
+";
+
+fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it.next().cloned().unwrap_or_default();
+            flags.insert(name.to_string(), value);
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    (positional, flags)
+}
+
+fn flag_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+    }
+}
+
+fn flag_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (pos, flags) = parse_flags(&args);
+    match pos.first().map(String::as_str) {
+        Some("generate") => {
+            let kind = pos.get(1).ok_or("generate needs phone|stocks")?;
+            let out = flags.get("out").ok_or("generate needs --out FILE")?;
+            let seed = flag_usize(&flags, "seed", 42)? as u64;
+            let dataset: Dataset = match kind.as_str() {
+                "phone" => generate_phone(&PhoneConfig {
+                    customers: flag_usize(&flags, "rows", 2_000)?,
+                    days: flag_usize(&flags, "cols", 366)?,
+                    seed,
+                    ..PhoneConfig::default()
+                }),
+                "stocks" => generate_stocks(&StocksConfig {
+                    stocks: flag_usize(&flags, "rows", 381)?,
+                    days: flag_usize(&flags, "cols", 128)?,
+                    seed,
+                    ..StocksConfig::default()
+                }),
+                other => return Err(format!("unknown generator {other:?}")),
+            };
+            dataset.save(out).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} ({} x {}, {:.1} MB) to {out}",
+                dataset.name(),
+                dataset.rows(),
+                dataset.cols(),
+                dataset.uncompressed_bytes(8) as f64 / 1e6
+            );
+            Ok(())
+        }
+        Some("info") => {
+            let path = pos.get(1).ok_or("info needs FILE")?;
+            let f = MatrixFile::open(path).map_err(|e| e.to_string())?;
+            println!(
+                "{path}: {} rows x {} cols, cell {} bytes, data {:.1} MB",
+                f.rows(),
+                f.cols(),
+                f.header().cell_bytes(),
+                (f.rows() * f.header().row_bytes()) as f64 / 1e6
+            );
+            Ok(())
+        }
+        Some("compress") => {
+            let input = pos.get(1).ok_or("compress needs FILE")?;
+            let out = flags.get("out").ok_or("compress needs --out DIR")?;
+            let pct = flag_f64(&flags, "percent", 10.0)?;
+            let threads = flag_usize(&flags, "threads", 1)?;
+            let method = flags.get("method").map(String::as_str).unwrap_or("svdd");
+            let source = MatrixFile::open(input).map_err(|e| e.to_string())?;
+            let budget = SpaceBudget::from_percent(pct);
+            let t0 = std::time::Instant::now();
+            match method {
+                "svdd" => {
+                    let mut opts = SvddOptions::new(budget);
+                    opts.threads = threads;
+                    let c = SvddCompressed::compress(&source, &opts).map_err(|e| e.to_string())?;
+                    save_svdd(out, &c).map_err(|e| e.to_string())?;
+                    println!(
+                        "svdd: k_opt={}, {} deltas, {:.2}% space, {:.1}s -> {out}",
+                        c.k_opt(),
+                        c.num_deltas(),
+                        100.0 * adhoc_ts::compress::CompressedMatrix::space_ratio(&c),
+                        t0.elapsed().as_secs_f64()
+                    );
+                }
+                "svd" => {
+                    let c = adhoc_ts::compress::SvdCompressed::compress_budget(
+                        &source, budget, threads,
+                    )
+                    .map_err(|e| e.to_string())?;
+                    save_svd(out, &c).map_err(|e| e.to_string())?;
+                    println!(
+                        "svd: k={}, {:.2}% space, {:.1}s -> {out}",
+                        c.k(),
+                        100.0 * adhoc_ts::compress::CompressedMatrix::space_ratio(&c),
+                        t0.elapsed().as_secs_f64()
+                    );
+                }
+                other => return Err(format!("unknown method {other:?} (svd|svdd)")),
+            }
+            Ok(())
+        }
+        Some("query") => {
+            let dir = pos.get(1).ok_or("query needs DIR")?;
+            let q = pos.get(2).ok_or("query needs a query string")?;
+            let store = DiskStore::open(dir, 1024).map_err(|e| e.to_string())?;
+            let engine = QueryEngine::new(&store);
+            let v = run_query(&engine, q).map_err(|e| e.to_string())?;
+            println!("{v}");
+            Ok(())
+        }
+        Some("verify") => {
+            let data = pos.get(1).ok_or("verify needs FILE DIR")?;
+            let dir = pos.get(2).ok_or("verify needs FILE DIR")?;
+            let source = MatrixFile::open(data).map_err(|e| e.to_string())?;
+            let store = DiskStore::open(dir, 1024).map_err(|e| e.to_string())?;
+            let r = error_report(&source, &store).map_err(|e| e.to_string())?;
+            println!(
+                "cells {}  rmspe {:.3}%  worst_abs {:.4}  worst/sigma {:.2}%  mean_abs {:.5}",
+                r.cells,
+                r.rmspe * 100.0,
+                r.max_abs_error,
+                r.max_normalized_error * 100.0,
+                r.mean_abs_error
+            );
+            Ok(())
+        }
+        _ => {
+            eprint!("{USAGE}");
+            Err("missing or unknown subcommand".into())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Integration tests for the `ats` command-line tool: the full
+//! generate → info → compress → query → verify flow, driven through the
+//! actual binary.
+
+use std::process::Command;
+
+fn ats() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ats"))
+}
+
+fn workdir() -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("ats-cli-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn full_cli_flow() {
+    let dir = workdir();
+    let data = dir.join("data.atsm");
+    let store = dir.join("store");
+
+    // generate
+    let out = ats()
+        .args([
+            "generate",
+            "phone",
+            "--rows",
+            "300",
+            "--cols",
+            "60",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run ats");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // info
+    let out = ats().args(["info", data.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("300 rows x 60 cols"), "{text}");
+
+    // compress
+    let out = ats()
+        .args([
+            "compress",
+            data.to_str().unwrap(),
+            "--out",
+            store.to_str().unwrap(),
+            "--percent",
+            "15",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("svdd"));
+    assert!(store.join("u.atsm").exists());
+    assert!(store.join("deltas.bin").exists());
+
+    // query: a cell and an aggregate both parse to numbers
+    for q in ["cell 42 17", "avg rows 0..100 cols all", "sum rows 1,5 cols 0..10"] {
+        let out = ats()
+            .args(["query", store.to_str().unwrap(), q])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "query {q}: {}", String::from_utf8_lossy(&out.stderr));
+        let val: f64 = String::from_utf8_lossy(&out.stdout).trim().parse().unwrap();
+        assert!(val.is_finite());
+    }
+
+    // verify reports a small error
+    let out = ats()
+        .args(["verify", data.to_str().unwrap(), store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("rmspe"), "{text}");
+}
+
+#[test]
+fn cli_errors_are_clean() {
+    // unknown subcommand
+    let out = ats().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+
+    // query against a missing store
+    let out = ats()
+        .args(["query", "/nonexistent/store", "cell 0 0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // bad query text against a real store is rejected by the parser
+    let dir = workdir();
+    let data = dir.join("d.atsm");
+    let store = dir.join("s");
+    ats()
+        .args(["generate", "stocks", "--rows", "50", "--cols", "32", "--out", data.to_str().unwrap()])
+        .status()
+        .unwrap();
+    ats()
+        .args(["compress", data.to_str().unwrap(), "--out", store.to_str().unwrap(), "--percent", "20"])
+        .status()
+        .unwrap();
+    let out = ats()
+        .args(["query", store.to_str().unwrap(), "median rows all cols all"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown aggregate"));
+}
+
+#[test]
+fn cli_svd_method() {
+    let dir = workdir();
+    let data = dir.join("svd-data.atsm");
+    let store = dir.join("svd-store");
+    assert!(ats()
+        .args(["generate", "phone", "--rows", "200", "--cols", "40", "--out", data.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = ats()
+        .args([
+            "compress",
+            data.to_str().unwrap(),
+            "--out",
+            store.to_str().unwrap(),
+            "--percent",
+            "20",
+            "--method",
+            "svd",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("svd:"));
+    // store opens without a deltas file
+    let out = ats()
+        .args(["query", store.to_str().unwrap(), "cell 0 0"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+}

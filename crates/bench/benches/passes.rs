@@ -3,7 +3,9 @@
 //! - pass-1 Gram accumulation (Fig. 2), serial vs crossbeam-parallel;
 //! - full plain-SVD 2-pass build;
 //! - the paper's headline algorithmic win: the 3-pass SVDD (Fig. 5)
-//!   against the straightforward `3·k_max`-pass algorithm (Fig. 4).
+//!   against the straightforward `3·k_max`-pass algorithm (Fig. 4);
+//! - thread scaling of the whole SVDD build (passes 2 and 3 dominate
+//!   once pass 1 is parallel) at 1/2/4/8 workers.
 
 use ats_compress::gram::{compute_gram, compute_gram_parallel};
 use ats_compress::{SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions};
@@ -24,11 +26,9 @@ fn bench_gram(c: &mut Criterion) {
         b.iter(|| black_box(compute_gram(&x).expect("gram")))
     });
     for threads in [2usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("parallel", threads),
-            &threads,
-            |b, &t| b.iter(|| black_box(compute_gram_parallel(&x, t).expect("gram"))),
-        );
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| black_box(compute_gram_parallel(&x, t).expect("gram")))
+        });
     }
     group.finish();
 }
@@ -61,5 +61,39 @@ fn bench_svdd_three_pass_vs_naive(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gram, bench_svd_build, bench_svdd_three_pass_vs_naive);
+/// Full-spectrum input for the SVDD scaling bench. `structured` is exactly
+/// rank 1, which collapses the candidate-k list to a point and makes the
+/// pass-2 error sweep trivially cheap; mixing incommensurate waves keeps
+/// every principal direction alive so the sweep does representative work.
+fn wavy(n: usize, m: usize) -> Matrix {
+    Matrix::from_fn(n, m, |i, j| {
+        let (i, j) = (i as f64, j as f64);
+        (i * 0.37).sin() * (j * 0.53).cos() + (i * j * 0.011).sin() + (i * 0.05 + j * 0.91).cos()
+    })
+}
+
+fn bench_svdd_thread_scaling(c: &mut Criterion) {
+    // Pass-2/3 scaling: 4096×64 keeps pass 1 (64×64 Gram + eigen) cheap,
+    // so the timing is dominated by the row-partitioned error sweep and
+    // U emission the thread knob actually spreads out.
+    let x = wavy(4_096, 64);
+    let mut group = c.benchmark_group("svdd_build_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let mut opts = SvddOptions::new(SpaceBudget::from_percent(15.0));
+        opts.threads = threads;
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &opts, |b, opts| {
+            b.iter(|| black_box(SvddCompressed::compress(&x, opts).expect("svdd")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gram,
+    bench_svd_build,
+    bench_svdd_three_pass_vs_naive,
+    bench_svdd_thread_scaling
+);
 criterion_main!(benches);

@@ -17,9 +17,8 @@ fn dataset() -> Matrix {
 
 fn bench_aggregate_selectivity(c: &mut Criterion) {
     let x = dataset();
-    let svdd =
-        SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(10.0)))
-            .expect("svdd");
+    let svdd = SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(10.0)))
+        .expect("svdd");
     let mut group = c.benchmark_group("aggregate_avg_by_rows_selected");
     group.sample_size(10);
     for rows in [10usize, 100, 1000] {
@@ -37,9 +36,8 @@ fn bench_aggregate_selectivity(c: &mut Criterion) {
 
 fn bench_disk_store_cell(c: &mut Criterion) {
     let x = dataset();
-    let svdd =
-        SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(10.0)))
-            .expect("svdd");
+    let svdd = SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(10.0)))
+        .expect("svdd");
     let dir = std::env::temp_dir().join(format!("ats-bench-disk-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     save_svdd(&dir, &svdd).expect("save");
@@ -68,9 +66,8 @@ fn bench_disk_store_cell(c: &mut Criterion) {
 
 fn bench_in_memory_vs_disk_row(c: &mut Criterion) {
     let x = dataset();
-    let svdd =
-        SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(10.0)))
-            .expect("svdd");
+    let svdd = SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(10.0)))
+        .expect("svdd");
     let dir = std::env::temp_dir().join(format!("ats-bench-row-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     save_svdd(&dir, &svdd).expect("save");

@@ -116,9 +116,8 @@ fn lanczos_vs_dense() {
     );
     let (dense, dense_s) = timed(|| sym_eigen(&c).expect("dense"));
     for k in [4usize, 16, 37] {
-        let (top, lz_s) = timed(|| {
-            lanczos_top_k(&c, k, LanczosOptions::default()).expect("lanczos")
-        });
+        let (top, lz_s) =
+            timed(|| lanczos_top_k(&c, k, LanczosOptions::default()).expect("lanczos"));
         let mut worst = 0.0f64;
         for j in 0..k {
             worst = worst.max((top.values[j] - dense.values[j]).abs() / dense.values[0]);

@@ -41,9 +41,8 @@ fn main() {
         let sub = full.subset(n).expect("prefix");
         for (bi, &pct) in budgets.iter().enumerate() {
             let budget = SpaceBudget::from_percent(pct);
-            let (result, secs) = timed(|| {
-                SvddCompressed::compress(sub.matrix(), &SvddOptions::new(budget))
-            });
+            let (result, secs) =
+                timed(|| SvddCompressed::compress(sub.matrix(), &SvddOptions::new(budget)));
             match result {
                 Ok(svdd) => {
                     let rmspe = error_report(sub.matrix(), &svdd).expect("report").rmspe;

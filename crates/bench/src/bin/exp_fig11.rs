@@ -48,8 +48,14 @@ fn main() {
     let (px, py) = spread_stats(&pts);
     let (sx, sy) = spread_stats(&pts2);
     println!("axis energy (||PC1|| vs ||PC2||):");
-    println!("  phone2000: {px:10.0} vs {py:10.0}  (ratio {:.1})", px / py.max(1e-9));
-    println!("  stocks:    {sx:10.0} vs {sy:10.0}  (ratio {:.1})", sx / sy.max(1e-9));
+    println!(
+        "  phone2000: {px:10.0} vs {py:10.0}  (ratio {:.1})",
+        px / py.max(1e-9)
+    );
+    println!(
+        "  stocks:    {sx:10.0} vs {sy:10.0}  (ratio {:.1})",
+        sx / sy.max(1e-9)
+    );
     println!(
         "\nexpected: stocks ratio ≫ phone ratio — 'most of the points are very\n\
          close to the horizontal axis' for stocks (Appendix A), while phone\n\

@@ -12,9 +12,7 @@
 use ats_bench::{fmt, phone2000, stocks, ResultTable};
 use ats_compress::cluster::{ClusterAlgo, ClusterCompressed};
 use ats_compress::dct::DctCompressed;
-use ats_compress::{
-    CompressedMatrix, SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions,
-};
+use ats_compress::{CompressedMatrix, SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions};
 use ats_data::Dataset;
 use ats_query::metrics::error_report;
 

@@ -57,6 +57,9 @@ fn main() {
          the first 1000 ranks (paper: 'steep initial drop ... only a few points\n\
          suffer an error anywhere close to the worst-case bound')",
         report.mean_abs_error,
-        fmt(spectrum[0] / spectrum[999.min(spectrum.len() - 1)].max(1e-12), 1),
+        fmt(
+            spectrum[0] / spectrum[999.min(spectrum.len() - 1)].max(1e-12),
+            1
+        ),
     );
 }

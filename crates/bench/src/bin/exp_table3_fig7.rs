@@ -20,13 +20,7 @@ fn main() {
 
     let mut table = ResultTable::new(
         "Table 3 — worst-case error, phone2000",
-        &[
-            "s%",
-            "svd_abs",
-            "svdd_abs",
-            "svd_norm%",
-            "svdd_norm%",
-        ],
+        &["s%", "svd_abs", "svdd_abs", "svd_norm%", "svdd_norm%"],
     );
 
     for pct in [5.0, 10.0, 15.0, 20.0, 25.0] {

@@ -146,7 +146,9 @@ mod tests {
             bf.insert(key);
         }
         // Probe 100k keys guaranteed absent.
-        let fps = (1_000_000..1_100_000u64).filter(|&k| bf.contains(k)).count();
+        let fps = (1_000_000..1_100_000u64)
+            .filter(|&k| bf.contains(k))
+            .count();
         let rate = fps as f64 / 100_000.0;
         assert!(rate < 0.05, "observed fp rate {rate}");
     }

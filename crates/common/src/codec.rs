@@ -92,7 +92,7 @@ pub fn f64s_to_bytes(vs: &[f64]) -> Vec<u8> {
 
 /// Decode a byte buffer (whose length must be a multiple of 8) into doubles.
 pub fn bytes_to_f64s(buf: &[u8]) -> Result<Vec<f64>> {
-    if buf.len() % 8 != 0 {
+    if !buf.len().is_multiple_of(8) {
         return Err(AtsError::Corrupt(format!(
             "byte length {} is not a multiple of 8",
             buf.len()

@@ -70,7 +70,10 @@ impl fmt::Display for AtsError {
             AtsError::NoConvergence {
                 routine,
                 iterations,
-            } => write!(f, "{routine} failed to converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{routine} failed to converge after {iterations} iterations"
+            ),
             AtsError::Numerical(msg) => write!(f, "numerical error: {msg}"),
             AtsError::Budget(msg) => write!(f, "space budget error: {msg}"),
             AtsError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
@@ -97,11 +100,7 @@ impl From<std::io::Error> for AtsError {
 
 impl AtsError {
     /// Construct a [`AtsError::DimensionMismatch`] with less ceremony.
-    pub fn dims(
-        context: impl Into<String>,
-        got: (usize, usize),
-        expected: (usize, usize),
-    ) -> Self {
+    pub fn dims(context: impl Into<String>, got: (usize, usize), expected: (usize, usize)) -> Self {
         AtsError::DimensionMismatch {
             context: context.into(),
             got,

@@ -16,7 +16,9 @@
 //! - [`stats`] — Welford online mean/variance and summary statistics used
 //!   by the error metrics (RMSPE normalizes by the dataset's standard
 //!   deviation, Def. 5.1);
-//! - [`codec`] — little-endian byte codecs for the on-disk formats.
+//! - [`codec`] — little-endian byte codecs for the on-disk formats;
+//! - [`testutil`] — unique, self-cleaning temp directories for tests that
+//!   exercise the on-disk paths.
 
 #![warn(missing_docs)]
 
@@ -25,9 +27,11 @@ pub mod codec;
 pub mod error;
 pub mod hash;
 pub mod stats;
+pub mod testutil;
 pub mod topk;
 
 pub use bloom::BloomFilter;
 pub use error::{AtsError, Result};
 pub use stats::{OnlineStats, Summary};
+pub use testutil::TestDir;
 pub use topk::TopK;

@@ -108,6 +108,20 @@ impl<T> TopK<T> {
         self.heap.iter().map(|&(p, _)| p).sum()
     }
 
+    /// Absorb another tracker: after the call, `self` retains the
+    /// `self.capacity` largest items of the union of both trackers.
+    ///
+    /// This is the reduction step for sharded scans: feeding disjoint row
+    /// ranges into per-worker queues and merging the shards retains the
+    /// same item set as one queue fed every row, because any item in the
+    /// global top-γ is necessarily in the local top-γ of its shard.
+    /// (Ties at the boundary are broken arbitrarily, as with `offer`.)
+    pub fn merge(&mut self, other: TopK<T>) {
+        for (p, item) in other.heap {
+            self.offer(p, item);
+        }
+    }
+
     fn sift_up(&mut self, mut i: usize) {
         while i > 0 {
             let parent = (i - 1) / 2;
@@ -228,5 +242,134 @@ mod tests {
         t.offer(2.0, ());
         t.offer(3.0, ()); // evicts 1.0
         assert!((t.priority_sum() - 5.0).abs() < 1e-12);
+    }
+
+    /// Retained priorities in descending order (for order-insensitive
+    /// comparison of two queues).
+    fn sorted_priorities<T>(t: &TopK<T>) -> Vec<f64> {
+        let mut ps: Vec<f64> = t.iter().map(|&(p, _)| p).collect();
+        ps.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        ps
+    }
+
+    #[test]
+    fn merge_of_shards_equals_single_queue() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let all: Vec<f64> = (0..500).map(|_| rng.gen_range(0.0..1000.0)).collect();
+
+        let mut whole = TopK::new(20);
+        for (i, &p) in all.iter().enumerate() {
+            whole.offer(p, i);
+        }
+
+        let mut merged = TopK::new(20);
+        for shard in all.chunks(123) {
+            let base = merged.len(); // arbitrary; items identified by priority
+            let mut q = TopK::new(20);
+            for (i, &p) in shard.iter().enumerate() {
+                q.offer(p, base + i);
+            }
+            merged.merge(q);
+        }
+
+        assert_eq!(sorted_priorities(&merged), sorted_priorities(&whole));
+    }
+
+    #[test]
+    fn merge_with_empty_and_into_empty() {
+        let mut a = TopK::new(3);
+        a.offer(1.0, 'a');
+        a.offer(2.0, 'b');
+        a.merge(TopK::new(3));
+        assert_eq!(a.len(), 2);
+
+        let mut empty = TopK::new(3);
+        empty.merge(a);
+        assert_eq!(sorted_priorities(&empty), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn merge_respects_receiver_capacity() {
+        let mut small = TopK::new(2);
+        small.offer(5.0, ());
+        let mut big = TopK::new(10);
+        for i in 0..10 {
+            big.offer(f64::from(i), ());
+        }
+        small.merge(big);
+        assert_eq!(small.len(), 2);
+        assert_eq!(sorted_priorities(&small), vec![9.0, 8.0]);
+    }
+
+    #[test]
+    fn merge_into_zero_capacity_retains_nothing() {
+        let mut zero: TopK<i32> = TopK::new(0);
+        let mut other = TopK::new(4);
+        other.offer(1.0, 7);
+        zero.merge(other);
+        assert!(zero.is_empty());
+    }
+
+    mod merge_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Merging per-shard queues retains exactly the priorities a
+            /// single queue fed the whole stream would retain, for any
+            /// stream, any capacity, and any shard boundary.
+            #[test]
+            fn sharded_merge_equals_union_feed(
+                xs in proptest::collection::vec(0.0f64..1e6, 0..200),
+                cap in 0usize..32,
+                split in 0usize..200,
+            ) {
+                let split = split.min(xs.len());
+                let mut whole = TopK::new(cap);
+                for (i, &p) in xs.iter().enumerate() {
+                    whole.offer(p, i);
+                }
+
+                let mut left = TopK::new(cap);
+                for (i, &p) in xs[..split].iter().enumerate() {
+                    left.offer(p, i);
+                }
+                let mut right = TopK::new(cap);
+                for (i, &p) in xs[split..].iter().enumerate() {
+                    right.offer(p, split + i);
+                }
+                left.merge(right);
+
+                prop_assert_eq!(sorted_priorities(&left), sorted_priorities(&whole));
+                prop_assert!(
+                    (left.priority_sum() - whole.priority_sum()).abs()
+                        <= 1e-9 * whole.priority_sum().max(1.0)
+                );
+            }
+
+            /// Merge order never changes the retained priority multiset.
+            #[test]
+            fn merge_is_order_insensitive(
+                xs in proptest::collection::vec(0.0f64..1e6, 0..120),
+                ys in proptest::collection::vec(0.0f64..1e6, 0..120),
+                cap in 1usize..24,
+            ) {
+                let feed = |vals: &[f64]| {
+                    let mut q = TopK::new(cap);
+                    for (i, &p) in vals.iter().enumerate() {
+                        q.offer(p, i);
+                    }
+                    q
+                };
+                let mut ab = feed(&xs);
+                ab.merge(feed(&ys));
+                let mut ba = feed(&ys);
+                ba.merge(feed(&xs));
+                prop_assert_eq!(sorted_priorities(&ab), sorted_priorities(&ba));
+            }
+        }
     }
 }

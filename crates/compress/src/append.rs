@@ -235,10 +235,9 @@ mod tests {
 
     #[test]
     fn single_pass_for_rebuild() {
-        let dir = std::env::temp_dir().join(format!("ats-append-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = ats_common::TestDir::new("ats-append");
         let full = random(100, 6, 4);
-        let path = dir.join("full.atsm");
+        let path = dir.file("full.atsm");
         ats_storage::file::write_matrix(&path, &full).unwrap();
 
         let cache = GramCache::from_source(&full, 1).unwrap();
@@ -264,11 +263,10 @@ mod tests {
 
     #[test]
     fn save_load_roundtrip() {
-        let dir = std::env::temp_dir().join(format!("ats-gramsave-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = ats_common::TestDir::new("ats-gramsave");
         let data = random(30, 7, 8);
         let cache = GramCache::from_source(&data, 1).unwrap();
-        let path = dir.join("cache.atsm");
+        let path = dir.file("cache.atsm");
         cache.save(&path).unwrap();
         let back = GramCache::load(&path).unwrap();
         assert_eq!(back.rows_seen(), 30);

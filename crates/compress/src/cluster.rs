@@ -139,7 +139,11 @@ pub fn hierarchical_complete(x: &Matrix, k: usize) -> Result<Vec<u32>> {
     // Cut the dendrogram: apply the n−k lowest merges. Stable sort keeps
     // a child merge before its equal-height parent (NN-chain necessarily
     // records children first), so the replay is always consistent.
-    merges.sort_by(|p, q| p.height.partial_cmp(&q.height).unwrap_or(std::cmp::Ordering::Equal));
+    merges.sort_by(|p, q| {
+        p.height
+            .partial_cmp(&q.height)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     // Union-find replay.
     let mut parent: Vec<u32> = (0..n as u32).collect();
@@ -203,8 +207,8 @@ pub fn kmeans(x: &Matrix, k: usize, max_iters: usize, seed: u64) -> Result<Vec<u
             idx
         };
         centroids.row_mut(c).copy_from_slice(x.row(pick));
-        for i in 0..n {
-            d2[i] = d2[i].min(vecops::dist2_sq(x.row(i), centroids.row(c)));
+        for (i, d) in d2.iter_mut().enumerate() {
+            *d = d.min(vecops::dist2_sq(x.row(i), centroids.row(c)));
         }
     }
 
@@ -212,7 +216,7 @@ pub fn kmeans(x: &Matrix, k: usize, max_iters: usize, seed: u64) -> Result<Vec<u
     for _ in 0..max_iters.max(1) {
         // Assign.
         let mut changed = false;
-        for i in 0..n {
+        for (i, slot) in assignment.iter_mut().enumerate() {
             let mut best = 0u32;
             let mut best_d = f64::INFINITY;
             for c in 0..k {
@@ -222,22 +226,22 @@ pub fn kmeans(x: &Matrix, k: usize, max_iters: usize, seed: u64) -> Result<Vec<u
                     best = c as u32;
                 }
             }
-            if assignment[i] != best {
-                assignment[i] = best;
+            if *slot != best {
+                *slot = best;
                 changed = true;
             }
         }
         // Update.
         let mut counts = vec![0usize; k];
         let mut sums = Matrix::zeros(k, m);
-        for i in 0..n {
-            let c = assignment[i] as usize;
+        for (i, &a) in assignment.iter().enumerate() {
+            let c = a as usize;
             counts[c] += 1;
             vecops::add_assign(sums.row_mut(c), x.row(i));
         }
-        for c in 0..k {
-            if counts[c] > 0 {
-                let inv = 1.0 / counts[c] as f64;
+        for (c, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                let inv = 1.0 / count as f64;
                 let (s, d) = (sums.row(c).to_vec(), centroids.row_mut(c));
                 for (dst, v) in d.iter_mut().zip(s) {
                     *dst = v * inv;
@@ -290,17 +294,17 @@ impl ClusterCompressed {
             ClusterAlgo::Hierarchical => hierarchical_complete(x, k)?,
             ClusterAlgo::KMeans { max_iters, seed } => kmeans(x, k, max_iters, seed)?,
         };
-        let (n, m) = x.shape();
+        let m = x.cols();
         let mut centroids = Matrix::zeros(k, m);
         let mut counts = vec![0usize; k];
-        for i in 0..n {
-            let c = assignment[i] as usize;
+        for (i, &a) in assignment.iter().enumerate() {
+            let c = a as usize;
             counts[c] += 1;
             vecops::add_assign(centroids.row_mut(c), x.row(i));
         }
-        for c in 0..k {
-            if counts[c] > 0 {
-                vecops::scale(centroids.row_mut(c), 1.0 / counts[c] as f64);
+        for (c, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                vecops::scale(centroids.row_mut(c), 1.0 / count as f64);
             }
         }
         Ok(ClusterCompressed {
@@ -482,12 +486,8 @@ mod tests {
 
     #[test]
     fn centroid_is_member_mean() {
-        let x = Matrix::from_rows(vec![
-            vec![0.0, 0.0],
-            vec![2.0, 2.0],
-            vec![100.0, 100.0],
-        ])
-        .unwrap();
+        let x =
+            Matrix::from_rows(vec![vec![0.0, 0.0], vec![2.0, 2.0], vec![100.0, 100.0]]).unwrap();
         let c = ClusterCompressed::compress(&x, 2, ClusterAlgo::Hierarchical).unwrap();
         // the two nearby points share a cluster; its centroid is (1, 1)
         let a0 = c.assignment()[0];
@@ -568,8 +568,7 @@ mod tests {
             let n = rng.gen_range(5..20);
             let x = Matrix::from_fn(n, 3, |_, _| rng.gen_range(-5.0..5.0));
             for k in 1..=n.min(5) {
-                let fast =
-                    groups_from_assign(&hierarchical_complete(&x, k).unwrap(), k);
+                let fast = groups_from_assign(&hierarchical_complete(&x, k).unwrap(), k);
                 let slow = naive_complete(&x, k);
                 assert_eq!(fast, slow, "seed={seed} n={n} k={k}");
             }
@@ -589,8 +588,15 @@ mod tests {
         let x = Matrix::from_fn(10, 3, |_, _| 5.0);
         let assign = kmeans(&x, 2, 10, 1).unwrap();
         // all points identical: whatever the labels, centroids must equal the point
-        let c = ClusterCompressed::compress(&x, 2, ClusterAlgo::KMeans { max_iters: 10, seed: 1 })
-            .unwrap();
+        let c = ClusterCompressed::compress(
+            &x,
+            2,
+            ClusterAlgo::KMeans {
+                max_iters: 10,
+                seed: 1,
+            },
+        )
+        .unwrap();
         for i in 0..10 {
             assert!((c.cell(i, 0).unwrap() - 5.0).abs() < 1e-12);
         }

@@ -194,11 +194,9 @@ mod tests {
     fn smooth_signal_compresses_well() {
         // A slow sinusoid: energy concentrated in low frequencies.
         let m = 64;
-        let x = Matrix::from_fn(
-            5,
-            m,
-            |i, j| ((i + 1) as f64) * (2.0 * std::f64::consts::PI * j as f64 / m as f64).sin(),
-        );
+        let x = Matrix::from_fn(5, m, |i, j| {
+            ((i + 1) as f64) * (2.0 * std::f64::consts::PI * j as f64 / m as f64).sin()
+        });
         let c = DctCompressed::compress(&x, 8).unwrap();
         let mut sse = 0.0;
         let mut energy = 0.0;

@@ -47,7 +47,9 @@ impl DeltaStore {
     ) -> Result<Self> {
         let triplets: Vec<(usize, usize, f64)> = triplets.into_iter().collect();
         let n = triplets.len();
-        let capacity = ((n as f64 / 0.7).ceil() as usize).max(8).next_power_of_two();
+        let capacity = ((n as f64 / 0.7).ceil() as usize)
+            .max(8)
+            .next_power_of_two();
         let mut store = DeltaStore {
             keys: vec![EMPTY; capacity],
             values: vec![0.0; capacity],
@@ -148,13 +150,7 @@ impl DeltaStore {
             .iter()
             .zip(&self.values)
             .filter(|(&k, _)| k != EMPTY)
-            .map(move |(&k, &v)| {
-                (
-                    (k / self.cols) as usize,
-                    (k % self.cols) as usize,
-                    v,
-                )
-            })
+            .map(move |(&k, &v)| ((k / self.cols) as usize, (k % self.cols) as usize, v))
     }
 }
 
@@ -164,12 +160,8 @@ mod tests {
 
     #[test]
     fn build_and_probe() {
-        let store = DeltaStore::build(
-            10,
-            vec![(0, 1, 2.5), (3, 7, -1.0), (99, 9, 0.125)],
-            false,
-        )
-        .unwrap();
+        let store =
+            DeltaStore::build(10, vec![(0, 1, 2.5), (3, 7, -1.0), (99, 9, 0.125)], false).unwrap();
         assert_eq!(store.len(), 3);
         assert_eq!(store.probe(0, 1), Some(2.5));
         assert_eq!(store.probe(3, 7), Some(-1.0));
@@ -229,8 +221,8 @@ mod tests {
         let mut triplets = vec![(0usize, 0usize, 1.0), (5, 3, 2.0), (2, 9, 3.0)];
         let store = DeltaStore::build(10, triplets.clone(), false).unwrap();
         let mut got: Vec<_> = store.iter().collect();
-        got.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
-        triplets.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        got.sort_by_key(|a| (a.0, a.1));
+        triplets.sort_by_key(|a| (a.0, a.1));
         assert_eq!(got, triplets);
     }
 
@@ -244,9 +236,12 @@ mod tests {
     #[test]
     fn large_row_indices_no_overflow() {
         // row * M + col for big N must not collide or wrap surprisingly.
-        let store =
-            DeltaStore::build(366, vec![(10_000_000, 365, 9.0), (10_000_001, 0, 8.0)], false)
-                .unwrap();
+        let store = DeltaStore::build(
+            366,
+            vec![(10_000_000, 365, 9.0), (10_000_001, 0, 8.0)],
+            false,
+        )
+        .unwrap();
         assert_eq!(store.probe(10_000_000, 365), Some(9.0));
         assert_eq!(store.probe(10_000_001, 0), Some(8.0));
         assert_eq!(store.probe(10_000_000, 364), None);

@@ -81,7 +81,10 @@ pub fn compute_gram_parallel<S: RowSource + ?Sized>(source: &S, threads: usize) 
                 Ok(c)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
     })
     .expect("crossbeam scope");
 
@@ -154,9 +157,8 @@ mod tests {
 
     #[test]
     fn works_against_disk_source() {
-        let dir = std::env::temp_dir().join(format!("ats-gram-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("gram.atsm");
+        let dir = ats_common::TestDir::new("ats-gram");
+        let path = dir.file("gram.atsm");
         let x = random_matrix(300, 6, 4);
         ats_storage::file::write_matrix(&path, &x).unwrap();
         let f = ats_storage::MatrixFile::open(&path).unwrap();
@@ -167,9 +169,8 @@ mod tests {
     #[test]
     fn single_pass_io() {
         // The whole point of Fig. 2: exactly one sequential pass.
-        let dir = std::env::temp_dir().join(format!("ats-gram1p-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("onepass.atsm");
+        let dir = ats_common::TestDir::new("ats-gram1p");
+        let path = dir.file("onepass.atsm");
         let x = random_matrix(100, 5, 5);
         ats_storage::file::write_matrix(&path, &x).unwrap();
         let f = ats_storage::MatrixFile::open(&path).unwrap();

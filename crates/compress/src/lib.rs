@@ -33,8 +33,8 @@
 pub mod append;
 pub mod cluster;
 pub mod dct;
-pub mod dwt;
 pub mod delta;
+pub mod dwt;
 pub mod gram;
 pub mod lz;
 pub mod method;

@@ -197,10 +197,10 @@ fn huffman_lengths(freq: &[u64; 256]) -> [u8; 256] {
         nodes.push((freq[s], NONE, s)); // leaf: store symbol in .2
         heap.push((freq[s], nodes.len() - 1));
     }
-    heap.sort_unstable_by(|a, b| b.0.cmp(&a.0)); // treat as a max-last stack
-    // simple O(n²)-ish merge loop (n ≤ 256: negligible)
+    heap.sort_unstable_by_key(|e| std::cmp::Reverse(e.0)); // treat as a max-last stack
+                                                           // simple O(n²)-ish merge loop (n ≤ 256: negligible)
     while heap.len() > 1 {
-        heap.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        heap.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
         let a = heap.pop().expect("len>1");
         let b = heap.pop().expect("len>1");
         nodes.push((a.0 + b.0, a.1, b.1));
@@ -352,8 +352,7 @@ pub fn huffman_decode(data: &[u8]) -> Result<Vec<u8>> {
         symbol: -1,
     }];
     let mut live_symbols = 0usize;
-    for s in 0..256 {
-        let (code, len) = codes[s];
+    for (s, &(code, len)) in codes.iter().enumerate() {
         if len == 0 {
             continue;
         }
@@ -374,7 +373,9 @@ pub fn huffman_decode(data: &[u8]) -> Result<Vec<u8>> {
         tree[at].symbol = s as i32;
     }
     if live_symbols == 0 {
-        return Err(AtsError::Corrupt("Huffman table empty but data expected".into()));
+        return Err(AtsError::Corrupt(
+            "Huffman table empty but data expected".into(),
+        ));
     }
     let mut br = BitReader::new(&data[264..]);
     let mut out = Vec::with_capacity(raw_len);
@@ -446,7 +447,12 @@ mod tests {
 
     #[test]
     fn roundtrip_repetitive() {
-        let input: Vec<u8> = b"abcabcabcabc".iter().cycle().take(10_000).copied().collect();
+        let input: Vec<u8> = b"abcabcabcabc"
+            .iter()
+            .cycle()
+            .take(10_000)
+            .copied()
+            .collect();
         let c = compress(&input);
         assert_eq!(decompress(&c).unwrap(), input);
         assert!(
@@ -545,7 +551,7 @@ mod tests {
             while input.len() < n {
                 let run = rng.gen_range(1..32usize).min(n - input.len());
                 let b: u8 = rng.gen_range(0..8);
-                input.extend(std::iter::repeat(b).take(run));
+                input.extend(std::iter::repeat_n(b, run));
             }
             let c = compress(&input);
             prop_assert_eq!(decompress(&c).unwrap(), input);

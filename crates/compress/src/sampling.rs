@@ -203,7 +203,9 @@ mod tests {
     fn unsampled_rows_fall_back_to_mean() {
         let x = data(50, 4);
         let s = SampleCompressed::compress(&x, 10, 2).unwrap();
-        let unsampled = (0..50).find(|i| !s.lookup.contains_key(&(*i as u32))).unwrap();
+        let unsampled = (0..50)
+            .find(|i| !s.lookup.contains_key(&(*i as u32)))
+            .unwrap();
         let got = s.cell(unsampled, 2).unwrap();
         assert_eq!(got, s.col_means[2]);
     }

@@ -41,9 +41,10 @@ pub struct SvdCompressed {
 impl SvdCompressed {
     /// Two-pass compression keeping `k` principal components.
     ///
-    /// `threads` parallelizes pass 1 (and pass 2 row ranges are
-    /// independent, but pass 2 is cheap: `O(N·M·k)`). `k` is clamped to
-    /// the numerical rank discovered in pass 1.
+    /// `threads` parallelizes both passes: pass 1 sums per-worker partial
+    /// Gram matrices, pass 2 splits the rows of `U` into disjoint bands
+    /// written concurrently. `k` is clamped to the numerical rank
+    /// discovered in pass 1.
     pub fn compress<S: RowSource + ?Sized>(source: &S, k: usize, threads: usize) -> Result<Self> {
         Self::compress_with_engine(source, k, threads, EigenEngine::Dense)
     }
@@ -65,9 +66,7 @@ impl SvdCompressed {
         let c = compute_gram_parallel(source, threads)?;
         let eig = match engine {
             EigenEngine::Dense => sym_eigen(&c)?,
-            EigenEngine::Lanczos => {
-                lanczos_top_k(&c, k.min(m), LanczosOptions::default())?
-            }
+            EigenEngine::Lanczos => lanczos_top_k(&c, k.min(m), LanczosOptions::default())?,
         };
         let lambda_all: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
         let lmax = lambda_all.first().copied().unwrap_or(0.0);
@@ -89,11 +88,7 @@ impl SvdCompressed {
 
         // Pass 2: U = X V Λ⁻¹, one row at a time (Fig. 3).
         let mut u = Matrix::zeros(n, k);
-        source.for_each_row(&mut |i, row| {
-            let ui = u.row_mut(i);
-            project_row(row, &v, &lambda, ui);
-            Ok(())
-        })?;
+        emit_u(source, &v, &lambda, &mut u, threads)?;
 
         Ok(SvdCompressed { u, lambda, v })
     }
@@ -189,6 +184,58 @@ pub(crate) fn project_row(x: &[f64], v: &Matrix, lambda: &[f64], u_row: &mut [f6
             *u = 0.0;
         }
     }
+}
+
+/// Emit `U = X V Λ⁻¹` (Eq. 11) for every row of `source` into `u`,
+/// splitting the rows into disjoint contiguous bands written by `threads`
+/// workers. Each worker owns a `&mut` band of `U`'s storage (via
+/// [`Matrix::row_chunks_mut`]) and scans the matching row range of the
+/// source, so no synchronization is needed and the output is bitwise
+/// identical to the serial emission. Shared by plain-SVD pass 2 and SVDD
+/// pass 3.
+///
+/// Falls back to one sequential scan for `threads ≤ 1` or tiny inputs.
+pub(crate) fn emit_u<S: RowSource + ?Sized>(
+    source: &S,
+    v: &Matrix,
+    lambda: &[f64],
+    u: &mut Matrix,
+    threads: usize,
+) -> Result<()> {
+    let n = source.rows();
+    let k = lambda.len();
+    debug_assert_eq!(u.rows(), n);
+    debug_assert_eq!(u.cols(), k);
+    if k == 0 {
+        return Ok(());
+    }
+    if threads <= 1 || n < 2 * threads {
+        return source.for_each_row(&mut |i, row| {
+            project_row(row, v, lambda, u.row_mut(i));
+            Ok(())
+        });
+    }
+    let chunk = n.div_ceil(threads);
+    let results: Vec<Result<()>> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (start, band) in u.row_chunks_mut(chunk) {
+            let end = start + band.len() / k;
+            handles.push(scope.spawn(move |_| -> Result<()> {
+                let mut off = 0;
+                source.scan_range(start, end, &mut |_, row| {
+                    project_row(row, v, lambda, &mut band[off..off + k]);
+                    off += k;
+                    Ok(())
+                })
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+    results.into_iter().collect()
 }
 
 /// `out[j] = Σ_m λ_m u_m v[j][m]` — Eq. 12 for a whole row.
@@ -365,22 +412,23 @@ mod tests {
         assert!(c.cell(0, 5).is_err());
         let mut wrong = vec![0.0; 4];
         assert!(c.row_into(0, &mut wrong).is_err());
-        assert!(c.row_into(10, &mut vec![0.0; 5]).is_err());
+        assert!(c.row_into(10, &mut [0.0; 5]).is_err());
     }
 
     #[test]
     fn lanczos_engine_matches_dense() {
         let x = random_lowish_rank(120, 16, 21);
-        let dense =
-            SvdCompressed::compress_with_engine(&x, 3, 1, EigenEngine::Dense).unwrap();
-        let lz =
-            SvdCompressed::compress_with_engine(&x, 3, 1, EigenEngine::Lanczos).unwrap();
+        let dense = SvdCompressed::compress_with_engine(&x, 3, 1, EigenEngine::Dense).unwrap();
+        let lz = SvdCompressed::compress_with_engine(&x, 3, 1, EigenEngine::Lanczos).unwrap();
         assert_eq!(dense.k(), lz.k());
         for i in (0..120).step_by(11) {
             for j in 0..16 {
                 let a = dense.cell(i, j).unwrap();
                 let b = lz.cell(i, j).unwrap();
-                assert!((a - b).abs() < 1e-6 * a.abs().max(1.0), "({i},{j}): {a} vs {b}");
+                assert!(
+                    (a - b).abs() < 1e-6 * a.abs().max(1.0),
+                    "({i},{j}): {a} vs {b}"
+                );
             }
         }
     }
@@ -419,9 +467,8 @@ mod tests {
 
     #[test]
     fn works_from_disk_source_with_two_passes() {
-        let dir = std::env::temp_dir().join(format!("ats-svd2p-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("x.atsm");
+        let dir = ats_common::TestDir::new("ats-svd2p");
+        let path = dir.file("x.atsm");
         let x = random_lowish_rank(120, 8, 11);
         ats_storage::file::write_matrix(&path, &x).unwrap();
         let f = ats_storage::MatrixFile::open(&path).unwrap();

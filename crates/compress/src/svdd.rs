@@ -23,6 +23,15 @@
 //! 3. **Pass 3** — emit `U` truncated to `k_opt` (Eq. 11) and freeze the
 //!    winning queue into the [`DeltaStore`] (hash table + Bloom filter).
 //!
+//! All three passes are row-partitioned across `threads` workers: pass 1
+//! sums per-worker partial Gram matrices ([`compute_gram_parallel`]),
+//! pass 2 gives each worker private per-candidate [`TopK`] queues and SSE
+//! accumulators over a disjoint row range (merged with [`TopK::merge`]
+//! and a sum — the retained outlier set is identical to a single scan),
+//! and pass 3 hands each worker a disjoint `&mut` band of `U`. Each pass
+//! still reads every row exactly once, so the Fig. 5 I/O bound (three
+//! sequential passes) is preserved at any thread count.
+//!
 //! The naive alternative (Fig. 4) — recompute an SVD per candidate `k` —
 //! is provided as [`SvddCompressed::compress_naive`] for tests and the
 //! ablation benchmark.
@@ -30,7 +39,7 @@
 use crate::delta::{DeltaStore, DELTA_BYTES};
 use crate::gram::compute_gram_parallel;
 use crate::method::{svd_bytes, CompressedMatrix, SpaceBudget};
-use crate::svd::{project_row, SvdCompressed};
+use crate::svd::{emit_u, SvdCompressed};
 use ats_common::{AtsError, Result, TopK};
 use ats_linalg::{sym_eigen, Matrix};
 use ats_storage::RowSource;
@@ -45,12 +54,18 @@ pub struct SvddOptions {
     pub k_max: Option<usize>,
     /// Attach the §4.2 Bloom filter in front of the delta hash table.
     pub with_bloom: bool,
-    /// Worker threads for pass 1.
+    /// Worker threads for all three passes.
     pub threads: usize,
     /// Soft cap on the total number of queue entries across all candidate
     /// `k` values during pass 2. If exceeded, the candidate set is
     /// thinned (smallest-`k` candidates, which have the largest `γ_k`,
     /// are dropped first). Bounds pass-2 memory on huge datasets.
+    ///
+    /// With `threads > 1` each worker holds a private copy of the queues
+    /// (a merge needs full-capacity shards to stay exact), so the peak
+    /// entry count is `threads ×` this cap. Thinning itself depends only
+    /// on the γ sizes, never on `threads`, so the candidate set — and
+    /// hence `k_opt` — is the same at any thread count.
     pub max_queue_entries: usize,
 }
 
@@ -90,6 +105,78 @@ pub struct SvddCompressed {
 
 /// Queue item: (row, col, delta).
 type Outlier = (u32, u32, f64);
+
+/// One worker's pass-2 output: a bounded queue per candidate `k` plus the
+/// matching per-candidate SSE partial sums.
+type Pass2Shard = (Vec<TopK<Outlier>>, Vec<f64>);
+
+/// Pass-2 kernel over rows `[start, end)`: offer every cell's squared
+/// reconstruction error to private per-candidate queues and accumulate
+/// per-candidate SSE. Each worker of the parallel pass runs this over its
+/// own disjoint range; the serial path runs it once over `[0, n)`.
+///
+/// Per-cell errors depend only on the row, so shards produce exactly the
+/// values a single scan would; only the SSE summation *order* differs
+/// between thread counts (floating-point reassociation at merge).
+///
+/// `candidate_ks` is ascending in `k`, so the cumulative-k sweep walks
+/// the candidates directly, accumulating each span `(k_prev, k]` once and
+/// never touching components beyond the largest candidate. Rows of all
+/// zeros reconstruct exactly at every `k` and are skipped outright, and
+/// zero-error cells are never offered (they would burn delta slots on
+/// no-op corrections).
+fn pass2_range<S: RowSource + ?Sized>(
+    source: &S,
+    v_full: &Matrix,
+    candidate_ks: &[(usize, usize)],
+    start: usize,
+    end: usize,
+) -> Result<Pass2Shard> {
+    let k_hi = candidate_ks.last().map_or(0, |&(k, _)| k);
+    let mut queues: Vec<TopK<Outlier>> = candidate_ks
+        .iter()
+        .map(|&(_, gamma)| TopK::new(gamma))
+        .collect();
+    let mut sse = vec![0.0f64; candidate_ks.len()];
+    let mut proj = vec![0.0f64; k_hi];
+    source.scan_range(start, end, &mut |i, row| {
+        // proj[j] = x · v_j = λ_j u_{i,j}
+        proj.fill(0.0);
+        let mut all_zero = true;
+        for (l, &xl) in row.iter().enumerate() {
+            if xl == 0.0 {
+                continue;
+            }
+            all_zero = false;
+            let v_row = &v_full.row(l)[..k_hi];
+            for (p, &vj) in proj.iter_mut().zip(v_row) {
+                *p += xl * vj;
+            }
+        }
+        if all_zero {
+            return Ok(());
+        }
+        for (j, &x) in row.iter().enumerate() {
+            let v_row = v_full.row(j);
+            let mut acc = 0.0f64;
+            let mut k_prev = 0usize;
+            for (ci, &(k, _)) in candidate_ks.iter().enumerate() {
+                for t in k_prev..k {
+                    acc += proj[t] * v_row[t];
+                }
+                k_prev = k;
+                let err = x - acc;
+                let sq = err * err;
+                sse[ci] += sq;
+                if sq > 0.0 && queues[ci].would_accept(sq) {
+                    queues[ci].offer(sq, (i as u32, j as u32, err));
+                }
+            }
+        }
+        Ok(())
+    })?;
+    Ok((queues, sse))
+}
 
 impl SvddCompressed {
     /// The paper's three-pass build (Fig. 5).
@@ -140,66 +227,78 @@ impl SvddCompressed {
                 "no feasible cutoff k under this budget".into(),
             ));
         }
-        // Thin candidates if the queues would take too much memory.
+        // Thin candidates if the queues would take too much memory:
+        // drop the largest-γ candidate (always among the smallest k)
+        // until the rest fit, always keeping at least one. Sorting a
+        // drop order once is O(C log C) where the old repeated
+        // max-scan-and-remove was O(C²); ties drop the larger k first,
+        // exactly as the repeated scan did.
         let mut total: usize = candidate_ks.iter().map(|&(_, g)| g).sum();
-        while total > opts.max_queue_entries && candidate_ks.len() > 1 {
-            // Drop the candidate with the largest γ (always the smallest
-            // k) unless it is the last feasible one.
-            let (pos, _) = candidate_ks
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, &(_, g))| g)
-                .expect("non-empty");
-            total -= candidate_ks[pos].1;
-            candidate_ks.remove(pos);
+        if total > opts.max_queue_entries && candidate_ks.len() > 1 {
+            let mut order: Vec<usize> = (0..candidate_ks.len()).collect();
+            order.sort_by(|&a, &b| {
+                let (ka, ga) = candidate_ks[a];
+                let (kb, gb) = candidate_ks[b];
+                gb.cmp(&ga).then(kb.cmp(&ka))
+            });
+            let mut keep = vec![true; candidate_ks.len()];
+            let mut remaining = candidate_ks.len();
+            for &i in &order {
+                if total <= opts.max_queue_entries || remaining == 1 {
+                    break;
+                }
+                keep[i] = false;
+                remaining -= 1;
+                total -= candidate_ks[i].1;
+            }
+            let mut keep_it = keep.iter();
+            candidate_ks.retain(|_| *keep_it.next().expect("keep mask"));
         }
 
-        let mut queues: Vec<TopK<Outlier>> = candidate_ks
-            .iter()
-            .map(|&(_, gamma)| TopK::new(gamma))
-            .collect();
-        let mut sse = vec![0.0f64; candidate_ks.len()];
-
         // ---- Pass 2: per-cell errors for every candidate k ----
-        let mut proj = vec![0.0f64; k_max];
-        let mut recon = vec![0.0f64; candidate_ks.len()];
-        source.for_each_row(&mut |i, row| {
-            // proj[j] = x · v_j = λ_j u_{i,j}
-            for j in 0..k_max {
-                proj[j] = 0.0;
-            }
-            for (l, &xl) in row.iter().enumerate() {
-                if xl == 0.0 {
-                    continue;
-                }
-                let v_row = v_full.row(l);
-                for j in 0..k_max {
-                    proj[j] += xl * v_row[j];
-                }
-            }
-            for (j, &x) in row.iter().enumerate() {
-                // cumulative reconstruction over k; sample at candidates
-                let v_row = v_full.row(j);
-                let mut acc = 0.0f64;
-                let mut ci = 0usize;
-                for k in 1..=k_max {
-                    acc += proj[k - 1] * v_row[k - 1];
-                    if ci < candidate_ks.len() && candidate_ks[ci].0 == k {
-                        recon[ci] = acc;
-                        ci += 1;
+        // Row-partitioned across workers: each scans a disjoint range
+        // with private queues and SSE, merged afterwards in worker order.
+        let threads = opts.threads.max(1);
+        let (mut queues, sse) = if threads <= 1 || n < 2 * threads {
+            pass2_range(source, &v_full, &candidate_ks, 0, n)?
+        } else {
+            let chunk = n.div_ceil(threads);
+            let shards: Vec<Result<Pass2Shard>> = crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    let start = t * chunk;
+                    let end = ((t + 1) * chunk).min(n);
+                    if start >= end {
+                        continue;
                     }
+                    let v_full = &v_full;
+                    let candidate_ks = &candidate_ks;
+                    handles.push(
+                        scope.spawn(move |_| pass2_range(source, v_full, candidate_ks, start, end)),
+                    );
                 }
-                for (ci, q) in queues.iter_mut().enumerate() {
-                    let err = x - recon[ci];
-                    let sq = err * err;
-                    sse[ci] += sq;
-                    if q.would_accept(sq) {
-                        q.offer(sq, (i as u32, j as u32, err));
-                    }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("no panic"))
+                    .collect()
+            })
+            .expect("crossbeam scope");
+            let mut queues: Vec<TopK<Outlier>> = candidate_ks
+                .iter()
+                .map(|&(_, gamma)| TopK::new(gamma))
+                .collect();
+            let mut sse = vec![0.0f64; candidate_ks.len()];
+            for shard in shards {
+                let (qs, ss) = shard?;
+                for (acc, q) in queues.iter_mut().zip(qs) {
+                    acc.merge(q);
+                }
+                for (a, s) in sse.iter_mut().zip(ss) {
+                    *a += s;
                 }
             }
-            Ok(())
-        })?;
+            (queues, sse)
+        };
 
         // Pick k_opt: smallest residual after the kept outliers go exact.
         let mut candidates = Vec::with_capacity(candidate_ks.len());
@@ -230,10 +329,7 @@ impl SvddCompressed {
             }
         }
         let mut u = Matrix::zeros(n, k_opt);
-        source.for_each_row(&mut |i, row| {
-            project_row(row, &v, &lambda, u.row_mut(i));
-            Ok(())
-        })?;
+        emit_u(source, &v, &lambda, &mut u, threads)?;
 
         let deltas = DeltaStore::build(
             m,
@@ -279,7 +375,9 @@ impl SvddCompressed {
                     let err = x - r;
                     let sq = err * err;
                     sse_raw += sq;
-                    if queue.would_accept(sq) {
+                    // Same zero-error guard as the 3-pass kernel, so both
+                    // algorithms keep comparable delta sets.
+                    if sq > 0.0 && queue.would_accept(sq) {
                         queue.offer(sq, (i as u32, j as u32, err));
                     }
                 }
@@ -292,7 +390,7 @@ impl SvddCompressed {
                 sse_raw,
                 sse_after_deltas: eps,
             });
-            let better = best.as_ref().map_or(true, |(b, ..)| eps < *b);
+            let better = best.as_ref().is_none_or(|(b, ..)| eps < *b);
             if better {
                 best = Some((eps, svd, queue, all_candidates.clone()));
             }
@@ -441,9 +539,8 @@ mod tests {
     #[test]
     fn outlier_cells_reconstruct_exactly() {
         let x = spiky_matrix(60, 10, 2);
-        let svdd =
-            SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(25.0)))
-                .unwrap();
+        let svdd = SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(25.0)))
+            .unwrap();
         assert!(svdd.num_deltas() > 0, "no deltas kept");
         for (i, j, _) in svdd.deltas().iter() {
             let got = svdd.cell(i, j).unwrap();
@@ -497,9 +594,8 @@ mod tests {
 
     #[test]
     fn three_passes_exactly() {
-        let dir = std::env::temp_dir().join(format!("ats-svdd3p-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("x.atsm");
+        let dir = ats_common::TestDir::new("ats-svdd3p");
+        let path = dir.file("x.atsm");
         let x = spiky_matrix(80, 10, 5);
         ats_storage::file::write_matrix(&path, &x).unwrap();
         let f = ats_storage::MatrixFile::open(&path).unwrap();
@@ -528,10 +624,7 @@ mod tests {
     #[test]
     fn budget_too_small_errors() {
         let x = spiky_matrix(50, 10, 7);
-        let r = SvddCompressed::compress(
-            &x,
-            &SvddOptions::new(SpaceBudget { fraction: 1e-7 }),
-        );
+        let r = SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget { fraction: 1e-7 }));
         assert!(matches!(r, Err(AtsError::Budget(_))));
     }
 
@@ -560,16 +653,15 @@ mod tests {
         let mut opts = SvddOptions::new(SpaceBudget::from_percent(30.0));
         opts.max_queue_entries = 50; // absurdly small: forces thinning
         let svdd = SvddCompressed::compress(&x, &opts).unwrap();
-        assert!(svdd.candidates().len() >= 1);
+        assert!(!svdd.candidates().is_empty());
         assert!(svdd.storage_bytes() <= opts.budget.bytes(100, 16));
     }
 
     #[test]
     fn candidate_diagnostics_consistent() {
         let x = spiky_matrix(80, 10, 10);
-        let svdd =
-            SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(20.0)))
-                .unwrap();
+        let svdd = SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(20.0)))
+            .unwrap();
         for c in svdd.candidates() {
             assert!(c.sse_after_deltas <= c.sse_raw + 1e-9);
             assert!(c.sse_after_deltas >= -1e-6);
@@ -590,6 +682,112 @@ mod tests {
             SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(10.0)))
                 .is_err()
         );
+    }
+
+    /// Delta set as a sorted, comparable list of (row, col, delta).
+    fn sorted_deltas(c: &SvddCompressed) -> Vec<(usize, usize, f64)> {
+        let mut d: Vec<_> = c.deltas().iter().collect();
+        d.sort_by_key(|a| (a.0, a.1));
+        d
+    }
+
+    /// Both builds kept the *same cells*, with corrections equal up to
+    /// the tiny pass-1 jitter (parallel Gram summation reassociates
+    /// floating-point adds, perturbing the eigenvectors in the last ULPs).
+    fn assert_same_delta_set(a: &SvddCompressed, b: &SvddCompressed, ctx: &str) {
+        let (da, db) = (sorted_deltas(a), sorted_deltas(b));
+        let pos = |d: &[(usize, usize, f64)]| d.iter().map(|&(i, j, _)| (i, j)).collect::<Vec<_>>();
+        assert_eq!(pos(&da), pos(&db), "{ctx}: different cells kept");
+        for (x, y) in da.iter().zip(&db) {
+            assert!(
+                (x.2 - y.2).abs() <= 1e-8 * y.2.abs().max(1.0),
+                "{ctx}: delta at ({}, {}) diverged: {} vs {}",
+                x.0,
+                x.1,
+                x.2,
+                y.2
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        // Odd N to exercise ragged chunks at every thread count.
+        let x = spiky_matrix(203, 12, 12);
+        let opts = SvddOptions::new(SpaceBudget::from_percent(20.0));
+        let serial = SvddCompressed::compress(&x, &opts).unwrap();
+        for threads in [2, 3, 4, 8] {
+            let mut par_opts = opts.clone();
+            par_opts.threads = threads;
+            let par = SvddCompressed::compress(&x, &par_opts).unwrap();
+            // Same cutoff and the *identical* delta set: per-cell errors
+            // don't depend on the partitioning, so the merged queues
+            // retain exactly the cells one queue would.
+            assert_eq!(par.k_opt(), serial.k_opt(), "threads={threads}");
+            assert_same_delta_set(&par, &serial, &format!("threads={threads}"));
+            // SSE only differs by summation order at the merge points.
+            assert_eq!(par.candidates().len(), serial.candidates().len());
+            for (a, b) in par.candidates().iter().zip(serial.candidates()) {
+                assert_eq!(a.k, b.k);
+                assert_eq!(a.gamma, b.gamma);
+                assert!(
+                    (a.sse_raw - b.sse_raw).abs() <= 1e-8 * b.sse_raw.max(1.0),
+                    "threads={threads} k={}: {} vs {}",
+                    a.k,
+                    a.sse_raw,
+                    b.sse_raw
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows_falls_back() {
+        let x = spiky_matrix(6, 8, 13);
+        let b = SpaceBudget::from_percent(40.0);
+        let serial = SvddCompressed::compress(&x, &SvddOptions::new(b)).unwrap();
+        let mut opts = SvddOptions::new(b);
+        opts.threads = 64;
+        let par = SvddCompressed::compress(&x, &opts).unwrap();
+        assert_eq!(par.k_opt(), serial.k_opt());
+        // n < 2·threads: every pass falls back to the serial path, so the
+        // result is bitwise identical.
+        assert_eq!(sorted_deltas(&par), sorted_deltas(&serial));
+    }
+
+    #[test]
+    fn parallel_thinning_independent_of_threads() {
+        let x = spiky_matrix(100, 16, 9);
+        let mut opts = SvddOptions::new(SpaceBudget::from_percent(30.0));
+        opts.max_queue_entries = 50; // forces thinning
+        let serial = SvddCompressed::compress(&x, &opts).unwrap();
+        opts.threads = 4;
+        let par = SvddCompressed::compress(&x, &opts).unwrap();
+        // The candidate set (hence γ sizing and k_opt) never depends on
+        // the thread count, only on the γ totals.
+        let ks = |c: &SvddCompressed| c.candidates().iter().map(|c| c.k).collect::<Vec<_>>();
+        assert_eq!(ks(&par), ks(&serial));
+        assert_eq!(par.k_opt(), serial.k_opt());
+    }
+
+    #[test]
+    fn parallel_build_from_disk_still_three_passes() {
+        let dir = ats_common::TestDir::new("ats-svdd3p-par");
+        let path = dir.file("x.atsm");
+        let x = spiky_matrix(80, 10, 5);
+        ats_storage::file::write_matrix(&path, &x).unwrap();
+        let f = ats_storage::MatrixFile::open(&path).unwrap();
+        let mut opts = SvddOptions::new(SpaceBudget::from_percent(20.0));
+        opts.threads = 4;
+        let par = SvddCompressed::compress(&f, &opts).unwrap();
+        // Disjoint worker ranges still read every row exactly once per
+        // pass — the Fig. 5 I/O bound holds at any thread count.
+        assert_eq!(f.stats().logical_reads(), 3 * 80);
+        let serial =
+            SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(20.0)))
+                .unwrap();
+        assert_eq!(par.k_opt(), serial.k_opt());
+        assert_same_delta_set(&par, &serial, "disk vs memory");
     }
 
     #[test]

@@ -7,9 +7,7 @@ use ats_compress::dct::DctCompressed;
 use ats_compress::dwt::DwtCompressed;
 use ats_compress::quantized::QuantizedSvd;
 use ats_compress::sampling::SampleCompressed;
-use ats_compress::{
-    CompressedMatrix, SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions,
-};
+use ats_compress::{CompressedMatrix, SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions};
 use ats_linalg::Matrix;
 
 fn dataset() -> Matrix {
@@ -26,9 +24,7 @@ fn all_methods(x: &Matrix) -> Vec<Box<dyn CompressedMatrix>> {
         Box::new(DctCompressed::compress_budget(x, budget).unwrap()),
         Box::new(DwtCompressed::compress_budget(x, budget).unwrap()),
         Box::new(QuantizedSvd::compress_budget(x, budget, 1).unwrap()),
-        Box::new(
-            ClusterCompressed::compress_budget(x, budget, ClusterAlgo::Hierarchical).unwrap(),
-        ),
+        Box::new(ClusterCompressed::compress_budget(x, budget, ClusterAlgo::Hierarchical).unwrap()),
         Box::new(SampleCompressed::compress_budget(x, budget, 1).unwrap()),
     ]
 }
@@ -49,14 +45,12 @@ fn row_into_agrees_with_cell() {
         let mut row = vec![0.0; 32];
         for i in [0usize, 119, 239] {
             c.row_into(i, &mut row).unwrap();
-            for j in 0..32 {
+            for (j, &got) in row.iter().enumerate() {
                 let cell = c.cell(i, j).unwrap();
                 assert!(
-                    (row[j] - cell).abs() < 1e-9,
-                    "{} ({i},{j}): row {} vs cell {}",
-                    c.method_name(),
-                    row[j],
-                    cell
+                    (got - cell).abs() < 1e-9,
+                    "{} ({i},{j}): row {got} vs cell {cell}",
+                    c.method_name()
                 );
             }
         }

@@ -219,8 +219,8 @@ impl CompressedMatrix for DiskStore {
         self.u.read_row_into(i, &mut u_row)?;
         for (j, o) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
-            for m in 0..self.k() {
-                acc += self.lambda[m] * u_row[m] * self.v[(j, m)];
+            for (m, (&lam, &uv)) in self.lambda.iter().zip(&u_row).enumerate() {
+                acc += lam * uv * self.v[(j, m)];
             }
             *o = acc;
         }
@@ -265,9 +265,8 @@ mod tests {
     #[test]
     fn svdd_roundtrip_through_disk() {
         let x = spiky(200, 21);
-        let svdd =
-            SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(15.0)))
-                .unwrap();
+        let svdd = SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(15.0)))
+            .unwrap();
         let dir = tmp("rt");
         save_svdd(&dir, &svdd).unwrap();
         let store = DiskStore::open(&dir, 64).unwrap();
@@ -287,9 +286,8 @@ mod tests {
     #[test]
     fn one_disk_access_per_cold_cell_query() {
         let x = spiky(100, 14);
-        let svdd =
-            SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(20.0)))
-                .unwrap();
+        let svdd = SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(20.0)))
+            .unwrap();
         let dir = tmp("1io");
         save_svdd(&dir, &svdd).unwrap();
         let store = DiskStore::open(&dir, 256).unwrap();
@@ -326,25 +324,23 @@ mod tests {
     #[test]
     fn row_reconstruction_matches_cells() {
         let x = spiky(60, 9);
-        let svdd =
-            SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(25.0)))
-                .unwrap();
+        let svdd = SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(25.0)))
+            .unwrap();
         let dir = tmp("row");
         save_svdd(&dir, &svdd).unwrap();
         let store = DiskStore::open(&dir, 16).unwrap();
         let mut row = vec![0.0; 9];
         store.row_into(10, &mut row).unwrap();
-        for j in 0..9 {
-            assert!((row[j] - store.cell(10, j).unwrap()).abs() < 1e-12);
+        for (j, &got) in row.iter().enumerate() {
+            assert!((got - store.cell(10, j).unwrap()).abs() < 1e-12);
         }
     }
 
     #[test]
     fn corrupt_store_detected() {
         let x = spiky(50, 8);
-        let svdd =
-            SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(25.0)))
-                .unwrap();
+        let svdd = SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(25.0)))
+            .unwrap();
         let dir = tmp("corrupt");
         save_svdd(&dir, &svdd).unwrap();
         // Truncate V: open must fail with a corruption error.
@@ -361,9 +357,8 @@ mod tests {
     #[test]
     fn storage_bytes_matches_in_memory_form() {
         let x = spiky(70, 12);
-        let svdd =
-            SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(20.0)))
-                .unwrap();
+        let svdd = SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(20.0)))
+            .unwrap();
         let dir = tmp("bytes");
         save_svdd(&dir, &svdd).unwrap();
         let store = DiskStore::open(&dir, 16).unwrap();

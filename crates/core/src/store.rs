@@ -4,9 +4,7 @@ use ats_common::{AtsError, Result};
 use ats_compress::cluster::{ClusterAlgo, ClusterCompressed};
 use ats_compress::dct::DctCompressed;
 use ats_compress::sampling::SampleCompressed;
-use ats_compress::{
-    CompressedMatrix, SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions,
-};
+use ats_compress::{CompressedMatrix, SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions};
 use ats_linalg::Matrix;
 use ats_query::engine::{AggregateFn, QueryEngine};
 use ats_query::metrics::{error_report, ErrorReport};
@@ -67,7 +65,8 @@ impl StoreBuilder {
         self
     }
 
-    /// Threads for the streaming passes (default 1).
+    /// Worker threads (default 1). One knob for both sides: the build's
+    /// streaming passes and the store's aggregate query scans.
     pub fn threads(mut self, t: usize) -> Self {
         self.threads = t.max(1);
         self
@@ -131,6 +130,7 @@ impl StoreBuilder {
         Ok(SequenceStore {
             compressed,
             method: self.method,
+            threads: self.threads,
         })
     }
 }
@@ -139,6 +139,7 @@ impl StoreBuilder {
 pub struct SequenceStore {
     compressed: Box<dyn CompressedMatrix>,
     method: Method,
+    threads: usize,
 }
 
 impl SequenceStore {
@@ -180,9 +181,25 @@ impl SequenceStore {
         Ok(out)
     }
 
-    /// Aggregate query over a selection.
+    /// Worker threads used for aggregate query scans (the builder's
+    /// [`StoreBuilder::threads`] knob).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Aggregate query over a selection, scanned with the store's
+    /// configured thread count.
     pub fn aggregate(&self, sel: &Selection, f: AggregateFn) -> Result<f64> {
-        QueryEngine::new(self.compressed.as_ref()).aggregate(sel, f)
+        QueryEngine::new(self.compressed.as_ref())
+            .with_threads(self.threads)
+            .aggregate(sel, f)
+    }
+
+    /// Every aggregate function at once, over a single selection scan.
+    pub fn aggregate_all(&self, sel: &Selection) -> Result<ats_query::engine::AggregateRow> {
+        QueryEngine::new(self.compressed.as_ref())
+            .with_threads(self.threads)
+            .aggregate_all(sel)
     }
 
     /// Compressed size in bytes.
@@ -321,6 +338,34 @@ mod tests {
             assert!((a - b).abs() < 0.3);
         }
         assert!(store.sequence(100).is_err());
+    }
+
+    #[test]
+    fn threads_knob_covers_build_and_query() {
+        // One builder knob drives both the parallel build passes and the
+        // threaded aggregate scans; results stay within float-merge noise
+        // of the single-threaded store.
+        let x = structured(300, 28);
+        let budget = SpaceBudget::from_percent(20.0);
+        let serial = SequenceStore::builder().budget(budget).build(&x).unwrap();
+        let par = SequenceStore::builder()
+            .budget(budget)
+            .threads(4)
+            .build(&x)
+            .unwrap();
+        assert_eq!(serial.threads(), 1);
+        assert_eq!(par.threads(), 4);
+        let sel = Selection {
+            rows: Axis::Range(5, 280),
+            cols: Axis::Range(0, 28),
+        };
+        for f in AggregateFn::ALL {
+            let a = serial.aggregate(&sel, f).unwrap();
+            let b = par.aggregate(&sel, f).unwrap();
+            assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0), "{a} vs {b}");
+        }
+        let all = par.aggregate_all(&sel).unwrap();
+        assert_eq!(all.count, 275 * 28);
     }
 
     #[test]

@@ -19,11 +19,7 @@ use ats_storage::RowSource;
 pub fn project(svd: &SvdCompressed, dims: usize) -> Vec<Vec<f64>> {
     let d = dims.min(svd.k());
     (0..svd.rows())
-        .map(|i| {
-            (0..d)
-                .map(|m| svd.u()[(i, m)] * svd.lambda()[m])
-                .collect()
-        })
+        .map(|i| (0..d).map(|m| svd.u()[(i, m)] * svd.lambda()[m]).collect())
         .collect()
 }
 

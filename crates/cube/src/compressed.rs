@@ -126,13 +126,9 @@ mod tests {
     #[test]
     fn svd_cube_reconstructs_well() {
         let cube = sales_cube();
-        let cc = CompressedCube::compress(
-            &cube,
-            SpaceBudget::from_percent(20.0),
-            CubeMethod::Svd,
-            128,
-        )
-        .unwrap();
+        let cc =
+            CompressedCube::compress(&cube, SpaceBudget::from_percent(20.0), CubeMethod::Svd, 128)
+                .unwrap();
         let mut sse = 0.0;
         let mut energy = 0.0;
         for a in 0..40 {
@@ -213,13 +209,9 @@ mod tests {
     #[test]
     fn bad_coords_rejected() {
         let cube = sales_cube();
-        let cc = CompressedCube::compress(
-            &cube,
-            SpaceBudget::from_percent(20.0),
-            CubeMethod::Svd,
-            128,
-        )
-        .unwrap();
+        let cc =
+            CompressedCube::compress(&cube, SpaceBudget::from_percent(20.0), CubeMethod::Svd, 128)
+                .unwrap();
         assert!(cc.cell(&[40, 0, 0]).is_err());
         assert!(cc.cell(&[0, 0]).is_err());
         assert!(cc.cell(&[0, 0, 0, 0]).is_err());

@@ -13,7 +13,7 @@ pub struct Cube {
 impl Cube {
     /// An all-zero cube. Errors on an empty shape or a zero-length mode.
     pub fn zeros(shape: Vec<usize>) -> Result<Self> {
-        if shape.is_empty() || shape.iter().any(|&d| d == 0) {
+        if shape.is_empty() || shape.contains(&0) {
             return Err(AtsError::InvalidArgument(format!(
                 "invalid cube shape {shape:?}"
             )));
@@ -139,8 +139,10 @@ mod tests {
 
     #[test]
     fn from_fn_coords_correct() {
-        let c = Cube::from_fn(vec![2, 2, 2], |co| (co[0] * 100 + co[1] * 10 + co[2]) as f64)
-            .unwrap();
+        let c = Cube::from_fn(vec![2, 2, 2], |co| {
+            (co[0] * 100 + co[1] * 10 + co[2]) as f64
+        })
+        .unwrap();
         assert_eq!(c.get(&[1, 0, 1]).unwrap(), 101.0);
         assert_eq!(c.get(&[0, 1, 0]).unwrap(), 10.0);
     }

@@ -118,12 +118,12 @@ impl Flattening {
                 continue;
             }
             if cols <= max_cols {
-                let better = best.as_ref().map_or(true, |&(_, c)| cols > c);
+                let better = best.as_ref().is_none_or(|&(_, c)| cols > c);
                 if better {
                     best = Some((f, cols));
                 }
             } else {
-                let better = fallback.as_ref().map_or(true, |&(_, c)| cols < c);
+                let better = fallback.as_ref().is_none_or(|&(_, c)| cols < c);
                 if better {
                     fallback = Some((f, cols));
                 }

@@ -97,10 +97,7 @@ mod tests {
     use super::*;
 
     fn ds() -> Dataset {
-        Dataset::new(
-            "toy",
-            Matrix::from_fn(10, 4, |i, j| (i * 4 + j) as f64),
-        )
+        Dataset::new("toy", Matrix::from_fn(10, 4, |i, j| (i * 4 + j) as f64))
     }
 
     #[test]

@@ -29,6 +29,6 @@ pub mod sales;
 pub mod stocks;
 
 pub use dataset::Dataset;
-pub use phone::{PhoneConfig, generate_phone};
+pub use phone::{generate_phone, PhoneConfig};
 pub use sales::{generate_sales, SalesConfig, SalesCube};
-pub use stocks::{StocksConfig, generate_stocks};
+pub use stocks::{generate_stocks, StocksConfig};

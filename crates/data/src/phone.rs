@@ -126,7 +126,7 @@ pub fn generate_phone(cfg: &PhoneConfig) -> Dataset {
     }
 
     let mut matrix = Matrix::zeros(n, m);
-    for i in 0..n {
+    for (i, &vol) in volumes.iter().enumerate() {
         if rng.gen_bool(cfg.zero_fraction.clamp(0.0, 1.0)) {
             continue; // an all-zero customer
         }
@@ -136,7 +136,6 @@ pub fn generate_phone(cfg: &PhoneConfig) -> Dataset {
         let b = rng.gen_range(0..ARCHETYPES.len());
         let mix: f64 = rng.gen_range(0.0..0.25);
         let phase: usize = rng.gen_range(0..7); // which weekday day 0 is
-        let vol = volumes[i];
         let row = matrix.row_mut(i);
         for (d, cell) in row.iter_mut().enumerate() {
             let dow = (d + phase) % 7;
@@ -189,7 +188,11 @@ mod tests {
         let d = gen_small(1);
         assert_eq!(d.rows(), 200);
         assert_eq!(d.cols(), 56);
-        assert!(d.matrix().as_slice().iter().all(|&v| v >= 0.0 && v.is_finite()));
+        assert!(d
+            .matrix()
+            .as_slice()
+            .iter()
+            .all(|&v| v >= 0.0 && v.is_finite()));
     }
 
     #[test]

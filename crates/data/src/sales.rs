@@ -80,10 +80,10 @@ pub fn generate_sales(cfg: &SalesConfig) -> Result<SalesCube> {
         .collect();
 
     let mut values = Vec::with_capacity(np * ns * nw);
-    for p in 0..np {
-        for s in 0..ns {
-            for w in 0..nw {
-                let mut v = popularity[p] * size[s] * season[w];
+    for &pop in &popularity {
+        for &sz in &size {
+            for &sea in &season {
+                let mut v = pop * sz * sea;
                 if cfg.noise > 0.0 {
                     v *= 1.0 + cfg.noise * (rng.gen_range(-1.0..1.0));
                 }

@@ -118,7 +118,11 @@ mod tests {
     #[test]
     fn prices_positive_and_finite() {
         let d = generate_stocks(&StocksConfig::small());
-        assert!(d.matrix().as_slice().iter().all(|&v| v > 0.0 && v.is_finite()));
+        assert!(d
+            .matrix()
+            .as_slice()
+            .iter()
+            .all(|&v| v > 0.0 && v.is_finite()));
     }
 
     #[test]

@@ -42,9 +42,7 @@ impl EigenDecomposition {
         let n = self.values.len();
         let q = &self.vectors;
         Matrix::from_fn(n, n, |i, l| {
-            (0..n)
-                .map(|j| q[(i, j)] * self.values[j] * q[(l, j)])
-                .sum()
+            (0..n).map(|j| q[(i, j)] * self.values[j] * q[(l, j)]).sum()
         })
     }
 

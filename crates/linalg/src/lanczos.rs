@@ -152,9 +152,8 @@ fn lanczos_once(
     let keep = k.min(steps);
     let converged = exhausted
         || steps == n
-        || (0..keep).all(|jj| {
-            (beta_last * small.vectors[(steps - 1, jj)]).abs() <= opts.tol * anorm
-        });
+        || (0..keep)
+            .all(|jj| (beta_last * small.vectors[(steps - 1, jj)]).abs() <= opts.tol * anorm);
 
     // Ritz vectors: v = Σ_i q_i · s_{i,j}.
     let mut vectors = Matrix::zeros(n, keep);
@@ -231,9 +230,7 @@ mod tests {
         let top = lanczos_top_k(&a, 2, LanczosOptions::default()).unwrap();
         let dense = sym_eigen(&a).unwrap();
         for j in 0..2 {
-            assert!(
-                (top.values[j] - dense.values[j]).abs() < 1e-6 * dense.values[0].max(1.0)
-            );
+            assert!((top.values[j] - dense.values[j]).abs() < 1e-6 * dense.values[0].max(1.0));
         }
     }
 

@@ -157,6 +157,28 @@ impl Matrix {
         self.data.chunks_exact(self.cols)
     }
 
+    /// Split the matrix into disjoint mutable bands of at most
+    /// `rows_per_chunk` consecutive rows, yielding `(first_row, band)`
+    /// pairs. The bands borrow non-overlapping regions of the underlying
+    /// storage, so each can be handed to a different worker thread — the
+    /// safe `&mut` partitioning behind the parallel passes that write
+    /// disjoint row ranges of `U`.
+    ///
+    /// Panics if `rows_per_chunk == 0`. A `0 × m` matrix yields nothing.
+    pub fn row_chunks_mut(
+        &mut self,
+        rows_per_chunk: usize,
+    ) -> impl Iterator<Item = (usize, &mut [f64])> {
+        assert!(rows_per_chunk > 0, "row_chunks_mut: zero chunk size");
+        let cols = self.cols;
+        // `.max(1)` keeps chunks_mut legal for 0-column matrices, whose
+        // backing storage is empty and yields no bands anyway.
+        self.data
+            .chunks_mut((rows_per_chunk * cols).max(1))
+            .enumerate()
+            .map(move |(c, band)| (c * rows_per_chunk, band))
+    }
+
     /// The underlying row-major storage.
     #[inline]
     pub fn as_slice(&self) -> &[f64] {
@@ -416,11 +438,9 @@ mod tests {
     #[test]
     fn matmul_known_product() {
         let a = small(); // 2x3
-        let b = Matrix::from_rows(vec![vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]])
-            .unwrap(); // 3x2
+        let b = Matrix::from_rows(vec![vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]).unwrap(); // 3x2
         let c = a.matmul(&b).unwrap();
-        let expect =
-            Matrix::from_rows(vec![vec![58.0, 64.0], vec![139.0, 154.0]]).unwrap();
+        let expect = Matrix::from_rows(vec![vec![58.0, 64.0], vec![139.0, 154.0]]).unwrap();
         assert!(c.approx_eq(&expect, 1e-12));
     }
 
@@ -437,6 +457,36 @@ mod tests {
         assert!(a.matmul(&i3).unwrap().approx_eq(&a, 1e-15));
         let i2 = Matrix::identity(2);
         assert!(i2.matmul(&a).unwrap().approx_eq(&a, 1e-15));
+    }
+
+    #[test]
+    fn row_chunks_mut_covers_disjointly() {
+        // 7 rows in bands of 3: starts 0, 3, 6 with a ragged final band.
+        let mut m = Matrix::zeros(7, 4);
+        let mut starts = Vec::new();
+        for (start, band) in m.row_chunks_mut(3) {
+            assert_eq!(band.len() % 4, 0);
+            starts.push((start, band.len() / 4));
+            for v in band.iter_mut() {
+                *v += 1.0; // each cell must be visited exactly once
+            }
+        }
+        assert_eq!(starts, vec![(0, 3), (3, 3), (6, 1)]);
+        assert!(m.as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn row_chunks_mut_edge_shapes() {
+        // Chunk size beyond the row count: one band with everything.
+        let mut m = Matrix::zeros(2, 3);
+        let bands: Vec<(usize, usize)> = m.row_chunks_mut(10).map(|(s, b)| (s, b.len())).collect();
+        assert_eq!(bands, vec![(0, 6)]);
+
+        // Degenerate shapes yield no bands at all.
+        let mut empty_rows = Matrix::zeros(0, 5);
+        assert_eq!(empty_rows.row_chunks_mut(2).count(), 0);
+        let mut empty_cols = Matrix::zeros(5, 0);
+        assert_eq!(empty_cols.row_chunks_mut(2).count(), 0);
     }
 
     #[test]

@@ -101,7 +101,10 @@ impl Svd {
         let sigma_all: Vec<f64> = values.iter().map(|&l| l.max(0.0).sqrt()).collect();
         let smax = sigma_all.first().copied().unwrap_or(0.0);
         let cutoff = opts.rank_tol * smax;
-        let r = sigma_all.iter().take_while(|&&s| s > cutoff && s > 0.0).count();
+        let r = sigma_all
+            .iter()
+            .take_while(|&&s| s > cutoff && s > 0.0)
+            .count();
 
         let mut v = Matrix::zeros(m, r);
         for j in 0..r {
@@ -275,17 +278,17 @@ mod tests {
         // First column of U from Eq. 5: (.18, .36, .18, .90, 0, 0, 0).
         let svd = Svd::compute(&table1(), SvdOptions::default()).unwrap();
         let expect0 = [0.1796, 0.3592, 0.1796, 0.8980, 0.0, 0.0, 0.0];
-        for i in 0..7 {
+        for (i, want) in expect0.iter().enumerate() {
             assert!(
-                (svd.u()[(i, 0)].abs() - expect0[i]).abs() < 1e-3,
+                (svd.u()[(i, 0)].abs() - want).abs() < 1e-3,
                 "u[{i},0] = {}",
                 svd.u()[(i, 0)]
             );
         }
         // Second pattern: weekend customers (.53, .80, .27).
         let expect1 = [0.0, 0.0, 0.0, 0.0, 0.5345, 0.8018, 0.2673];
-        for i in 0..7 {
-            assert!((svd.u()[(i, 1)].abs() - expect1[i]).abs() < 1e-3);
+        for (i, want) in expect1.iter().enumerate() {
+            assert!((svd.u()[(i, 1)].abs() - want).abs() < 1e-3);
         }
     }
 
@@ -300,7 +303,7 @@ mod tests {
         }
         for j in 3..5 {
             assert!(v[(j, 0)].abs() < 1e-8);
-            assert!((v[(j, 1)].abs() - 0.7071).abs() < 1e-3);
+            assert!((v[(j, 1)].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
         }
     }
 
@@ -409,9 +412,9 @@ mod tests {
         // Projection of row i onto PC j equals (UΛ)_{ij}.
         for i in 0..x.rows() {
             let p = svd.project(x.row(i), 2).unwrap();
-            for j in 0..2 {
+            for (j, &got) in p.iter().enumerate().take(2) {
                 let expect = svd.u()[(i, j)] * svd.sigma()[j];
-                assert!((p[j] - expect).abs() < 1e-8, "row {i} pc {j}");
+                assert!((got - expect).abs() < 1e-8, "row {i} pc {j}");
             }
         }
         assert!(svd.project(&[1.0], 2).is_err());
@@ -429,8 +432,8 @@ mod tests {
         let svd = Svd::compute(&table1(), SvdOptions::default()).unwrap();
         let mut row = vec![0.0; 5];
         svd.reconstruct_row_into(2, &mut row);
-        for j in 0..5 {
-            assert!((row[j] - svd.reconstruct_cell(2, j)).abs() < 1e-12);
+        for (j, &got) in row.iter().enumerate() {
+            assert!((got - svd.reconstruct_cell(2, j)).abs() < 1e-12);
         }
     }
 }

@@ -84,12 +84,23 @@ impl AggregateFn {
 /// A query engine over any compressed matrix.
 pub struct QueryEngine<'a> {
     matrix: &'a dyn CompressedMatrix,
+    threads: usize,
 }
 
 impl<'a> QueryEngine<'a> {
-    /// Wrap a compressed matrix.
+    /// Wrap a compressed matrix (single-threaded scans).
     pub fn new(matrix: &'a dyn CompressedMatrix) -> Self {
-        QueryEngine { matrix }
+        QueryEngine { matrix, threads: 1 }
+    }
+
+    /// Use up to `threads` workers for aggregate scans. Selected rows are
+    /// split into contiguous chunks, each folded into a private
+    /// [`OnlineStats`] (reconstruction is read-only — `CompressedMatrix`
+    /// is `Sync`), and the partials are merged in chunk order, so results
+    /// are deterministic for a given thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Number of rows of the underlying matrix.
@@ -110,44 +121,22 @@ impl<'a> QueryEngine<'a> {
     /// Aggregate query over a selection.
     ///
     /// Reconstructs each selected row once and folds the selected columns
-    /// into a single-pass accumulator.
+    /// into a single-pass accumulator (or one per worker — see
+    /// [`QueryEngine::with_threads`]).
     pub fn aggregate(&self, sel: &Selection, f: AggregateFn) -> Result<f64> {
-        let (n, m) = (self.matrix.rows(), self.matrix.cols());
-        sel.validate(n, m)?;
+        let m = self.matrix.cols();
+        sel.validate(self.matrix.rows(), m)?;
         let cols: Vec<usize> = sel.cols.to_vec(m);
-        let mut stats = OnlineStats::new();
-        let mut row_buf = vec![0.0f64; m];
         // Heuristic: if most of the row is selected, reconstruct the whole
         // row; otherwise reconstruct only the selected cells.
         let dense_cols = cols.len() * 3 >= m;
-        for i in sel.rows.iter(n) {
-            if dense_cols {
-                self.matrix.row_into(i, &mut row_buf)?;
-                for &j in &cols {
-                    stats.push(row_buf[j]);
-                }
-            } else {
-                for &j in &cols {
-                    stats.push(self.matrix.cell(i, j)?);
-                }
-            }
-        }
+        let stats = self.selection_stats(sel, dense_cols)?;
         Ok(f.finish(&stats))
     }
 
     /// Evaluate every aggregate function at once over one selection scan.
     pub fn aggregate_all(&self, sel: &Selection) -> Result<AggregateRow> {
-        let (n, m) = (self.matrix.rows(), self.matrix.cols());
-        sel.validate(n, m)?;
-        let cols: Vec<usize> = sel.cols.to_vec(m);
-        let mut stats = OnlineStats::new();
-        let mut row_buf = vec![0.0f64; m];
-        for i in sel.rows.iter(n) {
-            self.matrix.row_into(i, &mut row_buf)?;
-            for &j in &cols {
-                stats.push(row_buf[j]);
-            }
-        }
+        let stats = self.selection_stats(sel, true)?;
         Ok(AggregateRow {
             sum: stats.sum(),
             avg: stats.mean(),
@@ -156,6 +145,65 @@ impl<'a> QueryEngine<'a> {
             max: if stats.count() == 0 { 0.0 } else { stats.max() },
             stddev: stats.population_std_dev(),
         })
+    }
+
+    /// Fold the selected cells into one [`OnlineStats`], splitting the
+    /// selected rows across `self.threads` workers when worthwhile.
+    fn selection_stats(&self, sel: &Selection, dense_cols: bool) -> Result<OnlineStats> {
+        let (n, m) = (self.matrix.rows(), self.matrix.cols());
+        sel.validate(n, m)?;
+        let cols: Vec<usize> = sel.cols.to_vec(m);
+        let rows: Vec<usize> = sel.rows.iter(n).collect();
+        if self.threads <= 1 || rows.len() < 2 * self.threads {
+            return self.stats_over_rows(&rows, &cols, dense_cols);
+        }
+        let chunk = rows.len().div_ceil(self.threads);
+        let shards: Vec<Result<OnlineStats>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = rows
+                .chunks(chunk)
+                .map(|rows| {
+                    let cols = &cols;
+                    scope.spawn(move |_| self.stats_over_rows(rows, cols, dense_cols))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+        // Merge in chunk order (Chan et al. combine): deterministic for a
+        // given thread count.
+        let mut stats = OnlineStats::new();
+        for shard in shards {
+            stats.merge(&shard?);
+        }
+        Ok(stats)
+    }
+
+    /// Serial scan kernel: fold the selected columns of `rows` into one
+    /// accumulator. Each caller (worker) brings its own row buffer.
+    fn stats_over_rows(
+        &self,
+        rows: &[usize],
+        cols: &[usize],
+        dense_cols: bool,
+    ) -> Result<OnlineStats> {
+        let mut stats = OnlineStats::new();
+        let mut row_buf = vec![0.0f64; self.matrix.cols()];
+        for &i in rows {
+            if dense_cols {
+                self.matrix.row_into(i, &mut row_buf)?;
+                for &j in cols {
+                    stats.push(row_buf[j]);
+                }
+            } else {
+                for &j in cols {
+                    stats.push(self.matrix.cell(i, j)?);
+                }
+            }
+        }
+        Ok(stats)
     }
 }
 
@@ -328,7 +376,10 @@ mod tests {
         let all = q.aggregate_all(&sel).unwrap();
         assert_eq!(all.sum, q.aggregate(&sel, AggregateFn::Sum).unwrap());
         assert_eq!(all.avg, q.aggregate(&sel, AggregateFn::Avg).unwrap());
-        assert_eq!(all.count as f64, q.aggregate(&sel, AggregateFn::Count).unwrap());
+        assert_eq!(
+            all.count as f64,
+            q.aggregate(&sel, AggregateFn::Count).unwrap()
+        );
         assert_eq!(all.min, q.aggregate(&sel, AggregateFn::Min).unwrap());
         assert_eq!(all.max, q.aggregate(&sel, AggregateFn::Max).unwrap());
         assert_eq!(all.stddev, q.aggregate(&sel, AggregateFn::StdDev).unwrap());
@@ -358,5 +409,135 @@ mod tests {
         assert_eq!(AggregateFn::Sum.name(), "sum");
         assert_eq!(AggregateFn::StdDev.name(), "stddev");
         assert_eq!(AggregateFn::ALL.len(), 6);
+    }
+
+    /// A matrix with enough irregularity that every aggregate is
+    /// non-trivial, plus negative values and repeated extremes.
+    fn bumpy(n: usize, m: usize) -> Matrix {
+        Matrix::from_fn(n, m, |i, j| ((i * 31 + j * 7) % 23) as f64 - 11.0)
+    }
+
+    fn selections() -> Vec<Selection> {
+        vec![
+            Selection::all(),
+            Selection {
+                rows: Axis::Range(3, 90),
+                cols: Axis::set(vec![0, 5, 16]),
+            },
+            Selection {
+                rows: Axis::set(vec![0, 7, 13, 14, 15, 40, 96]),
+                cols: Axis::Range(2, 17),
+            },
+            Selection::col(7),
+            Selection {
+                rows: Axis::Range(50, 50), // empty
+                cols: Axis::All,
+            },
+        ]
+    }
+
+    #[test]
+    fn threaded_aggregates_match_serial() {
+        let e = ExactMatrix(bumpy(97, 17));
+        let serial = QueryEngine::new(&e);
+        for sel in selections() {
+            for threads in [2, 3, 8, 64] {
+                let par = QueryEngine::new(&e).with_threads(threads);
+                for f in AggregateFn::ALL {
+                    let a = serial.aggregate(&sel, f).unwrap();
+                    let b = par.aggregate(&sel, f).unwrap();
+                    match f {
+                        // Order-independent folds must agree exactly.
+                        AggregateFn::Count | AggregateFn::Min | AggregateFn::Max => {
+                            assert_eq!(a, b, "{} threads={threads}", f.name())
+                        }
+                        // Welford merges reassociate floating point.
+                        _ => assert!(
+                            (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                            "{} threads={threads}: {a} vs {b}",
+                            f.name()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_aggregate_all_matches_serial() {
+        let e = ExactMatrix(bumpy(97, 17));
+        let serial = QueryEngine::new(&e);
+        for sel in selections() {
+            let a = serial.aggregate_all(&sel).unwrap();
+            for threads in [2, 5] {
+                let b = QueryEngine::new(&e)
+                    .with_threads(threads)
+                    .aggregate_all(&sel)
+                    .unwrap();
+                assert_eq!(a.count, b.count);
+                assert_eq!(a.min, b.min);
+                assert_eq!(a.max, b.max);
+                for (x, y) in [(a.sum, b.sum), (a.avg, b.avg), (a.stddev, b.stddev)] {
+                    assert!((x - y).abs() <= 1e-9 * x.abs().max(1.0), "{x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_aggregate_equals_shard_merge_exactly() {
+        // The parallel path must implement precisely "split the selected
+        // rows into contiguous chunks, fold each into its own
+        // OnlineStats, merge in chunk order" — reproduce that by hand
+        // and demand bit-for-bit equality.
+        let m = bumpy(67, 9);
+        let e = ExactMatrix(m.clone());
+        let sel = Selection {
+            rows: Axis::Range(1, 60),
+            cols: Axis::Range(0, 9),
+        };
+        let threads = 4;
+        let rows: Vec<usize> = (1..60).collect();
+        let chunk = rows.len().div_ceil(threads);
+        let mut expect = OnlineStats::new();
+        for shard_rows in rows.chunks(chunk) {
+            let mut shard = OnlineStats::new();
+            for &i in shard_rows {
+                for j in 0..9 {
+                    shard.push(m[(i, j)]);
+                }
+            }
+            expect.merge(&shard);
+        }
+        let got = QueryEngine::new(&e)
+            .with_threads(threads)
+            .aggregate_all(&sel)
+            .unwrap();
+        assert_eq!(got.sum, expect.sum());
+        assert_eq!(got.avg, expect.mean());
+        assert_eq!(got.count, expect.count());
+        assert_eq!(got.min, expect.min());
+        assert_eq!(got.max, expect.max());
+        assert_eq!(got.stddev, expect.population_std_dev());
+    }
+
+    #[test]
+    fn store_level_threading_on_compressed_matrix() {
+        // The threaded path also runs over a real compressed matrix
+        // (Sync reconstruction), not just the exact adapter.
+        let x = bumpy(120, 10);
+        let c = ats_compress::SvdCompressed::compress(&x, 4, 1).unwrap();
+        let sel = Selection {
+            rows: Axis::Range(0, 120),
+            cols: Axis::Range(0, 10),
+        };
+        let serial = QueryEngine::new(&c)
+            .aggregate(&sel, AggregateFn::Sum)
+            .unwrap();
+        let par = QueryEngine::new(&c)
+            .with_threads(4)
+            .aggregate(&sel, AggregateFn::Sum)
+            .unwrap();
+        assert!((serial - par).abs() <= 1e-9 * serial.abs().max(1.0));
     }
 }

@@ -28,6 +28,6 @@ pub mod selection;
 pub mod workload;
 
 pub use engine::{AggregateFn, QueryEngine};
-pub use parse::{parse_query, run_query, Query};
 pub use metrics::{ErrorReport, QueryError};
+pub use parse::{parse_query, run_query, Query};
 pub use selection::Selection;

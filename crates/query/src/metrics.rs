@@ -64,8 +64,16 @@ pub fn error_report(
     let denom = data_stats.sum_squared_deviations();
     let sd = data_stats.population_std_dev();
     Ok(ErrorReport {
-        rmspe: if denom > 0.0 { (sse / denom).sqrt() } else { 0.0 },
-        max_abs_error: if abs_err.count() == 0 { 0.0 } else { abs_err.max() },
+        rmspe: if denom > 0.0 {
+            (sse / denom).sqrt()
+        } else {
+            0.0
+        },
+        max_abs_error: if abs_err.count() == 0 {
+            0.0
+        } else {
+            abs_err.max()
+        },
         max_normalized_error: if sd > 0.0 && abs_err.count() > 0 {
             abs_err.max() / sd
         } else {

@@ -31,8 +31,9 @@ pub enum Query {
 }
 
 fn parse_usize(tok: &str, what: &str) -> Result<usize> {
-    tok.parse::<usize>()
-        .map_err(|_| AtsError::InvalidArgument(format!("expected a number for {what}, got {tok:?}")))
+    tok.parse::<usize>().map_err(|_| {
+        AtsError::InvalidArgument(format!("expected a number for {what}, got {tok:?}"))
+    })
 }
 
 fn parse_axis(tok: &str) -> Result<Axis> {

@@ -116,15 +116,7 @@ mod tests {
         let a = random_aggregate_queries(100, 30, &cfg).unwrap();
         let b = random_aggregate_queries(100, 30, &cfg).unwrap();
         assert_eq!(a, b);
-        let c = random_aggregate_queries(
-            100,
-            30,
-            &WorkloadConfig {
-                seed: 1,
-                ..cfg
-            },
-        )
-        .unwrap();
+        let c = random_aggregate_queries(100, 30, &WorkloadConfig { seed: 1, ..cfg }).unwrap();
         assert_ne!(a, c);
     }
 

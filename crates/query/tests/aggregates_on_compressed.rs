@@ -17,8 +17,7 @@ fn setup() -> (ats_linalg::Matrix, SvddCompressed) {
     });
     let x = d.into_matrix();
     let svdd =
-        SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(10.0)))
-            .unwrap();
+        SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(10.0))).unwrap();
     (x, svdd)
 }
 
@@ -26,9 +25,15 @@ fn setup() -> (ats_linalg::Matrix, SvddCompressed) {
 fn sum_and_avg_track_truth_closely() {
     let (x, svdd) = setup();
     let engine = QueryEngine::new(&svdd);
-    let queries =
-        random_aggregate_queries(600, 84, &WorkloadConfig { queries: 20, ..Default::default() })
-            .unwrap();
+    let queries = random_aggregate_queries(
+        600,
+        84,
+        &WorkloadConfig {
+            queries: 20,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     for (qi, q) in queries.iter().enumerate() {
         for f in [AggregateFn::Sum, AggregateFn::Avg] {
             let exact = aggregate_exact(&x, q, f).unwrap();
@@ -93,7 +98,11 @@ fn stddev_reasonable() {
 fn single_row_and_column_selections() {
     let (x, svdd) = setup();
     let engine = QueryEngine::new(&svdd);
-    for sel in [Selection::row(42), Selection::col(17), Selection::cell(3, 3)] {
+    for sel in [
+        Selection::row(42),
+        Selection::col(17),
+        Selection::cell(3, 3),
+    ] {
         let exact = aggregate_exact(&x, &sel, AggregateFn::Sum).unwrap();
         let approx = engine.aggregate(&sel, AggregateFn::Sum).unwrap();
         // single rows/columns don't enjoy full cancellation, but must

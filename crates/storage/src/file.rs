@@ -50,7 +50,7 @@ impl MatrixFileWriter {
         let file = File::create(&path)?;
         let mut out = BufWriter::new(file);
         // Placeholder header; patched in finish().
-        out.write_all(&vec![0u8; HEADER_LEN])?;
+        out.write_all(&[0u8; HEADER_LEN])?;
         Ok(MatrixFileWriter {
             out,
             path,
@@ -95,9 +95,10 @@ impl MatrixFileWriter {
             Header::new(self.rows_written, self.cols)
         };
         self.out.flush()?;
-        let mut file = self.out.into_inner().map_err(|e| {
-            AtsError::Io(std::io::Error::other(format!("flush failed: {e}")))
-        })?;
+        let mut file = self
+            .out
+            .into_inner()
+            .map_err(|e| AtsError::Io(std::io::Error::other(format!("flush failed: {e}"))))?;
         file.seek(SeekFrom::Start(0))?;
         file.write_all(&header.encode())?;
         file.sync_all()?;
@@ -244,7 +245,11 @@ impl MatrixFile {
             self.stats.record_physical(bytes.len() as u64);
             for r in 0..chunk {
                 self.stats.record_logical();
-                decode_cells(&bytes[r * row_bytes..(r + 1) * row_bytes], self.header.is_f32(), &mut row);
+                decode_cells(
+                    &bytes[r * row_bytes..(r + 1) * row_bytes],
+                    self.header.is_f32(),
+                    &mut row,
+                );
                 f(i + r, &row)?;
             }
             i += chunk;
@@ -290,14 +295,8 @@ mod tests {
     use super::*;
     use ats_linalg::Matrix;
 
-    fn tmpdir() -> std::path::PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "ats-storage-test-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        std::fs::create_dir_all(&d).unwrap();
-        d
+    fn tmpdir() -> ats_common::TestDir {
+        ats_common::TestDir::new("ats-storage-test")
     }
 
     fn sample_matrix(n: usize, m: usize) -> Matrix {
@@ -306,7 +305,8 @@ mod tests {
 
     #[test]
     fn write_read_roundtrip() {
-        let path = tmpdir().join("roundtrip.atsm");
+        let dir = tmpdir();
+        let path = dir.file("roundtrip.atsm");
         let m = sample_matrix(37, 11);
         let h = write_matrix(&path, &m).unwrap();
         assert_eq!(h.rows, 37);
@@ -317,7 +317,8 @@ mod tests {
 
     #[test]
     fn positioned_row_read() {
-        let path = tmpdir().join("pos.atsm");
+        let dir = tmpdir();
+        let path = dir.file("pos.atsm");
         let m = sample_matrix(20, 7);
         write_matrix(&path, &m).unwrap();
         let f = MatrixFile::open(&path).unwrap();
@@ -329,7 +330,8 @@ mod tests {
 
     #[test]
     fn physical_reads_counted_one_per_row_query() {
-        let path = tmpdir().join("count.atsm");
+        let dir = tmpdir();
+        let path = dir.file("count.atsm");
         write_matrix(&path, &sample_matrix(10, 4)).unwrap();
         let stats = IoStats::new();
         let f = MatrixFile::open_with_stats(&path, Arc::clone(&stats)).unwrap();
@@ -342,7 +344,8 @@ mod tests {
 
     #[test]
     fn scan_visits_all_rows_in_order() {
-        let path = tmpdir().join("scan.atsm");
+        let dir = tmpdir();
+        let path = dir.file("scan.atsm");
         let m = sample_matrix(1000, 5); // > SCAN_CHUNK_ROWS to cross chunks
         write_matrix(&path, &m).unwrap();
         let f = MatrixFile::open(&path).unwrap();
@@ -360,7 +363,8 @@ mod tests {
 
     #[test]
     fn scan_subrange() {
-        let path = tmpdir().join("sub.atsm");
+        let dir = tmpdir();
+        let path = dir.file("sub.atsm");
         let m = sample_matrix(50, 3);
         write_matrix(&path, &m).unwrap();
         let f = MatrixFile::open(&path).unwrap();
@@ -377,7 +381,8 @@ mod tests {
 
     #[test]
     fn scan_propagates_callback_error() {
-        let path = tmpdir().join("cberr.atsm");
+        let dir = tmpdir();
+        let path = dir.file("cberr.atsm");
         write_matrix(&path, &sample_matrix(10, 2)).unwrap();
         let f = MatrixFile::open(&path).unwrap();
         let r = f.scan_range(0, 10, &mut |i, _| {
@@ -392,7 +397,8 @@ mod tests {
 
     #[test]
     fn wrong_row_length_rejected_on_write() {
-        let path = tmpdir().join("badrow.atsm");
+        let dir = tmpdir();
+        let path = dir.file("badrow.atsm");
         let mut w = MatrixFileWriter::create(&path, 3).unwrap();
         assert!(w.append_row(&[1.0, 2.0]).is_err());
         assert!(w.append_row(&[1.0, 2.0, 3.0]).is_ok());
@@ -401,7 +407,8 @@ mod tests {
 
     #[test]
     fn truncated_file_detected_on_open() {
-        let path = tmpdir().join("trunc.atsm");
+        let dir = tmpdir();
+        let path = dir.file("trunc.atsm");
         write_matrix(&path, &sample_matrix(10, 4)).unwrap();
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() - 8]).unwrap();
@@ -410,7 +417,8 @@ mod tests {
 
     #[test]
     fn f32_quantized_roundtrip() {
-        let path = tmpdir().join("f32.atsm");
+        let dir = tmpdir();
+        let path = dir.file("f32.atsm");
         let m = sample_matrix(12, 6);
         let mut w = MatrixFileWriter::create_f32(&path, 6).unwrap();
         for row in m.iter_rows() {
@@ -432,7 +440,8 @@ mod tests {
 
     #[test]
     fn empty_matrix_file() {
-        let path = tmpdir().join("empty.atsm");
+        let dir = tmpdir();
+        let path = dir.file("empty.atsm");
         let w = MatrixFileWriter::create(&path, 5).unwrap();
         let h = w.finish().unwrap();
         assert_eq!(h.rows, 0);
@@ -443,7 +452,8 @@ mod tests {
 
     #[test]
     fn concurrent_positioned_reads() {
-        let path = tmpdir().join("conc.atsm");
+        let dir = tmpdir();
+        let path = dir.file("conc.atsm");
         let m = sample_matrix(100, 8);
         write_matrix(&path, &m).unwrap();
         let f = Arc::new(MatrixFile::open(&path).unwrap());

@@ -210,7 +210,10 @@ impl CachedFile {
     /// Whether pages are row-aligned (each row within a single page).
     fn row_aligned_layout(&self) -> bool {
         self.pool.page_size() >= self.file.header().row_bytes()
-            && self.pool.page_size() % self.file.header().row_bytes().max(1) == 0
+            && self
+                .pool
+                .page_size()
+                .is_multiple_of(self.file.header().row_bytes().max(1))
     }
 
     /// Read row `i` through the page cache.
@@ -305,18 +308,17 @@ mod tests {
     use crate::file::write_matrix;
     use ats_linalg::Matrix;
 
-    fn setup(n: usize, m: usize, name: &str) -> (Matrix, Arc<MatrixFile>) {
-        let dir = std::env::temp_dir().join(format!("ats-pool-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join(name);
+    fn setup(n: usize, m: usize, name: &str) -> (Matrix, Arc<MatrixFile>, ats_common::TestDir) {
+        let dir = ats_common::TestDir::new("ats-pool");
+        let path = dir.file(name);
         let mat = Matrix::from_fn(n, m, |i, j| (i * 100 + j) as f64 * 0.25);
         write_matrix(&path, &mat).unwrap();
-        (mat, Arc::new(MatrixFile::open(&path).unwrap()))
+        (mat, Arc::new(MatrixFile::open(&path).unwrap()), dir)
     }
 
     #[test]
     fn cached_rows_match_file() {
-        let (mat, file) = setup(40, 6, "match.atsm");
+        let (mat, file, _dir) = setup(40, 6, "match.atsm");
         let cf = CachedFile::row_aligned(file, 8);
         for i in 0..40 {
             assert_eq!(cf.read_row(i).unwrap(), mat.row(i));
@@ -325,7 +327,7 @@ mod tests {
 
     #[test]
     fn row_aligned_one_physical_read_per_cold_row() {
-        let (_, file) = setup(20, 7, "cold.atsm");
+        let (_, file, _dir) = setup(20, 7, "cold.atsm");
         let cf = CachedFile::row_aligned(file, 32);
         assert_eq!(cf.max_pages_per_row(), 1);
         for i in 0..20 {
@@ -339,7 +341,7 @@ mod tests {
 
     #[test]
     fn repeated_reads_hit_cache() {
-        let (_, file) = setup(10, 4, "hits.atsm");
+        let (_, file, _dir) = setup(10, 4, "hits.atsm");
         let cf = CachedFile::row_aligned(file, 16);
         cf.read_row(3).unwrap();
         let phys_before = cf.stats().physical_reads();
@@ -352,9 +354,9 @@ mod tests {
 
     #[test]
     fn eviction_under_pressure() {
-        let (mat, file) = setup(32, 4, "evict.atsm");
+        let (mat, file, _dir) = setup(32, 4, "evict.atsm");
         let cf = CachedFile::row_aligned(file, 4); // only 4 resident pages
-        // Sweep all rows twice: second sweep re-misses because capacity 4 < 32.
+                                                   // Sweep all rows twice: second sweep re-misses because capacity 4 < 32.
         for _ in 0..2 {
             for i in 0..32 {
                 assert_eq!(cf.read_row(i).unwrap(), mat.row(i));
@@ -366,7 +368,7 @@ mod tests {
 
     #[test]
     fn lru_keeps_hot_page() {
-        let (_, file) = setup(8, 2, "lru.atsm");
+        let (_, file, _dir) = setup(8, 2, "lru.atsm");
         let cf = CachedFile::row_aligned(file, 2);
         cf.read_row(0).unwrap(); // load A
         cf.read_row(1).unwrap(); // load B
@@ -381,7 +383,7 @@ mod tests {
 
     #[test]
     fn small_pages_split_rows() {
-        let (mat, file) = setup(10, 16, "split.atsm"); // 128-byte rows
+        let (mat, file, _dir) = setup(10, 16, "split.atsm"); // 128-byte rows
         let cf = CachedFile::new(file, 64, 64); // 64-byte pages: 2 per row
         for i in 0..10 {
             assert_eq!(cf.read_row(i).unwrap(), mat.row(i));
@@ -391,7 +393,7 @@ mod tests {
 
     #[test]
     fn out_of_bounds_row_rejected() {
-        let (_, file) = setup(5, 3, "oob.atsm");
+        let (_, file, _dir) = setup(5, 3, "oob.atsm");
         let cf = CachedFile::row_aligned(file, 4);
         assert!(cf.read_row(5).is_err());
         let mut wrong = vec![0.0; 2];
@@ -400,7 +402,7 @@ mod tests {
 
     #[test]
     fn concurrent_cached_reads() {
-        let (mat, file) = setup(64, 5, "conc.atsm");
+        let (mat, file, _dir) = setup(64, 5, "conc.atsm");
         let cf = Arc::new(CachedFile::row_aligned(file, 16));
         std::thread::scope(|s| {
             for t in 0..4 {
@@ -422,7 +424,7 @@ mod tests {
 
     #[test]
     fn pool_resident_bounded_by_capacity() {
-        let (_, file) = setup(32, 4, "bound.atsm");
+        let (_, file, _dir) = setup(32, 4, "bound.atsm");
         let cf = CachedFile::row_aligned(file, 4);
         for i in 0..32 {
             cf.read_row(i).unwrap();

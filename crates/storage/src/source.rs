@@ -195,9 +195,8 @@ mod tests {
 
     #[test]
     fn file_and_memory_sources_agree() {
-        let dir = std::env::temp_dir().join(format!("ats-src-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("agree.atsm");
+        let dir = ats_common::TestDir::new("ats-src");
+        let path = dir.file("agree.atsm");
         let m = sample(30, 4);
         write_matrix(&path, &m).unwrap();
         let f = MatrixFile::open(&path).unwrap();

@@ -7,10 +7,8 @@ use ats_storage::file::{read_matrix, write_matrix, MatrixFileWriter};
 use ats_storage::{CachedFile, MatrixFile};
 use std::sync::Arc;
 
-fn dir() -> std::path::PathBuf {
-    let d = std::env::temp_dir().join(format!("ats-failinj-{}", std::process::id()));
-    std::fs::create_dir_all(&d).unwrap();
-    d
+fn dir() -> ats_common::TestDir {
+    ats_common::TestDir::new("ats-failinj")
 }
 
 fn sample(n: usize, m: usize) -> Matrix {
@@ -19,7 +17,8 @@ fn sample(n: usize, m: usize) -> Matrix {
 
 #[test]
 fn unfinished_writer_leaves_unopenable_file() {
-    let path = dir().join("unfinished.atsm");
+    let dir = dir();
+    let path = dir.file("unfinished.atsm");
     {
         let mut w = MatrixFileWriter::create(&path, 4).unwrap();
         w.append_row(&[1.0, 2.0, 3.0, 4.0]).unwrap();
@@ -34,12 +33,13 @@ fn unfinished_writer_leaves_unopenable_file() {
 
 #[test]
 fn bitflip_in_header_detected() {
-    let path = dir().join("bitflip.atsm");
+    let dir = dir();
+    let path = dir.file("bitflip.atsm");
     write_matrix(&path, &sample(5, 3)).unwrap();
     for byte in [9usize, 17, 25, 33] {
         let mut bytes = std::fs::read(&path).unwrap();
         bytes[byte] ^= 0x01;
-        let victim = dir().join(format!("bitflip-{byte}.atsm"));
+        let victim = dir.file(format!("bitflip-{byte}.atsm"));
         std::fs::write(&victim, &bytes).unwrap();
         assert!(
             MatrixFile::open(&victim).is_err(),
@@ -50,11 +50,12 @@ fn bitflip_in_header_detected() {
 
 #[test]
 fn truncation_at_every_boundary_detected() {
-    let path = dir().join("alltrunc.atsm");
+    let dir = dir();
+    let path = dir.file("alltrunc.atsm");
     write_matrix(&path, &sample(4, 2)).unwrap();
     let full = std::fs::read(&path).unwrap();
     for cut in [0usize, 10, 47, 48, full.len() - 1] {
-        let victim = dir().join(format!("alltrunc-{cut}.atsm"));
+        let victim = dir.file(format!("alltrunc-{cut}.atsm"));
         std::fs::write(&victim, &full[..cut]).unwrap();
         assert!(MatrixFile::open(&victim).is_err(), "cut at {cut} accepted");
     }
@@ -62,10 +63,11 @@ fn truncation_at_every_boundary_detected() {
 
 #[test]
 fn data_corruption_changes_values_but_not_safety() {
+    let dir = dir();
     // Data-region corruption is not checksummed per cell (by design: the
     // header guards metadata); reads must still be memory-safe and
     // return *some* finite-or-not value rather than erroring.
-    let path = dir().join("datacorrupt.atsm");
+    let path = dir.file("datacorrupt.atsm");
     let m = sample(10, 4);
     write_matrix(&path, &m).unwrap();
     let mut bytes = std::fs::read(&path).unwrap();
@@ -81,12 +83,13 @@ fn data_corruption_changes_values_but_not_safety() {
 
 #[test]
 fn cache_correct_under_heavy_churn() {
-    let path = dir().join("churn.atsm");
+    let dir = dir();
+    let path = dir.file("churn.atsm");
     let m = sample(128, 6);
     write_matrix(&path, &m).unwrap();
     let file = Arc::new(MatrixFile::open(&path).unwrap());
     let cf = CachedFile::row_aligned(Arc::clone(&file), 3); // absurdly small pool
-    // Pseudo-random access pattern, every row eventually touched.
+                                                            // Pseudo-random access pattern, every row eventually touched.
     let mut i = 7usize;
     for step in 0..2000 {
         i = (i * 31 + 17) % 128;
@@ -97,12 +100,17 @@ fn cache_correct_under_heavy_churn() {
         }
     }
     assert_eq!(cf.stats().cache_hits(), 400, "every re-read hits");
-    assert_eq!(cf.stats().physical_reads(), 2000, "every fresh row misses a 3-page pool");
+    assert_eq!(
+        cf.stats().physical_reads(),
+        2000,
+        "every fresh row misses a 3-page pool"
+    );
 }
 
 #[test]
 fn cached_f32_file_roundtrips() {
-    let path = dir().join("cachedf32.atsm");
+    let dir = dir();
+    let path = dir.file("cachedf32.atsm");
     let m = sample(20, 5);
     let mut w = MatrixFileWriter::create_f32(&path, 5).unwrap();
     for row in m.iter_rows() {
@@ -121,7 +129,8 @@ fn cached_f32_file_roundtrips() {
 
 #[test]
 fn tiny_pages_spanning_rows_under_churn() {
-    let path = dir().join("tinypages.atsm");
+    let dir = dir();
+    let path = dir.file("tinypages.atsm");
     let m = sample(40, 10); // 80-byte rows
     write_matrix(&path, &m).unwrap();
     let file = Arc::new(MatrixFile::open(&path).unwrap());
@@ -135,14 +144,15 @@ fn tiny_pages_spanning_rows_under_churn() {
 
 #[test]
 fn empty_and_single_cell_files() {
-    let p1 = dir().join("empty2.atsm");
+    let dir = dir();
+    let p1 = dir.file("empty2.atsm");
     let w = MatrixFileWriter::create(&p1, 3).unwrap();
     w.finish().unwrap();
     let f = MatrixFile::open(&p1).unwrap();
     assert_eq!(f.rows(), 0);
     assert!(f.read_row(0).is_err());
 
-    let p2 = dir().join("single.atsm");
+    let p2 = dir.file("single.atsm");
     let m = Matrix::from_rows(vec![vec![42.0]]).unwrap();
     write_matrix(&p2, &m).unwrap();
     assert!(read_matrix(&p2).unwrap().approx_eq(&m, 0.0));
@@ -150,14 +160,16 @@ fn empty_and_single_cell_files() {
 
 #[test]
 fn zero_length_file_rejected() {
-    let p = dir().join("zerolen.atsm");
+    let dir = dir();
+    let p = dir.file("zerolen.atsm");
     std::fs::write(&p, b"").unwrap();
     assert!(MatrixFile::open(&p).is_err());
 }
 
 #[test]
 fn directory_instead_of_file_rejected() {
-    let d = dir().join("iamadir.atsm");
+    let dir = dir();
+    let d = dir.file("iamadir.atsm");
     std::fs::create_dir_all(&d).unwrap();
     assert!(MatrixFile::open(&d).is_err());
 }

@@ -38,6 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let store = SequenceStore::builder()
         .method(Method::Svdd)
         .budget(SpaceBudget::from_percent(10.0))
+        .threads(4) // parallel build passes and aggregate-query scans
         .build(dataset.matrix())?;
     println!(
         "compressed with {} to {:.2}% of original ({} KB)\n",

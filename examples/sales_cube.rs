@@ -12,8 +12,8 @@
 //! point) at different accuracy/work trade-offs.
 
 use adhoc_ts::compress::SpaceBudget;
-use adhoc_ts::cube::{CompressedCube, Cube, Flattening};
 use adhoc_ts::cube::compressed::CubeMethod;
+use adhoc_ts::cube::{CompressedCube, Cube, Flattening};
 use adhoc_ts::data::{generate_sales, SalesConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

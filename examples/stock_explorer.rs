@@ -19,11 +19,7 @@ use adhoc_ts::data::{generate_phone, generate_stocks, PhoneConfig, StocksConfig}
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---------------------------------------------------- stocks ------
     let stocks = generate_stocks(&StocksConfig::paper());
-    println!(
-        "stocks: {} series x {} days",
-        stocks.rows(),
-        stocks.cols()
-    );
+    println!("stocks: {} series x {} days", stocks.rows(), stocks.cols());
     let pts = project_2d(stocks.matrix())?;
     println!("\nSVD-space scatter (PC1 horizontal, PC2 vertical):\n");
     println!("{}", ascii_scatter(&pts, 72, 20));

@@ -35,10 +35,17 @@ fn full_cli_flow() {
         ])
         .output()
         .expect("run ats");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // info
-    let out = ats().args(["info", data.to_str().unwrap()]).output().unwrap();
+    let out = ats()
+        .args(["info", data.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("300 rows x 60 cols"), "{text}");
@@ -55,18 +62,30 @@ fn full_cli_flow() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("svdd"));
     assert!(store.join("u.atsm").exists());
     assert!(store.join("deltas.bin").exists());
 
     // query: a cell and an aggregate both parse to numbers
-    for q in ["cell 42 17", "avg rows 0..100 cols all", "sum rows 1,5 cols 0..10"] {
+    for q in [
+        "cell 42 17",
+        "avg rows 0..100 cols all",
+        "sum rows 1,5 cols 0..10",
+    ] {
         let out = ats()
             .args(["query", store.to_str().unwrap(), q])
             .output()
             .unwrap();
-        assert!(out.status.success(), "query {q}: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "query {q}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         let val: f64 = String::from_utf8_lossy(&out.stdout).trim().parse().unwrap();
         assert!(val.is_finite());
     }
@@ -100,11 +119,27 @@ fn cli_errors_are_clean() {
     let data = dir.join("d.atsm");
     let store = dir.join("s");
     ats()
-        .args(["generate", "stocks", "--rows", "50", "--cols", "32", "--out", data.to_str().unwrap()])
+        .args([
+            "generate",
+            "stocks",
+            "--rows",
+            "50",
+            "--cols",
+            "32",
+            "--out",
+            data.to_str().unwrap(),
+        ])
         .status()
         .unwrap();
     ats()
-        .args(["compress", data.to_str().unwrap(), "--out", store.to_str().unwrap(), "--percent", "20"])
+        .args([
+            "compress",
+            data.to_str().unwrap(),
+            "--out",
+            store.to_str().unwrap(),
+            "--percent",
+            "20",
+        ])
         .status()
         .unwrap();
     let out = ats()
@@ -121,7 +156,16 @@ fn cli_svd_method() {
     let data = dir.join("svd-data.atsm");
     let store = dir.join("svd-store");
     assert!(ats()
-        .args(["generate", "phone", "--rows", "200", "--cols", "40", "--out", data.to_str().unwrap()])
+        .args([
+            "generate",
+            "phone",
+            "--rows",
+            "200",
+            "--cols",
+            "40",
+            "--out",
+            data.to_str().unwrap()
+        ])
         .status()
         .unwrap()
         .success());

@@ -67,8 +67,7 @@ fn zeroflag_over_svdd_store() {
     });
     let x = data.matrix();
     let svdd =
-        SvddCompressed::compress(x, &SvddOptions::new(SpaceBudget::from_percent(10.0)))
-            .unwrap();
+        SvddCompressed::compress(x, &SvddOptions::new(SpaceBudget::from_percent(10.0))).unwrap();
     let index = ZeroRowIndex::build(x).unwrap();
     assert!(index.len() > 10, "generator should produce zero customers");
     let wrapped = ZeroAwareMatrix::new(svdd, index);

@@ -10,10 +10,7 @@ use adhoc_ts::query::selection::{Axis, Selection};
 use proptest::prelude::*;
 
 /// Random matrix strategy: n×m in bounded ranges with bounded values.
-fn matrix_strategy(
-    max_n: usize,
-    max_m: usize,
-) -> impl Strategy<Value = Matrix> {
+fn matrix_strategy(max_n: usize, max_m: usize) -> impl Strategy<Value = Matrix> {
     (2usize..max_n, 2usize..max_m).prop_flat_map(|(n, m)| {
         proptest::collection::vec(-100.0f64..100.0, n * m)
             .prop_map(move |data| Matrix::from_vec(n, m, data).unwrap())

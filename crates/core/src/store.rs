@@ -1,5 +1,12 @@
 //! [`SequenceStore`]: build once, query forever.
+//!
+//! The full lifecycle is first-class: [`StoreBuilder::build`] compresses,
+//! [`SequenceStore::save`] persists the SVD/SVDD methods crash-safely to
+//! a store directory (format v2, see [`crate::disk`]), and
+//! [`SequenceStore::open`] serves the saved store back with `U` paged
+//! from disk — without callers reaching into `ats_core::disk` internals.
 
+use crate::disk::{self, DiskStore};
 use ats_common::{AtsError, Result};
 use ats_compress::cluster::{ClusterAlgo, ClusterCompressed};
 use ats_compress::dct::DctCompressed;
@@ -10,6 +17,8 @@ use ats_query::engine::{AggregateFn, QueryEngine};
 use ats_query::metrics::{error_report, ErrorReport};
 use ats_query::selection::Selection;
 use ats_storage::RowSource;
+use std::path::Path;
+use std::sync::Arc;
 
 /// The compression method behind a [`SequenceStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,22 +98,29 @@ impl StoreBuilder {
     /// Clustering methods need the data in memory and will materialize
     /// the source (they are the paper's non-streaming baseline).
     pub fn build<S: RowSource + ?Sized>(self, source: &S) -> Result<SequenceStore> {
-        let compressed: Box<dyn CompressedMatrix> = match self.method {
-            Method::Svd => Box::new(SvdCompressed::compress_budget(
-                source,
-                self.budget,
-                self.threads,
-            )?),
+        let mut persist = Persist::None;
+        let compressed: Arc<dyn CompressedMatrix> = match self.method {
+            Method::Svd => {
+                let c = Arc::new(SvdCompressed::compress_budget(
+                    source,
+                    self.budget,
+                    self.threads,
+                )?);
+                persist = Persist::Svd(Arc::clone(&c));
+                c
+            }
             Method::Svdd => {
                 let mut opts = SvddOptions::new(self.budget);
                 opts.threads = self.threads;
                 opts.with_bloom = self.with_bloom;
-                Box::new(SvddCompressed::compress(source, &opts)?)
+                let c = Arc::new(SvddCompressed::compress(source, &opts)?);
+                persist = Persist::Svdd(Arc::clone(&c));
+                c
             }
-            Method::Dct => Box::new(DctCompressed::compress_budget(source, self.budget)?),
+            Method::Dct => Arc::new(DctCompressed::compress_budget(source, self.budget)?),
             Method::ClusterHierarchical => {
                 let x = source.to_matrix()?;
-                Box::new(ClusterCompressed::compress_budget(
+                Arc::new(ClusterCompressed::compress_budget(
                     &x,
                     self.budget,
                     ClusterAlgo::Hierarchical,
@@ -112,7 +128,7 @@ impl StoreBuilder {
             }
             Method::ClusterKMeans => {
                 let x = source.to_matrix()?;
-                Box::new(ClusterCompressed::compress_budget(
+                Arc::new(ClusterCompressed::compress_budget(
                     &x,
                     self.budget,
                     ClusterAlgo::KMeans {
@@ -121,7 +137,7 @@ impl StoreBuilder {
                     },
                 )?)
             }
-            Method::Sampling => Box::new(SampleCompressed::compress_budget(
+            Method::Sampling => Arc::new(SampleCompressed::compress_budget(
                 source,
                 self.budget,
                 self.seed,
@@ -131,15 +147,25 @@ impl StoreBuilder {
             compressed,
             method: self.method,
             threads: self.threads,
+            persist,
         })
     }
 }
 
+/// Keeps a concrete handle to the persistable methods so
+/// [`SequenceStore::save`] can reach the SVD parts without downcasting.
+enum Persist {
+    Svd(Arc<SvdCompressed>),
+    Svdd(Arc<SvddCompressed>),
+    None,
+}
+
 /// A compressed, queryable time-sequence store.
 pub struct SequenceStore {
-    compressed: Box<dyn CompressedMatrix>,
+    compressed: Arc<dyn CompressedMatrix>,
     method: Method,
     threads: usize,
+    persist: Persist,
 }
 
 impl SequenceStore {
@@ -152,6 +178,50 @@ impl SequenceStore {
             with_bloom: true,
             seed: 0,
         }
+    }
+
+    /// Persist this store into `dir` as a crash-safe v2 store directory
+    /// (temp-dir staging + fsync + atomic rename; see [`crate::disk`]).
+    ///
+    /// Only the disk-servable methods persist: [`Method::Svd`] and
+    /// [`Method::Svdd`]. Other methods return
+    /// [`AtsError::InvalidArgument`].
+    pub fn save(&self, dir: impl AsRef<Path>) -> Result<()> {
+        match &self.persist {
+            Persist::Svd(c) => disk::save_svd(dir, c),
+            Persist::Svdd(c) => disk::save_svdd(dir, c),
+            Persist::None => Err(AtsError::InvalidArgument(format!(
+                "cannot save a {:?} store: only freshly built svd/svdd stores persist \
+                 (an opened store is already on disk)",
+                self.method
+            ))),
+        }
+    }
+
+    /// Open a store directory written by [`SequenceStore::save`] (or the
+    /// lower-level [`disk::save_svd`]/[`disk::save_svdd`]).
+    ///
+    /// The manifest is validated and every component checksummed before
+    /// anything is served; `pool_pages` bounds the `U` buffer pool. The
+    /// returned store answers the same cell/sequence/aggregate queries as
+    /// the in-memory one — `U` rows are paged in from disk on demand.
+    pub fn open(dir: impl AsRef<Path>, pool_pages: usize) -> Result<SequenceStore> {
+        let store = DiskStore::open(dir, pool_pages)?;
+        let method = match store.manifest().method.as_str() {
+            "svd" => Method::Svd,
+            "svdd" => Method::Svdd,
+            other => {
+                return Err(AtsError::Corrupt(format!(
+                    "manifest method {other:?} is not openable as a SequenceStore"
+                )))
+            }
+        };
+        Ok(SequenceStore {
+            compressed: Arc::new(store),
+            method,
+            threads: 1,
+            persist: Persist::None,
+        })
     }
 
     /// The method used.
@@ -389,6 +459,85 @@ mod tests {
             .unwrap();
         assert_eq!(rebuilt.rows(), 150);
         assert_eq!(rebuilt.method(), Method::Svdd);
+    }
+
+    #[test]
+    fn save_open_lifecycle_svdd_and_svd() {
+        let x = structured(150, 21);
+        for method in [Method::Svdd, Method::Svd] {
+            let built = SequenceStore::builder()
+                .method(method)
+                .budget(SpaceBudget::from_percent(20.0))
+                .build(&x)
+                .unwrap();
+            let tmp = ats_common::TestDir::new("ats-store-lifecycle");
+            let dir = tmp.file("store");
+            built.save(&dir).unwrap();
+            let opened = SequenceStore::open(&dir, 64).unwrap();
+            assert_eq!(opened.method(), method);
+            assert_eq!(opened.rows(), 150);
+            assert_eq!(opened.cols(), 21);
+            assert_eq!(opened.storage_bytes(), built.storage_bytes());
+            // Bit-identical serving: same U/V/Λ bytes, same arithmetic.
+            for i in (0..150).step_by(13) {
+                for j in 0..21 {
+                    assert_eq!(
+                        opened.cell(i, j).unwrap(),
+                        built.cell(i, j).unwrap(),
+                        "{method:?} ({i},{j})"
+                    );
+                }
+            }
+            // Aggregates work against the disk-backed store too.
+            let sel = Selection {
+                rows: Axis::Range(0, 100),
+                cols: Axis::Range(0, 10),
+            };
+            let a = built.aggregate(&sel, AggregateFn::Sum).unwrap();
+            let b = opened.aggregate(&sel, AggregateFn::Sum).unwrap();
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn save_rejects_non_persistable_methods() {
+        let x = structured(60, 14);
+        let store = SequenceStore::builder()
+            .method(Method::Dct)
+            .budget(SpaceBudget::from_percent(30.0))
+            .build(&x)
+            .unwrap();
+        let tmp = ats_common::TestDir::new("ats-store-lifecycle");
+        let err = store.save(tmp.file("nope")).unwrap_err();
+        assert!(matches!(err, AtsError::InvalidArgument(_)), "{err}");
+        assert!(!tmp.file("nope").exists());
+    }
+
+    #[test]
+    fn open_missing_store_errors() {
+        let tmp = ats_common::TestDir::new("ats-store-lifecycle");
+        assert!(SequenceStore::open(tmp.file("absent"), 8).is_err());
+    }
+
+    #[test]
+    fn bloom_knob_survives_save_open() {
+        let x = structured(100, 14);
+        for bloom in [false, true] {
+            let built = SequenceStore::builder()
+                .bloom(bloom)
+                .budget(SpaceBudget::from_percent(15.0))
+                .build(&x)
+                .unwrap();
+            let tmp = ats_common::TestDir::new("ats-store-lifecycle");
+            let dir = tmp.file("store");
+            built.save(&dir).unwrap();
+            let opened = SequenceStore::open(&dir, 16).unwrap();
+            assert_eq!(
+                opened.storage_bytes(),
+                built.storage_bytes(),
+                "bloom={bloom}"
+            );
+        }
     }
 
     #[test]

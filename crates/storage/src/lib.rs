@@ -21,6 +21,9 @@
 //!   hit/miss accounting, and [`pool::CachedFile`] which serves row reads
 //!   through it — this is what lets tests *prove* the paper's
 //!   one-disk-access-per-cell-query claim instead of asserting it;
+//! - [`store_dir`] — store-directory format v2: the versioned, checksummed
+//!   [`store_dir::StoreManifest`] and the crash-safe atomic
+//!   [`store_dir::StoreWriter`] used by `ats-core`'s persistence layer;
 //! - [`iostats`] — atomic I/O counters shared by the readers.
 
 #![warn(missing_docs)]
@@ -30,9 +33,11 @@ pub mod format;
 pub mod iostats;
 pub mod pool;
 pub mod source;
+pub mod store_dir;
 
 pub use file::{MatrixFile, MatrixFileWriter};
 pub use format::Header;
 pub use iostats::IoStats;
 pub use pool::{BufferPool, CachedFile};
 pub use source::{MemSource, RowSource};
+pub use store_dir::{StoreManifest, StoreWriter};

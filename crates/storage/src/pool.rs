@@ -233,6 +233,21 @@ impl CachedFile {
         let row_bytes = header.row_bytes();
         let page_size = self.pool.page_size();
         let start = i as u64 * row_bytes as u64; // offset within the data area
+        let data_len = header.file_len() - crate::format::HEADER_LEN as u64;
+        if self.row_aligned_layout() {
+            // Fast path: the whole row sits inside one page, so decode
+            // straight from the page slice — no scratch allocation.
+            let page_no = start / page_size as u64;
+            let in_page = (start % page_size as u64) as usize;
+            let file = Arc::clone(&self.file);
+            return self.pool.with_page(
+                page_no,
+                |buf| load_page(&file, page_no, page_size, data_len, buf),
+                |buf| decode_into(&buf[in_page..in_page + row_bytes], header.is_f32(), out),
+            );
+        }
+        // Slow path: the row may straddle pages; assemble it through a
+        // scratch buffer before decoding.
         let mut row_buf = vec![0u8; row_bytes];
         let mut copied = 0usize;
         while copied < row_bytes {
@@ -241,19 +256,9 @@ impl CachedFile {
             let in_page = (abs % page_size as u64) as usize;
             let take = (page_size - in_page).min(row_bytes - copied);
             let file = Arc::clone(&self.file);
-            let data_len = header.file_len() - crate::format::HEADER_LEN as u64;
             self.pool.with_page(
                 page_no,
-                |buf| {
-                    // Load the page from the file's data area; pages that
-                    // extend past EOF are zero-padded.
-                    let page_off = page_no * page_size as u64;
-                    let avail = data_len.saturating_sub(page_off).min(page_size as u64) as usize;
-                    if avail > 0 {
-                        read_data_at(&file, page_off, &mut buf[..avail])?;
-                    }
-                    Ok(())
-                },
+                |buf| load_page(&file, page_no, page_size, data_len, buf),
                 |buf| {
                     row_buf[copied..copied + take].copy_from_slice(&buf[in_page..in_page + take]);
                 },
@@ -277,11 +282,31 @@ impl CachedFile {
         if self.row_aligned_layout() {
             1
         } else {
+            // A row of `rb` bytes starting at an arbitrary offset covers
+            // `ceil(rb / ps)` full pages' worth of bytes plus at most one
+            // extra page for the misaligned start.
             let rb = self.file.header().row_bytes();
             let ps = self.pool.page_size();
-            rb / ps + 2 // partial head + partial tail
+            rb.div_ceil(ps) + 1
         }
     }
+}
+
+/// Load one page of the data area into `buf`; pages extending past EOF
+/// stay zero-padded (the pool hands us a zeroed buffer).
+fn load_page(
+    file: &MatrixFile,
+    page_no: u64,
+    page_size: usize,
+    data_len: u64,
+    buf: &mut [u8],
+) -> Result<()> {
+    let page_off = page_no * page_size as u64;
+    let avail = data_len.saturating_sub(page_off).min(page_size as u64) as usize;
+    if avail > 0 {
+        read_data_at(file, page_off, &mut buf[..avail])?;
+    }
+    Ok(())
 }
 
 fn read_data_at(file: &MatrixFile, data_offset: u64, buf: &mut [u8]) -> Result<()> {
@@ -388,7 +413,32 @@ mod tests {
         for i in 0..10 {
             assert_eq!(cf.read_row(i).unwrap(), mat.row(i));
         }
-        assert!(cf.max_pages_per_row() >= 2);
+        // Exactly ceil(128/64) + 1 = 3: two full pages of bytes plus one
+        // extra when the row starts mid-page.
+        assert_eq!(cf.max_pages_per_row(), 3);
+    }
+
+    #[test]
+    fn max_pages_per_row_exact_across_geometries() {
+        // (cols, page_size, expected): rows are cols*8 bytes.
+        for (cols, ps, expect) in [
+            (16usize, 64usize, 3usize), // 128B rows, 64B pages: 128/64+1
+            (10, 48, 3),                // 80B rows, 48B pages: ceil(80/48)+1
+            (10, 100, 2),               // 80B rows, 100B pages, misaligned
+            (6, 13, 5),                 // 48B rows, 13B pages: ceil(48/13)+1
+        ] {
+            let (mat, file, _dir) = setup(12, cols, "geom.atsm");
+            let cf = CachedFile::new(file, 32, ps);
+            assert_eq!(cf.max_pages_per_row(), expect, "cols={cols} ps={ps}");
+            // The bound must hold empirically: a cold row read never
+            // fetches more pages than advertised.
+            for i in 0..12 {
+                let before = cf.stats().physical_reads();
+                assert_eq!(cf.read_row(i).unwrap(), mat.row(i));
+                let fetched = (cf.stats().physical_reads() - before) as usize;
+                assert!(fetched <= expect, "row {i} fetched {fetched} > {expect}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,610 @@
+//! Store-directory format v2: versioned manifest, per-component CRCs,
+//! and crash-safe atomic saves.
+//!
+//! A *store directory* is the on-disk home of a compressed store (the
+//! paper's §4.1 serving layout): `u.atsm`, `v.atsm`, `lambda.atsm`,
+//! `deltas.bin`, plus `manifest.txt`. Format v1 wrote these files in
+//! place and treated the manifest as decoration — a crash mid-save left
+//! a half-written directory that opened silently, and a bit-flip in any
+//! component went undetected unless it happened to land in an `.atsm`
+//! header. Version 2 makes the directory the durability boundary:
+//!
+//! - **Atomic saves** ([`StoreWriter`]): every component is written into
+//!   a hidden sibling temp directory, fsynced, and the whole directory is
+//!   renamed into place in one step. A crash at *any* point leaves either
+//!   the previous store or no store — never a torn one.
+//! - **Validated opens** ([`validate_store_dir`]): `manifest.txt` is a
+//!   parsed, versioned document carrying the method, dimensions, `k`,
+//!   delta count, the Bloom-filter flag, and a CRC per component file; it
+//!   is itself covered by a trailing self-checksum. Opening cross-checks
+//!   every CRC against the bytes on disk, so truncation, deletion, or
+//!   corruption of any component surfaces as [`AtsError::Corrupt`].
+//!
+//! The manifest is line-oriented `key=value` text so it stays greppable:
+//!
+//! ```text
+//! ats-store-version=2
+//! method=svdd
+//! rows=2000
+//! cols=366
+//! k=5
+//! deltas=1423
+//! bloom=true
+//! crc.u.atsm=9f47c1d2e8a33b10
+//! crc.v.atsm=...
+//! crc.lambda.atsm=...
+//! crc.deltas.bin=...
+//! manifest-crc=...          # hash of every preceding byte
+//! ```
+
+use ats_common::hash::hash_bytes;
+use ats_common::{AtsError, Result};
+use std::fs::{self, File};
+use std::path::{Path, PathBuf};
+
+/// Current store-directory format version.
+pub const STORE_VERSION: u32 = 2;
+
+/// Name of the manifest file inside a store directory.
+pub const MANIFEST_FILE: &str = "manifest.txt";
+
+/// Component files of a store directory, in manifest order.
+pub const COMPONENT_FILES: [&str; 4] = ["u.atsm", "v.atsm", "lambda.atsm", "deltas.bin"];
+
+/// Parsed, validated contents of a v2 `manifest.txt`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreManifest {
+    /// Compression method tag (`"svd"` or `"svdd"`).
+    pub method: String,
+    /// Number of sequences (`N`).
+    pub rows: usize,
+    /// Sequence length (`M`).
+    pub cols: usize,
+    /// Retained principal components.
+    pub k: usize,
+    /// Number of outlier deltas in `deltas.bin`.
+    pub deltas: usize,
+    /// Whether the delta table carries a Bloom filter (§4.2) — restored
+    /// on open so a `.bloom(false)` store does not silently grow one.
+    pub bloom: bool,
+    /// CRC of each component file, parallel to [`COMPONENT_FILES`].
+    pub crcs: [u64; 4],
+}
+
+impl StoreManifest {
+    /// Serialize to the canonical text form, including the trailing
+    /// `manifest-crc` self-checksum line.
+    pub fn encode(&self) -> String {
+        let mut text = String::new();
+        text.push_str(&format!("ats-store-version={STORE_VERSION}\n"));
+        text.push_str(&format!("method={}\n", self.method));
+        text.push_str(&format!("rows={}\n", self.rows));
+        text.push_str(&format!("cols={}\n", self.cols));
+        text.push_str(&format!("k={}\n", self.k));
+        text.push_str(&format!("deltas={}\n", self.deltas));
+        text.push_str(&format!("bloom={}\n", self.bloom));
+        for (name, crc) in COMPONENT_FILES.iter().zip(&self.crcs) {
+            text.push_str(&format!("crc.{name}={crc:016x}\n"));
+        }
+        let csum = hash_bytes(text.as_bytes());
+        text.push_str(&format!("manifest-crc={csum:016x}\n"));
+        text
+    }
+
+    /// Parse and validate manifest text: self-checksum, version, and the
+    /// presence of every required key exactly once.
+    pub fn parse(text: &str) -> Result<Self> {
+        // The self-checksum covers every byte before its own line.
+        let crc_line_start = text
+            .rfind("manifest-crc=")
+            .ok_or_else(|| AtsError::Corrupt("manifest missing self-checksum".into()))?;
+        let tail = &text[crc_line_start..];
+        let tail = tail.strip_suffix('\n').unwrap_or(tail);
+        let stored_crc = parse_hex_u64(
+            tail.strip_prefix("manifest-crc=")
+                .ok_or_else(|| AtsError::Corrupt("malformed manifest-crc line".into()))?,
+        )?;
+        let computed = hash_bytes(&text.as_bytes()[..crc_line_start]);
+        if stored_crc != computed {
+            return Err(AtsError::Corrupt(format!(
+                "manifest self-checksum mismatch: stored {stored_crc:#x}, computed {computed:#x}"
+            )));
+        }
+
+        let mut version = None;
+        let mut method = None;
+        let mut rows = None;
+        let mut cols = None;
+        let mut k = None;
+        let mut deltas = None;
+        let mut bloom = None;
+        let mut crcs: [Option<u64>; 4] = [None; 4];
+        for line in text[..crc_line_start].lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| AtsError::Corrupt(format!("malformed manifest line {line:?}")))?;
+            let slot: &mut Option<_> = match key {
+                "ats-store-version" => {
+                    set_once("ats-store-version", &mut version, parse_usize(key, value)?)?;
+                    continue;
+                }
+                "method" => {
+                    set_once("method", &mut method, value.to_string())?;
+                    continue;
+                }
+                "rows" => &mut rows,
+                "cols" => &mut cols,
+                "k" => &mut k,
+                "deltas" => &mut deltas,
+                "bloom" => {
+                    let b = match value {
+                        "true" => true,
+                        "false" => false,
+                        other => {
+                            return Err(AtsError::Corrupt(format!(
+                                "manifest bloom flag must be true|false, got {other:?}"
+                            )))
+                        }
+                    };
+                    set_once("bloom", &mut bloom, b)?;
+                    continue;
+                }
+                crc_key => {
+                    let i = COMPONENT_FILES
+                        .iter()
+                        .position(|name| crc_key == format!("crc.{name}"))
+                        .ok_or_else(|| {
+                            AtsError::Corrupt(format!("unknown manifest key {crc_key:?}"))
+                        })?;
+                    set_once(crc_key, &mut crcs[i], parse_hex_u64(value)?)?;
+                    continue;
+                }
+            };
+            let parsed = parse_usize(key, value)?;
+            set_once(key, slot, parsed)?;
+        }
+
+        let version =
+            version.ok_or_else(|| AtsError::Corrupt("manifest missing version".into()))?;
+        if version != STORE_VERSION as usize {
+            return Err(AtsError::Corrupt(format!(
+                "unsupported store format version {version} (expected {STORE_VERSION})"
+            )));
+        }
+        let require = |what: &str, v: Option<usize>| {
+            v.ok_or_else(|| AtsError::Corrupt(format!("manifest missing {what}")))
+        };
+        let mut out_crcs = [0u64; 4];
+        for (i, name) in COMPONENT_FILES.iter().enumerate() {
+            out_crcs[i] =
+                crcs[i].ok_or_else(|| AtsError::Corrupt(format!("manifest missing crc.{name}")))?;
+        }
+        Ok(StoreManifest {
+            method: method.ok_or_else(|| AtsError::Corrupt("manifest missing method".into()))?,
+            rows: require("rows", rows)?,
+            cols: require("cols", cols)?,
+            k: require("k", k)?,
+            deltas: require("deltas", deltas)?,
+            bloom: bloom.ok_or_else(|| AtsError::Corrupt("manifest missing bloom flag".into()))?,
+            crcs: out_crcs,
+        })
+    }
+
+    /// Read and parse `dir/manifest.txt`.
+    ///
+    /// A missing directory surfaces as the underlying I/O error ("clean
+    /// absence"); a directory that exists but has no manifest is a
+    /// corrupt or pre-v2 store.
+    pub fn read(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref();
+        let path = dir.join(MANIFEST_FILE);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound && dir.is_dir() => {
+                return Err(AtsError::Corrupt(format!(
+                    "store at {} has no {MANIFEST_FILE} (not a v{STORE_VERSION} store)",
+                    dir.display()
+                )));
+            }
+            Err(e) => return Err(e.into()),
+        };
+        Self::parse(&text)
+    }
+}
+
+fn set_once<T>(key: &str, slot: &mut Option<T>, value: T) -> Result<()> {
+    if slot.is_some() {
+        return Err(AtsError::Corrupt(format!("duplicate manifest key {key:?}")));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+fn parse_usize(key: &str, value: &str) -> Result<usize> {
+    value
+        .parse()
+        .map_err(|_| AtsError::Corrupt(format!("manifest {key}={value:?} is not a number")))
+}
+
+fn parse_hex_u64(value: &str) -> Result<u64> {
+    u64::from_str_radix(value, 16)
+        .map_err(|_| AtsError::Corrupt(format!("manifest checksum {value:?} is not hex")))
+}
+
+/// Checksum of a whole file's contents (the per-component CRC recorded
+/// in the manifest).
+pub fn file_crc(path: impl AsRef<Path>) -> Result<u64> {
+    Ok(hash_bytes(&fs::read(path)?))
+}
+
+/// Validate a store directory: parse the manifest and cross-check every
+/// component file's CRC against it.
+///
+/// Returns the manifest on success. A missing directory propagates as an
+/// I/O error; anything else — missing manifest, missing component,
+/// truncated or bit-flipped bytes — is [`AtsError::Corrupt`].
+pub fn validate_store_dir(dir: impl AsRef<Path>) -> Result<StoreManifest> {
+    let dir = dir.as_ref();
+    let manifest = StoreManifest::read(dir)?;
+    for (name, &expected) in COMPONENT_FILES.iter().zip(&manifest.crcs) {
+        let path = dir.join(name);
+        let got = match file_crc(&path) {
+            Ok(c) => c,
+            Err(AtsError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(AtsError::Corrupt(format!(
+                    "store component {name} is missing from {}",
+                    dir.display()
+                )));
+            }
+            Err(e) => return Err(e),
+        };
+        if got != expected {
+            return Err(AtsError::Corrupt(format!(
+                "store component {name} checksum mismatch: manifest {expected:#x}, file {got:#x}"
+            )));
+        }
+    }
+    Ok(manifest)
+}
+
+/// Crash-safe store-directory writer: stage every component in a hidden
+/// sibling temp directory, then swap it into place atomically.
+///
+/// ```text
+/// begin(dir)   -> create  <parent>/.<name>.tmp-<pid>
+/// (write components into writer.path())
+/// commit(m)    -> CRC components, write manifest, fsync everything,
+///                 rename old dir aside, rename temp -> dir, fsync parent
+/// drop w/o commit -> temp directory removed, target untouched
+/// ```
+///
+/// A crash before the final rename leaves the previous store (or nothing,
+/// if there was none) at `dir`; a crash inside the swap window leaves
+/// `dir` absent — a clean, detectable absence, never a torn store.
+pub struct StoreWriter {
+    tmp: PathBuf,
+    final_dir: PathBuf,
+    committed: bool,
+}
+
+impl StoreWriter {
+    /// Start a save targeting `final_dir`. Any stale temp directory from
+    /// a previous crashed save of the same target is cleared.
+    pub fn begin(final_dir: impl AsRef<Path>) -> Result<Self> {
+        let final_dir = final_dir.as_ref().to_path_buf();
+        let name = final_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| {
+                AtsError::InvalidArgument(format!(
+                    "store path {} has no usable directory name",
+                    final_dir.display()
+                ))
+            })?
+            .to_string();
+        if final_dir.exists() && !is_replaceable(&final_dir) {
+            return Err(AtsError::InvalidArgument(format!(
+                "{} exists and is not a store directory; refusing to replace it",
+                final_dir.display()
+            )));
+        }
+        let parent = parent_of(&final_dir);
+        fs::create_dir_all(&parent)?;
+        let tmp = parent.join(format!(".{name}.tmp-{}", std::process::id()));
+        if tmp.exists() {
+            fs::remove_dir_all(&tmp)?;
+        }
+        fs::create_dir_all(&tmp)?;
+        Ok(StoreWriter {
+            tmp,
+            final_dir,
+            committed: false,
+        })
+    }
+
+    /// The staging directory to write component files into.
+    pub fn path(&self) -> &Path {
+        &self.tmp
+    }
+
+    /// Finish the save: fill the manifest's component CRCs from the files
+    /// staged in [`StoreWriter::path`], write it, fsync every file and the
+    /// directory, and atomically swap the staged directory into place.
+    pub fn commit(mut self, mut manifest: StoreManifest) -> Result<()> {
+        for (i, name) in COMPONENT_FILES.iter().enumerate() {
+            let path = self.tmp.join(name);
+            manifest.crcs[i] = match file_crc(&path) {
+                Ok(c) => c,
+                Err(AtsError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                    return Err(AtsError::InvalidArgument(format!(
+                        "commit without staged component {name}"
+                    )));
+                }
+                Err(e) => return Err(e),
+            };
+        }
+        fs::write(self.tmp.join(MANIFEST_FILE), manifest.encode())?;
+        // Durability point: every staged byte reaches disk before the
+        // rename can expose the new directory.
+        for entry in fs::read_dir(&self.tmp)? {
+            File::open(entry?.path())?.sync_all()?;
+        }
+        sync_dir(&self.tmp)?;
+
+        let parent = parent_of(&self.final_dir);
+        let name = self.final_dir.file_name().unwrap().to_string_lossy();
+        let retired = parent.join(format!(".{name}.old-{}", std::process::id()));
+        if retired.exists() {
+            fs::remove_dir_all(&retired)?;
+        }
+        if self.final_dir.exists() {
+            fs::rename(&self.final_dir, &retired)?;
+        }
+        fs::rename(&self.tmp, &self.final_dir)?;
+        self.committed = true;
+        if retired.exists() {
+            let _ = fs::remove_dir_all(&retired);
+        }
+        sync_dir(&parent)?;
+        Ok(())
+    }
+}
+
+impl Drop for StoreWriter {
+    fn drop(&mut self) {
+        if !self.committed {
+            let _ = fs::remove_dir_all(&self.tmp);
+        }
+    }
+}
+
+fn parent_of(path: &Path) -> PathBuf {
+    match path.parent() {
+        Some(p) if p.as_os_str().is_empty() => PathBuf::from("."),
+        Some(p) => p.to_path_buf(),
+        None => PathBuf::from("."),
+    }
+}
+
+/// A target we may replace: an empty directory, or something that looks
+/// like a store (has a manifest or a `U` file). Anything else is user
+/// data we refuse to clobber.
+fn is_replaceable(dir: &Path) -> bool {
+    if !dir.is_dir() {
+        return false;
+    }
+    if dir.join(MANIFEST_FILE).exists() || dir.join(COMPONENT_FILES[0]).exists() {
+        return true;
+    }
+    fs::read_dir(dir)
+        .map(|mut d| d.next().is_none())
+        .unwrap_or(false)
+}
+
+fn sync_dir(dir: &Path) -> Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest() -> StoreManifest {
+        StoreManifest {
+            method: "svdd".into(),
+            rows: 200,
+            cols: 21,
+            k: 5,
+            deltas: 37,
+            bloom: true,
+            crcs: [1, 2, 3, 4],
+        }
+    }
+
+    fn stage_components(dir: &Path) {
+        for (i, name) in COMPONENT_FILES.iter().enumerate() {
+            std::fs::write(dir.join(name), format!("component {i} payload")).unwrap();
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let m = manifest();
+        assert_eq!(StoreManifest::parse(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn manifest_bitflip_detected_everywhere() {
+        let text = manifest().encode();
+        for i in 0..text.len() {
+            let mut bytes = text.clone().into_bytes();
+            bytes[i] ^= 0x01;
+            let Ok(s) = String::from_utf8(bytes) else {
+                continue; // non-UTF8 flips fail at read_to_string instead
+            };
+            assert!(
+                StoreManifest::parse(&s).is_err(),
+                "flip at byte {i} accepted: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn manifest_missing_or_duplicate_keys_rejected() {
+        let m = manifest();
+        let text = m.encode();
+        // Drop each line in turn (re-checksum so only the schema check fires).
+        let lines: Vec<&str> = text.trim_end().lines().collect();
+        for skip in 0..lines.len() - 1 {
+            let mut body = String::new();
+            for (i, l) in lines[..lines.len() - 1].iter().enumerate() {
+                if i != skip {
+                    body.push_str(l);
+                    body.push('\n');
+                }
+            }
+            let csum = ats_common::hash::hash_bytes(body.as_bytes());
+            body.push_str(&format!("manifest-crc={csum:016x}\n"));
+            assert!(
+                StoreManifest::parse(&body).is_err(),
+                "missing line {:?} accepted",
+                lines[skip]
+            );
+        }
+        // Duplicate a line.
+        let mut body: String = lines[..lines.len() - 1].join("\n");
+        body.push('\n');
+        body.push_str(lines[1]);
+        body.push('\n');
+        let csum = ats_common::hash::hash_bytes(body.as_bytes());
+        body.push_str(&format!("manifest-crc={csum:016x}\n"));
+        assert!(StoreManifest::parse(&body).is_err(), "duplicate accepted");
+    }
+
+    #[test]
+    fn manifest_wrong_version_rejected() {
+        let text = manifest().encode().replace(
+            &format!("ats-store-version={STORE_VERSION}"),
+            "ats-store-version=1",
+        );
+        let body = &text[..text.rfind("manifest-crc=").unwrap()];
+        let csum = ats_common::hash::hash_bytes(body.as_bytes());
+        let text = format!("{body}manifest-crc={csum:016x}\n");
+        let err = StoreManifest::parse(&text).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn commit_swaps_atomically_and_validates() {
+        let t = ats_common::TestDir::new("ats-storedir");
+        let target = t.file("store");
+
+        let w = StoreWriter::begin(&target).unwrap();
+        stage_components(w.path());
+        w.commit(manifest()).unwrap();
+        let m = validate_store_dir(&target).unwrap();
+        assert_eq!(m.method, "svdd");
+        assert_ne!(m.crcs, [1, 2, 3, 4], "commit recomputes real CRCs");
+
+        // Replace with new contents: old store fully retired.
+        let w = StoreWriter::begin(&target).unwrap();
+        for name in COMPONENT_FILES {
+            std::fs::write(w.path().join(name), b"second generation").unwrap();
+        }
+        let mut m2 = manifest();
+        m2.deltas = 99;
+        w.commit(m2).unwrap();
+        let got = validate_store_dir(&target).unwrap();
+        assert_eq!(got.deltas, 99);
+        // No temp/retired litter left next to the store.
+        let names: Vec<String> = std::fs::read_dir(t.path())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["store".to_string()], "{names:?}");
+    }
+
+    #[test]
+    fn abandoned_writer_leaves_no_trace() {
+        let t = ats_common::TestDir::new("ats-storedir");
+        let target = t.file("store");
+        {
+            let w = StoreWriter::begin(&target).unwrap();
+            stage_components(w.path());
+            // dropped without commit
+        }
+        assert!(!target.exists());
+        assert_eq!(std::fs::read_dir(t.path()).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn commit_without_all_components_refused() {
+        let t = ats_common::TestDir::new("ats-storedir");
+        let w = StoreWriter::begin(t.file("store")).unwrap();
+        std::fs::write(w.path().join("u.atsm"), b"only one").unwrap();
+        assert!(w.commit(manifest()).is_err());
+        assert!(!t.file("store").exists());
+    }
+
+    #[test]
+    fn refuses_to_replace_non_store_directory() {
+        let t = ats_common::TestDir::new("ats-storedir");
+        let target = t.file("precious");
+        std::fs::create_dir_all(&target).unwrap();
+        std::fs::write(target.join("thesis.tex"), b"years of work").unwrap();
+        assert!(StoreWriter::begin(&target).is_err());
+        assert!(target.join("thesis.tex").exists());
+    }
+
+    #[test]
+    fn validate_rejects_missing_and_corrupt_components() {
+        let t = ats_common::TestDir::new("ats-storedir");
+        let target = t.file("store");
+        let w = StoreWriter::begin(&target).unwrap();
+        stage_components(w.path());
+        w.commit(manifest()).unwrap();
+
+        for name in COMPONENT_FILES {
+            // Bit-flip.
+            let path = target.join(name);
+            let mut bytes = std::fs::read(&path).unwrap();
+            bytes[0] ^= 0x80;
+            std::fs::write(&path, &bytes).unwrap();
+            let err = validate_store_dir(&target).unwrap_err();
+            assert!(matches!(err, AtsError::Corrupt(_)), "{name}: {err}");
+            bytes[0] ^= 0x80;
+            std::fs::write(&path, &bytes).unwrap();
+
+            // Truncation.
+            std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+            assert!(validate_store_dir(&target).is_err(), "{name} truncated");
+            std::fs::write(&path, &bytes).unwrap();
+
+            // Deletion.
+            std::fs::remove_file(&path).unwrap();
+            let err = validate_store_dir(&target).unwrap_err();
+            assert!(matches!(err, AtsError::Corrupt(_)), "{name} deleted: {err}");
+            std::fs::write(&path, &bytes).unwrap();
+        }
+        validate_store_dir(&target).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_is_io_not_corrupt() {
+        let t = ats_common::TestDir::new("ats-storedir");
+        let err = validate_store_dir(t.file("never-saved")).unwrap_err();
+        assert!(matches!(err, AtsError::Io(_)), "{err}");
+    }
+}

@@ -15,6 +15,7 @@
 
 use adhoc_ts::compress::{SpaceBudget, SvddCompressed, SvddOptions};
 use adhoc_ts::core::disk::{save_svd, save_svdd, DiskStore};
+use adhoc_ts::core::store::{method_by_name, SequenceStore};
 use adhoc_ts::data::{generate_phone, generate_stocks, Dataset, PhoneConfig, StocksConfig};
 use adhoc_ts::query::engine::QueryEngine;
 use adhoc_ts::query::metrics::error_report;
@@ -30,9 +31,17 @@ USAGE:
   ats generate <phone|stocks> [--rows N] [--cols M] [--seed S] --out FILE
   ats info FILE
   ats compress FILE --out DIR [--percent P] [--method svd|svdd] [--threads T]
+  ats save FILE --out DIR [--percent P] [--method svd|svdd] [--threads T]
+                                 build a SequenceStore and persist it
+                                 crash-safely (format v2); --no-bloom to
+                                 drop the delta Bloom filter
+  ats open DIR [--pool-pages N]  validate and summarize a saved store
   ats query DIR \"<query>\"       e.g. \"cell 42 17\", \"avg rows 0..100 cols all\"
   ats verify FILE DIR            compare a store against the original data
 ";
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["no-bloom"];
 
 fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
     let mut positional = Vec::new();
@@ -40,7 +49,11 @@ fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
-            let value = it.next().cloned().unwrap_or_default();
+            let value = if BOOL_FLAGS.contains(&name) {
+                String::new()
+            } else {
+                it.next().cloned().unwrap_or_default()
+            };
             flags.insert(name.to_string(), value);
         } else {
             positional.push(a.clone());
@@ -150,6 +163,50 @@ fn run() -> Result<(), String> {
                 }
                 other => return Err(format!("unknown method {other:?} (svd|svdd)")),
             }
+            Ok(())
+        }
+        Some("save") => {
+            let input = pos.get(1).ok_or("save needs FILE")?;
+            let out = flags.get("out").ok_or("save needs --out DIR")?;
+            let pct = flag_f64(&flags, "percent", 10.0)?;
+            let threads = flag_usize(&flags, "threads", 1)?;
+            let method = flags.get("method").map(String::as_str).unwrap_or("svdd");
+            let method = method_by_name(method).map_err(|e| e.to_string())?;
+            let source = MatrixFile::open(input).map_err(|e| e.to_string())?;
+            let t0 = std::time::Instant::now();
+            let store = SequenceStore::builder()
+                .method(method)
+                .budget(SpaceBudget::from_percent(pct))
+                .threads(threads)
+                .bloom(!flags.contains_key("no-bloom"))
+                .build(&source)
+                .map_err(|e| e.to_string())?;
+            store.save(out).map_err(|e| e.to_string())?;
+            println!(
+                "{}: {} x {}, {:.2}% space, {:.1}s -> {out}",
+                store.method().name(),
+                store.rows(),
+                store.cols(),
+                100.0 * store.space_ratio(),
+                t0.elapsed().as_secs_f64()
+            );
+            Ok(())
+        }
+        Some("open") => {
+            let dir = pos.get(1).ok_or("open needs DIR")?;
+            let pool = flag_usize(&flags, "pool-pages", 1024)?;
+            let disk = DiskStore::open(dir, pool).map_err(|e| e.to_string())?;
+            let m = disk.manifest();
+            println!(
+                "{dir}: {} store, {} x {}, k={}, {} deltas, bloom={}, {:.2} MB compressed",
+                m.method,
+                m.rows,
+                m.cols,
+                m.k,
+                m.deltas,
+                m.bloom,
+                adhoc_ts::compress::CompressedMatrix::storage_bytes(&disk) as f64 / 1e6
+            );
             Ok(())
         }
         Some("query") => {

@@ -1,25 +1,19 @@
 //! Integration tests for the `ats` command-line tool: the full
-//! generate → info → compress → query → verify flow, driven through the
-//! actual binary.
+//! generate → info → compress → query → verify flow, plus the
+//! crash-safe save → open lifecycle, driven through the actual binary.
 
+use ats_common::TestDir;
 use std::process::Command;
 
 fn ats() -> Command {
     Command::new(env!("CARGO_BIN_EXE_ats"))
 }
 
-fn workdir() -> std::path::PathBuf {
-    let d = std::env::temp_dir().join(format!("ats-cli-test-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&d);
-    std::fs::create_dir_all(&d).unwrap();
-    d
-}
-
 #[test]
 fn full_cli_flow() {
-    let dir = workdir();
-    let data = dir.join("data.atsm");
-    let store = dir.join("store");
+    let dir = TestDir::new("ats-cli");
+    let data = dir.file("data.atsm");
+    let store = dir.file("store");
 
     // generate
     let out = ats()
@@ -115,9 +109,9 @@ fn cli_errors_are_clean() {
     assert!(!out.status.success());
 
     // bad query text against a real store is rejected by the parser
-    let dir = workdir();
-    let data = dir.join("d.atsm");
-    let store = dir.join("s");
+    let dir = TestDir::new("ats-cli");
+    let data = dir.file("d.atsm");
+    let store = dir.file("s");
     ats()
         .args([
             "generate",
@@ -152,9 +146,9 @@ fn cli_errors_are_clean() {
 
 #[test]
 fn cli_svd_method() {
-    let dir = workdir();
-    let data = dir.join("svd-data.atsm");
-    let store = dir.join("svd-store");
+    let dir = TestDir::new("ats-cli");
+    let data = dir.file("svd-data.atsm");
+    let store = dir.file("svd-store");
     assert!(ats()
         .args([
             "generate",
@@ -184,10 +178,98 @@ fn cli_svd_method() {
         .unwrap();
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).starts_with("svd:"));
-    // store opens without a deltas file
+    // the svd store opens and serves queries (its deltas.bin is empty)
     let out = ats()
         .args(["query", store.to_str().unwrap(), "cell 0 0"])
         .output()
         .unwrap();
     assert!(out.status.success());
+}
+
+#[test]
+fn cli_save_open_flow() {
+    let dir = TestDir::new("ats-cli");
+    let data = dir.file("data.atsm");
+    let store = dir.file("store");
+
+    assert!(ats()
+        .args([
+            "generate",
+            "phone",
+            "--rows",
+            "250",
+            "--cols",
+            "50",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+
+    // save builds a SequenceStore and persists it in the v2 layout
+    let out = ats()
+        .args([
+            "save",
+            data.to_str().unwrap(),
+            "--out",
+            store.to_str().unwrap(),
+            "--percent",
+            "15",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("svdd"));
+    for f in [
+        "manifest.txt",
+        "u.atsm",
+        "v.atsm",
+        "lambda.atsm",
+        "deltas.bin",
+    ] {
+        assert!(store.join(f).exists(), "missing {f}");
+    }
+
+    // open validates the manifest and summarizes the store
+    let out = ats()
+        .args(["open", store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("svdd store"), "{text}");
+    assert!(text.contains("250 x 50"), "{text}");
+    assert!(text.contains("bloom=true"), "{text}");
+
+    // the saved store serves queries
+    let out = ats()
+        .args(["query", store.to_str().unwrap(), "avg rows 0..50 cols all"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let val: f64 = String::from_utf8_lossy(&out.stdout).trim().parse().unwrap();
+    assert!(val.is_finite());
+
+    // corrupting a component makes open fail cleanly, not crash
+    let u = store.join("u.atsm");
+    let mut bytes = std::fs::read(&u).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&u, &bytes).unwrap();
+    let out = ats()
+        .args(["open", store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error"), "{err}");
 }

@@ -5,6 +5,9 @@
 //! Measured here: hit and miss probes with and without the filter, at
 //! outlier densities bracketing real SVDD stores.
 
+// ats-lint: allow(lint-table) — criterion_group! generates undocumented glue fns; scoped to this bench target
+#![allow(missing_docs)]
+
 use ats_compress::delta::DeltaStore;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 

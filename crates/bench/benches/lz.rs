@@ -1,5 +1,8 @@
 //! LZ (LZSS + Huffman) throughput on warehouse-shaped byte streams.
 
+// ats-lint: allow(lint-table) — criterion_group! generates undocumented glue fns; scoped to this bench target
+#![allow(missing_docs)]
+
 use ats_compress::lz;
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 

@@ -7,6 +7,9 @@
 //! - thread scaling of the whole SVDD build (passes 2 and 3 dominate
 //!   once pass 1 is parallel) at 1/2/4/8 workers.
 
+// ats-lint: allow(lint-table) — criterion_group! generates undocumented glue fns; scoped to this bench target
+#![allow(missing_docs)]
+
 use ats_compress::gram::{compute_gram, compute_gram_parallel};
 use ats_compress::{SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions};
 use ats_linalg::Matrix;

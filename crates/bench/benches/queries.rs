@@ -2,6 +2,9 @@
 //! selectivity over an SVDD-compressed matrix, plus the disk-backed
 //! store's cached-read path.
 
+// ats-lint: allow(lint-table) — criterion_group! generates undocumented glue fns; scoped to this bench target
+#![allow(missing_docs)]
+
 use ats_compress::{CompressedMatrix, SpaceBudget, SvddCompressed, SvddOptions};
 use ats_core::disk::{save_svdd, DiskStore};
 use ats_linalg::Matrix;

@@ -5,6 +5,9 @@
 //! scale linearly) and across `N` at fixed `k` (should be flat), plus
 //! whole-row reconstruction and the SVDD delta-probe overhead.
 
+// ats-lint: allow(lint-table) — criterion_group! generates undocumented glue fns; scoped to this bench target
+#![allow(missing_docs)]
+
 use ats_compress::{CompressedMatrix, SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions};
 use ats_linalg::Matrix;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};

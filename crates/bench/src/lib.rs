@@ -6,8 +6,6 @@
 //! aligned to stdout *and* persist as CSV under `results/`, and small
 //! measurement helpers.
 
-#![warn(missing_docs)]
-
 use ats_data::{generate_phone, generate_stocks, Dataset, PhoneConfig, StocksConfig};
 use std::fmt::Write as _;
 use std::path::PathBuf;

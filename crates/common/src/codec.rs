@@ -43,7 +43,10 @@ pub fn get_u32(buf: &[u8], offset: usize) -> Result<u32> {
     let bytes = buf
         .get(offset..end)
         .ok_or_else(|| AtsError::Corrupt(format!("u32 read at {offset} past end {}", buf.len())))?;
-    Ok(u32::from_le_bytes(bytes.try_into().expect("length 4")))
+    let arr: [u8; 4] = bytes
+        .try_into()
+        .map_err(|_| AtsError::Corrupt("u32 slice width".into()))?;
+    Ok(u32::from_le_bytes(arr))
 }
 
 /// Read a `u64` at `offset`, or error if out of range.
@@ -55,7 +58,10 @@ pub fn get_u64(buf: &[u8], offset: usize) -> Result<u64> {
     let bytes = buf
         .get(offset..end)
         .ok_or_else(|| AtsError::Corrupt(format!("u64 read at {offset} past end {}", buf.len())))?;
-    Ok(u64::from_le_bytes(bytes.try_into().expect("length 8")))
+    let arr: [u8; 8] = bytes
+        .try_into()
+        .map_err(|_| AtsError::Corrupt("u64 slice width".into()))?;
+    Ok(u64::from_le_bytes(arr))
 }
 
 /// Read an `f64` at `offset`, or error if out of range.
@@ -77,8 +83,11 @@ pub fn read_f64_slice_into(buf: &[u8], offset: usize, out: &mut [f64]) -> Result
             buf.len()
         ))
     })?;
-    for (i, chunk) in src.chunks_exact(8).enumerate() {
-        out[i] = f64::from_le_bytes(chunk.try_into().expect("length 8"));
+    for (dst, chunk) in out.iter_mut().zip(src.chunks_exact(8)) {
+        let arr: [u8; 8] = chunk
+            .try_into()
+            .map_err(|_| AtsError::Corrupt("f64 chunk width".into()))?;
+        *dst = f64::from_le_bytes(arr);
     }
     Ok(())
 }
@@ -107,6 +116,7 @@ pub fn bytes_to_f64s(buf: &[u8]) -> Result<Vec<f64>> {
 /// container and delta files where most rows/cols are small).
 pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
+        // ats-lint: allow(lossy-cast) — masked to the low 7 bits, always fits in u8
         let byte = (v & 0x7F) as u8;
         v >>= 7;
         if v == 0 {
@@ -134,6 +144,23 @@ pub fn get_varint(buf: &[u8], offset: usize) -> Result<(u64, usize)> {
         shift += 7;
     }
     Err(AtsError::Corrupt("varint truncated".into()))
+}
+
+/// Convert a disk/CLI-originated `u64` to `usize`, erroring instead of
+/// truncating when the value does not fit (32-bit targets, or a corrupt
+/// header claiming an absurd count). `what` names the field for the
+/// error message.
+#[inline]
+pub fn usize_from_u64(v: u64, what: &'static str) -> Result<usize> {
+    usize::try_from(v).map_err(|_| AtsError::Corrupt(format!("{what} {v} does not fit in usize")))
+}
+
+/// Widen a `usize` to `u64` for on-disk headers and offsets. Lossless on
+/// every supported target (`usize` is at most 64 bits).
+#[inline]
+pub fn u64_from_usize(v: usize) -> u64 {
+    // ats-lint: allow(lossy-cast) — widening usize→u64 is lossless on all supported targets
+    v as u64
 }
 
 #[cfg(test)]
@@ -226,5 +253,13 @@ mod tests {
         let buf = vec![0u8; 16];
         assert!(get_u32(&buf, usize::MAX - 1).is_err());
         assert!(get_u64(&buf, usize::MAX - 2).is_err());
+    }
+
+    #[test]
+    fn checked_width_conversions() {
+        assert_eq!(usize_from_u64(42, "count").unwrap(), 42);
+        assert_eq!(u64_from_usize(42), 42);
+        #[cfg(target_pointer_width = "32")]
+        assert!(usize_from_u64(u64::MAX, "count").is_err());
     }
 }

@@ -50,6 +50,11 @@ pub enum AtsError {
     InvalidArgument(String),
     /// Wrapper around `std::io::Error` for all storage-layer failures.
     Io(std::io::Error),
+    /// An internal invariant was violated (a worker thread panicked, a
+    /// data structure reached a state the algorithm rules out). These are
+    /// bugs, but the library surfaces them as errors rather than
+    /// panicking: the serving path must stay up on any input.
+    Internal(String),
 }
 
 impl fmt::Display for AtsError {
@@ -79,6 +84,7 @@ impl fmt::Display for AtsError {
             AtsError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             AtsError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             AtsError::Io(e) => write!(f, "I/O error: {e}"),
+            AtsError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }
@@ -111,6 +117,12 @@ impl AtsError {
     /// Construct an [`AtsError::IndexOutOfBounds`].
     pub fn oob(what: &'static str, index: usize, bound: usize) -> Self {
         AtsError::IndexOutOfBounds { index, bound, what }
+    }
+
+    /// Construct an [`AtsError::Internal`] — an invariant the code relies
+    /// on was violated, reported as an error instead of a panic.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        AtsError::Internal(msg.into())
     }
 }
 

@@ -20,8 +20,6 @@
 //! - [`testutil`] — unique, self-cleaning temp directories for tests that
 //!   exercise the on-disk paths.
 
-#![warn(missing_docs)]
-
 pub mod bloom;
 pub mod codec;
 pub mod error;

@@ -164,7 +164,7 @@ impl Summary {
     /// Build from a sample; NaNs are dropped.
     pub fn from_values(values: impl IntoIterator<Item = f64>) -> Self {
         let mut sorted: Vec<f64> = values.into_iter().filter(|x| !x.is_nan()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let mut stats = OnlineStats::new();
         stats.push_slice(&sorted);
         Summary { sorted, stats }

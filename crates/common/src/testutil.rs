@@ -44,6 +44,7 @@ impl TestDir {
         if path.exists() {
             let _ = std::fs::remove_dir_all(&path);
         }
+        // ats-lint: allow(no-panic) — test-only helper; tests want a loud failure, not a fallback
         std::fs::create_dir_all(&path).unwrap_or_else(|e| panic!("TestDir::new({prefix}): {e}"));
         TestDir { path }
     }

@@ -52,7 +52,7 @@ struct Merge {
 /// nearest neighbours locally), so the caller must sort by height before
 /// cutting — complete linkage is monotone (no inversions), so the sorted
 /// sequence is exactly the greedy agglomeration order.
-fn nn_chain_dendrogram(x: &Matrix) -> Vec<Merge> {
+fn nn_chain_dendrogram(x: &Matrix) -> Result<Vec<Merge>> {
     let n = x.rows();
     // Distance matrix (squared Euclidean — complete linkage only compares
     // distances, so squaring is harmless and saves N² square roots).
@@ -71,11 +71,16 @@ fn nn_chain_dendrogram(x: &Matrix) -> Vec<Merge> {
 
     while merges.len() + 1 < n {
         if chain.is_empty() {
-            let start = active.iter().position(|&a| a).expect("clusters remain");
+            let start = active
+                .iter()
+                .position(|&a| a)
+                .ok_or_else(|| AtsError::internal("nn-chain: no active cluster remains"))?;
             chain.push(start);
         }
         loop {
-            let top = *chain.last().expect("non-empty chain");
+            let Some(&top) = chain.last() else {
+                return Err(AtsError::internal("nn-chain: chain emptied mid-walk"));
+            };
             // nearest active neighbour of `top`
             let mut best = usize::MAX;
             let mut best_d = f64::INFINITY;
@@ -113,7 +118,7 @@ fn nn_chain_dendrogram(x: &Matrix) -> Vec<Merge> {
             chain.push(best);
         }
     }
-    merges
+    Ok(merges)
 }
 
 /// Agglomerative complete-linkage clustering, cut at `k` clusters.
@@ -135,7 +140,7 @@ pub fn hierarchical_complete(x: &Matrix, k: usize) -> Result<Vec<u32>> {
         return Ok((0..n as u32).collect());
     }
 
-    let mut merges = nn_chain_dendrogram(x);
+    let mut merges = nn_chain_dendrogram(x)?;
     // Cut the dendrogram: apply the n−k lowest merges. Stable sort keeps
     // a child merge before its equal-height parent (NN-chain necessarily
     // records children first), so the replay is always consistent.

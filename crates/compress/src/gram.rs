@@ -10,7 +10,7 @@
 //! Only the upper triangle is accumulated (C is symmetric), halving the
 //! inner-loop work relative to the paper's pseudocode.
 
-use ats_common::Result;
+use ats_common::{AtsError, Result};
 use ats_linalg::Matrix;
 use ats_storage::RowSource;
 
@@ -83,10 +83,13 @@ pub fn compute_gram_parallel<S: RowSource + ?Sized>(source: &S, threads: usize) 
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("no panic"))
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(AtsError::internal("gram worker thread panicked")),
+            })
             .collect()
     })
-    .expect("crossbeam scope");
+    .map_err(|_| AtsError::internal("gram thread scope panicked"))?;
 
     let mut total = Matrix::zeros(m, m);
     for p in partials {

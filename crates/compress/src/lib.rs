@@ -28,8 +28,6 @@
 //! experiments share), and [`zeroflag`] (§6.2's Bloom-fronted all-zero
 //! customer index).
 
-#![warn(missing_docs)]
-
 pub mod append;
 pub mod cluster;
 pub mod dct;

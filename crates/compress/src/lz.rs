@@ -201,8 +201,10 @@ fn huffman_lengths(freq: &[u64; 256]) -> [u8; 256] {
                                                            // simple O(n²)-ish merge loop (n ≤ 256: negligible)
     while heap.len() > 1 {
         heap.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
-        let a = heap.pop().expect("len>1");
-        let b = heap.pop().expect("len>1");
+        // The loop guard proves two pops succeed; the else arm is dead.
+        let (Some(a), Some(b)) = (heap.pop(), heap.pop()) else {
+            break;
+        };
         nodes.push((a.0 + b.0, a.1, b.1));
         heap.push((a.0 + b.0, nodes.len() - 1));
     }

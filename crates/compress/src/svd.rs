@@ -231,10 +231,13 @@ pub(crate) fn emit_u<S: RowSource + ?Sized>(
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("no panic"))
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(AtsError::internal("svd projection worker panicked")),
+            })
             .collect()
     })
-    .expect("crossbeam scope");
+    .map_err(|_| AtsError::internal("svd projection thread scope panicked"))?;
     results.into_iter().collect()
 }
 

@@ -251,8 +251,12 @@ impl SvddCompressed {
                 remaining -= 1;
                 total -= candidate_ks[i].1;
             }
-            let mut keep_it = keep.iter();
-            candidate_ks.retain(|_| *keep_it.next().expect("keep mask"));
+            let mut idx = 0usize;
+            candidate_ks.retain(|_| {
+                let kept = keep.get(idx).copied().unwrap_or(true);
+                idx += 1;
+                kept
+            });
         }
 
         // ---- Pass 2: per-cell errors for every candidate k ----
@@ -279,10 +283,13 @@ impl SvddCompressed {
                 }
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("no panic"))
+                    .map(|h| match h.join() {
+                        Ok(r) => r,
+                        Err(_) => Err(AtsError::internal("svdd pass-2 worker panicked")),
+                    })
                     .collect()
             })
-            .expect("crossbeam scope");
+            .map_err(|_| AtsError::internal("svdd pass-2 thread scope panicked"))?;
             let mut queues: Vec<TopK<Outlier>> = candidate_ks
                 .iter()
                 .map(|&(_, gamma)| TopK::new(gamma))

@@ -24,7 +24,9 @@
 //! A cold cell query is exactly one page fetch of `U`'s row `i` plus
 //! `O(k)` arithmetic plus one hash probe; tests count the fetches.
 
-use ats_common::codec::{get_u64, get_varint, put_f64, put_u64, put_varint};
+use ats_common::codec::{
+    get_f64, get_u64, get_varint, put_f64, put_u64, put_varint, u64_from_usize, usize_from_u64,
+};
 use ats_common::{AtsError, Result};
 use ats_compress::delta::DeltaStore;
 use ats_compress::method::BYTES_PER_NUMBER;
@@ -81,60 +83,95 @@ fn save_store(
     })
 }
 
-fn write_deltas(path: &Path, deltas: Option<&DeltaStore>, cols: usize) -> Result<()> {
-    let count = deltas.map_or(0, DeltaStore::len);
-    let mut buf = Vec::with_capacity(16 + count * 12);
+/// One stored outlier: `(row, column, delta value)` as serialized in
+/// `deltas.bin`.
+pub type DeltaTriplet = (u64, u64, f64);
+
+/// Serialize delta triplets into the `deltas.bin` byte image: the magic,
+/// the column count, the triplet count, then a varint row, a varint
+/// column, and a little-endian `f64` per triplet.
+pub fn encode_deltas(cols: u64, triplets: &[DeltaTriplet]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(24 + triplets.len() * 12);
     buf.extend_from_slice(DELTA_MAGIC);
-    put_u64(&mut buf, cols as u64);
-    put_u64(&mut buf, count as u64);
-    if let Some(deltas) = deltas {
-        for (r, c, d) in deltas.iter() {
-            put_varint(&mut buf, r as u64);
-            put_varint(&mut buf, c as u64);
-            put_f64(&mut buf, d);
-        }
+    put_u64(&mut buf, cols);
+    put_u64(&mut buf, u64_from_usize(triplets.len()));
+    for &(r, c, d) in triplets {
+        put_varint(&mut buf, r);
+        put_varint(&mut buf, c);
+        put_f64(&mut buf, d);
     }
-    std::fs::write(path, buf)?;
-    Ok(())
+    buf
 }
 
-fn read_deltas(path: &Path, expected_cols: usize, with_bloom: bool) -> Result<DeltaStore> {
-    let buf = std::fs::read(path)?;
-    if buf.len() < 24 || &buf[..8] != DELTA_MAGIC {
+/// Parse a `deltas.bin` byte image; returns `(cols, triplets)`.
+///
+/// Total on every input: truncated, oversized-count, and trailing-garbage
+/// images all yield [`AtsError::Corrupt`], never a panic or an
+/// attacker-sized allocation.
+pub fn decode_deltas(buf: &[u8]) -> Result<(u64, Vec<DeltaTriplet>)> {
+    if buf.len() < 24 || buf.get(..8) != Some(DELTA_MAGIC.as_slice()) {
         return Err(AtsError::Corrupt("bad delta file header".into()));
     }
-    let cols = get_u64(&buf, 8)? as usize;
-    if cols != expected_cols {
-        return Err(AtsError::Corrupt(format!(
-            "delta file claims {cols} columns, store has {expected_cols}"
-        )));
-    }
-    let count = get_u64(&buf, 16)? as usize;
+    let cols = get_u64(buf, 8)?;
+    let count_raw = get_u64(buf, 16)?;
     // Validate the count against the bytes actually present *before*
     // sizing any allocation: a corrupt count must not trigger a multi-GB
     // `with_capacity` only to fail at the first varint.
     let remaining = buf.len() - 24;
-    if count > remaining / MIN_TRIPLET_BYTES {
+    if count_raw > u64_from_usize(remaining / MIN_TRIPLET_BYTES) {
         return Err(AtsError::Corrupt(format!(
-            "delta file claims {count} triplets but holds only {remaining} payload bytes"
+            "delta file claims {count_raw} triplets but holds only {remaining} payload bytes"
         )));
     }
+    let count = usize_from_u64(count_raw, "delta triplet count")?;
     let mut triplets = Vec::with_capacity(count);
     let mut p = 24usize;
     for _ in 0..count {
-        let (r, used) = get_varint(&buf, p)?;
+        let (r, used) = get_varint(buf, p)?;
         p += used;
-        let (c, used) = get_varint(&buf, p)?;
+        let (c, used) = get_varint(buf, p)?;
         p += used;
-        let d = ats_common::codec::get_f64(&buf, p)?;
+        let d = get_f64(buf, p)?;
         p += 8;
-        triplets.push((r as usize, c as usize, d));
+        triplets.push((r, c, d));
     }
     if p != buf.len() {
         return Err(AtsError::Corrupt(format!(
             "delta file has {} trailing bytes after {count} triplets",
             buf.len() - p
         )));
+    }
+    Ok((cols, triplets))
+}
+
+fn write_deltas(path: &Path, deltas: Option<&DeltaStore>, cols: usize) -> Result<()> {
+    let triplets: Vec<DeltaTriplet> = deltas
+        .map(|d| {
+            d.iter()
+                .map(|(r, c, v)| (u64_from_usize(r), u64_from_usize(c), v))
+                .collect()
+        })
+        .unwrap_or_default();
+    std::fs::write(path, encode_deltas(u64_from_usize(cols), &triplets))?;
+    Ok(())
+}
+
+fn read_deltas(path: &Path, expected_cols: usize, with_bloom: bool) -> Result<DeltaStore> {
+    let buf = std::fs::read(path)?;
+    let (cols_raw, raw) = decode_deltas(&buf)?;
+    let cols = usize_from_u64(cols_raw, "delta column count")?;
+    if cols != expected_cols {
+        return Err(AtsError::Corrupt(format!(
+            "delta file claims {cols} columns, store has {expected_cols}"
+        )));
+    }
+    let mut triplets = Vec::with_capacity(raw.len());
+    for (r, c, d) in raw {
+        triplets.push((
+            usize_from_u64(r, "delta row")?,
+            usize_from_u64(c, "delta column")?,
+            d,
+        ));
     }
     DeltaStore::build(cols, triplets, with_bloom)
 }
@@ -263,8 +300,12 @@ impl CompressedMatrix for DiskStore {
         }
         let mut u_row = vec![0.0f64; self.k()];
         self.u.read_row_into(i, &mut u_row)?; // ≤ 1 disk access
-        let base: f64 = (0..self.k())
-            .map(|m| self.lambda[m] * u_row[m] * self.v[(j, m)])
+        let base: f64 = self
+            .lambda
+            .iter()
+            .zip(&u_row)
+            .zip(self.v.row(j))
+            .map(|((&lam, &uv), &vv)| lam * uv * vv)
             .sum();
         Ok(match self.deltas.probe(i, j) {
             Some(d) => base + d,
@@ -284,8 +325,8 @@ impl CompressedMatrix for DiskStore {
         self.u.read_row_into(i, &mut u_row)?;
         for (j, o) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
-            for (m, (&lam, &uv)) in self.lambda.iter().zip(&u_row).enumerate() {
-                acc += lam * uv * self.v[(j, m)];
+            for ((&lam, &uv), &vv) in self.lambda.iter().zip(&u_row).zip(self.v.row(j)) {
+                acc += lam * uv * vv;
             }
             *o = acc;
         }

@@ -36,8 +36,6 @@
 //! assert!(store.space_ratio() <= 0.10 + 1e-9);  // fits the budget
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod disk;
 pub mod store;
 pub mod viz;

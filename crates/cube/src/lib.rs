@@ -20,8 +20,6 @@
 //! - [`compressed::CompressedCube`] — any
 //!   [`ats_compress::CompressedMatrix`] behind a cube-coordinate façade.
 
-#![warn(missing_docs)]
-
 pub mod compressed;
 pub mod cube;
 pub mod flatten;

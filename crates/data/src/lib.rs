@@ -20,8 +20,6 @@
 //! statistics, subset extraction (the paper's `phoneN` prefixes), and
 //! CSV / `.atsm` persistence.
 
-#![warn(missing_docs)]
-
 pub mod csv;
 pub mod dataset;
 pub mod phone;

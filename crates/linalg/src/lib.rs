@@ -25,8 +25,6 @@
 //! in memory) lives in `ats-compress`; this crate is the in-memory engine
 //! and the numerical ground truth it is tested against.
 
-#![warn(missing_docs)]
-
 pub mod eigen;
 pub mod lanczos;
 pub mod matrix;

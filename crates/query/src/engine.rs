@@ -168,10 +168,13 @@ impl<'a> QueryEngine<'a> {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("no panic"))
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(_) => Err(AtsError::internal("selection stats worker panicked")),
+                })
                 .collect()
         })
-        .expect("crossbeam scope");
+        .map_err(|_| AtsError::internal("selection stats thread scope panicked"))?;
         // Merge in chunk order (Chan et al. combine): deterministic for a
         // given thread count.
         let mut stats = OnlineStats::new();

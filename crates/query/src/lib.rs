@@ -19,8 +19,6 @@
 //! - [`parse`] — a tiny textual query language (`cell 42 17`,
 //!   `avg rows 0..100 cols all`) for the REPL example.
 
-#![warn(missing_docs)]
-
 pub mod engine;
 pub mod metrics;
 pub mod parse;

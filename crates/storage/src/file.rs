@@ -8,6 +8,7 @@
 
 use crate::format::{Header, HEADER_LEN};
 use crate::iostats::IoStats;
+use ats_common::codec::u64_from_usize;
 use ats_common::{AtsError, Result};
 use std::fs::File;
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
@@ -204,7 +205,7 @@ impl MatrixFile {
         self.stats.record_logical();
         let mut buf = vec![0u8; self.header.row_bytes()];
         self.read_exact_at(&mut buf, self.header.row_offset(i))?;
-        self.stats.record_physical(buf.len() as u64);
+        self.stats.record_physical(u64_from_usize(buf.len()));
         decode_cells(&buf, self.header.is_f32(), out);
         Ok(())
     }
@@ -240,16 +241,14 @@ impl MatrixFile {
         let mut i = start;
         while i < end {
             let chunk = SCAN_CHUNK_ROWS.min(end - i);
-            let bytes = &mut buf[..chunk * row_bytes];
+            let bytes = buf
+                .get_mut(..chunk * row_bytes)
+                .ok_or_else(|| AtsError::internal("scan buffer smaller than chunk"))?;
             self.read_exact_at(bytes, self.header.row_offset(i))?;
-            self.stats.record_physical(bytes.len() as u64);
-            for r in 0..chunk {
+            self.stats.record_physical(u64_from_usize(bytes.len()));
+            for (r, row_bytes_chunk) in bytes.chunks_exact(row_bytes).enumerate() {
                 self.stats.record_logical();
-                decode_cells(
-                    &bytes[r * row_bytes..(r + 1) * row_bytes],
-                    self.header.is_f32(),
-                    &mut row,
-                );
+                decode_cells(row_bytes_chunk, self.header.is_f32(), &mut row);
                 f(i + r, &row)?;
             }
             i += chunk;
@@ -258,14 +257,20 @@ impl MatrixFile {
     }
 }
 
-fn decode_cells(buf: &[u8], is_f32: bool, out: &mut [f64]) {
+pub(crate) fn decode_cells(buf: &[u8], is_f32: bool, out: &mut [f64]) {
+    // `chunks_exact` guarantees the width, so the failed-conversion arms
+    // are dead; skipping them keeps this hot loop free of panics.
     if is_f32 {
         for (o, chunk) in out.iter_mut().zip(buf.chunks_exact(4)) {
-            *o = f64::from(f32::from_le_bytes(chunk.try_into().expect("len 4")));
+            if let Ok(arr) = <[u8; 4]>::try_from(chunk) {
+                *o = f64::from(f32::from_le_bytes(arr));
+            }
         }
     } else {
         for (o, chunk) in out.iter_mut().zip(buf.chunks_exact(8)) {
-            *o = f64::from_le_bytes(chunk.try_into().expect("len 8"));
+            if let Ok(arr) = <[u8; 8]>::try_from(chunk) {
+                *o = f64::from_le_bytes(arr);
+            }
         }
     }
 }

@@ -18,7 +18,7 @@
 //! and row `i` lives at `HEADER_LEN + i * row_bytes` — the arithmetic that
 //! makes single-row positioned reads possible.
 
-use ats_common::codec::{get_u32, get_u64, put_u32, put_u64};
+use ats_common::codec::{get_u32, get_u64, put_u32, put_u64, u64_from_usize, usize_from_u64};
 use ats_common::hash::hash_bytes;
 use ats_common::{AtsError, Result};
 
@@ -87,7 +87,7 @@ impl Header {
 
     /// Byte offset of row `i`'s first cell within the file.
     pub fn row_offset(&self, i: usize) -> u64 {
-        HEADER_LEN as u64 + (i as u64) * self.row_bytes() as u64
+        u64_from_usize(HEADER_LEN) + u64_from_usize(i) * u64_from_usize(self.row_bytes())
     }
 
     /// Total file size this header implies.
@@ -102,8 +102,8 @@ impl Header {
         buf.extend_from_slice(MAGIC);
         put_u32(&mut buf, self.version);
         put_u32(&mut buf, self.flags);
-        put_u64(&mut buf, self.rows as u64);
-        put_u64(&mut buf, self.cols as u64);
+        put_u64(&mut buf, u64_from_usize(self.rows));
+        put_u64(&mut buf, u64_from_usize(self.cols));
         put_u64(&mut buf, 0); // reserved
         let csum = hash_bytes(&buf);
         put_u64(&mut buf, csum);
@@ -120,7 +120,7 @@ impl Header {
                 buf.len()
             )));
         }
-        if &buf[..8] != MAGIC {
+        if buf.get(..8) != Some(MAGIC.as_slice()) {
             return Err(AtsError::Corrupt("bad magic (not an .atsm file)".into()));
         }
         let version = get_u32(buf, 8)?;
@@ -130,22 +130,27 @@ impl Header {
             )));
         }
         let flags = get_u32(buf, 12)?;
-        let rows = get_u64(buf, 16)? as usize;
-        let cols = get_u64(buf, 24)? as usize;
+        let rows_raw = get_u64(buf, 16)?;
+        let cols_raw = get_u64(buf, 24)?;
         let stored = get_u64(buf, 40)?;
-        let computed = hash_bytes(&buf[..40]);
+        let hashed = buf
+            .get(..40)
+            .ok_or_else(|| AtsError::Corrupt("header shorter than checksum span".into()))?;
+        let computed = hash_bytes(hashed);
         if stored != computed {
             return Err(AtsError::Corrupt(format!(
                 "header checksum mismatch: stored {stored:#x}, computed {computed:#x}"
             )));
         }
+        let rows = usize_from_u64(rows_raw, "header row count")?;
+        let cols = usize_from_u64(cols_raw, "header column count")?;
         if cols == 0 && rows > 0 {
             return Err(AtsError::Corrupt("zero columns with nonzero rows".into()));
         }
         // Guard against absurd sizes that would overflow offsets.
         let cell = if flags & FLAG_F32 != 0 { 4u64 } else { 8u64 };
-        (rows as u64)
-            .checked_mul(cols as u64)
+        rows_raw
+            .checked_mul(cols_raw)
             .and_then(|cells| cells.checked_mul(cell))
             .ok_or_else(|| AtsError::Corrupt("dimensions overflow file size".into()))?;
         Ok(Header {

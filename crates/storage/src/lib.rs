@@ -26,8 +26,6 @@
 //!   [`store_dir::StoreWriter`] used by `ats-core`'s persistence layer;
 //! - [`iostats`] — atomic I/O counters shared by the readers.
 
-#![warn(missing_docs)]
-
 pub mod file;
 pub mod format;
 pub mod iostats;

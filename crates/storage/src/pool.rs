@@ -13,6 +13,7 @@
 
 use crate::file::MatrixFile;
 use crate::iostats::IoStats;
+use ats_common::codec::{u64_from_usize, usize_from_u64};
 use ats_common::{AtsError, Result};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -38,27 +39,36 @@ struct PoolInner {
 }
 
 impl PoolInner {
+    // The LRU links use `NIL` (`usize::MAX`) as the null sentinel, so
+    // `frames.get(NIL)` is naturally `None` and every link update below
+    // is total — no indexing, no panics, even on a corrupted chain.
     fn detach(&mut self, idx: usize) {
-        let (prev, next) = (self.frames[idx].prev, self.frames[idx].next);
-        if prev != NIL {
-            self.frames[prev].next = next;
-        } else {
-            self.head = next;
+        let Some(frame) = self.frames.get(idx) else {
+            return;
+        };
+        let (prev, next) = (frame.prev, frame.next);
+        match self.frames.get_mut(prev) {
+            Some(p) => p.next = next,
+            None => self.head = next,
         }
-        if next != NIL {
-            self.frames[next].prev = prev;
-        } else {
-            self.tail = prev;
+        match self.frames.get_mut(next) {
+            Some(n) => n.prev = prev,
+            None => self.tail = prev,
         }
-        self.frames[idx].prev = NIL;
-        self.frames[idx].next = NIL;
+        if let Some(frame) = self.frames.get_mut(idx) {
+            frame.prev = NIL;
+            frame.next = NIL;
+        }
     }
 
     fn push_front(&mut self, idx: usize) {
-        self.frames[idx].prev = NIL;
-        self.frames[idx].next = self.head;
-        if self.head != NIL {
-            self.frames[self.head].prev = idx;
+        let head = self.head;
+        if let Some(frame) = self.frames.get_mut(idx) {
+            frame.prev = NIL;
+            frame.next = head;
+        }
+        if let Some(old_head) = self.frames.get_mut(head) {
+            old_head.prev = idx;
         }
         self.head = idx;
         if self.tail == NIL {
@@ -121,7 +131,11 @@ impl BufferPool {
             self.stats.record_hit();
             inner.detach(idx);
             inner.push_front(idx);
-            return Ok(consume(&inner.frames[idx].data));
+            let frame = inner
+                .frames
+                .get(idx)
+                .ok_or_else(|| AtsError::internal("pool map points at a missing frame"))?;
+            return Ok(consume(&frame.data));
         }
         // Miss: find a frame (free, new, or evict LRU).
         let idx = if let Some(idx) = inner.free.pop() {
@@ -138,20 +152,28 @@ impl BufferPool {
             let victim = inner.tail;
             debug_assert_ne!(victim, NIL, "capacity >= 1 guarantees a tail");
             inner.detach(victim);
-            let old = inner.frames[victim].page_no;
-            inner.map.remove(&old);
+            if let Some(old) = inner.frames.get(victim).map(|f| f.page_no) {
+                inner.map.remove(&old);
+            }
             victim
         };
         {
-            let frame = &mut inner.frames[idx];
+            let frame = inner
+                .frames
+                .get_mut(idx)
+                .ok_or_else(|| AtsError::internal("pool allocated an out-of-range frame"))?;
             frame.page_no = page_no;
             frame.data.iter_mut().for_each(|b| *b = 0);
             load(&mut frame.data)?;
         }
-        self.stats.record_physical(self.page_size as u64);
+        self.stats.record_physical(u64_from_usize(self.page_size));
         inner.map.insert(page_no, idx);
         inner.push_front(idx);
-        Ok(consume(&inner.frames[idx].data))
+        let frame = inner
+            .frames
+            .get(idx)
+            .ok_or_else(|| AtsError::internal("pool lost the frame it just filled"))?;
+        Ok(consume(&frame.data))
     }
 }
 
@@ -232,40 +254,55 @@ impl CachedFile {
         self.stats.record_logical();
         let row_bytes = header.row_bytes();
         let page_size = self.pool.page_size();
-        let start = i as u64 * row_bytes as u64; // offset within the data area
-        let data_len = header.file_len() - crate::format::HEADER_LEN as u64;
+        let page_size_u64 = u64_from_usize(page_size);
+        // offset within the data area
+        let start = u64_from_usize(i) * u64_from_usize(row_bytes);
+        let data_len = header.file_len() - u64_from_usize(crate::format::HEADER_LEN);
         if self.row_aligned_layout() {
             // Fast path: the whole row sits inside one page, so decode
             // straight from the page slice — no scratch allocation.
-            let page_no = start / page_size as u64;
-            let in_page = (start % page_size as u64) as usize;
+            let page_no = start / page_size_u64;
+            let in_page = usize_from_u64(start % page_size_u64, "in-page offset")?;
             let file = Arc::clone(&self.file);
             return self.pool.with_page(
                 page_no,
                 |buf| load_page(&file, page_no, page_size, data_len, buf),
-                |buf| decode_into(&buf[in_page..in_page + row_bytes], header.is_f32(), out),
-            );
+                |buf| -> Result<()> {
+                    let row = buf
+                        .get(in_page..in_page + row_bytes)
+                        .ok_or_else(|| AtsError::internal("aligned row span escapes its page"))?;
+                    crate::file::decode_cells(row, header.is_f32(), out);
+                    Ok(())
+                },
+            )?;
         }
         // Slow path: the row may straddle pages; assemble it through a
         // scratch buffer before decoding.
         let mut row_buf = vec![0u8; row_bytes];
         let mut copied = 0usize;
         while copied < row_bytes {
-            let abs = start + copied as u64;
-            let page_no = abs / page_size as u64;
-            let in_page = (abs % page_size as u64) as usize;
+            let abs = start + u64_from_usize(copied);
+            let page_no = abs / page_size_u64;
+            let in_page = usize_from_u64(abs % page_size_u64, "in-page offset")?;
             let take = (page_size - in_page).min(row_bytes - copied);
             let file = Arc::clone(&self.file);
+            let dst = row_buf
+                .get_mut(copied..copied + take)
+                .ok_or_else(|| AtsError::internal("row scratch slice out of range"))?;
             self.pool.with_page(
                 page_no,
                 |buf| load_page(&file, page_no, page_size, data_len, buf),
-                |buf| {
-                    row_buf[copied..copied + take].copy_from_slice(&buf[in_page..in_page + take]);
+                |buf| -> Result<()> {
+                    let src = buf
+                        .get(in_page..in_page + take)
+                        .ok_or_else(|| AtsError::internal("straddled row span escapes its page"))?;
+                    dst.copy_from_slice(src);
+                    Ok(())
                 },
-            )?;
+            )??;
             copied += take;
         }
-        decode_into(&row_buf, header.is_f32(), out);
+        crate::file::decode_cells(&row_buf, header.is_f32(), out);
         Ok(())
     }
 
@@ -301,10 +338,18 @@ fn load_page(
     data_len: u64,
     buf: &mut [u8],
 ) -> Result<()> {
-    let page_off = page_no * page_size as u64;
-    let avail = data_len.saturating_sub(page_off).min(page_size as u64) as usize;
+    let page_off = page_no * u64_from_usize(page_size);
+    let avail = usize_from_u64(
+        data_len
+            .saturating_sub(page_off)
+            .min(u64_from_usize(page_size)),
+        "page fill length",
+    )?;
     if avail > 0 {
-        read_data_at(file, page_off, &mut buf[..avail])?;
+        let dst = buf
+            .get_mut(..avail)
+            .ok_or_else(|| AtsError::internal("page buffer smaller than fill length"))?;
+        read_data_at(file, page_off, dst)?;
     }
     Ok(())
 }
@@ -312,19 +357,7 @@ fn load_page(
 fn read_data_at(file: &MatrixFile, data_offset: u64, buf: &mut [u8]) -> Result<()> {
     // Positioned read relative to the data area (which starts after the
     // fixed-size header).
-    file.raw_read_at(data_offset + crate::format::HEADER_LEN as u64, buf)
-}
-
-fn decode_into(buf: &[u8], is_f32: bool, out: &mut [f64]) {
-    if is_f32 {
-        for (o, chunk) in out.iter_mut().zip(buf.chunks_exact(4)) {
-            *o = f64::from(f32::from_le_bytes(chunk.try_into().expect("len 4")));
-        }
-    } else {
-        for (o, chunk) in out.iter_mut().zip(buf.chunks_exact(8)) {
-            *o = f64::from_le_bytes(chunk.try_into().expect("len 8"));
-        }
-    }
+    file.raw_read_at(data_offset + u64_from_usize(crate::format::HEADER_LEN), buf)
 }
 
 #[cfg(test)]

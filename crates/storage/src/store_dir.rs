@@ -37,6 +37,7 @@
 //! manifest-crc=...          # hash of every preceding byte
 //! ```
 
+use ats_common::codec::u64_from_usize;
 use ats_common::hash::hash_bytes;
 use ats_common::{AtsError, Result};
 use std::fs::{self, File};
@@ -98,13 +99,18 @@ impl StoreManifest {
         let crc_line_start = text
             .rfind("manifest-crc=")
             .ok_or_else(|| AtsError::Corrupt("manifest missing self-checksum".into()))?;
-        let tail = &text[crc_line_start..];
+        let head = text
+            .get(..crc_line_start)
+            .ok_or_else(|| AtsError::internal("manifest-crc offset off a char boundary"))?;
+        let tail = text
+            .get(crc_line_start..)
+            .ok_or_else(|| AtsError::internal("manifest-crc offset off a char boundary"))?;
         let tail = tail.strip_suffix('\n').unwrap_or(tail);
         let stored_crc = parse_hex_u64(
             tail.strip_prefix("manifest-crc=")
                 .ok_or_else(|| AtsError::Corrupt("malformed manifest-crc line".into()))?,
         )?;
-        let computed = hash_bytes(&text.as_bytes()[..crc_line_start]);
+        let computed = hash_bytes(head.as_bytes());
         if stored_crc != computed {
             return Err(AtsError::Corrupt(format!(
                 "manifest self-checksum mismatch: stored {stored_crc:#x}, computed {computed:#x}"
@@ -119,7 +125,7 @@ impl StoreManifest {
         let mut deltas = None;
         let mut bloom = None;
         let mut crcs: [Option<u64>; 4] = [None; 4];
-        for line in text[..crc_line_start].lines() {
+        for line in head.lines() {
             let line = line.trim();
             if line.is_empty() {
                 continue;
@@ -160,7 +166,10 @@ impl StoreManifest {
                         .ok_or_else(|| {
                             AtsError::Corrupt(format!("unknown manifest key {crc_key:?}"))
                         })?;
-                    set_once(crc_key, &mut crcs[i], parse_hex_u64(value)?)?;
+                    let slot = crcs
+                        .get_mut(i)
+                        .ok_or_else(|| AtsError::internal("component CRC index out of range"))?;
+                    set_once(crc_key, slot, parse_hex_u64(value)?)?;
                     continue;
                 }
             };
@@ -170,7 +179,7 @@ impl StoreManifest {
 
         let version =
             version.ok_or_else(|| AtsError::Corrupt("manifest missing version".into()))?;
-        if version != STORE_VERSION as usize {
+        if u64_from_usize(version) != u64::from(STORE_VERSION) {
             return Err(AtsError::Corrupt(format!(
                 "unsupported store format version {version} (expected {STORE_VERSION})"
             )));
@@ -179,9 +188,8 @@ impl StoreManifest {
             v.ok_or_else(|| AtsError::Corrupt(format!("manifest missing {what}")))
         };
         let mut out_crcs = [0u64; 4];
-        for (i, name) in COMPONENT_FILES.iter().enumerate() {
-            out_crcs[i] =
-                crcs[i].ok_or_else(|| AtsError::Corrupt(format!("manifest missing crc.{name}")))?;
+        for ((out, src), name) in out_crcs.iter_mut().zip(&crcs).zip(COMPONENT_FILES) {
+            *out = src.ok_or_else(|| AtsError::Corrupt(format!("manifest missing crc.{name}")))?;
         }
         Ok(StoreManifest {
             method: method.ok_or_else(|| AtsError::Corrupt("manifest missing method".into()))?,
@@ -335,9 +343,9 @@ impl StoreWriter {
     /// staged in [`StoreWriter::path`], write it, fsync every file and the
     /// directory, and atomically swap the staged directory into place.
     pub fn commit(mut self, mut manifest: StoreManifest) -> Result<()> {
-        for (i, name) in COMPONENT_FILES.iter().enumerate() {
+        for (crc, name) in manifest.crcs.iter_mut().zip(COMPONENT_FILES) {
             let path = self.tmp.join(name);
-            manifest.crcs[i] = match file_crc(&path) {
+            *crc = match file_crc(&path) {
                 Ok(c) => c,
                 Err(AtsError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
                     return Err(AtsError::InvalidArgument(format!(
@@ -356,7 +364,13 @@ impl StoreWriter {
         sync_dir(&self.tmp)?;
 
         let parent = parent_of(&self.final_dir);
-        let name = self.final_dir.file_name().unwrap().to_string_lossy();
+        let name = self
+            .final_dir
+            .file_name()
+            .ok_or_else(|| {
+                AtsError::InvalidArgument("store path has no final directory name".into())
+            })?
+            .to_string_lossy();
         let retired = parent.join(format!(".{name}.old-{}", std::process::id()));
         if retired.exists() {
             fs::remove_dir_all(&retired)?;
@@ -397,6 +411,7 @@ fn is_replaceable(dir: &Path) -> bool {
     if !dir.is_dir() {
         return false;
     }
+    // ats-lint: allow(slice-index) — literal index 0 into the fixed-size COMPONENT_FILES const
     if dir.join(MANIFEST_FILE).exists() || dir.join(COMPONENT_FILES[0]).exists() {
         return true;
     }

@@ -12,6 +12,10 @@
 //!
 //! The store directory is the paper's §4.1 layout (`u.atsm` paged from
 //! disk; `v.atsm`, `lambda.atsm`, `deltas.bin` pinned at open).
+//!
+//! Exit codes: 0 on success, 1 on a runtime failure (I/O, corrupt store,
+//! failed compression), 2 on a usage error (unknown subcommand or flag,
+//! missing argument, malformed flag value).
 
 use adhoc_ts::compress::{SpaceBudget, SvddCompressed, SvddOptions};
 use adhoc_ts::core::disk::{save_svd, save_svdd, DiskStore};
@@ -38,56 +42,118 @@ USAGE:
   ats open DIR [--pool-pages N]  validate and summarize a saved store
   ats query DIR \"<query>\"       e.g. \"cell 42 17\", \"avg rows 0..100 cols all\"
   ats verify FILE DIR            compare a store against the original data
+  ats help                       print this message
 ";
+
+/// The one-line usage hint printed with every usage error (exit code 2).
+const USAGE_LINE: &str =
+    "usage: ats <generate|info|compress|save|open|query|verify|help> — run `ats help` for details";
 
 /// Flags that take no value.
 const BOOL_FLAGS: &[&str] = &["no-bloom"];
 
-fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+/// A CLI failure, split by whose fault it is: bad invocation (exit 2)
+/// versus a runtime error in a well-formed command (exit 1).
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn rt(e: impl std::fmt::Display) -> CliError {
+    CliError::Runtime(e.to_string())
+}
+
+/// Split args into positionals and `--flag value` pairs. A value-taking
+/// flag with nothing after it is a usage error, not an empty default.
+fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), CliError> {
     let mut positional = Vec::new();
     let mut flags = HashMap::new();
-    let mut it = args.iter().peekable();
+    let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
             let value = if BOOL_FLAGS.contains(&name) {
                 String::new()
             } else {
-                it.next().cloned().unwrap_or_default()
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| usage(format!("--{name} expects a value")))?
             };
-            flags.insert(name.to_string(), value);
+            if flags.insert(name.to_string(), value).is_some() {
+                return Err(usage(format!("--{name} given more than once")));
+            }
         } else {
             positional.push(a.clone());
         }
     }
-    (positional, flags)
+    Ok((positional, flags))
 }
 
-fn flag_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
+/// Reject any flag the subcommand does not define.
+fn check_flags(
+    cmd: &str,
+    flags: &HashMap<String, String>,
+    allowed: &[&str],
+) -> Result<(), CliError> {
+    for k in flags.keys() {
+        if !allowed.contains(&k.as_str()) {
+            return Err(usage(format!("unknown flag --{k} for `ats {cmd}`")));
+        }
+    }
+    Ok(())
+}
+
+fn flag_usize(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: usize,
+) -> Result<usize, CliError> {
     match flags.get(key) {
         None => Ok(default),
         Some(v) => v
             .parse()
-            .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+            .map_err(|_| usage(format!("--{key} expects a number, got {v:?}"))),
     }
 }
 
-fn flag_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
+fn flag_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, CliError> {
     match flags.get(key) {
         None => Ok(default),
         Some(v) => v
             .parse()
-            .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+            .map_err(|_| usage(format!("--{key} expects a number, got {v:?}"))),
     }
 }
 
-fn run() -> Result<(), String> {
+fn flag_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, CliError> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| usage(format!("--{key} expects a number, got {v:?}"))),
+    }
+}
+
+fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (pos, flags) = parse_flags(&args);
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    let (pos, flags) = parse_flags(&args)?;
     match pos.first().map(String::as_str) {
         Some("generate") => {
-            let kind = pos.get(1).ok_or("generate needs phone|stocks")?;
-            let out = flags.get("out").ok_or("generate needs --out FILE")?;
-            let seed = flag_usize(&flags, "seed", 42)? as u64;
+            check_flags("generate", &flags, &["rows", "cols", "seed", "out"])?;
+            let kind = pos
+                .get(1)
+                .ok_or_else(|| usage("generate needs phone|stocks"))?;
+            let out = flags
+                .get("out")
+                .ok_or_else(|| usage("generate needs --out FILE"))?;
+            let seed = flag_u64(&flags, "seed", 42)?;
             let dataset: Dataset = match kind.as_str() {
                 "phone" => generate_phone(&PhoneConfig {
                     customers: flag_usize(&flags, "rows", 2_000)?,
@@ -101,9 +167,9 @@ fn run() -> Result<(), String> {
                     seed,
                     ..StocksConfig::default()
                 }),
-                other => return Err(format!("unknown generator {other:?}")),
+                other => return Err(usage(format!("unknown generator {other:?}"))),
             };
-            dataset.save(out).map_err(|e| e.to_string())?;
+            dataset.save(out).map_err(rt)?;
             println!(
                 "wrote {} ({} x {}, {:.1} MB) to {out}",
                 dataset.name(),
@@ -114,8 +180,9 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         Some("info") => {
-            let path = pos.get(1).ok_or("info needs FILE")?;
-            let f = MatrixFile::open(path).map_err(|e| e.to_string())?;
+            check_flags("info", &flags, &[])?;
+            let path = pos.get(1).ok_or_else(|| usage("info needs FILE"))?;
+            let f = MatrixFile::open(path).map_err(rt)?;
             println!(
                 "{path}: {} rows x {} cols, cell {} bytes, data {:.1} MB",
                 f.rows(),
@@ -126,20 +193,23 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         Some("compress") => {
-            let input = pos.get(1).ok_or("compress needs FILE")?;
-            let out = flags.get("out").ok_or("compress needs --out DIR")?;
+            check_flags("compress", &flags, &["out", "percent", "method", "threads"])?;
+            let input = pos.get(1).ok_or_else(|| usage("compress needs FILE"))?;
+            let out = flags
+                .get("out")
+                .ok_or_else(|| usage("compress needs --out DIR"))?;
             let pct = flag_f64(&flags, "percent", 10.0)?;
             let threads = flag_usize(&flags, "threads", 1)?;
             let method = flags.get("method").map(String::as_str).unwrap_or("svdd");
-            let source = MatrixFile::open(input).map_err(|e| e.to_string())?;
+            let source = MatrixFile::open(input).map_err(rt)?;
             let budget = SpaceBudget::from_percent(pct);
             let t0 = std::time::Instant::now();
             match method {
                 "svdd" => {
                     let mut opts = SvddOptions::new(budget);
                     opts.threads = threads;
-                    let c = SvddCompressed::compress(&source, &opts).map_err(|e| e.to_string())?;
-                    save_svdd(out, &c).map_err(|e| e.to_string())?;
+                    let c = SvddCompressed::compress(&source, &opts).map_err(rt)?;
+                    save_svdd(out, &c).map_err(rt)?;
                     println!(
                         "svdd: k_opt={}, {} deltas, {:.2}% space, {:.1}s -> {out}",
                         c.k_opt(),
@@ -152,8 +222,8 @@ fn run() -> Result<(), String> {
                     let c = adhoc_ts::compress::SvdCompressed::compress_budget(
                         &source, budget, threads,
                     )
-                    .map_err(|e| e.to_string())?;
-                    save_svd(out, &c).map_err(|e| e.to_string())?;
+                    .map_err(rt)?;
+                    save_svd(out, &c).map_err(rt)?;
                     println!(
                         "svd: k={}, {:.2}% space, {:.1}s -> {out}",
                         c.k(),
@@ -161,18 +231,25 @@ fn run() -> Result<(), String> {
                         t0.elapsed().as_secs_f64()
                     );
                 }
-                other => return Err(format!("unknown method {other:?} (svd|svdd)")),
+                other => return Err(usage(format!("unknown method {other:?} (svd|svdd)"))),
             }
             Ok(())
         }
         Some("save") => {
-            let input = pos.get(1).ok_or("save needs FILE")?;
-            let out = flags.get("out").ok_or("save needs --out DIR")?;
+            check_flags(
+                "save",
+                &flags,
+                &["out", "percent", "method", "threads", "no-bloom"],
+            )?;
+            let input = pos.get(1).ok_or_else(|| usage("save needs FILE"))?;
+            let out = flags
+                .get("out")
+                .ok_or_else(|| usage("save needs --out DIR"))?;
             let pct = flag_f64(&flags, "percent", 10.0)?;
             let threads = flag_usize(&flags, "threads", 1)?;
             let method = flags.get("method").map(String::as_str).unwrap_or("svdd");
-            let method = method_by_name(method).map_err(|e| e.to_string())?;
-            let source = MatrixFile::open(input).map_err(|e| e.to_string())?;
+            let method = method_by_name(method).map_err(rt)?;
+            let source = MatrixFile::open(input).map_err(rt)?;
             let t0 = std::time::Instant::now();
             let store = SequenceStore::builder()
                 .method(method)
@@ -180,8 +257,8 @@ fn run() -> Result<(), String> {
                 .threads(threads)
                 .bloom(!flags.contains_key("no-bloom"))
                 .build(&source)
-                .map_err(|e| e.to_string())?;
-            store.save(out).map_err(|e| e.to_string())?;
+                .map_err(rt)?;
+            store.save(out).map_err(rt)?;
             println!(
                 "{}: {} x {}, {:.2}% space, {:.1}s -> {out}",
                 store.method().name(),
@@ -193,9 +270,10 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         Some("open") => {
-            let dir = pos.get(1).ok_or("open needs DIR")?;
+            check_flags("open", &flags, &["pool-pages"])?;
+            let dir = pos.get(1).ok_or_else(|| usage("open needs DIR"))?;
             let pool = flag_usize(&flags, "pool-pages", 1024)?;
-            let disk = DiskStore::open(dir, pool).map_err(|e| e.to_string())?;
+            let disk = DiskStore::open(dir, pool).map_err(rt)?;
             let m = disk.manifest();
             println!(
                 "{dir}: {} store, {} x {}, k={}, {} deltas, bloom={}, {:.2} MB compressed",
@@ -210,20 +288,24 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         Some("query") => {
-            let dir = pos.get(1).ok_or("query needs DIR")?;
-            let q = pos.get(2).ok_or("query needs a query string")?;
-            let store = DiskStore::open(dir, 1024).map_err(|e| e.to_string())?;
+            check_flags("query", &flags, &[])?;
+            let dir = pos.get(1).ok_or_else(|| usage("query needs DIR"))?;
+            let q = pos
+                .get(2)
+                .ok_or_else(|| usage("query needs a query string"))?;
+            let store = DiskStore::open(dir, 1024).map_err(rt)?;
             let engine = QueryEngine::new(&store);
-            let v = run_query(&engine, q).map_err(|e| e.to_string())?;
+            let v = run_query(&engine, q).map_err(rt)?;
             println!("{v}");
             Ok(())
         }
         Some("verify") => {
-            let data = pos.get(1).ok_or("verify needs FILE DIR")?;
-            let dir = pos.get(2).ok_or("verify needs FILE DIR")?;
-            let source = MatrixFile::open(data).map_err(|e| e.to_string())?;
-            let store = DiskStore::open(dir, 1024).map_err(|e| e.to_string())?;
-            let r = error_report(&source, &store).map_err(|e| e.to_string())?;
+            check_flags("verify", &flags, &[])?;
+            let data = pos.get(1).ok_or_else(|| usage("verify needs FILE DIR"))?;
+            let dir = pos.get(2).ok_or_else(|| usage("verify needs FILE DIR"))?;
+            let source = MatrixFile::open(data).map_err(rt)?;
+            let store = DiskStore::open(dir, 1024).map_err(rt)?;
+            let r = error_report(&source, &store).map_err(rt)?;
             println!(
                 "cells {}  rmspe {:.3}%  worst_abs {:.4}  worst/sigma {:.2}%  mean_abs {:.5}",
                 r.cells,
@@ -234,17 +316,24 @@ fn run() -> Result<(), String> {
             );
             Ok(())
         }
-        _ => {
-            eprint!("{USAGE}");
-            Err("missing or unknown subcommand".into())
+        Some("help") => {
+            print!("{USAGE}");
+            Ok(())
         }
+        Some(other) => Err(usage(format!("unknown subcommand {other:?}"))),
+        None => Err(usage("missing subcommand")),
     }
 }
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE_LINE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }

@@ -1,9 +1,11 @@
 //! Cross-crate property-based tests: invariants that must hold for *any*
 //! input, checked with proptest-generated matrices.
 
+use adhoc_ts::common::TopK;
 use adhoc_ts::compress::{
     lz, CompressedMatrix, SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions,
 };
+use adhoc_ts::core::disk::{decode_deltas, encode_deltas};
 use adhoc_ts::linalg::{sym_eigen, Matrix, Svd, SvdOptions};
 use adhoc_ts::query::engine::{aggregate_exact, AggregateFn, ExactMatrix, QueryEngine};
 use adhoc_ts::query::selection::{Axis, Selection};
@@ -127,6 +129,83 @@ proptest! {
                 prop_assert!((a - b).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn delta_codec_roundtrips_arbitrary_triplets(
+        cols in any::<u64>(),
+        triplets in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), -1e12f64..1e12),
+            0..64,
+        ),
+    ) {
+        let buf = encode_deltas(cols, &triplets);
+        let (got_cols, got) = decode_deltas(&buf).unwrap();
+        prop_assert_eq!(got_cols, cols);
+        prop_assert_eq!(got.len(), triplets.len());
+        for (a, b) in got.iter().zip(&triplets) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(a.1, b.1);
+            prop_assert_eq!(a.2.to_bits(), b.2.to_bits());
+        }
+    }
+
+    #[test]
+    fn delta_decode_never_panics_on_mangled_input(
+        cols in any::<u64>(),
+        triplets in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), -1e12f64..1e12),
+            0..32,
+        ),
+        cut_raw in any::<usize>(),
+        garbage in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let buf = encode_deltas(cols, &triplets);
+        // Every strict prefix is missing bytes the header promises, so
+        // decode must report corruption rather than panic or misread.
+        let cut = cut_raw % buf.len().max(1);
+        prop_assert!(decode_deltas(&buf[..cut]).is_err());
+        // Trailing garbage must be rejected too (exact-consumption check).
+        if !garbage.is_empty() {
+            let mut padded = buf.clone();
+            padded.extend_from_slice(&garbage);
+            prop_assert!(decode_deltas(&padded).is_err());
+        }
+        // Arbitrary byte soup: any outcome is fine except a panic.
+        let _ = decode_deltas(&garbage);
+    }
+
+    #[test]
+    fn topk_merge_equals_global_scan(
+        items in proptest::collection::vec(-1e6f64..1e6, 0..200),
+        capacity in 0usize..24,
+        splits in proptest::collection::vec(any::<usize>(), 0..6),
+    ) {
+        // One queue fed every item...
+        let mut global = TopK::new(capacity);
+        for (i, &p) in items.iter().enumerate() {
+            global.offer(p, i);
+        }
+        // ...versus per-shard queues over an arbitrary partition, merged.
+        let mut cuts: Vec<usize> = splits.iter().map(|ix| ix % (items.len() + 1)).collect();
+        cuts.push(0);
+        cuts.push(items.len());
+        cuts.sort_unstable();
+        let mut merged = TopK::new(capacity);
+        for w in cuts.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let mut shard = TopK::new(capacity);
+            for (i, &p) in items.iter().enumerate().take(hi).skip(lo) {
+                shard.offer(p, i);
+            }
+            merged.merge(shard);
+        }
+        // Ties at the boundary may retain different *items*, but the
+        // multiset of retained priorities is fully determined.
+        let sorted = |t: TopK<usize>| -> Vec<f64> {
+            t.into_sorted_vec().into_iter().map(|(p, _)| p).collect()
+        };
+        prop_assert_eq!(sorted(global), sorted(merged));
     }
 }
 

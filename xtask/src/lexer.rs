@@ -1,0 +1,379 @@
+//! A minimal, dependency-free Rust token scanner.
+//!
+//! The linter does not need a full parse tree — only a token stream with
+//! line numbers, with comments, strings, char literals, and lifetimes
+//! correctly skipped so that rule patterns (`.unwrap(`, `as usize`,
+//! `panic!`) never match inside text that is not code. The scanner
+//! handles line and nested block comments, plain/byte/raw strings,
+//! char-literal-vs-lifetime disambiguation, and `#[cfg(test)]`-gated
+//! items (which the caller usually filters out).
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier, keyword, or numeric literal.
+    Ident(String),
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// A token together with the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// 1-based line number.
+    pub line: u32,
+    /// The token itself.
+    pub tok: Tok,
+}
+
+/// A `//` line comment (text after the slashes) with its line number.
+/// Block comments are skipped without being recorded — the `ats-lint:`
+/// escape hatch is line-comment only, by design.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line number.
+    pub line: u32,
+    /// Comment text, without the leading `//`.
+    pub text: String,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into (tokens, line comments).
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && b.get(i + 1) == Some(&'/') {
+            let start = i + 2;
+            let mut j = start;
+            while j < b.len() && b[j] != '\n' {
+                j += 1;
+            }
+            comments.push(Comment {
+                line,
+                text: b[start..j].iter().collect(),
+            });
+            i = j;
+        } else if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < b.len() && depth > 0 {
+                if b[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if b[j] == '/' && b.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && b.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            i = j;
+        } else if c == '"' {
+            i = skip_string(&b, i, &mut line);
+        } else if c == '\'' {
+            i = skip_char_or_lifetime(&b, i, &mut line);
+        } else if is_ident_start(c) {
+            let start = i;
+            let mut j = i;
+            while j < b.len() && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            let word: String = b[start..j].iter().collect();
+            // Raw / byte string prefixes: r"", r#""#, br"", b"", c"".
+            let raw = matches!(word.as_str(), "r" | "br" | "cr");
+            let bytes = matches!(word.as_str(), "b" | "c");
+            if raw {
+                let mut hashes = 0usize;
+                while b.get(j + hashes) == Some(&'#') {
+                    hashes += 1;
+                }
+                if b.get(j + hashes) == Some(&'"') {
+                    i = skip_raw_string(&b, j + hashes, hashes, &mut line);
+                    continue;
+                }
+            }
+            if bytes && b.get(j) == Some(&'"') {
+                i = skip_string(&b, j, &mut line);
+                continue;
+            }
+            if bytes && b.get(j) == Some(&'\'') {
+                i = skip_char_or_lifetime(&b, j, &mut line);
+                continue;
+            }
+            toks.push(Token {
+                line,
+                tok: Tok::Ident(word),
+            });
+            i = j;
+        } else {
+            toks.push(Token {
+                line,
+                tok: Tok::Punct(c),
+            });
+            i += 1;
+        }
+    }
+    (toks, comments)
+}
+
+/// Skip a `"…"` string starting at the opening quote; returns the index
+/// one past the closing quote.
+fn skip_string(b: &[char], open: usize, line: &mut u32) -> usize {
+    let mut j = open + 1;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skip a raw string whose opening quote is at `open` with `hashes`
+/// leading `#`s; returns the index past the closing `"###…`.
+fn skip_raw_string(b: &[char], open: usize, hashes: usize, line: &mut u32) -> usize {
+    let mut j = open + 1;
+    while j < b.len() {
+        if b[j] == '\n' {
+            *line += 1;
+            j += 1;
+        } else if b[j] == '"' && (1..=hashes).all(|h| b.get(j + h) == Some(&'#')) {
+            return j + 1 + hashes;
+        } else {
+            j += 1;
+        }
+    }
+    j
+}
+
+/// At a `'`, decide between a char literal (skipped) and a lifetime
+/// (skipped as `'ident`); returns the index past whichever it was.
+fn skip_char_or_lifetime(b: &[char], open: usize, line: &mut u32) -> usize {
+    match b.get(open + 1) {
+        Some('\\') => {
+            // Char literal with an escape: scan to the closing quote.
+            let mut j = open + 2;
+            while j < b.len() {
+                match b[j] {
+                    '\\' => j += 2,
+                    '\'' => return j + 1,
+                    '\n' => {
+                        *line += 1;
+                        j += 1;
+                    }
+                    _ => j += 1,
+                }
+            }
+            j
+        }
+        Some(&c) if b.get(open + 2) == Some(&'\'') => {
+            // 'x' — a one-char literal (including '(' , '"' etc.).
+            let _ = c;
+            open + 3
+        }
+        Some(&c) if is_ident_start(c) => {
+            // A lifetime: consume the identifier, no closing quote.
+            let mut j = open + 1;
+            while j < b.len() && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            j
+        }
+        _ => open + 1,
+    }
+}
+
+/// Drop every token inside a `#[cfg(test)]`-gated item (attribute
+/// included), so lint rules only see production code.
+pub fn strip_cfg_test(toks: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let Some(after_attr) = match_cfg_test_attr(toks, i) {
+            // Skip any further attributes, then the gated item itself.
+            let mut j = after_attr;
+            while j < toks.len() && toks[j].tok == Tok::Punct('#') {
+                j = skip_attr(toks, j);
+            }
+            // The item runs to its first top-level `{` (brace-matched) or
+            // to a `;` (e.g. `mod tests;`), whichever comes first.
+            let mut depth = 0usize;
+            while j < toks.len() {
+                match toks[j].tok {
+                    Tok::Punct('{') => depth += 1,
+                    Tok::Punct('}') => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    Tok::Punct(';') if depth == 0 => {
+                        j += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j;
+        } else {
+            out.push(toks[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// If tokens at `i` start a `#[cfg(… test …)]` attribute, return the
+/// index one past its closing `]`.
+fn match_cfg_test_attr(toks: &[Token], i: usize) -> Option<usize> {
+    if toks.get(i)?.tok != Tok::Punct('#') || toks.get(i + 1)?.tok != Tok::Punct('[') {
+        return None;
+    }
+    if toks.get(i + 2)?.tok != Tok::Ident("cfg".to_string()) {
+        return None;
+    }
+    let end = skip_attr(toks, i);
+    let has_test = toks[i..end]
+        .iter()
+        .any(|t| t.tok == Tok::Ident("test".to_string()));
+    if has_test {
+        Some(end)
+    } else {
+        None
+    }
+}
+
+/// Given `#` at `i`, return the index one past the attribute's `]`.
+fn skip_attr(toks: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    if toks.get(j).map(|t| &t.tok) == Some(&Tok::Punct('!')) {
+        j += 1;
+    }
+    if toks.get(j).map(|t| &t.tok) != Some(&Tok::Punct('[')) {
+        return j;
+    }
+    let mut depth = 0usize;
+    while j < toks.len() {
+        match toks[j].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                Tok::Punct(_) => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_tokens() {
+        let src = r##"let x = "unwrap()"; // .unwrap() here too
+        /* panic!() */ let y = r#"todo!()"#;"##;
+        let ids = idents(src);
+        assert!(ids.contains(&"let".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"todo".to_string()));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let (_, comments) = lex("let a = 1;\n// ats-lint: allow(no-panic) — reason\nlet b;\n");
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].line, 2);
+        assert!(comments[0].text.contains("ats-lint"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x'; let p = '(';");
+        assert!(ids.contains(&"str".to_string()));
+        // The trailing code after the char literals still lexes.
+        assert!(ids.contains(&"p".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let s = \"line1\nline2\";\nlet t = 1;\n";
+        let (toks, _) = lex(src);
+        let t = toks
+            .iter()
+            .find(|t| t.tok == Tok::Ident("t".into()))
+            .expect("t token");
+        assert_eq!(t.line, 3);
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_stripped() {
+        let src =
+            "fn real() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let (toks, _) = lex(src);
+        let stripped = strip_cfg_test(&toks);
+        let ids: Vec<String> = stripped
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                Tok::Punct(_) => None,
+            })
+            .collect();
+        assert!(ids.contains(&"real".to_string()));
+        assert!(ids.contains(&"after".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn non_test_cfg_attrs_are_kept() {
+        let src = "#[cfg(unix)]\nfn unix_only() { body(); }";
+        let (toks, _) = lex(src);
+        let stripped = strip_cfg_test(&toks);
+        assert!(stripped
+            .iter()
+            .any(|t| t.tok == Tok::Ident("body".to_string())));
+    }
+}

@@ -1,0 +1,148 @@
+//! Workspace automation for the ad-hoc time-sequence store.
+//!
+//! `cargo xtask lint` (or `cargo run -p xtask -- lint`) walks every
+//! workspace crate and enforces the repo-specific invariants described
+//! in DESIGN.md §"Error-handling and invariants": panic-free library
+//! code, checked conversions on untrusted input, `AtsError` on public
+//! fallible APIs, and a single workspace-level lint table.
+
+mod lexer;
+mod rules;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Source roots scanned for `.rs` files, relative to the workspace root.
+const SOURCE_ROOTS: &[&str] = &["crates", "src"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") if args.len() == 1 => run_lint(),
+        Some("rules") if args.len() == 1 => {
+            for (name, what) in rules::RULES {
+                println!("{name:<12} {what}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: cargo xtask <lint|rules>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/xtask, so the workspace root is our parent.
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().unwrap_or(manifest).to_path_buf()
+}
+
+fn run_lint() -> ExitCode {
+    let root = workspace_root();
+    let mut findings = Vec::new();
+    let mut files = Vec::new();
+    for src_root in SOURCE_ROOTS {
+        collect_rs_files(&root.join(src_root), &mut files);
+    }
+    files.sort();
+    let mut scanned = 0usize;
+    for path in &files {
+        let rel = rel_path(&root, path);
+        // Test trees exercise panics on purpose; xtask polices, it is
+        // not itself part of the serving path.
+        if rel.contains("/tests/") || rel.starts_with("xtask/") {
+            continue;
+        }
+        match std::fs::read_to_string(path) {
+            Ok(src) => {
+                scanned += 1;
+                findings.extend(rules::lint_source(&rel, &src));
+            }
+            Err(e) => {
+                eprintln!("xtask: cannot read {rel}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Manifest checks: workspace lint table + member opt-in.
+    match std::fs::read_to_string(root.join("Cargo.toml")) {
+        Ok(text) => findings.extend(rules::lint_workspace_manifest(&text)),
+        Err(e) => {
+            eprintln!("xtask: cannot read Cargo.toml: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let mut manifests = Vec::new();
+    collect_member_manifests(&root, &mut manifests);
+    for m in manifests {
+        let rel = rel_path(&root, &m);
+        match std::fs::read_to_string(&m) {
+            Ok(text) => findings.extend(rules::lint_member_manifest(&rel, &text)),
+            Err(e) => {
+                eprintln!("xtask: cannot read {rel}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    findings.sort();
+    findings.dedup();
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("xtask lint: {scanned} files clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "xtask lint: {} finding(s) in {scanned} files",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn collect_member_manifests(root: &Path, out: &mut Vec<PathBuf>) {
+    let crates = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let manifest = entry.path().join("Cargo.toml");
+        if manifest.is_file() {
+            out.push(manifest);
+        }
+    }
+    let xtask = root.join("xtask/Cargo.toml");
+    if xtask.is_file() {
+        out.push(xtask);
+    }
+    out.sort();
+}

@@ -1,0 +1,748 @@
+//! The lint rules and the per-file analysis driver.
+//!
+//! Each rule produces [`Finding`]s; a finding is suppressed by an
+//! explicit escape hatch written on the same line or the line above:
+//!
+//! ```text
+//! // ats-lint: allow(<rule>) — <reason>
+//! ```
+//!
+//! The reason is mandatory (≥ 8 characters) and the rule name must be
+//! real; a malformed or unused annotation is itself a finding
+//! (`bad-allow`), so the escape hatch cannot rot into decoration.
+
+use crate::lexer::{lex, strip_cfg_test, Tok, Token};
+use std::collections::BTreeMap;
+
+/// Every rule the linter knows, by kebab-case name.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "no-panic",
+        "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in library code",
+    ),
+    (
+        "lossy-cast",
+        "no `as <integer>` casts in untrusted-input files; use try_from/checked helpers",
+    ),
+    (
+        "slice-index",
+        "no `[]` indexing in untrusted-input files; use .get()/checked slicing",
+    ),
+    (
+        "error-type",
+        "public fallible APIs must return ats_common::AtsError",
+    ),
+    (
+        "lint-table",
+        "crate-level lint attributes belong in [workspace.lints]",
+    ),
+    (
+        "bad-allow",
+        "malformed, unknown, or unused `ats-lint: allow` annotation",
+    ),
+];
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule name (kebab-case, from [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Files whose bytes or text arrive from outside the process — disk
+/// formats, CLI arguments, query text. The `lossy-cast` and
+/// `slice-index` rules apply only here: a lossy cast or unchecked index
+/// on attacker-controllable lengths is exactly the `read_deltas`
+/// corrupt-count bug class.
+pub const UNTRUSTED_SURFACES: &[&str] = &[
+    "crates/common/src/codec.rs",
+    "crates/storage/src/format.rs",
+    "crates/storage/src/store_dir.rs",
+    "crates/storage/src/file.rs",
+    "crates/storage/src/pool.rs",
+    "crates/core/src/disk.rs",
+    "crates/query/src/parse.rs",
+    "crates/data/src/csv.rs",
+    "src/bin/ats.rs",
+];
+
+/// Path prefixes exempt from `no-panic`: the bench crate is an offline
+/// experiment harness whose binaries may abort on I/O errors — it is
+/// not part of the serving path the panic-free policy protects.
+pub const NO_PANIC_EXEMPT_PREFIXES: &[&str] = &["crates/bench/"];
+
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that may directly precede `[` without it being an index
+/// expression (slice patterns, array types in odd spots).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "return", "match", "if", "else", "as", "mut", "ref", "move", "while", "loop",
+    "for", "where", "impl", "fn", "pub", "use", "mod", "struct", "enum", "const", "static",
+    "break", "continue", "dyn", "type", "box", "yield",
+];
+
+/// A parsed `ats-lint: allow(rule)` annotation.
+struct Allow {
+    line: u32,
+    rule: String,
+    used: std::cell::Cell<bool>,
+}
+
+/// Parse annotations out of the file's line comments, recording
+/// malformed ones as `bad-allow` findings immediately.
+fn parse_allows(
+    file: &str,
+    comments: &[crate::lexer::Comment],
+    findings: &mut Vec<Finding>,
+) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in comments {
+        let Some(pos) = c.text.find("ats-lint:") else {
+            continue;
+        };
+        let rest = c.text[pos + "ats-lint:".len()..].trim_start();
+        let bad = |msg: String, findings: &mut Vec<Finding>| {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: c.line,
+                rule: "bad-allow",
+                message: msg,
+            });
+        };
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            bad(
+                "annotation must be `ats-lint: allow(<rule>) — <reason>`".to_string(),
+                findings,
+            );
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad("unclosed `allow(`".to_string(), findings);
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if !RULES.iter().any(|&(name, _)| name == rule) {
+            bad(
+                format!("unknown rule {rule:?} in allow annotation"),
+                findings,
+            );
+            continue;
+        }
+        // Everything after `)` must be a separator plus a real reason.
+        let tail = rest[close + 1..].trim_start();
+        let reason = tail.trim_start_matches(['—', '–', '-', ':']).trim();
+        if reason.len() < 8 {
+            bad(
+                format!(
+                    "allow({rule}) needs a reason: `// ats-lint: allow({rule}) — <why this is safe>`"
+                ),
+                findings,
+            );
+            continue;
+        }
+        allows.push(Allow {
+            line: c.line,
+            rule,
+            used: std::cell::Cell::new(false),
+        });
+    }
+    allows
+}
+
+/// Lint one source file. `file` is the workspace-relative path used both
+/// for reporting and for scoping path-dependent rules.
+pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let (all_toks, comments) = lex(src);
+    let toks = strip_cfg_test(&all_toks);
+    let allows = parse_allows(file, &comments, &mut findings);
+
+    let untrusted = UNTRUSTED_SURFACES.contains(&file);
+    let no_panic = !NO_PANIC_EXEMPT_PREFIXES
+        .iter()
+        .any(|&p| file.starts_with(p));
+
+    let mut raw: Vec<Finding> = Vec::new();
+    if no_panic {
+        rule_no_panic(file, &toks, &mut raw);
+    }
+    if untrusted {
+        rule_lossy_cast(file, &toks, &mut raw);
+        rule_slice_index(file, &toks, &mut raw);
+    }
+    rule_error_type(file, &toks, &mut raw);
+    rule_lint_header(file, &toks, &mut raw);
+
+    // Apply the escape hatch: an annotation suppresses findings of its
+    // rule on its own line and the following line.
+    for f in raw {
+        let suppressed = allows.iter().any(|a| {
+            a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line) && {
+                a.used.set(true);
+                true
+            }
+        });
+        if !suppressed {
+            findings.push(f);
+        }
+    }
+    for a in &allows {
+        if !a.used.get() {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: a.line,
+                rule: "bad-allow",
+                message: format!(
+                    "allow({}) suppresses nothing on this or the next line — remove it",
+                    a.rule
+                ),
+            });
+        }
+    }
+    findings.sort();
+    findings
+}
+
+fn ident(t: &Token) -> Option<&str> {
+    match &t.tok {
+        Tok::Ident(s) => Some(s.as_str()),
+        Tok::Punct(_) => None,
+    }
+}
+
+fn punct(t: &Token, c: char) -> bool {
+    t.tok == Tok::Punct(c)
+}
+
+fn rule_no_panic(file: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        let Some(word) = ident(&toks[i]) else {
+            continue;
+        };
+        if PANIC_METHODS.contains(&word)
+            && i > 0
+            && punct(&toks[i - 1], '.')
+            && toks.get(i + 1).is_some_and(|t| punct(t, '('))
+        {
+            out.push(Finding {
+                file: file.to_string(),
+                line: toks[i].line,
+                rule: "no-panic",
+                message: format!(
+                    "`.{word}()` can panic; return Result<_, AtsError> instead \
+                     (or annotate: `// ats-lint: allow(no-panic) — <reason>`)"
+                ),
+            });
+        }
+        if PANIC_MACROS.contains(&word) && toks.get(i + 1).is_some_and(|t| punct(t, '!')) {
+            out.push(Finding {
+                file: file.to_string(),
+                line: toks[i].line,
+                rule: "no-panic",
+                message: format!(
+                    "`{word}!` aborts the serving path; return Result<_, AtsError> instead \
+                     (or annotate: `// ats-lint: allow(no-panic) — <reason>`)"
+                ),
+            });
+        }
+    }
+}
+
+fn rule_lossy_cast(file: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if ident(&toks[i]) != Some("as") {
+            continue;
+        }
+        // `use x as y` renames are not casts: the token before a cast's
+        // `as` is never the `use` path separator context — cheap check:
+        // renames are followed by a plain identifier that is not a type
+        // we police, so just test the target type.
+        let Some(next) = toks.get(i + 1) else {
+            continue;
+        };
+        let Some(ty) = ident(next) else { continue };
+        if INT_TYPES.contains(&ty) {
+            out.push(Finding {
+                file: file.to_string(),
+                line: toks[i].line,
+                rule: "lossy-cast",
+                message: format!(
+                    "`as {ty}` on untrusted input; use {ty}::try_from / the checked codec \
+                     helpers, or annotate with a proof the cast is lossless"
+                ),
+            });
+        }
+    }
+}
+
+fn rule_slice_index(file: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    for i in 1..toks.len() {
+        if !punct(&toks[i], '[') {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        let is_index_base = match &prev.tok {
+            Tok::Ident(w) => !NON_INDEX_KEYWORDS.contains(&w.as_str()),
+            Tok::Punct(c) => matches!(c, ')' | ']' | '?'),
+        };
+        if is_index_base {
+            out.push(Finding {
+                file: file.to_string(),
+                line: toks[i].line,
+                rule: "slice-index",
+                message: "`[]` indexing on untrusted-length data can panic; use .get()/.get_mut() \
+                          or checked slicing, or annotate with the bound that makes it safe"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Detect `pub fn … -> Result<…, NotAtsError>` and `pub fn … -> io::Result<…>`.
+fn rule_error_type(file: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    // Binaries surface errors to the shell, not to library callers.
+    if file.starts_with("src/bin/") || file.contains("/src/bin/") {
+        return;
+    }
+    let mut i = 0usize;
+    while i < toks.len() {
+        if ident(&toks[i]) != Some("pub") {
+            i += 1;
+            continue;
+        }
+        // pub(crate)/pub(super)/pub(in …) are not public API.
+        if toks.get(i + 1).is_some_and(|t| punct(t, '(')) {
+            i += 2;
+            continue;
+        }
+        // Allow qualifiers between `pub` and `fn`.
+        let mut j = i + 1;
+        while j < toks.len()
+            && matches!(
+                ident(&toks[j]),
+                Some("const" | "async" | "unsafe" | "extern")
+            )
+        {
+            j += 1;
+        }
+        if ident(&toks[j]).map(|_| ()).is_none() || ident(&toks[j]) != Some("fn") {
+            i += 1;
+            continue;
+        }
+        let fn_line = toks[j].line;
+        let fn_name = ident(&toks[j + 1]).unwrap_or("?").to_string();
+        // Find the parameter list: the first `(` at angle-depth 0,
+        // treating `->`'s `>` as an arrow rather than a closing angle.
+        let mut k = j + 2;
+        let mut angle = 0i32;
+        while k < toks.len() {
+            match &toks[k].tok {
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') if !(k > 0 && punct(&toks[k - 1], '-')) => angle -= 1,
+                Tok::Punct('(') if angle == 0 => break,
+                Tok::Punct('{') | Tok::Punct(';') => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if k >= toks.len() || !punct(&toks[k], '(') {
+            i = j + 1;
+            continue;
+        }
+        // Match the params to the closing `)`.
+        let mut depth = 0i32;
+        while k < toks.len() {
+            match toks[k].tok {
+                Tok::Punct('(') => depth += 1,
+                Tok::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        k += 1;
+        // Return type?
+        if !(toks.get(k).is_some_and(|t| punct(t, '-'))
+            && toks.get(k + 1).is_some_and(|t| punct(t, '>')))
+        {
+            i = k;
+            continue;
+        }
+        k += 2;
+        let ret_start = k;
+        let mut paren = 0i32;
+        while k < toks.len() {
+            match &toks[k].tok {
+                Tok::Punct('(') => paren += 1,
+                Tok::Punct(')') => paren -= 1,
+                Tok::Punct('{') | Tok::Punct(';') if paren == 0 => break,
+                Tok::Ident(w) if w == "where" && paren == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        check_return_type(file, fn_line, &fn_name, &toks[ret_start..k], out);
+        i = k;
+    }
+}
+
+fn check_return_type(file: &str, line: u32, fn_name: &str, ret: &[Token], out: &mut Vec<Finding>) {
+    let flat: String = ret
+        .iter()
+        .map(|t| match &t.tok {
+            Tok::Ident(s) => format!("{s} "),
+            Tok::Punct(c) => c.to_string(),
+        })
+        .collect();
+    if flat.contains("io ::Result") {
+        out.push(Finding {
+            file: file.to_string(),
+            line,
+            rule: "error-type",
+            message: format!(
+                "pub fn {fn_name} returns io::Result; public fallible APIs return \
+                 ats_common::Result (AtsError wraps the io::Error)"
+            ),
+        });
+        return;
+    }
+    // Find `Result <` and split its top-level generic args on `,`.
+    for i in 0..ret.len() {
+        if ident(&ret[i]) != Some("Result") {
+            continue;
+        }
+        if !ret.get(i + 1).is_some_and(|t| punct(t, '<')) {
+            continue;
+        }
+        let mut angle = 0i32;
+        let mut nest = 0i32; // parens/brackets: tuple and array commas don't count
+        let mut last_comma: Option<usize> = None;
+        let mut end = ret.len();
+        for (k, t) in ret.iter().enumerate().skip(i + 1) {
+            match t.tok {
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') => {
+                    angle -= 1;
+                    if angle == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+                Tok::Punct('(') | Tok::Punct('[') => nest += 1,
+                Tok::Punct(')') | Tok::Punct(']') => nest -= 1,
+                Tok::Punct(',') if angle == 1 && nest == 0 => last_comma = Some(k),
+                _ => {}
+            }
+        }
+        let Some(comma) = last_comma else { continue };
+        let err_ty: String = ret[comma + 1..end]
+            .iter()
+            .map(|t| match &t.tok {
+                Tok::Ident(s) => s.clone(),
+                Tok::Punct(c) => c.to_string(),
+            })
+            .collect();
+        if !err_ty.contains("AtsError") {
+            out.push(Finding {
+                file: file.to_string(),
+                line,
+                rule: "error-type",
+                message: format!(
+                    "pub fn {fn_name} returns Result<_, {err_ty}>; public fallible APIs \
+                     return ats_common::Result<_> (error type AtsError)"
+                ),
+            });
+        }
+    }
+}
+
+/// Crate-level lint attributes (`#![warn(…)]` etc.) are unified under
+/// `[workspace.lints]`; per-file copies drift and belong there.
+fn rule_lint_header(file: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    for i in 0..toks.len().saturating_sub(3) {
+        if punct(&toks[i], '#')
+            && punct(&toks[i + 1], '!')
+            && punct(&toks[i + 2], '[')
+            && matches!(
+                ident(&toks[i + 3]),
+                Some("warn" | "deny" | "forbid" | "allow")
+            )
+        {
+            out.push(Finding {
+                file: file.to_string(),
+                line: toks[i].line,
+                rule: "lint-table",
+                message: "crate-level lint attribute; declare it once in [workspace.lints] \
+                          (Cargo.toml) instead"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Check one member crate's `Cargo.toml` opts into the workspace lint
+/// table (`[lints] workspace = true`).
+pub fn lint_member_manifest(rel_path: &str, text: &str) -> Vec<Finding> {
+    let mut in_lints = false;
+    let mut ok = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_lints = line == "[lints]";
+        } else if in_lints && line.replace(' ', "") == "workspace=true" {
+            ok = true;
+        }
+    }
+    if ok {
+        Vec::new()
+    } else {
+        vec![Finding {
+            file: rel_path.to_string(),
+            line: 1,
+            rule: "lint-table",
+            message: "missing `[lints] workspace = true`; every member crate inherits the \
+                      workspace lint table"
+                .to_string(),
+        }]
+    }
+}
+
+/// Check the workspace root manifest declares the shared lint table with
+/// the two non-negotiable entries.
+pub fn lint_workspace_manifest(text: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut in_rust = false;
+    let mut keys: BTreeMap<String, String> = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_rust = line == "[workspace.lints.rust]";
+        } else if in_rust {
+            if let Some((k, v)) = line.split_once('=') {
+                keys.insert(k.trim().to_string(), v.trim().trim_matches('"').to_string());
+            }
+        }
+    }
+    let mut require = |key: &str, value: &str| {
+        if keys.get(key).map(String::as_str) != Some(value) {
+            out.push(Finding {
+                file: "Cargo.toml".to_string(),
+                line: 1,
+                rule: "lint-table",
+                message: format!("[workspace.lints.rust] must set `{key} = \"{value}\"`"),
+            });
+        }
+    };
+    require("unsafe_code", "deny");
+    require("missing_docs", "warn");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_unwrap_is_reported_with_file_line_and_rule() {
+        // The acceptance-criteria scenario: a deliberately planted
+        // `unwrap()` in a library crate must be reported with file, line,
+        // and rule name.
+        let src = "//! doc\npub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let findings = lint_source("crates/query/src/engine.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        let f = &findings[0];
+        assert_eq!(f.file, "crates/query/src/engine.rs");
+        assert_eq!(f.line, 3);
+        assert_eq!(f.rule, "no-panic");
+        assert_eq!(
+            f.to_string().split(':').take(3).collect::<Vec<_>>(),
+            vec!["crates/query/src/engine.rs", "3", " no-panic"]
+        );
+    }
+
+    #[test]
+    fn panic_macros_reported() {
+        for mac in [
+            "panic!(\"x\")",
+            "unreachable!()",
+            "todo!()",
+            "unimplemented!()",
+        ] {
+            let src = format!("fn f() {{ {mac}; }}");
+            let findings = lint_source("crates/core/src/store.rs", &src);
+            assert_eq!(findings.len(), 1, "{mac}: {findings:?}");
+            assert_eq!(findings[0].rule, "no-panic");
+        }
+    }
+
+    #[test]
+    fn unwrap_inside_cfg_test_is_fine() {
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(lint_source("crates/core/src/store.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_string_or_comment_is_fine() {
+        let src = "pub fn f() -> &'static str {\n    // .unwrap() in prose\n    \"call .unwrap() later\"\n}\n";
+        assert!(lint_source("crates/core/src/store.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // ats-lint: allow(no-panic) — x is Some by construction two lines up\n    x.unwrap()\n}\n";
+        assert!(lint_source("crates/core/src/store.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trailing_allow_on_same_line_suppresses() {
+        let src =
+            "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // ats-lint: allow(no-panic) — checked above, cannot be None\n}\n";
+        assert!(lint_source("crates/core/src/store.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let src =
+            "fn f(x: Option<u32>) -> u32 {\n    // ats-lint: allow(no-panic)\n    x.unwrap()\n}\n";
+        let findings = lint_source("crates/core/src/store.rs", src);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == "bad-allow" && f.message.contains("reason")),
+            "{findings:?}"
+        );
+        // …and the unwrap is still reported: a reasonless allow suppresses nothing.
+        assert!(
+            findings.iter().any(|f| f.rule == "no-panic"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_is_rejected() {
+        let src = "// ats-lint: allow(no-such-rule) — because I said so\nfn f() {}\n";
+        let findings = lint_source("crates/core/src/store.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "bad-allow");
+        assert!(findings[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn unused_allow_is_rejected() {
+        let src = "// ats-lint: allow(no-panic) — left over from a refactor long ago\nfn f() {}\n";
+        let findings = lint_source("crates/core/src/store.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "bad-allow");
+        assert!(findings[0].message.contains("suppresses nothing"));
+    }
+
+    #[test]
+    fn integer_casts_flagged_only_in_untrusted_files() {
+        let src = "pub fn f(v: u64) -> usize { v as usize }\n";
+        let untrusted = lint_source("crates/storage/src/format.rs", src);
+        assert_eq!(untrusted.len(), 1, "{untrusted:?}");
+        assert_eq!(untrusted[0].rule, "lossy-cast");
+        let trusted = lint_source("crates/linalg/src/matrix.rs", src);
+        assert!(trusted.is_empty(), "{trusted:?}");
+    }
+
+    #[test]
+    fn float_casts_are_not_flagged() {
+        let src = "pub fn f(v: usize) -> f64 { v as f64 }\n";
+        assert!(lint_source("crates/storage/src/format.rs", src).is_empty());
+    }
+
+    #[test]
+    fn slice_index_flagged_in_untrusted_files() {
+        let src = "pub fn f(buf: &[u8]) -> u8 { buf[0] }\n";
+        let findings = lint_source("crates/core/src/disk.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "slice-index");
+        // Array literals, attributes, and slice patterns are not indexing.
+        let ok = "#[derive(Debug)]\npub struct S;\npub fn g() -> [u8; 2] { let [a, b] = [1u8, 2]; [a, b] }\n";
+        assert!(lint_source("crates/core/src/disk.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn error_type_rule_catches_string_and_io_results() {
+        let bad1 = "pub fn f() -> Result<u32, String> { Ok(1) }\n";
+        let f1 = lint_source("crates/query/src/workload.rs", bad1);
+        assert_eq!(f1.len(), 1, "{f1:?}");
+        assert_eq!(f1[0].rule, "error-type");
+        let bad2 = "pub fn g(p: &Path) -> std::io::Result<Vec<u8>> { std::fs::read(p) }\n";
+        let f2 = lint_source("crates/query/src/workload.rs", bad2);
+        assert_eq!(f2.len(), 1, "{f2:?}");
+        assert!(f2[0].message.contains("io::Result"));
+        let good = "pub fn h() -> Result<u32> { Ok(1) }\npub fn k() -> Result<u32, AtsError> { Ok(1) }\npub fn tup() -> Result<(u64, usize)> { Ok((0, 0)) }\n";
+        assert!(lint_source("crates/query/src/workload.rs", good).is_empty());
+    }
+
+    #[test]
+    fn error_type_ignores_private_and_bin_fns() {
+        let private = "fn f() -> Result<u32, String> { Ok(1) }\n";
+        assert!(lint_source("crates/query/src/workload.rs", private).is_empty());
+        let in_bin = "pub fn f() -> Result<u32, String> { Ok(1) }\n";
+        assert!(lint_source("src/bin/ats.rs", in_bin).is_empty());
+    }
+
+    #[test]
+    fn crate_level_lint_attr_flagged() {
+        let src = "#![warn(missing_docs)]\npub fn f() {}\n";
+        let findings = lint_source("crates/cube/src/lib.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "lint-table");
+    }
+
+    #[test]
+    fn member_manifest_check() {
+        assert!(lint_member_manifest(
+            "crates/x/Cargo.toml",
+            "[package]\nname = \"x\"\n\n[lints]\nworkspace = true\n"
+        )
+        .is_empty());
+        let missing = lint_member_manifest("crates/x/Cargo.toml", "[package]\nname = \"x\"\n");
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].rule, "lint-table");
+    }
+
+    #[test]
+    fn workspace_manifest_check() {
+        let good = "[workspace]\n[workspace.lints.rust]\nunsafe_code = \"deny\"\nmissing_docs = \"warn\"\n";
+        assert!(lint_workspace_manifest(good).is_empty());
+        let bad = "[workspace]\n";
+        assert_eq!(lint_workspace_manifest(bad).len(), 2);
+    }
+
+    #[test]
+    fn rule_names_are_unique() {
+        let mut names: Vec<&str> = RULES.iter().map(|&(n, _)| n).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), RULES.len());
+    }
+}

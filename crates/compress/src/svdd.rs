@@ -37,7 +37,7 @@
 //! ablation benchmark.
 
 use crate::delta::{DeltaStore, DELTA_BYTES};
-use crate::gram::compute_gram_parallel;
+use crate::gram::{compute_gram_parallel, compute_gram_sharded, GRAM_BLOCK_ROWS};
 use crate::method::{svd_bytes, CompressedMatrix, SpaceBudget};
 use crate::svd::{emit_u, SvdCompressed};
 use ats_common::{AtsError, Result, TopK};
@@ -106,9 +106,14 @@ pub struct SvddCompressed {
 /// Queue item: (row, col, delta).
 type Outlier = (u32, u32, f64);
 
-/// One worker's pass-2 output: a bounded queue per candidate `k` plus the
-/// matching per-candidate SSE partial sums.
-type Pass2Shard = (Vec<TopK<Outlier>>, Vec<f64>);
+/// One worker's pass-2 output: a bounded queue per candidate `k` plus
+/// per-candidate SSE partials, kept **per [`GRAM_BLOCK_ROWS`]-row block**
+/// (`blocks[b][ci]` covers rows `start + b·B .. start + (b+1)·B`). Folding
+/// the blocks in ascending global row order reproduces the same summation
+/// order for every block-aligned partitioning of the scan, which is what
+/// makes the `k_opt` choice bit-identical between a monolithic and a
+/// sharded build.
+type Pass2Shard = (Vec<TopK<Outlier>>, Vec<Vec<f64>>);
 
 /// Pass-2 kernel over rows `[start, end)`: offer every cell's squared
 /// reconstruction error to private per-candidate queues and accumulate
@@ -116,8 +121,11 @@ type Pass2Shard = (Vec<TopK<Outlier>>, Vec<f64>);
 /// own disjoint range; the serial path runs it once over `[0, n)`.
 ///
 /// Per-cell errors depend only on the row, so shards produce exactly the
-/// values a single scan would; only the SSE summation *order* differs
-/// between thread counts (floating-point reassociation at merge).
+/// values a single scan would. SSE is accumulated per fixed 32-row block
+/// and each cell is offered with its global ordinal as a tie-break rank,
+/// so as long as every worker range starts on a block boundary, the
+/// folded SSE *and* the retained outlier set are bit-identical for any
+/// partitioning of the rows — across thread counts and shard counts.
 ///
 /// `candidate_ks` is ascending in `k`, so the cumulative-k sweep walks
 /// the candidates directly, accumulating each span `(k_prev, k]` once and
@@ -137,7 +145,8 @@ fn pass2_range<S: RowSource + ?Sized>(
         .iter()
         .map(|&(_, gamma)| TopK::new(gamma))
         .collect();
-    let mut sse = vec![0.0f64; candidate_ks.len()];
+    let num_blocks = (end - start).div_ceil(GRAM_BLOCK_ROWS).max(1);
+    let mut sse_blocks = vec![vec![0.0f64; candidate_ks.len()]; num_blocks];
     let mut proj = vec![0.0f64; k_hi];
     source.scan_range(start, end, &mut |i, row| {
         // proj[j] = x · v_j = λ_j u_{i,j}
@@ -156,10 +165,13 @@ fn pass2_range<S: RowSource + ?Sized>(
         if all_zero {
             return Ok(());
         }
+        let block = (i - start) / GRAM_BLOCK_ROWS;
+        let ord_base = (i as u64) * (row.len() as u64);
         for (j, &x) in row.iter().enumerate() {
             let v_row = v_full.row(j);
             let mut acc = 0.0f64;
             let mut k_prev = 0usize;
+            let ord = ord_base + j as u64;
             for (ci, &(k, _)) in candidate_ks.iter().enumerate() {
                 for t in k_prev..k {
                     acc += proj[t] * v_row[t];
@@ -167,20 +179,111 @@ fn pass2_range<S: RowSource + ?Sized>(
                 k_prev = k;
                 let err = x - acc;
                 let sq = err * err;
-                sse[ci] += sq;
-                if sq > 0.0 && queues[ci].would_accept(sq) {
-                    queues[ci].offer(sq, (i as u32, j as u32, err));
+                sse_blocks[block][ci] += sq;
+                if sq > 0.0 && queues[ci].would_accept_ranked(sq, ord) {
+                    queues[ci].offer_ranked(sq, ord, (i as u32, j as u32, err));
                 }
             }
         }
         Ok(())
     })?;
-    Ok((queues, sse))
+    Ok((queues, sse_blocks))
+}
+
+/// Fold one worker's per-block SSE partials into the global accumulator.
+/// Callers fold workers in ascending row order, so the overall summation
+/// order is "block 0, block 1, …" no matter how the scan was partitioned.
+fn fold_sse(sse: &mut [f64], blocks: Vec<Vec<f64>>) {
+    for block in blocks {
+        for (a, s) in sse.iter_mut().zip(block) {
+            *a += s;
+        }
+    }
+}
+
+/// Pass-1 epilogue shared by the monolithic and sharded builds: truncate
+/// the eigendecomposition of `c` to `(Λ, V)` with `k_max` components.
+fn factorize(c: &Matrix, m: usize, k_max: usize) -> Result<(Vec<f64>, Matrix)> {
+    let eig = sym_eigen(c)?;
+    let lambda_all: Vec<f64> = eig
+        .values
+        .iter()
+        .take(k_max)
+        .map(|&l| l.max(0.0).sqrt())
+        .collect();
+    let mut v_full = Matrix::zeros(m, k_max);
+    for j in 0..k_max {
+        for i in 0..m {
+            v_full[(i, j)] = eig.vectors[(i, j)];
+        }
+    }
+    Ok((lambda_all, v_full))
+}
+
+/// Candidate sizing and thinning, shared by both builds. Depends only on
+/// dimensions, budget, and `max_queue_entries` — never on the row
+/// partition or thread count, so `k_opt`'s candidate set is identical
+/// for any sharding.
+fn size_candidates(
+    n: usize,
+    m: usize,
+    opts: &SvddOptions,
+    k_max: usize,
+) -> Result<Vec<(usize, usize)>> {
+    // γ_k for every candidate k (k where the SVD alone busts the
+    // budget are infeasible).
+    let mut candidate_ks: Vec<(usize, usize)> = (1..=k_max)
+        .filter_map(|k| {
+            let sb = svd_bytes(n, m, k);
+            if sb > opts.budget.bytes(n, m) {
+                None
+            } else {
+                Some((k, opts.budget.deltas_affordable(n, m, sb, DELTA_BYTES)))
+            }
+        })
+        .collect();
+    if candidate_ks.is_empty() {
+        return Err(AtsError::Budget(
+            "no feasible cutoff k under this budget".into(),
+        ));
+    }
+    // Thin candidates if the queues would take too much memory:
+    // drop the largest-γ candidate (always among the smallest k)
+    // until the rest fit, always keeping at least one. Sorting a
+    // drop order once is O(C log C) where the old repeated
+    // max-scan-and-remove was O(C²); ties drop the larger k first,
+    // exactly as the repeated scan did.
+    let mut total: usize = candidate_ks.iter().map(|&(_, g)| g).sum();
+    if total > opts.max_queue_entries && candidate_ks.len() > 1 {
+        let mut order: Vec<usize> = (0..candidate_ks.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (ka, ga) = candidate_ks[a];
+            let (kb, gb) = candidate_ks[b];
+            gb.cmp(&ga).then(kb.cmp(&ka))
+        });
+        let mut keep = vec![true; candidate_ks.len()];
+        let mut remaining = candidate_ks.len();
+        for &i in &order {
+            if total <= opts.max_queue_entries || remaining == 1 {
+                break;
+            }
+            keep[i] = false;
+            remaining -= 1;
+            total -= candidate_ks[i].1;
+        }
+        let mut idx = 0usize;
+        candidate_ks.retain(|_| {
+            let kept = keep.get(idx).copied().unwrap_or(true);
+            idx += 1;
+            kept
+        });
+    }
+    Ok(candidate_ks)
 }
 
 impl SvddCompressed {
-    /// The paper's three-pass build (Fig. 5).
-    pub fn compress<S: RowSource + ?Sized>(source: &S, opts: &SvddOptions) -> Result<Self> {
+    /// Shared guard + `k_max` sizing for both builds.
+    fn check_dims(source: &(impl RowSource + ?Sized), opts: &SvddOptions) -> Result<usize> {
         let (n, m) = (source.rows(), source.cols());
         if n == 0 || m == 0 {
             return Err(AtsError::InvalidArgument("empty matrix".into()));
@@ -193,80 +296,32 @@ impl SvddCompressed {
                 opts.budget.fraction * 100.0
             )));
         }
+        Ok(k_max)
+    }
+
+    /// The paper's three-pass build (Fig. 5).
+    pub fn compress<S: RowSource + ?Sized>(source: &S, opts: &SvddOptions) -> Result<Self> {
+        let (n, m) = (source.rows(), source.cols());
+        let k_max = Self::check_dims(source, opts)?;
 
         // ---- Pass 1: Gram, eigendecomposition, candidate sizing ----
         let c = compute_gram_parallel(source, opts.threads.max(1))?;
-        let eig = sym_eigen(&c)?;
-        let lambda_all: Vec<f64> = eig
-            .values
-            .iter()
-            .take(k_max)
-            .map(|&l| l.max(0.0).sqrt())
-            .collect();
-        let mut v_full = Matrix::zeros(m, k_max);
-        for j in 0..k_max {
-            for i in 0..m {
-                v_full[(i, j)] = eig.vectors[(i, j)];
-            }
-        }
-
-        // γ_k for every candidate k (k where the SVD alone busts the
-        // budget are infeasible).
-        let mut candidate_ks: Vec<(usize, usize)> = (1..=k_max)
-            .filter_map(|k| {
-                let sb = svd_bytes(n, m, k);
-                if sb > opts.budget.bytes(n, m) {
-                    None
-                } else {
-                    Some((k, opts.budget.deltas_affordable(n, m, sb, DELTA_BYTES)))
-                }
-            })
-            .collect();
-        if candidate_ks.is_empty() {
-            return Err(AtsError::Budget(
-                "no feasible cutoff k under this budget".into(),
-            ));
-        }
-        // Thin candidates if the queues would take too much memory:
-        // drop the largest-γ candidate (always among the smallest k)
-        // until the rest fit, always keeping at least one. Sorting a
-        // drop order once is O(C log C) where the old repeated
-        // max-scan-and-remove was O(C²); ties drop the larger k first,
-        // exactly as the repeated scan did.
-        let mut total: usize = candidate_ks.iter().map(|&(_, g)| g).sum();
-        if total > opts.max_queue_entries && candidate_ks.len() > 1 {
-            let mut order: Vec<usize> = (0..candidate_ks.len()).collect();
-            order.sort_by(|&a, &b| {
-                let (ka, ga) = candidate_ks[a];
-                let (kb, gb) = candidate_ks[b];
-                gb.cmp(&ga).then(kb.cmp(&ka))
-            });
-            let mut keep = vec![true; candidate_ks.len()];
-            let mut remaining = candidate_ks.len();
-            for &i in &order {
-                if total <= opts.max_queue_entries || remaining == 1 {
-                    break;
-                }
-                keep[i] = false;
-                remaining -= 1;
-                total -= candidate_ks[i].1;
-            }
-            let mut idx = 0usize;
-            candidate_ks.retain(|_| {
-                let kept = keep.get(idx).copied().unwrap_or(true);
-                idx += 1;
-                kept
-            });
-        }
+        let (lambda_all, v_full) = factorize(&c, m, k_max)?;
+        let candidate_ks = size_candidates(n, m, opts, k_max)?;
 
         // ---- Pass 2: per-cell errors for every candidate k ----
         // Row-partitioned across workers: each scans a disjoint range
         // with private queues and SSE, merged afterwards in worker order.
+        // Worker boundaries are rounded up to block multiples so the
+        // blocked SSE fold (and hence k_opt) is thread-count invariant.
         let threads = opts.threads.max(1);
-        let (mut queues, sse) = if threads <= 1 || n < 2 * threads {
-            pass2_range(source, &v_full, &candidate_ks, 0, n)?
+        let (queues, sse) = if threads <= 1 || n < 2 * threads {
+            let (qs, blocks) = pass2_range(source, &v_full, &candidate_ks, 0, n)?;
+            let mut sse = vec![0.0f64; candidate_ks.len()];
+            fold_sse(&mut sse, blocks);
+            (qs, sse)
         } else {
-            let chunk = n.div_ceil(threads);
+            let chunk = n.div_ceil(threads).next_multiple_of(GRAM_BLOCK_ROWS);
             let shards: Vec<Result<Pass2Shard>> = crossbeam::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for t in 0..threads {
@@ -296,17 +351,153 @@ impl SvddCompressed {
                 .collect();
             let mut sse = vec![0.0f64; candidate_ks.len()];
             for shard in shards {
-                let (qs, ss) = shard?;
+                let (qs, blocks) = shard?;
                 for (acc, q) in queues.iter_mut().zip(qs) {
                     acc.merge(q);
                 }
-                for (a, s) in sse.iter_mut().zip(ss) {
-                    *a += s;
-                }
+                fold_sse(&mut sse, blocks);
             }
             (queues, sse)
         };
 
+        Self::finish(
+            source,
+            &v_full,
+            &lambda_all,
+            &candidate_ks,
+            queues,
+            &sse,
+            opts,
+            threads,
+        )
+    }
+
+    /// Sharded three-pass build: same algorithm as [`Self::compress`],
+    /// restructured along the row-range `ranges` so the store layer can
+    /// partition `U` and the delta set per shard.
+    ///
+    /// - **Pass 1** accumulates one mergeable Gram partial per fixed
+    ///   32-row block and folds in global block order
+    ///   ([`compute_gram_sharded`]), so `V/Λ` are **bit-identical** for
+    ///   any block-aligned partition — `shards(1)` and `shards(4)` see
+    ///   the same factors.
+    /// - **Pass 2** keeps per-shard `TopK` heaps and per-block SSE
+    ///   partials, merged globally in shard order with [`TopK::merge`]:
+    ///   per-cell errors depend only on the row and the (identical)
+    ///   factors, cells are ranked by their global ordinal so boundary
+    ///   ties resolve the same way under any partitioning, and the SSE
+    ///   folds in fixed block order — so `k_opt` and the delta set are
+    ///   chosen globally and **bit-identically** to the monolithic
+    ///   (`shards(1)`) build.
+    /// - **Pass 3** emits `U` over disjoint row bands (bitwise
+    ///   independent of both partitioning and threads); the caller
+    ///   slices it per shard.
+    pub fn compress_sharded<S: RowSource + ?Sized>(
+        source: &S,
+        opts: &SvddOptions,
+        ranges: &[(usize, usize)],
+    ) -> Result<Self> {
+        let (n, m) = (source.rows(), source.cols());
+        let k_max = Self::check_dims(source, opts)?;
+        let threads = opts.threads.max(1);
+
+        // ---- Pass 1: blocked Gram fold, eigendecomposition ----
+        let c = compute_gram_sharded(source, ranges, threads)?;
+        let (lambda_all, v_full) = factorize(&c, m, k_max)?;
+        let candidate_ks = size_candidates(n, m, opts, k_max)?;
+
+        // ---- Pass 2: one heap set per shard, merged in shard order ----
+        // Shards short on parallelism are subdivided so ~`threads` jobs
+        // run at once; jobs execute in waves and always merge in
+        // ascending row order. Sub-job boundaries are rounded up to block
+        // multiples, so with block-aligned `ranges` (what [`shard_ranges`]
+        // produces) every job starts on a block boundary and the blocked
+        // SSE fold — hence the `k_opt` choice and the retained delta set —
+        // is bit-identical for every shard count and thread count.
+        let mut jobs: Vec<(usize, usize)> = Vec::new();
+        for &(start, end) in ranges {
+            let split = threads.div_ceil(ranges.len().max(1)).max(1);
+            let len = end - start;
+            let split = split.min(len);
+            let chunk = len.div_ceil(split.max(1)).next_multiple_of(GRAM_BLOCK_ROWS);
+            let mut s = start;
+            while s < end {
+                let e = (s + chunk).min(end);
+                jobs.push((s, e));
+                s = e;
+            }
+        }
+        let mut queues: Vec<TopK<Outlier>> = candidate_ks
+            .iter()
+            .map(|&(_, gamma)| TopK::new(gamma))
+            .collect();
+        let mut sse = vec![0.0f64; candidate_ks.len()];
+        let run_jobs = |wave: &[(usize, usize)]| -> Vec<Result<Pass2Shard>> {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = wave
+                    .iter()
+                    .map(|&(start, end)| {
+                        let v_full = &v_full;
+                        let candidate_ks = &candidate_ks;
+                        scope.spawn(move |_| pass2_range(source, v_full, candidate_ks, start, end))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(r) => r,
+                        Err(_) => Err(AtsError::internal("svdd pass-2 worker panicked")),
+                    })
+                    .collect()
+            })
+            .unwrap_or_else(|_| vec![Err(AtsError::internal("svdd pass-2 thread scope panicked"))])
+        };
+        if threads <= 1 {
+            for &(start, end) in &jobs {
+                let (qs, blocks) = pass2_range(source, &v_full, &candidate_ks, start, end)?;
+                for (acc, q) in queues.iter_mut().zip(qs) {
+                    acc.merge(q);
+                }
+                fold_sse(&mut sse, blocks);
+            }
+        } else {
+            for wave in jobs.chunks(threads) {
+                for shard in run_jobs(wave) {
+                    let (qs, blocks) = shard?;
+                    for (acc, q) in queues.iter_mut().zip(qs) {
+                        acc.merge(q);
+                    }
+                    fold_sse(&mut sse, blocks);
+                }
+            }
+        }
+
+        Self::finish(
+            source,
+            &v_full,
+            &lambda_all,
+            &candidate_ks,
+            queues,
+            &sse,
+            opts,
+            threads,
+        )
+    }
+
+    /// Shared tail of both builds: pick `k_opt`, emit `U` (pass 3), and
+    /// freeze the winning queue into the delta store.
+    #[allow(clippy::too_many_arguments)]
+    fn finish<S: RowSource + ?Sized>(
+        source: &S,
+        v_full: &Matrix,
+        lambda_all: &[f64],
+        candidate_ks: &[(usize, usize)],
+        mut queues: Vec<TopK<Outlier>>,
+        sse: &[f64],
+        opts: &SvddOptions,
+        threads: usize,
+    ) -> Result<Self> {
+        let (n, m) = (source.rows(), source.cols());
         // Pick k_opt: smallest residual after the kept outliers go exact.
         let mut candidates = Vec::with_capacity(candidate_ks.len());
         let mut best = 0usize;
@@ -795,6 +986,72 @@ mod tests {
                 .unwrap();
         assert_eq!(par.k_opt(), serial.k_opt());
         assert_same_delta_set(&par, &serial, "disk vs memory");
+    }
+
+    #[test]
+    fn sharded_build_is_partition_invariant() {
+        // The property the sharded store depends on: the same input and
+        // budget produce the same k_opt, the bitwise-identical delta
+        // set, and the bitwise-identical U for ANY shard count and
+        // thread count — pass 1's blocked fold makes V/Λ bit-identical,
+        // and everything downstream is deterministic given the factors.
+        let x = spiky_matrix(203, 12, 14);
+        let opts = SvddOptions::new(SpaceBudget::from_percent(20.0));
+        let mono = SvddCompressed::compress_sharded(&x, &opts, &crate::gram::shard_ranges(203, 1))
+            .unwrap();
+        for r in [2, 4, 6] {
+            for threads in [1, 3] {
+                let mut o = opts.clone();
+                o.threads = threads;
+                let ranges = crate::gram::shard_ranges(203, r);
+                let s = SvddCompressed::compress_sharded(&x, &o, &ranges).unwrap();
+                let ctx = format!("shards={r} threads={threads}");
+                assert_eq!(s.k_opt(), mono.k_opt(), "{ctx}");
+                assert_eq!(sorted_deltas(&s), sorted_deltas(&mono), "{ctx}");
+                assert_eq!(
+                    s.svd().u().as_slice(),
+                    mono.svd().u().as_slice(),
+                    "{ctx}: U not bit-identical"
+                );
+                assert_eq!(s.svd().lambda(), mono.svd().lambda(), "{ctx}");
+                assert_eq!(s.svd().v().as_slice(), mono.svd().v().as_slice(), "{ctx}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_build_is_partition_invariant_under_ties() {
+        // Highly structured data: whole row classes repeat, so thousands
+        // of cells tie *exactly* on reconstruction error and the TopK
+        // boundary falls inside a tie class. The ordinal tie-break and
+        // the blocked SSE fold must still keep k_opt, the retained cell
+        // set, and the SSE bit-identical across partitionings.
+        let x = Matrix::from_fn(300, 28, |i, j| {
+            ((i % 5) + 1) as f64 * if j % 7 < 5 { 2.0 } else { 0.2 }
+        });
+        let opts = SvddOptions::new(SpaceBudget::from_percent(15.0));
+        let mono = SvddCompressed::compress_sharded(&x, &opts, &crate::gram::shard_ranges(300, 1))
+            .unwrap();
+        for r in [2, 4, 5] {
+            for threads in [1, 3] {
+                let mut o = opts.clone();
+                o.threads = threads;
+                let ranges = crate::gram::shard_ranges(300, r);
+                let s = SvddCompressed::compress_sharded(&x, &o, &ranges).unwrap();
+                let ctx = format!("shards={r} threads={threads}");
+                assert_eq!(s.k_opt(), mono.k_opt(), "{ctx}");
+                assert_eq!(sorted_deltas(&s), sorted_deltas(&mono), "{ctx}");
+                for (a, b) in s.candidates().iter().zip(mono.candidates()) {
+                    assert_eq!(a.sse_raw.to_bits(), b.sse_raw.to_bits(), "{ctx} k={}", a.k);
+                    assert_eq!(
+                        a.sse_after_deltas.to_bits(),
+                        b.sse_after_deltas.to_bits(),
+                        "{ctx} k={}",
+                        a.k
+                    );
+                }
+            }
+        }
     }
 
     #[test]

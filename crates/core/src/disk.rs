@@ -144,7 +144,7 @@ pub fn decode_deltas(buf: &[u8]) -> Result<(u64, Vec<DeltaTriplet>)> {
     Ok((cols, triplets))
 }
 
-fn write_deltas(path: &Path, deltas: Option<&DeltaStore>, cols: usize) -> Result<()> {
+pub(crate) fn write_deltas(path: &Path, deltas: Option<&DeltaStore>, cols: usize) -> Result<()> {
     let triplets: Vec<DeltaTriplet> = deltas
         .map(|d| {
             d.iter()
@@ -156,7 +156,11 @@ fn write_deltas(path: &Path, deltas: Option<&DeltaStore>, cols: usize) -> Result
     Ok(())
 }
 
-fn read_deltas(path: &Path, expected_cols: usize, with_bloom: bool) -> Result<DeltaStore> {
+pub(crate) fn read_deltas(
+    path: &Path,
+    expected_cols: usize,
+    with_bloom: bool,
+) -> Result<DeltaStore> {
     let buf = std::fs::read(path)?;
     let (cols_raw, raw) = decode_deltas(&buf)?;
     let cols = usize_from_u64(cols_raw, "delta column count")?;

@@ -37,8 +37,10 @@
 //! ```
 
 pub mod disk;
+pub mod shard;
 pub mod store;
 pub mod viz;
 
 pub use disk::DiskStore;
+pub use shard::{append_rows, AppendReport, ShardedStore};
 pub use store::{Method, SequenceStore};

@@ -1,0 +1,807 @@
+//! [`ShardedStore`]: the §4.1 serving architecture scaled out to
+//! row-range shards (store format v3).
+//!
+//! The factors are global — every shard reconstructs against the same
+//! `V`/`Λ`, pinned in memory at open — while `U` rows and delta
+//! triplets partition by row range into per-shard subdirectories:
+//!
+//! ```text
+//! store/
+//!   manifest.txt          # v3 manifest: shard row ranges + CRCs
+//!   v.atsm  lambda.atsm   # shared factors
+//!   shard-0000/ u.atsm deltas.bin
+//!   shard-0001/ u.atsm deltas.bin
+//! ```
+//!
+//! Opening is eager about *validation* (the manifest and every
+//! component CRC are checked up front) but lazy about *instantiation*:
+//! a shard's `U` pager and delta table are built on first touch, with
+//! the buffer-pool page budget split evenly across shards. A v2
+//! directory is exactly a one-shard v3 store (delta rows are stored
+//! relative to the shard start, and a v2 store starts at row 0), so
+//! legacy stores open here unchanged.
+//!
+//! The append path (`§1`: updates are rare and batched) lands new rows
+//! in a fresh shard under the *frozen* global `V`: each new row is
+//! projected onto the existing principal components and its exact
+//! reconstruction SSE is recorded in the manifest (`append-sse`), so
+//! the error introduced by not re-deriving the factors is tracked, not
+//! hidden. The shard directory is staged, fsynced, and renamed in
+//! before the manifest is atomically replaced — a crash leaves the old
+//! store or an unreferenced orphan directory, never a torn store.
+
+use crate::disk::{encode_deltas, read_deltas, DeltaTriplet};
+use ats_common::codec::u64_from_usize;
+use ats_common::{AtsError, Result};
+use ats_compress::delta::DELTA_BYTES;
+use ats_compress::method::BYTES_PER_NUMBER;
+use ats_compress::{project_frozen, CompressedMatrix, DeltaStore, GramCache, SvdCompressed};
+use ats_linalg::Matrix;
+use ats_storage::file::{read_matrix, write_matrix, MatrixFile, MatrixFileWriter};
+use ats_storage::store_dir::{
+    file_crc, shard_dir_name, validate_sharded_store_dir, MANIFEST_FILE, SHARDED_STORE_VERSION,
+};
+use ats_storage::{
+    CachedFile, IoSnapshot, IoStats, RowSource, ShardEntry, ShardedManifest, StoreWriter,
+};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+
+/// Persist an SVD/SVDD store into `dir` as a sharded (v3) store
+/// directory, atomically. `ranges` lists the row range of each shard,
+/// contiguous and ascending, covering exactly `0..rows` — the same
+/// ranges the sharded build passes ran over (see
+/// [`ats_compress::shard_ranges`]).
+///
+/// Pass 3 of the build, made literal: one `U` file per shard (the rows
+/// of the already-computed global `U` sliced by range) and one delta
+/// partition per shard, with delta rows stored relative to the shard
+/// start and sorted by `(row, col)` so the byte image is deterministic.
+pub(crate) fn save_sharded(
+    dir: &Path,
+    svd: &SvdCompressed,
+    deltas: Option<&DeltaStore>,
+    method: &str,
+    ranges: &[(usize, usize)],
+) -> Result<()> {
+    let rows = svd.rows();
+    let cols = svd.cols();
+    check_ranges(ranges, rows)?;
+
+    // Partition the delta triplets by owning shard, rebased to
+    // shard-local rows.
+    let mut buckets: Vec<Vec<DeltaTriplet>> = vec![Vec::new(); ranges.len()];
+    if let Some(d) = deltas {
+        for (r, c, v) in d.iter() {
+            let idx = ranges
+                .iter()
+                .position(|&(s, e)| r >= s && r < e)
+                .ok_or_else(|| AtsError::oob("delta row", r, rows))?;
+            if let (Some(bucket), Some(&(start, _))) = (buckets.get_mut(idx), ranges.get(idx)) {
+                bucket.push((u64_from_usize(r - start), u64_from_usize(c), v));
+            }
+        }
+    }
+    for bucket in &mut buckets {
+        bucket.sort_unstable_by_key(|&(r, c, _)| (r, c));
+    }
+
+    let writer = StoreWriter::begin(dir)?;
+    let tmp = writer.path();
+    write_matrix(tmp.join("v.atsm"), svd.v())?;
+    let lambda_m = Matrix::from_vec(1, svd.lambda().len(), svd.lambda().to_vec())?;
+    write_matrix(tmp.join("lambda.atsm"), &lambda_m)?;
+
+    let mut entries = Vec::with_capacity(ranges.len());
+    for (idx, (&(start, end), bucket)) in ranges.iter().zip(&buckets).enumerate() {
+        let sdir = tmp.join(shard_dir_name(idx));
+        std::fs::create_dir(&sdir)?;
+        let mut w = MatrixFileWriter::create(sdir.join("u.atsm"), svd.k())?;
+        for i in start..end {
+            w.append_row(svd.u().row(i))?;
+        }
+        w.finish()?;
+        std::fs::write(
+            sdir.join("deltas.bin"),
+            encode_deltas(u64_from_usize(cols), bucket),
+        )?;
+        entries.push(ShardEntry {
+            start,
+            end,
+            deltas: bucket.len(),
+            crc_u: 0,
+            crc_deltas: 0,
+            append_sse: None,
+        });
+    }
+    writer.commit_sharded(ShardedManifest {
+        method: method.to_string(),
+        rows,
+        cols,
+        k: svd.k(),
+        deltas: deltas.map_or(0, DeltaStore::len),
+        bloom: deltas.is_some_and(DeltaStore::has_bloom),
+        crc_v: 0,
+        crc_lambda: 0,
+        shards: entries,
+        source_version: SHARDED_STORE_VERSION,
+    })
+}
+
+/// Reject shard ranges that are not contiguous, ascending, non-empty,
+/// and covering exactly `0..rows`.
+fn check_ranges(ranges: &[(usize, usize)], rows: usize) -> Result<()> {
+    let mut next = 0usize;
+    for &(start, end) in ranges {
+        if start != next || end <= start {
+            return Err(AtsError::InvalidArgument(format!(
+                "shard range {start}..{end} breaks coverage at row {next}"
+            )));
+        }
+        next = end;
+    }
+    if next != rows {
+        return Err(AtsError::InvalidArgument(format!(
+            "shard ranges cover 0..{next}, store has {rows} rows"
+        )));
+    }
+    Ok(())
+}
+
+/// A shard's disk-backed serving state, instantiated on first touch.
+struct ShardState {
+    /// The shard's `U` partition behind its own LRU buffer pool.
+    u: CachedFile,
+    /// The shard's delta table, keyed by *shard-local* rows.
+    deltas: DeltaStore,
+}
+
+/// One row-range shard: its manifest entry, its directory, and its
+/// lazily-created serving state.
+struct ShardHandle {
+    entry: ShardEntry,
+    dir: PathBuf,
+    state: OnceLock<ShardState>,
+}
+
+/// An opened sharded store: shared `V`/`Λ` and every delta CRC verified
+/// up front, per-shard `U` pagers and delta tables instantiated lazily.
+///
+/// Serving preserves the §4.1 invariant *per shard*: a cold cell query
+/// touches exactly one page of the owning shard's `U` file — other
+/// shards are not opened, let alone read.
+pub struct ShardedStore {
+    manifest: ShardedManifest,
+    v: Matrix,
+    lambda: Vec<f64>,
+    shards: Vec<ShardHandle>,
+    /// Buffer-pool page budget per shard (the open-time budget split
+    /// evenly, minimum one page).
+    pool_pages: usize,
+}
+
+impl ShardedStore {
+    /// Open a sharded (v3) store directory — or a legacy v2 directory,
+    /// which is served as a single shard with identical semantics.
+    ///
+    /// The manifest is parsed and every component file verified against
+    /// its recorded CRC before anything is served; the shared factors
+    /// are loaded and cross-checked against the manifest's dimensions.
+    /// `pool_pages` bounds the *total* `U` buffer-pool budget; each of
+    /// `R` shards gets `max(pool_pages / R, 1)` pages.
+    pub fn open(dir: impl AsRef<Path>, pool_pages: usize) -> Result<Self> {
+        let dir = dir.as_ref();
+        let manifest = validate_sharded_store_dir(dir)?;
+        if manifest.method != "svd" && manifest.method != "svdd" {
+            return Err(AtsError::Corrupt(format!(
+                "manifest method {:?} is not a disk-servable store (svd|svdd)",
+                manifest.method
+            )));
+        }
+        let v = read_matrix(dir.join("v.atsm"))?;
+        let lambda_m = read_matrix(dir.join("lambda.atsm"))?;
+        if lambda_m.rows() != 1 {
+            return Err(AtsError::Corrupt(format!(
+                "lambda.atsm must be a single row, has {}",
+                lambda_m.rows()
+            )));
+        }
+        let lambda = lambda_m.row(0).to_vec();
+        let k = lambda.len();
+        if v.cols() != k {
+            return Err(AtsError::Corrupt(format!(
+                "inconsistent store: V has {} columns, Λ has {k}",
+                v.cols()
+            )));
+        }
+        if manifest.cols != v.rows() || manifest.k != k {
+            return Err(AtsError::Corrupt(format!(
+                "manifest says {}x{} k={}, factors hold cols={} k={k}",
+                manifest.rows,
+                manifest.cols,
+                manifest.k,
+                v.rows()
+            )));
+        }
+        let shards: Vec<ShardHandle> = manifest
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, entry)| ShardHandle {
+                entry: entry.clone(),
+                dir: manifest.shard_dir(dir, i),
+                state: OnceLock::new(),
+            })
+            .collect();
+        let pool_pages = (pool_pages / shards.len().max(1)).max(1);
+        Ok(ShardedStore {
+            manifest,
+            v,
+            lambda,
+            shards,
+            pool_pages,
+        })
+    }
+
+    /// Number of retained principal components.
+    pub fn k(&self) -> usize {
+        self.lambda.len()
+    }
+
+    /// Total number of stored deltas across all shards.
+    pub fn num_deltas(&self) -> usize {
+        self.manifest.deltas
+    }
+
+    /// Whether the delta tables carry the §4.2 Bloom filter.
+    pub fn has_bloom(&self) -> bool {
+        self.manifest.bloom
+    }
+
+    /// Number of row-range shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The validated manifest this store was opened from.
+    pub fn manifest(&self) -> &ShardedManifest {
+        &self.manifest
+    }
+
+    /// Per-shard I/O counters of the `U` page caches, in shard order.
+    /// Shards never touched report all-zero counters — lazily-opened
+    /// shards that stayed cold did no I/O, and the snapshot proves it.
+    pub fn shard_io_snapshots(&self) -> Vec<IoSnapshot> {
+        self.shards
+            .iter()
+            .map(|h| {
+                h.state
+                    .get()
+                    .map_or_else(IoSnapshot::default, |s| s.u.stats().snapshot())
+            })
+            .collect()
+    }
+
+    /// All shards' I/O counters rolled into one snapshot.
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        let mut total = IoSnapshot::default();
+        for s in self.shard_io_snapshots() {
+            total.merge(&s);
+        }
+        total
+    }
+
+    /// The shard's serving state, instantiating it on first touch.
+    /// Errors are returned (not cached), so a transient failure does not
+    /// poison the shard.
+    fn state(&self, index: usize) -> Result<&ShardState> {
+        let h = self
+            .shards
+            .get(index)
+            .ok_or_else(|| AtsError::oob("shard", index, self.shards.len()))?;
+        if let Some(s) = h.state.get() {
+            return Ok(s);
+        }
+        let loaded = self.load_shard(h, index)?;
+        Ok(h.state.get_or_init(|| loaded))
+    }
+
+    fn load_shard(&self, h: &ShardHandle, index: usize) -> Result<ShardState> {
+        let stats = IoStats::new();
+        let u_file = Arc::new(MatrixFile::open_with_stats(
+            h.dir.join("u.atsm"),
+            Arc::clone(&stats),
+        )?);
+        if u_file.rows() != h.entry.rows() || u_file.cols() != self.k() {
+            return Err(AtsError::Corrupt(format!(
+                "shard {index}: manifest says {} rows k={}, u.atsm holds {}x{}",
+                h.entry.rows(),
+                self.k(),
+                u_file.rows(),
+                u_file.cols()
+            )));
+        }
+        let deltas = read_deltas(
+            &h.dir.join("deltas.bin"),
+            self.manifest.cols,
+            self.manifest.bloom,
+        )?;
+        if deltas.len() != h.entry.deltas {
+            return Err(AtsError::Corrupt(format!(
+                "shard {index}: manifest says {} deltas, file holds {}",
+                h.entry.deltas,
+                deltas.len()
+            )));
+        }
+        // Delta rows are shard-local; one out of range means the file
+        // belongs to a different geometry.
+        let local_rows = h.entry.rows();
+        if deltas.iter().any(|(r, _, _)| r >= local_rows) {
+            return Err(AtsError::Corrupt(format!(
+                "shard {index}: delta row beyond the shard's {local_rows} rows"
+            )));
+        }
+        Ok(ShardState {
+            u: CachedFile::row_aligned(u_file, self.pool_pages),
+            deltas,
+        })
+    }
+
+    /// Locate the shard owning absolute row `i` and its local row index.
+    fn route(&self, i: usize) -> Result<(usize, usize)> {
+        let idx = self
+            .manifest
+            .shard_of_row(i)
+            .ok_or_else(|| AtsError::oob("row", i, self.manifest.rows))?;
+        let start = self
+            .shards
+            .get(idx)
+            .map(|h| h.entry.start)
+            .unwrap_or_default();
+        Ok((idx, i - start))
+    }
+}
+
+impl CompressedMatrix for ShardedStore {
+    fn rows(&self) -> usize {
+        self.manifest.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.manifest.cols
+    }
+
+    fn cell(&self, i: usize, j: usize) -> Result<f64> {
+        if j >= self.manifest.cols {
+            return Err(AtsError::oob("column", j, self.manifest.cols));
+        }
+        let (idx, local) = self.route(i)?;
+        let st = self.state(idx)?;
+        let mut u_row = vec![0.0f64; self.k()];
+        st.u.read_row_into(local, &mut u_row)?; // ≤ 1 disk access, owning shard only
+        let base: f64 = self
+            .lambda
+            .iter()
+            .zip(&u_row)
+            .zip(self.v.row(j))
+            .map(|((&lam, &uv), &vv)| lam * uv * vv)
+            .sum();
+        Ok(match st.deltas.probe(local, j) {
+            Some(d) => base + d,
+            None => base,
+        })
+    }
+
+    fn row_into(&self, i: usize, out: &mut [f64]) -> Result<()> {
+        if out.len() != self.manifest.cols {
+            return Err(AtsError::dims(
+                "ShardedStore::row_into",
+                (1, out.len()),
+                (1, self.manifest.cols),
+            ));
+        }
+        let (idx, local) = self.route(i)?;
+        let st = self.state(idx)?;
+        let mut u_row = vec![0.0f64; self.k()];
+        st.u.read_row_into(local, &mut u_row)?;
+        for (j, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for ((&lam, &uv), &vv) in self.lambda.iter().zip(&u_row).zip(self.v.row(j)) {
+                acc += lam * uv * vv;
+            }
+            *o = acc;
+        }
+        for (j, o) in out.iter_mut().enumerate() {
+            if let Some(d) = st.deltas.probe(local, j) {
+                *o += d;
+            }
+        }
+        Ok(())
+    }
+
+    fn storage_bytes(&self) -> usize {
+        (self.manifest.rows * self.k() + self.k() + self.manifest.cols * self.k())
+            * BYTES_PER_NUMBER
+            + self.manifest.deltas * DELTA_BYTES
+    }
+
+    fn method_name(&self) -> &'static str {
+        if self.manifest.method == "svd" {
+            "disk-svd"
+        } else {
+            "disk-svdd"
+        }
+    }
+
+    fn shard_starts(&self) -> Vec<usize> {
+        self.shards.iter().map(|h| h.entry.start).collect()
+    }
+}
+
+/// What [`append_rows`] did: which shard the batch landed in, how many
+/// rows it holds, and the exact reconstruction SSE of those rows under
+/// the frozen global factors (also recorded in the manifest).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppendReport {
+    /// Index of the freshly-created shard.
+    pub shard_index: usize,
+    /// Rows appended.
+    pub rows: usize,
+    /// Sum of squared reconstruction errors of the appended rows under
+    /// the frozen `V`/`Λ` (they carry no deltas).
+    pub sse: f64,
+}
+
+/// Append a batch of new sequences to an existing sharded (v3) store
+/// on disk, without rebuilding: the rows are projected onto the frozen
+/// global `V`/`Λ` (`U_new = X_new · V · Λ⁻¹`, the §3.3 reconstruction
+/// identity run forward) and land in a fresh shard whose manifest entry
+/// records the batch's exact reconstruction SSE.
+///
+/// Crash-safe: the shard directory is staged hidden, fsynced, and
+/// renamed in *before* the manifest is atomically replaced — until the
+/// new manifest is in place the store opens exactly as before, and an
+/// interrupted append leaves at worst an unreferenced orphan directory.
+///
+/// Legacy v2 directories are refused ([`AtsError::InvalidArgument`]):
+/// re-save the store in the sharded layout first. Pass a [`GramCache`]
+/// to keep the §1 single-pass rebuild path warm — the batch is folded
+/// into the cache after the store is durable.
+pub fn append_rows<S: RowSource + ?Sized>(
+    dir: impl AsRef<Path>,
+    batch: &S,
+    threads: usize,
+    cache: Option<&mut GramCache>,
+) -> Result<AppendReport> {
+    let dir = dir.as_ref();
+    let manifest = validate_sharded_store_dir(dir)?;
+    if manifest.source_version != SHARDED_STORE_VERSION {
+        return Err(AtsError::InvalidArgument(
+            "cannot append to a legacy (v2) store directory: open and re-save it \
+             in the sharded (v3) layout first"
+                .into(),
+        ));
+    }
+    if batch.cols() != manifest.cols {
+        return Err(AtsError::dims(
+            "append_rows",
+            (batch.rows(), batch.cols()),
+            (batch.rows(), manifest.cols),
+        ));
+    }
+    let v = read_matrix(dir.join("v.atsm"))?;
+    let lambda_m = read_matrix(dir.join("lambda.atsm"))?;
+    if lambda_m.rows() != 1 || lambda_m.cols() != manifest.k || v.cols() != manifest.k {
+        return Err(AtsError::Corrupt(format!(
+            "factors disagree with manifest: V is {}x{}, Λ is {}x{}, manifest k={}",
+            v.rows(),
+            v.cols(),
+            lambda_m.rows(),
+            lambda_m.cols(),
+            manifest.k
+        )));
+    }
+    let lambda = lambda_m.row(0).to_vec();
+    let (u_new, sse) = project_frozen(batch, &v, &lambda)?;
+
+    let index = manifest.shards.len();
+    let start = manifest.rows;
+    let end = start
+        .checked_add(batch.rows())
+        .ok_or_else(|| AtsError::InvalidArgument("appended row count overflows".into()))?;
+
+    // Stage the new shard hidden, make it durable, then rename it in.
+    let final_name = shard_dir_name(index);
+    let staged = dir.join(format!(".{final_name}.tmp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&staged);
+    std::fs::create_dir_all(&staged)?;
+    let mut w = MatrixFileWriter::create(staged.join("u.atsm"), manifest.k)?;
+    for i in 0..u_new.rows() {
+        w.append_row(u_new.row(i))?;
+    }
+    w.finish()?;
+    std::fs::write(
+        staged.join("deltas.bin"),
+        encode_deltas(u64_from_usize(manifest.cols), &[]),
+    )?;
+    sync_path(&staged.join("u.atsm"))?;
+    sync_path(&staged.join("deltas.bin"))?;
+    sync_path(&staged)?;
+    let target = dir.join(&final_name);
+    if target.exists() {
+        // Orphan from a previous crashed append — the manifest does not
+        // reference it, so it is dead weight, not data.
+        std::fs::remove_dir_all(&target)?;
+    }
+    std::fs::rename(&staged, &target)?;
+    sync_path(dir)?;
+
+    // Publish: extend the manifest and replace it atomically.
+    let mut next = manifest;
+    next.rows = end;
+    next.shards.push(ShardEntry {
+        start,
+        end,
+        deltas: 0,
+        crc_u: file_crc(target.join("u.atsm"))?,
+        crc_deltas: file_crc(target.join("deltas.bin"))?,
+        append_sse: Some(sse),
+    });
+    let tmp_manifest = dir.join(format!(".manifest.tmp-{}", std::process::id()));
+    std::fs::write(&tmp_manifest, next.encode())?;
+    sync_path(&tmp_manifest)?;
+    std::fs::rename(&tmp_manifest, dir.join(MANIFEST_FILE))?;
+    sync_path(dir)?;
+
+    if let Some(cache) = cache {
+        cache.ingest(batch, threads)?;
+    }
+    Ok(AppendReport {
+        shard_index: index,
+        rows: batch.rows(),
+        sse,
+    })
+}
+
+/// Flush a file or directory to stable storage.
+fn sync_path(path: &Path) -> Result<()> {
+    std::fs::File::open(path)?.sync_all()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::{save_svdd, DiskStore};
+    use ats_common::TestDir;
+    use ats_compress::{shard_ranges, SpaceBudget, SvddCompressed, SvddOptions};
+
+    fn spiky(n: usize, m: usize) -> Matrix {
+        let mut x = Matrix::from_fn(n, m, |i, j| {
+            ((i % 4) + 1) as f64 * if j % 7 < 5 { 3.0 } else { 0.5 }
+        });
+        x[(3, 2)] += 500.0;
+        x[(n - 1, m - 1)] += 300.0;
+        x
+    }
+
+    fn svdd_sharded(x: &Matrix, pct: f64, r: usize) -> SvddCompressed {
+        let ranges = shard_ranges(x.rows(), r);
+        SvddCompressed::compress_sharded(
+            x,
+            &SvddOptions::new(SpaceBudget::from_percent(pct)),
+            &ranges,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sharded_roundtrip_bit_identical() {
+        let x = spiky(203, 17);
+        let svdd = svdd_sharded(&x, 15.0, 3);
+        let ranges = shard_ranges(203, 3);
+        let tmp = TestDir::new("ats-shard");
+        let dir = tmp.file("rt");
+        save_sharded(&dir, svdd.svd(), Some(svdd.deltas()), "svdd", &ranges).unwrap();
+        let store = ShardedStore::open(&dir, 64).unwrap();
+        assert_eq!(store.shard_count(), 3);
+        assert_eq!(store.rows(), 203);
+        assert_eq!(store.cols(), 17);
+        assert_eq!(store.k(), svdd.k_opt());
+        assert_eq!(store.num_deltas(), svdd.num_deltas());
+        assert_eq!(store.storage_bytes(), svdd.storage_bytes());
+        assert_eq!(
+            store.shard_starts(),
+            ranges.iter().map(|r| r.0).collect::<Vec<_>>()
+        );
+        for i in (0..203).step_by(7) {
+            for j in 0..17 {
+                assert_eq!(
+                    store.cell(i, j).unwrap(),
+                    svdd.cell(i, j).unwrap(),
+                    "({i},{j}) must reconstruct exactly"
+                );
+            }
+        }
+        let mut row = vec![0.0; 17];
+        store.row_into(100, &mut row).unwrap();
+        for (j, &got) in row.iter().enumerate() {
+            assert_eq!(got, store.cell(100, j).unwrap());
+        }
+    }
+
+    #[test]
+    fn v2_store_opens_as_single_shard() {
+        let x = spiky(120, 11);
+        let svdd = SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(20.0)))
+            .unwrap();
+        let tmp = TestDir::new("ats-shard");
+        let dir = tmp.file("v2");
+        save_svdd(&dir, &svdd).unwrap(); // legacy v2 writer
+        let legacy = DiskStore::open(&dir, 32).unwrap();
+        let store = ShardedStore::open(&dir, 32).unwrap();
+        assert_eq!(store.shard_count(), 1);
+        assert_eq!(store.shard_starts(), vec![0]);
+        assert_eq!(store.manifest().source_version, 2);
+        assert_eq!(store.storage_bytes(), legacy.storage_bytes());
+        for i in (0..120).step_by(11) {
+            for j in 0..11 {
+                assert_eq!(store.cell(i, j).unwrap(), legacy.cell(i, j).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn per_shard_one_disk_access_and_cold_shards_untouched() {
+        let x = spiky(256, 13);
+        let svdd = svdd_sharded(&x, 15.0, 4);
+        let ranges = shard_ranges(256, 4);
+        let tmp = TestDir::new("ats-shard");
+        let dir = tmp.file("1io");
+        save_sharded(&dir, svdd.svd(), Some(svdd.deltas()), "svdd", &ranges).unwrap();
+        let store = ShardedStore::open(&dir, 256).unwrap();
+        // Query 10 distinct rows of shard 1 only, all cold.
+        let (s1_start, s1_end) = ranges[1];
+        for i in s1_start..(s1_start + 10).min(s1_end) {
+            store.cell(i, 3).unwrap();
+        }
+        let per_shard = store.shard_io_snapshots();
+        assert_eq!(per_shard.len(), 4);
+        assert_eq!(per_shard[1].physical_reads, 10, "one access per cold row");
+        for (idx, snap) in per_shard.iter().enumerate() {
+            if idx != 1 {
+                assert_eq!(snap.physical_reads, 0, "shard {idx} must stay cold");
+                assert_eq!(snap.logical_reads, 0);
+            }
+        }
+        // Re-read the same rows: hits, no new physical I/O anywhere.
+        for i in s1_start..(s1_start + 10).min(s1_end) {
+            store.cell(i, 5).unwrap();
+        }
+        let rolled = store.io_snapshot();
+        assert_eq!(rolled.physical_reads, 10);
+        assert_eq!(rolled.cache_hits, 10);
+    }
+
+    #[test]
+    fn save_sharded_rejects_bad_ranges() {
+        let x = spiky(96, 9);
+        let svdd = svdd_sharded(&x, 20.0, 1);
+        let tmp = TestDir::new("ats-shard");
+        for ranges in [
+            vec![(0usize, 40usize), (50, 96)], // gap
+            vec![(0, 96), (96, 96)],           // empty shard
+            vec![(0, 40)],                     // short coverage
+        ] {
+            let err = save_sharded(
+                &tmp.file("bad"),
+                svdd.svd(),
+                Some(svdd.deltas()),
+                "svdd",
+                &ranges,
+            )
+            .unwrap_err();
+            assert!(matches!(err, AtsError::InvalidArgument(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn append_lands_in_fresh_shard_with_tracked_sse() {
+        let x = spiky(160, 14);
+        let svdd = svdd_sharded(&x, 20.0, 2);
+        let ranges = shard_ranges(160, 2);
+        let tmp = TestDir::new("ats-shard");
+        let dir = tmp.file("append");
+        save_sharded(&dir, svdd.svd(), Some(svdd.deltas()), "svdd", &ranges).unwrap();
+
+        let batch = Matrix::from_fn(24, 14, |i, j| ((i % 3) + 2) as f64 * ((j % 5) as f64 + 0.5));
+        let mut cache = GramCache::from_source(&x, 1).unwrap();
+        let report = append_rows(&dir, &batch, 1, Some(&mut cache)).unwrap();
+        assert_eq!(report.shard_index, 2);
+        assert_eq!(report.rows, 24);
+        assert!(report.sse.is_finite() && report.sse > 0.0);
+        assert_eq!(cache.rows_seen(), 160 + 24);
+
+        let store = ShardedStore::open(&dir, 64).unwrap();
+        assert_eq!(store.rows(), 184);
+        assert_eq!(store.shard_count(), 3);
+        let entry = &store.manifest().shards[2];
+        assert_eq!((entry.start, entry.end, entry.deltas), (160, 184, 0));
+        // The SSE survives the manifest round trip bit-exactly.
+        assert_eq!(
+            entry.append_sse.map(f64::to_bits),
+            Some(report.sse.to_bits())
+        );
+        // Old rows serve exactly as before the append.
+        for i in (0..160).step_by(17) {
+            assert_eq!(store.cell(i, 6).unwrap(), svdd.cell(i, 6).unwrap());
+        }
+        // Appended rows reconstruct under the frozen factors.
+        let (u_new, _) = project_frozen(&batch, svdd.svd().v(), svdd.svd().lambda()).unwrap();
+        let mut expect = vec![0.0; 14];
+        svdd.svd().reconstruct_row_from_u(u_new.row(5), &mut expect);
+        let mut got = vec![0.0; 14];
+        store.row_into(165, &mut got).unwrap();
+        for (a, b) in got.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        // A second append stacks another shard.
+        let report2 = append_rows(&dir, &batch, 1, None).unwrap();
+        assert_eq!(report2.shard_index, 3);
+        assert_eq!(ShardedStore::open(&dir, 64).unwrap().rows(), 208);
+    }
+
+    #[test]
+    fn append_refuses_v2_and_bad_shapes() {
+        let x = spiky(80, 10);
+        let svdd = SvddCompressed::compress(&x, &SvddOptions::new(SpaceBudget::from_percent(20.0)))
+            .unwrap();
+        let tmp = TestDir::new("ats-shard");
+        let dir = tmp.file("v2only");
+        save_svdd(&dir, &svdd).unwrap();
+        let batch = Matrix::from_fn(8, 10, |i, j| (i + j) as f64);
+        let err = append_rows(&dir, &batch, 1, None).unwrap_err();
+        assert!(matches!(err, AtsError::InvalidArgument(_)), "{err}");
+        assert!(err.to_string().contains("v2"), "{err}");
+
+        // Re-save as v3, then a wrong-width batch is refused.
+        let ranges = shard_ranges(80, 2);
+        save_sharded(&dir, svdd.svd(), Some(svdd.deltas()), "svdd", &ranges).unwrap();
+        let wrong = Matrix::from_fn(8, 9, |i, j| (i + j) as f64);
+        assert!(append_rows(&dir, &wrong, 1, None).is_err());
+        // And the store is unchanged by the refused appends.
+        assert_eq!(ShardedStore::open(&dir, 16).unwrap().rows(), 80);
+    }
+
+    #[test]
+    fn interrupted_append_leaves_store_intact() {
+        let x = spiky(100, 12);
+        let svdd = svdd_sharded(&x, 20.0, 2);
+        let ranges = shard_ranges(100, 2);
+        let tmp = TestDir::new("ats-shard");
+        let dir = tmp.file("crash");
+        save_sharded(&dir, svdd.svd(), Some(svdd.deltas()), "svdd", &ranges).unwrap();
+        let baseline = ShardedStore::open(&dir, 16).unwrap().cell(50, 4).unwrap();
+
+        // Crash after the shard dir was renamed in but before the
+        // manifest was replaced: an unreferenced orphan, store serves old
+        // data, and a retried append succeeds over the orphan.
+        let orphan = dir.join(shard_dir_name(2));
+        std::fs::create_dir(&orphan).unwrap();
+        std::fs::write(orphan.join("u.atsm"), b"half-written").unwrap();
+        let store = ShardedStore::open(&dir, 16).unwrap();
+        assert_eq!(store.rows(), 100);
+        assert_eq!(store.cell(50, 4).unwrap(), baseline);
+        let batch = Matrix::from_fn(8, 12, |i, j| (i * j) as f64 + 1.0);
+        let report = append_rows(&dir, &batch, 1, None).unwrap();
+        assert_eq!(report.shard_index, 2);
+        assert_eq!(ShardedStore::open(&dir, 16).unwrap().rows(), 108);
+
+        // Crash with a stale staged temp dir lying around: ignored and
+        // cleaned by the next append at that index.
+        let staged = dir.join(format!(".{}.tmp-999", shard_dir_name(3)));
+        std::fs::create_dir(&staged).unwrap();
+        std::fs::write(staged.join("u.atsm"), b"junk").unwrap();
+        assert_eq!(ShardedStore::open(&dir, 16).unwrap().rows(), 108);
+    }
+}

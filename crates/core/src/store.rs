@@ -6,12 +6,14 @@
 //! [`SequenceStore::open`] serves the saved store back with `U` paged
 //! from disk — without callers reaching into `ats_core::disk` internals.
 
-use crate::disk::{self, DiskStore};
+use crate::shard::{self, ShardedStore};
 use ats_common::{AtsError, Result};
 use ats_compress::cluster::{ClusterAlgo, ClusterCompressed};
 use ats_compress::dct::DctCompressed;
 use ats_compress::sampling::SampleCompressed;
-use ats_compress::{CompressedMatrix, SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions};
+use ats_compress::{
+    shard_ranges, CompressedMatrix, SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions,
+};
 use ats_linalg::Matrix;
 use ats_query::engine::{AggregateFn, QueryEngine};
 use ats_query::metrics::{error_report, ErrorReport};
@@ -45,7 +47,8 @@ impl Method {
             Method::Svd => "svd",
             Method::Svdd => "svdd",
             Method::Dct => "dct",
-            Method::ClusterHierarchical | Method::ClusterKMeans => "cluster",
+            Method::ClusterHierarchical => "cluster-hier",
+            Method::ClusterKMeans => "cluster-kmeans",
             Method::Sampling => "sampling",
         }
     }
@@ -59,6 +62,7 @@ pub struct StoreBuilder {
     threads: usize,
     with_bloom: bool,
     seed: u64,
+    shards: usize,
 }
 
 impl StoreBuilder {
@@ -93,18 +97,32 @@ impl StoreBuilder {
         self
     }
 
+    /// Number of row-range shards for the SVD/SVDD build passes and the
+    /// saved store layout (default 1, or the `ATS_TEST_SHARDS`
+    /// environment variable when set). Sharding never changes results:
+    /// pass 1 folds per-block partial Grams in a fixed global order and
+    /// pass 2 merges per-shard outlier heaps globally, so `k_opt`, the
+    /// delta set, and every reconstructed cell are bit-identical to the
+    /// single-shard build. Non-SVD methods ignore the knob.
+    pub fn shards(mut self, r: usize) -> Self {
+        self.shards = r.max(1);
+        self
+    }
+
     /// Compress from any [`RowSource`] (disk file or in-memory matrix).
     ///
     /// Clustering methods need the data in memory and will materialize
     /// the source (they are the paper's non-streaming baseline).
     pub fn build<S: RowSource + ?Sized>(self, source: &S) -> Result<SequenceStore> {
         let mut persist = Persist::None;
+        let ranges = shard_ranges(source.rows(), self.shards);
         let compressed: Arc<dyn CompressedMatrix> = match self.method {
             Method::Svd => {
-                let c = Arc::new(SvdCompressed::compress_budget(
+                let c = Arc::new(SvdCompressed::compress_budget_sharded(
                     source,
                     self.budget,
                     self.threads,
+                    &ranges,
                 )?);
                 persist = Persist::Svd(Arc::clone(&c));
                 c
@@ -113,7 +131,7 @@ impl StoreBuilder {
                 let mut opts = SvddOptions::new(self.budget);
                 opts.threads = self.threads;
                 opts.with_bloom = self.with_bloom;
-                let c = Arc::new(SvddCompressed::compress(source, &opts)?);
+                let c = Arc::new(SvddCompressed::compress_sharded(source, &opts, &ranges)?);
                 persist = Persist::Svdd(Arc::clone(&c));
                 c
             }
@@ -147,6 +165,7 @@ impl StoreBuilder {
             compressed,
             method: self.method,
             threads: self.threads,
+            shards: self.shards,
             persist,
         })
     }
@@ -165,31 +184,55 @@ pub struct SequenceStore {
     compressed: Arc<dyn CompressedMatrix>,
     method: Method,
     threads: usize,
+    shards: usize,
     persist: Persist,
 }
 
 impl SequenceStore {
-    /// Start building a store.
+    /// Start building a store. The default shard count is 1 unless the
+    /// `ATS_TEST_SHARDS` environment variable names another (the CI
+    /// hook that reruns the whole suite in sharded mode).
     pub fn builder() -> StoreBuilder {
+        let shards = std::env::var("ATS_TEST_SHARDS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(1)
+            .max(1);
         StoreBuilder {
             method: Method::Svdd,
             budget: SpaceBudget::from_percent(10.0),
             threads: 1,
             with_bloom: true,
             seed: 0,
+            shards,
         }
     }
 
-    /// Persist this store into `dir` as a crash-safe v2 store directory
-    /// (temp-dir staging + fsync + atomic rename; see [`crate::disk`]).
+    /// Persist this store into `dir` as a crash-safe sharded (v3) store
+    /// directory (temp-dir staging + fsync + atomic rename; see
+    /// [`crate::shard`]). The on-disk shard ranges are the same
+    /// block-aligned ranges the build passes ran over
+    /// ([`StoreBuilder::shards`]).
     ///
     /// Only the disk-servable methods persist: [`Method::Svd`] and
     /// [`Method::Svdd`]. Other methods return
     /// [`AtsError::InvalidArgument`].
     pub fn save(&self, dir: impl AsRef<Path>) -> Result<()> {
         match &self.persist {
-            Persist::Svd(c) => disk::save_svd(dir, c),
-            Persist::Svdd(c) => disk::save_svdd(dir, c),
+            Persist::Svd(c) => shard::save_sharded(
+                dir.as_ref(),
+                c,
+                None,
+                "svd",
+                &shard_ranges(c.rows(), self.shards),
+            ),
+            Persist::Svdd(c) => shard::save_sharded(
+                dir.as_ref(),
+                c.svd(),
+                Some(c.deltas()),
+                "svdd",
+                &shard_ranges(c.svd().rows(), self.shards),
+            ),
             Persist::None => Err(AtsError::InvalidArgument(format!(
                 "cannot save a {:?} store: only freshly built svd/svdd stores persist \
                  (an opened store is already on disk)",
@@ -198,15 +241,18 @@ impl SequenceStore {
         }
     }
 
-    /// Open a store directory written by [`SequenceStore::save`] (or the
-    /// lower-level [`disk::save_svd`]/[`disk::save_svdd`]).
+    /// Open a store directory written by [`SequenceStore::save`] — the
+    /// sharded v3 layout, or a legacy v2 directory, which is served as a
+    /// single shard with identical semantics.
     ///
     /// The manifest is validated and every component checksummed before
-    /// anything is served; `pool_pages` bounds the `U` buffer pool. The
-    /// returned store answers the same cell/sequence/aggregate queries as
-    /// the in-memory one — `U` rows are paged in from disk on demand.
+    /// anything is served; `pool_pages` bounds the total `U` buffer-pool
+    /// budget, split across shards. The returned store answers the same
+    /// cell/sequence/aggregate queries as the in-memory one — `U` rows
+    /// are paged in from the owning shard on demand, and aggregate scans
+    /// fan out to shards and merge in shard order.
     pub fn open(dir: impl AsRef<Path>, pool_pages: usize) -> Result<SequenceStore> {
-        let store = DiskStore::open(dir, pool_pages)?;
+        let store = ShardedStore::open(dir, pool_pages)?;
         let method = match store.manifest().method.as_str() {
             "svd" => Method::Svd,
             "svdd" => Method::Svdd,
@@ -216,10 +262,12 @@ impl SequenceStore {
                 )))
             }
         };
+        let shards = store.shard_count();
         Ok(SequenceStore {
             compressed: Arc::new(store),
             method,
             threads: 1,
+            shards,
             persist: Persist::None,
         })
     }
@@ -255,6 +303,13 @@ impl SequenceStore {
     /// [`StoreBuilder::threads`] knob).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Number of row-range shards (the builder's
+    /// [`StoreBuilder::shards`] knob; for an opened store, the shard
+    /// count recorded in the manifest).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Aggregate query over a selection, scanned with the store's
@@ -306,6 +361,7 @@ impl SequenceStore {
             .method(self.method)
             .budget(budget)
             .threads(threads)
+            .shards(self.shards)
             .build(source)
     }
 }
@@ -322,8 +378,8 @@ pub fn method_by_name(name: &str) -> Result<Method> {
         "svd" => Method::Svd,
         "svdd" => Method::Svdd,
         "dct" => Method::Dct,
-        "hc" | "cluster" | "hierarchical" => Method::ClusterHierarchical,
-        "kmeans" => Method::ClusterKMeans,
+        "hc" | "cluster" | "cluster-hier" | "hierarchical" => Method::ClusterHierarchical,
+        "kmeans" | "cluster-kmeans" => Method::ClusterKMeans,
         "sampling" | "sample" => Method::Sampling,
         other => {
             return Err(AtsError::InvalidArgument(format!(
@@ -538,6 +594,106 @@ mod tests {
                 "bloom={bloom}"
             );
         }
+    }
+
+    #[test]
+    fn sharded_build_equivalent_to_monolithic() {
+        // The whole point of the sharded refactor: R is a layout knob,
+        // not a semantics knob. shards(1) and shards(4) must agree on
+        // k_opt, the delta set, and every reconstructed cell — bit for
+        // bit — for both SVD and SVDD, in memory and through disk.
+        let x = structured(300, 28);
+        for method in [Method::Svd, Method::Svdd] {
+            let mono = SequenceStore::builder()
+                .method(method)
+                .budget(SpaceBudget::from_percent(20.0))
+                .shards(1)
+                .build(&x)
+                .unwrap();
+            let sharded = SequenceStore::builder()
+                .method(method)
+                .budget(SpaceBudget::from_percent(20.0))
+                .shards(4)
+                .threads(3)
+                .build(&x)
+                .unwrap();
+            // Same k and delta count fall out of equal storage bytes.
+            assert_eq!(mono.storage_bytes(), sharded.storage_bytes(), "{method:?}");
+            for i in 0..300 {
+                for j in 0..28 {
+                    assert_eq!(
+                        mono.cell(i, j).unwrap(),
+                        sharded.cell(i, j).unwrap(),
+                        "{method:?} ({i},{j})"
+                    );
+                }
+            }
+            // And the two on-disk layouts serve identically.
+            let tmp = ats_common::TestDir::new("ats-store-shardeq");
+            let (d1, d4) = (tmp.file("r1"), tmp.file("r4"));
+            mono.save(&d1).unwrap();
+            sharded.save(&d4).unwrap();
+            let o1 = SequenceStore::open(&d1, 64).unwrap();
+            let o4 = SequenceStore::open(&d4, 64).unwrap();
+            assert_eq!(o1.shards(), 1, "{method:?}");
+            assert_eq!(o4.shards(), 4, "{method:?}");
+            for i in (0..300).step_by(13) {
+                for j in 0..28 {
+                    assert_eq!(o1.cell(i, j).unwrap(), o4.cell(i, j).unwrap());
+                    assert_eq!(o1.cell(i, j).unwrap(), mono.cell(i, j).unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_v2_store_opens_as_single_shard() {
+        // A v2 directory written by the legacy writer is exactly a
+        // one-shard v3 store: SequenceStore::open serves it unchanged.
+        let x = structured(150, 21);
+        let built = SequenceStore::builder()
+            .budget(SpaceBudget::from_percent(20.0))
+            .shards(1)
+            .build(&x)
+            .unwrap();
+        let svdd = match &built.persist {
+            Persist::Svdd(c) => Arc::clone(c),
+            _ => unreachable!("default method is svdd"),
+        };
+        let tmp = ats_common::TestDir::new("ats-store-v2compat");
+        let dir = tmp.file("legacy");
+        crate::disk::save_svdd(&dir, &svdd).unwrap();
+        let opened = SequenceStore::open(&dir, 64).unwrap();
+        assert_eq!(opened.method(), Method::Svdd);
+        assert_eq!(opened.shards(), 1);
+        assert_eq!((opened.rows(), opened.cols()), (150, 21));
+        assert_eq!(opened.storage_bytes(), built.storage_bytes());
+        for i in (0..150).step_by(13) {
+            for j in 0..21 {
+                assert_eq!(opened.cell(i, j).unwrap(), built.cell(i, j).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_methods_have_distinct_names() {
+        assert_eq!(Method::ClusterHierarchical.name(), "cluster-hier");
+        assert_eq!(Method::ClusterKMeans.name(), "cluster-kmeans");
+        // The printed names parse back to the right method.
+        assert_eq!(
+            method_by_name("cluster-hier").unwrap(),
+            Method::ClusterHierarchical
+        );
+        assert_eq!(
+            method_by_name("cluster-kmeans").unwrap(),
+            Method::ClusterKMeans
+        );
+        // Legacy aliases keep working.
+        assert_eq!(
+            method_by_name("cluster").unwrap(),
+            Method::ClusterHierarchical
+        );
+        assert_eq!(method_by_name("kmeans").unwrap(), Method::ClusterKMeans);
     }
 
     #[test]

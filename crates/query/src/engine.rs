@@ -149,11 +149,22 @@ impl<'a> QueryEngine<'a> {
 
     /// Fold the selected cells into one [`OnlineStats`], splitting the
     /// selected rows across `self.threads` workers when worthwhile.
+    ///
+    /// Over a sharded matrix ([`CompressedMatrix::shard_starts`] returns
+    /// more than one entry) the scan fans out by *owning shard* instead
+    /// of by arbitrary row chunk: each shard's selected rows fold into
+    /// that shard's private accumulator and the partials merge in shard
+    /// order — so the result is one deterministic value for a given
+    /// shard layout, independent of the thread count.
     fn selection_stats(&self, sel: &Selection, dense_cols: bool) -> Result<OnlineStats> {
         let (n, m) = (self.matrix.rows(), self.matrix.cols());
         sel.validate(n, m)?;
         let cols: Vec<usize> = sel.cols.to_vec(m);
         let rows: Vec<usize> = sel.rows.iter(n).collect();
+        let starts = self.matrix.shard_starts();
+        if starts.len() > 1 {
+            return self.sharded_stats(&rows, &cols, dense_cols, &starts);
+        }
         if self.threads <= 1 || rows.len() < 2 * self.threads {
             return self.stats_over_rows(&rows, &cols, dense_cols);
         }
@@ -180,6 +191,63 @@ impl<'a> QueryEngine<'a> {
         let mut stats = OnlineStats::new();
         for shard in shards {
             stats.merge(&shard?);
+        }
+        Ok(stats)
+    }
+
+    /// Shard fan-out kernel: group the selected rows by owning shard,
+    /// fold each group into a private accumulator (up to `self.threads`
+    /// groups scanned concurrently, in waves), and merge the per-shard
+    /// partials in ascending shard order.
+    fn sharded_stats(
+        &self,
+        rows: &[usize],
+        cols: &[usize],
+        dense_cols: bool,
+        starts: &[usize],
+    ) -> Result<OnlineStats> {
+        // starts is ascending with starts[0] == 0, so every row lands in
+        // the last shard whose start is ≤ the row.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); starts.len()];
+        for &i in rows {
+            let idx = match starts.binary_search(&i) {
+                Ok(p) => p,
+                Err(p) => p.saturating_sub(1),
+            };
+            groups[idx].push(i);
+        }
+        let mut partials: Vec<OnlineStats> = Vec::with_capacity(groups.len());
+        if self.threads <= 1 {
+            for g in &groups {
+                partials.push(self.stats_over_rows(g, cols, dense_cols)?);
+            }
+        } else {
+            for wave in groups.chunks(self.threads) {
+                let wave_stats: Vec<Result<OnlineStats>> = crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = wave
+                        .iter()
+                        .map(|g| {
+                            let cols = &cols;
+                            scope.spawn(move |_| self.stats_over_rows(g, cols, dense_cols))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| match h.join() {
+                            Ok(r) => r,
+                            Err(_) => Err(AtsError::internal("shard stats worker panicked")),
+                        })
+                        .collect()
+                })
+                .map_err(|_| AtsError::internal("shard stats thread scope panicked"))?;
+                for s in wave_stats {
+                    partials.push(s?);
+                }
+            }
+        }
+        let mut stats = OnlineStats::new();
+        for p in &partials {
+            stats.merge(p);
         }
         Ok(stats)
     }
@@ -522,6 +590,82 @@ mod tests {
         assert_eq!(got.min, expect.min());
         assert_eq!(got.max, expect.max());
         assert_eq!(got.stddev, expect.population_std_dev());
+    }
+
+    /// The exact adapter wearing a shard layout: same cells, but
+    /// `shard_starts` advertises row-range shards so the engine takes
+    /// the fan-out path.
+    struct ShardedExact(Matrix, Vec<usize>);
+
+    impl CompressedMatrix for ShardedExact {
+        fn rows(&self) -> usize {
+            self.0.rows()
+        }
+        fn cols(&self) -> usize {
+            self.0.cols()
+        }
+        fn cell(&self, i: usize, j: usize) -> Result<f64> {
+            self.0.get(i, j)
+        }
+        fn storage_bytes(&self) -> usize {
+            0
+        }
+        fn method_name(&self) -> &'static str {
+            "sharded-exact"
+        }
+        fn shard_starts(&self) -> Vec<usize> {
+            self.1.clone()
+        }
+    }
+
+    #[test]
+    fn sharded_aggregate_merges_in_shard_order_exactly() {
+        // The fan-out path must implement precisely "group selected rows
+        // by owning shard, fold each group, merge in shard order" —
+        // reproduce that by hand and demand bit-for-bit equality, at
+        // every thread count (the shard partition, not the thread count,
+        // determines the merge tree).
+        let m = bumpy(97, 17);
+        let starts = vec![0usize, 32, 64];
+        let e = ShardedExact(m.clone(), starts.clone());
+        for sel in selections() {
+            let rows: Vec<usize> = sel.rows.iter(97).collect();
+            let cols: Vec<usize> = sel.cols.to_vec(17);
+            let mut expect = OnlineStats::new();
+            for (gi, &start) in starts.iter().enumerate() {
+                let end = starts.get(gi + 1).copied().unwrap_or(97);
+                let mut shard = OnlineStats::new();
+                for &i in rows.iter().filter(|&&i| i >= start && i < end) {
+                    for &j in &cols {
+                        shard.push(m[(i, j)]);
+                    }
+                }
+                expect.merge(&shard);
+            }
+            for threads in [1, 2, 3, 8] {
+                let got = QueryEngine::new(&e)
+                    .with_threads(threads)
+                    .aggregate_all(&sel)
+                    .unwrap();
+                assert_eq!(got.sum, expect.sum(), "threads={threads}");
+                assert_eq!(got.avg, expect.mean(), "threads={threads}");
+                assert_eq!(got.count, expect.count(), "threads={threads}");
+                assert_eq!(got.stddev, expect.population_std_dev(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_matrix_keeps_monolithic_path() {
+        // shard_starts = [0] means "one shard": the result must equal
+        // the monolithic engine bit-for-bit at one thread.
+        let m = bumpy(60, 8);
+        let sharded = ShardedExact(m.clone(), vec![0]);
+        let plain = ExactMatrix(m);
+        let sel = Selection::all();
+        let a = QueryEngine::new(&sharded).aggregate_all(&sel).unwrap();
+        let b = QueryEngine::new(&plain).aggregate_all(&sel).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

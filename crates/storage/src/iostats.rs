@@ -81,6 +81,45 @@ impl IoStats {
             self.cache_hits() as f64 / l as f64
         }
     }
+
+    /// A point-in-time copy of all four counters — the mergeable value
+    /// a sharded store rolls its per-shard counters up into.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            physical_reads: self.physical_reads(),
+            logical_reads: self.logical_reads(),
+            bytes_read: self.bytes_read(),
+            cache_hits: self.cache_hits(),
+        }
+    }
+}
+
+/// A plain, mergeable copy of [`IoStats`] counters.
+///
+/// Each shard of a sharded store owns live atomic [`IoStats`]; query
+/// code snapshots them and folds the snapshots into one total with
+/// [`IoSnapshot::merge`], so the paper's "1–2 disk accesses per cell"
+/// invariant can be asserted per shard *and* for the store as a whole.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Physical reads (`pread` syscalls / pool misses).
+    pub physical_reads: u64,
+    /// Logical row/page requests.
+    pub logical_reads: u64,
+    /// Bytes physically read.
+    pub bytes_read: u64,
+    /// Buffer-pool hits.
+    pub cache_hits: u64,
+}
+
+impl IoSnapshot {
+    /// Fold another snapshot into this one (saturating).
+    pub fn merge(&mut self, other: &IoSnapshot) {
+        self.physical_reads = self.physical_reads.saturating_add(other.physical_reads);
+        self.logical_reads = self.logical_reads.saturating_add(other.logical_reads);
+        self.bytes_read = self.bytes_read.saturating_add(other.bytes_read);
+        self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +138,22 @@ mod tests {
         assert_eq!(s.bytes_read(), 4096);
         assert_eq!(s.cache_hits(), 1);
         assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshots_merge() {
+        let a = IoStats::new();
+        a.record_logical();
+        a.record_physical(64);
+        let b = IoStats::new();
+        b.record_logical();
+        b.record_hit();
+        let mut total = a.snapshot();
+        total.merge(&b.snapshot());
+        assert_eq!(total.logical_reads, 2);
+        assert_eq!(total.physical_reads, 1);
+        assert_eq!(total.bytes_read, 64);
+        assert_eq!(total.cache_hits, 1);
     }
 
     #[test]

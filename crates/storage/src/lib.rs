@@ -35,7 +35,7 @@ pub mod store_dir;
 
 pub use file::{MatrixFile, MatrixFileWriter};
 pub use format::Header;
-pub use iostats::IoStats;
+pub use iostats::{IoSnapshot, IoStats};
 pub use pool::{BufferPool, CachedFile};
 pub use source::{MemSource, RowSource};
-pub use store_dir::{StoreManifest, StoreWriter};
+pub use store_dir::{ShardEntry, ShardedManifest, StoreManifest, StoreWriter};

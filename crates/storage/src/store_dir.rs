@@ -46,6 +46,9 @@ use std::path::{Path, PathBuf};
 /// Current store-directory format version.
 pub const STORE_VERSION: u32 = 2;
 
+/// Sharded store-directory format version (row-range shards).
+pub const SHARDED_STORE_VERSION: u32 = 3;
+
 /// Name of the manifest file inside a store directory.
 pub const MANIFEST_FILE: &str = "manifest.txt";
 
@@ -96,26 +99,7 @@ impl StoreManifest {
     /// presence of every required key exactly once.
     pub fn parse(text: &str) -> Result<Self> {
         // The self-checksum covers every byte before its own line.
-        let crc_line_start = text
-            .rfind("manifest-crc=")
-            .ok_or_else(|| AtsError::Corrupt("manifest missing self-checksum".into()))?;
-        let head = text
-            .get(..crc_line_start)
-            .ok_or_else(|| AtsError::internal("manifest-crc offset off a char boundary"))?;
-        let tail = text
-            .get(crc_line_start..)
-            .ok_or_else(|| AtsError::internal("manifest-crc offset off a char boundary"))?;
-        let tail = tail.strip_suffix('\n').unwrap_or(tail);
-        let stored_crc = parse_hex_u64(
-            tail.strip_prefix("manifest-crc=")
-                .ok_or_else(|| AtsError::Corrupt("malformed manifest-crc line".into()))?,
-        )?;
-        let computed = hash_bytes(head.as_bytes());
-        if stored_crc != computed {
-            return Err(AtsError::Corrupt(format!(
-                "manifest self-checksum mismatch: stored {stored_crc:#x}, computed {computed:#x}"
-            )));
-        }
+        let head = checked_manifest_head(text)?;
 
         let mut version = None;
         let mut method = None;
@@ -279,6 +263,461 @@ pub fn validate_store_dir(dir: impl AsRef<Path>) -> Result<StoreManifest> {
     Ok(manifest)
 }
 
+/// Name of the subdirectory holding shard `index` inside a v3 store
+/// directory (`shard-0000`, `shard-0001`, …).
+pub fn shard_dir_name(index: usize) -> String {
+    format!("shard-{index:04}")
+}
+
+/// Shared (global) component files of a v3 store directory, in manifest
+/// order: the `V` and `Λ` factors every shard reconstructs against.
+pub const SHARED_FILES: [&str; 2] = ["v.atsm", "lambda.atsm"];
+
+/// Per-shard component files, living inside each `shard-NNNN/` subdir.
+pub const SHARD_FILES: [&str; 2] = ["u.atsm", "deltas.bin"];
+
+/// One row-range shard recorded in a v3 manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardEntry {
+    /// First (absolute) row of the shard, inclusive.
+    pub start: usize,
+    /// One past the last (absolute) row of the shard.
+    pub end: usize,
+    /// Number of outlier deltas in this shard's `deltas.bin`.
+    pub deltas: usize,
+    /// CRC of the shard's `u.atsm`.
+    pub crc_u: u64,
+    /// CRC of the shard's `deltas.bin`.
+    pub crc_deltas: u64,
+    /// For shards created by the append path: the sum of squared
+    /// reconstruction errors of the new rows under the frozen global
+    /// `V/Λ` (they carry no deltas, so this is the honest error record).
+    pub append_sse: Option<f64>,
+}
+
+impl ShardEntry {
+    /// Number of rows in the shard.
+    pub fn rows(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Parsed, validated contents of a sharded (v3) `manifest.txt` — or a
+/// v2 manifest normalized into a single-shard view.
+///
+/// The v3 layout keeps `V` and `Λ` at the top level (they are global:
+/// every shard reconstructs against the same factors) and gives each
+/// row-range shard its own subdirectory with a `U` partition and a
+/// delta partition:
+///
+/// ```text
+/// store/
+///   manifest.txt        # this document
+///   v.atsm  lambda.atsm # shared factors
+///   shard-0000/ u.atsm deltas.bin
+///   shard-0001/ u.atsm deltas.bin
+///   ...
+/// ```
+///
+/// Delta rows inside a shard's `deltas.bin` are stored *relative to the
+/// shard's start row*, so a v2 directory — whose single `deltas.bin`
+/// is based at row 0 — is exactly a one-shard v3 store and opens as
+/// one ([`ShardedManifest::read`] normalizes it, `source_version = 2`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedManifest {
+    /// Compression method tag (`"svd"` or `"svdd"`).
+    pub method: String,
+    /// Total number of sequences (`N`) across all shards.
+    pub rows: usize,
+    /// Sequence length (`M`).
+    pub cols: usize,
+    /// Retained principal components.
+    pub k: usize,
+    /// Total number of outlier deltas across all shards.
+    pub deltas: usize,
+    /// Whether delta tables carry Bloom filters (§4.2).
+    pub bloom: bool,
+    /// CRC of the shared `v.atsm`.
+    pub crc_v: u64,
+    /// CRC of the shared `lambda.atsm`.
+    pub crc_lambda: u64,
+    /// Row-range shards, in ascending row order.
+    pub shards: Vec<ShardEntry>,
+    /// Format version the manifest was read from: 2 (normalized
+    /// single-shard view of a legacy directory) or 3.
+    pub source_version: u32,
+}
+
+impl ShardedManifest {
+    /// Directory holding shard `index`'s component files: the store
+    /// directory itself for a normalized v2 store, `shard-NNNN/` for v3.
+    pub fn shard_dir(&self, base: &Path, index: usize) -> PathBuf {
+        if self.source_version == STORE_VERSION {
+            base.to_path_buf()
+        } else {
+            base.join(shard_dir_name(index))
+        }
+    }
+
+    /// Index of the shard owning absolute row `row`, if in range.
+    pub fn shard_of_row(&self, row: usize) -> Option<usize> {
+        self.shards
+            .iter()
+            .position(|s| row >= s.start && row < s.end)
+    }
+
+    /// Serialize to the canonical v3 text form, including the trailing
+    /// `manifest-crc` self-checksum line.
+    pub fn encode(&self) -> String {
+        let mut text = String::new();
+        text.push_str(&format!("ats-store-version={SHARDED_STORE_VERSION}\n"));
+        text.push_str(&format!("method={}\n", self.method));
+        text.push_str(&format!("rows={}\n", self.rows));
+        text.push_str(&format!("cols={}\n", self.cols));
+        text.push_str(&format!("k={}\n", self.k));
+        text.push_str(&format!("deltas={}\n", self.deltas));
+        text.push_str(&format!("bloom={}\n", self.bloom));
+        text.push_str(&format!("crc.v.atsm={:016x}\n", self.crc_v));
+        text.push_str(&format!("crc.lambda.atsm={:016x}\n", self.crc_lambda));
+        text.push_str(&format!("shards={}\n", self.shards.len()));
+        for (i, s) in self.shards.iter().enumerate() {
+            text.push_str(&format!("shard.{i}.rows={}..{}\n", s.start, s.end));
+            text.push_str(&format!("shard.{i}.deltas={}\n", s.deltas));
+            text.push_str(&format!("shard.{i}.crc.u={:016x}\n", s.crc_u));
+            text.push_str(&format!("shard.{i}.crc.deltas={:016x}\n", s.crc_deltas));
+            if let Some(sse) = s.append_sse {
+                text.push_str(&format!("shard.{i}.append-sse={:016x}\n", sse.to_bits()));
+            }
+        }
+        let csum = hash_bytes(text.as_bytes());
+        text.push_str(&format!("manifest-crc={csum:016x}\n"));
+        text
+    }
+
+    /// Parse manifest text of either format: v3 natively, v2 normalized
+    /// into a single-shard view. Self-checksum, strict schema (every
+    /// key exactly once, no unknown keys), and shard-geometry checks
+    /// (contiguous ascending ranges covering `0..rows`, per-shard delta
+    /// counts summing to the total).
+    pub fn parse(text: &str) -> Result<Self> {
+        match sniff_version(text)? {
+            2 => Ok(Self::from_v2(StoreManifest::parse(text)?)),
+            3 => Self::parse_v3(text),
+            v => Err(AtsError::Corrupt(format!(
+                "unsupported store format version {v} (expected {STORE_VERSION} or {SHARDED_STORE_VERSION})"
+            ))),
+        }
+    }
+
+    /// Normalize a v2 manifest into the single-shard view.
+    pub fn from_v2(m: StoreManifest) -> Self {
+        let [crc_u, crc_v, crc_lambda, crc_deltas] = m.crcs;
+        ShardedManifest {
+            method: m.method,
+            rows: m.rows,
+            cols: m.cols,
+            k: m.k,
+            deltas: m.deltas,
+            bloom: m.bloom,
+            crc_v,
+            crc_lambda,
+            shards: vec![ShardEntry {
+                start: 0,
+                end: m.rows,
+                deltas: m.deltas,
+                crc_u,
+                crc_deltas,
+                append_sse: None,
+            }],
+            source_version: STORE_VERSION,
+        }
+    }
+
+    fn parse_v3(text: &str) -> Result<Self> {
+        let head = checked_manifest_head(text)?;
+
+        let mut version = None;
+        let mut method = None;
+        let mut rows = None;
+        let mut cols = None;
+        let mut k = None;
+        let mut deltas = None;
+        let mut bloom = None;
+        let mut crc_v = None;
+        let mut crc_lambda = None;
+        let mut shard_count = None;
+        let mut slots: std::collections::BTreeMap<usize, ShardSlot> =
+            std::collections::BTreeMap::new();
+        for line in head.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| AtsError::Corrupt(format!("malformed manifest line {line:?}")))?;
+            match key {
+                "ats-store-version" => {
+                    set_once("ats-store-version", &mut version, parse_usize(key, value)?)?
+                }
+                "method" => set_once("method", &mut method, value.to_string())?,
+                "rows" => set_once("rows", &mut rows, parse_usize(key, value)?)?,
+                "cols" => set_once("cols", &mut cols, parse_usize(key, value)?)?,
+                "k" => set_once("k", &mut k, parse_usize(key, value)?)?,
+                "deltas" => set_once("deltas", &mut deltas, parse_usize(key, value)?)?,
+                "bloom" => {
+                    let b = match value {
+                        "true" => true,
+                        "false" => false,
+                        other => {
+                            return Err(AtsError::Corrupt(format!(
+                                "manifest bloom flag must be true|false, got {other:?}"
+                            )))
+                        }
+                    };
+                    set_once("bloom", &mut bloom, b)?;
+                }
+                "crc.v.atsm" => set_once("crc.v.atsm", &mut crc_v, parse_hex_u64(value)?)?,
+                "crc.lambda.atsm" => {
+                    set_once("crc.lambda.atsm", &mut crc_lambda, parse_hex_u64(value)?)?
+                }
+                "shards" => set_once("shards", &mut shard_count, parse_usize(key, value)?)?,
+                shard_key => parse_shard_key(shard_key, value, &mut slots)?,
+            }
+        }
+
+        let version =
+            version.ok_or_else(|| AtsError::Corrupt("manifest missing version".into()))?;
+        if u64_from_usize(version) != u64::from(SHARDED_STORE_VERSION) {
+            return Err(AtsError::Corrupt(format!(
+                "unsupported store format version {version} (expected {SHARDED_STORE_VERSION})"
+            )));
+        }
+        let require = |what: &str, v: Option<usize>| {
+            v.ok_or_else(|| AtsError::Corrupt(format!("manifest missing {what}")))
+        };
+        let rows = require("rows", rows)?;
+        let deltas = require("deltas", deltas)?;
+        let shard_count = require("shards", shard_count)?;
+        if shard_count == 0 {
+            return Err(AtsError::Corrupt("manifest declares zero shards".into()));
+        }
+        if slots.len() != shard_count || slots.keys().enumerate().any(|(want, &got)| want != got) {
+            return Err(AtsError::Corrupt(format!(
+                "manifest declares {shard_count} shards but defines indices {:?}",
+                slots.keys().collect::<Vec<_>>()
+            )));
+        }
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut next_start = 0usize;
+        let mut delta_sum = 0usize;
+        for (i, slot) in slots {
+            let entry = slot.finish(i)?;
+            if entry.start != next_start || entry.end <= entry.start {
+                return Err(AtsError::Corrupt(format!(
+                    "shard {i} range {}..{} is not contiguous from row {next_start}",
+                    entry.start, entry.end
+                )));
+            }
+            next_start = entry.end;
+            delta_sum = delta_sum
+                .checked_add(entry.deltas)
+                .ok_or_else(|| AtsError::Corrupt("shard delta counts overflow usize".into()))?;
+            shards.push(entry);
+        }
+        if next_start != rows {
+            return Err(AtsError::Corrupt(format!(
+                "shard ranges cover 0..{next_start} but manifest declares {rows} rows"
+            )));
+        }
+        if delta_sum != deltas {
+            return Err(AtsError::Corrupt(format!(
+                "shard delta counts sum to {delta_sum} but manifest declares {deltas}"
+            )));
+        }
+        Ok(ShardedManifest {
+            method: method.ok_or_else(|| AtsError::Corrupt("manifest missing method".into()))?,
+            rows,
+            cols: require("cols", cols)?,
+            k: require("k", k)?,
+            deltas,
+            bloom: bloom.ok_or_else(|| AtsError::Corrupt("manifest missing bloom flag".into()))?,
+            crc_v: crc_v.ok_or_else(|| AtsError::Corrupt("manifest missing crc.v.atsm".into()))?,
+            crc_lambda: crc_lambda
+                .ok_or_else(|| AtsError::Corrupt("manifest missing crc.lambda.atsm".into()))?,
+            shards,
+            source_version: SHARDED_STORE_VERSION,
+        })
+    }
+
+    /// Read `dir/manifest.txt` and parse it as either format.
+    ///
+    /// A missing directory surfaces as the underlying I/O error ("clean
+    /// absence"); a directory that exists but has no manifest is a
+    /// corrupt or pre-v2 store.
+    pub fn read(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref();
+        let path = dir.join(MANIFEST_FILE);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound && dir.is_dir() => {
+                return Err(AtsError::Corrupt(format!(
+                    "store at {} has no {MANIFEST_FILE} (not an ats store)",
+                    dir.display()
+                )));
+            }
+            Err(e) => return Err(e.into()),
+        };
+        Self::parse(&text)
+    }
+}
+
+/// Pre-checksum-validated manifest body (everything before the
+/// `manifest-crc` line), shared by the v2 and v3 parsers.
+fn checked_manifest_head(text: &str) -> Result<&str> {
+    let crc_line_start = text
+        .rfind("manifest-crc=")
+        .ok_or_else(|| AtsError::Corrupt("manifest missing self-checksum".into()))?;
+    let head = text
+        .get(..crc_line_start)
+        .ok_or_else(|| AtsError::internal("manifest-crc offset off a char boundary"))?;
+    let tail = text
+        .get(crc_line_start..)
+        .ok_or_else(|| AtsError::internal("manifest-crc offset off a char boundary"))?;
+    let tail = tail.strip_suffix('\n').unwrap_or(tail);
+    let stored_crc = parse_hex_u64(
+        tail.strip_prefix("manifest-crc=")
+            .ok_or_else(|| AtsError::Corrupt("malformed manifest-crc line".into()))?,
+    )?;
+    let computed = hash_bytes(head.as_bytes());
+    if stored_crc != computed {
+        return Err(AtsError::Corrupt(format!(
+            "manifest self-checksum mismatch: stored {stored_crc:#x}, computed {computed:#x}"
+        )));
+    }
+    Ok(head)
+}
+
+/// Version tag of a manifest, read without validating anything else —
+/// used to dispatch between the v2 and v3 parsers (each of which then
+/// re-validates the version strictly).
+fn sniff_version(text: &str) -> Result<usize> {
+    for line in text.lines() {
+        if let Some(value) = line.trim().strip_prefix("ats-store-version=") {
+            return parse_usize("ats-store-version", value);
+        }
+    }
+    Err(AtsError::Corrupt("manifest missing version".into()))
+}
+
+/// Partially-parsed fields of one `shard.N.*` key group.
+#[derive(Default)]
+struct ShardSlot {
+    range: Option<(usize, usize)>,
+    deltas: Option<usize>,
+    crc_u: Option<u64>,
+    crc_deltas: Option<u64>,
+    append_sse: Option<f64>,
+}
+
+impl ShardSlot {
+    fn finish(self, index: usize) -> Result<ShardEntry> {
+        let missing =
+            |what: &str| AtsError::Corrupt(format!("manifest missing shard.{index}.{what}"));
+        let (start, end) = self.range.ok_or_else(|| missing("rows"))?;
+        Ok(ShardEntry {
+            start,
+            end,
+            deltas: self.deltas.ok_or_else(|| missing("deltas"))?,
+            crc_u: self.crc_u.ok_or_else(|| missing("crc.u"))?,
+            crc_deltas: self.crc_deltas.ok_or_else(|| missing("crc.deltas"))?,
+            append_sse: self.append_sse,
+        })
+    }
+}
+
+/// Parse one `shard.<index>.<field>=<value>` manifest line into `slots`.
+fn parse_shard_key(
+    key: &str,
+    value: &str,
+    slots: &mut std::collections::BTreeMap<usize, ShardSlot>,
+) -> Result<()> {
+    let unknown = || AtsError::Corrupt(format!("unknown manifest key {key:?}"));
+    let rest = key.strip_prefix("shard.").ok_or_else(unknown)?;
+    let (index, field) = rest.split_once('.').ok_or_else(unknown)?;
+    let index: usize = index.parse().map_err(|_| unknown())?;
+    let slot = slots.entry(index).or_default();
+    match field {
+        "rows" => {
+            let (a, b) = value.split_once("..").ok_or_else(|| {
+                AtsError::Corrupt(format!("shard range {value:?} is not START..END"))
+            })?;
+            let range = (parse_usize(key, a)?, parse_usize(key, b)?);
+            set_once(key, &mut slot.range, range)
+        }
+        "deltas" => set_once(key, &mut slot.deltas, parse_usize(key, value)?),
+        "crc.u" => set_once(key, &mut slot.crc_u, parse_hex_u64(value)?),
+        "crc.deltas" => set_once(key, &mut slot.crc_deltas, parse_hex_u64(value)?),
+        "append-sse" => set_once(
+            key,
+            &mut slot.append_sse,
+            f64::from_bits(parse_hex_u64(value)?),
+        ),
+        _ => Err(unknown()),
+    }
+}
+
+/// Validate a store directory of either format: parse the manifest
+/// (normalizing v2 into a single-shard view) and cross-check the shared
+/// `V/Λ` CRCs plus every shard's `U` and delta CRCs against the bytes
+/// on disk.
+///
+/// Returns the normalized manifest on success. A missing directory
+/// propagates as an I/O error; anything else is [`AtsError::Corrupt`].
+pub fn validate_sharded_store_dir(dir: impl AsRef<Path>) -> Result<ShardedManifest> {
+    let dir = dir.as_ref();
+    let manifest = ShardedManifest::read(dir)?;
+    let mut checks: Vec<(PathBuf, u64, String)> = vec![
+        (dir.join("v.atsm"), manifest.crc_v, "v.atsm".to_string()),
+        (
+            dir.join("lambda.atsm"),
+            manifest.crc_lambda,
+            "lambda.atsm".to_string(),
+        ),
+    ];
+    for (i, s) in manifest.shards.iter().enumerate() {
+        let shard_dir = manifest.shard_dir(dir, i);
+        checks.push((
+            shard_dir.join("u.atsm"),
+            s.crc_u,
+            format!("shard {i} u.atsm"),
+        ));
+        checks.push((
+            shard_dir.join("deltas.bin"),
+            s.crc_deltas,
+            format!("shard {i} deltas.bin"),
+        ));
+    }
+    for (path, expected, what) in checks {
+        let got = match file_crc(&path) {
+            Ok(c) => c,
+            Err(AtsError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(AtsError::Corrupt(format!(
+                    "store component {what} is missing from {}",
+                    dir.display()
+                )));
+            }
+            Err(e) => return Err(e),
+        };
+        if got != expected {
+            return Err(AtsError::Corrupt(format!(
+                "store component {what} checksum mismatch: manifest {expected:#x}, file {got:#x}"
+            )));
+        }
+    }
+    Ok(manifest)
+}
+
 /// Crash-safe store-directory writer: stage every component in a hidden
 /// sibling temp directory, then swap it into place atomically.
 ///
@@ -356,12 +795,43 @@ impl StoreWriter {
             };
         }
         fs::write(self.tmp.join(MANIFEST_FILE), manifest.encode())?;
+        self.swap_into_place()
+    }
+
+    /// Finish a sharded (v3) save: fill the manifest's shared and
+    /// per-shard CRCs from the files staged under
+    /// [`StoreWriter::path`] (`v.atsm` / `lambda.atsm` at the top,
+    /// `shard-NNNN/{u.atsm,deltas.bin}` per shard), write it, fsync the
+    /// whole staged tree, and atomically swap it into place.
+    pub fn commit_sharded(mut self, mut manifest: ShardedManifest) -> Result<()> {
+        let staged_crc = |path: &Path, what: &str| -> Result<u64> {
+            match file_crc(path) {
+                Ok(c) => Ok(c),
+                Err(AtsError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => Err(
+                    AtsError::InvalidArgument(format!("commit without staged component {what}")),
+                ),
+                Err(e) => Err(e),
+            }
+        };
+        manifest.crc_v = staged_crc(&self.tmp.join("v.atsm"), "v.atsm")?;
+        manifest.crc_lambda = staged_crc(&self.tmp.join("lambda.atsm"), "lambda.atsm")?;
+        for (i, s) in manifest.shards.iter_mut().enumerate() {
+            let shard = self.tmp.join(shard_dir_name(i));
+            s.crc_u = staged_crc(&shard.join("u.atsm"), &format!("shard {i} u.atsm"))?;
+            s.crc_deltas = staged_crc(&shard.join("deltas.bin"), &format!("shard {i} deltas.bin"))?;
+        }
+        manifest.source_version = SHARDED_STORE_VERSION;
+        fs::write(self.tmp.join(MANIFEST_FILE), manifest.encode())?;
+        self.swap_into_place()
+    }
+
+    /// Shared commit tail: fsync every staged byte (recursing into
+    /// shard subdirectories), then rename the staged directory into
+    /// place, retiring any previous store.
+    fn swap_into_place(&mut self) -> Result<()> {
         // Durability point: every staged byte reaches disk before the
         // rename can expose the new directory.
-        for entry in fs::read_dir(&self.tmp)? {
-            File::open(entry?.path())?.sync_all()?;
-        }
-        sync_dir(&self.tmp)?;
+        fsync_tree(&self.tmp)?;
 
         let parent = parent_of(&self.final_dir);
         let name = self
@@ -386,6 +856,21 @@ impl StoreWriter {
         sync_dir(&parent)?;
         Ok(())
     }
+}
+
+/// fsync every regular file under `dir` (recursively) and every
+/// directory on the way back up — the durability sweep a sharded save
+/// needs before its atomic rename.
+fn fsync_tree(dir: &Path) -> Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            fsync_tree(&path)?;
+        } else {
+            File::open(&path)?.sync_all()?;
+        }
+    }
+    sync_dir(dir)
 }
 
 impl Drop for StoreWriter {
@@ -621,5 +1106,224 @@ mod tests {
         let t = ats_common::TestDir::new("ats-storedir");
         let err = validate_store_dir(t.file("never-saved")).unwrap_err();
         assert!(matches!(err, AtsError::Io(_)), "{err}");
+    }
+
+    fn sharded_manifest() -> ShardedManifest {
+        ShardedManifest {
+            method: "svdd".into(),
+            rows: 200,
+            cols: 21,
+            k: 5,
+            deltas: 37,
+            bloom: true,
+            crc_v: 11,
+            crc_lambda: 12,
+            shards: vec![
+                ShardEntry {
+                    start: 0,
+                    end: 96,
+                    deltas: 20,
+                    crc_u: 21,
+                    crc_deltas: 22,
+                    append_sse: None,
+                },
+                ShardEntry {
+                    start: 96,
+                    end: 200,
+                    deltas: 17,
+                    crc_u: 31,
+                    crc_deltas: 32,
+                    append_sse: Some(0.125),
+                },
+            ],
+            source_version: SHARDED_STORE_VERSION,
+        }
+    }
+
+    fn stage_sharded_components(dir: &Path, shards: usize) {
+        for (i, name) in SHARED_FILES.iter().enumerate() {
+            std::fs::write(dir.join(name), format!("shared {i} payload")).unwrap();
+        }
+        for s in 0..shards {
+            let shard = dir.join(shard_dir_name(s));
+            std::fs::create_dir_all(&shard).unwrap();
+            for (i, name) in SHARD_FILES.iter().enumerate() {
+                std::fs::write(shard.join(name), format!("shard {s} file {i} payload")).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_manifest_roundtrip_preserves_append_sse_bits() {
+        let m = sharded_manifest();
+        let parsed = ShardedManifest::parse(&m.encode()).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.shards[1].append_sse, Some(0.125));
+    }
+
+    #[test]
+    fn sharded_manifest_bitflip_detected_everywhere() {
+        let text = sharded_manifest().encode();
+        for i in 0..text.len() {
+            let mut bytes = text.clone().into_bytes();
+            bytes[i] ^= 0x01;
+            let Ok(s) = String::from_utf8(bytes) else {
+                continue;
+            };
+            assert!(
+                ShardedManifest::parse(&s).is_err(),
+                "flip at byte {i} accepted: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_manifest_parses_as_single_shard_view() {
+        let m = manifest();
+        let sharded = ShardedManifest::parse(&m.encode()).unwrap();
+        assert_eq!(sharded.source_version, STORE_VERSION);
+        assert_eq!(sharded.shards.len(), 1);
+        assert_eq!(sharded.shards[0].start, 0);
+        assert_eq!(sharded.shards[0].end, m.rows);
+        assert_eq!(sharded.shards[0].deltas, m.deltas);
+        assert_eq!(sharded.shards[0].crc_u, m.crcs[0]);
+        assert_eq!(sharded.crc_v, m.crcs[1]);
+        assert_eq!(sharded.crc_lambda, m.crcs[2]);
+        assert_eq!(sharded.shards[0].crc_deltas, m.crcs[3]);
+        // A v2 store's components live at the top level.
+        let base = Path::new("store");
+        assert_eq!(sharded.shard_dir(base, 0), base);
+    }
+
+    fn reencode(body: &str) -> String {
+        let csum = ats_common::hash::hash_bytes(body.as_bytes());
+        format!("{body}manifest-crc={csum:016x}\n")
+    }
+
+    #[test]
+    fn sharded_manifest_geometry_violations_rejected() {
+        let good = sharded_manifest();
+        // Gap between shards.
+        let mut m = good.clone();
+        m.shards[1].start = 100;
+        let text = reencode(&m.encode()[..m.encode().rfind("manifest-crc=").unwrap()]);
+        assert!(ShardedManifest::parse(&text).is_err(), "gap accepted");
+        // Delta counts don't sum to total.
+        let mut m = good.clone();
+        m.shards[0].deltas = 21;
+        let text = reencode(&m.encode()[..m.encode().rfind("manifest-crc=").unwrap()]);
+        assert!(ShardedManifest::parse(&text).is_err(), "bad sum accepted");
+        // Last shard doesn't reach `rows`.
+        let mut m = good.clone();
+        m.shards[1].end = 150;
+        let text = reencode(&m.encode()[..m.encode().rfind("manifest-crc=").unwrap()]);
+        assert!(
+            ShardedManifest::parse(&text).is_err(),
+            "short cover accepted"
+        );
+        // Empty shard.
+        let mut m = good.clone();
+        m.shards[0].end = 0;
+        m.shards[1].start = 0;
+        let text = reencode(&m.encode()[..m.encode().rfind("manifest-crc=").unwrap()]);
+        assert!(
+            ShardedManifest::parse(&text).is_err(),
+            "empty shard accepted"
+        );
+        // Unknown shard field.
+        let body = good
+            .encode()
+            .replace("shard.0.deltas=", "shard.0.unknowns=");
+        let text = reencode(&body[..body.rfind("manifest-crc=").unwrap()]);
+        assert!(
+            ShardedManifest::parse(&text).is_err(),
+            "unknown key accepted"
+        );
+    }
+
+    #[test]
+    fn shard_of_row_routes_to_owner() {
+        let m = sharded_manifest();
+        assert_eq!(m.shard_of_row(0), Some(0));
+        assert_eq!(m.shard_of_row(95), Some(0));
+        assert_eq!(m.shard_of_row(96), Some(1));
+        assert_eq!(m.shard_of_row(199), Some(1));
+        assert_eq!(m.shard_of_row(200), None);
+    }
+
+    #[test]
+    fn commit_sharded_swaps_atomically_and_validates() {
+        let t = ats_common::TestDir::new("ats-storedir");
+        let target = t.file("store");
+
+        let w = StoreWriter::begin(&target).unwrap();
+        stage_sharded_components(w.path(), 2);
+        w.commit_sharded(sharded_manifest()).unwrap();
+        let m = validate_sharded_store_dir(&target).unwrap();
+        assert_eq!(m.source_version, SHARDED_STORE_VERSION);
+        assert_eq!(m.shards.len(), 2);
+        assert_ne!(m.crc_v, 11, "commit recomputes real CRCs");
+        assert_eq!(m.shards[1].append_sse, Some(0.125));
+
+        // Replacing a sharded store with a differently-sharded one
+        // leaves no stale shard directories behind.
+        let w = StoreWriter::begin(&target).unwrap();
+        stage_sharded_components(w.path(), 1);
+        let mut m1 = sharded_manifest();
+        m1.shards = vec![ShardEntry {
+            start: 0,
+            end: 200,
+            deltas: 37,
+            crc_u: 0,
+            crc_deltas: 0,
+            append_sse: None,
+        }];
+        w.commit_sharded(m1).unwrap();
+        let got = validate_sharded_store_dir(&target).unwrap();
+        assert_eq!(got.shards.len(), 1);
+        assert!(!target.join(shard_dir_name(1)).exists(), "stale shard dir");
+    }
+
+    #[test]
+    fn commit_sharded_without_staged_shard_refused() {
+        let t = ats_common::TestDir::new("ats-storedir");
+        let w = StoreWriter::begin(t.file("store")).unwrap();
+        stage_sharded_components(w.path(), 1); // manifest declares 2
+        let err = w.commit_sharded(sharded_manifest()).unwrap_err();
+        assert!(matches!(err, AtsError::InvalidArgument(_)), "{err}");
+        assert!(!t.file("store").exists());
+    }
+
+    #[test]
+    fn validate_sharded_rejects_per_shard_corruption() {
+        let t = ats_common::TestDir::new("ats-storedir");
+        let target = t.file("store");
+        let w = StoreWriter::begin(&target).unwrap();
+        stage_sharded_components(w.path(), 2);
+        w.commit_sharded(sharded_manifest()).unwrap();
+
+        let victim = target.join(shard_dir_name(1)).join("u.atsm");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        bytes[0] ^= 0x80;
+        std::fs::write(&victim, &bytes).unwrap();
+        let err = validate_sharded_store_dir(&target).unwrap_err();
+        assert!(matches!(err, AtsError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("shard 1"), "{err}");
+
+        std::fs::remove_file(&victim).unwrap();
+        let err = validate_sharded_store_dir(&target).unwrap_err();
+        assert!(matches!(err, AtsError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn validate_sharded_accepts_v2_directory() {
+        let t = ats_common::TestDir::new("ats-storedir");
+        let target = t.file("store");
+        let w = StoreWriter::begin(&target).unwrap();
+        stage_components(w.path());
+        w.commit(manifest()).unwrap();
+        let m = validate_sharded_store_dir(&target).unwrap();
+        assert_eq!(m.source_version, STORE_VERSION);
+        assert_eq!(m.shards.len(), 1);
     }
 }

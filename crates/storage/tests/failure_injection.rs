@@ -12,7 +12,10 @@
 use ats_common::AtsError;
 use ats_linalg::Matrix;
 use ats_storage::file::{read_matrix, write_matrix, MatrixFileWriter};
-use ats_storage::store_dir::{validate_store_dir, COMPONENT_FILES, MANIFEST_FILE};
+use ats_storage::store_dir::{
+    shard_dir_name, validate_sharded_store_dir, validate_store_dir, ShardEntry, ShardedManifest,
+    COMPONENT_FILES, MANIFEST_FILE, SHARD_FILES,
+};
 use ats_storage::{CachedFile, MatrixFile, StoreManifest, StoreWriter};
 use std::path::Path;
 use std::sync::Arc;
@@ -342,6 +345,249 @@ fn manifest_tampering_is_corrupt() {
     std::fs::remove_file(&path).unwrap();
     assert!(matches!(
         validate_store_dir(&target),
+        Err(AtsError::Corrupt(_))
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Sharded store-directory (format v3) kill-point and corruption suite.
+// ---------------------------------------------------------------------
+
+const DEMO_SHARDS: usize = 3;
+
+fn demo_sharded_manifest() -> ShardedManifest {
+    let entries = (0..DEMO_SHARDS)
+        .map(|i| ShardEntry {
+            start: i * 2,
+            end: (i + 1) * 2,
+            deltas: 0,
+            crc_u: 0,
+            crc_deltas: 0,
+            append_sse: None,
+        })
+        .collect();
+    ShardedManifest {
+        method: "svdd".into(),
+        rows: 2 * DEMO_SHARDS,
+        cols: 3,
+        k: 2,
+        deltas: 0,
+        bloom: false,
+        crc_v: 0,
+        crc_lambda: 0,
+        shards: entries,
+        source_version: 0, // filled in by commit_sharded
+    }
+}
+
+/// Every component file of a multi-shard save in the order the save
+/// writes them: shared factors first, then each shard's partition.
+fn sharded_component_files() -> Vec<String> {
+    let mut files = vec!["v.atsm".to_string(), "lambda.atsm".to_string()];
+    for i in 0..DEMO_SHARDS {
+        for name in SHARD_FILES {
+            files.push(format!("{}/{name}", shard_dir_name(i)));
+        }
+    }
+    files
+}
+
+/// Stage and commit a valid multi-shard store at `target`, returning the
+/// committed bytes of shard 1's `u.atsm` as a probe value.
+fn commit_demo_sharded_store(target: &Path, tag: f64) -> Vec<u8> {
+    let w = StoreWriter::begin(target).unwrap();
+    write_matrix(
+        w.path().join("v.atsm"),
+        &Matrix::from_fn(3, 2, |i, j| tag + (i + j) as f64),
+    )
+    .unwrap();
+    write_matrix(
+        w.path().join("lambda.atsm"),
+        &Matrix::from_fn(1, 2, |_, j| (j + 1) as f64),
+    )
+    .unwrap();
+    for s in 0..DEMO_SHARDS {
+        let shard = w.path().join(shard_dir_name(s));
+        std::fs::create_dir_all(&shard).unwrap();
+        write_matrix(
+            shard.join("u.atsm"),
+            &Matrix::from_fn(2, 2, |i, j| tag + (s * 4 + i * 2 + j) as f64),
+        )
+        .unwrap();
+        std::fs::write(shard.join("deltas.bin"), [tag as u8; 8]).unwrap();
+    }
+    w.commit_sharded(demo_sharded_manifest()).unwrap();
+    std::fs::read(target.join(shard_dir_name(1)).join("u.atsm")).unwrap()
+}
+
+#[test]
+fn sharded_kill_point_at_every_save_stage_preserves_old_store() {
+    let dir = dir();
+    let target = dir.file("store");
+    let old_u1 = commit_demo_sharded_store(&target, 50.0);
+    let files = sharded_component_files();
+
+    // Crash after each component write of a new multi-shard save: the
+    // staged temp dir holds a strict prefix of the new generation (no
+    // manifest, no commit). The committed store stays valid and
+    // byte-identical at every one of the kill points.
+    for stage in 0..=files.len() {
+        let staged = dir.file(format!(".store.tmp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&staged);
+        std::fs::create_dir_all(&staged).unwrap();
+        for name in &files[..stage] {
+            let path = staged.join(name);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(path, b"partial new generation").unwrap();
+        }
+        let m =
+            validate_sharded_store_dir(&target).unwrap_or_else(|e| panic!("stage {stage}: {e}"));
+        assert_eq!(m.shards.len(), DEMO_SHARDS, "stage {stage}");
+        assert_eq!(
+            std::fs::read(target.join(shard_dir_name(1)).join("u.atsm")).unwrap(),
+            old_u1,
+            "stage {stage}: old store must be untouched"
+        );
+        std::fs::remove_dir_all(&staged).unwrap();
+    }
+
+    // A crash inside the swap window (old renamed aside, new not yet in
+    // place) leaves a clean absence, not a torn store.
+    let aside = dir.file(".store.old-sim");
+    std::fs::rename(&target, &aside).unwrap();
+    assert!(matches!(
+        validate_sharded_store_dir(&target),
+        Err(AtsError::Io(_))
+    ));
+    std::fs::rename(&aside, &target).unwrap();
+    validate_sharded_store_dir(&target).unwrap();
+}
+
+#[test]
+fn sharded_interrupted_save_never_exposes_new_data_early() {
+    // Even with every shard fully staged, the store at `target` is the
+    // old generation until the commit rename lands.
+    let dir = dir();
+    let target = dir.file("store");
+    let old_u1 = commit_demo_sharded_store(&target, 1.0);
+    {
+        let w = StoreWriter::begin(&target).unwrap();
+        for name in sharded_component_files() {
+            let path = w.path().join(&name);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(path, b"new generation, never committed").unwrap();
+        }
+        // Writer dropped without commit_sharded: crash-before-rename.
+    }
+    validate_sharded_store_dir(&target).unwrap();
+    assert_eq!(
+        std::fs::read(target.join(shard_dir_name(1)).join("u.atsm")).unwrap(),
+        old_u1
+    );
+}
+
+#[test]
+fn sharded_commit_without_staged_shard_is_rejected() {
+    // Committing with a manifest that names a shard whose files were
+    // never staged must fail the commit and leave no store behind.
+    let dir = dir();
+    let target = dir.file("store");
+    let w = StoreWriter::begin(&target).unwrap();
+    write_matrix(
+        w.path().join("v.atsm"),
+        &Matrix::from_fn(3, 2, |i, j| (i + j) as f64),
+    )
+    .unwrap();
+    write_matrix(
+        w.path().join("lambda.atsm"),
+        &Matrix::from_fn(1, 2, |_, j| (j + 1) as f64),
+    )
+    .unwrap();
+    // Stage shard 0 only; the manifest claims DEMO_SHARDS of them.
+    let shard0 = w.path().join(shard_dir_name(0));
+    std::fs::create_dir_all(&shard0).unwrap();
+    std::fs::write(shard0.join("u.atsm"), b"u").unwrap();
+    std::fs::write(shard0.join("deltas.bin"), b"d").unwrap();
+    match w.commit_sharded(demo_sharded_manifest()) {
+        Err(AtsError::InvalidArgument(msg)) => assert!(msg.contains("shard 1"), "{msg}"),
+        other => panic!("commit with missing shard: {other:?}"),
+    }
+    assert!(!target.exists(), "failed commit must not create the store");
+}
+
+#[test]
+fn sharded_every_component_truncation_deletion_bitflip_is_corrupt() {
+    let dir = dir();
+    let target = dir.file("store");
+    commit_demo_sharded_store(&target, 7.0);
+
+    for name in sharded_component_files() {
+        let path = target.join(&name);
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Truncation at several depths, including to zero bytes.
+        for cut in [0usize, 1, pristine.len() / 2, pristine.len() - 1] {
+            std::fs::write(&path, &pristine[..cut]).unwrap();
+            match validate_sharded_store_dir(&target) {
+                Err(AtsError::Corrupt(_)) => {}
+                other => panic!("{name} cut at {cut}: {other:?}"),
+            }
+        }
+
+        // Bit flips at several offsets.
+        for off in [0usize, pristine.len() / 3, pristine.len() - 1] {
+            let mut bytes = pristine.clone();
+            bytes[off] ^= 0x40;
+            std::fs::write(&path, &bytes).unwrap();
+            match validate_sharded_store_dir(&target) {
+                Err(AtsError::Corrupt(_)) => {}
+                other => panic!("{name} flip at {off}: {other:?}"),
+            }
+        }
+
+        // Deletion.
+        std::fs::remove_file(&path).unwrap();
+        match validate_sharded_store_dir(&target) {
+            Err(AtsError::Corrupt(_)) => {}
+            other => panic!("{name} deleted: {other:?}"),
+        }
+
+        std::fs::write(&path, &pristine).unwrap();
+        validate_sharded_store_dir(&target).unwrap();
+    }
+
+    // Losing a whole shard directory is corruption too.
+    let shard = target.join(shard_dir_name(DEMO_SHARDS - 1));
+    std::fs::remove_dir_all(&shard).unwrap();
+    assert!(matches!(
+        validate_sharded_store_dir(&target),
+        Err(AtsError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn sharded_manifest_tampering_is_corrupt() {
+    let dir = dir();
+    let target = dir.file("store");
+    commit_demo_sharded_store(&target, 3.0);
+    let path = target.join(MANIFEST_FILE);
+    let pristine = std::fs::read(&path).unwrap();
+
+    // Any single-byte flip anywhere in the sharded manifest — version,
+    // row ranges, per-shard CRCs, the self-checksum — must be rejected.
+    for off in 0..pristine.len() {
+        let mut bytes = pristine.clone();
+        bytes[off] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            validate_sharded_store_dir(&target).is_err(),
+            "manifest flip at {off} accepted"
+        );
+    }
+
+    std::fs::remove_file(&path).unwrap();
+    assert!(matches!(
+        validate_sharded_store_dir(&target),
         Err(AtsError::Corrupt(_))
     ));
 }

@@ -3,27 +3,36 @@
 //! ```text
 //! ats generate phone --rows 2000 --cols 366 --out data.atsm
 //! ats generate stocks --out stocks.atsm
-//! ats info data.atsm
+//! ats info data.atsm                  # matrix file header
+//! ats info store/                     # validated store manifest
 //! ats compress data.atsm --out store/ --percent 10 [--method svdd] [--threads 4]
+//! ats save data.atsm --out store/ --shards 4
+//! ats append store/ more-rows.atsm    # new rows land in a fresh shard
 //! ats query store/ "cell 42 17"
 //! ats query store/ "avg rows 0..100 cols all"
 //! ats verify data.atsm store/         # RMSPE / worst-case report
 //! ```
 //!
-//! The store directory is the paper's §4.1 layout (`u.atsm` paged from
-//! disk; `v.atsm`, `lambda.atsm`, `deltas.bin` pinned at open).
+//! The store directory is the paper's §4.1 layout scaled out to
+//! row-range shards (format v3): `v.atsm`/`lambda.atsm` pinned at open,
+//! each shard's `u.atsm` paged from disk on first touch. Legacy v2
+//! directories open as a single shard.
 //!
 //! Exit codes: 0 on success, 1 on a runtime failure (I/O, corrupt store,
 //! failed compression), 2 on a usage error (unknown subcommand or flag,
 //! missing argument, malformed flag value).
 
+use adhoc_ts::compress::delta::DELTA_BYTES;
+use adhoc_ts::compress::method::BYTES_PER_NUMBER;
 use adhoc_ts::compress::{SpaceBudget, SvddCompressed, SvddOptions};
-use adhoc_ts::core::disk::{save_svd, save_svdd, DiskStore};
+use adhoc_ts::core::disk::{save_svd, save_svdd};
+use adhoc_ts::core::shard::{append_rows, ShardedStore};
 use adhoc_ts::core::store::{method_by_name, SequenceStore};
 use adhoc_ts::data::{generate_phone, generate_stocks, Dataset, PhoneConfig, StocksConfig};
 use adhoc_ts::query::engine::QueryEngine;
 use adhoc_ts::query::metrics::error_report;
 use adhoc_ts::query::parse::run_query;
+use adhoc_ts::storage::store_dir::validate_sharded_store_dir;
 use adhoc_ts::storage::MatrixFile;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -33,12 +42,22 @@ ats — ad hoc queries over compressed time sequences (SIGMOD '97 SVDD)
 
 USAGE:
   ats generate <phone|stocks> [--rows N] [--cols M] [--seed S] --out FILE
-  ats info FILE
+  ats info <FILE|DIR>            matrix-file header, or the validated
+                                 manifest of a store directory (format
+                                 version, shards, row ranges) without
+                                 paging any U data
   ats compress FILE --out DIR [--percent P] [--method svd|svdd] [--threads T]
   ats save FILE --out DIR [--percent P] [--method svd|svdd] [--threads T]
                                  build a SequenceStore and persist it
-                                 crash-safely (format v2); --no-bloom to
-                                 drop the delta Bloom filter
+                                 crash-safely (sharded format v3);
+                                 --shards R splits the build and the
+                                 store into R row-range shards (results
+                                 are bit-identical for any R); --no-bloom
+                                 to drop the delta Bloom filter
+  ats append DIR FILE            append FILE's rows to a sharded store:
+                                 they land in a fresh shard under the
+                                 frozen global factors, with the batch's
+                                 reconstruction SSE recorded
   ats open DIR [--pool-pages N]  validate and summarize a saved store
   ats query DIR \"<query>\"       e.g. \"cell 42 17\", \"avg rows 0..100 cols all\"
   ats verify FILE DIR            compare a store against the original data
@@ -47,7 +66,7 @@ USAGE:
 
 /// The one-line usage hint printed with every usage error (exit code 2).
 const USAGE_LINE: &str =
-    "usage: ats <generate|info|compress|save|open|query|verify|help> — run `ats help` for details";
+    "usage: ats <generate|info|compress|save|append|open|query|verify|help> — run `ats help` for details";
 
 /// Flags that take no value.
 const BOOL_FLAGS: &[&str] = &["no-bloom"];
@@ -181,15 +200,49 @@ fn run() -> Result<(), CliError> {
         }
         Some("info") => {
             check_flags("info", &flags, &[])?;
-            let path = pos.get(1).ok_or_else(|| usage("info needs FILE"))?;
-            let f = MatrixFile::open(path).map_err(rt)?;
-            println!(
-                "{path}: {} rows x {} cols, cell {} bytes, data {:.1} MB",
-                f.rows(),
-                f.cols(),
-                f.header().cell_bytes(),
-                (f.rows() * f.header().row_bytes()) as f64 / 1e6
-            );
+            let path = pos
+                .get(1)
+                .ok_or_else(|| usage("info needs FILE or store DIR"))?;
+            if std::path::Path::new(path).is_dir() {
+                // A store directory: print the validated manifest — every
+                // component CRC is checked, but no U page is served.
+                let m = validate_sharded_store_dir(path).map_err(rt)?;
+                let total =
+                    (m.rows * m.k + m.k + m.cols * m.k) * BYTES_PER_NUMBER + m.deltas * DELTA_BYTES;
+                println!(
+                    "{path}: format v{}, {} store, {} x {}, k={}, {} deltas, bloom={}, {} shards, {:.2} MB compressed",
+                    m.source_version,
+                    m.method,
+                    m.rows,
+                    m.cols,
+                    m.k,
+                    m.deltas,
+                    m.bloom,
+                    m.shards.len(),
+                    total as f64 / 1e6
+                );
+                for (i, s) in m.shards.iter().enumerate() {
+                    match s.append_sse {
+                        Some(sse) => println!(
+                            "  shard {i}: rows {}..{}, {} deltas, append sse {sse:.4}",
+                            s.start, s.end, s.deltas
+                        ),
+                        None => println!(
+                            "  shard {i}: rows {}..{}, {} deltas",
+                            s.start, s.end, s.deltas
+                        ),
+                    }
+                }
+            } else {
+                let f = MatrixFile::open(path).map_err(rt)?;
+                println!(
+                    "{path}: {} rows x {} cols, cell {} bytes, data {:.1} MB",
+                    f.rows(),
+                    f.cols(),
+                    f.header().cell_bytes(),
+                    (f.rows() * f.header().row_bytes()) as f64 / 1e6
+                );
+            }
             Ok(())
         }
         Some("compress") => {
@@ -239,7 +292,7 @@ fn run() -> Result<(), CliError> {
             check_flags(
                 "save",
                 &flags,
-                &["out", "percent", "method", "threads", "no-bloom"],
+                &["out", "percent", "method", "threads", "shards", "no-bloom"],
             )?;
             let input = pos.get(1).ok_or_else(|| usage("save needs FILE"))?;
             let out = flags
@@ -251,21 +304,37 @@ fn run() -> Result<(), CliError> {
             let method = method_by_name(method).map_err(rt)?;
             let source = MatrixFile::open(input).map_err(rt)?;
             let t0 = std::time::Instant::now();
-            let store = SequenceStore::builder()
+            let mut builder = SequenceStore::builder()
                 .method(method)
                 .budget(SpaceBudget::from_percent(pct))
                 .threads(threads)
-                .bloom(!flags.contains_key("no-bloom"))
-                .build(&source)
-                .map_err(rt)?;
+                .bloom(!flags.contains_key("no-bloom"));
+            if flags.contains_key("shards") {
+                builder = builder.shards(flag_usize(&flags, "shards", 1)?);
+            }
+            let store = builder.build(&source).map_err(rt)?;
             store.save(out).map_err(rt)?;
             println!(
-                "{}: {} x {}, {:.2}% space, {:.1}s -> {out}",
+                "{}: {} x {}, {} shards, {:.2}% space, {:.1}s -> {out}",
                 store.method().name(),
                 store.rows(),
                 store.cols(),
+                store.shards(),
                 100.0 * store.space_ratio(),
                 t0.elapsed().as_secs_f64()
+            );
+            Ok(())
+        }
+        Some("append") => {
+            check_flags("append", &flags, &["threads"])?;
+            let dir = pos.get(1).ok_or_else(|| usage("append needs DIR FILE"))?;
+            let input = pos.get(2).ok_or_else(|| usage("append needs DIR FILE"))?;
+            let threads = flag_usize(&flags, "threads", 1)?;
+            let batch = MatrixFile::open(input).map_err(rt)?;
+            let report = append_rows(dir, &batch, threads, None).map_err(rt)?;
+            println!(
+                "appended {} rows into shard {} of {dir} (frozen-V sse {:.4})",
+                report.rows, report.shard_index, report.sse
             );
             Ok(())
         }
@@ -273,17 +342,18 @@ fn run() -> Result<(), CliError> {
             check_flags("open", &flags, &["pool-pages"])?;
             let dir = pos.get(1).ok_or_else(|| usage("open needs DIR"))?;
             let pool = flag_usize(&flags, "pool-pages", 1024)?;
-            let disk = DiskStore::open(dir, pool).map_err(rt)?;
-            let m = disk.manifest();
+            let store = ShardedStore::open(dir, pool).map_err(rt)?;
+            let m = store.manifest();
             println!(
-                "{dir}: {} store, {} x {}, k={}, {} deltas, bloom={}, {:.2} MB compressed",
+                "{dir}: {} store, {} x {}, k={}, {} deltas, bloom={}, {} shards, {:.2} MB compressed",
                 m.method,
                 m.rows,
                 m.cols,
                 m.k,
                 m.deltas,
                 m.bloom,
-                adhoc_ts::compress::CompressedMatrix::storage_bytes(&disk) as f64 / 1e6
+                store.shard_count(),
+                adhoc_ts::compress::CompressedMatrix::storage_bytes(&store) as f64 / 1e6
             );
             Ok(())
         }
@@ -293,7 +363,7 @@ fn run() -> Result<(), CliError> {
             let q = pos
                 .get(2)
                 .ok_or_else(|| usage("query needs a query string"))?;
-            let store = DiskStore::open(dir, 1024).map_err(rt)?;
+            let store = ShardedStore::open(dir, 1024).map_err(rt)?;
             let engine = QueryEngine::new(&store);
             let v = run_query(&engine, q).map_err(rt)?;
             println!("{v}");
@@ -304,7 +374,7 @@ fn run() -> Result<(), CliError> {
             let data = pos.get(1).ok_or_else(|| usage("verify needs FILE DIR"))?;
             let dir = pos.get(2).ok_or_else(|| usage("verify needs FILE DIR"))?;
             let source = MatrixFile::open(data).map_err(rt)?;
-            let store = DiskStore::open(dir, 1024).map_err(rt)?;
+            let store = ShardedStore::open(dir, 1024).map_err(rt)?;
             let r = error_report(&source, &store).map_err(rt)?;
             println!(
                 "cells {}  rmspe {:.3}%  worst_abs {:.4}  worst/sigma {:.2}%  mean_abs {:.5}",

@@ -207,7 +207,8 @@ fn cli_save_open_flow() {
         .unwrap()
         .success());
 
-    // save builds a SequenceStore and persists it in the v2 layout
+    // save builds a SequenceStore and persists it in the sharded v3
+    // layout: shared factors at the top level, U and deltas per shard
     let out = ats()
         .args([
             "save",
@@ -227,10 +228,10 @@ fn cli_save_open_flow() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("svdd"));
     for f in [
         "manifest.txt",
-        "u.atsm",
         "v.atsm",
         "lambda.atsm",
-        "deltas.bin",
+        "shard-0000/u.atsm",
+        "shard-0000/deltas.bin",
     ] {
         assert!(store.join(f).exists(), "missing {f}");
     }
@@ -260,7 +261,7 @@ fn cli_save_open_flow() {
     assert!(val.is_finite());
 
     // corrupting a component makes open fail cleanly, not crash
-    let u = store.join("u.atsm");
+    let u = store.join("shard-0000").join("u.atsm");
     let mut bytes = std::fs::read(&u).unwrap();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0xFF;
@@ -272,4 +273,134 @@ fn cli_save_open_flow() {
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("error"), "{err}");
+}
+
+#[test]
+fn cli_sharded_save_info_append_flow() {
+    let dir = TestDir::new("ats-cli");
+    let data = dir.file("data.atsm");
+    let more = dir.file("more.atsm");
+    let store = dir.file("store");
+
+    for (path, rows) in [(&data, "200"), (&more, "30")] {
+        assert!(ats()
+            .args([
+                "generate",
+                "phone",
+                "--rows",
+                rows,
+                "--cols",
+                "40",
+                "--out",
+                path.to_str().unwrap(),
+            ])
+            .status()
+            .unwrap()
+            .success());
+    }
+
+    // save with an explicit shard count
+    let out = ats()
+        .args([
+            "save",
+            data.to_str().unwrap(),
+            "--out",
+            store.to_str().unwrap(),
+            "--percent",
+            "15",
+            "--shards",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("4 shards"));
+    for i in 0..4 {
+        assert!(store.join(format!("shard-{i:04}/u.atsm")).exists());
+    }
+
+    // info on the store directory prints the validated manifest
+    let out = ats()
+        .args(["info", store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("format v3"), "{text}");
+    assert!(text.contains("svdd store"), "{text}");
+    assert!(text.contains("200 x 40"), "{text}");
+    assert!(text.contains("4 shards"), "{text}");
+    assert!(text.contains("shard 0: rows 0.."), "{text}");
+    assert!(text.contains("shard 3: rows "), "{text}");
+
+    // open reports the shard count too
+    let out = ats()
+        .args(["open", store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("4 shards"));
+
+    // a query spanning every shard still answers
+    let out = ats()
+        .args(["query", store.to_str().unwrap(), "avg rows all cols all"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let val: f64 = String::from_utf8_lossy(&out.stdout).trim().parse().unwrap();
+    assert!(val.is_finite());
+
+    // append lands the new rows in a fresh shard, visible to info
+    let out = ats()
+        .args(["append", store.to_str().unwrap(), more.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("shard 4"));
+    let out = ats()
+        .args(["info", store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("230 x 40"), "{text}");
+    assert!(text.contains("5 shards"), "{text}");
+    assert!(text.contains("append sse"), "{text}");
+
+    // the appended rows are queryable
+    let out = ats()
+        .args(["query", store.to_str().unwrap(), "cell 229 0"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // info on a corrupt store exits 1 with a corruption message
+    let u = store.join("shard-0002").join("u.atsm");
+    let mut bytes = std::fs::read(&u).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&u, &bytes).unwrap();
+    let out = ats()
+        .args(["info", store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error"), "{err}");
+    assert!(err.contains("shard 2") || err.contains("checksum"), "{err}");
 }

@@ -77,6 +77,7 @@ pub const UNTRUSTED_SURFACES: &[&str] = &[
     "crates/storage/src/file.rs",
     "crates/storage/src/pool.rs",
     "crates/core/src/disk.rs",
+    "crates/core/src/shard.rs",
     "crates/query/src/parse.rs",
     "crates/data/src/csv.rs",
     "src/bin/ats.rs",

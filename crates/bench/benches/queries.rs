@@ -5,11 +5,15 @@
 // ats-lint: allow(lint-table) — criterion_group! generates undocumented glue fns; scoped to this bench target
 #![allow(missing_docs)]
 
+use ats_common::Result;
 use ats_compress::{CompressedMatrix, SpaceBudget, SvddCompressed, SvddOptions};
 use ats_core::disk::{save_svdd, DiskStore};
+use ats_core::shard::ShardedStore;
+use ats_core::store::SequenceStore;
 use ats_linalg::Matrix;
 use ats_query::engine::{AggregateFn, QueryEngine};
 use ats_query::selection::{Axis, Selection};
+use ats_query::BatchRequest;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn dataset() -> Matrix {
@@ -97,10 +101,109 @@ fn bench_in_memory_vs_disk_row(c: &mut Criterion) {
     group.finish();
 }
 
+/// Forwards only the required trait methods (plus the shard layout), so
+/// every batch entry point runs its default per-cell implementation —
+/// the scalar baseline the blocked kernels are measured against.
+struct ScalarOnly<'a>(&'a dyn CompressedMatrix);
+
+impl CompressedMatrix for ScalarOnly<'_> {
+    fn rows(&self) -> usize {
+        self.0.rows()
+    }
+    fn cols(&self) -> usize {
+        self.0.cols()
+    }
+    fn cell(&self, i: usize, j: usize) -> Result<f64> {
+        self.0.cell(i, j)
+    }
+    fn storage_bytes(&self) -> usize {
+        self.0.storage_bytes()
+    }
+    fn method_name(&self) -> &'static str {
+        self.0.method_name()
+    }
+    fn shard_starts(&self) -> Vec<usize> {
+        self.0.shard_starts()
+    }
+}
+
+/// Build a saved SVDD store split into `shards` row-range shards and
+/// reopen it disk-paged.
+fn sharded_store(x: &Matrix, shards: usize, tag: &str) -> ShardedStore {
+    let dir = std::env::temp_dir().join(format!("ats-bench-{tag}-{shards}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    SequenceStore::builder()
+        .budget(SpaceBudget::from_percent(10.0))
+        .shards(shards)
+        .build(x)
+        .expect("build")
+        .save(&dir)
+        .expect("save");
+    ShardedStore::open(&dir, 4_096).expect("open")
+}
+
+fn bench_batch_cells(c: &mut Criterion) {
+    let x = dataset();
+    // 256 requests over 64 distinct rows: duplicated columns, unsorted
+    // rows scattered across every shard.
+    let cells: Vec<(usize, usize)> = (0..256usize)
+        .map(|t| ((t * 37 % 64) * 31 % 2_000, t * 53 % 128))
+        .collect();
+    let req = BatchRequest::new(cells.clone());
+    let mut group = c.benchmark_group("batch_cells");
+    group.sample_size(10);
+    for shards in [1usize, 4, 8] {
+        let store = sharded_store(&x, shards, "batch");
+        let engine = QueryEngine::new(&store);
+        group.bench_with_input(BenchmarkId::new("batched", shards), &req, |b, req| {
+            b.iter(|| black_box(engine.batch_cells(req).expect("batch")))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("per_cell_loop", shards),
+            &cells,
+            |b, cells| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for &(i, j) in cells {
+                        acc += engine.cell(i, j).expect("cell");
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_blocked_aggregate(c: &mut Criterion) {
+    let x = dataset();
+    let sel = Selection {
+        rows: Axis::Range(0, 1_000),
+        cols: Axis::Range(0, 128),
+    };
+    let mut group = c.benchmark_group("blocked_aggregate");
+    group.sample_size(10);
+    for shards in [1usize, 4, 8] {
+        let store = sharded_store(&x, shards, "agg");
+        group.bench_with_input(BenchmarkId::new("kernel", shards), &sel, |b, sel| {
+            let engine = QueryEngine::new(&store);
+            b.iter(|| black_box(engine.aggregate(sel, AggregateFn::Avg).expect("agg")))
+        });
+        let scalar = ScalarOnly(&store);
+        group.bench_with_input(BenchmarkId::new("scalar", shards), &sel, |b, sel| {
+            let engine = QueryEngine::new(&scalar);
+            b.iter(|| black_box(engine.aggregate(sel, AggregateFn::Avg).expect("agg")))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_aggregate_selectivity,
     bench_disk_store_cell,
-    bench_in_memory_vs_disk_row
+    bench_in_memory_vs_disk_row,
+    bench_batch_cells,
+    bench_blocked_aggregate
 );
 criterion_main!(benches);

@@ -45,6 +45,67 @@ pub trait CompressedMatrix: Send + Sync {
         Ok(())
     }
 
+    /// Reconstruct the selected cells of row `i`: `out[t] = x̂[i][cols[t]]`.
+    ///
+    /// The batch entry point for "many cells of one row": implementations
+    /// that page `U` from disk override this to fetch the row's `U` vector
+    /// once and reuse it for every requested column (the batched-query I/O
+    /// bound: one `U`-row fetch per *distinct* row, not per cell). Column
+    /// indices may repeat and arrive in any order; results land in request
+    /// order. The default calls [`CompressedMatrix::cell`] per entry and is
+    /// bitwise identical to the per-cell loop — overrides must preserve
+    /// that (canonical ascending-component accumulation per cell).
+    fn cells_in_row(&self, i: usize, cols: &[usize], out: &mut [f64]) -> Result<()> {
+        if i >= self.rows() {
+            return Err(ats_common::AtsError::oob("row", i, self.rows()));
+        }
+        if out.len() != cols.len() {
+            return Err(ats_common::AtsError::dims(
+                "cells_in_row",
+                (1, out.len()),
+                (1, cols.len()),
+            ));
+        }
+        for (&j, o) in cols.iter().zip(out.iter_mut()) {
+            *o = self.cell(i, j)?;
+        }
+        Ok(())
+    }
+
+    /// Reconstruct several full rows back to back: row `rows[r]` lands in
+    /// `out[r·M .. (r+1)·M]`.
+    ///
+    /// The batch entry point for blocked aggregate evaluation: overrides
+    /// route through a multi-row kernel (several reconstruction
+    /// accumulators sharing one sweep over `V`) and validate *all* row
+    /// indices before touching `out`, so a bad index never leaves partial
+    /// work. Rows may repeat and arrive in any order. The default calls
+    /// [`CompressedMatrix::row_into`] per row; overrides must stay bitwise
+    /// identical to it.
+    fn rows_into(&self, rows: &[usize], out: &mut [f64]) -> Result<()> {
+        let m = self.cols();
+        if out.len() != rows.len() * m {
+            return Err(ats_common::AtsError::dims(
+                "rows_into",
+                (rows.len(), m),
+                (out.len() / m.max(1), m),
+            ));
+        }
+        let n = self.rows();
+        for &i in rows {
+            if i >= n {
+                return Err(ats_common::AtsError::oob("row", i, n));
+            }
+        }
+        if m == 0 {
+            return Ok(());
+        }
+        for (&i, orow) in rows.iter().zip(out.chunks_mut(m)) {
+            self.row_into(i, orow)?;
+        }
+        Ok(())
+    }
+
     /// Bytes consumed by the compressed representation, at
     /// [`BYTES_PER_NUMBER`] bytes per stored number plus any auxiliary
     /// structures (delta tables, assignment arrays, Bloom filters).

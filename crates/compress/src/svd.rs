@@ -13,6 +13,7 @@
 use crate::gram::{compute_gram_parallel, compute_gram_sharded};
 use crate::method::{svd_bytes, CompressedMatrix, SpaceBudget};
 use ats_common::{AtsError, Result};
+use ats_linalg::kernels::{self, VPanel};
 use ats_linalg::{lanczos_top_k, sym_eigen, LanczosOptions, Matrix};
 use ats_storage::RowSource;
 
@@ -36,6 +37,11 @@ pub struct SvdCompressed {
     lambda: Vec<f64>,
     /// `M × k` right singular vectors ("day-to-pattern").
     v: Matrix,
+    /// `Vᵀ` as a `k × M` component panel — a serving-time mirror of `v`
+    /// feeding the blocked reconstruction kernels. Derived (rebuilt on
+    /// construction and truncation), so it does not count toward
+    /// [`CompressedMatrix::storage_bytes`]: on disk only `V` is stored.
+    vt: VPanel,
 }
 
 impl SvdCompressed {
@@ -141,7 +147,8 @@ impl SvdCompressed {
         let mut u = Matrix::zeros(n, k);
         emit_u(source, &v, &lambda, &mut u, threads)?;
 
-        Ok(SvdCompressed { u, lambda, v })
+        let vt = VPanel::from_v(&v);
+        Ok(SvdCompressed { u, lambda, v, vt })
     }
 
     /// Compress to fit a space budget: picks the largest `k` allowed by
@@ -166,7 +173,8 @@ impl SvdCompressed {
     pub(crate) fn from_parts(u: Matrix, lambda: Vec<f64>, v: Matrix) -> Self {
         debug_assert_eq!(u.cols(), lambda.len());
         debug_assert_eq!(v.cols(), lambda.len());
-        SvdCompressed { u, lambda, v }
+        let vt = VPanel::from_v(&v);
+        SvdCompressed { u, lambda, v, vt }
     }
 
     /// Number of retained principal components.
@@ -191,8 +199,10 @@ impl SvdCompressed {
 
     /// Reconstruct row `i` given an externally supplied row of `U` —
     /// used by `ats-core` when `U` lives on disk and was just fetched.
+    /// Routed through the `Vᵀ` panel kernel: `k` sequential axpy sweeps,
+    /// no allocation, bitwise identical to the scalar path.
     pub fn reconstruct_row_from_u(&self, u_row: &[f64], out: &mut [f64]) {
-        reconstruct_row(u_row, &self.lambda, &self.v, out);
+        kernels::reconstruct_row(u_row, &self.lambda, &self.vt, out);
     }
 
     /// Truncate in place to `k` components (used by SVDD's `k_opt`
@@ -210,6 +220,7 @@ impl SvdCompressed {
         }
         self.u = u;
         self.v = v;
+        self.vt = VPanel::from_v(&self.v);
     }
 }
 
@@ -292,17 +303,18 @@ pub(crate) fn emit_u<S: RowSource + ?Sized>(
     results.into_iter().collect()
 }
 
-/// `out[j] = Σ_m λ_m u_m v[j][m]` — Eq. 12 for a whole row.
+/// `out[j] = Σ_m λ_m u_m v[j][m]` — Eq. 12 for a whole row, walking `V`
+/// row-wise (each output element is a dot over a contiguous `k`-slice).
+/// Allocation-free; accumulates in ascending `m`, the canonical order every
+/// reconstruction path in the workspace shares. Kept for callers that hold
+/// `V` as a plain matrix (the append path); the serving path uses the
+/// transposed-panel kernels in [`ats_linalg::kernels`] instead.
 #[inline]
 pub(crate) fn reconstruct_row(u_row: &[f64], lambda: &[f64], v: &Matrix, out: &mut [f64]) {
-    let k = lambda.len();
-    // Precompute λ_m · u_m once per row.
-    let coef: Vec<f64> = (0..k).map(|m| lambda[m] * u_row[m]).collect();
     for (j, o) in out.iter_mut().enumerate() {
-        let v_row = v.row(j);
         let mut acc = 0.0;
-        for m in 0..k {
-            acc += coef[m] * v_row[m];
+        for ((&l, &u), &vv) in lambda.iter().zip(u_row).zip(v.row(j)) {
+            acc += (l * u) * vv;
         }
         *o = acc;
     }
@@ -346,7 +358,72 @@ impl CompressedMatrix for SvdCompressed {
                 (1, self.cols()),
             ));
         }
-        reconstruct_row(self.u.row(i), &self.lambda, &self.v, out);
+        kernels::reconstruct_row(self.u.row(i), &self.lambda, &self.vt, out);
+        Ok(())
+    }
+
+    /// One `U`-row lookup, then the fused-coefficient multi-cell kernel
+    /// (blocks of four columns share the `λ ⊙ uᵢ` vector).
+    fn cells_in_row(&self, i: usize, cols: &[usize], out: &mut [f64]) -> Result<()> {
+        if i >= self.rows() {
+            return Err(AtsError::oob("row", i, self.rows()));
+        }
+        if out.len() != cols.len() {
+            return Err(AtsError::dims(
+                "SvdCompressed::cells_in_row",
+                (1, out.len()),
+                (1, cols.len()),
+            ));
+        }
+        let m = self.cols();
+        for &j in cols {
+            if j >= m {
+                return Err(AtsError::oob("column", j, m));
+            }
+        }
+        let mut coef = vec![0.0; self.k()];
+        kernels::fuse_coefficients(&self.lambda, self.u.row(i), &mut coef);
+        kernels::reconstruct_cells(&coef, &self.v, cols, out)
+    }
+
+    /// Blocked multi-row reconstruction: [`kernels::BLOCK_ROWS`] `U` rows
+    /// are packed into a scratch block and share one sweep over each `Vᵀ`
+    /// component slice. All row indices are validated before `out` is
+    /// touched.
+    fn rows_into(&self, rows: &[usize], out: &mut [f64]) -> Result<()> {
+        let m = self.cols();
+        if out.len() != rows.len() * m {
+            return Err(AtsError::dims(
+                "SvdCompressed::rows_into",
+                (rows.len(), m),
+                (out.len() / m.max(1), m),
+            ));
+        }
+        let n = self.rows();
+        for &i in rows {
+            if i >= n {
+                return Err(AtsError::oob("row", i, n));
+            }
+        }
+        let k = self.k();
+        if m == 0 {
+            return Ok(());
+        }
+        if k == 0 {
+            out.fill(0.0);
+            return Ok(());
+        }
+        let mut ublock = vec![0.0; kernels::BLOCK_ROWS * k];
+        for (rchunk, ochunk) in rows
+            .chunks(kernels::BLOCK_ROWS)
+            .zip(out.chunks_mut(kernels::BLOCK_ROWS * m))
+        {
+            let ub = &mut ublock[..rchunk.len() * k];
+            for (&i, udst) in rchunk.iter().zip(ub.chunks_mut(k)) {
+                udst.copy_from_slice(self.u.row(i));
+            }
+            kernels::reconstruct_rows(ub, &self.lambda, &self.vt, ochunk)?;
+        }
         Ok(())
     }
 

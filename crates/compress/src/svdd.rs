@@ -666,6 +666,37 @@ impl CompressedMatrix for SvddCompressed {
         Ok(())
     }
 
+    /// SVD multi-cell kernel plus one delta probe per requested cell,
+    /// probed in request order after the kernel pass.
+    fn cells_in_row(&self, i: usize, cols: &[usize], out: &mut [f64]) -> Result<()> {
+        self.svd.cells_in_row(i, cols, out)?;
+        for (&j, o) in cols.iter().zip(out.iter_mut()) {
+            if let Some(delta) = self.deltas.probe(i, j) {
+                *o += delta;
+            }
+        }
+        Ok(())
+    }
+
+    /// SVD blocked multi-row kernel, then outlier patches row by row in
+    /// ascending column order — the same probe order as
+    /// [`CompressedMatrix::row_into`] per row.
+    fn rows_into(&self, rows: &[usize], out: &mut [f64]) -> Result<()> {
+        self.svd.rows_into(rows, out)?;
+        let m = self.cols();
+        if m == 0 {
+            return Ok(());
+        }
+        for (&i, orow) in rows.iter().zip(out.chunks_mut(m)) {
+            for (j, o) in orow.iter_mut().enumerate() {
+                if let Some(delta) = self.deltas.probe(i, j) {
+                    *o += delta;
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn storage_bytes(&self) -> usize {
         self.svd.storage_bytes() + self.deltas.storage_bytes()
     }

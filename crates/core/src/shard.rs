@@ -36,6 +36,7 @@ use ats_common::{AtsError, Result};
 use ats_compress::delta::DELTA_BYTES;
 use ats_compress::method::BYTES_PER_NUMBER;
 use ats_compress::{project_frozen, CompressedMatrix, DeltaStore, GramCache, SvdCompressed};
+use ats_linalg::kernels::{self, VPanel};
 use ats_linalg::Matrix;
 use ats_storage::file::{read_matrix, write_matrix, MatrixFile, MatrixFileWriter};
 use ats_storage::store_dir::{
@@ -173,6 +174,10 @@ struct ShardHandle {
 pub struct ShardedStore {
     manifest: ShardedManifest,
     v: Matrix,
+    /// `Vᵀ` as a `k × M` component panel (derived from `v` at open),
+    /// feeding the blocked reconstruction kernels on the row and batch
+    /// paths. Not part of the on-disk format.
+    vt: VPanel,
     lambda: Vec<f64>,
     shards: Vec<ShardHandle>,
     /// Buffer-pool page budget per shard (the open-time budget split
@@ -234,9 +239,11 @@ impl ShardedStore {
             })
             .collect();
         let pool_pages = (pool_pages / shards.len().max(1)).max(1);
+        let vt = VPanel::from_v(&v);
         Ok(ShardedStore {
             manifest,
             v,
+            vt,
             lambda,
             shards,
             pool_pages,
@@ -404,16 +411,99 @@ impl CompressedMatrix for ShardedStore {
         let st = self.state(idx)?;
         let mut u_row = vec![0.0f64; self.k()];
         st.u.read_row_into(local, &mut u_row)?;
-        for (j, o) in out.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for ((&lam, &uv), &vv) in self.lambda.iter().zip(&u_row).zip(self.v.row(j)) {
-                acc += lam * uv * vv;
-            }
-            *o = acc;
-        }
+        // Panel kernel: k sequential axpy sweeps over Vᵀ component slices,
+        // bitwise identical to the scalar per-column dot it replaced.
+        kernels::reconstruct_row(&u_row, &self.lambda, &self.vt, out);
         for (j, o) in out.iter_mut().enumerate() {
             if let Some(d) = st.deltas.probe(local, j) {
                 *o += d;
+            }
+        }
+        Ok(())
+    }
+
+    /// Many cells of one row for one `U`-row fetch: the whole group routes
+    /// to the owning shard once, reads that shard's `U` row through the
+    /// pool once (one logical read; one cold page on the row-aligned
+    /// layout), and reconstructs every requested column with the fused
+    /// multi-cell kernel before probing deltas in request order.
+    fn cells_in_row(&self, i: usize, cols: &[usize], out: &mut [f64]) -> Result<()> {
+        if out.len() != cols.len() {
+            return Err(AtsError::dims(
+                "ShardedStore::cells_in_row",
+                (1, out.len()),
+                (1, cols.len()),
+            ));
+        }
+        let m = self.manifest.cols;
+        for &j in cols {
+            if j >= m {
+                return Err(AtsError::oob("column", j, m));
+            }
+        }
+        let (idx, local) = self.route(i)?;
+        let st = self.state(idx)?;
+        let k = self.k();
+        let mut u_row = vec![0.0f64; k];
+        st.u.read_row_into(local, &mut u_row)?; // the one fetch for the whole group
+        let mut coef = vec![0.0f64; k];
+        kernels::fuse_coefficients(&self.lambda, &u_row, &mut coef);
+        kernels::reconstruct_cells(&coef, &self.v, cols, out)?;
+        for (&j, o) in cols.iter().zip(out.iter_mut()) {
+            if let Some(d) = st.deltas.probe(local, j) {
+                *o += d;
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocked multi-row reconstruction across shards: every row is routed
+    /// (and thereby validated) before any I/O, then each block of
+    /// [`kernels::BLOCK_ROWS`] rows fetches its `U` vectors through the
+    /// owning shards' pools — one logical read per row — and reconstructs
+    /// through the shared `Vᵀ` panel, with delta patches applied per row
+    /// in ascending column order.
+    fn rows_into(&self, rows: &[usize], out: &mut [f64]) -> Result<()> {
+        let m = self.manifest.cols;
+        if out.len() != rows.len() * m {
+            return Err(AtsError::dims(
+                "ShardedStore::rows_into",
+                (rows.len(), m),
+                (out.len() / m.max(1), m),
+            ));
+        }
+        let mut routed = Vec::with_capacity(rows.len());
+        for &i in rows {
+            routed.push(self.route(i)?);
+        }
+        if m == 0 {
+            return Ok(());
+        }
+        let k = self.k();
+        if k == 0 {
+            out.fill(0.0);
+        }
+        let mut ublock = vec![0.0f64; kernels::BLOCK_ROWS * k];
+        for (rchunk, ochunk) in routed
+            .chunks(kernels::BLOCK_ROWS)
+            .zip(out.chunks_mut(kernels::BLOCK_ROWS * m))
+        {
+            if k > 0 {
+                let ub = ublock
+                    .get_mut(..rchunk.len() * k)
+                    .ok_or_else(|| AtsError::internal("rows_into U scratch undersized"))?;
+                for (&(idx, local), udst) in rchunk.iter().zip(ub.chunks_mut(k)) {
+                    self.state(idx)?.u.read_row_into(local, udst)?;
+                }
+                kernels::reconstruct_rows(ub, &self.lambda, &self.vt, ochunk)?;
+            }
+            for (&(idx, local), orow) in rchunk.iter().zip(ochunk.chunks_mut(m)) {
+                let st = self.state(idx)?;
+                for (j, o) in orow.iter_mut().enumerate() {
+                    if let Some(d) = st.deltas.probe(local, j) {
+                        *o += d;
+                    }
+                }
             }
         }
         Ok(())

@@ -327,6 +327,20 @@ impl SequenceStore {
             .aggregate_all(sel)
     }
 
+    /// Batched cell queries: answers arrive in request order, computed
+    /// with one `U`-row fetch per distinct requested row (the requests
+    /// are sorted by `(row, column)` internally and grouped per row —
+    /// see [`ats_query::BatchRequest`]), scanned with the store's
+    /// configured thread count. Bitwise identical to calling
+    /// [`SequenceStore::cell`] per request.
+    pub fn batch_cells(&self, cells: &[(usize, usize)]) -> Result<Vec<f64>> {
+        let req = ats_query::BatchRequest::new(cells.to_vec());
+        Ok(QueryEngine::new(self.compressed.as_ref())
+            .with_threads(self.threads)
+            .batch_cells(&req)?
+            .into_values())
+    }
+
     /// Compressed size in bytes.
     pub fn storage_bytes(&self) -> usize {
         self.compressed.storage_bytes()

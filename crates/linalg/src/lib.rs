@@ -10,7 +10,10 @@
 //!   of operations the paper's algorithms need (products, transpose, Gram
 //!   matrices, norms);
 //! - [`vecops`] — tight kernels over `&[f64]` (dot, axpy, scaled outer
-//!   products) used by the hot reconstruction paths;
+//!   products, fused 4-way variants) used by the hot reconstruction paths;
+//! - [`kernels`] — blocked reconstruction kernels over a transposed `V`
+//!   panel ([`kernels::VPanel`]): multi-row and multi-cell Eq. 12
+//!   evaluation, bitwise identical to the scalar path;
 //! - [`eigen`] — two symmetric eigensolvers: the production path
 //!   (Householder tridiagonalization + implicit-shift QL, `O(M³)`) and a
 //!   cyclic Jacobi solver kept as a slow, independently-derived oracle for
@@ -26,12 +29,14 @@
 //! and the numerical ground truth it is tested against.
 
 pub mod eigen;
+pub mod kernels;
 pub mod lanczos;
 pub mod matrix;
 pub mod svd;
 pub mod vecops;
 
 pub use eigen::{sym_eigen, sym_eigen_jacobi, EigenDecomposition};
+pub use kernels::VPanel;
 pub use lanczos::{lanczos_top_k, LanczosOptions};
 pub use matrix::Matrix;
 pub use svd::{Svd, SvdOptions};

@@ -12,7 +12,6 @@
 
 use crate::eigen::sym_eigen;
 use crate::matrix::Matrix;
-use crate::vecops;
 use ats_common::{AtsError, Result};
 
 /// Options controlling [`Svd::compute`].
@@ -187,14 +186,21 @@ impl Svd {
     }
 
     /// Reconstruct row `i` into `out` (length `M`).
+    ///
+    /// Allocation-free: each output element is a `k`-term dot over the
+    /// contiguous row `j` of `V`, accumulated in ascending component order —
+    /// the same FP sequence as [`Svd::reconstruct_cell`], so the two agree
+    /// bitwise (a regression test in `tests/alloc_regression.rs` pins the
+    /// zero-allocation property).
     pub fn reconstruct_row_into(&self, i: usize, out: &mut [f64]) {
         debug_assert_eq!(out.len(), self.v.rows());
-        out.fill(0.0);
         let ui = self.u.row(i);
-        for (m, (&s, &uim)) in self.sigma.iter().zip(ui).enumerate() {
-            let coef = s * uim;
-            let vcol: Vec<f64> = (0..self.v.rows()).map(|j| self.v[(j, m)]).collect();
-            vecops::axpy(coef, &vcol, out);
+        for (j, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for ((&s, &uim), &vjm) in self.sigma.iter().zip(ui).zip(self.v.row(j)) {
+                acc += s * uim * vjm;
+            }
+            *o = acc;
         }
     }
 
@@ -431,9 +437,14 @@ mod tests {
     fn reconstruct_row_matches_cells() {
         let svd = Svd::compute(&table1(), SvdOptions::default()).unwrap();
         let mut row = vec![0.0; 5];
-        svd.reconstruct_row_into(2, &mut row);
-        for (j, &got) in row.iter().enumerate() {
-            assert!((got - svd.reconstruct_cell(2, j)).abs() < 1e-12);
+        for i in 0..svd.u().rows() {
+            svd.reconstruct_row_into(i, &mut row);
+            for (j, &got) in row.iter().enumerate() {
+                // Bitwise, not approximate: the row path accumulates each
+                // element in the same canonical component order as the cell
+                // path.
+                assert_eq!(got.to_bits(), svd.reconstruct_cell(i, j).to_bits());
+            }
         }
     }
 }

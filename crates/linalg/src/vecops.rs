@@ -75,6 +75,58 @@ pub fn add_assign(acc: &mut [f64], x: &[f64]) {
     }
 }
 
+/// Fused four-row axpy: `yᵣ ← yᵣ + alpha[r] · x` for `r = 0..4`.
+///
+/// One sequential sweep over the shared `x` slice feeds four independent
+/// accumulator rows — the inner loop of the blocked multi-row reconstruction
+/// kernel. Each `yᵣ` element receives exactly the FP operation the plain
+/// [`axpy`] would apply, in the same order, so results are bitwise identical
+/// to four separate axpy calls.
+#[inline]
+pub fn axpy4(
+    alpha: [f64; 4],
+    x: &[f64],
+    y0: &mut [f64],
+    y1: &mut [f64],
+    y2: &mut [f64],
+    y3: &mut [f64],
+) {
+    debug_assert_eq!(x.len(), y0.len());
+    debug_assert_eq!(x.len(), y1.len());
+    debug_assert_eq!(x.len(), y2.len());
+    debug_assert_eq!(x.len(), y3.len());
+    let [a0, a1, a2, a3] = alpha;
+    for ((((&xi, e0), e1), e2), e3) in x.iter().zip(y0).zip(y1).zip(y2).zip(y3) {
+        *e0 += a0 * xi;
+        *e1 += a1 * xi;
+        *e2 += a2 * xi;
+        *e3 += a3 * xi;
+    }
+}
+
+/// Fused four-way dot: `[a·b0, a·b1, a·b2, a·b3]`.
+///
+/// The shared `a` slice is loaded once per element and multiplied into four
+/// independent accumulators — the inner loop of the multi-cell reconstruction
+/// kernel. Each accumulator sums its own products in element order starting
+/// from `0.0`, exactly as [`dot`] does, so each lane is bitwise identical to
+/// a separate dot call.
+#[inline]
+pub fn dot4(a: &[f64], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) -> [f64; 4] {
+    debug_assert_eq!(a.len(), b0.len());
+    debug_assert_eq!(a.len(), b1.len());
+    debug_assert_eq!(a.len(), b2.len());
+    debug_assert_eq!(a.len(), b3.len());
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for ((((&ai, &x0), &x1), &x2), &x3) in a.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
+        s0 += ai * x0;
+        s1 += ai * x1;
+        s2 += ai * x2;
+        s3 += ai * x3;
+    }
+    [s0, s1, s2, s3]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +174,37 @@ mod tests {
         assert_eq!(a, [11.0, 22.0]);
         scale(&mut a, 0.5);
         assert_eq!(a, [5.5, 11.0]);
+    }
+
+    #[test]
+    fn axpy4_matches_four_axpys_bitwise() {
+        let x: Vec<f64> = (0..37).map(|i| ((i * 7) as f64).sin() * 3.0).collect();
+        let alpha = [1.25, -0.75, 3.5, 0.0625];
+        let base: Vec<f64> = (0..37).map(|i| ((i * 3) as f64).cos()).collect();
+        let mut fused: Vec<Vec<f64>> = (0..4).map(|_| base.clone()).collect();
+        let mut serial: Vec<Vec<f64>> = (0..4).map(|_| base.clone()).collect();
+        let (f0, rest) = fused.split_at_mut(1);
+        let (f1, rest) = rest.split_at_mut(1);
+        let (f2, f3) = rest.split_at_mut(1);
+        axpy4(alpha, &x, &mut f0[0], &mut f1[0], &mut f2[0], &mut f3[0]);
+        for (a, row) in alpha.iter().zip(serial.iter_mut()) {
+            axpy(*a, &x, row);
+        }
+        for (f, s) in fused.iter().flatten().zip(serial.iter().flatten()) {
+            assert_eq!(f.to_bits(), s.to_bits());
+        }
+    }
+
+    #[test]
+    fn dot4_matches_four_dots_bitwise() {
+        let a: Vec<f64> = (0..29).map(|i| ((i * 11) as f64).sin() * 2.0).collect();
+        let bs: Vec<Vec<f64>> = (0..4)
+            .map(|r| (0..29).map(|i| ((i * 5 + r * 13) as f64).cos()).collect())
+            .collect();
+        let fused = dot4(&a, &bs[0], &bs[1], &bs[2], &bs[3]);
+        for (f, b) in fused.iter().zip(&bs) {
+            assert_eq!(f.to_bits(), dot(&a, b).to_bits());
+        }
     }
 
     proptest! {

@@ -57,35 +57,45 @@ impl AggregateFn {
         }
     }
 
-    fn finish(&self, stats: &OnlineStats) -> f64 {
-        match self {
+    fn finish(&self, stats: &OnlineStats) -> Result<f64> {
+        // Every aggregate of zero cells is rejected, not defaulted: Min/Max
+        // have no identity, and a silent 0.0 from Sum/Avg/StdDev is
+        // indistinguishable from real data.
+        ensure_nonempty(stats)?;
+        Ok(match self {
             AggregateFn::Sum => stats.sum(),
             AggregateFn::Avg => stats.mean(),
             AggregateFn::Count => stats.count() as f64,
-            AggregateFn::Min => {
-                if stats.count() == 0 {
-                    0.0
-                } else {
-                    stats.min()
-                }
-            }
-            AggregateFn::Max => {
-                if stats.count() == 0 {
-                    0.0
-                } else {
-                    stats.max()
-                }
-            }
+            AggregateFn::Min => stats.min(),
+            AggregateFn::Max => stats.max(),
             AggregateFn::StdDev => stats.population_std_dev(),
-        }
+        })
     }
+}
+
+/// Reject aggregates over empty selections: `min()`/`max()` of nothing has
+/// no value, and returning a default `0.0` (the old behavior) silently
+/// fabricated data for every function.
+fn ensure_nonempty(stats: &OnlineStats) -> Result<()> {
+    if stats.count() == 0 {
+        return Err(AtsError::InvalidArgument(
+            "aggregate over an empty selection (0 cells) is undefined".into(),
+        ));
+    }
+    Ok(())
 }
 
 /// A query engine over any compressed matrix.
 pub struct QueryEngine<'a> {
-    matrix: &'a dyn CompressedMatrix,
-    threads: usize,
+    pub(crate) matrix: &'a dyn CompressedMatrix,
+    pub(crate) threads: usize,
 }
+
+/// Rows fetched per [`CompressedMatrix::rows_into`] call by the dense
+/// aggregate scan — two kernel blocks ([`ats_linalg::kernels::BLOCK_ROWS`])
+/// per fetch so sharded stores amortize routing without growing the scratch
+/// buffer past a few KiB.
+pub(crate) const AGG_BLOCK_ROWS: usize = 8;
 
 impl<'a> QueryEngine<'a> {
     /// Wrap a compressed matrix (single-threaded scans).
@@ -131,18 +141,20 @@ impl<'a> QueryEngine<'a> {
         // row; otherwise reconstruct only the selected cells.
         let dense_cols = cols.len() * 3 >= m;
         let stats = self.selection_stats(sel, dense_cols)?;
-        Ok(f.finish(&stats))
+        f.finish(&stats)
     }
 
     /// Evaluate every aggregate function at once over one selection scan.
+    /// Errors on an empty selection, like [`QueryEngine::aggregate`].
     pub fn aggregate_all(&self, sel: &Selection) -> Result<AggregateRow> {
         let stats = self.selection_stats(sel, true)?;
+        ensure_nonempty(&stats)?;
         Ok(AggregateRow {
             sum: stats.sum(),
             avg: stats.mean(),
             count: stats.count(),
-            min: if stats.count() == 0 { 0.0 } else { stats.min() },
-            max: if stats.count() == 0 { 0.0 } else { stats.max() },
+            min: stats.min(),
+            max: stats.max(),
             stddev: stats.population_std_dev(),
         })
     }
@@ -253,7 +265,14 @@ impl<'a> QueryEngine<'a> {
     }
 
     /// Serial scan kernel: fold the selected columns of `rows` into one
-    /// accumulator. Each caller (worker) brings its own row buffer.
+    /// accumulator. Each caller (worker) brings its own scratch.
+    ///
+    /// The dense path fetches [`AGG_BLOCK_ROWS`] rows per
+    /// [`CompressedMatrix::rows_into`] call, so implementations with a
+    /// blocked multi-row kernel reconstruct several rows per sweep over
+    /// `V`. Values are still pushed row by row in ascending selected-column
+    /// order — the same accumulation sequence as the one-row-at-a-time
+    /// scan, so results are bitwise unchanged.
     fn stats_over_rows(
         &self,
         rows: &[usize],
@@ -261,14 +280,20 @@ impl<'a> QueryEngine<'a> {
         dense_cols: bool,
     ) -> Result<OnlineStats> {
         let mut stats = OnlineStats::new();
-        let mut row_buf = vec![0.0f64; self.matrix.cols()];
-        for &i in rows {
-            if dense_cols {
-                self.matrix.row_into(i, &mut row_buf)?;
-                for &j in cols {
-                    stats.push(row_buf[j]);
+        let m = self.matrix.cols();
+        if dense_cols && m > 0 {
+            let mut block = vec![0.0f64; AGG_BLOCK_ROWS * m];
+            for rchunk in rows.chunks(AGG_BLOCK_ROWS) {
+                let out = &mut block[..rchunk.len() * m];
+                self.matrix.rows_into(rchunk, out)?;
+                for row_buf in out.chunks(m) {
+                    for &j in cols {
+                        stats.push(row_buf[j]);
+                    }
                 }
-            } else {
+            }
+        } else {
+            for &i in rows {
                 for &j in cols {
                     stats.push(self.matrix.cell(i, j)?);
                 }
@@ -296,7 +321,9 @@ pub struct AggregateRow {
 }
 
 /// Ground truth: evaluate an aggregate directly on an uncompressed
-/// matrix (used by the experiments to compute `Q_err`).
+/// matrix (used by the experiments to compute `Q_err`). Rejects empty
+/// selections exactly like [`QueryEngine::aggregate`], so engine-vs-exact
+/// comparisons agree on the error case too.
 pub fn aggregate_exact(x: &Matrix, sel: &Selection, f: AggregateFn) -> Result<f64> {
     let (n, m) = x.shape();
     sel.validate(n, m)?;
@@ -308,7 +335,7 @@ pub fn aggregate_exact(x: &Matrix, sel: &Selection, f: AggregateFn) -> Result<f6
             stats.push(row[j]);
         }
     }
-    Ok(f.finish(&stats))
+    f.finish(&stats)
 }
 
 /// An exact (lossless, in-memory) [`CompressedMatrix`] — the identity
@@ -413,16 +440,55 @@ mod tests {
     }
 
     #[test]
-    fn empty_selection() {
+    fn empty_selection_errors_for_every_aggregate() {
         let e = ExactMatrix(x());
         let q = QueryEngine::new(&e);
-        let sel = Selection {
-            rows: Axis::Range(1, 1),
+        // Empty in the row axis, and empty in the column axis.
+        let empties = [
+            Selection {
+                rows: Axis::Range(1, 1),
+                cols: Axis::All,
+            },
+            Selection {
+                rows: Axis::All,
+                cols: Axis::set(vec![]),
+            },
+        ];
+        for sel in &empties {
+            for f in AggregateFn::ALL {
+                let err = q.aggregate(sel, f).unwrap_err();
+                assert!(
+                    matches!(err, AtsError::InvalidArgument(_)),
+                    "{}: {err}",
+                    f.name()
+                );
+            }
+            assert!(q.aggregate_all(sel).is_err());
+            for f in AggregateFn::ALL {
+                assert!(aggregate_exact(&x(), sel, f).is_err(), "{}", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_selection_errors_on_threaded_and_sharded_paths() {
+        // The guard must fire after the merge on every execution shape,
+        // not just the serial monolithic scan.
+        let m = bumpy(97, 17);
+        let empty = Selection {
+            rows: Axis::Range(50, 50),
             cols: Axis::All,
         };
-        assert_eq!(q.aggregate(&sel, AggregateFn::Sum).unwrap(), 0.0);
-        assert_eq!(q.aggregate(&sel, AggregateFn::Count).unwrap(), 0.0);
-        assert_eq!(q.aggregate(&sel, AggregateFn::Min).unwrap(), 0.0);
+        for threads in [1, 3, 8] {
+            let e = ExactMatrix(m.clone());
+            let q = QueryEngine::new(&e).with_threads(threads);
+            assert!(q.aggregate(&empty, AggregateFn::Min).is_err());
+            assert!(q.aggregate_all(&empty).is_err());
+            let sharded = ShardedExact(m.clone(), vec![0, 32, 64]);
+            let qs = QueryEngine::new(&sharded).with_threads(threads);
+            assert!(qs.aggregate(&empty, AggregateFn::Max).is_err());
+            assert!(qs.aggregate_all(&empty).is_err());
+        }
     }
 
     #[test]
@@ -500,10 +566,6 @@ mod tests {
                 cols: Axis::Range(2, 17),
             },
             Selection::col(7),
-            Selection {
-                rows: Axis::Range(50, 50), // empty
-                cols: Axis::All,
-            },
         ]
     }
 

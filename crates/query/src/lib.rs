@@ -17,15 +17,20 @@
 //! - [`workload`] — the random aggregate-query workload generator of
 //!   §5.2 (50 queries selecting ≈10% of the cells);
 //! - [`parse`] — a tiny textual query language (`cell 42 17`,
-//!   `avg rows 0..100 cols all`) for the REPL example.
+//!   `avg rows 0..100 cols all`) for the REPL example;
+//! - [`batch`] — [`batch::BatchRequest`]/[`batch::BatchResult`]: batched
+//!   cell queries sorted by `(row, column)` and answered with one `U`-row
+//!   fetch per distinct requested row.
 
+pub mod batch;
 pub mod engine;
 pub mod metrics;
 pub mod parse;
 pub mod selection;
 pub mod workload;
 
+pub use batch::{BatchRequest, BatchResult};
 pub use engine::{AggregateFn, QueryEngine};
 pub use metrics::{ErrorReport, QueryError};
-pub use parse::{parse_query, run_query, Query};
+pub use parse::{parse_batch_file, parse_query, run_query, Query};
 pub use selection::Selection;

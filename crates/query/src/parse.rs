@@ -106,6 +106,33 @@ pub fn run_query(engine: &crate::engine::QueryEngine<'_>, line: &str) -> Result<
     }
 }
 
+/// Parse a batch file of cell queries into a [`crate::batch::BatchRequest`].
+///
+/// One cell per line — `cell <i> <j>` (the query-language spelling) or the
+/// bare `<i> <j>` — in any order, duplicates allowed. Blank lines and
+/// `#`-comments are skipped. Errors name the offending 1-based line.
+pub fn parse_batch_file(text: &str) -> Result<crate::batch::BatchRequest> {
+    let mut cells = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let cell = match tokens.as_slice() {
+            ["cell", i, j] | [i, j] => (parse_usize(i, "row")?, parse_usize(j, "column")?),
+            _ => {
+                return Err(AtsError::InvalidArgument(format!(
+                "batch file line {}: cannot parse {line:?}; expected `cell <i> <j>` or `<i> <j>`",
+                ln + 1
+            )))
+            }
+        };
+        cells.push(cell);
+    }
+    Ok(crate::batch::BatchRequest::new(cells))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +192,17 @@ mod tests {
         assert_eq!(run_query(&engine, "max rows 0..2 cols 1,1").unwrap(), 4.0);
         assert_eq!(run_query(&engine, "count rows all cols 0").unwrap(), 2.0);
         assert!(run_query(&engine, "cell 9 9").is_err());
+    }
+
+    #[test]
+    fn batch_file_parsing() {
+        let req = parse_batch_file("# header\ncell 3 7\n\n  12 0\ncell 3 7\n").unwrap();
+        assert_eq!(req.cells(), &[(3, 7), (12, 0), (3, 7)]);
+        assert!(parse_batch_file("").unwrap().is_empty());
+        let err = parse_batch_file("cell 1 2\nsum rows all cols all\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(parse_batch_file("cell x 2").is_err());
+        assert!(parse_batch_file("1 2 3").is_err());
     }
 
     #[test]

@@ -313,6 +313,37 @@ impl CachedFile {
         Ok(out)
     }
 
+    /// Read several rows through the page cache: row `rows[r]` lands in
+    /// `out[r·cols .. (r+1)·cols]`.
+    ///
+    /// The batched-query read path: exactly one logical read (and, on a
+    /// row-aligned layout, at most one physical page load) per entry of
+    /// `rows`, whatever the order or duplication. All row indices are
+    /// validated before anything is fetched, so a bad index never leaves
+    /// partial output.
+    pub fn read_rows_into(&self, rows: &[usize], out: &mut [f64]) -> Result<()> {
+        let header = *self.file.header();
+        if out.len() != rows.len() * header.cols {
+            return Err(AtsError::dims(
+                "CachedFile::read_rows_into",
+                (rows.len(), header.cols),
+                (out.len() / header.cols.max(1), header.cols),
+            ));
+        }
+        for &i in rows {
+            if i >= header.rows {
+                return Err(AtsError::oob("row", i, header.rows));
+            }
+        }
+        if header.cols == 0 {
+            return Ok(());
+        }
+        for (&i, orow) in rows.iter().zip(out.chunks_mut(header.cols)) {
+            self.read_row_into(i, orow)?;
+        }
+        Ok(())
+    }
+
     /// Worst-case number of page fetches a single cold row read can incur
     /// under the current layout (1 when row-aligned).
     pub fn max_pages_per_row(&self) -> usize {
@@ -503,6 +534,31 @@ mod tests {
             64,
             "each row requested exactly once"
         );
+    }
+
+    #[test]
+    fn read_rows_into_batches_with_one_logical_read_per_row() {
+        let (mat, file, _dir) = setup(24, 5, "batch.atsm");
+        let cf = CachedFile::row_aligned(file, 32);
+        // Unsorted with a duplicate: 6 requests over 5 distinct rows.
+        let rows = [19usize, 2, 7, 2, 11, 0];
+        let mut out = vec![0.0; rows.len() * 5];
+        cf.read_rows_into(&rows, &mut out).unwrap();
+        for (&i, orow) in rows.iter().zip(out.chunks(5)) {
+            assert_eq!(orow, mat.row(i));
+        }
+        assert_eq!(cf.stats().logical_reads(), 6);
+        // 5 distinct row-aligned pages fetched; the duplicate hits cache.
+        assert_eq!(cf.stats().physical_reads(), 5);
+        assert_eq!(cf.stats().cache_hits(), 1);
+        // Bad index validated before any fetch.
+        let phys = cf.stats().physical_reads();
+        let mut out2 = vec![0.0; 2 * 5];
+        assert!(cf.read_rows_into(&[0, 24], &mut out2).is_err());
+        assert_eq!(cf.stats().physical_reads(), phys);
+        assert!(out2.iter().all(|&x| x == 0.0), "no partial work");
+        let mut wrong = vec![0.0; 3];
+        assert!(cf.read_rows_into(&[0], &mut wrong).is_err());
     }
 
     #[test]

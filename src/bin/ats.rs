@@ -10,6 +10,8 @@
 //! ats append store/ more-rows.atsm    # new rows land in a fresh shard
 //! ats query store/ "cell 42 17"
 //! ats query store/ "avg rows 0..100 cols all"
+//! ats query store/ --batch-file cells.txt
+//! ats query store/ --batch-file cells.txt --threads 4
 //! ats verify data.atsm store/         # RMSPE / worst-case report
 //! ```
 //!
@@ -31,7 +33,7 @@ use adhoc_ts::core::store::{method_by_name, SequenceStore};
 use adhoc_ts::data::{generate_phone, generate_stocks, Dataset, PhoneConfig, StocksConfig};
 use adhoc_ts::query::engine::QueryEngine;
 use adhoc_ts::query::metrics::error_report;
-use adhoc_ts::query::parse::run_query;
+use adhoc_ts::query::parse::{parse_batch_file, run_query};
 use adhoc_ts::storage::store_dir::validate_sharded_store_dir;
 use adhoc_ts::storage::MatrixFile;
 use std::collections::HashMap;
@@ -60,6 +62,12 @@ USAGE:
                                  reconstruction SSE recorded
   ats open DIR [--pool-pages N]  validate and summarize a saved store
   ats query DIR \"<query>\"       e.g. \"cell 42 17\", \"avg rows 0..100 cols all\"
+  ats query DIR --batch-file F [--threads T]
+                                 answer a file of cell queries (`cell i j`
+                                 or bare `i j`, one per line, `#` comments)
+                                 in one batched pass: results print one per
+                                 line in input order; each distinct row's
+                                 U vector is fetched exactly once per shard
   ats verify FILE DIR            compare a store against the original data
   ats help                       print this message
 ";
@@ -358,16 +366,36 @@ fn run() -> Result<(), CliError> {
             Ok(())
         }
         Some("query") => {
-            check_flags("query", &flags, &[])?;
+            check_flags("query", &flags, &["batch-file", "threads"])?;
             let dir = pos.get(1).ok_or_else(|| usage("query needs DIR"))?;
-            let q = pos
-                .get(2)
-                .ok_or_else(|| usage("query needs a query string"))?;
-            let store = ShardedStore::open(dir, 1024).map_err(rt)?;
-            let engine = QueryEngine::new(&store);
-            let v = run_query(&engine, q).map_err(rt)?;
-            println!("{v}");
-            Ok(())
+            let threads = flag_usize(&flags, "threads", 1)?;
+            match (flags.get("batch-file"), pos.get(2)) {
+                (Some(_), Some(_)) => Err(usage(
+                    "query takes either a query string or --batch-file, not both",
+                )),
+                (None, None) => Err(usage("query needs a query string or --batch-file FILE")),
+                (None, Some(q)) => {
+                    let store = ShardedStore::open(dir, 1024).map_err(rt)?;
+                    let engine = QueryEngine::new(&store).with_threads(threads);
+                    let v = run_query(&engine, q).map_err(rt)?;
+                    println!("{v}");
+                    Ok(())
+                }
+                (Some(file), None) => {
+                    let text = std::fs::read_to_string(file)
+                        .map_err(|e| rt(format!("cannot read batch file {file}: {e}")))?;
+                    let req = parse_batch_file(&text).map_err(rt)?;
+                    let store = ShardedStore::open(dir, 1024).map_err(rt)?;
+                    let engine = QueryEngine::new(&store).with_threads(threads);
+                    let res = engine.batch_cells(&req).map_err(rt)?;
+                    let mut out = String::new();
+                    for v in res.values() {
+                        out.push_str(&format!("{v}\n"));
+                    }
+                    print!("{out}");
+                    Ok(())
+                }
+            }
         }
         Some("verify") => {
             check_flags("verify", &flags, &[])?;

@@ -276,6 +276,126 @@ fn cli_save_open_flow() {
 }
 
 #[test]
+fn cli_batch_query_flow() {
+    let dir = TestDir::new("ats-cli");
+    let data = dir.file("data.atsm");
+    let store = dir.file("store");
+    let batch = dir.file("cells.txt");
+
+    assert!(ats()
+        .args([
+            "generate",
+            "phone",
+            "--rows",
+            "120",
+            "--cols",
+            "30",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+    assert!(ats()
+        .args([
+            "save",
+            data.to_str().unwrap(),
+            "--out",
+            store.to_str().unwrap(),
+            "--percent",
+            "15",
+            "--shards",
+            "3",
+        ])
+        .status()
+        .unwrap()
+        .success());
+
+    // mixed spellings, comments, duplicates, unsorted rows across shards
+    let cells = [(97usize, 3usize), (5, 12), (97, 3), (40, 0), (5, 29)];
+    std::fs::write(
+        &batch,
+        "# exploratory cells\ncell 97 3\n5 12\n\ncell 97 3\n40 0\n  5 29\n",
+    )
+    .unwrap();
+    let out = ats()
+        .args([
+            "query",
+            store.to_str().unwrap(),
+            "--batch-file",
+            batch.to_str().unwrap(),
+            "--threads",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let got: Vec<String> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert_eq!(got.len(), cells.len());
+
+    // each printed value matches the corresponding single-cell query exactly
+    for ((i, j), line) in cells.iter().zip(&got) {
+        let one = ats()
+            .args(["query", store.to_str().unwrap(), &format!("cell {i} {j}")])
+            .output()
+            .unwrap();
+        assert!(one.status.success());
+        assert_eq!(
+            String::from_utf8_lossy(&one.stdout).trim(),
+            line.as_str(),
+            "cell {i} {j}"
+        );
+    }
+
+    // a malformed line is a runtime failure (exit 1) naming the line
+    std::fs::write(&batch, "cell 1 2\nsum rows all cols all\n").unwrap();
+    let out = ats()
+        .args([
+            "query",
+            store.to_str().unwrap(),
+            "--batch-file",
+            batch.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+
+    // a query string AND --batch-file together is a usage error (exit 2)
+    let out = ats()
+        .args([
+            "query",
+            store.to_str().unwrap(),
+            "cell 0 0",
+            "--batch-file",
+            batch.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // an out-of-range cell in an otherwise valid batch is exit 1
+    std::fs::write(&batch, "cell 0 0\ncell 4000 0\n").unwrap();
+    let out = ats()
+        .args([
+            "query",
+            store.to_str().unwrap(),
+            "--batch-file",
+            batch.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
 fn cli_sharded_save_info_append_flow() {
     let dir = TestDir::new("ats-cli");
     let data = dir.file("data.atsm");

@@ -69,7 +69,10 @@ impl std::fmt::Display for Finding {
 /// formats, CLI arguments, query text. The `lossy-cast` and
 /// `slice-index` rules apply only here: a lossy cast or unchecked index
 /// on attacker-controllable lengths is exactly the `read_deltas`
-/// corrupt-count bug class.
+/// corrupt-count bug class. The reconstruction kernels are held to the
+/// same standard: they run over caller-shaped buffers on the hot serving
+/// path, where an unchecked index would turn a length bug into UB-adjacent
+/// panics instead of an error.
 pub const UNTRUSTED_SURFACES: &[&str] = &[
     "crates/common/src/codec.rs",
     "crates/storage/src/format.rs",
@@ -78,6 +81,7 @@ pub const UNTRUSTED_SURFACES: &[&str] = &[
     "crates/storage/src/pool.rs",
     "crates/core/src/disk.rs",
     "crates/core/src/shard.rs",
+    "crates/linalg/src/kernels.rs",
     "crates/query/src/parse.rs",
     "crates/data/src/csv.rs",
     "src/bin/ats.rs",

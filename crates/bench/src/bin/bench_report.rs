@@ -1,0 +1,323 @@
+//! Pinned perf-trajectory suite: emits `BENCH_<issue>.json`.
+//!
+//! Unlike the Criterion benches (statistical, interactive), this binary
+//! runs a small fixed set of workloads with pinned seeds and sizes and
+//! writes one machine-readable JSON report, committed per PR so the
+//! perf trajectory of the repo is inspectable from git history alone:
+//!
+//! 1. `build_phone2000` — SVDD build of the canonical phone2000 set;
+//! 2. `batch_cells` — a 10 000-cell batch query against that store;
+//! 3. `aggregate_scan` — full-matrix `avg` aggregate;
+//! 4. `kernels` — dot/axpy vs their 8-wide variants (`dot8`/`axpy8`);
+//! 5. `ladder_build` — streaming 200k-row build in a child process,
+//!    reporting the child's true peak RSS (`VmHWM`).
+//!
+//! `--quick` shrinks every size (CI smoke); `--out PATH` overrides the
+//! default `BENCH_006.json` in the workspace root. Timing is hand-rolled
+//! (`Instant` + best-of-R) because Criterion is a dev-dependency only.
+
+use ats_compress::{SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions};
+use ats_data::{generate_phone, PhoneConfig, StreamingPhone};
+use ats_linalg::vecops;
+use ats_query::{AggregateFn, BatchRequest, QueryEngine, Selection};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Report schema identifier; bump when fields change shape.
+const SCHEMA: &str = "ats-bench-report/v1";
+/// The PR issue this trajectory file belongs to.
+const ISSUE: u32 = 6;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Child mode: run the ladder build and print its own peak RSS.
+    if let Some(i) = args.iter().position(|a| a == "--ladder-child") {
+        let n: usize = args[i + 1].parse().expect("ladder-child rows");
+        let m: usize = args[i + 2].parse().expect("ladder-child cols");
+        let k: usize = args[i + 3].parse().expect("ladder-child k");
+        ladder_child(n, m, k);
+        return;
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args[i + 1].clone())
+        .unwrap_or_else(default_out_path);
+
+    let mut suites = String::new();
+
+    // 1 + 2 + 3: build once, query twice.
+    let n = if quick { 500 } else { 2_000 };
+    let ds = generate_phone(&PhoneConfig {
+        customers: n,
+        days: 366,
+        ..PhoneConfig::default()
+    });
+    eprintln!("bench-report: building SVDD phone{n} …");
+    let t0 = Instant::now();
+    let svdd = SvddCompressed::compress(
+        ds.matrix(),
+        &SvddOptions::new(SpaceBudget::from_percent(10.0)),
+    )
+    .expect("svdd build");
+    let build_secs = t0.elapsed().as_secs_f64();
+    let rows_per_sec = n as f64 / build_secs;
+    let _ = writeln!(
+        suites,
+        "    \"build_phone2000\": {{ \"rows\": {n}, \"cols\": 366, \
+         \"budget_percent\": 10.0, \"k_opt\": {}, \"secs\": {build_secs:.4}, \
+         \"rows_per_sec\": {rows_per_sec:.1} }},",
+        svdd.k_opt(),
+    );
+
+    let engine = QueryEngine::new(&svdd);
+
+    let cells = if quick { 2_000 } else { 10_000 };
+    let req = BatchRequest::new(
+        (0..cells)
+            .map(|i: usize| {
+                // Deterministic scatter with repeated rows, the batch
+                // path's favourable case (one U fetch per distinct row).
+                let row = (i.wrapping_mul(2_654_435_761)) % n;
+                let col = (i.wrapping_mul(40_503)) % 366;
+                (row, col)
+            })
+            .collect(),
+    );
+    eprintln!("bench-report: batch of {cells} cells …");
+    let t0 = Instant::now();
+    let res = engine.batch_cells(&req).expect("batch query");
+    let batch_secs = t0.elapsed().as_secs_f64();
+    black_box(res.values());
+    let _ = writeln!(
+        suites,
+        "    \"batch_cells\": {{ \"cells\": {cells}, \"distinct_rows\": {}, \
+         \"secs\": {batch_secs:.6}, \"cells_per_sec\": {:.1} }},",
+        res.distinct_rows(),
+        cells as f64 / batch_secs,
+    );
+
+    eprintln!("bench-report: full aggregate scan …");
+    let scan_cells = n * 366;
+    let t0 = Instant::now();
+    let avg = engine
+        .aggregate(&Selection::all(), AggregateFn::Avg)
+        .expect("aggregate scan");
+    let scan_secs = t0.elapsed().as_secs_f64();
+    black_box(avg);
+    let _ = writeln!(
+        suites,
+        "    \"aggregate_scan\": {{ \"cells\": {scan_cells}, \"secs\": {scan_secs:.6}, \
+         \"cells_per_sec\": {:.1} }},",
+        scan_cells as f64 / scan_secs,
+    );
+
+    // 4: kernel micros.
+    eprintln!("bench-report: kernel micros …");
+    suites.push_str(&kernel_micros(quick));
+
+    // 5: ladder build in a child process so VmHWM reflects it alone.
+    let (lrows, lcols, lk) = if quick {
+        (50_000, 64, 6)
+    } else {
+        (200_000, 64, 6)
+    };
+    eprintln!("bench-report: ladder child build {lrows}×{lcols} …");
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = std::process::Command::new(exe)
+        .args([
+            "--ladder-child",
+            &lrows.to_string(),
+            &lcols.to_string(),
+            &lk.to_string(),
+        ])
+        .output()
+        .expect("spawn ladder child");
+    assert!(
+        out.status.success(),
+        "ladder child failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let child = String::from_utf8_lossy(&out.stdout);
+    let field = |key: &str| -> f64 {
+        child
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{key}=")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("ladder child did not report {key}: {child}"))
+    };
+    let _ = writeln!(
+        suites,
+        "    \"ladder_build\": {{ \"rows\": {lrows}, \"cols\": {lcols}, \"k\": {lk}, \
+         \"secs\": {:.4}, \"peak_rss_bytes\": {}, \"input_bytes\": {} }}",
+        field("secs"),
+        field("peak_rss_bytes") as u64,
+        lrows * lcols * 8,
+    );
+
+    let json = render_report(quick, &suites);
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("wrote {out_path}");
+}
+
+/// Child-process entry: streaming SVD build, then self-report VmHWM.
+fn ladder_child(n: usize, m: usize, k: usize) {
+    let cfg = PhoneConfig {
+        customers: n,
+        days: m,
+        ..PhoneConfig::default()
+    };
+    let src = StreamingPhone::new(cfg);
+    let t0 = Instant::now();
+    let svd = SvdCompressed::compress(&src, k, 1).expect("ladder build");
+    let secs = t0.elapsed().as_secs_f64();
+    black_box(svd.lambda());
+    println!("secs={secs:.4}");
+    println!("peak_rss_bytes={}", peak_rss_bytes().unwrap_or(0));
+}
+
+/// Peak resident set size of this process (`VmHWM`), in bytes.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Best-of-R wall time for `f`, in seconds.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Time the narrow kernels against their 8-wide variants on identical
+/// data and report element throughput. On 1-CPU containers without FMA
+/// the widened variants may only reach parity — the JSON `notes` field
+/// documents that this is acceptable; the numbers still pin regressions.
+fn kernel_micros(quick: bool) -> String {
+    let len = 4096usize;
+    let iters = if quick { 200 } else { 2_000 };
+    let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.37).sin()).collect();
+    let bs: Vec<Vec<f64>> = (0..8)
+        .map(|l| {
+            (0..len)
+                .map(|i| ((i + l * 17) as f64 * 0.21).cos())
+                .collect()
+        })
+        .collect();
+
+    // dot: 8 sequential narrow calls vs one dot8 over the same lanes.
+    let dot_secs = best_of(iters, || {
+        let mut acc = 0.0;
+        for b in &bs {
+            acc += vecops::dot(black_box(&a), black_box(b));
+        }
+        acc
+    });
+    let dot8_secs = best_of(iters, || {
+        let refs: [&[f64]; 8] = std::array::from_fn(|l| bs[l].as_slice());
+        vecops::dot8(black_box(&a), refs)
+    });
+
+    // axpy: 8 narrow updates vs one axpy8 sharing the x sweep.
+    let mut ys: Vec<Vec<f64>> = vec![vec![0.0; len]; 8];
+    let alpha: [f64; 8] = std::array::from_fn(|l| 0.5 + l as f64 * 0.125);
+    let axpy_secs = best_of(iters, || {
+        for (l, y) in ys.iter_mut().enumerate() {
+            vecops::axpy(alpha[l], black_box(&a), y);
+        }
+    });
+    let axpy8_secs = best_of(iters, || {
+        let mut it = ys.iter_mut();
+        let mut refs: [&mut [f64]; 8] =
+            std::array::from_fn(|_| it.next().map(|v| v.as_mut_slice()).expect("8 lanes"));
+        vecops::axpy8(alpha, black_box(&a), &mut refs);
+    });
+
+    let elems = (8 * len) as f64;
+    let melems = |secs: f64| elems / secs / 1e6;
+    format!(
+        "    \"kernels\": {{ \"len\": {len}, \"lanes\": 8, \"iters\": {iters}, \
+         \"dot_melem_per_sec\": {:.1}, \"dot8_melem_per_sec\": {:.1}, \
+         \"axpy_melem_per_sec\": {:.1}, \"axpy8_melem_per_sec\": {:.1}, \
+         \"dot8_speedup\": {:.3}, \"axpy8_speedup\": {:.3} }},\n",
+        melems(dot_secs),
+        melems(dot8_secs),
+        melems(axpy_secs),
+        melems(axpy8_secs),
+        dot_secs / dot8_secs,
+        axpy_secs / axpy8_secs,
+    )
+}
+
+/// Workspace-root default output path: `BENCH_006.json`.
+fn default_out_path() -> String {
+    let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push(format!("BENCH_{ISSUE:03}.json"));
+    p.to_string_lossy().into_owned()
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn render_report(quick: bool, suites: &str) -> String {
+    let cpu = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".into());
+    let cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(0);
+    let mem_kb = std::fs::read_to_string("/proc/meminfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("MemTotal:"))
+                .and_then(|l| l.split_whitespace().nth(1).map(str::to_string))
+        })
+        .unwrap_or_else(|| "0".into());
+    let fma = cfg!(target_feature = "fma");
+    let notes = "Pinned perf-trajectory suite (seeds and sizes fixed; see \
+                 crates/bench/src/bin/bench_report.rs). On 1-CPU containers \
+                 without FMA the 8-wide kernels may only reach parity with the \
+                 narrow ones; parity is acceptable — the file exists to pin the \
+                 trajectory, and deltas are judged against this machine block.";
+
+    format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"issue\": {ISSUE},\n  \"quick\": {quick},\n  \
+         \"machine\": {{ \"cpu\": \"{}\", \"cpus\": {cpus}, \"mem_total_kb\": {mem_kb}, \
+         \"os\": \"{}\", \"arch\": \"{}\", \"fma\": {fma}, \
+         \"crate_version\": \"{}\" }},\n  \"suites\": {{\n{suites}  }},\n  \
+         \"notes\": \"{}\"\n}}\n",
+        json_escape(&cpu),
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        env!("CARGO_PKG_VERSION"),
+        json_escape(notes),
+    )
+}

@@ -1,0 +1,83 @@
+//! Peak-heap regression test for the streaming build path.
+//!
+//! A 100 000 × 64 phone build from [`StreamingPhone`] must run in
+//! memory proportional to the *outputs* (Gram matrix `M²`, the `N × k`
+//! projection) plus an `O(chunk · M)` generation buffer — never the
+//! `N × M` input matrix. A high-water-mark global allocator pins this:
+//! if anyone reintroduces a full materialization (the old `ats gen`
+//! bug), peak live bytes jump ~4× and this test fails.
+//!
+//! The allocator needs `unsafe impl GlobalAlloc`; the allow below scopes
+//! that exemption to this test binary only.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ats_compress::SvdCompressed;
+use ats_data::{PhoneConfig, StreamingPhone};
+
+/// Tracks live heap bytes and their high-water mark.
+struct HighWaterAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for HighWaterAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+        PEAK.fetch_max(live, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: HighWaterAlloc = HighWaterAlloc;
+
+/// Single test so no sibling test thread can allocate concurrently and
+/// pollute the high-water mark.
+#[test]
+fn streaming_build_peak_heap_stays_sublinear_in_input() {
+    const N: usize = 100_000;
+    const M: usize = 64;
+    const K: usize = 6;
+
+    let cfg = PhoneConfig {
+        customers: N,
+        days: M,
+        ..PhoneConfig::default()
+    };
+    let src = StreamingPhone::new(cfg);
+
+    // Reset the window: measure the high-water mark of the build alone,
+    // relative to what is live right now.
+    let baseline = LIVE.load(Ordering::SeqCst);
+    PEAK.store(baseline, Ordering::SeqCst);
+
+    let svd = SvdCompressed::compress(&src, K, 1).unwrap();
+
+    let peak_delta = PEAK.load(Ordering::SeqCst).saturating_sub(baseline);
+
+    // Sanity: the build really ran over all N rows.
+    assert_eq!(svd.u().rows(), N);
+    assert_eq!(svd.k(), K);
+
+    let x_bytes = N * M * 8; // the input matrix we must never materialize
+    let u_bytes = N * K * 8; // the N×k output we do hold
+    assert!(
+        peak_delta < x_bytes / 4,
+        "peak live heap {peak_delta} B ≥ ¼ of the {x_bytes} B input — \
+         the streaming build is materializing the matrix"
+    );
+    // And the bound is not vacuous: the output alone is a decent chunk
+    // of the allowance, so the headroom above it is only a few MB.
+    assert!(
+        peak_delta < u_bytes + 8 * 1024 * 1024,
+        "peak live heap {peak_delta} B exceeds U ({u_bytes} B) + 8 MiB scratch"
+    );
+}

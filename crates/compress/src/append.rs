@@ -19,7 +19,7 @@ use crate::gram::compute_gram_parallel;
 use crate::method::SpaceBudget;
 use crate::svd::{project_row, reconstruct_row, SvdCompressed};
 use ats_common::{AtsError, Result};
-use ats_linalg::{sym_eigen, Matrix};
+use ats_linalg::{sym_eigen, vecops, Matrix};
 use ats_storage::RowSource;
 use std::path::Path;
 
@@ -90,9 +90,9 @@ impl GramCache {
             if xj == 0.0 {
                 continue;
             }
-            for (l, &xl) in row.iter().enumerate() {
-                self.c[(j, l)] += xj * xl;
-            }
+            // Same widened update as pass 1's `accumulate_row`, so batch
+            // and row ingestion stay arithmetically identical.
+            vecops::axpy(xj, row, self.c.row_mut(j));
         }
         self.rows_seen += 1;
         Ok(())

@@ -11,10 +11,13 @@
 //! inner-loop work relative to the paper's pseudocode.
 
 use ats_common::{AtsError, Result};
-use ats_linalg::Matrix;
+use ats_linalg::{vecops, Matrix};
 use ats_storage::RowSource;
 
 /// Accumulate one row's outer product into the upper triangle of `c`.
+/// The inner sweep is a widened axpy over the row tail `row[j..]` — same
+/// per-element op (`c += x_j · x_l`) in the same ascending-`l` order, so
+/// the accumulated Gram matrix is bitwise unchanged.
 #[inline]
 fn accumulate_row(c: &mut Matrix, row: &[f64]) {
     let m = row.len();
@@ -24,9 +27,7 @@ fn accumulate_row(c: &mut Matrix, row: &[f64]) {
             continue; // sparse customer-days are common in phone data
         }
         let c_row = c.row_mut(j);
-        for (l, &xl) in row.iter().enumerate().skip(j) {
-            c_row[l] += xj * xl;
-        }
+        vecops::axpy(xj, &row[j..], &mut c_row[j..]);
     }
 }
 

@@ -14,6 +14,7 @@ use crate::gram::{compute_gram_parallel, compute_gram_sharded};
 use crate::method::{svd_bytes, CompressedMatrix, SpaceBudget};
 use ats_common::{AtsError, Result};
 use ats_linalg::kernels::{self, VPanel};
+use ats_linalg::vecops;
 use ats_linalg::{lanczos_top_k, sym_eigen, LanczosOptions, Matrix};
 use ats_storage::RowSource;
 
@@ -229,15 +230,13 @@ impl SvdCompressed {
 pub(crate) fn project_row(x: &[f64], v: &Matrix, lambda: &[f64], u_row: &mut [f64]) {
     let k = lambda.len();
     u_row[..k].fill(0.0);
-    // Walk V row-wise (cache-friendly): u_j += x_l * v[l][j].
+    // Walk V row-wise (cache-friendly): u_j += x_l * v[l][j]. The widened
+    // axpy applies the same op in the same ascending-j order.
     for (l, &xl) in x.iter().enumerate() {
         if xl == 0.0 {
             continue;
         }
-        let v_row = v.row(l);
-        for j in 0..k {
-            u_row[j] += xl * v_row[j];
-        }
+        vecops::axpy(xl, &v.row(l)[..k], &mut u_row[..k]);
     }
     for (j, u) in u_row[..k].iter_mut().enumerate() {
         if lambda[j] > 0.0 {
@@ -314,7 +313,7 @@ pub(crate) fn reconstruct_row(u_row: &[f64], lambda: &[f64], v: &Matrix, out: &m
     for (j, o) in out.iter_mut().enumerate() {
         let mut acc = 0.0;
         for ((&l, &u), &vv) in lambda.iter().zip(u_row).zip(v.row(j)) {
-            acc += (l * u) * vv;
+            acc = vecops::fmadd(l * u, vv, acc);
         }
         *o = acc;
     }
@@ -339,12 +338,11 @@ impl CompressedMatrix for SvdCompressed {
         }
         let ui = self.u.row(i);
         let vj = self.v.row(j);
-        Ok(ui
-            .iter()
-            .zip(vj)
-            .zip(&self.lambda)
-            .map(|((&u, &v), &l)| l * u * v)
-            .sum())
+        let mut acc = 0.0;
+        for ((&u, &v), &l) in ui.iter().zip(vj).zip(&self.lambda) {
+            acc = vecops::fmadd(l * u, v, acc);
+        }
+        Ok(acc)
     }
 
     fn row_into(&self, i: usize, out: &mut [f64]) -> Result<()> {

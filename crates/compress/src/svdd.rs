@@ -41,7 +41,7 @@ use crate::gram::{compute_gram_parallel, compute_gram_sharded, GRAM_BLOCK_ROWS};
 use crate::method::{svd_bytes, CompressedMatrix, SpaceBudget};
 use crate::svd::{emit_u, SvdCompressed};
 use ats_common::{AtsError, Result, TopK};
-use ats_linalg::{sym_eigen, Matrix};
+use ats_linalg::{sym_eigen, vecops, Matrix};
 use ats_storage::RowSource;
 
 /// Options for [`SvddCompressed::compress`].
@@ -157,10 +157,9 @@ fn pass2_range<S: RowSource + ?Sized>(
                 continue;
             }
             all_zero = false;
-            let v_row = &v_full.row(l)[..k_hi];
-            for (p, &vj) in proj.iter_mut().zip(v_row) {
-                *p += xl * vj;
-            }
+            // Widened axpy: same op (`p += x_l · v_{l,j}`), same
+            // ascending-j order, bitwise unchanged.
+            vecops::axpy(xl, &v_full.row(l)[..k_hi], &mut proj);
         }
         if all_zero {
             return Ok(());
@@ -173,8 +172,12 @@ fn pass2_range<S: RowSource + ?Sized>(
             let mut k_prev = 0usize;
             let ord = ord_base + j as u64;
             for (ci, &(k, _)) in candidate_ks.iter().enumerate() {
+                // `acc` carries across candidate spans, so this MUST stay
+                // an incremental scalar chain — a per-span dot would
+                // reassociate the sum and break the bitwise equivalence
+                // between sharded and monolithic builds.
                 for t in k_prev..k {
-                    acc += proj[t] * v_row[t];
+                    acc = vecops::fmadd(proj[t], v_row[t], acc);
                 }
                 k_prev = k;
                 let err = x - acc;

@@ -31,7 +31,7 @@ use ats_common::{AtsError, Result};
 use ats_compress::delta::DeltaStore;
 use ats_compress::method::BYTES_PER_NUMBER;
 use ats_compress::{CompressedMatrix, SvdCompressed, SvddCompressed};
-use ats_linalg::Matrix;
+use ats_linalg::{vecops, Matrix};
 use ats_storage::file::{write_matrix, MatrixFile, MatrixFileWriter};
 use ats_storage::store_dir::{validate_store_dir, StoreManifest, StoreWriter};
 use ats_storage::{CachedFile, IoStats};
@@ -304,13 +304,10 @@ impl CompressedMatrix for DiskStore {
         }
         let mut u_row = vec![0.0f64; self.k()];
         self.u.read_row_into(i, &mut u_row)?; // ≤ 1 disk access
-        let base: f64 = self
-            .lambda
-            .iter()
-            .zip(&u_row)
-            .zip(self.v.row(j))
-            .map(|((&lam, &uv), &vv)| lam * uv * vv)
-            .sum();
+        let mut base = 0.0f64;
+        for ((&lam, &uv), &vv) in self.lambda.iter().zip(&u_row).zip(self.v.row(j)) {
+            base = vecops::fmadd(lam * uv, vv, base);
+        }
         Ok(match self.deltas.probe(i, j) {
             Some(d) => base + d,
             None => base,
@@ -330,7 +327,7 @@ impl CompressedMatrix for DiskStore {
         for (j, o) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
             for ((&lam, &uv), &vv) in self.lambda.iter().zip(&u_row).zip(self.v.row(j)) {
-                acc += lam * uv * vv;
+                acc = vecops::fmadd(lam * uv, vv, acc);
             }
             *o = acc;
         }

@@ -1,0 +1,133 @@
+//! Per-row RNG streams and a bijective rank permutation.
+//!
+//! The streaming generators ([`crate::streaming`]) need random access to
+//! any row in `O(M)` work: row `i` of a dataset must be computable
+//! without simulating rows `0..i`. Two ingredients make that possible:
+//!
+//! 1. **Per-row RNG streams** — instead of one sequential generator
+//!    whose consumption depends on every earlier row, each row draws from
+//!    its own `StdRng` seeded by a SplitMix64-style mix of the dataset
+//!    seed and the row index ([`mix_stream`]).
+//! 2. **A bijective rank permutation** ([`RankShuffle`]) — the phone
+//!    generator assigns Zipf volume ranks "in random order". A
+//!    Fisher–Yates shuffle is inherently sequential, so the streaming
+//!    form uses a 4-round Feistel network over the smallest balanced
+//!    power-of-two domain ≥ `n`, with cycle-walking to stay inside
+//!    `[0, n)`. This is a uniform-looking bijection computable in `O(1)`
+//!    expected time per row.
+
+/// Mix a dataset seed with a stream index into an independent 64-bit
+/// seed (SplitMix64 finalizer). Used both for per-row streams
+/// (`stream = row index`) and for auxiliary streams (market walk,
+/// permutation keys) at reserved stream numbers.
+#[inline]
+pub(crate) fn mix_stream(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A pseudo-random bijection on `[0, n)`.
+///
+/// Feistel construction: the domain is `[0, 2^(2h))` with `2^(2h) ≥ n`
+/// (so the domain is less than `4n`); four rounds of
+/// `(l, r) → (r, l ⊕ F(r))` with keyed SplitMix64 round functions give a
+/// well-mixed permutation of the power-of-two domain, and cycle-walking
+/// (re-applying the network while the image lands outside `[0, n)`)
+/// restricts it to a bijection on `[0, n)`. Expected cycle-walk length
+/// is `domain / n < 4`; termination is guaranteed because the walk
+/// follows the cycle of the start point, which is itself `< n`.
+#[derive(Debug, Clone)]
+pub(crate) struct RankShuffle {
+    n: u64,
+    half_bits: u32,
+    keys: [u64; 4],
+}
+
+impl RankShuffle {
+    /// Build a permutation of `[0, n)` keyed by `seed`.
+    pub(crate) fn new(n: usize, seed: u64) -> Self {
+        let n64 = n as u64;
+        // ceil(log2(n)) for n ≥ 2; tiny domains still get 2 half-bits so
+        // the network has something to mix.
+        let bits = 64 - n64.saturating_sub(1).leading_zeros();
+        let half_bits = bits.div_ceil(2).max(1);
+        RankShuffle {
+            n: n64,
+            half_bits,
+            keys: [
+                mix_stream(seed, 1),
+                mix_stream(seed, 2),
+                mix_stream(seed, 3),
+                mix_stream(seed, 4),
+            ],
+        }
+    }
+
+    /// Image of `i` under the permutation. `i` must be `< n`.
+    pub(crate) fn apply(&self, i: u64) -> u64 {
+        debug_assert!(i < self.n, "RankShuffle::apply: {i} out of [0, {})", self.n);
+        let mask = (1u64 << self.half_bits) - 1;
+        let mut x = i & ((mask << self.half_bits) | mask);
+        loop {
+            let mut l = x >> self.half_bits;
+            let mut r = x & mask;
+            for &k in &self.keys {
+                let t = r;
+                r = l ^ (mix_stream(k, r) & mask);
+                l = t;
+            }
+            x = (l << self.half_bits) | r;
+            if x < self.n {
+                return x;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_a_bijection() {
+        for n in [1usize, 2, 3, 7, 64, 100, 1000] {
+            let p = RankShuffle::new(n, 42);
+            let mut seen = vec![false; n];
+            for i in 0..n {
+                let img = p.apply(i as u64) as usize;
+                assert!(img < n, "image {img} out of range for n={n}");
+                assert!(!seen[img], "duplicate image {img} for n={n}");
+                seen[img] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_by_seed() {
+        let n = 500;
+        let a = RankShuffle::new(n, 1);
+        let b = RankShuffle::new(n, 2);
+        let differs = (0..n as u64).filter(|&i| a.apply(i) != b.apply(i)).count();
+        assert!(differs > n / 2, "seeds barely change the permutation");
+    }
+
+    #[test]
+    fn actually_shuffles() {
+        // Not the identity and no long fixed prefix.
+        let n = 1000;
+        let p = RankShuffle::new(n, 7);
+        let fixed = (0..n as u64).filter(|&i| p.apply(i) == i).count();
+        assert!(fixed < n / 10, "{fixed} fixed points of {n}");
+    }
+
+    #[test]
+    fn mix_stream_spreads() {
+        // Adjacent streams map far apart.
+        let a = mix_stream(42, 0);
+        let b = mix_stream(42, 1);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 10);
+    }
+}

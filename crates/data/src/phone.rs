@@ -22,9 +22,14 @@
 //!    all (§6.2's "practical issue").
 
 use crate::dataset::Dataset;
+use crate::perm::{mix_stream, RankShuffle};
 use ats_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Reserved RNG stream for the volume-rank permutation keys (row streams
+/// use the row index itself, which can never reach this value).
+pub(crate) const PHONE_PERM_STREAM: u64 = u64::MAX - 1;
 
 /// Configuration for [`generate_phone`].
 #[derive(Debug, Clone)]
@@ -98,14 +103,10 @@ const ARCHETYPES: [[f64; 7]; 4] = [
     [0.3, 0.7, 1.2, 0.7, 0.3, 0.2, 0.2],
 ];
 
-/// Generate a synthetic phone dataset. Deterministic in `cfg`.
-pub fn generate_phone(cfg: &PhoneConfig) -> Dataset {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let n = cfg.customers;
-    let m = cfg.days;
-
-    // Annual seasonality shared by everyone: mild sinusoid + holiday dip.
-    let season: Vec<f64> = (0..m)
+/// Annual seasonality shared by everyone: mild sinusoid + holiday dip.
+/// Deterministic in `m` alone (no RNG draws).
+pub(crate) fn season_profile(m: usize) -> Vec<f64> {
+    (0..m)
         .map(|d| {
             let t = d as f64 / 366.0;
             let base = 1.0 + 0.15 * (2.0 * std::f64::consts::PI * t).sin();
@@ -113,50 +114,87 @@ pub fn generate_phone(cfg: &PhoneConfig) -> Dataset {
             let holiday = if m > 300 && d >= m - 10 { 0.7 } else { 1.0 };
             base * holiday
         })
-        .collect();
+        .collect()
+}
 
-    // Zipf volumes assigned to customers in random order.
-    let mut volumes: Vec<f64> = (1..=n)
-        .map(|rank| cfg.top_volume / (rank as f64).powf(cfg.zipf_exponent))
-        .collect();
-    // Fisher–Yates shuffle so big customers are scattered through the file.
-    for i in (1..n).rev() {
-        let j = rng.gen_range(0..=i);
-        volumes.swap(i, j);
+/// The volume-rank permutation for a dataset of `n` customers. Replaces
+/// the old sequential Fisher–Yates shuffle with a bijective
+/// [`RankShuffle`] so row `i`'s volume is computable in `O(1)` — the
+/// multiset of assigned volumes is identical (every rank `1..=n` appears
+/// exactly once), just scattered by a different pseudo-random bijection.
+pub(crate) fn volume_permutation(cfg: &PhoneConfig) -> RankShuffle {
+    RankShuffle::new(cfg.customers, mix_stream(cfg.seed, PHONE_PERM_STREAM))
+}
+
+/// Base daily volume of customer `i`: Zipf over the permuted rank.
+pub(crate) fn customer_volume(cfg: &PhoneConfig, perm: &RankShuffle, i: usize) -> f64 {
+    let rank = perm.apply(i as u64) + 1;
+    cfg.top_volume / (rank as f64).powf(cfg.zipf_exponent)
+}
+
+/// The per-row RNG stream: every customer draws from an independent
+/// generator seeded from `(dataset seed, row index)`, so any row is
+/// computable without simulating its predecessors — the property the
+/// streaming source ([`crate::streaming::StreamingPhone`]) relies on.
+pub(crate) fn row_rng(seed: u64, i: usize) -> StdRng {
+    StdRng::seed_from_u64(mix_stream(seed, i as u64))
+}
+
+/// Fill one customer's row (`out.len() == cfg.days`). Deterministic in
+/// `(cfg, i)`; both [`generate_phone`] and the streaming source call
+/// this, which is what makes their outputs bitwise identical.
+pub(crate) fn fill_phone_row(
+    cfg: &PhoneConfig,
+    perm: &RankShuffle,
+    season: &[f64],
+    i: usize,
+    out: &mut [f64],
+) {
+    out.fill(0.0);
+    let mut rng = row_rng(cfg.seed, i);
+    if rng.gen_bool(cfg.zero_fraction.clamp(0.0, 1.0)) {
+        return; // an all-zero customer
     }
+    let vol = customer_volume(cfg, perm, i);
+    // Each customer is a mixture of one dominant archetype plus a
+    // small admixture of another — keeps effective rank low but > 4.
+    let a = rng.gen_range(0..ARCHETYPES.len());
+    let b = rng.gen_range(0..ARCHETYPES.len());
+    let mix: f64 = rng.gen_range(0.0..0.25);
+    let phase: usize = rng.gen_range(0..7); // which weekday day 0 is
+    for ((d, cell), &season_d) in out.iter_mut().enumerate().zip(season) {
+        let dow = (d + phase) % 7;
+        let pattern = ARCHETYPES[a][dow] * (1.0 - mix) + ARCHETYPES[b][dow] * mix;
+        let mut v = vol * pattern * season_d;
+        if cfg.noise > 0.0 {
+            // log-normal multiplicative noise, mean ≈ 1
+            let z: f64 = sample_standard_normal(&mut rng);
+            v *= (cfg.noise * z - 0.5 * cfg.noise * cfg.noise).exp();
+        }
+        if cfg.spike_prob > 0.0 && rng.gen_bool(cfg.spike_prob) {
+            v *= rng.gen_range(5.0..25.0);
+        }
+        *cell = (v.max(0.0) * 100.0).round() / 100.0; // cents
+    }
+}
 
+/// Generate a synthetic phone dataset. Deterministic in `cfg`, and row
+/// `i` equals row `i` of [`crate::streaming::StreamingPhone`] bit for
+/// bit (both run the same per-row fill function).
+pub fn generate_phone(cfg: &PhoneConfig) -> Dataset {
+    let n = cfg.customers;
+    let m = cfg.days;
+    let season = season_profile(m);
+    let perm = volume_permutation(cfg);
     let mut matrix = Matrix::zeros(n, m);
-    for (i, &vol) in volumes.iter().enumerate() {
-        if rng.gen_bool(cfg.zero_fraction.clamp(0.0, 1.0)) {
-            continue; // an all-zero customer
-        }
-        // Each customer is a mixture of one dominant archetype plus a
-        // small admixture of another — keeps effective rank low but > 4.
-        let a = rng.gen_range(0..ARCHETYPES.len());
-        let b = rng.gen_range(0..ARCHETYPES.len());
-        let mix: f64 = rng.gen_range(0.0..0.25);
-        let phase: usize = rng.gen_range(0..7); // which weekday day 0 is
-        let row = matrix.row_mut(i);
-        for (d, cell) in row.iter_mut().enumerate() {
-            let dow = (d + phase) % 7;
-            let pattern = ARCHETYPES[a][dow] * (1.0 - mix) + ARCHETYPES[b][dow] * mix;
-            let mut v = vol * pattern * season[d];
-            if cfg.noise > 0.0 {
-                // log-normal multiplicative noise, mean ≈ 1
-                let z: f64 = sample_standard_normal(&mut rng);
-                v *= (cfg.noise * z - 0.5 * cfg.noise * cfg.noise).exp();
-            }
-            if cfg.spike_prob > 0.0 && rng.gen_bool(cfg.spike_prob) {
-                v *= rng.gen_range(5.0..25.0);
-            }
-            *cell = (v.max(0.0) * 100.0).round() / 100.0; // cents
-        }
+    for i in 0..n {
+        fill_phone_row(cfg, &perm, &season, i, matrix.row_mut(i));
     }
     Dataset::new(format!("phone{n}"), matrix)
 }
 
 /// Box–Muller standard normal (avoids depending on rand_distr).
-fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+pub(crate) fn sample_standard_normal(rng: &mut StdRng) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()

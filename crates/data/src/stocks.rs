@@ -16,9 +16,14 @@
 //! persistent market walk, `β_i ≈ 1`, and a small idiosyncratic walk.
 
 use crate::dataset::Dataset;
+use crate::perm::mix_stream;
 use ats_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Reserved RNG stream for the shared market walk (row streams use the
+/// row index itself, which can never reach this value).
+pub(crate) const MARKET_STREAM: u64 = u64::MAX - 2;
 
 /// Configuration for [`generate_stocks`].
 #[derive(Debug, Clone)]
@@ -63,39 +68,54 @@ impl StocksConfig {
     }
 }
 
-/// Generate a synthetic stocks dataset. Deterministic in `cfg`.
-pub fn generate_stocks(cfg: &StocksConfig) -> Dataset {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let n = cfg.stocks;
-    let m = cfg.days;
-
-    // Shared market factor: a persistent random walk with slight drift.
-    let mut market = vec![0.0f64; m];
+/// The market factor shared by every stock: a persistent random walk
+/// with slight drift, drawn from its own reserved RNG stream so it is
+/// independent of any row's stream.
+pub(crate) fn market_walk(cfg: &StocksConfig) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(mix_stream(cfg.seed, MARKET_STREAM));
+    let mut market = vec![0.0f64; cfg.days];
     let drift = 0.0004;
-    for t in 1..m {
+    for t in 1..cfg.days {
         let z = normal(&mut rng);
         market[t] = market[t - 1] + drift + cfg.market_vol * z;
     }
+    market
+}
 
+/// Fill one stock's row (`out.len() == cfg.days`). Deterministic in
+/// `(cfg, i)` given the shared `market` walk; both [`generate_stocks`]
+/// and the streaming source call this, which is what makes their
+/// outputs bitwise identical.
+pub(crate) fn fill_stock_row(cfg: &StocksConfig, market: &[f64], i: usize, out: &mut [f64]) {
+    let mut rng = StdRng::seed_from_u64(mix_stream(cfg.seed, i as u64));
+    // Price levels span roughly $5 – $500, log-uniformly.
+    let base: f64 = (rng.gen_range(5.0f64.ln()..500.0f64.ln())).exp();
+    let beta: f64 = rng.gen_range(0.7..1.3);
+    let mut idio = 0.0f64;
+    for ((t, cell), &market_t) in out.iter_mut().enumerate().zip(market) {
+        if t > 0 {
+            idio += cfg.idio_vol * normal(&mut rng);
+        }
+        let logp = base.ln() + beta * market_t + idio;
+        *cell = (logp.exp() * 100.0).round() / 100.0; // cents
+    }
+}
+
+/// Generate a synthetic stocks dataset. Deterministic in `cfg`, and row
+/// `i` equals row `i` of [`crate::streaming::StreamingStocks`] bit for
+/// bit (both run the same per-row fill function).
+pub fn generate_stocks(cfg: &StocksConfig) -> Dataset {
+    let n = cfg.stocks;
+    let m = cfg.days;
+    let market = market_walk(cfg);
     let mut matrix = Matrix::zeros(n, m);
     for i in 0..n {
-        // Price levels span roughly $5 – $500, log-uniformly.
-        let base: f64 = (rng.gen_range(5.0f64.ln()..500.0f64.ln())).exp();
-        let beta: f64 = rng.gen_range(0.7..1.3);
-        let mut idio = 0.0f64;
-        let row = matrix.row_mut(i);
-        for (t, cell) in row.iter_mut().enumerate() {
-            if t > 0 {
-                idio += cfg.idio_vol * normal(&mut rng);
-            }
-            let logp = base.ln() + beta * market[t] + idio;
-            *cell = (logp.exp() * 100.0).round() / 100.0; // cents
-        }
+        fill_stock_row(cfg, &market, i, matrix.row_mut(i));
     }
     Dataset::new("stocks".to_string(), matrix)
 }
 
-fn normal(rng: &mut StdRng) -> f64 {
+pub(crate) fn normal(rng: &mut StdRng) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()

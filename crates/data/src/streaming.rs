@@ -1,0 +1,265 @@
+//! Streaming dataset sources: generate rows on demand, never the matrix.
+//!
+//! The paper's scale-up study runs to `phone100K` (100 000 × 366 ≈
+//! 0.3 GB); the out-of-core ladder in this repo pushes the same
+//! generators to 10 M rows (≈ 29 GB as f64) — far past what
+//! [`crate::generate_phone`] can materialize. [`StreamingPhone`] and
+//! [`StreamingStocks`] implement [`RowSource`] directly: a build pass
+//! (or the `ats gen --out` writer) pulls rows in chunks and each chunk
+//! is synthesized on the fly from per-row RNG streams
+//! (see the private `perm` module), so peak memory is `O(chunk · M)`
+//! of `N`.
+//!
+//! **Bitwise contract:** row `i` of a streaming source is bit-identical
+//! to row `i` of the corresponding `generate_*` call with the same
+//! config — both run the same per-row fill function — and is
+//! independent of the chunk size and of which ranges were scanned
+//! before. A property test in `crates/data/tests` pins this.
+
+use crate::perm::RankShuffle;
+use crate::phone::{self, PhoneConfig};
+use crate::stocks::{self, StocksConfig};
+use ats_common::{AtsError, Result};
+use ats_storage::RowSource;
+
+/// Rows synthesized per internal buffer refill during scans. Small
+/// enough that the buffer stays cache-resident (256 × 366 cells ≈
+/// 750 KB), large enough to amortize per-chunk overhead.
+pub const GEN_CHUNK_ROWS: usize = 256;
+
+/// A phone dataset as a lazily generated [`RowSource`].
+#[derive(Debug, Clone)]
+pub struct StreamingPhone {
+    cfg: PhoneConfig,
+    season: Vec<f64>,
+    perm: RankShuffle,
+    chunk_rows: usize,
+}
+
+impl StreamingPhone {
+    /// Wrap a configuration; no rows are generated until a scan runs.
+    pub fn new(cfg: PhoneConfig) -> Self {
+        let season = phone::season_profile(cfg.days);
+        let perm = phone::volume_permutation(&cfg);
+        StreamingPhone {
+            cfg,
+            season,
+            perm,
+            chunk_rows: GEN_CHUNK_ROWS,
+        }
+    }
+
+    /// Override the internal chunk size (rows per buffer refill). The
+    /// generated values do not depend on this — only the buffering does.
+    pub fn with_chunk_rows(mut self, chunk_rows: usize) -> Self {
+        self.chunk_rows = chunk_rows.max(1);
+        self
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &PhoneConfig {
+        &self.cfg
+    }
+}
+
+impl RowSource for StreamingPhone {
+    fn rows(&self) -> usize {
+        self.cfg.customers
+    }
+
+    fn cols(&self) -> usize {
+        self.cfg.days
+    }
+
+    fn scan_range(
+        &self,
+        start: usize,
+        end: usize,
+        f: &mut dyn FnMut(usize, &[f64]) -> Result<()>,
+    ) -> Result<()> {
+        scan_generated(
+            start,
+            end,
+            self.rows(),
+            self.cols(),
+            self.chunk_rows,
+            f,
+            |i, out| {
+                phone::fill_phone_row(&self.cfg, &self.perm, &self.season, i, out);
+            },
+        )
+    }
+}
+
+/// A stocks dataset as a lazily generated [`RowSource`].
+#[derive(Debug, Clone)]
+pub struct StreamingStocks {
+    cfg: StocksConfig,
+    market: Vec<f64>,
+    chunk_rows: usize,
+}
+
+impl StreamingStocks {
+    /// Wrap a configuration; no rows are generated until a scan runs.
+    pub fn new(cfg: StocksConfig) -> Self {
+        let market = stocks::market_walk(&cfg);
+        StreamingStocks {
+            cfg,
+            market,
+            chunk_rows: GEN_CHUNK_ROWS,
+        }
+    }
+
+    /// Override the internal chunk size (rows per buffer refill). The
+    /// generated values do not depend on this — only the buffering does.
+    pub fn with_chunk_rows(mut self, chunk_rows: usize) -> Self {
+        self.chunk_rows = chunk_rows.max(1);
+        self
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &StocksConfig {
+        &self.cfg
+    }
+}
+
+impl RowSource for StreamingStocks {
+    fn rows(&self) -> usize {
+        self.cfg.stocks
+    }
+
+    fn cols(&self) -> usize {
+        self.cfg.days
+    }
+
+    fn scan_range(
+        &self,
+        start: usize,
+        end: usize,
+        f: &mut dyn FnMut(usize, &[f64]) -> Result<()>,
+    ) -> Result<()> {
+        scan_generated(
+            start,
+            end,
+            self.rows(),
+            self.cols(),
+            self.chunk_rows,
+            f,
+            |i, out| {
+                stocks::fill_stock_row(&self.cfg, &self.market, i, out);
+            },
+        )
+    }
+}
+
+/// Shared chunked-scan driver: synthesize `chunk_rows` rows at a time
+/// into one buffer, then hand them to the callback in order. The chunk
+/// buffer is local to the call, so a `Sync` source can serve several
+/// threads scanning disjoint ranges concurrently.
+fn scan_generated(
+    start: usize,
+    end: usize,
+    rows: usize,
+    cols: usize,
+    chunk_rows: usize,
+    f: &mut dyn FnMut(usize, &[f64]) -> Result<()>,
+    mut fill: impl FnMut(usize, &mut [f64]),
+) -> Result<()> {
+    if start > end || end > rows {
+        return Err(AtsError::InvalidArgument(format!(
+            "scan_range [{start}, {end}) out of 0..{rows}"
+        )));
+    }
+    if cols == 0 || start == end {
+        return Ok(());
+    }
+    let chunk_rows = chunk_rows.max(1).min(end - start);
+    let mut buf = vec![0.0f64; chunk_rows * cols];
+    let mut i = start;
+    while i < end {
+        let chunk = chunk_rows.min(end - i);
+        for (r, out) in buf.chunks_exact_mut(cols).take(chunk).enumerate() {
+            fill(i + r, out);
+        }
+        for (r, row) in buf.chunks_exact(cols).take(chunk).enumerate() {
+            f(i + r, row)?;
+        }
+        i += chunk;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_phone, generate_stocks};
+
+    #[test]
+    fn phone_matches_materialized_bitwise() {
+        let cfg = PhoneConfig::small();
+        let full = generate_phone(&cfg);
+        for chunk in [1usize, 3, 64, 1024] {
+            let src = StreamingPhone::new(cfg.clone()).with_chunk_rows(chunk);
+            assert_eq!(src.rows(), full.rows());
+            assert_eq!(src.cols(), full.cols());
+            let m = src.to_matrix().unwrap();
+            for i in 0..full.rows() {
+                for (a, b) in m.row(i).iter().zip(full.matrix().row(i)) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "row {i} differs at chunk {chunk}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stocks_matches_materialized_bitwise() {
+        let cfg = StocksConfig::small();
+        let full = generate_stocks(&cfg);
+        let src = StreamingStocks::new(cfg).with_chunk_rows(7);
+        let m = src.to_matrix().unwrap();
+        for i in 0..full.rows() {
+            for (a, b) in m.row(i).iter().zip(full.matrix().row(i)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i} differs");
+            }
+        }
+    }
+
+    #[test]
+    fn subrange_scan_is_independent_of_history() {
+        // Scanning [50, 60) cold must equal rows 50..60 of a full scan —
+        // the random-access property the sharded build relies on.
+        let cfg = PhoneConfig::small();
+        let src = StreamingPhone::new(cfg.clone());
+        let full = generate_phone(&cfg);
+        let mut seen = Vec::new();
+        src.scan_range(50, 60, &mut |i, row| {
+            assert_eq!(row, full.matrix().row(i));
+            seen.push(i);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, (50..60).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounds_are_checked() {
+        let src = StreamingPhone::new(PhoneConfig::small());
+        assert!(src.scan_range(10, 5, &mut |_, _| Ok(())).is_err());
+        assert!(src.scan_range(0, 201, &mut |_, _| Ok(())).is_err());
+        src.scan_range(0, 0, &mut |_, _| panic!("empty range"))
+            .unwrap();
+    }
+
+    #[test]
+    fn callback_errors_propagate() {
+        let src = StreamingPhone::new(PhoneConfig::small());
+        let r = src.scan_range(0, 100, &mut |i, _| {
+            if i == 42 {
+                Err(AtsError::Numerical("stop".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests pinning the streaming generators' bitwise contract:
+//! for any `(n, chunk_size)`, the first `n` rows pulled from a
+//! [`StreamingPhone`] / [`StreamingStocks`] are bit-identical to the
+//! corresponding rows of the materializing `generate_*` call with the
+//! same config. This is the invariant the out-of-core build passes
+//! rely on — results must not depend on how the rows were buffered.
+
+use ats_data::{generate_phone, generate_stocks, PhoneConfig, StocksConfig};
+use ats_data::{StreamingPhone, StreamingStocks};
+use ats_storage::RowSource;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn phone_prefix_bitwise_equal(
+        n in 1usize..200,
+        chunk in 1usize..70,
+        seed in any::<u64>(),
+    ) {
+        let cfg = PhoneConfig {
+            customers: 200,
+            days: 24,
+            seed,
+            ..PhoneConfig::small()
+        };
+        let full = generate_phone(&cfg);
+        let src = StreamingPhone::new(cfg).with_chunk_rows(chunk);
+        let mut visited = 0usize;
+        src.scan_range(0, n, &mut |i, row| {
+            let want = full.matrix().row(i);
+            prop_assert_eq!(row.len(), want.len());
+            for (c, (a, b)) in row.iter().zip(want).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "cell ({}, {}) differs at chunk_rows={}",
+                    i, c, chunk
+                );
+            }
+            visited += 1;
+            Ok(())
+        }).unwrap();
+        prop_assert_eq!(visited, n);
+    }
+
+    #[test]
+    fn phone_subrange_bitwise_equal(
+        range in (0usize..150).prop_flat_map(|s| (Just(s), s..150)),
+        chunk in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        // Cold scans of an arbitrary [start, end) — not just prefixes —
+        // must also match, since shard fan-out starts mid-matrix.
+        let (start, end) = range;
+        let cfg = PhoneConfig {
+            customers: 150,
+            days: 16,
+            seed,
+            ..PhoneConfig::small()
+        };
+        let full = generate_phone(&cfg);
+        let src = StreamingPhone::new(cfg).with_chunk_rows(chunk);
+        src.scan_range(start, end, &mut |i, row| {
+            for (a, b) in row.iter().zip(full.matrix().row(i)) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "row {} differs", i);
+            }
+            Ok(())
+        }).unwrap();
+    }
+
+    #[test]
+    fn stocks_prefix_bitwise_equal(
+        n in 1usize..120,
+        chunk in 1usize..50,
+        seed in any::<u64>(),
+    ) {
+        let cfg = StocksConfig {
+            stocks: 120,
+            days: 20,
+            seed,
+            ..StocksConfig::small()
+        };
+        let full = generate_stocks(&cfg);
+        let src = StreamingStocks::new(cfg).with_chunk_rows(chunk);
+        src.scan_range(0, n, &mut |i, row| {
+            for (a, b) in row.iter().zip(full.matrix().row(i)) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "row {} differs", i);
+            }
+            Ok(())
+        }).unwrap();
+    }
+}

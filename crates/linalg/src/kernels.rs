@@ -21,10 +21,17 @@ use ats_common::{AtsError, Result};
 
 /// Rows reconstructed per unrolled block in [`reconstruct_rows`].
 ///
-/// Four accumulator rows share one sequential sweep over each component slice,
-/// which is enough independent chains for LLVM to keep the FMA units busy
-/// without spilling accumulators on mainstream x86-64/aarch64.
-pub const BLOCK_ROWS: usize = 4;
+/// Eight accumulator rows share one sequential sweep over each component
+/// slice (see [`vecops::axpy8`]): every widening of the block halves the
+/// number of passes over the `V` panel per reconstructed row, and eight
+/// rows is the widest block that still fits the accumulator registers of
+/// mainstream x86-64/aarch64 without spilling. Measured under
+/// `cargo xtask bench-report` (kernel micro suite); blocks that don't
+/// fill to 8 fall back to [`vecops::axpy4`] and then to single rows.
+pub const BLOCK_ROWS: usize = 8;
+
+/// Rows per fallback sub-block when fewer than [`BLOCK_ROWS`] remain.
+const HALF_BLOCK: usize = 4;
 
 /// `Vᵀ` stored as `k` contiguous component slices of length `M`.
 ///
@@ -99,8 +106,9 @@ pub fn reconstruct_row(u_row: &[f64], lambda: &[f64], panel: &VPanel, out: &mut 
 ///
 /// `u_rows` holds the `U` rows back to back (`B·k` values); `out` receives the
 /// reconstructed rows back to back (`B·M` values). Full [`BLOCK_ROWS`]-row
-/// blocks run through [`vecops::axpy4`] so all four accumulator rows share one
-/// sequential sweep per component slice; the remainder falls back to
+/// blocks run through [`vecops::axpy8`] so all eight accumulator rows share
+/// one sequential sweep per component slice; a remainder of four or more rows
+/// goes through [`vecops::axpy4`], and the rest falls back to
 /// [`reconstruct_row`]. Every output element still accumulates in ascending
 /// `m` from `0.0`, so the result is bitwise identical to reconstructing each
 /// row alone.
@@ -136,39 +144,111 @@ pub fn reconstruct_rows(
         if ub.len() == BLOCK_ROWS * k {
             let (u0, rest) = ub.split_at(k);
             let (u1, rest) = rest.split_at(k);
-            let (u2, u3) = rest.split_at(k);
+            let (u2, rest) = rest.split_at(k);
+            let (u3, rest) = rest.split_at(k);
+            let (u4, rest) = rest.split_at(k);
+            let (u5, rest) = rest.split_at(k);
+            let (u6, u7) = rest.split_at(k);
             let (o0, rest) = ob.split_at_mut(m);
             let (o1, rest) = rest.split_at_mut(m);
-            let (o2, o3) = rest.split_at_mut(m);
-            o0.fill(0.0);
-            o1.fill(0.0);
-            o2.fill(0.0);
-            o3.fill(0.0);
-            for (((((&l, comp), &a0), &a1), &a2), &a3) in lambda
+            let (o2, rest) = rest.split_at_mut(m);
+            let (o3, rest) = rest.split_at_mut(m);
+            let (o4, rest) = rest.split_at_mut(m);
+            let (o5, rest) = rest.split_at_mut(m);
+            let (o6, o7) = rest.split_at_mut(m);
+            let mut outs: [&mut [f64]; 8] = [o0, o1, o2, o3, o4, o5, o6, o7];
+            for o in outs.iter_mut() {
+                o.fill(0.0);
+            }
+            for (((((((((&l, comp), &a0), &a1), &a2), &a3), &a4), &a5), &a6), &a7) in lambda
                 .iter()
                 .zip(panel.components())
                 .zip(u0)
                 .zip(u1)
                 .zip(u2)
                 .zip(u3)
+                .zip(u4)
+                .zip(u5)
+                .zip(u6)
+                .zip(u7)
             {
-                vecops::axpy4([l * a0, l * a1, l * a2, l * a3], comp, o0, o1, o2, o3);
+                vecops::axpy8(
+                    [
+                        l * a0,
+                        l * a1,
+                        l * a2,
+                        l * a3,
+                        l * a4,
+                        l * a5,
+                        l * a6,
+                        l * a7,
+                    ],
+                    comp,
+                    &mut outs,
+                );
             }
         } else {
-            for (ur, or) in ub.chunks(k).zip(ob.chunks_mut(m)) {
-                reconstruct_row(ur, lambda, panel, or);
-            }
+            reconstruct_rows_tail(ub, lambda, panel, ob, k, m);
         }
     }
     Ok(())
+}
+
+/// Remainder path of [`reconstruct_rows`]: a 4-row sub-block through
+/// [`vecops::axpy4`] when possible, single rows otherwise. Same canonical
+/// accumulation order as the full 8-row block.
+fn reconstruct_rows_tail(
+    ub: &[f64],
+    lambda: &[f64],
+    panel: &VPanel,
+    ob: &mut [f64],
+    k: usize,
+    m: usize,
+) {
+    let (head_u, tail_u) = if ub.len() >= HALF_BLOCK * k {
+        ub.split_at(HALF_BLOCK * k)
+    } else {
+        ub.split_at(0)
+    };
+    let (head_o, tail_o) = if head_u.is_empty() {
+        ob.split_at_mut(0)
+    } else {
+        ob.split_at_mut(HALF_BLOCK * m)
+    };
+    if !head_u.is_empty() {
+        let (u0, rest) = head_u.split_at(k);
+        let (u1, rest) = rest.split_at(k);
+        let (u2, u3) = rest.split_at(k);
+        let (o0, rest) = head_o.split_at_mut(m);
+        let (o1, rest) = rest.split_at_mut(m);
+        let (o2, o3) = rest.split_at_mut(m);
+        o0.fill(0.0);
+        o1.fill(0.0);
+        o2.fill(0.0);
+        o3.fill(0.0);
+        for (((((&l, comp), &a0), &a1), &a2), &a3) in lambda
+            .iter()
+            .zip(panel.components())
+            .zip(u0)
+            .zip(u1)
+            .zip(u2)
+            .zip(u3)
+        {
+            vecops::axpy4([l * a0, l * a1, l * a2, l * a3], comp, o0, o1, o2, o3);
+        }
+    }
+    for (ur, or) in tail_u.chunks(k).zip(tail_o.chunks_mut(m)) {
+        reconstruct_row(ur, lambda, panel, or);
+    }
 }
 
 /// Reconstruct selected cells of one row: `out[t] = coef · v.row(cols[t])`.
 ///
 /// `coef` is the fused `λ ⊙ uᵢ` vector (see [`fuse_coefficients`]); `v` is the
 /// row-major `M × k` matrix, whose rows are contiguous `k`-slices — the
-/// cell-friendly layout. Column indices are processed in blocks of four
-/// through [`vecops::dot4`] so the shared `coef` slice is loaded once per
+/// cell-friendly layout. Column indices are processed in blocks of eight
+/// through [`vecops::dot8`] (a four-wide [`vecops::dot4`] sub-block, then
+/// single dots, on the tail) so the shared `coef` slice is loaded once per
 /// block. Each dot accumulates in ascending `m` from `0.0`, bitwise identical
 /// to the per-cell loop.
 ///
@@ -181,24 +261,53 @@ pub fn reconstruct_cells(coef: &[f64], v: &Matrix, cols: &[usize], out: &mut [f6
             (out.len(), 1),
         ));
     }
-    for (cblk, oblk) in cols.chunks(4).zip(out.chunks_mut(4)) {
+    for (cblk, oblk) in cols.chunks(8).zip(out.chunks_mut(8)) {
         match (cblk, oblk) {
-            ([j0, j1, j2, j3], [o0, o1, o2, o3]) => {
-                let [s0, s1, s2, s3] = vecops::dot4(
+            ([j0, j1, j2, j3, j4, j5, j6, j7], [o0, o1, o2, o3, o4, o5, o6, o7]) => {
+                let [s0, s1, s2, s3, s4, s5, s6, s7] = vecops::dot8(
                     coef,
-                    v.try_row(*j0)?,
-                    v.try_row(*j1)?,
-                    v.try_row(*j2)?,
-                    v.try_row(*j3)?,
+                    [
+                        v.try_row(*j0)?,
+                        v.try_row(*j1)?,
+                        v.try_row(*j2)?,
+                        v.try_row(*j3)?,
+                        v.try_row(*j4)?,
+                        v.try_row(*j5)?,
+                        v.try_row(*j6)?,
+                        v.try_row(*j7)?,
+                    ],
                 );
                 *o0 = s0;
                 *o1 = s1;
                 *o2 = s2;
                 *o3 = s3;
+                *o4 = s4;
+                *o5 = s5;
+                *o6 = s6;
+                *o7 = s7;
             }
-            (js, os) => {
-                for (j, o) in js.iter().zip(os) {
-                    *o = vecops::dot(coef, v.try_row(*j)?);
+            (tail_js, tail_os) => {
+                for (js, os) in tail_js.chunks(4).zip(tail_os.chunks_mut(4)) {
+                    match (js, os) {
+                        ([j0, j1, j2, j3], [o0, o1, o2, o3]) => {
+                            let [s0, s1, s2, s3] = vecops::dot4(
+                                coef,
+                                v.try_row(*j0)?,
+                                v.try_row(*j1)?,
+                                v.try_row(*j2)?,
+                                v.try_row(*j3)?,
+                            );
+                            *o0 = s0;
+                            *o1 = s1;
+                            *o2 = s2;
+                            *o3 = s3;
+                        }
+                        (js, os) => {
+                            for (j, o) in js.iter().zip(os) {
+                                *o = vecops::dot(coef, v.try_row(*j)?);
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -211,11 +320,13 @@ mod tests {
     use super::*;
 
     /// The canonical scalar reconstruction of one cell: ascending `m`,
-    /// accumulating `(λ·u)·v` terms from `0.0`.
+    /// accumulating `(λ·u)·v` terms from `0.0` through the canonical
+    /// [`vecops::fmadd`] op (plain `acc + a·b` on default builds, fused
+    /// on `fma`-feature builds — same op the kernels use either way).
     fn scalar_cell(u_row: &[f64], lambda: &[f64], v: &Matrix, j: usize) -> f64 {
         let mut acc = 0.0;
         for ((&l, &u), &vv) in lambda.iter().zip(u_row).zip(v.row(j)) {
-            acc += (l * u) * vv;
+            acc = vecops::fmadd(l * u, vv, acc);
         }
         acc
     }
@@ -245,25 +356,28 @@ mod tests {
 
     #[test]
     fn blocked_rows_match_scalar_bitwise() {
-        let (u, lambda, v) = fixture(11, 17, 4);
-        let panel = VPanel::from_v(&v);
-        // 11 rows: two full blocks of 4 plus a remainder of 3.
-        let mut out = vec![0.0; 11 * 17];
-        reconstruct_rows(u.as_slice(), &lambda, &panel, &mut out).unwrap();
-        for (i, row) in out.chunks(17).enumerate() {
-            for (j, &got) in row.iter().enumerate() {
-                let want = scalar_cell(u.row(i), &lambda, &v, j);
-                assert_eq!(got.to_bits(), want.to_bits(), "row {i} col {j}");
+        // Row counts straddling every block shape: full 8-blocks, the
+        // 4-row sub-block, single-row tails, and combinations.
+        for n in [1usize, 3, 4, 5, 7, 8, 9, 11, 12, 15, 16, 19] {
+            let (u, lambda, v) = fixture(n, 17, 4);
+            let panel = VPanel::from_v(&v);
+            let mut out = vec![0.0; n * 17];
+            reconstruct_rows(u.as_slice(), &lambda, &panel, &mut out).unwrap();
+            for (i, row) in out.chunks(17).enumerate() {
+                for (j, &got) in row.iter().enumerate() {
+                    let want = scalar_cell(u.row(i), &lambda, &v, j);
+                    assert_eq!(got.to_bits(), want.to_bits(), "n {n} row {i} col {j}");
+                }
             }
         }
     }
 
     #[test]
     fn blocked_cells_match_scalar_bitwise() {
-        let (u, lambda, v) = fixture(6, 19, 3);
-        // Unsorted columns with duplicates; 7 of them → one dot4 block,
-        // remainder of 3.
-        let cols = [18usize, 0, 5, 5, 11, 2, 18];
+        let (u, lambda, v) = fixture(6, 23, 3);
+        // Unsorted columns with duplicates; 13 of them → one dot8 block,
+        // a dot4 sub-block, then a single-dot tail.
+        let cols = [18usize, 0, 5, 5, 11, 2, 18, 22, 7, 1, 19, 3, 9];
         let mut coef = vec![0.0; 3];
         let mut out = vec![0.0; cols.len()];
         for i in 0..6 {
@@ -272,6 +386,17 @@ mod tests {
             for (&j, &got) in cols.iter().zip(&out) {
                 let want = scalar_cell(u.row(i), &lambda, &v, j);
                 assert_eq!(got.to_bits(), want.to_bits(), "row {i} col {j}");
+            }
+        }
+        // Every tail length 0..=8 hits its intended cascade arm.
+        for len in 0..=8usize {
+            let cols: Vec<usize> = (0..len).map(|t| (t * 5) % 23).collect();
+            let mut out = vec![0.0; len];
+            fuse_coefficients(&lambda, u.row(0), &mut coef);
+            reconstruct_cells(&coef, &v, &cols, &mut out).unwrap();
+            for (&j, &got) in cols.iter().zip(&out) {
+                let want = scalar_cell(u.row(0), &lambda, &v, j);
+                assert_eq!(got.to_bits(), want.to_bits(), "len {len} col {j}");
             }
         }
     }

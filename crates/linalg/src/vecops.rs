@@ -4,25 +4,94 @@
 //! (Eq. 12) is a `k`-term dot product, pass 2 of the SVD (Eq. 11) is a
 //! matrix–vector product built from dots, and the Gram accumulation of
 //! pass 1 (Fig. 2) is a sequence of scaled-row updates (axpy). Keeping
-//! them free of bounds checks in the hot path (via exact-size zips, which
-//! LLVM vectorizes) is what makes the 100k×366 experiments fast enough to
-//! run in CI.
+//! them free of bounds checks in the hot path (via exact-size chunks and
+//! zips, which LLVM vectorizes) is what makes the 100k×366 experiments
+//! fast enough to run in CI.
+//!
+//! # The canonical op and bitwise contracts
+//!
+//! Every multiply-accumulate in the workspace's canonical accumulation
+//! paths goes through [`fmadd`], which is `acc + a·b` on default builds
+//! and a hardware fused multiply-add when the build targets the `fma`
+//! feature (`RUSTFLAGS="-C target-feature=+fma"` or `-C
+//! target-cpu=native` on x86-64). Default builds are bitwise-unchanged
+//! from the historical two-rounding form; FMA builds change *uniformly*
+//! across scalar references and widened kernels alike, so the
+//! `to_bits()` equivalence suites hold under either flag. The widened
+//! entry points ([`axpy8`], [`dot8`], and the `chunks_exact(8)` loops
+//! inside [`dot`]/[`axpy`]) never reassociate: each output element keeps
+//! one sequential accumulation chain in ascending element order —
+//! widening is across *independent outputs* (more rows/cells per sweep),
+//! never across the terms of one sum.
+
+/// Unroll width of the `chunks_exact` inner loops; also the row/lane
+/// count of [`axpy8`]/[`dot8`].
+pub const WIDE_LANES: usize = 8;
+
+/// The canonical multiply-accumulate: `acc + a·b`.
+///
+/// With the `fma` target feature this compiles to a single fused
+/// multiply-add (one rounding); otherwise it is the plain two-rounding
+/// form. It is a build-time constant choice, so every accumulation in a
+/// given binary rounds the same way — the bitwise-equivalence contracts
+/// between scalar and widened paths are preserved under both builds.
+#[inline(always)]
+pub fn fmadd(a: f64, b: f64, acc: f64) -> f64 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, acc)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        acc + a * b
+    }
+}
 
 /// Dot product. Panics in debug builds if lengths differ; in release the
 /// shorter length wins (callers in this workspace always pass equal
 /// lengths).
+///
+/// One sequential accumulation chain in ascending element order — the
+/// `chunks_exact(8)` unroll reduces loop overhead but never splits the
+/// sum into partial accumulators, so the result is bitwise identical to
+/// the naive loop.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = 0.0f64;
+    let mut ac = a.chunks_exact(WIDE_LANES);
+    let mut bc = b.chunks_exact(WIDE_LANES);
+    for (ca, cb) in (&mut ac).zip(&mut bc) {
+        for (&x, &y) in ca.iter().zip(cb) {
+            acc = fmadd(x, y, acc);
+        }
+    }
+    for (&x, &y) in ac.remainder().iter().zip(bc.remainder()) {
+        acc = fmadd(x, y, acc);
+    }
+    acc
 }
 
 /// `y ← y + alpha · x` (the BLAS "axpy").
+///
+/// Element-independent updates: the `chunks_exact(8)` unroll changes
+/// neither the op applied to each element nor its order.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, &xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
+    let n = x.len().min(y.len());
+    let (x, y) = (&x[..n], &mut y[..n]);
+    let mut xc = x.chunks_exact(WIDE_LANES);
+    let mut yc = y.chunks_exact_mut(WIDE_LANES);
+    for (cx, cy) in (&mut xc).zip(&mut yc) {
+        for (&xi, yi) in cx.iter().zip(cy) {
+            *yi = fmadd(alpha, xi, *yi);
+        }
+    }
+    for (&xi, yi) in xc.remainder().iter().zip(yc.into_remainder()) {
+        *yi = fmadd(alpha, xi, *yi);
     }
 }
 
@@ -37,13 +106,12 @@ pub fn norm2(a: &[f64]) -> f64 {
 #[inline]
 pub fn dist2_sq(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum()
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x - y;
+        acc = fmadd(d, d, acc);
+    }
+    acc
 }
 
 /// Normalize `a` to unit `L₂` norm in place; returns the original norm.
@@ -96,11 +164,64 @@ pub fn axpy4(
     debug_assert_eq!(x.len(), y2.len());
     debug_assert_eq!(x.len(), y3.len());
     let [a0, a1, a2, a3] = alpha;
-    for ((((&xi, e0), e1), e2), e3) in x.iter().zip(y0).zip(y1).zip(y2).zip(y3) {
-        *e0 += a0 * xi;
-        *e1 += a1 * xi;
-        *e2 += a2 * xi;
-        *e3 += a3 * xi;
+    let mut xc = x.chunks_exact(WIDE_LANES);
+    let mut c0 = y0.chunks_exact_mut(WIDE_LANES);
+    let mut c1 = y1.chunks_exact_mut(WIDE_LANES);
+    let mut c2 = y2.chunks_exact_mut(WIDE_LANES);
+    let mut c3 = y3.chunks_exact_mut(WIDE_LANES);
+    for ((((cx, b0), b1), b2), b3) in (&mut xc)
+        .zip(&mut c0)
+        .zip(&mut c1)
+        .zip(&mut c2)
+        .zip(&mut c3)
+    {
+        for ((((&xi, e0), e1), e2), e3) in cx.iter().zip(b0.iter_mut()).zip(b1).zip(b2).zip(b3) {
+            *e0 = fmadd(a0, xi, *e0);
+            *e1 = fmadd(a1, xi, *e1);
+            *e2 = fmadd(a2, xi, *e2);
+            *e3 = fmadd(a3, xi, *e3);
+        }
+    }
+    for ((((&xi, e0), e1), e2), e3) in xc
+        .remainder()
+        .iter()
+        .zip(c0.into_remainder())
+        .zip(c1.into_remainder())
+        .zip(c2.into_remainder())
+        .zip(c3.into_remainder())
+    {
+        *e0 = fmadd(a0, xi, *e0);
+        *e1 = fmadd(a1, xi, *e1);
+        *e2 = fmadd(a2, xi, *e2);
+        *e3 = fmadd(a3, xi, *e3);
+    }
+}
+
+/// Fused eight-row axpy: `ys[r] ← ys[r] + alpha[r] · x` for `r = 0..8`.
+///
+/// The widest row-block kernel: one sequential sweep over the shared `x`
+/// slice feeds eight independent accumulator rows. Like [`axpy4`], every
+/// output element receives exactly the plain [`axpy`] op in the same
+/// order, so results are bitwise identical to eight separate axpy calls.
+#[inline]
+pub fn axpy8(alpha: [f64; 8], x: &[f64], ys: &mut [&mut [f64]; 8]) {
+    for y in ys.iter() {
+        debug_assert_eq!(x.len(), y.len());
+    }
+    // Block over `x` so each block stays L1-resident while all eight rows
+    // consume it, then run the well-vectorized narrow [`axpy`] per lane.
+    // Each output element still receives exactly one fmadd in element
+    // order, so the result stays bitwise identical to eight axpy calls.
+    const BLOCK: usize = 512; // 4 KB of x per block
+    let n = x.len();
+    let mut i = 0usize;
+    while i < n {
+        let hi = (i + BLOCK).min(n);
+        let cx = &x[i..hi];
+        for (y, &a) in ys.iter_mut().zip(&alpha) {
+            axpy(a, cx, &mut y[i..hi]);
+        }
+        i = hi;
     }
 }
 
@@ -119,12 +240,50 @@ pub fn dot4(a: &[f64], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) -> [f64; 
     debug_assert_eq!(a.len(), b3.len());
     let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
     for ((((&ai, &x0), &x1), &x2), &x3) in a.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
-        s0 += ai * x0;
-        s1 += ai * x1;
-        s2 += ai * x2;
-        s3 += ai * x3;
+        s0 = fmadd(ai, x0, s0);
+        s1 = fmadd(ai, x1, s1);
+        s2 = fmadd(ai, x2, s2);
+        s3 = fmadd(ai, x3, s3);
     }
     [s0, s1, s2, s3]
+}
+
+/// Fused eight-way dot: `[a·bs[0], …, a·bs[7]]`.
+///
+/// The widest multi-cell kernel: the shared `a` slice is streamed once
+/// and multiplied into eight independent accumulators. Each lane keeps
+/// its own sequential chain in element order from `0.0`, bitwise
+/// identical to eight separate [`dot`] calls.
+#[inline]
+pub fn dot8(a: &[f64], bs: [&[f64]; 8]) -> [f64; 8] {
+    let mut n = a.len();
+    for b in &bs {
+        debug_assert_eq!(a.len(), b.len());
+        n = n.min(b.len());
+    }
+    let mut acc = [0.0f64; 8];
+    let mut i = 0usize;
+    while i + WIDE_LANES <= n {
+        // Per-lane chains still run in ascending element order; only the
+        // shared `a` chunk is reused across the eight accumulators.
+        let ca = &a[i..i + WIDE_LANES];
+        for (s, b) in acc.iter_mut().zip(&bs) {
+            let cb = &b[i..i + WIDE_LANES];
+            for (&x, &y) in ca.iter().zip(cb) {
+                *s = fmadd(x, y, *s);
+            }
+        }
+        i += WIDE_LANES;
+    }
+    if i < n {
+        let ca = &a[i..n];
+        for (s, b) in acc.iter_mut().zip(&bs) {
+            for (&x, &y) in ca.iter().zip(&b[i..n]) {
+                *s = fmadd(x, y, *s);
+            }
+        }
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -143,6 +302,42 @@ mod tests {
         let mut y = [1.0, 1.0];
         axpy(2.0, &[3.0, 4.0], &mut y);
         assert_eq!(y, [7.0, 9.0]);
+    }
+
+    /// The unrolled dot must keep ONE accumulation chain: compare against
+    /// the naive sequential loop bitwise across lengths straddling the
+    /// chunk width (0..=41 covers empty, sub-chunk, exact multiples, and
+    /// remainders).
+    #[test]
+    fn dot_matches_naive_chain_bitwise() {
+        for n in 0..=41usize {
+            let a: Vec<f64> = (0..n).map(|i| ((i * 13 + 1) as f64).sin() * 3.0).collect();
+            let b: Vec<f64> = (0..n).map(|i| ((i * 7 + 5) as f64).cos() * 2.0).collect();
+            let mut want = 0.0f64;
+            for (&x, &y) in a.iter().zip(&b) {
+                want = fmadd(x, y, want);
+            }
+            assert_eq!(dot(&a, &b).to_bits(), want.to_bits(), "n = {n}");
+        }
+    }
+
+    /// Same for axpy: unrolled result must match the per-element loop
+    /// bitwise at every length around the chunk boundary.
+    #[test]
+    fn axpy_matches_naive_loop_bitwise() {
+        for n in 0..=41usize {
+            let x: Vec<f64> = (0..n).map(|i| ((i * 11 + 3) as f64).sin()).collect();
+            let base: Vec<f64> = (0..n).map(|i| ((i * 5 + 2) as f64).cos()).collect();
+            let mut got = base.clone();
+            axpy(1.7, &x, &mut got);
+            let mut want = base;
+            for (w, &xi) in want.iter_mut().zip(&x) {
+                *w = fmadd(1.7, xi, *w);
+            }
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits(), "n = {n}");
+            }
+        }
     }
 
     #[test]
@@ -178,6 +373,7 @@ mod tests {
 
     #[test]
     fn axpy4_matches_four_axpys_bitwise() {
+        // 37 = 4 full chunks of 8 + remainder 5.
         let x: Vec<f64> = (0..37).map(|i| ((i * 7) as f64).sin() * 3.0).collect();
         let alpha = [1.25, -0.75, 3.5, 0.0625];
         let base: Vec<f64> = (0..37).map(|i| ((i * 3) as f64).cos()).collect();
@@ -196,6 +392,37 @@ mod tests {
     }
 
     #[test]
+    fn axpy8_matches_eight_axpys_bitwise() {
+        for n in [0usize, 1, 7, 8, 9, 16, 29, 40] {
+            let x: Vec<f64> = (0..n).map(|i| ((i * 7 + 2) as f64).sin() * 3.0).collect();
+            let alpha = [1.25, -0.75, 3.5, 0.0625, -2.25, 0.5, 7.75, -0.125];
+            let base: Vec<f64> = (0..n).map(|i| ((i * 3 + 1) as f64).cos()).collect();
+            let mut fused: Vec<Vec<f64>> = (0..8).map(|_| base.clone()).collect();
+            let mut serial: Vec<Vec<f64>> = (0..8).map(|_| base.clone()).collect();
+            {
+                let mut it = fused.iter_mut();
+                let mut ys: [&mut [f64]; 8] = [
+                    it.next().unwrap(),
+                    it.next().unwrap(),
+                    it.next().unwrap(),
+                    it.next().unwrap(),
+                    it.next().unwrap(),
+                    it.next().unwrap(),
+                    it.next().unwrap(),
+                    it.next().unwrap(),
+                ];
+                axpy8(alpha, &x, &mut ys);
+            }
+            for (a, row) in alpha.iter().zip(serial.iter_mut()) {
+                axpy(*a, &x, row);
+            }
+            for (f, s) in fused.iter().flatten().zip(serial.iter().flatten()) {
+                assert_eq!(f.to_bits(), s.to_bits(), "n = {n}");
+            }
+        }
+    }
+
+    #[test]
     fn dot4_matches_four_dots_bitwise() {
         let a: Vec<f64> = (0..29).map(|i| ((i * 11) as f64).sin() * 2.0).collect();
         let bs: Vec<Vec<f64>> = (0..4)
@@ -204,6 +431,23 @@ mod tests {
         let fused = dot4(&a, &bs[0], &bs[1], &bs[2], &bs[3]);
         for (f, b) in fused.iter().zip(&bs) {
             assert_eq!(f.to_bits(), dot(&a, b).to_bits());
+        }
+    }
+
+    #[test]
+    fn dot8_matches_eight_dots_bitwise() {
+        for n in [0usize, 1, 7, 8, 9, 16, 29, 40] {
+            let a: Vec<f64> = (0..n).map(|i| ((i * 11 + 1) as f64).sin() * 2.0).collect();
+            let bs: Vec<Vec<f64>> = (0..8)
+                .map(|r| (0..n).map(|i| ((i * 5 + r * 13) as f64).cos()).collect())
+                .collect();
+            let refs: [&[f64]; 8] = [
+                &bs[0], &bs[1], &bs[2], &bs[3], &bs[4], &bs[5], &bs[6], &bs[7],
+            ];
+            let fused = dot8(&a, refs);
+            for (f, b) in fused.iter().zip(&bs) {
+                assert_eq!(f.to_bits(), dot(&a, b).to_bits(), "n = {n}");
+            }
         }
     }
 
@@ -243,6 +487,19 @@ mod tests {
             if n > 1e-9 {
                 prop_assert!((norm2(&v) - 1.0).abs() < 1e-9);
             }
+        }
+
+        #[test]
+        fn widened_dot_equals_scalar_chain(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 0..96)
+        ) {
+            let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let mut want = 0.0f64;
+            for (&x, &y) in a.iter().zip(&b) {
+                want = fmadd(x, y, want);
+            }
+            prop_assert_eq!(dot(&a, &b).to_bits(), want.to_bits());
         }
     }
 }

@@ -4,15 +4,20 @@
 //! whole matrix; [`MatrixFile`] reads them back either one row at a time
 //! by position (the query path: `pread` at `header.row_offset(i)`) or as
 //! a buffered sequential scan (the pass path used by the compression
-//! algorithms, which reads a chunk of rows per syscall).
+//! algorithms, which reads a chunk of rows per syscall). Scans longer
+//! than one chunk run double-buffered: a reader thread fetches chunk
+//! `c+1` while the caller decodes and consumes chunk `c`, overlapping
+//! disk I/O with compute.
 
 use crate::format::{Header, HEADER_LEN};
 use crate::iostats::IoStats;
+use crate::source::RowSource;
 use ats_common::codec::u64_from_usize;
 use ats_common::{AtsError, Result};
 use std::fs::File;
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::mpsc;
 use std::sync::Arc;
 
 #[cfg(unix)]
@@ -20,6 +25,10 @@ use std::os::unix::fs::FileExt;
 
 /// Number of rows fetched per syscall during sequential scans.
 const SCAN_CHUNK_ROWS: usize = 256;
+
+/// Chunk buffers in flight during a double-buffered scan: one being
+/// consumed, one being read ahead.
+const READAHEAD_BUFFERS: usize = 2;
 
 /// Streaming writer for `.atsm` matrix files.
 ///
@@ -31,6 +40,9 @@ pub struct MatrixFileWriter {
     cols: usize,
     rows_written: usize,
     f32_cells: bool,
+    /// Scratch for encoding one row before a single `write_all` — avoids
+    /// a `BufWriter` call per cell on the streaming-build hot path.
+    scratch: Vec<u8>,
 }
 
 impl MatrixFileWriter {
@@ -58,6 +70,7 @@ impl MatrixFileWriter {
             cols,
             rows_written: 0,
             f32_cells,
+            scratch: Vec::new(),
         })
     }
 
@@ -70,16 +83,29 @@ impl MatrixFileWriter {
                 (1, self.cols),
             ));
         }
-        if self.f32_cells {
-            for &v in row {
-                self.out.write_all(&(v as f32).to_le_bytes())?;
-            }
-        } else {
-            for &v in row {
-                self.out.write_all(&v.to_le_bytes())?;
-            }
-        }
+        self.scratch.clear();
+        encode_cells(row, self.f32_cells, &mut self.scratch);
+        self.out.write_all(&self.scratch)?;
         self.rows_written += 1;
+        Ok(())
+    }
+
+    /// Append several rows from a flat row-major slice whose length must
+    /// be a multiple of `cols`. The whole batch is encoded into one
+    /// buffer and written with a single `write_all` — the fast path for
+    /// streaming builds that synthesize rows in chunks.
+    pub fn append_rows(&mut self, rows: &[f64]) -> Result<()> {
+        if self.cols == 0 || !rows.len().is_multiple_of(self.cols) {
+            return Err(AtsError::dims(
+                "MatrixFileWriter::append_rows",
+                (1, rows.len()),
+                (1, self.cols.max(1)),
+            ));
+        }
+        self.scratch.clear();
+        encode_cells(rows, self.f32_cells, &mut self.scratch);
+        self.out.write_all(&self.scratch)?;
+        self.rows_written += rows.len() / self.cols;
         Ok(())
     }
 
@@ -131,12 +157,20 @@ impl MatrixFile {
         let mut buf = [0u8; HEADER_LEN];
         file.read_exact(&mut buf)?;
         let header = Header::decode(&buf)?;
+        // Cross-check the header's implied size (checked `rows·cols·cell`
+        // arithmetic) against the actual file length: shorter means a
+        // truncated write, longer means trailing garbage — both corrupt.
+        let expected = header.checked_file_len()?;
         let actual = file.metadata()?.len();
-        if actual < header.file_len() {
+        if actual < expected {
             return Err(AtsError::Corrupt(format!(
-                "file truncated: {} bytes < expected {}",
-                actual,
-                header.file_len()
+                "file truncated: {actual} bytes < expected {expected}"
+            )));
+        }
+        if actual > expected {
+            return Err(AtsError::Corrupt(format!(
+                "file has {} trailing bytes past the {expected} the header implies",
+                actual - expected
             )));
         }
         Ok(MatrixFile {
@@ -219,7 +253,12 @@ impl MatrixFile {
 
     /// Buffered sequential scan of rows `[start, end)`, invoking
     /// `f(row_index, row)` for each. Reads a fixed-size chunk of rows per
-    /// physical read.
+    /// physical read; scans spanning more than one chunk run
+    /// double-buffered (a reader thread prefetches the next chunk while
+    /// this thread decodes the current one), so passes overlap disk I/O
+    /// with compute. Rows are always delivered in order and the chunk
+    /// partitioning — hence the physical/logical I/O accounting — is
+    /// identical to the single-buffered path.
     pub fn scan_range(
         &self,
         start: usize,
@@ -232,28 +271,108 @@ impl MatrixFile {
                 self.header.rows
             )));
         }
-        if self.header.cols == 0 {
+        if self.header.cols == 0 || start == end {
             return Ok(());
         }
+        if end - start > SCAN_CHUNK_ROWS {
+            return self.scan_range_readahead(start, end, f);
+        }
         let row_bytes = self.header.row_bytes();
-        let mut buf = vec![0u8; row_bytes * SCAN_CHUNK_ROWS.min((end - start).max(1))];
+        let mut buf = vec![0u8; row_bytes * (end - start)];
         let mut row = vec![0.0f64; self.header.cols];
-        let mut i = start;
-        while i < end {
-            let chunk = SCAN_CHUNK_ROWS.min(end - i);
-            let bytes = buf
-                .get_mut(..chunk * row_bytes)
-                .ok_or_else(|| AtsError::internal("scan buffer smaller than chunk"))?;
-            self.read_exact_at(bytes, self.header.row_offset(i))?;
-            self.stats.record_physical(u64_from_usize(bytes.len()));
-            for (r, row_bytes_chunk) in bytes.chunks_exact(row_bytes).enumerate() {
-                self.stats.record_logical();
-                decode_cells(row_bytes_chunk, self.header.is_f32(), &mut row);
-                f(i + r, &row)?;
-            }
-            i += chunk;
+        self.read_exact_at(&mut buf, self.header.row_offset(start))?;
+        self.stats.record_physical(u64_from_usize(buf.len()));
+        for (r, row_bytes_chunk) in buf.chunks_exact(row_bytes).enumerate() {
+            self.stats.record_logical();
+            decode_cells(row_bytes_chunk, self.header.is_f32(), &mut row);
+            f(start + r, &row)?;
         }
         Ok(())
+    }
+
+    /// The multi-chunk scan path: a scoped reader thread `pread`s chunks
+    /// into a small pool of recycled buffers and hands them over a
+    /// bounded channel; this thread decodes and runs the callback. If
+    /// the callback fails early the channels disconnect and the reader
+    /// exits on its next send/receive.
+    fn scan_range_readahead(
+        &self,
+        start: usize,
+        end: usize,
+        f: &mut dyn FnMut(usize, &[f64]) -> Result<()>,
+    ) -> Result<()> {
+        let row_bytes = self.header.row_bytes();
+        let mut row = vec![0.0f64; self.header.cols];
+        std::thread::scope(|scope| -> Result<()> {
+            type Filled = Result<(usize, usize, Vec<u8>)>;
+            let (filled_tx, filled_rx) = mpsc::sync_channel::<Filled>(READAHEAD_BUFFERS);
+            let (empty_tx, empty_rx) = mpsc::sync_channel::<Vec<u8>>(READAHEAD_BUFFERS);
+            for _ in 0..READAHEAD_BUFFERS {
+                let _ = empty_tx.send(vec![0u8; row_bytes * SCAN_CHUNK_ROWS]);
+            }
+            scope.spawn(move || {
+                let mut i = start;
+                while i < end {
+                    let chunk = SCAN_CHUNK_ROWS.min(end - i);
+                    // A closed channel means the consumer bailed; just stop.
+                    let Ok(mut buf) = empty_rx.recv() else { return };
+                    let read = buf
+                        .get_mut(..chunk * row_bytes)
+                        .ok_or_else(|| AtsError::internal("readahead buffer too small"))
+                        .and_then(|bytes| {
+                            self.read_exact_at(bytes, self.header.row_offset(i))?;
+                            self.stats.record_physical(u64_from_usize(bytes.len()));
+                            Ok(())
+                        });
+                    match read {
+                        Ok(()) => {
+                            if filled_tx.send(Ok((i, chunk, buf))).is_err() {
+                                return;
+                            }
+                        }
+                        Err(e) => {
+                            let _ = filled_tx.send(Err(e));
+                            return;
+                        }
+                    }
+                    i += chunk;
+                }
+            });
+            let mut next = start;
+            while next < end {
+                let (i, chunk, buf) = filled_rx
+                    .recv()
+                    .map_err(|_| AtsError::internal("readahead reader exited early"))??;
+                debug_assert_eq!(i, next);
+                let bytes = buf
+                    .get(..chunk * row_bytes)
+                    .ok_or_else(|| AtsError::internal("readahead chunk short"))?;
+                for (r, row_bytes_chunk) in bytes.chunks_exact(row_bytes).enumerate() {
+                    self.stats.record_logical();
+                    decode_cells(row_bytes_chunk, self.header.is_f32(), &mut row);
+                    f(i + r, &row)?;
+                }
+                next = i + chunk;
+                // Reader may already be done; a closed channel is fine.
+                let _ = empty_tx.send(buf);
+            }
+            Ok(())
+        })
+    }
+}
+
+/// Encode cells to their on-disk little-endian form, appending to `out`.
+pub(crate) fn encode_cells(cells: &[f64], is_f32: bool, out: &mut Vec<u8>) {
+    if is_f32 {
+        out.reserve(cells.len() * 4);
+        for &v in cells {
+            out.extend_from_slice(&(v as f32).to_le_bytes());
+        }
+    } else {
+        out.reserve(cells.len() * 8);
+        for &v in cells {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
     }
 }
 
@@ -281,6 +400,15 @@ pub fn write_matrix(path: impl AsRef<Path>, m: &ats_linalg::Matrix) -> Result<He
     for row in m.iter_rows() {
         w.append_row(row)?;
     }
+    w.finish()
+}
+
+/// Stream any [`RowSource`] into a matrix file without materializing it:
+/// one sequential pass, `O(M)` memory. This is how `ats generate --out`
+/// writes datasets far larger than RAM from the lazy generators.
+pub fn write_source(path: impl AsRef<Path>, source: &dyn RowSource) -> Result<Header> {
+    let mut w = MatrixFileWriter::create(path, source.cols())?;
+    source.for_each_row(&mut |_, row| w.append_row(row))?;
     w.finish()
 }
 
@@ -398,6 +526,89 @@ mod tests {
             }
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn readahead_scan_propagates_error_and_stops() {
+        // > SCAN_CHUNK_ROWS so the double-buffered path runs; failing in
+        // the middle must surface the error without hanging the reader.
+        let dir = tmpdir();
+        let path = dir.file("rahead-err.atsm");
+        write_matrix(&path, &sample_matrix(700, 3)).unwrap();
+        let f = MatrixFile::open(&path).unwrap();
+        let mut visited = 0usize;
+        let r = f.scan_range(0, 700, &mut |i, _| {
+            visited += 1;
+            if i == 300 {
+                Err(AtsError::Numerical("mid-scan".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(r.is_err());
+        assert_eq!(visited, 301);
+    }
+
+    #[test]
+    fn readahead_matches_single_buffer_content() {
+        let dir = tmpdir();
+        let path = dir.file("rahead.atsm");
+        let m = sample_matrix(600, 4); // crosses chunk boundary mid-file
+        write_matrix(&path, &m).unwrap();
+        let f = MatrixFile::open(&path).unwrap();
+        let mut rows = 0usize;
+        f.scan_range(100, 500, &mut |i, row| {
+            assert_eq!(row, m.row(i));
+            rows += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rows, 400);
+    }
+
+    #[test]
+    fn append_rows_batch() {
+        let dir = tmpdir();
+        let path = dir.file("batch.atsm");
+        let m = sample_matrix(10, 4);
+        let mut w = MatrixFileWriter::create(&path, 4).unwrap();
+        // First three rows in one batch, rest one by one.
+        w.append_rows(&m.as_slice()[..12]).unwrap();
+        assert_eq!(w.rows_written(), 3);
+        for i in 3..10 {
+            w.append_row(m.row(i)).unwrap();
+        }
+        assert!(w.append_rows(&[1.0, 2.0, 3.0]).is_err()); // not a multiple of cols
+        w.finish().unwrap();
+        let back = read_matrix(&path).unwrap();
+        assert!(back.approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn trailing_garbage_detected_on_open() {
+        let dir = tmpdir();
+        let path = dir.file("trail.atsm");
+        write_matrix(&path, &sample_matrix(5, 3)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0u8; 16]);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = match MatrixFile::open(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("trailing garbage accepted"),
+        };
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn write_source_streams_any_rowsource() {
+        let dir = tmpdir();
+        let a = dir.file("src-a.atsm");
+        let b = dir.file("src-b.atsm");
+        let m = sample_matrix(40, 6);
+        write_matrix(&a, &m).unwrap();
+        let h = write_source(&b, &m).unwrap();
+        assert_eq!(h.rows, 40);
+        assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
     }
 
     #[test]

@@ -95,6 +95,21 @@ impl Header {
         self.row_offset(self.rows)
     }
 
+    /// [`Header::file_len`] with overflow-checked arithmetic: the full
+    /// `rows · cols · cell_bytes + HEADER_LEN` product chain is computed
+    /// in checked `u64` steps so a hand-crafted header can never wrap an
+    /// offset into range. [`Header::decode`] performs the same check, but
+    /// callers validating against an actual file length go through this
+    /// so the guarantee does not depend on where the header came from.
+    pub fn checked_file_len(&self) -> Result<u64> {
+        let overflow = || AtsError::Corrupt("dimensions overflow file size".into());
+        u64_from_usize(self.rows)
+            .checked_mul(u64_from_usize(self.cols))
+            .and_then(|cells| cells.checked_mul(u64_from_usize(self.cell_bytes())))
+            .and_then(|data| data.checked_add(u64_from_usize(HEADER_LEN)))
+            .ok_or_else(overflow)
+    }
+
     /// Serialize to the fixed [`HEADER_LEN`]-byte representation,
     /// including the trailing checksum.
     pub fn encode(&self) -> Vec<u8> {
@@ -236,6 +251,29 @@ mod tests {
         let csum = hash_bytes(&buf);
         put_u64(&mut buf, csum);
         assert!(Header::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn checked_file_len_matches_unchecked() {
+        for h in [
+            Header::new(0, 0),
+            Header::new(1000, 366),
+            Header::new_f32(7, 3),
+        ] {
+            assert_eq!(h.checked_file_len().unwrap(), h.file_len());
+        }
+    }
+
+    #[test]
+    fn checked_file_len_rejects_overflow() {
+        // rows·cols·cell fits in u64 but adding the header wraps.
+        let h = Header {
+            version: VERSION,
+            flags: 0,
+            rows: (u64::MAX / 8) as usize,
+            cols: 1,
+        };
+        assert!(matches!(h.checked_file_len(), Err(AtsError::Corrupt(_))));
     }
 
     #[test]

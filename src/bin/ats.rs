@@ -30,12 +30,16 @@ use adhoc_ts::compress::{SpaceBudget, SvddCompressed, SvddOptions};
 use adhoc_ts::core::disk::{save_svd, save_svdd};
 use adhoc_ts::core::shard::{append_rows, ShardedStore};
 use adhoc_ts::core::store::{method_by_name, SequenceStore};
-use adhoc_ts::data::{generate_phone, generate_stocks, Dataset, PhoneConfig, StocksConfig};
+use adhoc_ts::data::{
+    generate_phone, generate_stocks, PhoneConfig, StocksConfig, StreamingPhone, StreamingStocks,
+};
 use adhoc_ts::query::engine::QueryEngine;
 use adhoc_ts::query::metrics::error_report;
 use adhoc_ts::query::parse::{parse_batch_file, run_query};
+use adhoc_ts::storage::file::write_source;
 use adhoc_ts::storage::store_dir::validate_sharded_store_dir;
 use adhoc_ts::storage::MatrixFile;
+use adhoc_ts::storage::RowSource;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -44,6 +48,11 @@ ats — ad hoc queries over compressed time sequences (SIGMOD '97 SVDD)
 
 USAGE:
   ats generate <phone|stocks> [--rows N] [--cols M] [--seed S] --out FILE
+                                 rows stream straight to FILE in O(cols)
+                                 memory, so N can exceed RAM (the 10M-row
+                                 scale ladder); --summary materializes the
+                                 dataset in memory first and prints cell
+                                 statistics (mean/std dev) — small N only
   ats info <FILE|DIR>            matrix-file header, or the validated
                                  manifest of a store directory (format
                                  version, shards, row ranges) without
@@ -77,7 +86,7 @@ const USAGE_LINE: &str =
     "usage: ats <generate|info|compress|save|append|open|query|verify|help> — run `ats help` for details";
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["no-bloom"];
+const BOOL_FLAGS: &[&str] = &["no-bloom", "summary"];
 
 /// A CLI failure, split by whose fault it is: bad invocation (exit 2)
 /// versus a runtime error in a well-formed command (exit 1).
@@ -173,7 +182,11 @@ fn run() -> Result<(), CliError> {
     let (pos, flags) = parse_flags(&args)?;
     match pos.first().map(String::as_str) {
         Some("generate") => {
-            check_flags("generate", &flags, &["rows", "cols", "seed", "out"])?;
+            check_flags(
+                "generate",
+                &flags,
+                &["rows", "cols", "seed", "out", "summary"],
+            )?;
             let kind = pos
                 .get(1)
                 .ok_or_else(|| usage("generate needs phone|stocks"))?;
@@ -181,29 +194,66 @@ fn run() -> Result<(), CliError> {
                 .get("out")
                 .ok_or_else(|| usage("generate needs --out FILE"))?;
             let seed = flag_u64(&flags, "seed", 42)?;
-            let dataset: Dataset = match kind.as_str() {
-                "phone" => generate_phone(&PhoneConfig {
-                    customers: flag_usize(&flags, "rows", 2_000)?,
-                    days: flag_usize(&flags, "cols", 366)?,
-                    seed,
-                    ..PhoneConfig::default()
-                }),
-                "stocks" => generate_stocks(&StocksConfig {
-                    stocks: flag_usize(&flags, "rows", 381)?,
-                    days: flag_usize(&flags, "cols", 128)?,
-                    seed,
-                    ..StocksConfig::default()
-                }),
+            let summary = flags.contains_key("summary");
+            // Rows stream straight into the file writer — the dataset is
+            // never materialized, so N is bounded by disk, not RAM. The
+            // in-memory generators produce bit-identical rows; --summary
+            // uses them to also report cell statistics (small N only).
+            let (name, src): (String, Box<dyn RowSource>) = match kind.as_str() {
+                "phone" => {
+                    let cfg = PhoneConfig {
+                        customers: flag_usize(&flags, "rows", 2_000)?,
+                        days: flag_usize(&flags, "cols", 366)?,
+                        seed,
+                        ..PhoneConfig::default()
+                    };
+                    (
+                        format!("phone{}", cfg.customers),
+                        Box::new(StreamingPhone::new(cfg)),
+                    )
+                }
+                "stocks" => {
+                    let cfg = StocksConfig {
+                        stocks: flag_usize(&flags, "rows", 381)?,
+                        days: flag_usize(&flags, "cols", 128)?,
+                        seed,
+                        ..StocksConfig::default()
+                    };
+                    ("stocks".to_string(), Box::new(StreamingStocks::new(cfg)))
+                }
                 other => return Err(usage(format!("unknown generator {other:?}"))),
             };
-            dataset.save(out).map_err(rt)?;
-            println!(
-                "wrote {} ({} x {}, {:.1} MB) to {out}",
-                dataset.name(),
-                dataset.rows(),
-                dataset.cols(),
-                dataset.uncompressed_bytes(8) as f64 / 1e6
-            );
+            let (rows, cols) = (src.rows(), src.cols());
+            if summary {
+                let dataset = match kind.as_str() {
+                    "phone" => generate_phone(&PhoneConfig {
+                        customers: rows,
+                        days: cols,
+                        seed,
+                        ..PhoneConfig::default()
+                    }),
+                    _ => generate_stocks(&StocksConfig {
+                        stocks: rows,
+                        days: cols,
+                        seed,
+                        ..StocksConfig::default()
+                    }),
+                };
+                dataset.save(out).map_err(rt)?;
+                let stats = dataset.cell_stats();
+                println!(
+                    "wrote {name} ({rows} x {cols}, {:.1} MB) to {out}  mean {:.3}  std {:.3}",
+                    (rows * cols * 8) as f64 / 1e6,
+                    stats.mean(),
+                    stats.population_std_dev()
+                );
+            } else {
+                write_source(out, src.as_ref()).map_err(rt)?;
+                println!(
+                    "wrote {name} ({rows} x {cols}, {:.1} MB, streamed) to {out}",
+                    (rows * cols * 8) as f64 / 1e6
+                );
+            }
             Ok(())
         }
         Some("info") => {

@@ -1,0 +1,6 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! `ats-storage` declares the dependency but does not use it (plain
+//! `Vec<u8>` buffers throughout), so this stub only needs to exist and
+//! compile. If real `bytes` APIs are ever needed, drop the dependency
+//! or extend this stub.

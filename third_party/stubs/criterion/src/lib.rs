@@ -1,0 +1,262 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use —
+//! `Criterion::{bench_function, benchmark_group}`, `BenchmarkGroup`
+//! with `sample_size`/`throughput`/`bench_function`/`bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — as a plain wall-clock
+//! harness: each benchmark runs a short warmup, then a measured batch,
+//! and prints `name ... median per-iter time` to stdout. There is no
+//! statistical analysis, HTML report, or baseline comparison; per-PR
+//! trajectory numbers come from `cargo xtask bench-report` instead.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measured-loop driver handed to benchmark closures.
+pub struct Bencher {
+    /// Median per-iteration time of the measured batch.
+    last: Option<Duration>,
+    /// Target measured iterations (from `sample_size`).
+    samples: usize,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record its median per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: run once to size the batch.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        // Aim for batches that are measurable but bounded (~200ms total,
+        // capped at `samples` iterations).
+        let budget = Duration::from_millis(200);
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, self.samples as u128) as usize;
+
+        let mut times: Vec<Duration> = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let t = Instant::now();
+            black_box(f());
+            times.push(t.elapsed());
+        }
+        times.sort_unstable();
+        self.last = Some(times[times.len() / 2]);
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<F: Display, P: Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepted by group bench entry points: a `BenchmarkId` or any string.
+pub trait IntoBenchmarkId {
+    /// Render to the printed identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation (recorded, echoed in the printed line).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the measured-iteration cap for subsequent benches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Record a throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I: IntoBenchmarkId, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.parent
+            .run_one(&full, self.sample_size, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.parent
+            .run_one(&full, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op; printed incrementally).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        samples: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            last: None,
+            samples,
+        };
+        f(&mut b);
+        match b.last {
+            Some(d) => {
+                let tp = match throughput {
+                    Some(Throughput::Bytes(n)) => {
+                        let gib = n as f64 / d.as_secs_f64() / (1u64 << 30) as f64;
+                        format!("  [{gib:.3} GiB/s]")
+                    }
+                    Some(Throughput::Elements(n)) => {
+                        let me = n as f64 / d.as_secs_f64() / 1.0e6;
+                        format!("  [{me:.3} Melem/s]")
+                    }
+                    None => String::new(),
+                };
+                println!("bench {name:<56} {:>12.3?}/iter{tp}", d);
+            }
+            None => println!("bench {name:<56} (no measurement)"),
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, 100, None, |b| f(b));
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+}
+
+/// Define a bench group entry point (criterion-compatible shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let _ = $cfg;
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function(BenchmarkId::from_parameter(4), |b| {
+            b.iter(|| black_box((0..100u64).sum::<u64>()))
+        });
+        let input = vec![1u8; 16];
+        g.bench_with_input(BenchmarkId::new("sum", 16), &input, |b, v| {
+            b.iter(|| v.iter().map(|&x| x as u64).sum::<u64>())
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,87 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides exactly the `crossbeam::thread::scope` / `Scope::spawn` /
+//! `ScopedJoinHandle::join` surface the workspace uses. Execution is
+//! **sequential**: `spawn` runs the closure immediately on the calling
+//! thread (inside `catch_unwind`, so a panicking "worker" still surfaces
+//! as `Err` at `join`, matching crossbeam's error contract).
+//!
+//! This container is single-CPU and has no network access; the
+//! workspace's thread-count equivalence tests assert *determinism*
+//! across thread counts, which holds trivially here. Real thread
+//! scaling must be measured on multi-core hardware with the upstream
+//! crate.
+
+/// Scoped-thread API (sequential stand-in).
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handed to [`scope`]'s closure; `spawn` runs work eagerly.
+    pub struct Scope<'env> {
+        _marker: std::marker::PhantomData<&'env ()>,
+    }
+
+    /// Handle to a "spawned" closure whose result is already computed.
+    pub struct ScopedJoinHandle<T> {
+        result: std::thread::Result<T>,
+    }
+
+    impl<T> ScopedJoinHandle<T> {
+        /// Return the closure's result (or the panic payload as `Err`).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.result
+        }
+    }
+
+    impl<'env> Scope<'env> {
+        /// Run `f` immediately on the current thread; panics are caught
+        /// and reported at [`ScopedJoinHandle::join`].
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<T>
+        where
+            F: FnOnce(&Scope<'env>) -> T,
+        {
+            ScopedJoinHandle {
+                result: catch_unwind(AssertUnwindSafe(|| f(self))),
+            }
+        }
+    }
+
+    /// Create a scope in which spawned closures run sequentially.
+    ///
+    /// Returns `Err` only if `f` itself panics, matching crossbeam's
+    /// behavior of propagating unhandled scope panics.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        let scope = Scope {
+            _marker: std::marker::PhantomData,
+        };
+        catch_unwind(AssertUnwindSafe(|| f(&scope)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn spawn_and_join_returns_values() {
+        let total: i32 = thread::scope(|s| {
+            let hs: Vec<_> = (0..4).map(|i| s.spawn(move |_| i * 10)).collect();
+            hs.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 60);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_at_join() {
+        let r = thread::scope(|s| {
+            let h = s.spawn(|_| -> i32 { panic!("worker died") });
+            h.join()
+        })
+        .unwrap();
+        assert!(r.is_err());
+    }
+}

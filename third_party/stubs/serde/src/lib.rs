@@ -1,0 +1,6 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Declared in `[workspace.dependencies]` but no member crate uses it;
+//! the store format is a hand-written binary codec and BENCH_*.json is
+//! emitted by hand. Present only so dependency resolution succeeds
+//! offline. The `derive` feature exists and is empty.

@@ -25,8 +25,9 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        Some("bench-report") => run_bench_report(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask <lint|rules>");
+            eprintln!("usage: cargo xtask <lint|rules|bench-report [--quick] [--out PATH]>");
             ExitCode::from(2)
         }
     }
@@ -101,6 +102,100 @@ fn run_lint() -> ExitCode {
             findings.len()
         );
         ExitCode::FAILURE
+    }
+}
+
+/// Fields every perf-trajectory report must carry; `bench-report` fails
+/// the run if any is missing, so CI catches a silently degraded suite.
+const BENCH_REQUIRED_FIELDS: &[&str] = &[
+    "\"schema\"",
+    "\"machine\"",
+    "\"build_phone2000\"",
+    "\"batch_cells\"",
+    "\"aggregate_scan\"",
+    "\"kernels\"",
+    "\"ladder_build\"",
+    "\"peak_rss_bytes\"",
+    "\"notes\"",
+];
+
+/// Run the pinned perf suite (`crates/bench/src/bin/bench_report.rs`)
+/// and validate the emitted JSON. Flags are forwarded: `--quick` for the
+/// CI smoke sizes, `--out PATH` to redirect the report.
+fn run_bench_report(flags: &[String]) -> ExitCode {
+    let root = workspace_root();
+    let out_path = flags
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| flags.get(i + 1))
+        .map(|p| {
+            // The suite runs with the workspace root as CWD, so resolve
+            // a relative --out the same way before reading it back.
+            let p = PathBuf::from(p);
+            if p.is_absolute() {
+                p
+            } else {
+                root.join(p)
+            }
+        })
+        .unwrap_or_else(|| root.join("BENCH_006.json"));
+
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let mut cmd = std::process::Command::new(cargo);
+    cmd.current_dir(&root)
+        .args([
+            "run",
+            "--offline",
+            "--release",
+            "-p",
+            "ats-bench",
+            "--bin",
+            "bench_report",
+            "--",
+        ])
+        .args(flags);
+    if !flags.iter().any(|a| a == "--out") {
+        cmd.arg("--out").arg(&out_path);
+    }
+    match cmd.status() {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("xtask: bench_report exited with {s}");
+            return ExitCode::from(1);
+        }
+        Err(e) => {
+            eprintln!("xtask: cannot run bench_report: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let text = match std::fs::read_to_string(&out_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask: cannot read {}: {e}", out_path.display());
+            return ExitCode::from(1);
+        }
+    };
+    let missing: Vec<&str> = BENCH_REQUIRED_FIELDS
+        .iter()
+        .filter(|f| !text.contains(*f))
+        .copied()
+        .collect();
+    if missing.is_empty() {
+        println!(
+            "bench-report: {} valid ({} bytes, all {} required fields present)",
+            out_path.display(),
+            text.len(),
+            BENCH_REQUIRED_FIELDS.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench-report: {} is missing required fields: {}",
+            out_path.display(),
+            missing.join(", ")
+        );
+        ExitCode::from(1)
     }
 }
 

@@ -10,10 +10,13 @@
 //! 3. `aggregate_scan` — full-matrix `avg` aggregate;
 //! 4. `kernels` — dot/axpy vs their 8-wide variants (`dot8`/`axpy8`);
 //! 5. `ladder_build` — streaming 200k-row build in a child process,
-//!    reporting the child's true peak RSS (`VmHWM`).
+//!    reporting the child's true peak RSS (`VmHWM`);
+//! 6. `serve_throughput` — an in-process `ats serve` daemon driven by
+//!    concurrent socket clients, reporting query throughput and the
+//!    observed coalescing factor.
 //!
 //! `--quick` shrinks every size (CI smoke); `--out PATH` overrides the
-//! default `BENCH_006.json` in the workspace root. Timing is hand-rolled
+//! default `BENCH_007.json` in the workspace root. Timing is hand-rolled
 //! (`Instant` + best-of-R) because Criterion is a dev-dependency only.
 
 use ats_compress::{SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions};
@@ -27,7 +30,7 @@ use std::time::Instant;
 /// Report schema identifier; bump when fields change shape.
 const SCHEMA: &str = "ats-bench-report/v1";
 /// The PR issue this trajectory file belongs to.
-const ISSUE: u32 = 6;
+const ISSUE: u32 = 7;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -74,7 +77,10 @@ fn main() {
         svdd.k_opt(),
     );
 
-    let engine = QueryEngine::new(&svdd);
+    // Shared (Arc) shape: the same engine serves the direct batch and
+    // aggregate timings and, later, the in-process daemon's clients.
+    let svdd = std::sync::Arc::new(svdd);
+    let engine = QueryEngine::shared(svdd.clone());
 
     let cells = if quick { 2_000 } else { 10_000 };
     let req = BatchRequest::new(
@@ -153,11 +159,19 @@ fn main() {
     let _ = writeln!(
         suites,
         "    \"ladder_build\": {{ \"rows\": {lrows}, \"cols\": {lcols}, \"k\": {lk}, \
-         \"secs\": {:.4}, \"peak_rss_bytes\": {}, \"input_bytes\": {} }}",
+         \"secs\": {:.4}, \"peak_rss_bytes\": {}, \"input_bytes\": {} }},",
         field("secs"),
         field("peak_rss_bytes") as u64,
         lrows * lcols * 8,
     );
+
+    // 6: daemon throughput over a real socket, clients in-process.
+    eprintln!("bench-report: serve throughput …");
+    suites.push_str(&serve_throughput(
+        QueryEngine::shared(svdd.clone()),
+        n,
+        quick,
+    ));
 
     let json = render_report(quick, &suites);
     std::fs::write(&out_path, &json).expect("write report");
@@ -259,7 +273,53 @@ fn kernel_micros(quick: bool) -> String {
     )
 }
 
-/// Workspace-root default output path: `BENCH_006.json`.
+/// Drive an in-process `ats serve` daemon with concurrent socket
+/// clients, each issuing sequential cell queries; reports end-to-end
+/// throughput (admission window included) and the coalescing factor
+/// the batcher achieved.
+fn serve_throughput(engine: QueryEngine<'static>, n: usize, quick: bool) -> String {
+    use ats_query::serve::{client, serve, ServeConfig};
+    let clients = 4usize;
+    let per_client = if quick { 250usize } else { 2_000 };
+    let cfg = ServeConfig {
+        window: std::time::Duration::from_micros(200),
+        ..ServeConfig::default()
+    };
+    let handle = serve(engine, cfg, None).expect("serve");
+    let addr = handle.addr();
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut s = std::net::TcpStream::connect(addr).expect("connect");
+                for i in 0..per_client {
+                    let row = i.wrapping_mul(2_654_435_761).wrapping_add(c * 7_919) % n;
+                    let col = i.wrapping_mul(40_503) % 366;
+                    let resp = client::round_trip(&mut s, &format!("cell {row} {col}"))
+                        .expect("round trip");
+                    assert!(resp.starts_with("OK "), "{resp}");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let m = handle.join().expect("server join");
+    let total = clients * per_client;
+    format!(
+        "    \"serve_throughput\": {{ \"clients\": {clients}, \"queries\": {total}, \
+         \"secs\": {secs:.4}, \"qps\": {:.1}, \"batches\": {}, \"coalesced_cells\": {}, \
+         \"cells_per_batch\": {:.2} }}\n",
+        total as f64 / secs,
+        m.batches,
+        m.coalesced_cells,
+        m.coalesced_cells as f64 / m.batches.max(1) as f64,
+    )
+}
+
+/// Workspace-root default output path: `BENCH_007.json`.
 fn default_out_path() -> String {
     let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     p.pop();

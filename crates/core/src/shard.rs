@@ -666,6 +666,17 @@ mod tests {
     use ats_common::TestDir;
     use ats_compress::{shard_ranges, SpaceBudget, SvddCompressed, SvddOptions};
 
+    /// The interior-mutability audit behind the `ats serve` daemon, as a
+    /// compile-time fact: the opened store (lazy `OnceLock` shard states,
+    /// mutex-guarded page pools, atomic I/O counters) is `Send + Sync`,
+    /// so one `Arc<ShardedStore>` may back every connection thread.
+    #[test]
+    fn sharded_store_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedStore>();
+        assert_send_sync::<std::sync::Arc<ShardedStore>>();
+    }
+
     fn spiky(n: usize, m: usize) -> Matrix {
         let mut x = Matrix::from_fn(n, m, |i, j| {
             ((i % 4) + 1) as f64 * if j % 7 < 5 { 3.0 } else { 0.5 }

@@ -312,19 +312,24 @@ impl SequenceStore {
         self.shards
     }
 
+    /// A `'static`, `Send + Sync`, `Clone` query engine sharing this
+    /// store's compressed matrix (and, for an opened store, its page
+    /// pool). This is the handle a long-lived server hands to its
+    /// connection threads; it answers bitwise identically to the
+    /// borrowed per-call engines the convenience methods below build.
+    pub fn engine(&self) -> QueryEngine<'static> {
+        QueryEngine::shared(Arc::clone(&self.compressed)).with_threads(self.threads)
+    }
+
     /// Aggregate query over a selection, scanned with the store's
     /// configured thread count.
     pub fn aggregate(&self, sel: &Selection, f: AggregateFn) -> Result<f64> {
-        QueryEngine::new(self.compressed.as_ref())
-            .with_threads(self.threads)
-            .aggregate(sel, f)
+        self.engine().aggregate(sel, f)
     }
 
     /// Every aggregate function at once, over a single selection scan.
     pub fn aggregate_all(&self, sel: &Selection) -> Result<ats_query::engine::AggregateRow> {
-        QueryEngine::new(self.compressed.as_ref())
-            .with_threads(self.threads)
-            .aggregate_all(sel)
+        self.engine().aggregate_all(sel)
     }
 
     /// Batched cell queries: answers arrive in request order, computed
@@ -335,10 +340,7 @@ impl SequenceStore {
     /// [`SequenceStore::cell`] per request.
     pub fn batch_cells(&self, cells: &[(usize, usize)]) -> Result<Vec<f64>> {
         let req = ats_query::BatchRequest::new(cells.to_vec());
-        Ok(QueryEngine::new(self.compressed.as_ref())
-            .with_threads(self.threads)
-            .batch_cells(&req)?
-            .into_values())
+        Ok(self.engine().batch_cells(&req)?.into_values())
     }
 
     /// Compressed size in bytes.

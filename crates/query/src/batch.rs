@@ -89,7 +89,7 @@ impl QueryEngine<'_> {
     /// output cell is computed independently, the values are identical to
     /// the serial execution bit for bit.
     pub fn batch_cells(&self, req: &BatchRequest) -> Result<BatchResult> {
-        let (n, m) = (self.matrix.rows(), self.matrix.cols());
+        let (n, m) = (self.matrix().rows(), self.matrix().cols());
         for &(i, j) in req.cells() {
             if i >= n {
                 return Err(AtsError::oob("row", i, n));
@@ -123,7 +123,7 @@ impl QueryEngine<'_> {
         if self.threads <= 1 || groups.len() < 2 * self.threads {
             let mut scatter = Vec::new();
             for g in &groups {
-                run_group(self.matrix, cells, &order, g, &mut scatter)?;
+                run_group(self.matrix(), cells, &order, g, &mut scatter)?;
                 for &(t, v) in &scatter {
                     values[t] = v;
                 }
@@ -139,7 +139,7 @@ impl QueryEngine<'_> {
                             let mut out = Vec::new();
                             let mut scatter = Vec::new();
                             for g in gs {
-                                run_group(self.matrix, cells, order, g, &mut scatter)?;
+                                run_group(self.matrix(), cells, order, g, &mut scatter)?;
                                 out.extend_from_slice(&scatter);
                             }
                             Ok(out)

@@ -15,6 +15,7 @@ use crate::selection::Selection;
 use ats_common::{AtsError, OnlineStats, Result};
 use ats_compress::CompressedMatrix;
 use ats_linalg::Matrix;
+use std::sync::Arc;
 
 /// Aggregate functions supported by [`QueryEngine::aggregate`] (the
 /// paper's `f()`, §5.2).
@@ -85,9 +86,27 @@ fn ensure_nonempty(stats: &OnlineStats) -> Result<()> {
     Ok(())
 }
 
+/// How a [`QueryEngine`] holds its matrix: borrowed for the classic
+/// one-shot CLI/experiment path, or behind an `Arc` so the engine itself
+/// is `'static`, `Clone`, and shareable across server threads.
+///
+/// Reconstruction is read-only ([`CompressedMatrix`] is `Send + Sync` by
+/// trait bound; the paged store keeps its interior mutability behind the
+/// buffer-pool mutex and atomic I/O counters), so both shapes execute the
+/// same code with the same determinism guarantees.
+#[derive(Clone)]
+pub(crate) enum MatrixHandle<'a> {
+    /// Borrow — the engine lives no longer than the matrix.
+    Borrowed(&'a dyn CompressedMatrix),
+    /// Shared ownership — the engine can outlive the creating scope and
+    /// hop across threads (the `ats serve` daemon path).
+    Shared(Arc<dyn CompressedMatrix>),
+}
+
 /// A query engine over any compressed matrix.
+#[derive(Clone)]
 pub struct QueryEngine<'a> {
-    pub(crate) matrix: &'a dyn CompressedMatrix,
+    pub(crate) handle: MatrixHandle<'a>,
     pub(crate) threads: usize,
 }
 
@@ -100,7 +119,29 @@ pub(crate) const AGG_BLOCK_ROWS: usize = 8;
 impl<'a> QueryEngine<'a> {
     /// Wrap a compressed matrix (single-threaded scans).
     pub fn new(matrix: &'a dyn CompressedMatrix) -> Self {
-        QueryEngine { matrix, threads: 1 }
+        QueryEngine {
+            handle: MatrixHandle::Borrowed(matrix),
+            threads: 1,
+        }
+    }
+
+    /// Wrap a shared compressed matrix. The returned engine is
+    /// `'static`, `Send + Sync`, and `Clone` — every connection thread
+    /// of a long-lived server can hold its own cheap handle to the same
+    /// store and page pool.
+    pub fn shared(matrix: Arc<dyn CompressedMatrix>) -> QueryEngine<'static> {
+        QueryEngine {
+            handle: MatrixHandle::Shared(matrix),
+            threads: 1,
+        }
+    }
+
+    /// The underlying matrix, whichever way it is held.
+    pub(crate) fn matrix(&self) -> &dyn CompressedMatrix {
+        match &self.handle {
+            MatrixHandle::Borrowed(m) => *m,
+            MatrixHandle::Shared(m) => m.as_ref(),
+        }
     }
 
     /// Use up to `threads` workers for aggregate scans. Selected rows are
@@ -115,17 +156,17 @@ impl<'a> QueryEngine<'a> {
 
     /// Number of rows of the underlying matrix.
     pub fn rows(&self) -> usize {
-        self.matrix.rows()
+        self.matrix().rows()
     }
 
     /// Number of columns of the underlying matrix.
     pub fn cols(&self) -> usize {
-        self.matrix.cols()
+        self.matrix().cols()
     }
 
     /// Cell query: the reconstructed value at `(i, j)`.
     pub fn cell(&self, i: usize, j: usize) -> Result<f64> {
-        self.matrix.cell(i, j)
+        self.matrix().cell(i, j)
     }
 
     /// Aggregate query over a selection.
@@ -134,8 +175,8 @@ impl<'a> QueryEngine<'a> {
     /// into a single-pass accumulator (or one per worker — see
     /// [`QueryEngine::with_threads`]).
     pub fn aggregate(&self, sel: &Selection, f: AggregateFn) -> Result<f64> {
-        let m = self.matrix.cols();
-        sel.validate(self.matrix.rows(), m)?;
+        let m = self.matrix().cols();
+        sel.validate(self.matrix().rows(), m)?;
         let cols: Vec<usize> = sel.cols.to_vec(m);
         // Heuristic: if most of the row is selected, reconstruct the whole
         // row; otherwise reconstruct only the selected cells.
@@ -169,11 +210,11 @@ impl<'a> QueryEngine<'a> {
     /// order — so the result is one deterministic value for a given
     /// shard layout, independent of the thread count.
     fn selection_stats(&self, sel: &Selection, dense_cols: bool) -> Result<OnlineStats> {
-        let (n, m) = (self.matrix.rows(), self.matrix.cols());
+        let (n, m) = (self.matrix().rows(), self.matrix().cols());
         sel.validate(n, m)?;
         let cols: Vec<usize> = sel.cols.to_vec(m);
         let rows: Vec<usize> = sel.rows.iter(n).collect();
-        let starts = self.matrix.shard_starts();
+        let starts = self.matrix().shard_starts();
         if starts.len() > 1 {
             return self.sharded_stats(&rows, &cols, dense_cols, &starts);
         }
@@ -280,12 +321,12 @@ impl<'a> QueryEngine<'a> {
         dense_cols: bool,
     ) -> Result<OnlineStats> {
         let mut stats = OnlineStats::new();
-        let m = self.matrix.cols();
+        let m = self.matrix().cols();
         if dense_cols && m > 0 {
             let mut block = vec![0.0f64; AGG_BLOCK_ROWS * m];
             for rchunk in rows.chunks(AGG_BLOCK_ROWS) {
                 let out = &mut block[..rchunk.len() * m];
-                self.matrix.rows_into(rchunk, out)?;
+                self.matrix().rows_into(rchunk, out)?;
                 for row_buf in out.chunks(m) {
                     for &j in cols {
                         stats.push(row_buf[j]);
@@ -295,7 +336,7 @@ impl<'a> QueryEngine<'a> {
         } else {
             for &i in rows {
                 for &j in cols {
-                    stats.push(self.matrix.cell(i, j)?);
+                    stats.push(self.matrix().cell(i, j)?);
                 }
             }
         }
@@ -539,6 +580,36 @@ mod tests {
                 f.name()
             );
         }
+    }
+
+    #[test]
+    fn shared_engine_is_send_sync_clone_and_answers_identically() {
+        // The serve daemon hands one engine to many threads: the shared
+        // handle must be 'static + Send + Sync + Clone, and answer the
+        // same bits as the borrowed engine over the same matrix.
+        fn assert_shareable<T: Send + Sync + Clone + 'static>() {}
+        assert_shareable::<QueryEngine<'static>>();
+        let m = Arc::new(ExactMatrix(x()));
+        let shared = QueryEngine::shared(m.clone());
+        let borrowed = QueryEngine::new(m.as_ref());
+        let sel = Selection::all();
+        assert_eq!(
+            shared.cell(1, 2).unwrap().to_bits(),
+            borrowed.cell(1, 2).unwrap().to_bits()
+        );
+        for f in AggregateFn::ALL {
+            assert_eq!(
+                shared.aggregate(&sel, f).unwrap().to_bits(),
+                borrowed.aggregate(&sel, f).unwrap().to_bits(),
+                "{}",
+                f.name()
+            );
+        }
+        // Clones observe the same underlying store.
+        let clone = shared.clone().with_threads(3);
+        assert_eq!(clone.rows(), 3);
+        let handle = std::thread::spawn(move || clone.cell(0, 0).unwrap());
+        assert_eq!(handle.join().unwrap(), 1.0);
     }
 
     #[test]

@@ -20,13 +20,18 @@
 //!   `avg rows 0..100 cols all`) for the REPL example;
 //! - [`batch`] — [`batch::BatchRequest`]/[`batch::BatchResult`]: batched
 //!   cell queries sorted by `(row, column)` and answered with one `U`-row
-//!   fetch per distinct requested row.
+//!   fetch per distinct requested row;
+//! - [`mod@serve`] — the `ats serve` TCP daemon: a length-prefixed wire
+//!   protocol over one shared engine, with concurrently arriving cell
+//!   queries coalesced into single [`engine::QueryEngine::batch_cells`]
+//!   runs and metrics exposed through a `STATS` verb.
 
 pub mod batch;
 pub mod engine;
 pub mod metrics;
 pub mod parse;
 pub mod selection;
+pub mod serve;
 pub mod workload;
 
 pub use batch::{BatchRequest, BatchResult};
@@ -34,3 +39,4 @@ pub use engine::{AggregateFn, QueryEngine};
 pub use metrics::{ErrorReport, QueryError};
 pub use parse::{parse_batch_file, parse_query, run_query, Query};
 pub use selection::Selection;
+pub use serve::{serve, MetricsSnapshot, ServeConfig, ServerHandle};

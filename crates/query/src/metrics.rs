@@ -11,7 +11,7 @@
 //! - [`QueryError::q_err`] is Eq. 14:
 //!   `|f(X) − f(X̂)| / |f(X)|` for an aggregate query.
 
-use ats_common::{OnlineStats, Result, TopK};
+use ats_common::{AtsError, OnlineStats, Result, TopK};
 use ats_compress::CompressedMatrix;
 use ats_storage::RowSource;
 
@@ -42,11 +42,16 @@ pub fn error_report(
     compressed: &dyn CompressedMatrix,
 ) -> Result<ErrorReport> {
     let (n, m) = (source.rows(), source.cols());
-    assert_eq!(
-        (n, m),
-        (compressed.rows(), compressed.cols()),
-        "error_report: dimension mismatch"
-    );
+    if (n, m) != (compressed.rows(), compressed.cols()) {
+        // The doc contract is "errors if dimensions disagree" — both
+        // arguments arrive from outside (a data file and a store
+        // directory), so a mismatch is the caller's input, not a bug.
+        return Err(AtsError::dims(
+            "error_report",
+            (compressed.rows(), compressed.cols()),
+            (n, m),
+        ));
+    }
     let mut data_stats = OnlineStats::new();
     let mut abs_err = OnlineStats::new();
     let mut sse = 0.0f64;
@@ -197,6 +202,22 @@ mod tests {
         let spec = error_spectrum(&x, &c, 100).unwrap();
         assert_eq!(spec.len(), 9);
         assert!(spec.iter().all(|&e| e == 0.0));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error_not_a_panic() {
+        // Regression: this used to be an `assert_eq!` that aborted the
+        // process, contradicting the documented "errors if dimensions
+        // disagree" contract.
+        let x = data(); // 40 x 8
+        let smaller = ExactMatrix(Matrix::from_fn(40, 7, |_, _| 0.0));
+        let err = error_report(&x, &smaller).unwrap_err();
+        assert!(
+            matches!(err, ats_common::AtsError::DimensionMismatch { .. }),
+            "{err}"
+        );
+        let fewer_rows = ExactMatrix(Matrix::from_fn(39, 8, |_, _| 0.0));
+        assert!(error_report(&x, &fewer_rows).is_err());
     }
 
     #[test]

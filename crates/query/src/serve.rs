@@ -1,0 +1,813 @@
+//! A long-lived TCP query daemon with coalesced batch execution.
+//!
+//! The paper's premise is *ad hoc* queries arriving continuously against a
+//! compressed store; a one-process-per-query CLI pays a store open (and a
+//! cold page cache) per question. This module keeps one
+//! [`QueryEngine`] — and therefore one `ShardedStore` page pool — alive
+//! behind a TCP listener, so the batching argument of [`crate::batch`]
+//! extends *across clients*: concurrently arriving cell queries are
+//! collected into a small admission window and executed as one
+//! [`QueryEngine::batch_cells`] run, making N clients asking about the
+//! same row cost one `U`-row fetch per shard instead of N.
+//!
+//! ## Wire protocol
+//!
+//! Both directions speak length-prefixed frames: a 4-byte big-endian
+//! payload length followed by that many bytes of UTF-8. Request payloads
+//! are query lines in the [`crate::parse`] grammar (`cell 42 17`,
+//! `avg rows 0..100 cols all`) or one of three verbs: `PING` (liveness),
+//! `STATS` (per-connection and server-wide metrics plus I/O counters),
+//! `SHUTDOWN` (graceful drain). Responses are `OK …` or `ERR …`; a
+//! malformed, oversized, or unparseable request earns an `ERR` frame and
+//! the connection stays healthy — the daemon never panics on input.
+//!
+//! ## Shutdown semantics
+//!
+//! Shutdown (the `SHUTDOWN` verb, or [`ServerHandle::begin_shutdown`]
+//! from the hosting process — the CLI wires stdin EOF / `quit` to it)
+//! stops accepting connections, lets every in-flight request finish and
+//! its response be written whole, and drains any cells still queued in
+//! the admission window through one final batch. Responses are never
+//! torn: a connection thread only re-checks the flag *between* frames.
+
+use crate::batch::BatchRequest;
+use crate::engine::QueryEngine;
+use crate::parse::{parse_query, Query};
+use ats_common::{AtsError, Result};
+use ats_storage::IoSnapshot;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Callback handing the server a fresh per-shard I/O snapshot for the
+/// `STATS` verb (the query crate cannot name `ShardedStore` directly —
+/// the core crate depends on this one, not the other way around).
+pub type IoSnapshotFn = Box<dyn Fn() -> Vec<IoSnapshot> + Send + Sync>;
+
+/// Tuning knobs for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, `host:port` (port 0 picks a free port; see
+    /// [`ServerHandle::addr`] for the resolved one).
+    pub addr: String,
+    /// Worker threads for aggregate scans and batch execution.
+    pub threads: usize,
+    /// Admission window: once a cell query arrives, the batcher keeps
+    /// collecting more for at most this long before executing.
+    pub window: Duration,
+    /// Execute the pending batch as soon as it holds this many cells,
+    /// even if the window has not expired.
+    pub batch_max: usize,
+    /// Largest accepted request payload in bytes; longer frames earn an
+    /// `ERR` response (the payload is drained so the connection survives).
+    pub max_frame: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            window: Duration::from_millis(2),
+            batch_max: 64,
+            max_frame: 1 << 20,
+        }
+    }
+}
+
+/// Point-in-time copy of the server-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Connections accepted so far.
+    pub connections: u64,
+    /// Queries answered with `OK` (cells + aggregates).
+    pub queries: u64,
+    /// Cell queries answered (each went through the admission window).
+    pub cells: u64,
+    /// Aggregate queries answered.
+    pub aggregates: u64,
+    /// `ERR` responses written (parse errors, bad frames, out-of-range).
+    pub errors: u64,
+    /// `batch_cells` executions — the number of admission windows fired.
+    pub batches: u64,
+    /// Cells answered across all batches (`cells / batches` is the
+    /// coalescing factor).
+    pub coalesced_cells: u64,
+    /// Summed request latency in microseconds (admission wait included).
+    pub latency_usec: u64,
+}
+
+/// Live atomic counters behind the snapshot.
+#[derive(Debug, Default)]
+struct ServerMetrics {
+    connections: AtomicU64,
+    queries: AtomicU64,
+    cells: AtomicU64,
+    aggregates: AtomicU64,
+    errors: AtomicU64,
+    batches: AtomicU64,
+    coalesced_cells: AtomicU64,
+    latency_usec: AtomicU64,
+}
+
+impl ServerMetrics {
+    fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            cells: self.cells.load(Ordering::Relaxed),
+            aggregates: self.aggregates.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            coalesced_cells: self.coalesced_cells.load(Ordering::Relaxed),
+            latency_usec: self.latency_usec.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One cell query waiting in the admission window. The reply is a value
+/// or a rendered error message — the requesting connection thread blocks
+/// on the channel until the batcher answers.
+struct Pending {
+    row: usize,
+    col: usize,
+    tx: mpsc::Sender<std::result::Result<f64, String>>,
+}
+
+/// The admission queue: cells waiting for the current window to fire.
+#[derive(Default)]
+struct BatchQueue {
+    items: Vec<Pending>,
+    /// Set by the batcher on exit: late arrivals are refused instead of
+    /// waiting forever on a reply that will never come.
+    closed: bool,
+}
+
+/// State shared by the acceptor, the batcher, and every connection.
+struct Shared {
+    engine: QueryEngine<'static>,
+    window: Duration,
+    batch_max: usize,
+    max_frame: usize,
+    shutdown: AtomicBool,
+    queue: Mutex<BatchQueue>,
+    queue_cv: Condvar,
+    metrics: ServerMetrics,
+    io_snapshots: Option<IoSnapshotFn>,
+    conns: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Lock a mutex, recovering the guard if a holder panicked — the daemon
+/// keeps serving; a poisoned queue is still structurally valid.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Shared {
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+}
+
+/// A running server: the resolved address plus the handles needed to
+/// stop it. Dropping the handle does *not* stop the server — call
+/// [`ServerHandle::join`] (or [`ServerHandle::begin_shutdown`] followed
+/// by `join`) for a graceful drain.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    batcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (with the real port when `addr` asked
+    /// for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the server to shut down: stop accepting, finish in-flight
+    /// requests, drain the admission queue. Returns immediately;
+    /// [`ServerHandle::join`] waits for the drain.
+    pub fn begin_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Whether shutdown has been requested (by this handle or by a
+    /// client's `SHUTDOWN` verb).
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.is_shutdown()
+    }
+
+    /// Current server-wide counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Shut down (if not already requested) and wait for the acceptor,
+    /// the batcher, and every connection thread to finish. Returns the
+    /// final counters.
+    pub fn join(mut self) -> Result<MetricsSnapshot> {
+        self.shared.begin_shutdown();
+        for h in self.accept.take().into_iter().chain(self.batcher.take()) {
+            h.join()
+                .map_err(|_| AtsError::internal("server thread panicked"))?;
+        }
+        let conns = std::mem::take(&mut *lock(&self.shared.conns));
+        for h in conns {
+            h.join()
+                .map_err(|_| AtsError::internal("connection thread panicked"))?;
+        }
+        Ok(self.shared.metrics.snapshot())
+    }
+}
+
+/// A cloneable trigger that requests shutdown from another thread —
+/// the CLI hands one to its stdin watcher so EOF / `quit` drains the
+/// daemon exactly like the `SHUTDOWN` verb does.
+#[derive(Clone)]
+pub struct ShutdownSwitch(Arc<Shared>);
+
+impl ShutdownSwitch {
+    /// Request the graceful drain (idempotent).
+    pub fn trigger(&self) {
+        self.0.begin_shutdown();
+    }
+}
+
+impl ServerHandle {
+    /// A detachable shutdown trigger for watcher threads.
+    pub fn shutdown_switch(&self) -> ShutdownSwitch {
+        ShutdownSwitch(Arc::clone(&self.shared))
+    }
+}
+
+/// Start the daemon: bind `cfg.addr`, spawn the acceptor and the batch
+/// executor, and return a [`ServerHandle`]. `io_snapshots`, when given,
+/// feeds per-shard I/O counters into the `STATS` verb.
+///
+/// The engine must be the shared (`'static`) shape from
+/// [`QueryEngine::shared`] so every connection thread can hold a clone;
+/// its thread knob is overridden by `cfg.threads`.
+pub fn serve(
+    engine: QueryEngine<'static>,
+    cfg: ServeConfig,
+    io_snapshots: Option<IoSnapshotFn>,
+) -> Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr).map_err(AtsError::Io)?;
+    let addr = listener.local_addr().map_err(AtsError::Io)?;
+    // Non-blocking accept lets the acceptor poll the shutdown flag; no
+    // signal machinery exists in safe std (and `unsafe` is denied
+    // workspace-wide), so shutdown is always a flag, never a signal.
+    listener.set_nonblocking(true).map_err(AtsError::Io)?;
+    let shared = Arc::new(Shared {
+        engine: engine.with_threads(cfg.threads.max(1)),
+        window: cfg.window,
+        batch_max: cfg.batch_max.max(1),
+        max_frame: cfg.max_frame.max(16),
+        shutdown: AtomicBool::new(false),
+        queue: Mutex::new(BatchQueue::default()),
+        queue_cv: Condvar::new(),
+        metrics: ServerMetrics::default(),
+        io_snapshots,
+        conns: Mutex::new(Vec::new()),
+    });
+    let batcher = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || run_batcher(&shared))
+    };
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || run_acceptor(&listener, &shared))
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        batcher: Some(batcher),
+    })
+}
+
+/// Accept loop: poll for connections until shutdown, handing each stream
+/// to its own thread (registered for join-on-shutdown).
+fn run_acceptor(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.is_shutdown() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // The listener is non-blocking; the per-connection
+                // stream must not inherit that (reads use timeouts).
+                let _ = stream.set_nonblocking(false);
+                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(shared);
+                let handle = std::thread::spawn(move || handle_connection(&conn_shared, stream));
+                lock(&shared.conns).push(handle);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            // Transient accept errors (EMFILE, resets): keep serving the
+            // connections we have.
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// The admission/coalescing executor: wait for the first pending cell,
+/// keep collecting until the window expires or `batch_max` is reached,
+/// then run the whole window as one [`QueryEngine::batch_cells`] call
+/// and scatter the replies. On shutdown the remaining queue is drained
+/// through the same path before the thread exits.
+fn run_batcher(shared: &Shared) {
+    loop {
+        let pending = {
+            let mut q = lock(&shared.queue);
+            // Phase 1: wait for work (or shutdown + empty queue = done).
+            while q.items.is_empty() && !shared.is_shutdown() {
+                let (guard, _timed_out) = shared
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(|p| p.into_inner());
+                q = guard;
+            }
+            if q.items.is_empty() {
+                q.closed = true;
+                return;
+            }
+            // Phase 2: the admission window — collect more cells until
+            // the deadline, the size cap, or shutdown (which executes
+            // immediately so the drain finishes promptly).
+            let deadline = Instant::now() + shared.window;
+            while q.items.len() < shared.batch_max && !shared.is_shutdown() {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _timed_out) = shared
+                    .queue_cv
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(|p| p.into_inner());
+                q = guard;
+            }
+            std::mem::take(&mut q.items)
+        };
+        execute_batch(shared, pending);
+    }
+}
+
+/// Run one admission window's cells as a single batch and reply to every
+/// waiting connection. Cells were bounds-checked at admission, so a
+/// batch error here is environmental (I/O, corrupt page) and is fanned
+/// out to every requester rather than failing silently.
+fn execute_batch(shared: &Shared, pending: Vec<Pending>) {
+    if pending.is_empty() {
+        return;
+    }
+    shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
+    let count = u64::try_from(pending.len()).unwrap_or(u64::MAX);
+    shared
+        .metrics
+        .coalesced_cells
+        .fetch_add(count, Ordering::Relaxed);
+    let req = BatchRequest::new(pending.iter().map(|p| (p.row, p.col)).collect());
+    match shared.engine.batch_cells(&req) {
+        Ok(res) => {
+            for (p, v) in pending.iter().zip(res.values()) {
+                let _ = p.tx.send(Ok(*v));
+            }
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            for p in &pending {
+                let _ = p.tx.send(Err(msg.clone()));
+            }
+        }
+    }
+}
+
+/// What one attempt to read a request frame produced.
+enum FrameRead {
+    /// A complete payload of at most `max_frame` bytes.
+    Payload(Vec<u8>),
+    /// The client declared a frame longer than `max_frame`; the payload
+    /// was drained and discarded so the connection stays usable.
+    Oversized(usize),
+    /// Clean end of stream (or mid-frame disconnect) — close quietly.
+    Closed,
+    /// Shutdown was requested while waiting between frames.
+    ShuttingDown,
+}
+
+/// Read exactly `buf.len()` bytes, riding out read timeouts so the
+/// shutdown flag is polled between them. Returns `false` on EOF, a hard
+/// I/O error, or shutdown-while-waiting (the caller closes either way —
+/// except that `started` frames ride out shutdown so an already-sent
+/// request is still answered, never torn).
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared, started: bool) -> bool {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        let Some(rest) = buf.get_mut(filled..) else {
+            return false;
+        };
+        match stream.read(rest) {
+            Ok(0) => return false,
+            Ok(n) => filled = filled.saturating_add(n),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Between frames (`!started`, nothing read yet) shutdown
+                // closes the connection; inside a frame we keep reading
+                // so a request already on the wire gets its response.
+                if shared.is_shutdown() && !started && filled == 0 {
+                    return false;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Read one length-prefixed frame.
+fn read_frame(stream: &mut TcpStream, shared: &Shared) -> FrameRead {
+    let mut header = [0u8; 4];
+    if !read_full(stream, &mut header, shared, false) {
+        return if shared.is_shutdown() {
+            FrameRead::ShuttingDown
+        } else {
+            FrameRead::Closed
+        };
+    }
+    let len = match usize::try_from(u32::from_be_bytes(header)) {
+        Ok(len) => len,
+        Err(_) => return FrameRead::Closed,
+    };
+    if len > shared.max_frame {
+        // Drain the declared payload in bounded chunks so the stream
+        // stays framed; give up (close) only on EOF or error.
+        let mut remaining = len;
+        let mut sink = vec![0u8; 8192.min(len)];
+        while remaining > 0 {
+            let take = sink.len().min(remaining);
+            let Some(chunk) = sink.get_mut(..take) else {
+                return FrameRead::Closed;
+            };
+            if !read_full(stream, chunk, shared, true) {
+                return FrameRead::Closed;
+            }
+            remaining = remaining.saturating_sub(take);
+        }
+        return FrameRead::Oversized(len);
+    }
+    let mut payload = vec![0u8; len];
+    if !read_full(stream, &mut payload, shared, true) {
+        return FrameRead::Closed;
+    }
+    FrameRead::Payload(payload)
+}
+
+/// Write one length-prefixed response frame. A response is a single
+/// `write_all` of header + payload, so it is never interleaved with
+/// another response on the same connection.
+fn write_frame(stream: &mut TcpStream, payload: &str) -> std::io::Result<()> {
+    let bytes = payload.as_bytes();
+    let len = u32::try_from(bytes.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "response frame too long")
+    })?;
+    let mut frame = Vec::with_capacity(bytes.len().saturating_add(4));
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(bytes);
+    stream.write_all(&frame)?;
+    stream.flush()
+}
+
+/// Per-connection counters, reported by this connection's `STATS`.
+#[derive(Default)]
+struct ConnMetrics {
+    queries: u64,
+    errors: u64,
+    latency_usec: u64,
+}
+
+/// Serve one connection: read frames, dispatch, respond, until the peer
+/// hangs up or shutdown is requested between frames.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    // Short read timeouts make the loop poll the shutdown flag; they are
+    // retried inside `read_full`, invisible to the protocol.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    let mut conn = ConnMetrics::default();
+    loop {
+        let payload = match read_frame(&mut stream, shared) {
+            FrameRead::Payload(p) => p,
+            FrameRead::Oversized(len) => {
+                conn.errors = conn.errors.saturating_add(1);
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let msg = format!(
+                    "ERR frame of {len} bytes exceeds the {} byte limit",
+                    shared.max_frame
+                );
+                if write_frame(&mut stream, &msg).is_err() {
+                    return;
+                }
+                continue;
+            }
+            FrameRead::Closed | FrameRead::ShuttingDown => return,
+        };
+        let started = Instant::now();
+        let reply = match std::str::from_utf8(&payload) {
+            Ok(text) => dispatch(shared, &mut conn, text),
+            Err(_) => Reply::Err("request payload is not valid UTF-8".to_string()),
+        };
+        let elapsed = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        conn.latency_usec = conn.latency_usec.saturating_add(elapsed);
+        shared
+            .metrics
+            .latency_usec
+            .fetch_add(elapsed, Ordering::Relaxed);
+        let (line, done) = match reply {
+            Reply::Ok(s) => {
+                conn.queries = conn.queries.saturating_add(1);
+                shared.metrics.queries.fetch_add(1, Ordering::Relaxed);
+                (format!("OK {s}"), false)
+            }
+            Reply::Info(s) => (format!("OK {s}"), false),
+            Reply::Err(s) => {
+                conn.errors = conn.errors.saturating_add(1);
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                (format!("ERR {s}"), false)
+            }
+            Reply::Shutdown => ("OK shutting down".to_string(), true),
+        };
+        if write_frame(&mut stream, &line).is_err() {
+            return;
+        }
+        if done {
+            // Respond first, then raise the flag: the requester always
+            // hears the acknowledgment before the drain begins.
+            shared.begin_shutdown();
+            return;
+        }
+    }
+}
+
+/// What a dispatched request produced.
+enum Reply {
+    /// A successful query — counts toward the `queries` metrics.
+    Ok(String),
+    /// A successful protocol verb (`PING`, `STATS`) — not a query.
+    Info(String),
+    /// Any failure, rendered; the connection stays open.
+    Err(String),
+    /// The `SHUTDOWN` verb: acknowledge, then begin the drain.
+    Shutdown,
+}
+
+/// Execute one request line: a protocol verb or a query.
+fn dispatch(shared: &Shared, conn: &mut ConnMetrics, text: &str) -> Reply {
+    let line = text.trim();
+    if line.eq_ignore_ascii_case("ping") {
+        return Reply::Info("pong".to_string());
+    }
+    if line.eq_ignore_ascii_case("shutdown") {
+        return Reply::Shutdown;
+    }
+    if line.eq_ignore_ascii_case("stats") {
+        return Reply::Info(render_stats(shared, conn));
+    }
+    match parse_query(line) {
+        Ok(Query::Cell(i, j)) => cell_via_batcher(shared, i, j),
+        Ok(Query::Aggregate(f, sel)) => match shared.engine.aggregate(&sel, f) {
+            Ok(v) => {
+                shared.metrics.aggregates.fetch_add(1, Ordering::Relaxed);
+                Reply::Ok(format!("{v}"))
+            }
+            Err(e) => Reply::Err(e.to_string()),
+        },
+        Err(e) => Reply::Err(e.to_string()),
+    }
+}
+
+/// Admit one cell query into the coalescing window and wait for the
+/// batch that answers it. Bounds are checked *here*, per request —
+/// a bad cell earns its own `ERR` without poisoning the batch the other
+/// clients' queries land in ([`QueryEngine::batch_cells`] fails whole
+/// batches on any invalid cell, so invalid cells must never be enqueued).
+fn cell_via_batcher(shared: &Shared, row: usize, col: usize) -> Reply {
+    let (n, m) = (shared.engine.rows(), shared.engine.cols());
+    if row >= n {
+        return Reply::Err(AtsError::oob("row", row, n).to_string());
+    }
+    if col >= m {
+        return Reply::Err(AtsError::oob("column", col, m).to_string());
+    }
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut q = lock(&shared.queue);
+        if q.closed {
+            return Reply::Err("server is shutting down".to_string());
+        }
+        q.items.push(Pending { row, col, tx });
+    }
+    shared.queue_cv.notify_all();
+    match rx.recv() {
+        Ok(Ok(v)) => {
+            shared.metrics.cells.fetch_add(1, Ordering::Relaxed);
+            Reply::Ok(format!("{v}"))
+        }
+        Ok(Err(msg)) => Reply::Err(msg),
+        Err(_) => Reply::Err("batch executor dropped the request".to_string()),
+    }
+}
+
+/// Render the `STATS` response: one `stats` marker line, then
+/// `key value` lines for the server-wide counters, this connection's
+/// counters, and (when wired) the per-shard and total I/O snapshots.
+fn render_stats(shared: &Shared, conn: &ConnMetrics) -> String {
+    let m = shared.metrics.snapshot();
+    let mut out = String::from("stats\n");
+    out.push_str(&format!(
+        "server connections={} queries={} cells={} aggregates={} errors={} \
+         batches={} coalesced_cells={} latency_usec={}\n",
+        m.connections,
+        m.queries,
+        m.cells,
+        m.aggregates,
+        m.errors,
+        m.batches,
+        m.coalesced_cells,
+        m.latency_usec
+    ));
+    out.push_str(&format!(
+        "conn queries={} errors={} latency_usec={}\n",
+        conn.queries, conn.errors, conn.latency_usec
+    ));
+    if let Some(io) = &shared.io_snapshots {
+        let mut total = IoSnapshot::default();
+        for (idx, s) in io().iter().enumerate() {
+            total.merge(s);
+            out.push_str(&format!(
+                "io shard={idx} physical={} logical={} bytes={} hits={}\n",
+                s.physical_reads, s.logical_reads, s.bytes_read, s.cache_hits
+            ));
+        }
+        out.push_str(&format!(
+            "io total physical={} logical={} bytes={} hits={}\n",
+            total.physical_reads, total.logical_reads, total.bytes_read, total.cache_hits
+        ));
+    }
+    out
+}
+
+/// Client-side frame helpers, shared by the integration tests and the
+/// CI smoke client (`ats serve` is driven over a real socket in both).
+pub mod client {
+    use super::*;
+
+    /// Send one request payload as a length-prefixed frame.
+    pub fn send(stream: &mut TcpStream, payload: &str) -> Result<()> {
+        write_frame(stream, payload).map_err(AtsError::Io)
+    }
+
+    /// Read one response frame (blocking until the peer answers).
+    pub fn recv(stream: &mut TcpStream) -> Result<String> {
+        let mut header = [0u8; 4];
+        stream.read_exact(&mut header).map_err(AtsError::Io)?;
+        let len = usize::try_from(u32::from_be_bytes(header))
+            .map_err(|_| AtsError::internal("response length does not fit in usize"))?;
+        let mut payload = vec![0u8; len];
+        stream.read_exact(&mut payload).map_err(AtsError::Io)?;
+        String::from_utf8(payload)
+            .map_err(|_| AtsError::Corrupt("response frame is not UTF-8".to_string()))
+    }
+
+    /// Send `payload` and wait for the reply — one round trip.
+    pub fn round_trip(stream: &mut TcpStream, payload: &str) -> Result<String> {
+        send(stream, payload)?;
+        recv(stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ExactMatrix;
+    use ats_linalg::Matrix;
+
+    fn start(window_ms: u64, batch_max: usize) -> (ServerHandle, QueryEngine<'static>) {
+        let m = Arc::new(ExactMatrix(Matrix::from_fn(12, 9, |i, j| {
+            ((i * 13 + j * 5) % 17) as f64 - 4.0
+        })));
+        let engine = QueryEngine::shared(m);
+        let cfg = ServeConfig {
+            window: Duration::from_millis(window_ms),
+            batch_max,
+            ..ServeConfig::default()
+        };
+        let handle = serve(engine.clone(), cfg, None).unwrap();
+        (handle, engine)
+    }
+
+    fn connect(handle: &ServerHandle) -> TcpStream {
+        TcpStream::connect(handle.addr()).unwrap()
+    }
+
+    #[test]
+    fn ping_query_stats_shutdown_round_trip() {
+        let (handle, engine) = start(1, 8);
+        let mut c = connect(&handle);
+        assert_eq!(client::round_trip(&mut c, "PING").unwrap(), "OK pong");
+        let cell = client::round_trip(&mut c, "cell 3 4").unwrap();
+        let want = engine.cell(3, 4).unwrap();
+        assert_eq!(cell, format!("OK {want}"));
+        let agg = client::round_trip(&mut c, "sum rows all cols all").unwrap();
+        assert!(agg.starts_with("OK "), "{agg}");
+        let stats = client::round_trip(&mut c, "STATS").unwrap();
+        assert!(stats.contains("server connections=1"), "{stats}");
+        assert!(stats.contains("conn queries=2"), "{stats}");
+        let bye = client::round_trip(&mut c, "SHUTDOWN").unwrap();
+        assert_eq!(bye, "OK shutting down");
+        let m = handle.join().unwrap();
+        assert_eq!(m.cells, 1);
+        assert_eq!(m.aggregates, 1);
+        assert_eq!(m.batches, 1);
+    }
+
+    #[test]
+    fn parse_and_range_errors_keep_connection_alive() {
+        let (handle, _engine) = start(1, 8);
+        let mut c = connect(&handle);
+        for bad in ["definitely not a query", "cell 99 0", "cell 0 99", ""] {
+            let r = client::round_trip(&mut c, bad).unwrap();
+            assert!(r.starts_with("ERR "), "{bad:?} -> {r}");
+        }
+        // Still healthy afterwards.
+        assert_eq!(client::round_trip(&mut c, "PING").unwrap(), "OK pong");
+        handle.begin_shutdown();
+        let m = handle.join().unwrap();
+        assert_eq!(m.errors, 4);
+    }
+
+    #[test]
+    fn oversized_frame_is_refused_but_survivable() {
+        let (handle, _engine) = start(1, 8);
+        let mut c = connect(&handle);
+        // Frame longer than max_frame: declared len 2 MiB, fully sent.
+        let huge = vec![b'x'; 2 << 20];
+        let len = u32::try_from(huge.len()).unwrap();
+        c.write_all(&len.to_be_bytes()).unwrap();
+        c.write_all(&huge).unwrap();
+        let r = client::recv(&mut c).unwrap();
+        assert!(r.starts_with("ERR frame of"), "{r}");
+        assert_eq!(client::round_trip(&mut c, "PING").unwrap(), "OK pong");
+        handle.begin_shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_pending_window() {
+        // A huge window with a huge cap: the batch would sit for 30s —
+        // shutdown must flush it instead, and the client still gets the
+        // right answer.
+        let (handle, engine) = start(30_000, 1024);
+        let mut c = connect(&handle);
+        client::send(&mut c, "cell 2 7").unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        handle.begin_shutdown();
+        let r = client::recv(&mut c).unwrap();
+        assert_eq!(r, format!("OK {}", engine.cell(2, 7).unwrap()));
+        let m = handle.join().unwrap();
+        assert_eq!(m.cells, 1);
+        assert_eq!(m.batches, 1);
+    }
+
+    #[test]
+    fn batch_max_fires_without_waiting_for_window() {
+        let (handle, engine) = start(30_000, 3);
+        let mut clients: Vec<TcpStream> = (0..3).map(|_| connect(&handle)).collect();
+        for (t, c) in clients.iter_mut().enumerate() {
+            client::send(c, &format!("cell 5 {t}")).unwrap();
+        }
+        for (t, c) in clients.iter_mut().enumerate() {
+            let r = client::recv(c).unwrap();
+            assert_eq!(r, format!("OK {}", engine.cell(5, t).unwrap()));
+        }
+        handle.begin_shutdown();
+        let m = handle.join().unwrap();
+        assert_eq!(m.batches, 1, "three cells must share one batch");
+        assert_eq!(m.coalesced_cells, 3);
+    }
+}

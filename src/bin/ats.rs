@@ -36,12 +36,15 @@ use adhoc_ts::data::{
 use adhoc_ts::query::engine::QueryEngine;
 use adhoc_ts::query::metrics::error_report;
 use adhoc_ts::query::parse::{parse_batch_file, run_query};
+use adhoc_ts::query::serve::{serve, ServeConfig};
 use adhoc_ts::storage::file::write_source;
 use adhoc_ts::storage::store_dir::validate_sharded_store_dir;
 use adhoc_ts::storage::MatrixFile;
 use adhoc_ts::storage::RowSource;
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE: &str = "\
 ats — ad hoc queries over compressed time sequences (SIGMOD '97 SVDD)
@@ -65,6 +68,11 @@ USAGE:
                                  store into R row-range shards (results
                                  are bit-identical for any R); --no-bloom
                                  to drop the delta Bloom filter
+  ats save --generate <phone|stocks> [--rows N] [--cols M] [--seed S] --out DIR
+                                 build straight from the streaming
+                                 generator — no intermediate .atsm file,
+                                 O(cols) memory per pass; bit-identical
+                                 to generating the file and saving it
   ats append DIR FILE            append FILE's rows to a sharded store:
                                  they land in a fresh shard under the
                                  frozen global factors, with the batch's
@@ -77,13 +85,26 @@ USAGE:
                                  in one batched pass: results print one per
                                  line in input order; each distinct row's
                                  U vector is fetched exactly once per shard
+  ats serve DIR [--addr A] [--threads T] [--window-ms W] [--batch-max B]
+                [--pool-pages N] [--max-frame F]
+                                 long-lived TCP query daemon over one
+                                 shared store/page pool: length-prefixed
+                                 frames carrying query lines (plus PING,
+                                 STATS, SHUTDOWN verbs); concurrently
+                                 arriving cell queries coalesce into one
+                                 batched run per admission window (W ms
+                                 or B cells). --addr defaults to
+                                 127.0.0.1:7878 (port 0 picks a free
+                                 port). Shuts down on the SHUTDOWN verb
+                                 or stdin EOF / a `quit` line, draining
+                                 in-flight batches first
   ats verify FILE DIR            compare a store against the original data
   ats help                       print this message
 ";
 
 /// The one-line usage hint printed with every usage error (exit code 2).
 const USAGE_LINE: &str =
-    "usage: ats <generate|info|compress|save|append|open|query|verify|help> — run `ats help` for details";
+    "usage: ats <generate|info|compress|save|append|open|query|serve|verify|help> — run `ats help` for details";
 
 /// Flags that take no value.
 const BOOL_FLAGS: &[&str] = &["no-bloom", "summary"];
@@ -350,9 +371,11 @@ fn run() -> Result<(), CliError> {
             check_flags(
                 "save",
                 &flags,
-                &["out", "percent", "method", "threads", "shards", "no-bloom"],
+                &[
+                    "out", "percent", "method", "threads", "shards", "no-bloom", "generate",
+                    "rows", "cols", "seed",
+                ],
             )?;
-            let input = pos.get(1).ok_or_else(|| usage("save needs FILE"))?;
             let out = flags
                 .get("out")
                 .ok_or_else(|| usage("save needs --out DIR"))?;
@@ -360,7 +383,41 @@ fn run() -> Result<(), CliError> {
             let threads = flag_usize(&flags, "threads", 1)?;
             let method = flags.get("method").map(String::as_str).unwrap_or("svdd");
             let method = method_by_name(method).map_err(rt)?;
-            let source = MatrixFile::open(input).map_err(rt)?;
+            // The build pass reads any RowSource: a matrix file, or the
+            // streaming generator itself — no intermediate .atsm round
+            // trip (closes the PR 6 leftover).
+            let source: Box<dyn RowSource> = match (flags.get("generate"), pos.get(1)) {
+                (Some(_), Some(_)) => {
+                    return Err(usage("save takes either FILE or --generate, not both"))
+                }
+                (None, None) => return Err(usage("save needs FILE or --generate phone|stocks")),
+                (None, Some(input)) => {
+                    for k in ["rows", "cols", "seed"] {
+                        if flags.contains_key(k) {
+                            return Err(usage(format!("--{k} only applies with --generate")));
+                        }
+                    }
+                    Box::new(MatrixFile::open(input).map_err(rt)?)
+                }
+                (Some(kind), None) => {
+                    let seed = flag_u64(&flags, "seed", 42)?;
+                    match kind.as_str() {
+                        "phone" => Box::new(StreamingPhone::new(PhoneConfig {
+                            customers: flag_usize(&flags, "rows", 2_000)?,
+                            days: flag_usize(&flags, "cols", 366)?,
+                            seed,
+                            ..PhoneConfig::default()
+                        })),
+                        "stocks" => Box::new(StreamingStocks::new(StocksConfig {
+                            stocks: flag_usize(&flags, "rows", 381)?,
+                            days: flag_usize(&flags, "cols", 128)?,
+                            seed,
+                            ..StocksConfig::default()
+                        })),
+                        other => return Err(usage(format!("unknown generator {other:?}"))),
+                    }
+                }
+            };
             let t0 = std::time::Instant::now();
             let mut builder = SequenceStore::builder()
                 .method(method)
@@ -370,7 +427,7 @@ fn run() -> Result<(), CliError> {
             if flags.contains_key("shards") {
                 builder = builder.shards(flag_usize(&flags, "shards", 1)?);
             }
-            let store = builder.build(&source).map_err(rt)?;
+            let store = builder.build(source.as_ref()).map_err(rt)?;
             store.save(out).map_err(rt)?;
             println!(
                 "{}: {} x {}, {} shards, {:.2}% space, {:.1}s -> {out}",
@@ -446,6 +503,76 @@ fn run() -> Result<(), CliError> {
                     Ok(())
                 }
             }
+        }
+        Some("serve") => {
+            check_flags(
+                "serve",
+                &flags,
+                &[
+                    "addr",
+                    "threads",
+                    "window-ms",
+                    "batch-max",
+                    "pool-pages",
+                    "max-frame",
+                ],
+            )?;
+            let dir = pos.get(1).ok_or_else(|| usage("serve needs DIR"))?;
+            let pool = flag_usize(&flags, "pool-pages", 1024)?;
+            let cfg = ServeConfig {
+                addr: flags
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+                threads: flag_usize(&flags, "threads", 1)?,
+                window: Duration::from_millis(flag_u64(&flags, "window-ms", 2)?),
+                batch_max: flag_usize(&flags, "batch-max", 64)?,
+                max_frame: flag_usize(&flags, "max-frame", 1 << 20)?,
+            };
+            // One store, one page pool: every connection and every batch
+            // shares the same Arc'd ShardedStore through a 'static engine.
+            let store = Arc::new(ShardedStore::open(dir, pool).map_err(rt)?);
+            let io_store = Arc::clone(&store);
+            let engine = QueryEngine::shared(store).with_threads(cfg.threads);
+            let handle = serve(
+                engine,
+                cfg,
+                Some(Box::new(move || io_store.shard_io_snapshots())),
+            )
+            .map_err(rt)?;
+            println!("listening on {}", handle.addr());
+            use std::io::Write as _;
+            std::io::stdout().flush().ok();
+            // No signal machinery exists in safe std, so shutdown rides on
+            // the SHUTDOWN verb or the controlling terminal: EOF or a
+            // quit/exit/shutdown line on stdin trips the switch.
+            let switch = handle.shutdown_switch();
+            std::thread::spawn(move || {
+                let stdin = std::io::stdin();
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {
+                            let word = line.trim().to_ascii_lowercase();
+                            if matches!(word.as_str(), "quit" | "exit" | "shutdown") {
+                                break;
+                            }
+                        }
+                    }
+                }
+                switch.trigger();
+            });
+            while !handle.is_shutdown() {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            let m = handle.join().map_err(rt)?;
+            println!(
+                "served {} queries ({} cells in {} batches, {} aggregates), {} errors, {} connections",
+                m.queries, m.cells, m.batches, m.aggregates, m.errors, m.connections
+            );
+            Ok(())
         }
         Some("verify") => {
             check_flags("verify", &flags, &[])?;

@@ -1,0 +1,257 @@
+//! End-to-end tests for the `ats serve` daemon over a real TCP socket:
+//! concurrent clients must get bitwise-identical answers to a serial
+//! per-query loop at every shard × thread count; concurrently arriving
+//! cell queries for the same row must coalesce into one `U`-row fetch
+//! per shard (IoStats-asserted); a client killed mid-conversation must
+//! not disturb the server; and `SHUTDOWN` must drain, not tear.
+
+use adhoc_ts::compress::SpaceBudget;
+use adhoc_ts::core::shard::ShardedStore;
+use adhoc_ts::core::store::SequenceStore;
+use adhoc_ts::data::{generate_phone, PhoneConfig};
+use adhoc_ts::linalg::Matrix;
+use adhoc_ts::query::engine::QueryEngine;
+use adhoc_ts::query::parse::run_query;
+use adhoc_ts::query::serve::{client, serve, ServeConfig, ServerHandle};
+use ats_common::TestDir;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn phone(rows: usize, cols: usize, seed: u64) -> Matrix {
+    generate_phone(&PhoneConfig {
+        customers: rows,
+        days: cols,
+        seed,
+        ..PhoneConfig::default()
+    })
+    .matrix()
+    .clone()
+}
+
+/// Build, save, and reopen a paged store with the given shard count.
+fn saved_store(dir: &TestDir, x: &Matrix, shards: usize) -> Arc<ShardedStore> {
+    SequenceStore::builder()
+        .budget(SpaceBudget::from_percent(15.0))
+        .shards(shards)
+        .build(x)
+        .unwrap()
+        .save(dir.file("store"))
+        .unwrap();
+    Arc::new(ShardedStore::open(dir.file("store"), 256).unwrap())
+}
+
+/// Start a daemon over `store` with the given knobs; port 0 picks a free
+/// port so parallel tests never collide.
+fn start(store: &Arc<ShardedStore>, threads: usize, cfg: ServeConfig) -> ServerHandle {
+    let io = Arc::clone(store);
+    serve(
+        QueryEngine::shared(store.clone()).with_threads(threads),
+        cfg,
+        Some(Box::new(move || io.shard_io_snapshots())),
+    )
+    .unwrap()
+}
+
+/// The serial baseline: the same shared engine the daemon wraps, asked
+/// directly, one query at a time.
+fn baseline(store: &Arc<ShardedStore>) -> QueryEngine<'static> {
+    QueryEngine::shared(store.clone())
+}
+
+fn connect(handle: &ServerHandle) -> TcpStream {
+    TcpStream::connect(handle.addr()).unwrap()
+}
+
+/// Parse an `OK <f64>` response back to bits. f64's `Display` is the
+/// shortest round-trip form, so this is lossless.
+fn ok_value(resp: &str) -> f64 {
+    resp.strip_prefix("OK ")
+        .unwrap_or_else(|| panic!("expected OK, got {resp:?}"))
+        .parse()
+        .unwrap()
+}
+
+/// All six aggregate queries over one rectangle, as wire text.
+fn aggregate_queries() -> Vec<String> {
+    ["sum", "avg", "count", "min", "max", "stddev"]
+        .iter()
+        .map(|f| format!("{f} rows 10..38 cols 3..14"))
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_match_serial_loop_bitwise_across_shards_and_threads() {
+    let x = phone(90, 24, 31);
+    for shards in [1usize, 3] {
+        let dir = TestDir::new("ats-serve");
+        let store = saved_store(&dir, &x, shards);
+        for threads in [1usize, 4] {
+            let handle = start(&store, threads, ServeConfig::default());
+
+            let engine = baseline(&store);
+            let cells: Vec<(usize, usize)> =
+                vec![(0, 0), (89, 23), (45, 11), (30, 5), (61, 7), (2, 19)];
+            let mut questions: Vec<String> = cells
+                .iter()
+                .map(|&(i, j)| format!("cell {i} {j}"))
+                .collect();
+            questions.extend(aggregate_queries());
+            let expect: Vec<u64> = questions
+                .iter()
+                .map(|q| run_query(&engine, q).unwrap().to_bits())
+                .collect();
+
+            // Six concurrent clients each run the full question list.
+            let workers: Vec<_> = (0..6)
+                .map(|_| {
+                    let addr = handle.addr();
+                    let questions = questions.clone();
+                    std::thread::spawn(move || {
+                        let mut s = TcpStream::connect(addr).unwrap();
+                        questions
+                            .iter()
+                            .map(|q| ok_value(&client::round_trip(&mut s, q).unwrap()).to_bits())
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            for w in workers {
+                let got = w.join().unwrap();
+                assert_eq!(got, expect, "shards={shards} threads={threads}");
+            }
+            handle.join().unwrap();
+        }
+    }
+}
+
+#[test]
+fn coalesced_same_row_queries_do_one_u_fetch_per_shard() {
+    const K: usize = 5;
+    let dir = TestDir::new("ats-serve");
+    let x = phone(120, 24, 7);
+    let store = saved_store(&dir, &x, 3);
+    // A huge window with batch_max = K: the batcher must wait for all K
+    // cells and fire exactly once — deterministically, not racily.
+    let handle = start(
+        &store,
+        1,
+        ServeConfig {
+            window: Duration::from_secs(30),
+            batch_max: K,
+            ..ServeConfig::default()
+        },
+    );
+
+    // The store was never queried, so every I/O counter starts at 0.
+    for snap in store.shard_io_snapshots() {
+        assert_eq!(snap.logical_reads, 0);
+    }
+
+    // K clients ask for K different columns of the SAME row (row 50 →
+    // shard 1 of rows 0..40 | 40..80 | 80..120).
+    let row = 50usize;
+    let workers: Vec<_> = (0..K)
+        .map(|col| {
+            let addr = handle.addr();
+            std::thread::spawn(move || {
+                let mut s = TcpStream::connect(addr).unwrap();
+                ok_value(&client::round_trip(&mut s, &format!("cell {row} {col}")).unwrap())
+            })
+        })
+        .collect();
+    let answers: Vec<f64> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+
+    // The acceptance bound: K concurrent clients on one row = one batch,
+    // one U-row fetch, in exactly the owning shard.
+    let m = handle.metrics();
+    assert_eq!(m.batches, 1, "{m:?}");
+    assert_eq!(m.coalesced_cells, K as u64, "{m:?}");
+    let per_shard: Vec<u64> = store
+        .shard_io_snapshots()
+        .iter()
+        .map(|s| s.logical_reads)
+        .collect();
+    assert_eq!(per_shard, vec![0, 1, 0]);
+
+    // And each client's answer equals the serial loop bit for bit.
+    let engine = baseline(&store);
+    for (col, got) in answers.into_iter().enumerate() {
+        assert_eq!(got.to_bits(), engine.cell(row, col).unwrap().to_bits());
+    }
+    handle.join().unwrap();
+}
+
+#[test]
+fn killed_client_mid_conversation_leaves_server_healthy() {
+    let dir = TestDir::new("ats-serve");
+    let x = phone(40, 16, 3);
+    let store = saved_store(&dir, &x, 2);
+    let handle = start(&store, 1, ServeConfig::default());
+
+    // Client A sends a request and vanishes without reading the answer;
+    // client B abandons a half-written frame (header only) mid-stream.
+    {
+        let mut a = connect(&handle);
+        client::send(&mut a, "cell 1 1").unwrap();
+        drop(a);
+        let mut b = connect(&handle);
+        use std::io::Write as _;
+        b.write_all(&[0, 0]).unwrap();
+        drop(b);
+    }
+
+    // The server must still answer new clients correctly.
+    let engine = baseline(&store);
+    let mut c = connect(&handle);
+    let got = ok_value(&client::round_trip(&mut c, "cell 7 3").unwrap());
+    assert_eq!(got.to_bits(), engine.cell(7, 3).unwrap().to_bits());
+    let pong = client::round_trip(&mut c, "PING").unwrap();
+    assert_eq!(pong, "OK pong");
+    drop(c);
+    handle.join().unwrap();
+}
+
+#[test]
+fn stats_verb_reports_server_connection_and_io_counters() {
+    let dir = TestDir::new("ats-serve");
+    let x = phone(40, 16, 13);
+    let store = saved_store(&dir, &x, 2);
+    let handle = start(&store, 1, ServeConfig::default());
+
+    let mut s = connect(&handle);
+    client::round_trip(&mut s, "cell 3 2").unwrap();
+    client::round_trip(&mut s, "sum rows all cols all").unwrap();
+    let err = client::round_trip(&mut s, "cell 99 0").unwrap();
+    assert!(err.starts_with("ERR "), "{err}");
+    let resp = client::round_trip(&mut s, "STATS").unwrap();
+    let stats = resp.strip_prefix("OK ").unwrap();
+    assert!(stats.starts_with("stats\n"), "{stats}");
+    assert!(stats.contains("server connections=1"), "{stats}");
+    assert!(stats.contains("cells=1 aggregates=1 errors=1"), "{stats}");
+    assert!(stats.contains("conn queries=2 errors=1"), "{stats}");
+    // The IoStats hook is wired: per-shard lines plus the merged total.
+    assert!(stats.contains("io shard=0 "), "{stats}");
+    assert!(stats.contains("io shard=1 "), "{stats}");
+    assert!(stats.contains("io total "), "{stats}");
+    drop(s);
+    handle.join().unwrap();
+}
+
+#[test]
+fn shutdown_verb_acknowledges_then_drains() {
+    let dir = TestDir::new("ats-serve");
+    let x = phone(40, 16, 23);
+    let store = saved_store(&dir, &x, 1);
+    let handle = start(&store, 1, ServeConfig::default());
+
+    let mut s = connect(&handle);
+    let engine = baseline(&store);
+    let got = ok_value(&client::round_trip(&mut s, "cell 5 5").unwrap());
+    assert_eq!(got.to_bits(), engine.cell(5, 5).unwrap().to_bits());
+    let ack = client::round_trip(&mut s, "SHUTDOWN").unwrap();
+    assert_eq!(ack, "OK shutting down");
+    drop(s);
+    let m = handle.join().unwrap();
+    assert_eq!(m.queries, 1);
+}

@@ -116,6 +116,7 @@ const BENCH_REQUIRED_FIELDS: &[&str] = &[
     "\"kernels\"",
     "\"ladder_build\"",
     "\"peak_rss_bytes\"",
+    "\"serve_throughput\"",
     "\"notes\"",
 ];
 
@@ -138,7 +139,7 @@ fn run_bench_report(flags: &[String]) -> ExitCode {
                 root.join(p)
             }
         })
-        .unwrap_or_else(|| root.join("BENCH_006.json"));
+        .unwrap_or_else(|| root.join("BENCH_007.json"));
 
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
     let mut cmd = std::process::Command::new(cargo);

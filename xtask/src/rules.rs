@@ -18,7 +18,8 @@ use std::collections::BTreeMap;
 pub const RULES: &[(&str, &str)] = &[
     (
         "no-panic",
-        "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in library code",
+        "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in library code; \
+         on untrusted surfaces assert!/assert_eq!/assert_ne! count too",
     ),
     (
         "lossy-cast",
@@ -83,6 +84,8 @@ pub const UNTRUSTED_SURFACES: &[&str] = &[
     "crates/core/src/shard.rs",
     "crates/linalg/src/kernels.rs",
     "crates/query/src/parse.rs",
+    "crates/query/src/metrics.rs",
+    "crates/query/src/serve.rs",
     "crates/data/src/csv.rs",
     "src/bin/ats.rs",
 ];
@@ -98,6 +101,15 @@ const INT_TYPES: &[&str] = &[
 
 const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Asserts abort just like `panic!`, but they encode an invariant, so
+/// they are tolerated in trusted library code where the invariant is
+/// the library's own. On untrusted surfaces the "invariant" is someone
+/// else's input — `error_report`'s old `assert_eq!(dims)` turned two
+/// mismatched *files* into a process abort — so there they are flagged
+/// like any other panic. `debug_assert*` are distinct names and stay
+/// legal everywhere.
+const ASSERT_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne"];
 
 /// Keywords that may directly precede `[` without it being an index
 /// expression (slice patterns, array types in odd spots).
@@ -190,7 +202,7 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
 
     let mut raw: Vec<Finding> = Vec::new();
     if no_panic {
-        rule_no_panic(file, &toks, &mut raw);
+        rule_no_panic(file, &toks, untrusted, &mut raw);
     }
     if untrusted {
         rule_lossy_cast(file, &toks, &mut raw);
@@ -240,7 +252,7 @@ fn punct(t: &Token, c: char) -> bool {
     t.tok == Tok::Punct(c)
 }
 
-fn rule_no_panic(file: &str, toks: &[Token], out: &mut Vec<Finding>) {
+fn rule_no_panic(file: &str, toks: &[Token], untrusted: bool, out: &mut Vec<Finding>) {
     for i in 0..toks.len() {
         let Some(word) = ident(&toks[i]) else {
             continue;
@@ -267,6 +279,21 @@ fn rule_no_panic(file: &str, toks: &[Token], out: &mut Vec<Finding>) {
                 rule: "no-panic",
                 message: format!(
                     "`{word}!` aborts the serving path; return Result<_, AtsError> instead \
+                     (or annotate: `// ats-lint: allow(no-panic) — <reason>`)"
+                ),
+            });
+        }
+        if untrusted
+            && ASSERT_MACROS.contains(&word)
+            && toks.get(i + 1).is_some_and(|t| punct(t, '!'))
+        {
+            out.push(Finding {
+                file: file.to_string(),
+                line: toks[i].line,
+                rule: "no-panic",
+                message: format!(
+                    "`{word}!` on an untrusted surface aborts on bad input; validate and \
+                     return Result<_, AtsError> instead \
                      (or annotate: `// ats-lint: allow(no-panic) — <reason>`)"
                 ),
             });
@@ -603,6 +630,29 @@ mod tests {
             assert_eq!(findings.len(), 1, "{mac}: {findings:?}");
             assert_eq!(findings[0].rule, "no-panic");
         }
+    }
+
+    #[test]
+    fn asserts_flagged_only_on_untrusted_surfaces() {
+        // The metrics.rs bug class: an assert on externally supplied
+        // dimensions aborts the process instead of returning AtsError.
+        for mac in ["assert!(a == b)", "assert_eq!(a, b)", "assert_ne!(a, b)"] {
+            let src = format!("pub fn f(a: usize, b: usize) {{ {mac}; }}");
+            let untrusted = lint_source("crates/query/src/metrics.rs", &src);
+            assert_eq!(untrusted.len(), 1, "{mac}: {untrusted:?}");
+            assert_eq!(untrusted[0].rule, "no-panic");
+            assert!(untrusted[0].message.contains("untrusted"), "{untrusted:?}");
+            // Trusted library code may assert its own invariants.
+            let trusted = lint_source("crates/linalg/src/matrix.rs", &src);
+            assert!(trusted.is_empty(), "{mac}: {trusted:?}");
+        }
+    }
+
+    #[test]
+    fn debug_asserts_and_test_asserts_are_fine_everywhere() {
+        let src = "pub fn f(a: usize) { debug_assert!(a > 0); debug_assert_eq!(a, a); }\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert_eq!(1, 1); }\n}\n";
+        assert!(lint_source("crates/query/src/serve.rs", src).is_empty());
     }
 
     #[test]

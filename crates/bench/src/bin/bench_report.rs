@@ -16,7 +16,7 @@
 //!    observed coalescing factor.
 //!
 //! `--quick` shrinks every size (CI smoke); `--out PATH` overrides the
-//! default `BENCH_007.json` in the workspace root. Timing is hand-rolled
+//! default `BENCH_008.json` in the workspace root. Timing is hand-rolled
 //! (`Instant` + best-of-R) because Criterion is a dev-dependency only.
 
 use ats_compress::{SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions};
@@ -30,7 +30,7 @@ use std::time::Instant;
 /// Report schema identifier; bump when fields change shape.
 const SCHEMA: &str = "ats-bench-report/v1";
 /// The PR issue this trajectory file belongs to.
-const ISSUE: u32 = 7;
+const ISSUE: u32 = 8;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -319,7 +319,7 @@ fn serve_throughput(engine: QueryEngine<'static>, n: usize, quick: bool) -> Stri
     )
 }
 
-/// Workspace-root default output path: `BENCH_007.json`.
+/// Workspace-root default output path: `BENCH_008.json`.
 fn default_out_path() -> String {
     let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     p.pop();

@@ -219,7 +219,7 @@ pub fn project_frozen<S: RowSource + ?Sized>(
         reconstruct_row(u.row(i), lambda, v, &mut recon);
         for (&x, &r) in row.iter().zip(&recon) {
             let e = x - r;
-            sse += e * e;
+            sse = vecops::fmadd(e, e, sse);
         }
         Ok(())
     })?;

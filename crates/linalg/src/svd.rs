@@ -12,6 +12,7 @@
 
 use crate::eigen::sym_eigen;
 use crate::matrix::Matrix;
+use crate::vecops;
 use ats_common::{AtsError, Result};
 
 /// Options controlling [`Svd::compute`].
@@ -120,7 +121,7 @@ impl Svd {
             for j in 0..r {
                 let mut acc = 0.0;
                 for l in 0..m {
-                    acc += xi[l] * v[(l, j)];
+                    acc = vecops::fmadd(xi[l], v[(l, j)], acc);
                 }
                 ui[j] = acc / sigma_all[j];
             }
@@ -181,8 +182,7 @@ impl Svd {
         ui.iter()
             .zip(vj)
             .zip(&self.sigma)
-            .map(|((&u, &v), &s)| s * u * v)
-            .sum()
+            .fold(0.0, |acc, ((&u, &v), &s)| vecops::fmadd(s * u, v, acc))
     }
 
     /// Reconstruct row `i` into `out` (length `M`).
@@ -198,7 +198,7 @@ impl Svd {
         for (j, o) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
             for ((&s, &uim), &vjm) in self.sigma.iter().zip(ui).zip(self.v.row(j)) {
-                acc += s * uim * vjm;
+                acc = vecops::fmadd(s * uim, vjm, acc);
             }
             *o = acc;
         }

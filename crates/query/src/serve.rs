@@ -64,6 +64,11 @@ pub struct ServeConfig {
     /// Largest accepted request payload in bytes; longer frames earn an
     /// `ERR` response (the payload is drained so the connection survives).
     pub max_frame: usize,
+    /// Most cell queries one connection may have waiting in the batcher
+    /// at once. A client pipelining faster than the admission window
+    /// drains gets `ERR busy` replies beyond this depth instead of
+    /// growing the batcher's queue without bound.
+    pub pending_max: usize,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +79,7 @@ impl Default for ServeConfig {
             window: Duration::from_millis(2),
             batch_max: 64,
             max_frame: 1 << 20,
+            pending_max: 64,
         }
     }
 }
@@ -91,6 +97,9 @@ pub struct MetricsSnapshot {
     pub aggregates: u64,
     /// `ERR` responses written (parse errors, bad frames, out-of-range).
     pub errors: u64,
+    /// `ERR busy` responses: cells refused because the connection already
+    /// had `pending_max` cells waiting in the batcher.
+    pub busy: u64,
     /// `batch_cells` executions — the number of admission windows fired.
     pub batches: u64,
     /// Cells answered across all batches (`cells / batches` is the
@@ -108,6 +117,7 @@ struct ServerMetrics {
     cells: AtomicU64,
     aggregates: AtomicU64,
     errors: AtomicU64,
+    busy: AtomicU64,
     batches: AtomicU64,
     coalesced_cells: AtomicU64,
     latency_usec: AtomicU64,
@@ -121,6 +131,7 @@ impl ServerMetrics {
             cells: self.cells.load(Ordering::Relaxed),
             aggregates: self.aggregates.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             coalesced_cells: self.coalesced_cells.load(Ordering::Relaxed),
             latency_usec: self.latency_usec.load(Ordering::Relaxed),
@@ -152,6 +163,7 @@ struct Shared {
     window: Duration,
     batch_max: usize,
     max_frame: usize,
+    pending_max: usize,
     shutdown: AtomicBool,
     queue: Mutex<BatchQueue>,
     queue_cv: Condvar,
@@ -222,7 +234,12 @@ impl ServerHandle {
             h.join()
                 .map_err(|_| AtsError::internal("server thread panicked"))?;
         }
-        let conns = std::mem::take(&mut *lock(&self.shared.conns));
+        // Take the handles inside a scoped block so the conns guard is
+        // dropped before the (blocking) joins below.
+        let conns = {
+            let mut held = lock(&self.shared.conns);
+            std::mem::take(&mut *held)
+        };
         for h in conns {
             h.join()
                 .map_err(|_| AtsError::internal("connection thread panicked"))?;
@@ -274,6 +291,7 @@ pub fn serve(
         window: cfg.window,
         batch_max: cfg.batch_max.max(1),
         max_frame: cfg.max_frame.max(16),
+        pending_max: cfg.pending_max.max(1),
         shutdown: AtomicBool::new(false),
         queue: Mutex::new(BatchQueue::default()),
         queue_cv: Condvar::new(),
@@ -495,142 +513,287 @@ fn write_frame(stream: &mut TcpStream, payload: &str) -> std::io::Result<()> {
 }
 
 /// Per-connection counters, reported by this connection's `STATS`.
+/// Atomics: the reader thread counts verbs/aggregates/errors, the writer
+/// thread counts cell replies as it resolves them.
 #[derive(Default)]
 struct ConnMetrics {
-    queries: u64,
-    errors: u64,
-    latency_usec: u64,
+    queries: AtomicU64,
+    errors: AtomicU64,
+    latency_usec: AtomicU64,
 }
 
-/// Serve one connection: read frames, dispatch, respond, until the peer
-/// hangs up or shutdown is requested between frames.
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+/// One entry in a connection's in-order reply queue. The reader pushes
+/// one item per request frame; the writer resolves and writes them in
+/// FIFO order, so pipelined replies are never reordered.
+enum WriterItem {
+    /// A pre-rendered reply line (verbs, aggregates, errors) — already
+    /// counted by the reader.
+    Line(String),
+    /// A cell admitted to the batcher: wait for its result, count it,
+    /// then write.
+    Cell {
+        rx: mpsc::Receiver<std::result::Result<f64, String>>,
+        started: Instant,
+    },
+    /// The `SHUTDOWN` ack: write it, then raise the flag — the requester
+    /// always hears the acknowledgment before the drain begins.
+    Shutdown(String),
+}
+
+/// Serve one connection. Requests pipeline: a dedicated writer thread
+/// owns the response side of the socket and resolves replies in FIFO
+/// order, so a client may have up to `pending_max` cell queries in the
+/// batcher at once — beyond that depth new cells earn `ERR busy` instead
+/// of growing the batcher's queue. If the peer also stops *reading*
+/// (so even `ERR busy` lines would pile up), the reader stops pulling
+/// frames once the reply queue is twice `pending_max` deep and lets TCP
+/// backpressure stall the flood.
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     // Short read timeouts make the loop poll the shutdown flag; they are
     // retried inside `read_full`, invisible to the protocol.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let _ = stream.set_nodelay(true);
-    let mut conn = ConnMetrics::default();
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let conn = Arc::new(ConnMetrics::default());
+    // Unresolved cells this connection has in the batcher (ERR-busy cap).
+    let cells_in_flight = Arc::new(AtomicU64::new(0));
+    // Reply-queue depth (hard backpressure cap).
+    let queued = Arc::new(AtomicU64::new(0));
+    let (wtx, wrx) = mpsc::channel::<WriterItem>();
+    let writer = {
+        let shared = Arc::clone(shared);
+        let conn = Arc::clone(&conn);
+        let cells_in_flight = Arc::clone(&cells_in_flight);
+        let queued = Arc::clone(&queued);
+        std::thread::spawn(move || {
+            run_writer(&shared, &conn, write_half, &wrx, &cells_in_flight, &queued)
+        })
+    };
+    let backpressure = u64::try_from(shared.pending_max.saturating_mul(2)).unwrap_or(u64::MAX);
     loop {
+        // Hard backpressure: a peer that writes but never reads fills the
+        // reply queue; stop reading frames and let the kernel's TCP
+        // window push back instead of buffering `ERR busy` lines forever.
+        while queued.load(Ordering::Acquire) >= backpressure && !shared.is_shutdown() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
         let payload = match read_frame(&mut stream, shared) {
             FrameRead::Payload(p) => p,
             FrameRead::Oversized(len) => {
-                conn.errors = conn.errors.saturating_add(1);
+                conn.errors.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
                 let msg = format!(
                     "ERR frame of {len} bytes exceeds the {} byte limit",
                     shared.max_frame
                 );
-                if write_frame(&mut stream, &msg).is_err() {
-                    return;
+                queued.fetch_add(1, Ordering::Release);
+                if wtx.send(WriterItem::Line(msg)).is_err() {
+                    break;
                 }
                 continue;
             }
-            FrameRead::Closed | FrameRead::ShuttingDown => return,
+            FrameRead::Closed | FrameRead::ShuttingDown => break,
         };
         let started = Instant::now();
-        let reply = match std::str::from_utf8(&payload) {
-            Ok(text) => dispatch(shared, &mut conn, text),
-            Err(_) => Reply::Err("request payload is not valid UTF-8".to_string()),
+        let item = match std::str::from_utf8(&payload) {
+            Ok(text) => dispatch(shared, &conn, &cells_in_flight, text, started),
+            Err(_) => immediate_err(
+                shared,
+                &conn,
+                "request payload is not valid UTF-8".to_string(),
+                started,
+            ),
         };
-        let elapsed = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-        conn.latency_usec = conn.latency_usec.saturating_add(elapsed);
-        shared
-            .metrics
-            .latency_usec
-            .fetch_add(elapsed, Ordering::Relaxed);
-        let (line, done) = match reply {
-            Reply::Ok(s) => {
-                conn.queries = conn.queries.saturating_add(1);
-                shared.metrics.queries.fetch_add(1, Ordering::Relaxed);
-                (format!("OK {s}"), false)
+        let done = matches!(item, WriterItem::Shutdown(_));
+        queued.fetch_add(1, Ordering::Release);
+        if wtx.send(item).is_err() || done {
+            break;
+        }
+    }
+    // Close the reply queue and let the writer drain it: replies for
+    // cells still in the batcher are written before the thread exits.
+    drop(wtx);
+    let _ = writer.join();
+}
+
+/// The writer half of one connection: resolve queued replies in FIFO
+/// order and write each as one frame. Keeps draining (without writing)
+/// after a socket error so in-flight cell receivers still resolve.
+fn run_writer(
+    shared: &Shared,
+    conn: &ConnMetrics,
+    mut stream: TcpStream,
+    wrx: &mpsc::Receiver<WriterItem>,
+    cells_in_flight: &AtomicU64,
+    queued: &AtomicU64,
+) {
+    let mut broken = false;
+    while let Ok(item) = wrx.recv() {
+        let (line, done) = match item {
+            WriterItem::Line(s) => (s, false),
+            WriterItem::Cell { rx, started } => {
+                let line = match rx.recv() {
+                    Ok(Ok(v)) => {
+                        conn.queries.fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.queries.fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.cells.fetch_add(1, Ordering::Relaxed);
+                        format!("OK {v}")
+                    }
+                    Ok(Err(msg)) => {
+                        conn.errors.fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                        format!("ERR {msg}")
+                    }
+                    Err(_) => {
+                        conn.errors.fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                        "ERR batch executor dropped the request".to_string()
+                    }
+                };
+                cells_in_flight.fetch_sub(1, Ordering::Release);
+                let elapsed = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                conn.latency_usec.fetch_add(elapsed, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .latency_usec
+                    .fetch_add(elapsed, Ordering::Relaxed);
+                (line, false)
             }
-            Reply::Info(s) => (format!("OK {s}"), false),
-            Reply::Err(s) => {
-                conn.errors = conn.errors.saturating_add(1);
-                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                (format!("ERR {s}"), false)
-            }
-            Reply::Shutdown => ("OK shutting down".to_string(), true),
+            WriterItem::Shutdown(s) => (s, true),
         };
-        if write_frame(&mut stream, &line).is_err() {
-            return;
+        queued.fetch_sub(1, Ordering::Release);
+        if !broken && write_frame(&mut stream, &line).is_err() {
+            broken = true;
         }
         if done {
-            // Respond first, then raise the flag: the requester always
-            // hears the acknowledgment before the drain begins.
             shared.begin_shutdown();
             return;
         }
     }
 }
 
-/// What a dispatched request produced.
-enum Reply {
-    /// A successful query — counts toward the `queries` metrics.
-    Ok(String),
-    /// A successful protocol verb (`PING`, `STATS`) — not a query.
-    Info(String),
-    /// Any failure, rendered; the connection stays open.
-    Err(String),
-    /// The `SHUTDOWN` verb: acknowledge, then begin the drain.
-    Shutdown,
+/// Record an immediately-known `ERR` reply (reader side).
+fn immediate_err(shared: &Shared, conn: &ConnMetrics, msg: String, started: Instant) -> WriterItem {
+    conn.errors.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+    count_latency(shared, conn, started);
+    WriterItem::Line(format!("ERR {msg}"))
 }
 
-/// Execute one request line: a protocol verb or a query.
-fn dispatch(shared: &Shared, conn: &mut ConnMetrics, text: &str) -> Reply {
+/// Record an immediately-known `OK` reply that counts as a query.
+fn immediate_ok(shared: &Shared, conn: &ConnMetrics, msg: String, started: Instant) -> WriterItem {
+    conn.queries.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.queries.fetch_add(1, Ordering::Relaxed);
+    count_latency(shared, conn, started);
+    WriterItem::Line(format!("OK {msg}"))
+}
+
+fn count_latency(shared: &Shared, conn: &ConnMetrics, started: Instant) {
+    let elapsed = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    conn.latency_usec.fetch_add(elapsed, Ordering::Relaxed);
+    shared
+        .metrics
+        .latency_usec
+        .fetch_add(elapsed, Ordering::Relaxed);
+}
+
+/// Execute one request line (reader side): a protocol verb, an aggregate
+/// (answered synchronously), or a cell (admitted to the batcher, reply
+/// resolved later by the writer).
+fn dispatch(
+    shared: &Shared,
+    conn: &ConnMetrics,
+    cells_in_flight: &AtomicU64,
+    text: &str,
+    started: Instant,
+) -> WriterItem {
     let line = text.trim();
     if line.eq_ignore_ascii_case("ping") {
-        return Reply::Info("pong".to_string());
+        count_latency(shared, conn, started);
+        return WriterItem::Line("OK pong".to_string());
     }
     if line.eq_ignore_ascii_case("shutdown") {
-        return Reply::Shutdown;
+        count_latency(shared, conn, started);
+        return WriterItem::Shutdown("OK shutting down".to_string());
     }
     if line.eq_ignore_ascii_case("stats") {
-        return Reply::Info(render_stats(shared, conn));
+        count_latency(shared, conn, started);
+        return WriterItem::Line(format!("OK {}", render_stats(shared, conn)));
     }
     match parse_query(line) {
-        Ok(Query::Cell(i, j)) => cell_via_batcher(shared, i, j),
+        Ok(Query::Cell(i, j)) => cell_via_batcher(shared, conn, cells_in_flight, i, j, started),
         Ok(Query::Aggregate(f, sel)) => match shared.engine.aggregate(&sel, f) {
             Ok(v) => {
                 shared.metrics.aggregates.fetch_add(1, Ordering::Relaxed);
-                Reply::Ok(format!("{v}"))
+                immediate_ok(shared, conn, format!("{v}"), started)
             }
-            Err(e) => Reply::Err(e.to_string()),
+            Err(e) => immediate_err(shared, conn, e.to_string(), started),
         },
-        Err(e) => Reply::Err(e.to_string()),
+        Err(e) => immediate_err(shared, conn, e.to_string(), started),
     }
 }
 
-/// Admit one cell query into the coalescing window and wait for the
-/// batch that answers it. Bounds are checked *here*, per request —
-/// a bad cell earns its own `ERR` without poisoning the batch the other
-/// clients' queries land in ([`QueryEngine::batch_cells`] fails whole
-/// batches on any invalid cell, so invalid cells must never be enqueued).
-fn cell_via_batcher(shared: &Shared, row: usize, col: usize) -> Reply {
+/// Admit one cell query into the coalescing window; the writer thread
+/// waits for the batch that answers it. Bounds are checked *here*, per
+/// request — a bad cell earns its own `ERR` without poisoning the batch
+/// the other clients' queries land in ([`QueryEngine::batch_cells`]
+/// fails whole batches on any invalid cell, so invalid cells must never
+/// be enqueued). A connection already at `pending_max` unresolved cells
+/// is refused with `ERR busy` — the batcher's queue cannot be grown
+/// without bound by one flooding peer.
+fn cell_via_batcher(
+    shared: &Shared,
+    conn: &ConnMetrics,
+    cells_in_flight: &AtomicU64,
+    row: usize,
+    col: usize,
+    started: Instant,
+) -> WriterItem {
     let (n, m) = (shared.engine.rows(), shared.engine.cols());
     if row >= n {
-        return Reply::Err(AtsError::oob("row", row, n).to_string());
+        return immediate_err(
+            shared,
+            conn,
+            AtsError::oob("row", row, n).to_string(),
+            started,
+        );
     }
     if col >= m {
-        return Reply::Err(AtsError::oob("column", col, m).to_string());
+        return immediate_err(
+            shared,
+            conn,
+            AtsError::oob("column", col, m).to_string(),
+            started,
+        );
+    }
+    let pending_max = u64::try_from(shared.pending_max).unwrap_or(u64::MAX);
+    if cells_in_flight.load(Ordering::Acquire) >= pending_max {
+        shared.metrics.busy.fetch_add(1, Ordering::Relaxed);
+        return immediate_err(
+            shared,
+            conn,
+            format!("busy: {pending_max} cell queries already in flight on this connection"),
+            started,
+        );
     }
     let (tx, rx) = mpsc::channel();
-    {
+    let admitted = {
         let mut q = lock(&shared.queue);
         if q.closed {
-            return Reply::Err("server is shutting down".to_string());
+            false
+        } else {
+            q.items.push(Pending { row, col, tx });
+            true
         }
-        q.items.push(Pending { row, col, tx });
+    };
+    if !admitted {
+        return immediate_err(shared, conn, "server is shutting down".to_string(), started);
     }
+    cells_in_flight.fetch_add(1, Ordering::Release);
     shared.queue_cv.notify_all();
-    match rx.recv() {
-        Ok(Ok(v)) => {
-            shared.metrics.cells.fetch_add(1, Ordering::Relaxed);
-            Reply::Ok(format!("{v}"))
-        }
-        Ok(Err(msg)) => Reply::Err(msg),
-        Err(_) => Reply::Err("batch executor dropped the request".to_string()),
-    }
+    WriterItem::Cell { rx, started }
 }
 
 /// Render the `STATS` response: one `stats` marker line, then
@@ -640,20 +803,23 @@ fn render_stats(shared: &Shared, conn: &ConnMetrics) -> String {
     let m = shared.metrics.snapshot();
     let mut out = String::from("stats\n");
     out.push_str(&format!(
-        "server connections={} queries={} cells={} aggregates={} errors={} \
+        "server connections={} queries={} cells={} aggregates={} errors={} busy={} \
          batches={} coalesced_cells={} latency_usec={}\n",
         m.connections,
         m.queries,
         m.cells,
         m.aggregates,
         m.errors,
+        m.busy,
         m.batches,
         m.coalesced_cells,
         m.latency_usec
     ));
     out.push_str(&format!(
         "conn queries={} errors={} latency_usec={}\n",
-        conn.queries, conn.errors, conn.latency_usec
+        conn.queries.load(Ordering::Relaxed),
+        conn.errors.load(Ordering::Relaxed),
+        conn.latency_usec.load(Ordering::Relaxed)
     ));
     if let Some(io) = &shared.io_snapshots {
         let mut total = IoSnapshot::default();
@@ -677,6 +843,12 @@ fn render_stats(shared: &Shared, conn: &ConnMetrics) -> String {
 pub mod client {
     use super::*;
 
+    /// Hard cap on a response frame the client will buffer. The server
+    /// never legitimately sends more (large query results stream as
+    /// multiple frames); a corrupt or hostile peer declaring a huge
+    /// length must not drive an allocation on the client.
+    pub const MAX_RESPONSE_LEN: usize = 64 << 20;
+
     /// Send one request payload as a length-prefixed frame.
     pub fn send(stream: &mut TcpStream, payload: &str) -> Result<()> {
         write_frame(stream, payload).map_err(AtsError::Io)
@@ -688,6 +860,11 @@ pub mod client {
         stream.read_exact(&mut header).map_err(AtsError::Io)?;
         let len = usize::try_from(u32::from_be_bytes(header))
             .map_err(|_| AtsError::internal("response length does not fit in usize"))?;
+        if len > MAX_RESPONSE_LEN {
+            return Err(AtsError::Corrupt(format!(
+                "response frame declares {len} bytes (cap {MAX_RESPONSE_LEN})"
+            )));
+        }
         let mut payload = vec![0u8; len];
         stream.read_exact(&mut payload).map_err(AtsError::Io)?;
         String::from_utf8(payload)

@@ -86,14 +86,17 @@ USAGE:
                                  line in input order; each distinct row's
                                  U vector is fetched exactly once per shard
   ats serve DIR [--addr A] [--threads T] [--window-ms W] [--batch-max B]
-                [--pool-pages N] [--max-frame F]
+                [--pool-pages N] [--max-frame F] [--pending-max P]
                                  long-lived TCP query daemon over one
                                  shared store/page pool: length-prefixed
                                  frames carrying query lines (plus PING,
                                  STATS, SHUTDOWN verbs); concurrently
                                  arriving cell queries coalesce into one
                                  batched run per admission window (W ms
-                                 or B cells). --addr defaults to
+                                 or B cells). Each connection may keep P
+                                 cell queries waiting in the batcher
+                                 (default 64); past that depth it gets
+                                 `ERR busy` replies. --addr defaults to
                                  127.0.0.1:7878 (port 0 picks a free
                                  port). Shuts down on the SHUTDOWN verb
                                  or stdin EOF / a `quit` line, draining
@@ -515,6 +518,7 @@ fn run() -> Result<(), CliError> {
                     "batch-max",
                     "pool-pages",
                     "max-frame",
+                    "pending-max",
                 ],
             )?;
             let dir = pos.get(1).ok_or_else(|| usage("serve needs DIR"))?;
@@ -528,6 +532,7 @@ fn run() -> Result<(), CliError> {
                 window: Duration::from_millis(flag_u64(&flags, "window-ms", 2)?),
                 batch_max: flag_usize(&flags, "batch-max", 64)?,
                 max_frame: flag_usize(&flags, "max-frame", 1 << 20)?,
+                pending_max: flag_usize(&flags, "pending-max", 64)?,
             };
             // One store, one page pool: every connection and every batch
             // shares the same Arc'd ShardedStore through a 'static engine.

@@ -238,6 +238,108 @@ fn stats_verb_reports_server_connection_and_io_counters() {
     handle.join().unwrap();
 }
 
+/// Process peak RSS in bytes (`VmHWM`); the daemon runs in-process, so
+/// this high-water mark covers the server's buffers too.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+#[test]
+fn flooding_client_gets_err_busy_and_cannot_grow_server_rss() {
+    const FLOOD: usize = 3_000;
+    const PENDING_MAX: usize = 8;
+    let dir = TestDir::new("ats-serve");
+    let x = phone(120, 24, 41);
+    let store = saved_store(&dir, &x, 2);
+    // A deliberately slow drain — admitted cells sit in the batcher for
+    // the full 10 ms window — so a flooder saturates its `pending_max`
+    // in-flight slots almost immediately and cells past them come back
+    // `ERR busy` instead of queueing. (Past 2×`pending_max` queued
+    // replies the server stops reading the flooder's frames entirely, so
+    // the steady state is ~half admitted, ~half bounced per window.)
+    let handle = start(
+        &store,
+        1,
+        ServeConfig {
+            window: Duration::from_millis(10),
+            batch_max: 1 << 20,
+            pending_max: PENDING_MAX,
+            ..ServeConfig::default()
+        },
+    );
+
+    let hwm_before = peak_rss_bytes();
+
+    // The flooder pipelines FLOOD cell frames from one thread while a
+    // second thread drains the replies (so TCP backpressure never stalls
+    // the writes), tallying OK vs busy.
+    let flood_addr = handle.addr();
+    let flooder = std::thread::spawn(move || {
+        let mut wr = TcpStream::connect(flood_addr).unwrap();
+        let mut rd = wr.try_clone().unwrap();
+        let reader = std::thread::spawn(move || {
+            let (mut ok, mut busy) = (0usize, 0usize);
+            for _ in 0..FLOOD {
+                let resp = client::recv(&mut rd).unwrap();
+                if resp.starts_with("OK ") {
+                    ok += 1;
+                } else {
+                    assert!(resp.starts_with("ERR busy"), "{resp}");
+                    busy += 1;
+                }
+            }
+            (ok, busy)
+        });
+        for _ in 0..FLOOD {
+            client::send(&mut wr, "cell 1 1").unwrap();
+        }
+        reader.join().unwrap()
+    });
+
+    // While the flood runs, a well-behaved connection keeps getting
+    // correct answers: verbs, aggregates, and batched cells alike.
+    let engine = baseline(&store);
+    let mut healthy = connect(&handle);
+    for _ in 0..10 {
+        assert_eq!(client::round_trip(&mut healthy, "PING").unwrap(), "OK pong");
+        let agg = ok_value(&client::round_trip(&mut healthy, "sum rows 0..20 cols all").unwrap());
+        assert_eq!(
+            agg.to_bits(),
+            run_query(&engine, "sum rows 0..20 cols all")
+                .unwrap()
+                .to_bits()
+        );
+        let got = ok_value(&client::round_trip(&mut healthy, "cell 7 3").unwrap());
+        assert_eq!(got.to_bits(), engine.cell(7, 3).unwrap().to_bits());
+    }
+
+    let (ok, busy) = flooder.join().unwrap();
+    assert_eq!(ok + busy, FLOOD);
+    assert!(ok > 0, "some flooded cells must still be answered");
+    assert!(
+        busy > FLOOD / 4,
+        "a flood outpacing the window must largely bounce: ok={ok} busy={busy}"
+    );
+
+    // Refusal is bounded memory: FLOOD pipelined frames moved through the
+    // server without its queues (or this process) growing materially.
+    if let (Some(before), Some(after)) = (hwm_before, peak_rss_bytes()) {
+        assert!(
+            after - before < 32 * 1024 * 1024,
+            "flood grew peak RSS by {} bytes",
+            after - before
+        );
+    }
+
+    let m = handle.metrics();
+    assert_eq!(m.busy, busy as u64, "{m:?}");
+    drop(healthy);
+    handle.join().unwrap();
+}
+
 #[test]
 fn shutdown_verb_acknowledges_then_drains() {
     let dir = TestDir::new("ats-serve");

@@ -1,0 +1,538 @@
+//! A block-scoped item model over the token stream.
+//!
+//! The flat lexer in [`crate::lexer`] is enough for pattern rules
+//! (`.unwrap(`, `as usize`), but the concurrency and allocation rules
+//! need *structure*: which function a token lives in, which block a
+//! `let` binding's scope ends at, and what each binding's initializer
+//! contains. This module recovers exactly that — and no more — from the
+//! token stream: a brace-matched block tree, `fn` items with their body
+//! blocks and leading attributes, and `let` statements with binding
+//! names and initializer token spans. It is not a Rust parser; it is a
+//! deliberately forgiving structural scan that never fails (mangled
+//! input yields a smaller, still-balanced tree — see the proptest in
+//! `xtask/tests/ast_props.rs`).
+//!
+//! Same constraints as the lexer: pure Rust, no dependencies, offline.
+
+use crate::lexer::{Tok, Token};
+
+/// Index of the virtual root block that spans the whole file.
+pub const ROOT_BLOCK: usize = 0;
+
+/// What introduced a block — decided by scanning backwards from its `{`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockKind {
+    /// The virtual whole-file block.
+    Root,
+    /// The body of a `fn`.
+    FnBody,
+    /// The body of an `impl`.
+    ImplBody,
+    /// The body of an inline `mod`.
+    ModBody,
+    /// Anything else: control flow, match arms, struct literals,
+    /// expression blocks. The tree shape is what matters, not the label.
+    Other,
+}
+
+/// One brace-matched block. `open`/`close` are token indices of the
+/// `{` / `}`; an unclosed block is closed at the end of the stream.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Token index of the opening `{` (`usize::MAX` for the root).
+    pub open: usize,
+    /// Token index one past the matching `}` (exclusive end).
+    pub close: usize,
+    /// Arena index of the parent block (the root is its own parent).
+    pub parent: usize,
+    /// What introduced the block.
+    pub kind: BlockKind,
+}
+
+/// A `fn` item: name, location, and the arena index of its body block.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name (`?` if the stream is too mangled to tell).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub fn_idx: usize,
+    /// Arena index of the body block, if the item has one (trait method
+    /// declarations do not).
+    pub body: Option<usize>,
+    /// Raw identifier text of the attributes directly above the item
+    /// (`#[inline]` contributes `inline`), for cfg-aware rules.
+    pub attrs: Vec<String>,
+}
+
+/// A `let` statement: binding names, initializer span, enclosing block.
+#[derive(Debug, Clone)]
+pub struct LetStmt {
+    /// Lower-case binding names from the pattern (`let (a, b) = …` yields
+    /// both; enum variants and types are filtered out by case).
+    pub names: Vec<String>,
+    /// 1-based line of the `let` keyword.
+    pub line: u32,
+    /// Token span `[start, end)` of the initializer expression (empty
+    /// for `let x;`).
+    pub init: (usize, usize),
+    /// Arena index of the innermost block containing the `let`.
+    pub block: usize,
+    /// Token index of the `let` keyword.
+    pub let_idx: usize,
+}
+
+/// The recovered structure of one file.
+#[derive(Debug)]
+pub struct Ast {
+    /// Block arena; `blocks[ROOT_BLOCK]` spans the whole file.
+    pub blocks: Vec<Block>,
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnItem>,
+    /// Every `let` statement, in source order.
+    pub lets: Vec<LetStmt>,
+    /// Innermost enclosing block per token index.
+    block_of: Vec<usize>,
+}
+
+fn ident(t: &Token) -> Option<&str> {
+    match &t.tok {
+        Tok::Ident(s) => Some(s.as_str()),
+        Tok::Punct(_) => None,
+    }
+}
+
+fn is_punct(t: &Token, c: char) -> bool {
+    t.tok == Tok::Punct(c)
+}
+
+impl Ast {
+    /// Build the block tree and item/let tables for a token stream.
+    /// Total: mangled input degrades the tree, never panics.
+    pub fn parse(toks: &[Token]) -> Ast {
+        let (blocks, block_of) = build_blocks(toks);
+        let mut ast = Ast {
+            blocks,
+            fns: Vec::new(),
+            lets: Vec::new(),
+            block_of,
+        };
+        ast.collect_fns(toks);
+        ast.collect_lets(toks);
+        ast
+    }
+
+    /// Innermost block containing token `i` (the root for out-of-range).
+    pub fn enclosing_block(&self, i: usize) -> usize {
+        self.block_of.get(i).copied().unwrap_or(ROOT_BLOCK)
+    }
+
+    /// The function whose body block contains token `i`, if any.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnItem> {
+        let mut b = self.enclosing_block(i);
+        loop {
+            if let Some(f) = self.fns.iter().find(|f| f.body == Some(b)) {
+                return Some(f);
+            }
+            let parent = self.blocks.get(b)?.parent;
+            if parent == b {
+                return None;
+            }
+            b = parent;
+        }
+    }
+
+    /// Whether block `inner` is `outer` or nested anywhere inside it.
+    pub fn block_within(&self, mut inner: usize, outer: usize) -> bool {
+        loop {
+            if inner == outer {
+                return true;
+            }
+            let Some(b) = self.blocks.get(inner) else {
+                return false;
+            };
+            if b.parent == inner {
+                return false;
+            }
+            inner = b.parent;
+        }
+    }
+
+    fn collect_fns(&mut self, toks: &[Token]) {
+        let mut open_to_block = vec![usize::MAX; toks.len()];
+        for (id, b) in self.blocks.iter().enumerate() {
+            if b.open < toks.len() {
+                open_to_block[b.open] = id;
+            }
+        }
+        let mut i = 0usize;
+        while i < toks.len() {
+            if ident(&toks[i]) != Some("fn") {
+                i += 1;
+                continue;
+            }
+            let name = toks.get(i + 1).and_then(ident).unwrap_or("?").to_string();
+            // Attributes directly above: walk back over `#[…]` groups.
+            let attrs = attrs_before(toks, i);
+            // The body is the first `{` after the signature at paren
+            // depth 0; a `;` first means a bodyless declaration.
+            let mut j = i + 1;
+            let mut paren = 0i64;
+            let mut body = None;
+            while j < toks.len() {
+                match &toks[j].tok {
+                    Tok::Punct('(') | Tok::Punct('[') => paren += 1,
+                    Tok::Punct(')') | Tok::Punct(']') => paren -= 1,
+                    Tok::Punct(';') if paren <= 0 => break,
+                    Tok::Punct('{') if paren <= 0 => {
+                        let id = open_to_block.get(j).copied().unwrap_or(usize::MAX);
+                        if id != usize::MAX {
+                            body = Some(id);
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            self.fns.push(FnItem {
+                name,
+                line: toks[i].line,
+                fn_idx: i,
+                body,
+                attrs,
+            });
+            i += 1;
+        }
+    }
+
+    fn collect_lets(&mut self, toks: &[Token]) {
+        let mut i = 0usize;
+        while i < toks.len() {
+            if ident(&toks[i]) != Some("let") {
+                i += 1;
+                continue;
+            }
+            let let_idx = i;
+            let line = toks[i].line;
+            // Pattern: idents up to `:` (type annotation) or `=` at
+            // nesting depth 0. Lower-case names are bindings; type and
+            // variant names start upper-case and are skipped.
+            let mut names = Vec::new();
+            let mut j = i + 1;
+            let mut depth = 0i64;
+            let mut saw_eq = false;
+            while j < toks.len() {
+                match &toks[j].tok {
+                    Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('<') => depth += 1,
+                    Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('>') => depth -= 1,
+                    Tok::Punct(':') if depth <= 0 => {
+                        // Skip the type annotation to the `=` (or the
+                        // statement end if there is no initializer).
+                        j = skip_type_to_eq(toks, j + 1);
+                        saw_eq = j < toks.len() && is_punct(&toks[j], '=');
+                        break;
+                    }
+                    Tok::Punct('=') if depth <= 0 => {
+                        saw_eq = true;
+                        break;
+                    }
+                    Tok::Punct(';') | Tok::Punct('{') if depth <= 0 => break,
+                    Tok::Ident(w) => {
+                        let keyword = matches!(w.as_str(), "mut" | "ref" | "box" | "_");
+                        let upper = w.starts_with(|c: char| c.is_ascii_uppercase());
+                        let numeric = w.starts_with(|c: char| c.is_ascii_digit());
+                        if !keyword && !upper && !numeric {
+                            names.push(w.clone());
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if !saw_eq {
+                i = j.max(i + 1);
+                continue;
+            }
+            // Initializer: from past the `=` to the `;` at depth 0
+            // (parens, brackets, and braces all nest — a struct literal
+            // or match expression stays inside the span).
+            let init_start = j + 1;
+            let mut k = init_start;
+            let mut d = 0i64;
+            while k < toks.len() {
+                match &toks[k].tok {
+                    Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => d += 1,
+                    Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                        if d == 0 {
+                            break; // unbalanced close: end the statement
+                        }
+                        d -= 1;
+                    }
+                    Tok::Punct(';') if d <= 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            self.lets.push(LetStmt {
+                names,
+                line,
+                init: (init_start, k),
+                block: self.enclosing_block(let_idx),
+                let_idx,
+            });
+            i = init_start;
+        }
+    }
+}
+
+/// Raw attribute idents from the `#[…]` groups directly above token `i`.
+fn attrs_before(toks: &[Token], i: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut end = i;
+    // Allow visibility/qualifier tokens between the attrs and `fn`.
+    while end > 0
+        && (matches!(
+            ident(&toks[end - 1]),
+            Some("pub" | "const" | "async" | "unsafe" | "extern" | "crate" | "super" | "in")
+        ) || is_punct(&toks[end - 1], ')')
+            || is_punct(&toks[end - 1], '('))
+    {
+        end -= 1;
+    }
+    while end >= 2 && is_punct(&toks[end - 1], ']') {
+        // Walk back to the matching `[`, then expect `#`.
+        let mut depth = 0i64;
+        let mut j = end - 1;
+        loop {
+            match &toks[j].tok {
+                Tok::Punct(']') => depth += 1,
+                Tok::Punct('[') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if j == 0 {
+                break;
+            }
+            j -= 1;
+        }
+        if j == 0 || !is_punct(&toks[j - 1], '#') {
+            break;
+        }
+        let text: Vec<String> = toks[j..end - 1]
+            .iter()
+            .filter_map(|t| ident(t).map(str::to_string))
+            .collect();
+        out.push(text.join(" "));
+        end = j - 1;
+    }
+    out.reverse();
+    out
+}
+
+/// After a `:` in a let pattern, skip the type to the `=` (returns its
+/// index), or to the statement end.
+fn skip_type_to_eq(toks: &[Token], mut j: usize) -> usize {
+    let mut angle = 0i64;
+    let mut paren = 0i64;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            Tok::Punct('(') | Tok::Punct('[') => paren += 1,
+            Tok::Punct(')') | Tok::Punct(']') => paren -= 1,
+            Tok::Punct('=') if angle <= 0 && paren <= 0 => {
+                // `==` would be a bug in a type position; accept `=`.
+                return j;
+            }
+            Tok::Punct(';') | Tok::Punct('{') if angle <= 0 && paren <= 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Brace-matching pass: build the block arena and the per-token
+/// innermost-block table.
+fn build_blocks(toks: &[Token]) -> (Vec<Block>, Vec<usize>) {
+    let mut blocks = vec![Block {
+        open: usize::MAX,
+        close: toks.len(),
+        parent: ROOT_BLOCK,
+        kind: BlockKind::Root,
+    }];
+    let mut block_of = vec![ROOT_BLOCK; toks.len()];
+    let mut stack = vec![ROOT_BLOCK];
+    for (i, t) in toks.iter().enumerate() {
+        let top = *stack.last().unwrap_or(&ROOT_BLOCK);
+        match &t.tok {
+            Tok::Punct('{') => {
+                // The `{` itself belongs to the parent block.
+                block_of[i] = top;
+                let kind = classify_block(toks, i);
+                blocks.push(Block {
+                    open: i,
+                    close: toks.len(),
+                    parent: top,
+                    kind,
+                });
+                stack.push(blocks.len() - 1);
+            }
+            Tok::Punct('}') => {
+                block_of[i] = top;
+                if stack.len() > 1 {
+                    if let Some(id) = stack.pop() {
+                        if let Some(b) = blocks.get_mut(id) {
+                            b.close = i + 1;
+                        }
+                    }
+                }
+                // A stray `}` at the root is ignored: still balanced.
+            }
+            _ => {
+                block_of[i] = top;
+            }
+        }
+    }
+    (blocks, block_of)
+}
+
+/// Decide what introduced the block opening at token `open` by scanning
+/// back to the previous statement boundary at the same level.
+fn classify_block(toks: &[Token], open: usize) -> BlockKind {
+    let mut j = open;
+    let mut depth = 0i64;
+    while j > 0 {
+        j -= 1;
+        match &toks[j].tok {
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('>') => depth += 1,
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('<') => depth -= 1,
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') if depth <= 0 => {
+                j += 1;
+                break;
+            }
+            _ => {}
+        }
+    }
+    let mut kind = BlockKind::Other;
+    for t in &toks[j..open] {
+        match ident(t) {
+            Some("fn") => kind = BlockKind::FnBody,
+            Some("impl") if kind == BlockKind::Other => kind = BlockKind::ImplBody,
+            Some("mod") if kind == BlockKind::Other => kind = BlockKind::ModBody,
+            _ => {}
+        }
+    }
+    kind
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> (Vec<Token>, Ast) {
+        let (toks, _) = lex(src);
+        let ast = Ast::parse(&toks);
+        (toks, ast)
+    }
+
+    #[test]
+    fn fn_items_and_bodies_are_found() {
+        let (_, ast) = parse(
+            "impl S {\n    #[inline]\n    pub fn a(&self) -> u32 { 1 }\n    fn b();\n}\nfn c() {}\n",
+        );
+        let names: Vec<&str> = ast.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert!(ast.fns[0].body.is_some());
+        assert_eq!(ast.fns[0].attrs, vec!["inline".to_string()]);
+        assert!(ast.fns[1].body.is_none(), "declaration has no body");
+        assert!(ast.fns[2].body.is_some());
+        let a_body = ast.fns[0].body.unwrap();
+        assert_eq!(ast.blocks[a_body].kind, BlockKind::FnBody);
+        assert_eq!(
+            ast.blocks[ast.blocks[a_body].parent].kind,
+            BlockKind::ImplBody
+        );
+    }
+
+    #[test]
+    fn let_bindings_with_types_and_tuples() {
+        let (toks, ast) = parse(
+            "fn f() {\n    let x: Vec<u8> = make();\n    let (a, b) = pair();\n    let Some(v) = opt else { return };\n    let _ = x;\n}\n",
+        );
+        assert!(ast.lets.len() >= 3, "{:?}", ast.lets);
+        assert_eq!(ast.lets[0].names, vec!["x"]);
+        let init: Vec<&str> = toks[ast.lets[0].init.0..ast.lets[0].init.1]
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                Tok::Punct(_) => None,
+            })
+            .collect();
+        assert_eq!(init, vec!["make"]);
+        assert_eq!(ast.lets[1].names, vec!["a", "b"]);
+        assert_eq!(ast.lets[2].names, vec!["v"], "Some is filtered by case");
+    }
+
+    #[test]
+    fn enclosing_fn_and_block_scoping() {
+        let src = "fn outer() {\n    let g = acquire();\n    {\n        let h = 1;\n    }\n    use_it(g);\n}\n";
+        let (toks, ast) = parse(src);
+        let g = &ast.lets[0];
+        let h = &ast.lets[1];
+        assert_ne!(g.block, h.block);
+        assert!(ast.block_within(h.block, g.block));
+        assert!(!ast.block_within(g.block, h.block));
+        let use_idx = toks
+            .iter()
+            .position(|t| t.tok == Tok::Ident("use_it".into()))
+            .unwrap();
+        assert_eq!(ast.enclosing_fn(use_idx).unwrap().name, "outer");
+        // `use_it` is in g's block but outside h's.
+        assert!(ast.block_within(ast.enclosing_block(use_idx), g.block));
+        assert!(!ast.block_within(ast.enclosing_block(use_idx), h.block));
+    }
+
+    #[test]
+    fn mangled_input_stays_balanced() {
+        for src in [
+            "}}}{{{",
+            "fn",
+            "fn {",
+            "let = ;",
+            "let x = {",
+            "impl } fn a(",
+            "{ fn b(} ) {",
+        ] {
+            let (toks, ast) = parse(src);
+            for b in &ast.blocks {
+                assert!(b.close <= toks.len());
+                if b.open != usize::MAX {
+                    assert!(b.open < b.close, "{src:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn struct_literal_in_initializer_does_not_split_the_let() {
+        let (toks, ast) = parse("fn f() { let s = S { a: 1, b: 2 }; let t = 3; }");
+        assert_eq!(ast.lets.len(), 2);
+        let (s, e) = ast.lets[0].init;
+        let span: Vec<&str> = toks[s..e]
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(w) => Some(w.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(span.contains(&"S") && span.contains(&"b"), "{span:?}");
+    }
+}

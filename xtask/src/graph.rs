@@ -1,0 +1,206 @@
+//! The cross-file lock-acquisition-order graph.
+//!
+//! Nodes are the named `Mutex`/`RwLock` fields of the daemon and pool
+//! files ([`crate::rules::LOCK_GRAPH_FILES`]); an edge `A → B` is
+//! recorded whenever some function acquires lock `B` while a guard on
+//! lock `A` is live. A cycle means two threads can acquire the same
+//! pair of locks in opposite orders — the classic static deadlock — so
+//! a cyclic graph fails the lint. The graph itself is emitted in
+//! `--format json` output so reviewers can see the daemon's lock
+//! hierarchy at a glance.
+
+use crate::rules::{lock_edges, lock_fields, Finding};
+
+/// One acquired-while-holding edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    /// The lock already held.
+    pub held: String,
+    /// The lock acquired while holding it.
+    pub acquired: String,
+    /// File the nesting occurs in (workspace-relative).
+    pub file: String,
+    /// 1-based line of the inner acquisition.
+    pub line: u32,
+}
+
+/// The assembled lock-order graph.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    /// Named lock fields, as `file:name`-unique `(name, file, line)`.
+    pub nodes: Vec<(String, String, u32)>,
+    /// Acquired-while-holding edges between *named* locks.
+    pub edges: Vec<LockEdge>,
+}
+
+/// Build the graph from `(workspace-relative path, source)` pairs and
+/// check it for cycles. Only edges whose endpoints are both named lock
+/// fields survive — a guard on a local variable the analysis cannot
+/// attribute does not constrain the order.
+pub fn build_lock_graph(files: &[(String, String)]) -> (LockGraph, Vec<Finding>) {
+    let mut g = LockGraph::default();
+    for (path, src) in files {
+        for (name, line) in lock_fields(src) {
+            g.nodes.push((name, path.clone(), line));
+        }
+    }
+    let names: Vec<&str> = g.nodes.iter().map(|(n, _, _)| n.as_str()).collect();
+    for (path, src) in files {
+        for (held, acquired, line) in lock_edges(src) {
+            if held != acquired
+                && names.contains(&held.as_str())
+                && names.contains(&acquired.as_str())
+            {
+                let e = LockEdge {
+                    held,
+                    acquired,
+                    file: path.clone(),
+                    line,
+                };
+                if !g.edges.contains(&e) {
+                    g.edges.push(e);
+                }
+            }
+        }
+    }
+    let findings = check_acyclic(&g);
+    (g, findings)
+}
+
+/// Depth-first cycle check over the edge set; a cycle is reported as a
+/// `lock-discipline` finding naming the full path.
+fn check_acyclic(g: &LockGraph) -> Vec<Finding> {
+    let mut nodes: Vec<&str> = g
+        .edges
+        .iter()
+        .flat_map(|e| [e.held.as_str(), e.acquired.as_str()])
+        .collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    // Colors: 0 unvisited, 1 on stack, 2 done.
+    let mut color = vec![0u8; nodes.len()];
+    let idx = |n: &str| nodes.iter().position(|&m| m == n);
+    let mut findings = Vec::new();
+    for start in 0..nodes.len() {
+        if color[start] != 0 {
+            continue;
+        }
+        // Iterative DFS with an explicit path stack.
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = 1;
+        let mut path = vec![start];
+        while let Some(&(u, next)) = stack.last() {
+            let succs: Vec<usize> = g
+                .edges
+                .iter()
+                .filter(|e| idx(&e.held) == Some(u))
+                .filter_map(|e| idx(&e.acquired))
+                .collect();
+            if next < succs.len() {
+                let v = succs[next];
+                if let Some(top) = stack.last_mut() {
+                    top.1 += 1;
+                }
+                match color[v] {
+                    0 => {
+                        color[v] = 1;
+                        stack.push((v, 0));
+                        path.push(v);
+                    }
+                    1 => {
+                        // Cycle: slice the current path from v to u.
+                        let from = path.iter().position(|&p| p == v).unwrap_or(0);
+                        let mut cyc: Vec<&str> = path[from..].iter().map(|&p| nodes[p]).collect();
+                        cyc.push(nodes[v]);
+                        let file = g
+                            .edges
+                            .iter()
+                            .find(|e| e.acquired == nodes[v])
+                            .map_or_else(String::new, |e| e.file.clone());
+                        let line = g
+                            .edges
+                            .iter()
+                            .find(|e| e.acquired == nodes[v])
+                            .map_or(1, |e| e.line);
+                        findings.push(Finding {
+                            file,
+                            line,
+                            rule: "lock-discipline",
+                            message: format!(
+                                "lock-order cycle: {} — two threads taking these locks in \
+                                 different orders can deadlock; pick one global order",
+                                cyc.join(" -> ")
+                            ),
+                        });
+                    }
+                    _ => {}
+                }
+            } else {
+                color[u] = 2;
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, src: &str) -> (String, String) {
+        (path.to_string(), src.to_string())
+    }
+
+    #[test]
+    fn nodes_and_edges_are_extracted() {
+        let src = "\
+struct Shared { queue: Mutex<Vec<u8>>, metrics: Mutex<Stats> }
+impl Shared {
+    fn f(&self) {
+        let q = self.queue.lock();
+        let m = self.metrics.lock();
+        drop(m);
+        drop(q);
+    }
+}
+";
+        let (g, findings) = build_lock_graph(&[file("a.rs", src)]);
+        assert_eq!(g.nodes.len(), 2);
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.edges[0].held, "queue");
+        assert_eq!(g.edges[0].acquired, "metrics");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn opposite_orders_are_a_cycle() {
+        let src = "\
+struct S { a: Mutex<u8>, b: Mutex<u8> }
+impl S {
+    fn f(&self) { let g = self.a.lock(); let h = self.b.lock(); }
+    fn g(&self) { let g = self.b.lock(); let h = self.a.lock(); }
+}
+";
+        let (g, findings) = build_lock_graph(&[file("a.rs", src)]);
+        assert_eq!(g.edges.len(), 2);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "lock-discipline");
+        assert!(findings[0].message.contains("cycle"), "{findings:?}");
+    }
+
+    #[test]
+    fn unnamed_guards_do_not_constrain_the_graph() {
+        let src = "\
+struct S { a: Mutex<u8> }
+fn f(m: &Mutex<u8>) { let g = m.lock(); let h = g.clone(); }
+";
+        let (g, findings) = build_lock_graph(&[file("a.rs", src)]);
+        assert_eq!(g.nodes.len(), 1);
+        assert!(g.edges.is_empty());
+        assert!(findings.is_empty());
+    }
+}

@@ -1,0 +1,14 @@
+//! Workspace invariant linter: lexer, block-scoped AST, rules, and the
+//! cross-file lock-order graph.
+//!
+//! The binary (`cargo xtask lint`) drives these modules over the live
+//! tree; the library surface exists so the fixture corpus
+//! (`xtask/tests/fixtures.rs`) and the parser proptest
+//! (`xtask/tests/ast_props.rs`) can exercise the exact same code paths
+//! against controlled inputs.
+
+pub mod ast;
+pub mod graph;
+pub mod lexer;
+pub mod output;
+pub mod rules;

@@ -4,13 +4,22 @@
 //! workspace crate and enforces the repo-specific invariants described
 //! in DESIGN.md §"Error-handling and invariants": panic-free library
 //! code, checked conversions on untrusted input, `AtsError` on public
-//! fallible APIs, and a single workspace-level lint table.
-
-mod lexer;
-mod rules;
+//! fallible APIs, a single workspace-level lint table, and (since the
+//! block-scoped pass) lock discipline in the daemon, canonical float
+//! accumulation in the numeric hot files, and bound-checked allocations
+//! on untrusted surfaces.
+//!
+//! Output formats: `--format text` (default), `--format json` (full
+//! report including the lock-order graph), `--format github` (workflow
+//! annotations for PR diffs). `--json-out PATH` writes the JSON report
+//! alongside whichever format is printed.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
+use xtask::graph::{build_lock_graph, LockGraph};
+use xtask::output::{render_github, render_json};
+use xtask::rules::{self, Finding};
 
 /// Source roots scanned for `.rs` files, relative to the workspace root.
 const SOURCE_ROOTS: &[&str] = &["crates", "src"];
@@ -18,16 +27,19 @@ const SOURCE_ROOTS: &[&str] = &["crates", "src"];
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") if args.len() == 1 => run_lint(),
+        Some("lint") => run_lint(&args[1..]),
         Some("rules") if args.len() == 1 => {
             for (name, what) in rules::RULES {
-                println!("{name:<12} {what}");
+                println!("{name:<20} {what}");
             }
             ExitCode::SUCCESS
         }
         Some("bench-report") => run_bench_report(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask <lint|rules|bench-report [--quick] [--out PATH]>");
+            eprintln!(
+                "usage: cargo xtask <lint [--format text|json|github] [--json-out PATH] \
+                 | rules | bench-report [--quick] [--out PATH]>"
+            );
             ExitCode::from(2)
         }
     }
@@ -39,8 +51,9 @@ fn workspace_root() -> PathBuf {
     manifest.parent().unwrap_or(manifest).to_path_buf()
 }
 
-fn run_lint() -> ExitCode {
-    let root = workspace_root();
+/// The full workspace lint pass: per-file rules, manifest checks, and
+/// the cross-file lock-order graph. Returns findings sorted and deduped.
+fn lint_workspace(root: &Path) -> Result<(Vec<Finding>, LockGraph, usize), String> {
     let mut findings = Vec::new();
     let mut files = Vec::new();
     for src_root in SOURCE_ROOTS {
@@ -48,59 +61,112 @@ fn run_lint() -> ExitCode {
     }
     files.sort();
     let mut scanned = 0usize;
+    let mut graph_sources: Vec<(String, String)> = Vec::new();
     for path in &files {
-        let rel = rel_path(&root, path);
+        let rel = rel_path(root, path);
         // Test trees exercise panics on purpose; xtask polices, it is
         // not itself part of the serving path.
         if rel.contains("/tests/") || rel.starts_with("xtask/") {
             continue;
         }
-        match std::fs::read_to_string(path) {
-            Ok(src) => {
-                scanned += 1;
-                findings.extend(rules::lint_source(&rel, &src));
-            }
-            Err(e) => {
-                eprintln!("xtask: cannot read {rel}: {e}");
-                return ExitCode::from(2);
-            }
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {rel}: {e}"))?;
+        scanned += 1;
+        findings.extend(rules::lint_source(&rel, &src));
+        if rules::LOCK_GRAPH_FILES.contains(&rel.as_str()) {
+            graph_sources.push((rel, src));
         }
     }
 
+    // Cross-file pass: assemble the lock-order graph and reject cycles.
+    let (graph, graph_findings) = build_lock_graph(&graph_sources);
+    findings.extend(graph_findings);
+
     // Manifest checks: workspace lint table + member opt-in.
-    match std::fs::read_to_string(root.join("Cargo.toml")) {
-        Ok(text) => findings.extend(rules::lint_workspace_manifest(&text)),
-        Err(e) => {
-            eprintln!("xtask: cannot read Cargo.toml: {e}");
-            return ExitCode::from(2);
-        }
-    }
+    let text = std::fs::read_to_string(root.join("Cargo.toml"))
+        .map_err(|e| format!("cannot read Cargo.toml: {e}"))?;
+    findings.extend(rules::lint_workspace_manifest(&text));
     let mut manifests = Vec::new();
-    collect_member_manifests(&root, &mut manifests);
+    collect_member_manifests(root, &mut manifests);
     for m in manifests {
-        let rel = rel_path(&root, &m);
-        match std::fs::read_to_string(&m) {
-            Ok(text) => findings.extend(rules::lint_member_manifest(&rel, &text)),
-            Err(e) => {
-                eprintln!("xtask: cannot read {rel}: {e}");
-                return ExitCode::from(2);
-            }
-        }
+        let rel = rel_path(root, &m);
+        let text = std::fs::read_to_string(&m).map_err(|e| format!("cannot read {rel}: {e}"))?;
+        findings.extend(rules::lint_member_manifest(&rel, &text));
     }
 
     findings.sort();
     findings.dedup();
-    for f in &findings {
-        println!("{f}");
+    Ok((findings, graph, scanned))
+}
+
+fn run_lint(flags: &[String]) -> ExitCode {
+    let format = flags
+        .iter()
+        .position(|a| a == "--format")
+        .and_then(|i| flags.get(i + 1))
+        .map_or("text", String::as_str);
+    if !matches!(format, "text" | "json" | "github") {
+        eprintln!("xtask lint: unknown --format {format:?} (text|json|github)");
+        return ExitCode::from(2);
+    }
+    let json_out = flags
+        .iter()
+        .position(|a| a == "--json-out")
+        .and_then(|i| flags.get(i + 1));
+
+    let root = workspace_root();
+    let t0 = Instant::now();
+    let (findings, graph, scanned) = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let wall_ms = t0.elapsed().as_millis();
+
+    if let Some(out_path) = json_out {
+        let json = render_json(&findings, &graph, scanned, wall_ms);
+        let p = PathBuf::from(out_path);
+        let p = if p.is_absolute() { p } else { root.join(p) };
+        if let Err(e) = std::fs::write(&p, json) {
+            eprintln!("xtask: cannot write {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    match format {
+        "json" => print!("{}", render_json(&findings, &graph, scanned, wall_ms)),
+        "github" => {
+            print!("{}", render_github(&findings));
+            eprintln!(
+                "xtask lint: {} finding(s) in {scanned} files ({} lock nodes, {} edges)",
+                findings.len(),
+                graph.nodes.len(),
+                graph.edges.len()
+            );
+        }
+        _ => {
+            for f in &findings {
+                println!("{f}");
+            }
+        }
     }
     if findings.is_empty() {
-        eprintln!("xtask lint: {scanned} files clean");
+        if format == "text" {
+            eprintln!(
+                "xtask lint: {scanned} files clean ({} lock nodes, {} edges, {wall_ms} ms)",
+                graph.nodes.len(),
+                graph.edges.len()
+            );
+        }
         ExitCode::SUCCESS
     } else {
-        eprintln!(
-            "xtask lint: {} finding(s) in {scanned} files",
-            findings.len()
-        );
+        if format == "text" {
+            eprintln!(
+                "xtask lint: {} finding(s) in {scanned} files",
+                findings.len()
+            );
+        }
         ExitCode::FAILURE
     }
 }
@@ -117,12 +183,17 @@ const BENCH_REQUIRED_FIELDS: &[&str] = &[
     "\"ladder_build\"",
     "\"peak_rss_bytes\"",
     "\"serve_throughput\"",
+    "\"lint_wall_ms\"",
     "\"notes\"",
 ];
 
-/// Run the pinned perf suite (`crates/bench/src/bin/bench_report.rs`)
-/// and validate the emitted JSON. Flags are forwarded: `--quick` for the
-/// CI smoke sizes, `--out PATH` to redirect the report.
+/// Whole-workspace lint must stay interactive-fast; CI fails past this.
+const LINT_WALL_BUDGET_MS: u128 = 2000;
+
+/// Run the pinned perf suite (`crates/bench/src/bin/bench_report.rs`),
+/// time the in-process whole-workspace lint pass, inject the result as
+/// `lint_wall_ms`, and validate the emitted JSON. Flags are forwarded:
+/// `--quick` for the CI smoke sizes, `--out PATH` to redirect the report.
 fn run_bench_report(flags: &[String]) -> ExitCode {
     let root = workspace_root();
     let out_path = flags
@@ -139,7 +210,7 @@ fn run_bench_report(flags: &[String]) -> ExitCode {
                 root.join(p)
             }
         })
-        .unwrap_or_else(|| root.join("BENCH_007.json"));
+        .unwrap_or_else(|| root.join("BENCH_008.json"));
 
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
     let mut cmd = std::process::Command::new(cargo);
@@ -170,6 +241,23 @@ fn run_bench_report(flags: &[String]) -> ExitCode {
         }
     }
 
+    // Time the lint pass in-process and pin it into the report: a linter
+    // slow enough to annoy (`> 2 s`) is a linter people stop running.
+    let t0 = Instant::now();
+    let lint_ok = lint_workspace(&root);
+    let lint_wall_ms = t0.elapsed().as_millis();
+    if let Err(e) = lint_ok {
+        eprintln!("xtask: lint pass failed during bench-report: {e}");
+        return ExitCode::from(1);
+    }
+    if lint_wall_ms > LINT_WALL_BUDGET_MS {
+        eprintln!(
+            "bench-report: lint wall time {lint_wall_ms} ms exceeds the \
+             {LINT_WALL_BUDGET_MS} ms budget"
+        );
+        return ExitCode::from(1);
+    }
+
     let text = match std::fs::read_to_string(&out_path) {
         Ok(t) => t,
         Err(e) => {
@@ -177,6 +265,22 @@ fn run_bench_report(flags: &[String]) -> ExitCode {
             return ExitCode::from(1);
         }
     };
+    // Inject lint_wall_ms before the final closing brace.
+    let text = match inject_lint_wall_ms(&text, lint_wall_ms) {
+        Some(t) => t,
+        None => {
+            eprintln!(
+                "bench-report: {} is not a JSON object; cannot inject lint_wall_ms",
+                out_path.display()
+            );
+            return ExitCode::from(1);
+        }
+    };
+    if let Err(e) = std::fs::write(&out_path, &text) {
+        eprintln!("xtask: cannot write {}: {e}", out_path.display());
+        return ExitCode::from(1);
+    }
+
     let missing: Vec<&str> = BENCH_REQUIRED_FIELDS
         .iter()
         .filter(|f| !text.contains(*f))
@@ -184,7 +288,8 @@ fn run_bench_report(flags: &[String]) -> ExitCode {
         .collect();
     if missing.is_empty() {
         println!(
-            "bench-report: {} valid ({} bytes, all {} required fields present)",
+            "bench-report: {} valid ({} bytes, all {} required fields present, \
+             lint_wall_ms={lint_wall_ms})",
             out_path.display(),
             text.len(),
             BENCH_REQUIRED_FIELDS.len()
@@ -198,6 +303,21 @@ fn run_bench_report(flags: &[String]) -> ExitCode {
         );
         ExitCode::from(1)
     }
+}
+
+/// Splice `"lint_wall_ms": N` into a JSON object's top level, before the
+/// final `}`. Returns `None` when the text does not end with one.
+fn inject_lint_wall_ms(text: &str, ms: u128) -> Option<String> {
+    if text.contains("\"lint_wall_ms\"") {
+        return Some(text.to_string());
+    }
+    let end = text.rfind('}')?;
+    let head = text[..end].trim_end();
+    let sep = if head.ends_with('{') { "" } else { "," };
+    Some(format!(
+        "{head}{sep}\n  \"lint_wall_ms\": {ms}\n{}",
+        &text[end..]
+    ))
 }
 
 fn rel_path(root: &Path, path: &Path) -> String {

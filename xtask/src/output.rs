@@ -1,0 +1,160 @@
+//! Report rendering: plain text, machine-readable JSON, and GitHub
+//! workflow annotations.
+//!
+//! The JSON writer is hand-rolled (xtask stays dependency-free); the
+//! schema is small and stable: `findings[]`, `lock_graph{nodes,edges}`,
+//! `files_scanned`, `wall_ms`.
+
+use crate::graph::LockGraph;
+use crate::rules::Finding;
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the full lint report as a JSON document.
+pub fn render_json(
+    findings: &[Finding],
+    graph: &LockGraph,
+    files_scanned: usize,
+    wall_ms: u128,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            json_escape(f.rule),
+            json_escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n  \"lock_graph\": {\n    \"nodes\": [");
+    for (i, (name, file, line)) in graph.nodes.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n      {{\"name\": \"{}\", \"file\": \"{}\", \"line\": {}}}",
+            json_escape(name),
+            json_escape(file),
+            line
+        ));
+    }
+    if !graph.nodes.is_empty() {
+        s.push_str("\n    ");
+    }
+    s.push_str("],\n    \"edges\": [");
+    for (i, e) in graph.edges.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n      {{\"held\": \"{}\", \"acquired\": \"{}\", \"file\": \"{}\", \"line\": {}}}",
+            json_escape(&e.held),
+            json_escape(&e.acquired),
+            json_escape(&e.file),
+            e.line
+        ));
+    }
+    if !graph.edges.is_empty() {
+        s.push_str("\n    ");
+    }
+    s.push_str(&format!(
+        "]\n  }},\n  \"files_scanned\": {files_scanned},\n  \"wall_ms\": {wall_ms}\n}}\n"
+    ));
+    s
+}
+
+/// Render findings as GitHub workflow commands, one `::error` per
+/// finding, so CI annotates them onto the PR diff.
+pub fn render_github(findings: &[Finding]) -> String {
+    let mut s = String::new();
+    for f in findings {
+        // The workflow-command grammar escapes %, CR, LF in messages.
+        let msg = f
+            .message
+            .replace('%', "%25")
+            .replace('\r', "%0D")
+            .replace('\n', "%0A");
+        s.push_str(&format!(
+            "::error file={},line={},title={}::{}\n",
+            f.file, f.line, f.rule, msg
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::LockEdge;
+
+    fn finding() -> Finding {
+        Finding {
+            file: "crates/query/src/serve.rs".to_string(),
+            line: 42,
+            rule: "lock-discipline",
+            message: "a \"quoted\" message\nwith a newline".to_string(),
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let g = LockGraph {
+            nodes: vec![("queue".into(), "crates/query/src/serve.rs".into(), 10)],
+            edges: vec![LockEdge {
+                held: "queue".into(),
+                acquired: "metrics".into(),
+                file: "crates/query/src/serve.rs".into(),
+                line: 20,
+            }],
+        };
+        let j = render_json(&[finding()], &g, 7, 123);
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("\\n"));
+        assert!(j.contains("\"files_scanned\": 7"));
+        assert!(j.contains("\"wall_ms\": 123"));
+        assert!(j.contains("\"held\": \"queue\""));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn github_annotations_escape_newlines() {
+        let out = render_github(&[finding()]);
+        assert!(out.starts_with("::error file=crates/query/src/serve.rs,line=42,"));
+        assert!(out.contains("%0A"));
+        assert!(!out.trim_end().contains('\n') || out.lines().count() == 1);
+    }
+
+    #[test]
+    fn empty_report_is_still_valid() {
+        let j = render_json(&[], &LockGraph::default(), 0, 0);
+        assert!(j.contains("\"findings\": []"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -11,6 +11,7 @@
 //! real; a malformed or unused annotation is itself a finding
 //! (`bad-allow`), so the escape hatch cannot rot into decoration.
 
+use crate::ast::{Ast, LetStmt};
 use crate::lexer::{lex, strip_cfg_test, Tok, Token};
 use std::collections::BTreeMap;
 
@@ -40,6 +41,21 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "bad-allow",
         "malformed, unknown, or unused `ats-lint: allow` annotation",
+    ),
+    (
+        "lock-discipline",
+        "no thread join, channel send/recv, socket I/O, or second lock acquisition while a \
+         guard is live in the enclosing block; the cross-file lock-order graph must be acyclic",
+    ),
+    (
+        "float-determinism",
+        "in numeric hot files, fused-shape accumulation (`acc += a * b`) must route through \
+         vecops::{fmadd, axpy, dot} so the canonical accumulation order is machine-enforced",
+    ),
+    (
+        "untrusted-len-alloc",
+        "on untrusted surfaces, Vec::with_capacity/vec![_; n]/.reserve(n) sized by a \
+         decoded/parsed value needs an intervening bound check (min/comparison guard)",
     ),
 ];
 
@@ -94,6 +110,66 @@ pub const UNTRUSTED_SURFACES: &[&str] = &[
 /// experiment harness whose binaries may abort on I/O errors — it is
 /// not part of the serving path the panic-free policy protects.
 pub const NO_PANIC_EXEMPT_PREFIXES: &[&str] = &["crates/bench/"];
+
+/// Numeric hot files where accumulation order is a correctness contract
+/// (DESIGN.md §5f/§5g: shard/thread/batch results are bitwise identical
+/// to the serial scalar path). Raw fused-shape accumulation here must
+/// route through `vecops::{fmadd, axpy, dot}` — the `float-determinism`
+/// rule enforces it. `vecops.rs` itself is excluded: it *is* the
+/// canonical implementation.
+pub const FLOAT_HOT_FILES: &[&str] = &[
+    "crates/linalg/src/kernels.rs",
+    "crates/linalg/src/svd.rs",
+    "crates/compress/src/gram.rs",
+    "crates/compress/src/svd.rs",
+    "crates/compress/src/svdd.rs",
+    "crates/compress/src/append.rs",
+    "crates/core/src/disk.rs",
+    "crates/core/src/shard.rs",
+];
+
+/// Files whose named `Mutex`/`RwLock` fields form the nodes of the
+/// cross-file lock-acquisition-order graph (the long-lived daemon and
+/// the shared page pool it serves from).
+pub const LOCK_GRAPH_FILES: &[&str] = &[
+    "crates/query/src/serve.rs",
+    "crates/query/src/metrics.rs",
+    "crates/query/src/engine.rs",
+    "crates/storage/src/pool.rs",
+];
+
+/// Tokens whose presence in an initializer marks the binding as derived
+/// from decoded/parsed external bytes (the `read_deltas` corrupt-count
+/// bug class). Matched as whole identifiers followed by `(`, `<`, or `::`.
+const DECODE_TOKENS: &[&str] = &[
+    "from_be_bytes",
+    "from_le_bytes",
+    "from_ne_bytes",
+    "read_u16",
+    "read_u32",
+    "read_u64",
+    "read_varint",
+    "decode_varint",
+    "parse",
+    "decode",
+];
+
+/// Method calls that block (or can block indefinitely) and therefore
+/// must not run while a lock guard is live.
+const BLOCKING_METHODS: &[&str] = &[
+    "join",
+    "send",
+    "recv",
+    "try_send",
+    "try_recv",
+    "recv_timeout",
+    "accept",
+    "connect",
+];
+
+/// Type names whose mere use while a guard is live signals socket I/O
+/// under a lock.
+const BLOCKING_TYPES: &[&str] = &["TcpStream", "TcpListener"];
 
 const INT_TYPES: &[&str] = &[
     "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
@@ -193,6 +269,7 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
     let mut findings = Vec::new();
     let (all_toks, comments) = lex(src);
     let toks = strip_cfg_test(&all_toks);
+    let ast = Ast::parse(&toks);
     let allows = parse_allows(file, &comments, &mut findings);
 
     let untrusted = UNTRUSTED_SURFACES.contains(&file);
@@ -207,7 +284,12 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
     if untrusted {
         rule_lossy_cast(file, &toks, &mut raw);
         rule_slice_index(file, &toks, &mut raw);
+        rule_untrusted_len_alloc(file, &toks, &ast, &mut raw);
     }
+    if FLOAT_HOT_FILES.contains(&file) {
+        rule_float_determinism(file, &toks, &mut raw);
+    }
+    rule_lock_discipline(file, &toks, &ast, &mut raw);
     rule_error_type(file, &toks, &mut raw);
     rule_lint_header(file, &toks, &mut raw);
 
@@ -533,6 +615,555 @@ fn rule_lint_header(file: &str, toks: &[Token], out: &mut Vec<Finding>) {
                           (Cargo.toml) instead"
                     .to_string(),
             });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// lock-discipline
+// ---------------------------------------------------------------------
+
+/// Is the token at `i` a lock acquisition? Recognized shapes:
+/// `.lock()` / `.try_lock()` / `.read()` / `.write()` / `.try_read()` /
+/// `.try_write()` with *empty* parens (RwLock/Mutex acquisitions take no
+/// arguments, which keeps `io::Read::read(buf)` out), and the free
+/// poison-recovering helper `lock(&…)` from serve.rs (any arity, but not
+/// its own `fn lock` definition).
+fn acquisition_at(toks: &[Token], i: usize) -> bool {
+    let Some(w) = ident(&toks[i]) else {
+        return false;
+    };
+    if !toks.get(i + 1).is_some_and(|t| punct(t, '(')) {
+        return false;
+    }
+    let dotted = i > 0 && punct(&toks[i - 1], '.');
+    match w {
+        "lock" | "try_lock" | "read" | "write" | "try_read" | "try_write" if dotted => {
+            toks.get(i + 2).is_some_and(|t| punct(t, ')'))
+        }
+        "lock" => i == 0 || ident(&toks[i - 1]) != Some("fn"),
+        _ => false,
+    }
+}
+
+/// Best-effort name of the lock a recognized acquisition targets: the
+/// receiver field for `.lock()` (`self.inner.lock()` → `inner`), the
+/// last path component of the argument for the free helper
+/// (`lock(&shared.queue)` → `queue`).
+fn acquisition_target(toks: &[Token], i: usize) -> Option<String> {
+    if i > 0 && punct(&toks[i - 1], '.') {
+        return toks
+            .get(i.checked_sub(2)?)
+            .and_then(ident)
+            .map(str::to_string);
+    }
+    // Free helper: scan the parenthesized argument for its last ident.
+    let mut j = i + 1;
+    let mut depth = 0i64;
+    let mut last = None;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            Tok::Ident(w) if w != "self" && w != "mut" => last = Some(w.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    last
+}
+
+/// A binding whose initializer acquires a lock, live to the end of its
+/// enclosing block (or an explicit `drop(name)`).
+struct LiveGuard<'a> {
+    stmt: &'a LetStmt,
+    /// Best-effort name of the lock field this guard holds.
+    field: Option<String>,
+}
+
+/// Find the guard bindings of one file: lets whose initializer contains
+/// an acquisition at brace depth 0 *within the initializer* — an inner
+/// `{ … }` block confines its temporaries, so `let v = { let g =
+/// m.lock(); … };` does not make `v` a guard, while `let v =
+/// take(&mut *lock(&m));` conservatively does (parens do not end
+/// temporary lifetimes; the guard lives to the end of the statement and
+/// Rust's temporary-extension rules can stretch it further).
+fn guard_lets<'a>(toks: &[Token], ast: &'a Ast) -> Vec<LiveGuard<'a>> {
+    let mut out = Vec::new();
+    for l in &ast.lets {
+        let (s, e) = l.init;
+        let mut depth = 0i64;
+        let mut j = s;
+        while j < e.min(toks.len()) {
+            match &toks[j].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => depth -= 1,
+                _ if depth == 0 && acquisition_at(toks, j) => {
+                    out.push(LiveGuard {
+                        stmt: l,
+                        field: acquisition_target(toks, j),
+                    });
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Tokens `[start, end)` where a guard is live: from the end of its let
+/// statement to the close of its enclosing block, cut short by an
+/// explicit `drop(<name>)`.
+fn guard_live_range(toks: &[Token], ast: &Ast, g: &LiveGuard<'_>) -> (usize, usize) {
+    let start = g.stmt.init.1;
+    let mut end = ast
+        .blocks
+        .get(g.stmt.block)
+        .map_or(toks.len(), |b| b.close)
+        .min(toks.len());
+    let mut k = start;
+    while k < end {
+        if ident(&toks[k]) == Some("drop")
+            && toks.get(k + 1).is_some_and(|t| punct(t, '('))
+            && toks
+                .get(k + 2)
+                .and_then(ident)
+                .is_some_and(|w| g.stmt.names.iter().any(|n| n == w))
+        {
+            end = k;
+            break;
+        }
+        k += 1;
+    }
+    (start, end)
+}
+
+/// Within each function, flag blocking operations and second lock
+/// acquisitions while a guard is live.
+fn rule_lock_discipline(file: &str, toks: &[Token], ast: &Ast, out: &mut Vec<Finding>) {
+    for g in guard_lets(toks, ast) {
+        let gname = g.stmt.names.first().map_or("_", String::as_str);
+        let (start, end) = guard_live_range(toks, ast, &g);
+        let mut k = start;
+        while k < end.min(toks.len()) {
+            let line = toks[k].line;
+            if acquisition_at(toks, k) {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line,
+                    rule: "lock-discipline",
+                    message: format!(
+                        "second lock acquisition while guard `{gname}` (line {}) is live; \
+                         narrow the first guard's scope with an inner block, or annotate \
+                         the nesting with its lock-order justification",
+                        g.stmt.line
+                    ),
+                });
+                k += 1;
+                continue;
+            }
+            if let Some(w) = ident(&toks[k]) {
+                let dotted_call = k > 0
+                    && punct(&toks[k - 1], '.')
+                    && toks.get(k + 1).is_some_and(|t| punct(t, '('));
+                if dotted_call && BLOCKING_METHODS.contains(&w) {
+                    out.push(Finding {
+                        file: file.to_string(),
+                        line,
+                        rule: "lock-discipline",
+                        message: format!(
+                            "`.{w}()` can block while guard `{gname}` (line {}) is live; \
+                             drop the guard (inner block or explicit drop) before blocking",
+                            g.stmt.line
+                        ),
+                    });
+                } else if BLOCKING_TYPES.contains(&w) {
+                    out.push(Finding {
+                        file: file.to_string(),
+                        line,
+                        rule: "lock-discipline",
+                        message: format!(
+                            "socket I/O (`{w}`) while guard `{gname}` (line {}) is live; \
+                             drop the guard before touching the network",
+                            g.stmt.line
+                        ),
+                    });
+                }
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Lock-acquisition-order edges of one file: `(held, acquired, line)`
+/// whenever a second lock is acquired while a guard on a *named* lock is
+/// live. Collected independently of `allow` suppression — an annotated
+/// nesting still constrains the global order graph.
+pub fn lock_edges(src: &str) -> Vec<(String, String, u32)> {
+    let (all_toks, _) = lex(src);
+    let toks = strip_cfg_test(&all_toks);
+    let ast = Ast::parse(&toks);
+    let mut out = Vec::new();
+    for g in guard_lets(&toks, &ast) {
+        let Some(held) = g.field.clone() else {
+            continue;
+        };
+        let (start, end) = guard_live_range(&toks, &ast, &g);
+        for k in start..end.min(toks.len()) {
+            if acquisition_at(&toks, k) {
+                if let Some(acquired) = acquisition_target(&toks, k) {
+                    out.push((held.clone(), acquired, toks[k].line));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Named `Mutex`/`RwLock` fields declared in one file — the pattern
+/// `name : Mutex <` / `name : RwLock <` (type position only; struct
+/// literal initializers like `queue: Mutex::new(…)` do not match).
+pub fn lock_fields(src: &str) -> Vec<(String, u32)> {
+    let (all_toks, _) = lex(src);
+    let toks = strip_cfg_test(&all_toks);
+    let mut out = Vec::new();
+    for i in 0..toks.len().saturating_sub(3) {
+        let Some(name) = ident(&toks[i]) else {
+            continue;
+        };
+        if punct(&toks[i + 1], ':')
+            && matches!(ident(&toks[i + 2]), Some("Mutex" | "RwLock"))
+            && punct(&toks[i + 3], '<')
+        {
+            out.push((name.to_string(), toks[i].line));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// float-determinism
+// ---------------------------------------------------------------------
+
+/// `*` is multiplication (not a deref or glob) when the previous token
+/// can end an operand.
+fn span_has_mult(toks: &[Token]) -> bool {
+    for i in 1..toks.len() {
+        if punct(&toks[i], '*') {
+            let prev_ends_operand = match &toks[i - 1].tok {
+                Tok::Ident(_) => true,
+                Tok::Punct(c) => matches!(c, ')' | ']'),
+            };
+            // `*=` is a compound assign, not a product inside the rhs.
+            let next_is_eq = toks.get(i + 1).is_some_and(|t| punct(t, '='));
+            if prev_ends_operand && !next_is_eq {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Statement span from `start` to the `;` (exclusive) at nesting depth 0.
+fn stmt_end(toks: &[Token], start: usize) -> usize {
+    let mut depth = 0i64;
+    let mut k = start;
+    while k < toks.len() {
+        match &toks[k].tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                if depth == 0 {
+                    return k;
+                }
+                depth -= 1;
+            }
+            Tok::Punct(';') if depth == 0 => return k,
+            _ => {}
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Flag `acc += a * b` and `acc = acc + a * b` shapes in the designated
+/// numeric hot files — the canonical path is `vecops::fmadd(a, b, acc)`
+/// (or `dot`/`axpy` for whole slices), which keeps the accumulation
+/// order bitwise identical across the scalar/blocked/batched paths.
+fn rule_float_determinism(file: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        let Some(name) = ident(&toks[i]) else {
+            i += 1;
+            continue;
+        };
+        // `acc += <expr containing a product>`
+        if toks.get(i + 1).is_some_and(|t| punct(t, '+'))
+            && toks.get(i + 2).is_some_and(|t| punct(t, '='))
+        {
+            let end = stmt_end(toks, i + 3);
+            if span_has_mult(&toks[i + 3..end.min(toks.len())]) {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line: toks[i].line,
+                    rule: "float-determinism",
+                    message: format!(
+                        "raw fused accumulation into `{name}`; use vecops::fmadd(a, b, {name}) \
+                         (or dot/axpy over the whole slice) so the canonical accumulation \
+                         order is preserved"
+                    ),
+                });
+            }
+            i = end;
+            continue;
+        }
+        // `acc = acc + <expr containing a product>`
+        if toks.get(i + 1).is_some_and(|t| punct(t, '='))
+            && !toks.get(i + 2).is_some_and(|t| punct(t, '='))
+            && toks.get(i + 2).and_then(ident) == Some(name)
+            && toks.get(i + 3).is_some_and(|t| punct(t, '+'))
+        {
+            let end = stmt_end(toks, i + 4);
+            if span_has_mult(&toks[i + 4..end.min(toks.len())]) {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line: toks[i].line,
+                    rule: "float-determinism",
+                    message: format!(
+                        "raw fused accumulation into `{name}`; use vecops::fmadd(a, b, {name}) \
+                         (or dot/axpy over the whole slice) so the canonical accumulation \
+                         order is preserved"
+                    ),
+                });
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// untrusted-len-alloc
+// ---------------------------------------------------------------------
+
+/// Does this span contain a size-sanitizing call: `.min(`, `.clamp(`,
+/// `min(`, or `.len(` (a length of data actually in memory is a safe
+/// capacity)?
+fn span_sanitized(toks: &[Token]) -> bool {
+    for i in 0..toks.len() {
+        let Some(w) = ident(&toks[i]) else { continue };
+        let called = toks.get(i + 1).is_some_and(|t| punct(t, '('));
+        if !called {
+            continue;
+        }
+        let dotted = i > 0 && punct(&toks[i - 1], '.');
+        match w {
+            "min" | "clamp" => return true,
+            "len" if dotted => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Does this span contain a decode/parse call (`from_be_bytes(`,
+/// `parse::<…>`, …)?
+fn span_has_decode(toks: &[Token]) -> bool {
+    for i in 0..toks.len() {
+        let Some(w) = ident(&toks[i]) else { continue };
+        if !DECODE_TOKENS.contains(&w) {
+            continue;
+        }
+        if toks
+            .get(i + 1)
+            .is_some_and(|t| punct(t, '(') || punct(t, '<') || punct(t, ':'))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Was `name` bound-checked between tokens `from` and `to`? A check is
+/// the ident adjacent (within two tokens) to a `<`/`>` comparison, or
+/// directly followed by `.min(`/`.clamp(`.
+fn is_bound_checked(toks: &[Token], name: &str, from: usize, to: usize) -> bool {
+    let to = to.min(toks.len());
+    for k in from..to {
+        if ident(&toks[k]) != Some(name) {
+            continue;
+        }
+        let lo = k.saturating_sub(2);
+        let hi = (k + 3).min(toks.len());
+        if toks[lo..hi].iter().any(|t| punct(t, '<') || punct(t, '>')) {
+            return true;
+        }
+        if punct_at(toks, k + 1, '.')
+            && matches!(toks.get(k + 2).and_then(ident), Some("min" | "clamp"))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+fn punct_at(toks: &[Token], i: usize, c: char) -> bool {
+    toks.get(i).is_some_and(|t| punct(t, c))
+}
+
+/// One allocation site: the token index of the pattern and the size
+/// expression's token span.
+fn alloc_sites(toks: &[Token]) -> Vec<(usize, (usize, usize))> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let Some(w) = ident(&toks[i]) else { continue };
+        match w {
+            "with_capacity" if punct_at(toks, i + 1, '(') => {
+                out.push((i, paren_span(toks, i + 1)));
+            }
+            "reserve" | "reserve_exact"
+                if i > 0 && punct(&toks[i - 1], '.') && punct_at(toks, i + 1, '(') =>
+            {
+                out.push((i, paren_span(toks, i + 1)));
+            }
+            "vec" if punct_at(toks, i + 1, '!') && punct_at(toks, i + 2, '[') => {
+                // `vec![elem; n]` — the size is everything after the `;`.
+                let (s, e) = bracket_span(toks, i + 2);
+                let mut depth = 0i64;
+                for (k, t) in toks.iter().enumerate().take(e).skip(s) {
+                    match &t.tok {
+                        Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                        Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+                        Tok::Punct(';') if depth == 0 => {
+                            out.push((i, (k + 1, e)));
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Span of the tokens inside the `(` at `open` (exclusive of the parens).
+fn paren_span(toks: &[Token], open: usize) -> (usize, usize) {
+    let mut depth = 0i64;
+    let mut k = open;
+    while k < toks.len() {
+        match &toks[k].tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (open + 1, k);
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    (open + 1, k)
+}
+
+/// Span of the tokens inside the `[` at `open` (exclusive of the brackets).
+fn bracket_span(toks: &[Token], open: usize) -> (usize, usize) {
+    let mut depth = 0i64;
+    let mut k = open;
+    while k < toks.len() {
+        match &toks[k].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (open + 1, k);
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    (open + 1, k)
+}
+
+/// On untrusted surfaces: an allocation whose size expression contains a
+/// decode call, or a local binding tainted by one, without an
+/// intervening bound check, is the `read_deltas` bug recurring.
+fn rule_untrusted_len_alloc(file: &str, toks: &[Token], ast: &Ast, out: &mut Vec<Finding>) {
+    // Per-function taint: binding name -> (def token index, def line).
+    // Taint flows through local let chains only; a sanitized initializer
+    // (`.min(`, `.len(`) or a bound check between def and use clears it.
+    for f in &ast.fns {
+        let Some(body) = f.body else { continue };
+        let Some(b) = ast.blocks.get(body) else {
+            continue;
+        };
+        let (bs, be) = (b.open.min(toks.len()), b.close.min(toks.len()));
+        let mut tainted: Vec<(String, usize, u32)> = Vec::new();
+        for l in &ast.lets {
+            if l.let_idx < bs || l.let_idx >= be {
+                continue;
+            }
+            let init = &toks[l.init.0.min(toks.len())..l.init.1.min(toks.len())];
+            let sanitized = span_sanitized(init);
+            let direct = !sanitized && span_has_decode(init);
+            let via_chain = !sanitized
+                && tainted.iter().any(|(name, def, _)| {
+                    init.iter().any(|t| ident(t) == Some(name.as_str()))
+                        && !is_bound_checked(toks, name, *def, l.let_idx)
+                });
+            // Shadowing: this `let` replaces any earlier binding of the
+            // same names, so stale taint must not outlive it — a
+            // sanitized (or simply clean) re-bind clears the name.
+            tainted.retain(|(name, _, _)| !l.names.contains(name));
+            if direct || via_chain {
+                for n in &l.names {
+                    tainted.push((n.clone(), l.init.1, l.line));
+                }
+            }
+        }
+        for (at, (s, e)) in alloc_sites(&toks[bs..be]) {
+            let (at, s, e) = (bs + at, bs + s, bs + e);
+            let size = &toks[s.min(toks.len())..e.min(toks.len())];
+            if span_sanitized(size) {
+                continue;
+            }
+            if span_has_decode(size) {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line: toks[at].line,
+                    rule: "untrusted-len-alloc",
+                    message: "allocation sized directly by a decoded value; bound it first \
+                              (`.min(cap)` or an explicit comparison guard)"
+                        .to_string(),
+                });
+                continue;
+            }
+            for (name, def, dline) in &tainted {
+                let used = size.iter().any(|t| ident(t) == Some(name.as_str()));
+                if used && !is_bound_checked(toks, name, *def, at) {
+                    out.push(Finding {
+                        file: file.to_string(),
+                        line: toks[at].line,
+                        rule: "untrusted-len-alloc",
+                        message: format!(
+                            "allocation sized by `{name}` (decoded at line {dline}) without an \
+                             intervening bound check; compare it against a limit or `.min(cap)` \
+                             it first"
+                        ),
+                    });
+                    break;
+                }
+            }
         }
     }
 }

@@ -1,0 +1,117 @@
+//! Property tests for the block parser: [`Ast::parse`] is *total* — any
+//! token stream, however mangled, yields a balanced block tree rather
+//! than a panic. The generator leans heavily on the characters that
+//! stress the parser (braces, `fn`/`let`/`impl` keywords, comment and
+//! string openers) so failing inputs stay readable.
+
+use proptest::prelude::*;
+use xtask::ast::{Ast, ROOT_BLOCK};
+use xtask::lexer::{lex, strip_cfg_test};
+
+/// Fragments the generator splices together: every parser code path
+/// (items, patterns, initializers, attributes) plus raw punctuation
+/// soup that never occurs in real Rust.
+const FRAGMENTS: &[&str] = &[
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    "=",
+    ",",
+    "<",
+    ">",
+    "#",
+    "!",
+    ":",
+    "fn",
+    "let",
+    "impl",
+    "mod",
+    "pub",
+    "mut",
+    "else",
+    "return",
+    "f",
+    "x",
+    "Some",
+    "0",
+    "1.5",
+    "'a",
+    "\"s\"",
+    "// c\n",
+    "/* b */",
+    "\n",
+    "#[cfg(test)]",
+    "->",
+    "::",
+    "&",
+    ".",
+    "lock",
+    "drop",
+];
+
+fn token_soup() -> impl Strategy<Value = String> {
+    collection::vec(0usize..FRAGMENTS.len(), 0..64).prop_map(|picks| {
+        picks
+            .iter()
+            .map(|&i| FRAGMENTS[i])
+            .collect::<Vec<_>>()
+            .join(" ")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Parsing never panics, and every block span is well-formed:
+    /// `open < close <= len`, parents enclose children, and every
+    /// token's innermost block actually contains it.
+    #[test]
+    fn parse_is_total_and_spans_balance(src in token_soup()) {
+        let (all_toks, _comments) = lex(&src);
+        for toks in [&all_toks, &strip_cfg_test(&all_toks)] {
+            let ast = Ast::parse(toks);
+            prop_assert_eq!(ast.blocks[ROOT_BLOCK].close, toks.len());
+            for (id, b) in ast.blocks.iter().enumerate() {
+                prop_assert!(b.close <= toks.len());
+                if id != ROOT_BLOCK {
+                    prop_assert!(b.open < b.close, "block {} open {} close {}", id, b.open, b.close);
+                    prop_assert!(b.parent < id, "parents precede children in the arena");
+                    let p = &ast.blocks[b.parent];
+                    prop_assert!(p.open == usize::MAX || p.open < b.open);
+                    prop_assert!(b.close <= p.close, "child ends inside its parent");
+                }
+            }
+            for i in 0..toks.len() {
+                let b = &ast.blocks[ast.enclosing_block(i)];
+                prop_assert!(b.open == usize::MAX || b.open <= i);
+                prop_assert!(i < b.close);
+            }
+            for l in &ast.lets {
+                prop_assert!(l.init.0 <= l.init.1 && l.init.1 <= toks.len());
+                prop_assert!(l.block < ast.blocks.len());
+            }
+            for f in &ast.fns {
+                if let Some(body) = f.body {
+                    prop_assert!(body < ast.blocks.len());
+                }
+            }
+        }
+    }
+
+    /// Raw arbitrary bytes (not token soup): the lexer plus parser still
+    /// never panic, whatever text arrives.
+    #[test]
+    fn parse_survives_arbitrary_text(bytes in collection::vec(any::<u8>(), 0..200)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let (toks, _comments) = lex(&src);
+        let ast = Ast::parse(&toks);
+        prop_assert_eq!(ast.blocks[ROOT_BLOCK].close, toks.len());
+        for b in ast.blocks.iter().skip(1) {
+            prop_assert!(b.open < b.close && b.close <= toks.len());
+        }
+    }
+}

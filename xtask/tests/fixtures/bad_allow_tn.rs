@@ -1,0 +1,7 @@
+//# lint-path: crates/query/src/fixture.rs
+// True negative: a well-formed, justified annotation that suppresses a
+// real finding on the next line.
+pub fn boot_table() -> u8 {
+    // ats-lint: allow(no-panic) — startup-only path, validated at build time
+    *BAKED_TABLE.first().unwrap()
+}

@@ -1,0 +1,4 @@
+//# lint-path: crates/query/src/fixture.rs
+// True positive: the annotation names a rule that does not exist.
+// ats-lint: allow(not-a-rule) — this rule name is not in the table
+pub fn noop() {}

@@ -1,0 +1,6 @@
+//# lint-path: crates/query/src/fixture.rs
+// True negative: the workspace error type on the public surface.
+pub fn parse_knob(s: &str) -> Result<u32, ats_common::AtsError> {
+    s.parse()
+        .map_err(|_| ats_common::AtsError::Parse("bad knob".to_string()))
+}

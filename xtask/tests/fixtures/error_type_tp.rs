@@ -1,0 +1,6 @@
+//# lint-path: crates/query/src/fixture.rs
+// True positive: a public fallible API leaking a `String` error instead
+// of `AtsError`.
+pub fn parse_knob(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| "bad knob".to_string())
+}

@@ -1,0 +1,10 @@
+//# lint-path: crates/compress/src/gram.rs
+// True negative: the accumulation routes through the canonical
+// `vecops::fmadd`, so every build contracts (or doesn't) identically.
+pub fn dot_canonical(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc = ats_linalg::vecops::fmadd(*x, *y, acc);
+    }
+    acc
+}

@@ -1,0 +1,10 @@
+//# lint-path: crates/compress/src/gram.rs
+// True positive: raw fused-shape accumulation in a numeric hot file —
+// an FMA build would change the rounding of this sum.
+pub fn dot_naive(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}

@@ -1,0 +1,4 @@
+//# lint-path: crates/query/src/fixture.rs
+// True negative: no crate-level lint attributes; the workspace table
+// owns lint policy.
+pub fn noop() {}

@@ -1,0 +1,6 @@
+//# lint-path: crates/query/src/fixture.rs
+// True positive: a crate-level lint attribute drifting away from the
+// single `[workspace.lints]` table.
+#![warn(dead_code)]
+
+pub fn noop() {}

@@ -1,0 +1,13 @@
+//# lint-path: crates/query/src/fixture.rs
+// True negative: the guard lives in its own inner block, so the join
+// happens lock-free.
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+pub fn drain(m: &Mutex<Vec<u64>>, h: JoinHandle<()>) {
+    {
+        let Ok(guard) = m.lock() else { return };
+        let _ = guard.len();
+    }
+    let _ = h.join();
+}

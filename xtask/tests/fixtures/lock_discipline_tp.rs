@@ -1,0 +1,12 @@
+//# lint-path: crates/query/src/fixture.rs
+// True positive: joining a thread while a mutex guard is live in the
+// same block — the joined thread may need that lock, and the join
+// blocks every other contender for the guard's whole scope.
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+pub fn drain(m: &Mutex<Vec<u64>>, h: JoinHandle<()>) {
+    let Ok(guard) = m.lock() else { return };
+    let _ = guard.len();
+    let _ = h.join();
+}

@@ -1,0 +1,5 @@
+//# lint-path: crates/storage/src/format.rs
+// True negative: checked conversion — the failure is visible, not lossy.
+pub fn widen(n: u64) -> usize {
+    usize::try_from(n).unwrap_or(usize::MAX)
+}

@@ -1,0 +1,6 @@
+//# lint-path: crates/storage/src/format.rs
+// True positive: `as usize` on an untrusted surface silently truncates
+// a hostile 64-bit length on 32-bit targets.
+pub fn widen(n: u64) -> usize {
+    n as usize
+}

@@ -1,0 +1,6 @@
+//# lint-path: crates/query/src/fixture.rs
+// True negative: total methods (`unwrap_or`) are fine; only the
+// panicking family is banned.
+pub fn first(v: &[u8]) -> u8 {
+    v.first().copied().unwrap_or(0)
+}

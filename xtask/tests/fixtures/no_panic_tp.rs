@@ -1,0 +1,5 @@
+//# lint-path: crates/query/src/fixture.rs
+// True positive: `.unwrap()` in library code panics on the serving path.
+pub fn first(v: &[u8]) -> u8 {
+    v.first().copied().unwrap()
+}

@@ -1,0 +1,6 @@
+//# lint-path: crates/storage/src/format.rs
+// True negative: `.get()` turns a truncated buffer into a value, not
+// a panic.
+pub fn head(v: &[u8]) -> u8 {
+    v.first().copied().unwrap_or(0)
+}

@@ -1,0 +1,6 @@
+//# lint-path: crates/storage/src/format.rs
+// True positive: `[]` indexing on an untrusted surface panics on a
+// truncated buffer.
+pub fn head(v: &[u8]) -> u8 {
+    v[0]
+}

@@ -1,0 +1,8 @@
+//# lint-path: crates/storage/src/format.rs
+// True negative: the decoded count is clamped before it sizes anything,
+// so a hostile header cannot force a large allocation.
+pub fn read_header(hdr: [u8; 8]) -> Vec<u64> {
+    let count = u64::from_le_bytes(hdr);
+    let count = usize::try_from(count).unwrap_or(0).min(4096);
+    Vec::with_capacity(count)
+}

@@ -1,0 +1,8 @@
+//# lint-path: crates/storage/src/format.rs
+// True positive: the allocation is sized straight from a decoded header
+// field — eight hostile bytes pre-allocate gigabytes.
+pub fn read_header(hdr: [u8; 8]) -> Vec<u64> {
+    let count = u64::from_le_bytes(hdr);
+    let count = usize::try_from(count).unwrap_or(0);
+    Vec::with_capacity(count)
+}

@@ -13,10 +13,13 @@
 //!    reporting the child's true peak RSS (`VmHWM`);
 //! 6. `serve_throughput` — an in-process `ats serve` daemon driven by
 //!    concurrent socket clients, reporting query throughput and the
-//!    observed coalescing factor.
+//!    observed coalescing factor;
+//! 7. `range_query` — a `[t1..t2)` time-range aggregate against stores
+//!    built with 1, 8, and 32 time blocks, vs the full scan on each —
+//!    pinning the block-pruning payoff of the v4 layout.
 //!
 //! `--quick` shrinks every size (CI smoke); `--out PATH` overrides the
-//! default `BENCH_008.json` in the workspace root. Timing is hand-rolled
+//! default `BENCH_009.json` in the workspace root. Timing is hand-rolled
 //! (`Instant` + best-of-R) because Criterion is a dev-dependency only.
 
 use ats_compress::{SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions};
@@ -30,7 +33,7 @@ use std::time::Instant;
 /// Report schema identifier; bump when fields change shape.
 const SCHEMA: &str = "ats-bench-report/v1";
 /// The PR issue this trajectory file belongs to.
-const ISSUE: u32 = 8;
+const ISSUE: u32 = 9;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -172,6 +175,9 @@ fn main() {
         n,
         quick,
     ));
+    // 7: time-range aggregate vs full scan across block counts.
+    eprintln!("bench-report: range query across time-block counts …");
+    suites.push_str(&range_query(ds.matrix(), quick));
 
     let json = render_report(quick, &suites);
     std::fs::write(&out_path, &json).expect("write report");
@@ -311,7 +317,7 @@ fn serve_throughput(engine: QueryEngine<'static>, n: usize, quick: bool) -> Stri
     format!(
         "    \"serve_throughput\": {{ \"clients\": {clients}, \"queries\": {total}, \
          \"secs\": {secs:.4}, \"qps\": {:.1}, \"batches\": {}, \"coalesced_cells\": {}, \
-         \"cells_per_batch\": {:.2} }}\n",
+         \"cells_per_batch\": {:.2} }},\n",
         total as f64 / secs,
         m.batches,
         m.coalesced_cells,
@@ -319,7 +325,54 @@ fn serve_throughput(engine: QueryEngine<'static>, n: usize, quick: bool) -> Stri
     )
 }
 
-/// Workspace-root default output path: `BENCH_008.json`.
+/// Time a `[t1..t2)` range aggregate against stores built with 1, 8,
+/// and 32 time blocks, plus the full scan on each — the v4 layout's
+/// payoff is the range/full ratio falling as B grows (only overlapping
+/// blocks are reconstructed).
+fn range_query(x: &ats_linalg::Matrix, quick: bool) -> String {
+    use ats_core::store::SequenceStore;
+    let cols = x.cols();
+    // An eighth of the time axis, away from block edges.
+    let (t1, t2) = (cols / 2, cols / 2 + cols / 8);
+    let reps = if quick { 3 } else { 10 };
+    let mut variants = String::new();
+    for (i, blocks) in [1usize, 8, 32].into_iter().enumerate() {
+        eprintln!("bench-report:   time_blocks={blocks} …");
+        let t0 = Instant::now();
+        let store = SequenceStore::builder()
+            .budget(SpaceBudget::from_percent(10.0))
+            .time_blocks(blocks)
+            .build(x)
+            .expect("time-blocked build");
+        let build_secs = t0.elapsed().as_secs_f64();
+        let range_sel = Selection::time_range(ats_query::selection::Axis::All, t1, t2);
+        let range_secs = best_of(reps, || {
+            store
+                .aggregate(&range_sel, AggregateFn::Avg)
+                .expect("range aggregate")
+        });
+        let full_secs = best_of(reps, || {
+            store
+                .aggregate(&Selection::all(), AggregateFn::Avg)
+                .expect("full aggregate")
+        });
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(
+            variants,
+            "{sep}{{ \"time_blocks\": {blocks}, \"build_secs\": {build_secs:.4}, \
+             \"range_secs\": {range_secs:.6}, \"full_secs\": {full_secs:.6}, \
+             \"range_over_full\": {:.4} }}",
+            range_secs / full_secs,
+        );
+    }
+    format!(
+        "    \"range_query\": {{ \"rows\": {}, \"cols\": {cols}, \"t1\": {t1}, \"t2\": {t2}, \
+         \"reps\": {reps}, \"variants\": [{variants}] }}\n",
+        x.rows(),
+    )
+}
+
+/// Workspace-root default output path: `BENCH_009.json`.
 fn default_out_path() -> String {
     let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     p.pop();

@@ -45,6 +45,6 @@ pub mod zeroflag;
 pub use append::{project_frozen, GramCache};
 pub use delta::DeltaStore;
 pub use gram::{shard_ranges, GRAM_BLOCK_ROWS};
-pub use method::{CompressedMatrix, SpaceBudget};
+pub use method::{block_budget, CompressedMatrix, SpaceBudget};
 pub use svd::SvdCompressed;
 pub use svdd::{SvddCompressed, SvddOptions};

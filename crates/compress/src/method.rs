@@ -132,6 +132,39 @@ pub trait CompressedMatrix: Send + Sync {
     fn shard_starts(&self) -> Vec<usize> {
         Vec::new()
     }
+
+    /// Start columns of this matrix's time blocks, ascending (the first
+    /// is always 0). Single-decomposition implementations — the default
+    /// — return an empty vec, which query engines treat as "one block";
+    /// time-blocked stores return one entry per column block so range
+    /// queries can prune non-overlapping blocks and merge per-block
+    /// partials in block order.
+    fn time_block_starts(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Borrow time block `b` as a compressed matrix over its own column
+    /// slice (all rows, columns rebased to 0). `None` for
+    /// single-decomposition implementations and out-of-range indices.
+    fn time_block(&self, b: usize) -> Option<&dyn CompressedMatrix> {
+        let _ = b;
+        None
+    }
+}
+
+/// Per-block space budget for a time-blocked build: the same global
+/// fraction, floored so that a narrow column block can always afford at
+/// least a rank-1 decomposition (Eq. 9 with `k = 1` over `n × m_b`).
+/// Without the floor, splitting a viable global budget across B blocks
+/// can leave a thin block with `max_svd_k = 0` and fail the build.
+pub fn block_budget(global: SpaceBudget, n: usize, m_b: usize) -> SpaceBudget {
+    if n == 0 || m_b == 0 {
+        return global;
+    }
+    let rank1 = (n + m_b + 1) as f64 / (n * m_b) as f64;
+    SpaceBudget {
+        fraction: global.fraction.max(rank1 * (1.0 + 1e-9)),
+    }
 }
 
 /// A space budget expressed the way the paper sweeps it: a fraction of
@@ -264,6 +297,19 @@ mod tests {
         // does not fit, no clusters are affordable.
         let b = SpaceBudget { fraction: 0.001 };
         assert_eq!(b.max_clusters(1000, 10), 0);
+    }
+
+    #[test]
+    fn block_budget_floors_at_rank_one() {
+        let g = SpaceBudget::from_percent(15.0);
+        // Wide block: global fraction already affords k ≥ 1, unchanged.
+        assert_eq!(block_budget(g, 100, 50), g);
+        assert!(block_budget(g, 100, 50).max_svd_k(100, 50) >= 1);
+        // Narrow block (100×4 at 15%): global fraction gives k = 0;
+        // the floor raises it to exactly rank 1.
+        assert_eq!(g.max_svd_k(100, 4), 0);
+        let b = block_budget(g, 100, 4);
+        assert_eq!(b.max_svd_k(100, 4), 1);
     }
 
     #[test]

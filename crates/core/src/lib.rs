@@ -39,8 +39,13 @@
 pub mod disk;
 pub mod shard;
 pub mod store;
+pub mod timeblock;
 pub mod viz;
 
 pub use disk::DiskStore;
 pub use shard::{append_rows, AppendReport, ShardedStore};
 pub use store::{Method, SequenceStore};
+pub use timeblock::{
+    append_time_block, retrain_flags, time_block_ranges, MemTimeBlocked, TimeAppendReport,
+    TimeBlockedStore, RETRAIN_SSE_FACTOR,
+};

@@ -65,6 +65,44 @@ pub(crate) fn save_sharded(
     method: &str,
     ranges: &[(usize, usize)],
 ) -> Result<()> {
+    let writer = StoreWriter::begin(dir)?;
+    let entries = write_sharded_components(writer.path(), svd, deltas, ranges)?;
+    writer.commit_sharded(sharded_manifest_for(svd, deltas, method, entries))
+}
+
+/// The v3 manifest describing a freshly-staged store, CRCs unfilled
+/// (the commit path computes them from the staged files).
+pub(crate) fn sharded_manifest_for(
+    svd: &SvdCompressed,
+    deltas: Option<&DeltaStore>,
+    method: &str,
+    entries: Vec<ShardEntry>,
+) -> ShardedManifest {
+    ShardedManifest {
+        method: method.to_string(),
+        rows: svd.rows(),
+        cols: svd.cols(),
+        k: svd.k(),
+        deltas: deltas.map_or(0, DeltaStore::len),
+        bloom: deltas.is_some_and(DeltaStore::has_bloom),
+        crc_v: 0,
+        crc_lambda: 0,
+        shards: entries,
+        source_version: SHARDED_STORE_VERSION,
+    }
+}
+
+/// Write a store's component files (shared factors plus per-shard `U`
+/// slices and delta partitions) into `dir` in the v3 layout, returning
+/// the shard entries with CRCs unfilled. Shared by the v3 save (which
+/// stages into a [`StoreWriter`] temp dir) and the v4 save (which
+/// stages one of these trees per time block).
+pub(crate) fn write_sharded_components(
+    dir: &Path,
+    svd: &SvdCompressed,
+    deltas: Option<&DeltaStore>,
+    ranges: &[(usize, usize)],
+) -> Result<Vec<ShardEntry>> {
     let rows = svd.rows();
     let cols = svd.cols();
     check_ranges(ranges, rows)?;
@@ -87,15 +125,13 @@ pub(crate) fn save_sharded(
         bucket.sort_unstable_by_key(|&(r, c, _)| (r, c));
     }
 
-    let writer = StoreWriter::begin(dir)?;
-    let tmp = writer.path();
-    write_matrix(tmp.join("v.atsm"), svd.v())?;
+    write_matrix(dir.join("v.atsm"), svd.v())?;
     let lambda_m = Matrix::from_vec(1, svd.lambda().len(), svd.lambda().to_vec())?;
-    write_matrix(tmp.join("lambda.atsm"), &lambda_m)?;
+    write_matrix(dir.join("lambda.atsm"), &lambda_m)?;
 
     let mut entries = Vec::with_capacity(ranges.len());
     for (idx, (&(start, end), bucket)) in ranges.iter().zip(&buckets).enumerate() {
-        let sdir = tmp.join(shard_dir_name(idx));
+        let sdir = dir.join(shard_dir_name(idx));
         std::fs::create_dir(&sdir)?;
         let mut w = MatrixFileWriter::create(sdir.join("u.atsm"), svd.k())?;
         for i in start..end {
@@ -115,18 +151,7 @@ pub(crate) fn save_sharded(
             append_sse: None,
         });
     }
-    writer.commit_sharded(ShardedManifest {
-        method: method.to_string(),
-        rows,
-        cols,
-        k: svd.k(),
-        deltas: deltas.map_or(0, DeltaStore::len),
-        bloom: deltas.is_some_and(DeltaStore::has_bloom),
-        crc_v: 0,
-        crc_lambda: 0,
-        shards: entries,
-        source_version: SHARDED_STORE_VERSION,
-    })
+    Ok(entries)
 }
 
 /// Reject shard ranges that are not contiguous, ascending, non-empty,

@@ -6,10 +6,14 @@
 //! [`SequenceStore::open`] serves the saved store back with `U` paged
 //! from disk — without callers reaching into `ats_core::disk` internals.
 
-use crate::shard::{self, ShardedStore};
+use crate::shard;
+use crate::timeblock::{
+    self, reconstruction_sse, time_block_ranges, BlockToSave, MemTimeBlocked, TimeBlockedStore,
+};
 use ats_common::{AtsError, Result};
 use ats_compress::cluster::{ClusterAlgo, ClusterCompressed};
 use ats_compress::dct::DctCompressed;
+use ats_compress::method::block_budget;
 use ats_compress::sampling::SampleCompressed;
 use ats_compress::{
     shard_ranges, CompressedMatrix, SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions,
@@ -18,6 +22,7 @@ use ats_linalg::Matrix;
 use ats_query::engine::{AggregateFn, QueryEngine};
 use ats_query::metrics::{error_report, ErrorReport};
 use ats_query::selection::Selection;
+use ats_storage::ColumnSlice;
 use ats_storage::RowSource;
 use std::path::Path;
 use std::sync::Arc;
@@ -63,6 +68,7 @@ pub struct StoreBuilder {
     with_bloom: bool,
     seed: u64,
     shards: usize,
+    time_blocks: usize,
 }
 
 impl StoreBuilder {
@@ -109,11 +115,101 @@ impl StoreBuilder {
         self
     }
 
+    /// Number of time blocks the column axis is partitioned into
+    /// (default 1, or the `ATS_TEST_TBLOCKS` environment variable when
+    /// set). With `B > 1` the SVD/SVDD build runs once per column block
+    /// — each block gets its own `(U_b, Λ_b, V_b)` and delta set under a
+    /// per-block budget ([`ats_compress::method::block_budget`]) — and
+    /// [`SequenceStore::save`] writes the time-blocked (v4) layout.
+    /// Unlike row sharding this IS a semantics knob: per-block
+    /// decompositions differ from the global one (that is the point —
+    /// time-range queries touch only overlapping blocks). A query
+    /// confined to one block answers bitwise what a standalone store
+    /// built over that column slice would. `B = 1` is exactly the
+    /// single-decomposition build and the v3 layout. Non-SVD methods
+    /// ignore the knob.
+    pub fn time_blocks(mut self, b: usize) -> Self {
+        self.time_blocks = b.max(1);
+        self
+    }
+
+    /// Per-block SVD/SVDD builds over column slices of the source, one
+    /// [`ColumnSlice`] pass set per block, assembled into a routing
+    /// [`MemTimeBlocked`] grid.
+    fn build_blocks<S: RowSource + ?Sized>(
+        &self,
+        source: &S,
+        col_ranges: &[(usize, usize)],
+    ) -> Result<(Arc<dyn CompressedMatrix>, Persist)> {
+        let row_ranges = shard_ranges(source.rows(), self.shards);
+        let mut arcs: Vec<Arc<dyn CompressedMatrix>> = Vec::new();
+        let mut blocks = Vec::new();
+        for &(c0, c1) in col_ranges {
+            let slice = ColumnSlice::new(source, c0, c1)?;
+            let budget = block_budget(self.budget, source.rows(), c1 - c0);
+            match self.method {
+                Method::Svd => {
+                    let c = Arc::new(SvdCompressed::compress_budget_sharded(
+                        &slice,
+                        budget,
+                        self.threads,
+                        &row_ranges,
+                    )?);
+                    let sse = reconstruction_sse(&slice, c.as_ref())?;
+                    blocks.push(PersistBlock {
+                        data: BlockPersist::Svd(Arc::clone(&c)),
+                        sse,
+                    });
+                    arcs.push(c);
+                }
+                Method::Svdd => {
+                    let mut opts = SvddOptions::new(budget);
+                    opts.threads = self.threads;
+                    opts.with_bloom = self.with_bloom;
+                    let c = Arc::new(SvddCompressed::compress_sharded(
+                        &slice,
+                        &opts,
+                        &row_ranges,
+                    )?);
+                    let sse = reconstruction_sse(&slice, c.as_ref())?;
+                    blocks.push(PersistBlock {
+                        data: BlockPersist::Svdd(Arc::clone(&c)),
+                        sse,
+                    });
+                    arcs.push(c);
+                }
+                other => {
+                    return Err(AtsError::internal(format!(
+                        "time-blocked build reached for {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok((
+            Arc::new(MemTimeBlocked::new(arcs)?),
+            Persist::Blocks(blocks),
+        ))
+    }
+
     /// Compress from any [`RowSource`] (disk file or in-memory matrix).
     ///
     /// Clustering methods need the data in memory and will materialize
     /// the source (they are the paper's non-streaming baseline).
     pub fn build<S: RowSource + ?Sized>(self, source: &S) -> Result<SequenceStore> {
+        if matches!(self.method, Method::Svd | Method::Svdd) {
+            let col_ranges = time_block_ranges(source.cols(), self.time_blocks);
+            if col_ranges.len() > 1 {
+                let (compressed, persist) = self.build_blocks(source, &col_ranges)?;
+                return Ok(SequenceStore {
+                    compressed,
+                    method: self.method,
+                    threads: self.threads,
+                    shards: self.shards,
+                    time_blocks: col_ranges.len(),
+                    persist,
+                });
+            }
+        }
         let mut persist = Persist::None;
         let ranges = shard_ranges(source.rows(), self.shards);
         let compressed: Arc<dyn CompressedMatrix> = match self.method {
@@ -166,6 +262,7 @@ impl StoreBuilder {
             method: self.method,
             threads: self.threads,
             shards: self.shards,
+            time_blocks: 1,
             persist,
         })
     }
@@ -176,7 +273,23 @@ impl StoreBuilder {
 enum Persist {
     Svd(Arc<SvdCompressed>),
     Svdd(Arc<SvddCompressed>),
+    /// One decomposition per time block, with build-time SSEs —
+    /// persists as the time-blocked (v4) layout.
+    Blocks(Vec<PersistBlock>),
     None,
+}
+
+/// One freshly-built time block awaiting persistence.
+struct PersistBlock {
+    data: BlockPersist,
+    /// Build-time reconstruction SSE of the block against its source
+    /// slice (after delta patching for SVDD).
+    sse: f64,
+}
+
+enum BlockPersist {
+    Svd(Arc<SvdCompressed>),
+    Svdd(Arc<SvddCompressed>),
 }
 
 /// A compressed, queryable time-sequence store.
@@ -185,26 +298,32 @@ pub struct SequenceStore {
     method: Method,
     threads: usize,
     shards: usize,
+    time_blocks: usize,
     persist: Persist,
 }
 
 impl SequenceStore {
     /// Start building a store. The default shard count is 1 unless the
-    /// `ATS_TEST_SHARDS` environment variable names another (the CI
-    /// hook that reruns the whole suite in sharded mode).
+    /// `ATS_TEST_SHARDS` environment variable names another, and the
+    /// default time-block count is 1 unless `ATS_TEST_TBLOCKS` names
+    /// another (the CI hooks that rerun the whole suite in sharded and
+    /// time-blocked modes).
     pub fn builder() -> StoreBuilder {
-        let shards = std::env::var("ATS_TEST_SHARDS")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .unwrap_or(1)
-            .max(1);
+        let env_knob = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or(1)
+                .max(1)
+        };
         StoreBuilder {
             method: Method::Svdd,
             budget: SpaceBudget::from_percent(10.0),
             threads: 1,
             with_bloom: true,
             seed: 0,
-            shards,
+            shards: env_knob("ATS_TEST_SHARDS"),
+            time_blocks: env_knob("ATS_TEST_TBLOCKS"),
         }
     }
 
@@ -233,6 +352,29 @@ impl SequenceStore {
                 "svdd",
                 &shard_ranges(c.svd().rows(), self.shards),
             ),
+            Persist::Blocks(blocks) => {
+                let to_save: Vec<BlockToSave<'_>> = blocks
+                    .iter()
+                    .map(|b| match &b.data {
+                        BlockPersist::Svd(c) => BlockToSave {
+                            svd: c,
+                            deltas: None,
+                            sse: b.sse,
+                        },
+                        BlockPersist::Svdd(c) => BlockToSave {
+                            svd: c.svd(),
+                            deltas: Some(c.deltas()),
+                            sse: b.sse,
+                        },
+                    })
+                    .collect();
+                timeblock::save_timeblocked(
+                    dir.as_ref(),
+                    &to_save,
+                    self.method.name(),
+                    &shard_ranges(self.rows(), self.shards),
+                )
+            }
             Persist::None => Err(AtsError::InvalidArgument(format!(
                 "cannot save a {:?} store: only freshly built svd/svdd stores persist \
                  (an opened store is already on disk)",
@@ -242,17 +384,19 @@ impl SequenceStore {
     }
 
     /// Open a store directory written by [`SequenceStore::save`] — the
-    /// sharded v3 layout, or a legacy v2 directory, which is served as a
-    /// single shard with identical semantics.
+    /// time-blocked v4 layout, the sharded v3 layout, or a legacy v2
+    /// directory; the latter two are served as a single time block with
+    /// identical semantics.
     ///
-    /// The manifest is validated and every component checksummed before
-    /// anything is served; `pool_pages` bounds the total `U` buffer-pool
-    /// budget, split across shards. The returned store answers the same
-    /// cell/sequence/aggregate queries as the in-memory one — `U` rows
-    /// are paged in from the owning shard on demand, and aggregate scans
-    /// fan out to shards and merge in shard order.
+    /// Every manifest is validated and every component checksummed
+    /// before anything is served; `pool_pages` bounds the total `U`
+    /// buffer-pool budget, split across blocks and then shards. The
+    /// returned store answers the same cell/sequence/aggregate queries
+    /// as the in-memory one — `U` rows are paged in from the owning
+    /// block's owning shard on demand, and range queries touch only the
+    /// time blocks overlapping the range.
     pub fn open(dir: impl AsRef<Path>, pool_pages: usize) -> Result<SequenceStore> {
-        let store = ShardedStore::open(dir, pool_pages)?;
+        let store = TimeBlockedStore::open(dir, pool_pages)?;
         let method = match store.manifest().method.as_str() {
             "svd" => Method::Svd,
             "svdd" => Method::Svdd,
@@ -262,12 +406,14 @@ impl SequenceStore {
                 )))
             }
         };
-        let shards = store.shard_count();
+        let shards = store.block(0)?.shard_count();
+        let time_blocks = store.block_count();
         Ok(SequenceStore {
             compressed: Arc::new(store),
             method,
             threads: 1,
             shards,
+            time_blocks,
             persist: Persist::None,
         })
     }
@@ -310,6 +456,13 @@ impl SequenceStore {
     /// count recorded in the manifest).
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Number of time blocks (the builder's
+    /// [`StoreBuilder::time_blocks`] knob; for an opened store, the
+    /// block count recorded in the manifest).
+    pub fn time_blocks(&self) -> usize {
+        self.time_blocks
     }
 
     /// A `'static`, `Send + Sync`, `Clone` query engine sharing this
@@ -378,6 +531,7 @@ impl SequenceStore {
             .budget(budget)
             .threads(threads)
             .shards(self.shards)
+            .time_blocks(self.time_blocks)
             .build(source)
     }
 }
@@ -670,6 +824,7 @@ mod tests {
         let built = SequenceStore::builder()
             .budget(SpaceBudget::from_percent(20.0))
             .shards(1)
+            .time_blocks(1) // the legacy writer predates time blocking
             .build(&x)
             .unwrap();
         let svdd = match &built.persist {

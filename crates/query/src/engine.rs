@@ -203,6 +203,15 @@ impl<'a> QueryEngine<'a> {
     /// Fold the selected cells into one [`OnlineStats`], splitting the
     /// selected rows across `self.threads` workers when worthwhile.
     ///
+    /// Over a time-blocked matrix ([`CompressedMatrix::time_block_starts`]
+    /// returns more than one entry) the selected *columns* are first
+    /// grouped by owning block: each overlapping block folds its columns
+    /// into a private accumulator through that block's own decomposition
+    /// (taking the shard fan-out below inside the block), and the
+    /// per-block partials merge in ascending block order. Blocks whose
+    /// column range the selection never touches see no I/O at all — the
+    /// pruning the per-block `IoStats` assertions pin down.
+    ///
     /// Over a sharded matrix ([`CompressedMatrix::shard_starts`] returns
     /// more than one entry) the scan fans out by *owning shard* instead
     /// of by arbitrary row chunk: each shard's selected rows fold into
@@ -214,21 +223,34 @@ impl<'a> QueryEngine<'a> {
         sel.validate(n, m)?;
         let cols: Vec<usize> = sel.cols.to_vec(m);
         let rows: Vec<usize> = sel.rows.iter(n).collect();
+        let tstarts = self.matrix().time_block_starts();
+        if tstarts.len() > 1 {
+            return self.timeblocked_stats(&rows, &cols, &tstarts);
+        }
+        self.stats_dispatch(&rows, &cols, dense_cols)
+    }
+
+    /// Shard/thread dispatch over one decomposition: the body of
+    /// [`QueryEngine::selection_stats`] once the time-block routing (if
+    /// any) has already rebased the columns.
+    fn stats_dispatch(
+        &self,
+        rows: &[usize],
+        cols: &[usize],
+        dense_cols: bool,
+    ) -> Result<OnlineStats> {
         let starts = self.matrix().shard_starts();
         if starts.len() > 1 {
-            return self.sharded_stats(&rows, &cols, dense_cols, &starts);
+            return self.sharded_stats(rows, cols, dense_cols, &starts);
         }
         if self.threads <= 1 || rows.len() < 2 * self.threads {
-            return self.stats_over_rows(&rows, &cols, dense_cols);
+            return self.stats_over_rows(rows, cols, dense_cols);
         }
         let chunk = rows.len().div_ceil(self.threads);
         let shards: Vec<Result<OnlineStats>> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = rows
                 .chunks(chunk)
-                .map(|rows| {
-                    let cols = &cols;
-                    scope.spawn(move |_| self.stats_over_rows(rows, cols, dense_cols))
-                })
+                .map(|rows| scope.spawn(move |_| self.stats_over_rows(rows, cols, dense_cols)))
                 .collect();
             handles
                 .into_iter()
@@ -244,6 +266,61 @@ impl<'a> QueryEngine<'a> {
         let mut stats = OnlineStats::new();
         for shard in shards {
             stats.merge(&shard?);
+        }
+        Ok(stats)
+    }
+
+    /// Time-block fan-out kernel: group the selected columns by owning
+    /// block, fold each overlapping block's columns (rebased to
+    /// block-local indices) through that block's own decomposition —
+    /// re-entering [`QueryEngine::stats_dispatch`], so the block's own
+    /// shard fan-out and threading apply inside it — and merge the
+    /// per-block partials in ascending block order. Blocks the
+    /// selection does not overlap are never touched: their `U`/delta
+    /// pages see zero I/O, which the per-block `IoStats` tests assert.
+    fn timeblocked_stats(
+        &self,
+        rows: &[usize],
+        cols: &[usize],
+        tstarts: &[usize],
+    ) -> Result<OnlineStats> {
+        let m = self.matrix().cols();
+        // tstarts is ascending with tstarts[0] == 0: column j belongs
+        // to the last block whose start is ≤ j.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); tstarts.len()];
+        for &j in cols {
+            let idx = match tstarts.binary_search(&j) {
+                Ok(p) => p,
+                Err(p) => p.saturating_sub(1),
+            };
+            let start = tstarts.get(idx).copied().unwrap_or(0);
+            if let Some(g) = groups.get_mut(idx) {
+                g.push(j - start);
+            }
+        }
+        let mut stats = OnlineStats::new();
+        for (b, local) in groups.iter().enumerate() {
+            if local.is_empty() {
+                continue;
+            }
+            let block = self.matrix().time_block(b).ok_or_else(|| {
+                AtsError::internal(format!("time block {b} advertised but not served"))
+            })?;
+            let width = tstarts
+                .get(b + 1)
+                .copied()
+                .unwrap_or(m)
+                .saturating_sub(tstarts.get(b).copied().unwrap_or(0));
+            // Re-evaluate the dense-row heuristic against the block's
+            // own width: a range covering most of one block should
+            // reconstruct whole block rows even when it is a sliver of
+            // the full matrix.
+            let dense = local.len() * 3 >= width;
+            let sub = QueryEngine {
+                handle: MatrixHandle::Borrowed(block),
+                threads: self.threads,
+            };
+            stats.merge(&sub.stats_dispatch(rows, local, dense)?);
         }
         Ok(stats)
     }
@@ -786,6 +863,247 @@ mod tests {
                 assert_eq!(got.stddev, expect.population_std_dev(), "threads={threads}");
             }
         }
+    }
+
+    /// One time block of the exact adapter: an owned column slice that
+    /// counts every reconstruction call, so tests can prove pruning.
+    struct CountingBlock {
+        data: Matrix,
+        calls: std::sync::atomic::AtomicU64,
+    }
+
+    impl CountingBlock {
+        fn touch(&self) {
+            self.calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        fn calls(&self) -> u64 {
+            self.calls.load(std::sync::atomic::Ordering::Relaxed)
+        }
+    }
+
+    impl CompressedMatrix for CountingBlock {
+        fn rows(&self) -> usize {
+            self.data.rows()
+        }
+        fn cols(&self) -> usize {
+            self.data.cols()
+        }
+        fn cell(&self, i: usize, j: usize) -> Result<f64> {
+            self.touch();
+            self.data.get(i, j)
+        }
+        fn row_into(&self, i: usize, out: &mut [f64]) -> Result<()> {
+            self.touch();
+            if out.len() != self.data.cols() {
+                return Err(AtsError::dims(
+                    "CountingBlock::row_into",
+                    (1, out.len()),
+                    (1, self.data.cols()),
+                ));
+            }
+            out.copy_from_slice(self.data.row(i));
+            Ok(())
+        }
+        fn storage_bytes(&self) -> usize {
+            0
+        }
+        fn method_name(&self) -> &'static str {
+            "counting-block"
+        }
+    }
+
+    /// The exact adapter wearing a time-block layout: same cells as the
+    /// source matrix, but partitioned into per-block column slices that
+    /// the engine must route to (and prune) itself.
+    struct TimeBlockedExact {
+        blocks: Vec<CountingBlock>,
+        starts: Vec<usize>,
+        cols: usize,
+    }
+
+    impl TimeBlockedExact {
+        fn split(m: &Matrix, starts: Vec<usize>) -> Self {
+            let cols = m.cols();
+            let blocks = starts
+                .iter()
+                .enumerate()
+                .map(|(b, &s)| {
+                    let e = starts.get(b + 1).copied().unwrap_or(cols);
+                    CountingBlock {
+                        data: Matrix::from_fn(m.rows(), e - s, |i, j| m[(i, s + j)]),
+                        calls: std::sync::atomic::AtomicU64::new(0),
+                    }
+                })
+                .collect();
+            TimeBlockedExact {
+                blocks,
+                starts,
+                cols,
+            }
+        }
+
+        fn route(&self, j: usize) -> (usize, usize) {
+            let idx = match self.starts.binary_search(&j) {
+                Ok(p) => p,
+                Err(p) => p - 1,
+            };
+            (idx, self.starts[idx])
+        }
+    }
+
+    impl CompressedMatrix for TimeBlockedExact {
+        fn rows(&self) -> usize {
+            self.blocks[0].rows()
+        }
+        fn cols(&self) -> usize {
+            self.cols
+        }
+        fn cell(&self, i: usize, j: usize) -> Result<f64> {
+            if j >= self.cols {
+                return Err(AtsError::oob("column", j, self.cols));
+            }
+            let (b, s) = self.route(j);
+            self.blocks[b].cell(i, j - s)
+        }
+        fn storage_bytes(&self) -> usize {
+            0
+        }
+        fn method_name(&self) -> &'static str {
+            "timeblocked-exact"
+        }
+        fn time_block_starts(&self) -> Vec<usize> {
+            self.starts.clone()
+        }
+        fn time_block(&self, b: usize) -> Option<&dyn CompressedMatrix> {
+            self.blocks.get(b).map(|blk| blk as &dyn CompressedMatrix)
+        }
+    }
+
+    #[test]
+    fn timeblocked_aggregate_merges_in_block_order_exactly() {
+        // The time-block path must implement precisely "group selected
+        // columns by owning block, fold each block, merge in block
+        // order" — reproduce that by hand and demand bit-for-bit
+        // equality at every thread count.
+        let m = bumpy(60, 24);
+        let starts = vec![0usize, 7, 16];
+        let e = TimeBlockedExact::split(&m, starts.clone());
+        for sel in [
+            Selection::all(),
+            Selection::time_range(Axis::Range(5, 50), 3, 20),
+            Selection {
+                rows: Axis::set(vec![0, 9, 17, 58]),
+                cols: Axis::set(vec![2, 6, 7, 15, 16, 23]),
+            },
+            Selection::time_range(Axis::All, 7, 16), // exactly block 1
+        ] {
+            let rows: Vec<usize> = sel.rows.iter(60).collect();
+            let cols: Vec<usize> = sel.cols.to_vec(24);
+            let mut expect = OnlineStats::new();
+            for (b, &s) in starts.iter().enumerate() {
+                let end = starts.get(b + 1).copied().unwrap_or(24);
+                let block_cols: Vec<usize> = cols
+                    .iter()
+                    .copied()
+                    .filter(|&j| j >= s && j < end)
+                    .collect();
+                if block_cols.is_empty() {
+                    continue;
+                }
+                let mut part = OnlineStats::new();
+                for &i in &rows {
+                    for &j in &block_cols {
+                        part.push(m[(i, j)]);
+                    }
+                }
+                expect.merge(&part);
+            }
+            // Single-threaded the engine's within-block fold matches
+            // the hand reduction exactly, so block-order merge must be
+            // bit-for-bit; threaded runs re-associate within a block
+            // and get a float tolerance instead.
+            let got = QueryEngine::new(&e)
+                .with_threads(1)
+                .aggregate_all(&sel)
+                .unwrap();
+            assert_eq!(got.sum, expect.sum());
+            assert_eq!(got.count, expect.count());
+            assert_eq!(got.min, expect.min());
+            assert_eq!(got.max, expect.max());
+            assert_eq!(got.stddev, expect.population_std_dev());
+            let got3 = QueryEngine::new(&e)
+                .with_threads(3)
+                .aggregate_all(&sel)
+                .unwrap();
+            assert_eq!(got3.count, expect.count());
+            assert_eq!(got3.min, expect.min());
+            assert_eq!(got3.max, expect.max());
+            let tol = 1e-9 * expect.sum().abs().max(1.0);
+            assert!((got3.sum - expect.sum()).abs() <= tol, "threads=3 sum");
+        }
+    }
+
+    #[test]
+    fn timeblocked_aggregate_prunes_untouched_blocks() {
+        // A range confined to block 1 must leave blocks 0 and 2 with
+        // zero reconstruction calls — the engine-level pruning that the
+        // store-level IoStats tests pin against real disk I/O.
+        let m = bumpy(40, 30);
+        let e = TimeBlockedExact::split(&m, vec![0, 10, 20]);
+        let sel = Selection::time_range(Axis::All, 12, 18);
+        let got = QueryEngine::new(&e)
+            .aggregate(&sel, AggregateFn::Sum)
+            .unwrap();
+        let expect: f64 = {
+            let mut s = OnlineStats::new();
+            for i in 0..40 {
+                for j in 12..18 {
+                    s.push(m[(i, j)]);
+                }
+            }
+            s.sum()
+        };
+        assert_eq!(got, expect);
+        assert_eq!(e.blocks[0].calls(), 0, "block 0 must stay cold");
+        assert!(e.blocks[1].calls() > 0);
+        assert_eq!(e.blocks[2].calls(), 0, "block 2 must stay cold");
+        // A block-edge-spanning range touches exactly the two overlapped
+        // blocks.
+        let e2 = TimeBlockedExact::split(&m, vec![0, 10, 20]);
+        let edge = Selection::time_range(Axis::All, 8, 12);
+        QueryEngine::new(&e2)
+            .aggregate(&edge, AggregateFn::Avg)
+            .unwrap();
+        assert!(e2.blocks[0].calls() > 0);
+        assert!(e2.blocks[1].calls() > 0);
+        assert_eq!(e2.blocks[2].calls(), 0);
+    }
+
+    #[test]
+    fn timeblocked_empty_and_boundary_ranges() {
+        let m = bumpy(20, 12);
+        let e = TimeBlockedExact::split(&m, vec![0, 4, 8]);
+        let q = QueryEngine::new(&e);
+        // Empty time range: InvalidArgument, never a panic.
+        let empty = Selection::time_range(Axis::All, 5, 5);
+        for f in AggregateFn::ALL {
+            assert!(matches!(
+                q.aggregate(&empty, f),
+                Err(AtsError::InvalidArgument(_))
+            ));
+        }
+        // Single-column range.
+        let one = Selection::time_range(Axis::All, 7, 8);
+        let got = q.aggregate(&one, AggregateFn::Sum).unwrap();
+        let expect: f64 = (0..20).map(|i| m[(i, 7)]).sum::<f64>();
+        assert!((got - expect).abs() <= 1e-9 * expect.abs().max(1.0));
+        // Range ending exactly on a block edge.
+        let edge = Selection::time_range(Axis::All, 2, 4);
+        q.aggregate(&edge, AggregateFn::Max).unwrap();
+        // Range past the end: refused.
+        let over = Selection::time_range(Axis::All, 8, 13);
+        assert!(q.aggregate(&over, AggregateFn::Sum).is_err());
     }
 
     #[test]

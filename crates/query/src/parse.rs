@@ -9,13 +9,18 @@
 //! ```text
 //! cell <row> <col>                       -- single cell
 //! <agg> rows <axis> cols <axis>          -- aggregate over a selection
+//! <agg> rows <axis> in time [t1..t2]     -- range-restricted aggregate
 //!
 //! <agg>  ::= sum | avg | count | min | max | stddev
 //! <axis> ::= all | <a>..<b> | <i>,<i>,...
 //! ```
 //!
 //! Examples: `cell 42 17`, `avg rows 0..100 cols all`,
-//! `sum rows 1,5,9 cols 0..7`.
+//! `sum rows 1,5,9 cols 0..7`, `avg rows all in time [30..90]`.
+//!
+//! The `in time` form is sugar for a half-open column range written in
+//! the paper's time-axis vocabulary; over a time-blocked (v4) store the
+//! engine answers it by touching only the blocks the range overlaps.
 
 use crate::engine::AggregateFn;
 use crate::selection::{Axis, Selection};
@@ -76,6 +81,27 @@ fn parse_agg(tok: &str) -> Result<AggregateFn> {
     })
 }
 
+/// Parse a `[t1..t2]` time-range token into a half-open column range.
+fn parse_time_range(tok: &str) -> Result<(usize, usize)> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| {
+            AtsError::InvalidArgument(format!("time range must be written [t1..t2], got {tok:?}"))
+        })?;
+    let (a, b) = inner.split_once("..").ok_or_else(|| {
+        AtsError::InvalidArgument(format!("time range must be written [t1..t2], got {tok:?}"))
+    })?;
+    let start = parse_usize(a, "time range start")?;
+    let end = parse_usize(b, "time range end")?;
+    if start > end {
+        return Err(AtsError::InvalidArgument(format!(
+            "time range [{start}..{end}] is backwards"
+        )));
+    }
+    Ok((start, end))
+}
+
 /// Parse one query line.
 pub fn parse_query(line: &str) -> Result<Query> {
     let tokens: Vec<&str> = line.split_whitespace().collect();
@@ -92,8 +118,16 @@ pub fn parse_query(line: &str) -> Result<Query> {
                 cols: parse_axis(cols)?,
             },
         )),
+        [agg, "rows", rows, "in", "time", range] => {
+            let (t1, t2) = parse_time_range(range)?;
+            Ok(Query::Aggregate(
+                parse_agg(agg)?,
+                Selection::time_range(parse_axis(rows)?, t1, t2),
+            ))
+        }
         _ => Err(AtsError::InvalidArgument(format!(
-            "cannot parse {line:?}; expected `cell <i> <j>` or `<agg> rows <axis> cols <axis>`"
+            "cannot parse {line:?}; expected `cell <i> <j>`, `<agg> rows <axis> cols <axis>`, \
+             or `<agg> rows <axis> in time [t1..t2]`"
         ))),
     }
 }
@@ -170,6 +204,39 @@ mod tests {
                 }
             )
         );
+    }
+
+    #[test]
+    fn parses_time_range_aggregates() {
+        let q = parse_query("avg rows all in time [30..90]").unwrap();
+        assert_eq!(
+            q,
+            Query::Aggregate(
+                AggregateFn::Avg,
+                Selection {
+                    rows: Axis::All,
+                    cols: Axis::Range(30, 90)
+                }
+            )
+        );
+        let q = parse_query("SUM rows 0..5 in time [7..7]").unwrap();
+        assert_eq!(
+            q,
+            Query::Aggregate(
+                AggregateFn::Sum,
+                Selection {
+                    rows: Axis::Range(0, 5),
+                    cols: Axis::Range(7, 7)
+                }
+            )
+        );
+        // Backwards, unbracketed, and malformed ranges are refused.
+        let err = parse_query("avg rows all in time [9..2]").unwrap_err();
+        assert!(err.to_string().contains("backwards"), "{err}");
+        assert!(parse_query("avg rows all in time 2..9").is_err());
+        assert!(parse_query("avg rows all in time [2..x]").is_err());
+        assert!(parse_query("avg rows all in time [2]").is_err());
+        assert!(parse_query("avg rows all in space [2..9]").is_err());
     }
 
     #[test]

@@ -116,6 +116,19 @@ impl Selection {
         }
     }
 
+    /// All of `rows` restricted to the half-open time range
+    /// `[t1, t2)` — the selection behind the query language's
+    /// `<agg> rows <axis> in time [t1..t2]` form. Columns *are* time
+    /// points in the paper's data model, so a time range is a column
+    /// range; over a time-blocked store the engine answers it touching
+    /// only the blocks the range overlaps.
+    pub fn time_range(rows: Axis, t1: usize, t2: usize) -> Self {
+        Selection {
+            rows,
+            cols: Axis::Range(t1, t2),
+        }
+    }
+
     /// Number of selected cells in an `n × m` matrix.
     pub fn cell_count(&self, n: usize, m: usize) -> usize {
         self.rows.count(n) * self.cols.count(m)

@@ -10,6 +10,13 @@
 //! [`QueryEngine::batch_cells`] run, making N clients asking about the
 //! same row cost one `U`-row fetch per shard instead of N.
 //!
+//! Aggregate queries ride the same admission window: requests collected
+//! in one window are grouped by identical `(aggregate, selection)` and
+//! each distinct group is scanned **once**, the result fanned out to
+//! every requester — N clients asking for the same time-range average
+//! cost one block scan, not N (the `STATS` counters `coalesced_aggs` /
+//! `agg_scans` expose the sharing factor).
+//!
 //! ## Wire protocol
 //!
 //! Both directions speak length-prefixed frames: a 4-byte big-endian
@@ -31,8 +38,9 @@
 //! torn: a connection thread only re-checks the flag *between* frames.
 
 use crate::batch::BatchRequest;
-use crate::engine::QueryEngine;
+use crate::engine::{AggregateFn, QueryEngine};
 use crate::parse::{parse_query, Query};
+use crate::selection::Selection;
 use ats_common::{AtsError, Result};
 use ats_storage::IoSnapshot;
 use std::io::{Read, Write};
@@ -105,6 +113,11 @@ pub struct MetricsSnapshot {
     /// Cells answered across all batches (`cells / batches` is the
     /// coalescing factor).
     pub coalesced_cells: u64,
+    /// Distinct `(aggregate, selection)` scans executed by the batcher.
+    pub agg_scans: u64,
+    /// Aggregate requests admitted through windows (`coalesced_aggs /
+    /// agg_scans` is the aggregate sharing factor).
+    pub coalesced_aggs: u64,
     /// Summed request latency in microseconds (admission wait included).
     pub latency_usec: u64,
 }
@@ -120,6 +133,8 @@ struct ServerMetrics {
     busy: AtomicU64,
     batches: AtomicU64,
     coalesced_cells: AtomicU64,
+    agg_scans: AtomicU64,
+    coalesced_aggs: AtomicU64,
     latency_usec: AtomicU64,
 }
 
@@ -134,6 +149,8 @@ impl ServerMetrics {
             busy: self.busy.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             coalesced_cells: self.coalesced_cells.load(Ordering::Relaxed),
+            agg_scans: self.agg_scans.load(Ordering::Relaxed),
+            coalesced_aggs: self.coalesced_aggs.load(Ordering::Relaxed),
             latency_usec: self.latency_usec.load(Ordering::Relaxed),
         }
     }
@@ -148,13 +165,29 @@ struct Pending {
     tx: mpsc::Sender<std::result::Result<f64, String>>,
 }
 
-/// The admission queue: cells waiting for the current window to fire.
+/// One aggregate query waiting in the admission window. Identical
+/// `(f, sel)` pairs collected in the same window share one scan.
+struct PendingAgg {
+    f: AggregateFn,
+    sel: Selection,
+    tx: mpsc::Sender<std::result::Result<f64, String>>,
+}
+
+/// The admission queue: cells and aggregates waiting for the current
+/// window to fire.
 #[derive(Default)]
 struct BatchQueue {
     items: Vec<Pending>,
+    aggs: Vec<PendingAgg>,
     /// Set by the batcher on exit: late arrivals are refused instead of
     /// waiting forever on a reply that will never come.
     closed: bool,
+}
+
+impl BatchQueue {
+    fn len(&self) -> usize {
+        self.items.len().saturating_add(self.aggs.len())
+    }
 }
 
 /// State shared by the acceptor, the batcher, and every connection.
@@ -349,25 +382,25 @@ fn run_acceptor(listener: &TcpListener, shared: &Arc<Shared>) {
 /// through the same path before the thread exits.
 fn run_batcher(shared: &Shared) {
     loop {
-        let pending = {
+        let (pending, aggs) = {
             let mut q = lock(&shared.queue);
             // Phase 1: wait for work (or shutdown + empty queue = done).
-            while q.items.is_empty() && !shared.is_shutdown() {
+            while q.len() == 0 && !shared.is_shutdown() {
                 let (guard, _timed_out) = shared
                     .queue_cv
                     .wait_timeout(q, Duration::from_millis(50))
                     .unwrap_or_else(|p| p.into_inner());
                 q = guard;
             }
-            if q.items.is_empty() {
+            if q.len() == 0 {
                 q.closed = true;
                 return;
             }
-            // Phase 2: the admission window — collect more cells until
-            // the deadline, the size cap, or shutdown (which executes
-            // immediately so the drain finishes promptly).
+            // Phase 2: the admission window — collect more requests
+            // until the deadline, the size cap, or shutdown (which
+            // executes immediately so the drain finishes promptly).
             let deadline = Instant::now() + shared.window;
-            while q.items.len() < shared.batch_max && !shared.is_shutdown() {
+            while q.len() < shared.batch_max && !shared.is_shutdown() {
                 let now = Instant::now();
                 if now >= deadline {
                     break;
@@ -378,9 +411,10 @@ fn run_batcher(shared: &Shared) {
                     .unwrap_or_else(|p| p.into_inner());
                 q = guard;
             }
-            std::mem::take(&mut q.items)
+            (std::mem::take(&mut q.items), std::mem::take(&mut q.aggs))
         };
         execute_batch(shared, pending);
+        execute_aggs(shared, aggs);
     }
 }
 
@@ -409,6 +443,47 @@ fn execute_batch(shared: &Shared, pending: Vec<Pending>) {
             let msg = e.to_string();
             for p in &pending {
                 let _ = p.tx.send(Err(msg.clone()));
+            }
+        }
+    }
+}
+
+/// Run one admission window's aggregates: group identical `(f, sel)`
+/// requests, scan each distinct group exactly once, and fan the result
+/// out to every waiting requester. A failed scan errs only its own
+/// group — the other groups in the window still answer.
+fn execute_aggs(shared: &Shared, pending: Vec<PendingAgg>) {
+    if pending.is_empty() {
+        return;
+    }
+    let count = u64::try_from(pending.len()).unwrap_or(u64::MAX);
+    shared
+        .metrics
+        .coalesced_aggs
+        .fetch_add(count, Ordering::Relaxed);
+    let mut groups: Vec<(AggregateFn, Selection, Vec<mpsc::Sender<_>>)> = Vec::new();
+    for p in pending {
+        match groups
+            .iter_mut()
+            .find(|(f, sel, _)| *f == p.f && *sel == p.sel)
+        {
+            Some((_, _, txs)) => txs.push(p.tx),
+            None => groups.push((p.f, p.sel, vec![p.tx])),
+        }
+    }
+    for (f, sel, txs) in groups {
+        shared.metrics.agg_scans.fetch_add(1, Ordering::Relaxed);
+        match shared.engine.aggregate(&sel, f) {
+            Ok(v) => {
+                for tx in txs {
+                    let _ = tx.send(Ok(v));
+                }
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                for tx in txs {
+                    let _ = tx.send(Err(msg.clone()));
+                }
             }
         }
     }
@@ -529,11 +604,14 @@ enum WriterItem {
     /// A pre-rendered reply line (verbs, aggregates, errors) — already
     /// counted by the reader.
     Line(String),
-    /// A cell admitted to the batcher: wait for its result, count it,
-    /// then write.
-    Cell {
+    /// A cell or aggregate admitted to the batcher: wait for its
+    /// result, count it, then write.
+    Batched {
         rx: mpsc::Receiver<std::result::Result<f64, String>>,
         started: Instant,
+        /// Whether this was an aggregate (counts into `aggregates`)
+        /// rather than a cell (counts into `cells`).
+        agg: bool,
     },
     /// The `SHUTDOWN` ack: write it, then raise the flag — the requester
     /// always hears the acknowledgment before the drain begins.
@@ -633,12 +711,16 @@ fn run_writer(
     while let Ok(item) = wrx.recv() {
         let (line, done) = match item {
             WriterItem::Line(s) => (s, false),
-            WriterItem::Cell { rx, started } => {
+            WriterItem::Batched { rx, started, agg } => {
                 let line = match rx.recv() {
                     Ok(Ok(v)) => {
                         conn.queries.fetch_add(1, Ordering::Relaxed);
                         shared.metrics.queries.fetch_add(1, Ordering::Relaxed);
-                        shared.metrics.cells.fetch_add(1, Ordering::Relaxed);
+                        if agg {
+                            shared.metrics.aggregates.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            shared.metrics.cells.fetch_add(1, Ordering::Relaxed);
+                        }
                         format!("OK {v}")
                     }
                     Ok(Err(msg)) => {
@@ -682,14 +764,6 @@ fn immediate_err(shared: &Shared, conn: &ConnMetrics, msg: String, started: Inst
     WriterItem::Line(format!("ERR {msg}"))
 }
 
-/// Record an immediately-known `OK` reply that counts as a query.
-fn immediate_ok(shared: &Shared, conn: &ConnMetrics, msg: String, started: Instant) -> WriterItem {
-    conn.queries.fetch_add(1, Ordering::Relaxed);
-    shared.metrics.queries.fetch_add(1, Ordering::Relaxed);
-    count_latency(shared, conn, started);
-    WriterItem::Line(format!("OK {msg}"))
-}
-
 fn count_latency(shared: &Shared, conn: &ConnMetrics, started: Instant) {
     let elapsed = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
     conn.latency_usec.fetch_add(elapsed, Ordering::Relaxed);
@@ -724,13 +798,9 @@ fn dispatch(
     }
     match parse_query(line) {
         Ok(Query::Cell(i, j)) => cell_via_batcher(shared, conn, cells_in_flight, i, j, started),
-        Ok(Query::Aggregate(f, sel)) => match shared.engine.aggregate(&sel, f) {
-            Ok(v) => {
-                shared.metrics.aggregates.fetch_add(1, Ordering::Relaxed);
-                immediate_ok(shared, conn, format!("{v}"), started)
-            }
-            Err(e) => immediate_err(shared, conn, e.to_string(), started),
-        },
+        Ok(Query::Aggregate(f, sel)) => {
+            agg_via_batcher(shared, conn, cells_in_flight, f, sel, started)
+        }
         Err(e) => immediate_err(shared, conn, e.to_string(), started),
     }
 }
@@ -793,7 +863,59 @@ fn cell_via_batcher(
     }
     cells_in_flight.fetch_add(1, Ordering::Release);
     shared.queue_cv.notify_all();
-    WriterItem::Cell { rx, started }
+    WriterItem::Batched {
+        rx,
+        started,
+        agg: false,
+    }
+}
+
+/// Admit one aggregate query into the coalescing window; identical
+/// `(aggregate, selection)` requests collected in the same window share
+/// one scan. The selection is bounds-checked at admission so a bad
+/// request earns its own immediate `ERR`; in-flight aggregates count
+/// against the same per-connection `pending_max` cap as cells.
+fn agg_via_batcher(
+    shared: &Shared,
+    conn: &ConnMetrics,
+    cells_in_flight: &AtomicU64,
+    f: AggregateFn,
+    sel: Selection,
+    started: Instant,
+) -> WriterItem {
+    if let Err(e) = sel.validate(shared.engine.rows(), shared.engine.cols()) {
+        return immediate_err(shared, conn, e.to_string(), started);
+    }
+    let pending_max = u64::try_from(shared.pending_max).unwrap_or(u64::MAX);
+    if cells_in_flight.load(Ordering::Acquire) >= pending_max {
+        shared.metrics.busy.fetch_add(1, Ordering::Relaxed);
+        return immediate_err(
+            shared,
+            conn,
+            format!("busy: {pending_max} queries already in flight on this connection"),
+            started,
+        );
+    }
+    let (tx, rx) = mpsc::channel();
+    let admitted = {
+        let mut q = lock(&shared.queue);
+        if q.closed {
+            false
+        } else {
+            q.aggs.push(PendingAgg { f, sel, tx });
+            true
+        }
+    };
+    if !admitted {
+        return immediate_err(shared, conn, "server is shutting down".to_string(), started);
+    }
+    cells_in_flight.fetch_add(1, Ordering::Release);
+    shared.queue_cv.notify_all();
+    WriterItem::Batched {
+        rx,
+        started,
+        agg: true,
+    }
 }
 
 /// Render the `STATS` response: one `stats` marker line, then
@@ -804,7 +926,7 @@ fn render_stats(shared: &Shared, conn: &ConnMetrics) -> String {
     let mut out = String::from("stats\n");
     out.push_str(&format!(
         "server connections={} queries={} cells={} aggregates={} errors={} busy={} \
-         batches={} coalesced_cells={} latency_usec={}\n",
+         batches={} coalesced_cells={} agg_scans={} coalesced_aggs={} latency_usec={}\n",
         m.connections,
         m.queries,
         m.cells,
@@ -813,6 +935,8 @@ fn render_stats(shared: &Shared, conn: &ConnMetrics) -> String {
         m.busy,
         m.batches,
         m.coalesced_cells,
+        m.agg_scans,
+        m.coalesced_aggs,
         m.latency_usec
     ));
     out.push_str(&format!(
@@ -969,6 +1093,68 @@ mod tests {
         let m = handle.join().unwrap();
         assert_eq!(m.cells, 1);
         assert_eq!(m.batches, 1);
+    }
+
+    #[test]
+    fn identical_aggregates_share_one_scan() {
+        // Three clients ask the same range aggregate plus one distinct
+        // one inside a single window: the batcher must run exactly two
+        // scans and fan the shared answer out.
+        let (handle, engine) = start(30_000, 4);
+        let mut clients: Vec<TcpStream> = (0..4).map(|_| connect(&handle)).collect();
+        let queries = [
+            "sum rows all cols 2..6",
+            "sum rows all cols 2..6",
+            "sum rows all cols 2..6",
+            "max rows all cols all",
+        ];
+        for (c, q) in clients.iter_mut().zip(queries) {
+            client::send(c, q).unwrap();
+        }
+        let mut replies = Vec::new();
+        for c in &mut clients {
+            replies.push(client::recv(c).unwrap());
+        }
+        let want_sum = engine
+            .aggregate(
+                &Selection {
+                    rows: crate::selection::Axis::All,
+                    cols: crate::selection::Axis::Range(2, 6),
+                },
+                AggregateFn::Sum,
+            )
+            .unwrap();
+        for r in replies.iter().take(3) {
+            assert_eq!(r, &format!("OK {want_sum}"));
+        }
+        assert!(replies[3].starts_with("OK "), "{}", replies[3]);
+        handle.begin_shutdown();
+        let m = handle.join().unwrap();
+        assert_eq!(m.aggregates, 4);
+        assert_eq!(m.coalesced_aggs, 4);
+        assert_eq!(m.agg_scans, 2, "three identical + one distinct = two scans");
+        assert_eq!(m.batches, 0, "no cell batches ran");
+    }
+
+    #[test]
+    fn aggregate_errors_err_only_their_group() {
+        // An empty-selection aggregate that passes bounds validation
+        // still fails at scan time; sharing a window with a healthy
+        // group must not poison the healthy answers.
+        let (handle, _engine) = start(30_000, 2);
+        let mut a = connect(&handle);
+        let mut b = connect(&handle);
+        client::send(&mut a, "avg rows all cols 4..4").unwrap();
+        client::send(&mut b, "avg rows all cols all").unwrap();
+        let ra = client::recv(&mut a).unwrap();
+        let rb = client::recv(&mut b).unwrap();
+        assert!(ra.starts_with("ERR "), "{ra}");
+        assert!(rb.starts_with("OK "), "{rb}");
+        handle.begin_shutdown();
+        let m = handle.join().unwrap();
+        assert_eq!(m.aggregates, 1);
+        assert_eq!(m.errors, 1);
+        assert_eq!(m.agg_scans, 2);
     }
 
     #[test]

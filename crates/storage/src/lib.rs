@@ -37,5 +37,7 @@ pub use file::{MatrixFile, MatrixFileWriter};
 pub use format::Header;
 pub use iostats::{IoSnapshot, IoStats};
 pub use pool::{BufferPool, CachedFile};
-pub use source::{MemSource, RowSource};
-pub use store_dir::{ShardEntry, ShardedManifest, StoreManifest, StoreWriter};
+pub use source::{ColumnSlice, MemSource, RowSource};
+pub use store_dir::{
+    ShardEntry, ShardedManifest, StoreManifest, StoreWriter, TimeBlockEntry, TimeBlockedManifest,
+};

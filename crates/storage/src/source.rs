@@ -155,6 +155,60 @@ impl RowSource for MemSource {
     }
 }
 
+/// A column-range view over another [`RowSource`]: rows pass through
+/// unchanged, but each callback sees only columns `[start, end)`.
+///
+/// This is the plane the time-blocked (v4) builder runs on: the same
+/// streaming passes that compress a whole matrix compress one time
+/// block by scanning the underlying source once per pass and slicing
+/// each row down to the block's columns. The slice is borrowed from the
+/// scan buffer — no per-row copies.
+pub struct ColumnSlice<'a, S: RowSource + ?Sized> {
+    inner: &'a S,
+    start: usize,
+    end: usize,
+}
+
+impl<'a, S: RowSource + ?Sized> ColumnSlice<'a, S> {
+    /// View columns `[start, end)` of `inner`. The range must be
+    /// non-empty and within the source's width.
+    pub fn new(inner: &'a S, start: usize, end: usize) -> Result<Self> {
+        if start >= end || end > inner.cols() {
+            return Err(AtsError::InvalidArgument(format!(
+                "column slice [{start}, {end}) invalid for a source with {} columns",
+                inner.cols()
+            )));
+        }
+        Ok(ColumnSlice { inner, start, end })
+    }
+}
+
+impl<S: RowSource + ?Sized> RowSource for ColumnSlice<'_, S> {
+    fn rows(&self) -> usize {
+        self.inner.rows()
+    }
+    fn cols(&self) -> usize {
+        self.end - self.start
+    }
+    fn scan_range(
+        &self,
+        start: usize,
+        end: usize,
+        f: &mut dyn FnMut(usize, &[f64]) -> Result<()>,
+    ) -> Result<()> {
+        let (c0, c1) = (self.start, self.end);
+        self.inner.scan_range(start, end, &mut |i, row| {
+            let cells = row.get(c0..c1).ok_or_else(|| {
+                AtsError::Corrupt(format!(
+                    "source row {i} has {} cells, expected at least {c1}",
+                    row.len()
+                ))
+            })?;
+            f(i, cells)
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +265,33 @@ mod tests {
         assert!(RowSource::scan_range(&m, 0, 4, &mut |_, _| Ok(())).is_err());
         let s: MemSource = m.into();
         assert!(s.scan_range(0, 4, &mut |_, _| Ok(())).is_err());
+    }
+
+    #[test]
+    fn column_slice_views_block_of_source() {
+        let m = sample(6, 10);
+        let s = ColumnSlice::new(&m, 3, 7).unwrap();
+        assert_eq!(s.rows(), 6);
+        assert_eq!(s.cols(), 4);
+        let sliced = s.to_matrix().unwrap();
+        let expect = Matrix::from_fn(6, 4, |i, j| (i * 10 + j + 3) as f64);
+        assert!(sliced.approx_eq(&expect, 0.0));
+        // Partial row range passes through to the inner source.
+        let mut seen = Vec::new();
+        s.scan_range(2, 4, &mut |i, row| {
+            seen.push((i, row[0]));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, vec![(2, 23.0), (3, 33.0)]);
+    }
+
+    #[test]
+    fn column_slice_rejects_bad_ranges() {
+        let m = sample(3, 5);
+        assert!(ColumnSlice::new(&m, 2, 2).is_err(), "empty");
+        assert!(ColumnSlice::new(&m, 4, 3).is_err(), "backwards");
+        assert!(ColumnSlice::new(&m, 0, 6).is_err(), "past the end");
     }
 
     #[test]

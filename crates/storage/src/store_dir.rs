@@ -49,6 +49,11 @@ pub const STORE_VERSION: u32 = 2;
 /// Sharded store-directory format version (row-range shards).
 pub const SHARDED_STORE_VERSION: u32 = 3;
 
+/// Time-blocked store-directory format version: the time axis is
+/// partitioned into column blocks, each a complete nested v3 store in
+/// its own `tblock-NNNN/` subdirectory.
+pub const TIMEBLOCKED_STORE_VERSION: u32 = 4;
+
 /// Name of the manifest file inside a store directory.
 pub const MANIFEST_FILE: &str = "manifest.txt";
 
@@ -718,6 +723,421 @@ pub fn validate_sharded_store_dir(dir: impl AsRef<Path>) -> Result<ShardedManife
     Ok(manifest)
 }
 
+/// Name of the subdirectory holding time block `index` inside a v4 store
+/// directory (`tblock-0000`, `tblock-0001`, …).
+pub fn tblock_dir_name(index: usize) -> String {
+    format!("tblock-{index:04}")
+}
+
+/// One time block (column range) recorded in a v4 manifest. Each block
+/// is a complete nested v3 store over its column slice, living in its
+/// own `tblock-NNNN/` subdirectory; the top-level manifest pins the
+/// block's column range, its reconstruction SSE, and the CRC of the
+/// nested manifest (whose own CRCs transitively cover the block's
+/// component files).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeBlockEntry {
+    /// First (absolute) column of the block, inclusive.
+    pub start: usize,
+    /// One past the last (absolute) column of the block.
+    pub end: usize,
+    /// Sum of squared reconstruction errors of the block against its
+    /// source slice, recorded at build/append time — the principled
+    /// retrain trigger. `None` only for normalized v2/v3 stores, which
+    /// never measured it.
+    pub sse: Option<f64>,
+    /// CRC of the nested `tblock-NNNN/manifest.txt` bytes.
+    pub crc_manifest: u64,
+}
+
+impl TimeBlockEntry {
+    /// Number of columns in the block.
+    pub fn cols(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Parsed, validated contents of a time-blocked (v4) `manifest.txt` —
+/// or a v2/v3 manifest normalized into a single-block view.
+///
+/// The v4 layout partitions the *time* axis into column blocks, each a
+/// complete nested v3 store (own `V_b`/`Λ_b`, own row-range shards and
+/// delta sets) over its column slice:
+///
+/// ```text
+/// store/
+///   manifest.txt                 # this document (block table + CRCs)
+///   tblock-0000/                 # a full v3 store over cols 0..W
+///     manifest.txt  v.atsm  lambda.atsm
+///     shard-0000/ u.atsm deltas.bin
+///     ...
+///   tblock-0001/                 # cols W..2W
+///   ...
+/// ```
+///
+/// A v2 or v3 directory is exactly a one-block v4 store whose block
+/// directory *is* the store directory — [`TimeBlockedManifest::read`]
+/// normalizes it (`source_version` keeps the original tag).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeBlockedManifest {
+    /// Compression method tag (`"svd"` or `"svdd"`), uniform across blocks.
+    pub method: String,
+    /// Total number of sequences (`N`) — every block covers all rows.
+    pub rows: usize,
+    /// Total sequence length (`M`) across all blocks.
+    pub cols: usize,
+    /// Whether delta tables carry Bloom filters (§4.2).
+    pub bloom: bool,
+    /// Time blocks, in ascending column order.
+    pub blocks: Vec<TimeBlockEntry>,
+    /// Format version the manifest was read from: 2 or 3 (normalized
+    /// single-block view) or 4.
+    pub source_version: u32,
+}
+
+impl TimeBlockedManifest {
+    /// Directory holding block `index`'s nested store: the store
+    /// directory itself for a normalized v2/v3 store, `tblock-NNNN/`
+    /// for genuine v4.
+    pub fn block_dir(&self, base: &Path, index: usize) -> PathBuf {
+        if self.source_version == TIMEBLOCKED_STORE_VERSION {
+            base.join(tblock_dir_name(index))
+        } else {
+            base.to_path_buf()
+        }
+    }
+
+    /// Index of the block owning absolute column `col`, if in range.
+    pub fn block_of_col(&self, col: usize) -> Option<usize> {
+        self.blocks
+            .iter()
+            .position(|b| col >= b.start && col < b.end)
+    }
+
+    /// Serialize to the canonical v4 text form, including the trailing
+    /// `manifest-crc` self-checksum line.
+    pub fn encode(&self) -> String {
+        let mut text = String::new();
+        text.push_str(&format!("ats-store-version={TIMEBLOCKED_STORE_VERSION}\n"));
+        text.push_str(&format!("method={}\n", self.method));
+        text.push_str(&format!("rows={}\n", self.rows));
+        text.push_str(&format!("cols={}\n", self.cols));
+        text.push_str(&format!("bloom={}\n", self.bloom));
+        text.push_str(&format!("tblocks={}\n", self.blocks.len()));
+        for (i, b) in self.blocks.iter().enumerate() {
+            text.push_str(&format!("tblock.{i}.cols={}..{}\n", b.start, b.end));
+            if let Some(sse) = b.sse {
+                text.push_str(&format!("tblock.{i}.sse={:016x}\n", sse.to_bits()));
+            }
+            text.push_str(&format!(
+                "tblock.{i}.crc.manifest={:016x}\n",
+                b.crc_manifest
+            ));
+        }
+        let csum = hash_bytes(text.as_bytes());
+        text.push_str(&format!("manifest-crc={csum:016x}\n"));
+        text
+    }
+
+    /// Parse manifest text of any store format: v4 natively, v2/v3
+    /// normalized into a single-block view whose nested-manifest CRC is
+    /// the hash of the given text itself (the block directory *is* the
+    /// store directory, so its manifest is this one).
+    pub fn parse(text: &str) -> Result<Self> {
+        match sniff_version(text)? {
+            4 => Self::parse_v4(text),
+            2 | 3 => Ok(Self::from_sharded(
+                ShardedManifest::parse(text)?,
+                hash_bytes(text.as_bytes()),
+            )),
+            v => Err(AtsError::Corrupt(format!(
+                "unsupported store format version {v} (expected 2, 3, or {TIMEBLOCKED_STORE_VERSION})"
+            ))),
+        }
+    }
+
+    /// Normalize a v2/v3 manifest into the single-block view.
+    pub fn from_sharded(m: ShardedManifest, crc_manifest: u64) -> Self {
+        TimeBlockedManifest {
+            method: m.method.clone(),
+            rows: m.rows,
+            cols: m.cols,
+            bloom: m.bloom,
+            blocks: vec![TimeBlockEntry {
+                start: 0,
+                end: m.cols,
+                sse: None,
+                crc_manifest,
+            }],
+            source_version: m.source_version,
+        }
+    }
+
+    fn parse_v4(text: &str) -> Result<Self> {
+        let head = checked_manifest_head(text)?;
+
+        let mut version = None;
+        let mut method = None;
+        let mut rows = None;
+        let mut cols = None;
+        let mut bloom = None;
+        let mut block_count = None;
+        let mut slots: std::collections::BTreeMap<usize, TimeBlockSlot> =
+            std::collections::BTreeMap::new();
+        for line in head.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| AtsError::Corrupt(format!("malformed manifest line {line:?}")))?;
+            match key {
+                "ats-store-version" => {
+                    set_once("ats-store-version", &mut version, parse_usize(key, value)?)?
+                }
+                "method" => set_once("method", &mut method, value.to_string())?,
+                "rows" => set_once("rows", &mut rows, parse_usize(key, value)?)?,
+                "cols" => set_once("cols", &mut cols, parse_usize(key, value)?)?,
+                "bloom" => {
+                    let b = match value {
+                        "true" => true,
+                        "false" => false,
+                        other => {
+                            return Err(AtsError::Corrupt(format!(
+                                "manifest bloom flag must be true|false, got {other:?}"
+                            )))
+                        }
+                    };
+                    set_once("bloom", &mut bloom, b)?;
+                }
+                "tblocks" => set_once("tblocks", &mut block_count, parse_usize(key, value)?)?,
+                tblock_key => parse_tblock_key(tblock_key, value, &mut slots)?,
+            }
+        }
+
+        let version =
+            version.ok_or_else(|| AtsError::Corrupt("manifest missing version".into()))?;
+        if u64_from_usize(version) != u64::from(TIMEBLOCKED_STORE_VERSION) {
+            return Err(AtsError::Corrupt(format!(
+                "unsupported store format version {version} (expected {TIMEBLOCKED_STORE_VERSION})"
+            )));
+        }
+        let require = |what: &str, v: Option<usize>| {
+            v.ok_or_else(|| AtsError::Corrupt(format!("manifest missing {what}")))
+        };
+        let rows = require("rows", rows)?;
+        let cols = require("cols", cols)?;
+        let block_count = require("tblocks", block_count)?;
+        if block_count == 0 {
+            return Err(AtsError::Corrupt(
+                "manifest declares zero time blocks".into(),
+            ));
+        }
+        if slots.len() != block_count || slots.keys().enumerate().any(|(want, &got)| want != got) {
+            return Err(AtsError::Corrupt(format!(
+                "manifest declares {block_count} time blocks but defines indices {:?}",
+                slots.keys().collect::<Vec<_>>()
+            )));
+        }
+        let mut blocks = Vec::new();
+        let mut next_start = 0usize;
+        for (i, slot) in slots {
+            let entry = slot.finish(i)?;
+            if entry.start != next_start || entry.end <= entry.start {
+                return Err(AtsError::Corrupt(format!(
+                    "time block {i} range {}..{} is not contiguous from column {next_start}",
+                    entry.start, entry.end
+                )));
+            }
+            next_start = entry.end;
+            blocks.push(entry);
+        }
+        if next_start != cols {
+            return Err(AtsError::Corrupt(format!(
+                "time block ranges cover 0..{next_start} but manifest declares {cols} columns"
+            )));
+        }
+        Ok(TimeBlockedManifest {
+            method: method.ok_or_else(|| AtsError::Corrupt("manifest missing method".into()))?,
+            rows,
+            cols,
+            bloom: bloom.ok_or_else(|| AtsError::Corrupt("manifest missing bloom flag".into()))?,
+            blocks,
+            source_version: TIMEBLOCKED_STORE_VERSION,
+        })
+    }
+
+    /// Read `dir/manifest.txt` and parse it as any store format,
+    /// normalizing v2/v3 into the single-block view.
+    pub fn read(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref();
+        let path = dir.join(MANIFEST_FILE);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound && dir.is_dir() => {
+                return Err(AtsError::Corrupt(format!(
+                    "store at {} has no {MANIFEST_FILE} (not an ats store)",
+                    dir.display()
+                )));
+            }
+            Err(e) => return Err(e.into()),
+        };
+        Self::parse(&text)
+    }
+
+    /// Read every block's nested manifest, cross-checking each file's
+    /// CRC against the top-level entry and its geometry against the
+    /// block table (all rows, exactly the block's columns, the same
+    /// method). The nested manifests' own CRCs cover the component
+    /// files, so a match here pins the whole block tree.
+    pub fn read_blocks(&self, base: impl AsRef<Path>) -> Result<Vec<ShardedManifest>> {
+        let base = base.as_ref();
+        let mut out = Vec::new();
+        for (i, b) in self.blocks.iter().enumerate() {
+            let dir = self.block_dir(base, i);
+            let path = dir.join(MANIFEST_FILE);
+            let bytes = match fs::read(&path) {
+                Ok(t) => t,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    return Err(AtsError::Corrupt(format!(
+                        "time block {i} manifest is missing from {}",
+                        base.display()
+                    )));
+                }
+                Err(e) => return Err(e.into()),
+            };
+            let got = hash_bytes(&bytes);
+            if got != b.crc_manifest {
+                return Err(AtsError::Corrupt(format!(
+                    "time block {i} manifest checksum mismatch: manifest {:#x}, file {got:#x}",
+                    b.crc_manifest
+                )));
+            }
+            let text = String::from_utf8(bytes)
+                .map_err(|_| AtsError::Corrupt(format!("time block {i} manifest is not UTF-8")))?;
+            let nested = ShardedManifest::parse(&text)?;
+            if nested.rows != self.rows {
+                return Err(AtsError::Corrupt(format!(
+                    "time block {i} covers {} rows but the store declares {}",
+                    nested.rows, self.rows
+                )));
+            }
+            if nested.cols != b.cols() {
+                return Err(AtsError::Corrupt(format!(
+                    "time block {i} holds {} columns but the block table declares {}..{}",
+                    nested.cols, b.start, b.end
+                )));
+            }
+            if nested.method != self.method {
+                return Err(AtsError::Corrupt(format!(
+                    "time block {i} method {:?} differs from the store's {:?}",
+                    nested.method, self.method
+                )));
+            }
+            out.push(nested);
+        }
+        Ok(out)
+    }
+}
+
+/// Partially-parsed fields of one `tblock.N.*` key group.
+#[derive(Default)]
+struct TimeBlockSlot {
+    range: Option<(usize, usize)>,
+    sse: Option<f64>,
+    crc_manifest: Option<u64>,
+}
+
+impl TimeBlockSlot {
+    fn finish(self, index: usize) -> Result<TimeBlockEntry> {
+        let missing =
+            |what: &str| AtsError::Corrupt(format!("manifest missing tblock.{index}.{what}"));
+        let (start, end) = self.range.ok_or_else(|| missing("cols"))?;
+        Ok(TimeBlockEntry {
+            start,
+            end,
+            sse: self.sse,
+            crc_manifest: self.crc_manifest.ok_or_else(|| missing("crc.manifest"))?,
+        })
+    }
+}
+
+/// Parse one `tblock.<index>.<field>=<value>` manifest line into `slots`.
+fn parse_tblock_key(
+    key: &str,
+    value: &str,
+    slots: &mut std::collections::BTreeMap<usize, TimeBlockSlot>,
+) -> Result<()> {
+    let unknown = || AtsError::Corrupt(format!("unknown manifest key {key:?}"));
+    let rest = key.strip_prefix("tblock.").ok_or_else(unknown)?;
+    let (index, field) = rest.split_once('.').ok_or_else(unknown)?;
+    let index: usize = index.parse().map_err(|_| unknown())?;
+    let slot = slots.entry(index).or_default();
+    match field {
+        "cols" => {
+            let (a, b) = value.split_once("..").ok_or_else(|| {
+                AtsError::Corrupt(format!("time block range {value:?} is not START..END"))
+            })?;
+            let range = (parse_usize(key, a)?, parse_usize(key, b)?);
+            set_once(key, &mut slot.range, range)
+        }
+        "sse" => set_once(key, &mut slot.sse, f64::from_bits(parse_hex_u64(value)?)),
+        "crc.manifest" => set_once(key, &mut slot.crc_manifest, parse_hex_u64(value)?),
+        _ => Err(unknown()),
+    }
+}
+
+/// Validate a store directory of any format: parse the top manifest
+/// (normalizing v2/v3 into a single-block view), CRC-check every block's
+/// nested manifest against it, and then run the full per-component
+/// validation of every block's nested store.
+///
+/// Returns the normalized manifest and the per-block nested manifests.
+/// A missing directory propagates as an I/O error; anything else is
+/// [`AtsError::Corrupt`].
+pub fn validate_timeblocked_store_dir(
+    dir: impl AsRef<Path>,
+) -> Result<(TimeBlockedManifest, Vec<ShardedManifest>)> {
+    let dir = dir.as_ref();
+    let manifest = TimeBlockedManifest::read(dir)?;
+    let blocks = manifest.read_blocks(dir)?;
+    for i in 0..manifest.blocks.len() {
+        validate_sharded_store_dir(manifest.block_dir(dir, i))?;
+    }
+    Ok((manifest, blocks))
+}
+
+/// Fill a sharded manifest's CRCs from the component files staged under
+/// `dir` (the v3 layout: `v.atsm`/`lambda.atsm` at the top,
+/// `shard-NNNN/{u.atsm,deltas.bin}` per shard), stamp it v3, and write
+/// `dir/manifest.txt`. Shared by [`StoreWriter::commit_sharded`] and the
+/// per-block staging of a v4 save. Returns the filled manifest.
+pub fn write_sharded_manifest_into(
+    dir: &Path,
+    mut manifest: ShardedManifest,
+) -> Result<ShardedManifest> {
+    let staged_crc = |path: &Path, what: &str| -> Result<u64> {
+        match file_crc(path) {
+            Ok(c) => Ok(c),
+            Err(AtsError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => Err(
+                AtsError::InvalidArgument(format!("commit without staged component {what}")),
+            ),
+            Err(e) => Err(e),
+        }
+    };
+    manifest.crc_v = staged_crc(&dir.join("v.atsm"), "v.atsm")?;
+    manifest.crc_lambda = staged_crc(&dir.join("lambda.atsm"), "lambda.atsm")?;
+    for (i, s) in manifest.shards.iter_mut().enumerate() {
+        let shard = dir.join(shard_dir_name(i));
+        s.crc_u = staged_crc(&shard.join("u.atsm"), &format!("shard {i} u.atsm"))?;
+        s.crc_deltas = staged_crc(&shard.join("deltas.bin"), &format!("shard {i} deltas.bin"))?;
+    }
+    manifest.source_version = SHARDED_STORE_VERSION;
+    fs::write(dir.join(MANIFEST_FILE), manifest.encode())?;
+    Ok(manifest)
+}
+
 /// Crash-safe store-directory writer: stage every component in a hidden
 /// sibling temp directory, then swap it into place atomically.
 ///
@@ -803,24 +1223,32 @@ impl StoreWriter {
     /// [`StoreWriter::path`] (`v.atsm` / `lambda.atsm` at the top,
     /// `shard-NNNN/{u.atsm,deltas.bin}` per shard), write it, fsync the
     /// whole staged tree, and atomically swap it into place.
-    pub fn commit_sharded(mut self, mut manifest: ShardedManifest) -> Result<()> {
-        let staged_crc = |path: &Path, what: &str| -> Result<u64> {
-            match file_crc(path) {
-                Ok(c) => Ok(c),
-                Err(AtsError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => Err(
-                    AtsError::InvalidArgument(format!("commit without staged component {what}")),
-                ),
-                Err(e) => Err(e),
-            }
-        };
-        manifest.crc_v = staged_crc(&self.tmp.join("v.atsm"), "v.atsm")?;
-        manifest.crc_lambda = staged_crc(&self.tmp.join("lambda.atsm"), "lambda.atsm")?;
-        for (i, s) in manifest.shards.iter_mut().enumerate() {
-            let shard = self.tmp.join(shard_dir_name(i));
-            s.crc_u = staged_crc(&shard.join("u.atsm"), &format!("shard {i} u.atsm"))?;
-            s.crc_deltas = staged_crc(&shard.join("deltas.bin"), &format!("shard {i} deltas.bin"))?;
+    pub fn commit_sharded(mut self, manifest: ShardedManifest) -> Result<()> {
+        write_sharded_manifest_into(&self.tmp, manifest)?;
+        self.swap_into_place()
+    }
+
+    /// Finish a time-blocked (v4) save. The staged tree must hold one
+    /// `tblock-NNNN/` directory per manifest block, each already a
+    /// complete nested v3 store (manifest written during staging via
+    /// [`write_sharded_manifest_into`]). Fills each block's
+    /// nested-manifest CRC, writes the top-level manifest, fsyncs the
+    /// whole staged tree, and atomically swaps it into place — so a
+    /// torn multi-block commit never exposes a half-written store.
+    pub fn commit_timeblocked(mut self, mut manifest: TimeBlockedManifest) -> Result<()> {
+        for (i, b) in manifest.blocks.iter_mut().enumerate() {
+            let path = self.tmp.join(tblock_dir_name(i)).join(MANIFEST_FILE);
+            b.crc_manifest = match file_crc(&path) {
+                Ok(c) => c,
+                Err(AtsError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                    return Err(AtsError::InvalidArgument(format!(
+                        "commit without staged time block {i} manifest"
+                    )));
+                }
+                Err(e) => return Err(e),
+            };
         }
-        manifest.source_version = SHARDED_STORE_VERSION;
+        manifest.source_version = TIMEBLOCKED_STORE_VERSION;
         fs::write(self.tmp.join(MANIFEST_FILE), manifest.encode())?;
         self.swap_into_place()
     }
@@ -1325,5 +1753,192 @@ mod tests {
         let m = validate_sharded_store_dir(&target).unwrap();
         assert_eq!(m.source_version, STORE_VERSION);
         assert_eq!(m.shards.len(), 1);
+    }
+
+    fn timeblocked_manifest() -> TimeBlockedManifest {
+        TimeBlockedManifest {
+            method: "svdd".into(),
+            rows: 200,
+            cols: 21,
+            bloom: true,
+            blocks: vec![
+                TimeBlockEntry {
+                    start: 0,
+                    end: 12,
+                    sse: Some(0.5),
+                    crc_manifest: 41,
+                },
+                TimeBlockEntry {
+                    start: 12,
+                    end: 21,
+                    sse: Some(0.25),
+                    crc_manifest: 42,
+                },
+            ],
+            source_version: TIMEBLOCKED_STORE_VERSION,
+        }
+    }
+
+    /// Stage one complete nested v3 store per block width under `dir`,
+    /// writing each block's filled nested manifest.
+    fn stage_timeblocked(dir: &Path, widths: &[usize]) {
+        for (i, w) in widths.iter().enumerate() {
+            let bdir = dir.join(tblock_dir_name(i));
+            std::fs::create_dir_all(&bdir).unwrap();
+            stage_sharded_components(&bdir, 2);
+            let mut nested = sharded_manifest();
+            nested.cols = *w;
+            write_sharded_manifest_into(&bdir, nested).unwrap();
+        }
+    }
+
+    #[test]
+    fn timeblocked_manifest_roundtrip_preserves_sse_bits() {
+        let m = timeblocked_manifest();
+        let parsed = TimeBlockedManifest::parse(&m.encode()).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.blocks[0].sse.unwrap().to_bits(), 0.5f64.to_bits());
+    }
+
+    #[test]
+    fn timeblocked_manifest_bitflip_detected_everywhere() {
+        let text = timeblocked_manifest().encode();
+        for i in 0..text.len() {
+            let mut bytes = text.clone().into_bytes();
+            bytes[i] ^= 0x01;
+            let Ok(s) = String::from_utf8(bytes) else {
+                continue;
+            };
+            assert!(
+                TimeBlockedManifest::parse(&s).is_err(),
+                "flip at byte {i} accepted: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn timeblocked_manifest_geometry_violations_rejected() {
+        // Gap between blocks.
+        let mut m = timeblocked_manifest();
+        m.blocks[1].start = 13;
+        assert!(TimeBlockedManifest::parse(&m.encode()).is_err());
+        // Overlap.
+        let mut m = timeblocked_manifest();
+        m.blocks[1].start = 11;
+        assert!(TimeBlockedManifest::parse(&m.encode()).is_err());
+        // Not covering all columns.
+        let mut m = timeblocked_manifest();
+        m.blocks[1].end = 20;
+        assert!(TimeBlockedManifest::parse(&m.encode()).is_err());
+        // Empty block.
+        let mut m = timeblocked_manifest();
+        m.blocks[0].end = 0;
+        assert!(TimeBlockedManifest::parse(&m.encode()).is_err());
+        // Zero blocks.
+        let mut m = timeblocked_manifest();
+        m.blocks.clear();
+        assert!(TimeBlockedManifest::parse(&m.encode()).is_err());
+    }
+
+    #[test]
+    fn v3_manifest_parses_as_single_block_view() {
+        let sharded = sharded_manifest();
+        let text = sharded.encode();
+        let m = TimeBlockedManifest::parse(&text).unwrap();
+        assert_eq!(m.source_version, SHARDED_STORE_VERSION);
+        assert_eq!(m.rows, sharded.rows);
+        assert_eq!(m.cols, sharded.cols);
+        assert_eq!(m.blocks.len(), 1);
+        assert_eq!(m.blocks[0].start, 0);
+        assert_eq!(m.blocks[0].end, sharded.cols);
+        assert_eq!(m.blocks[0].sse, None);
+        assert_eq!(
+            m.blocks[0].crc_manifest,
+            ats_common::hash::hash_bytes(text.as_bytes())
+        );
+        // The single block's components live in the store directory itself.
+        let base = Path::new("store");
+        assert_eq!(m.block_dir(base, 0), base);
+        assert_eq!(m.block_of_col(0), Some(0));
+        assert_eq!(m.block_of_col(sharded.cols), None);
+    }
+
+    #[test]
+    fn commit_timeblocked_swaps_atomically_and_validates() {
+        let t = ats_common::TestDir::new("ats-storedir");
+        let target = t.file("store");
+        let w = StoreWriter::begin(&target).unwrap();
+        stage_timeblocked(w.path(), &[12, 9]);
+        w.commit_timeblocked(timeblocked_manifest()).unwrap();
+
+        let (m, nested) = validate_timeblocked_store_dir(&target).unwrap();
+        assert_eq!(m.source_version, TIMEBLOCKED_STORE_VERSION);
+        assert_eq!(m.blocks.len(), 2);
+        assert_eq!(nested.len(), 2);
+        assert_ne!(
+            m.blocks[0].crc_manifest, 41,
+            "commit recomputes nested CRCs"
+        );
+        assert_eq!(nested[0].cols, 12);
+        assert_eq!(nested[1].cols, 9);
+        assert_eq!(m.block_of_col(11), Some(0));
+        assert_eq!(m.block_of_col(12), Some(1));
+        // Genuine v4: blocks live in tblock-NNNN subdirectories.
+        assert_eq!(m.block_dir(&target, 1), target.join("tblock-0001"));
+        // No temp litter next to the store.
+        let names: Vec<String> = std::fs::read_dir(t.path())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["store".to_string()], "{names:?}");
+    }
+
+    #[test]
+    fn commit_timeblocked_without_staged_block_refused() {
+        let t = ats_common::TestDir::new("ats-storedir");
+        let target = t.file("store");
+        let w = StoreWriter::begin(&target).unwrap();
+        // Only block 0 staged; the manifest declares two.
+        stage_timeblocked(w.path(), &[12]);
+        let err = w.commit_timeblocked(timeblocked_manifest()).unwrap_err();
+        assert!(matches!(err, AtsError::InvalidArgument(_)), "{err}");
+        assert!(err.to_string().contains("time block 1"), "{err}");
+        assert!(!target.exists());
+    }
+
+    #[test]
+    fn timeblocked_validate_detects_nested_tampering() {
+        let t = ats_common::TestDir::new("ats-storedir");
+        let target = t.file("store");
+        let w = StoreWriter::begin(&target).unwrap();
+        stage_timeblocked(w.path(), &[12, 9]);
+        w.commit_timeblocked(timeblocked_manifest()).unwrap();
+
+        // Corrupt one byte of a nested component: per-block validation fails.
+        let victim = target
+            .join(tblock_dir_name(1))
+            .join(shard_dir_name(0))
+            .join("u.atsm");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        bytes[0] ^= 0x01;
+        std::fs::write(&victim, &bytes).unwrap();
+        assert!(validate_timeblocked_store_dir(&target).is_err());
+        bytes[0] ^= 0x01;
+        std::fs::write(&victim, &bytes).unwrap();
+        validate_timeblocked_store_dir(&target).unwrap();
+
+        // Rewrite a nested manifest (self-consistent but different):
+        // the top-level nested-manifest CRC catches the swap.
+        let nested_path = target.join(tblock_dir_name(0)).join(MANIFEST_FILE);
+        let mut nested = ShardedManifest::read(target.join(tblock_dir_name(0))).unwrap();
+        nested.k += 1;
+        std::fs::write(&nested_path, nested.encode()).unwrap();
+        let err = validate_timeblocked_store_dir(&target).unwrap_err();
+        assert!(matches!(err, AtsError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("time block 0"), "{err}");
+
+        // A whole missing block directory is corruption, not a crash.
+        std::fs::remove_dir_all(target.join(tblock_dir_name(0))).unwrap();
+        assert!(validate_timeblocked_store_dir(&target).is_err());
     }
 }

@@ -13,8 +13,9 @@ use ats_common::AtsError;
 use ats_linalg::Matrix;
 use ats_storage::file::{read_matrix, write_matrix, MatrixFileWriter};
 use ats_storage::store_dir::{
-    shard_dir_name, validate_sharded_store_dir, validate_store_dir, ShardEntry, ShardedManifest,
-    COMPONENT_FILES, MANIFEST_FILE, SHARD_FILES,
+    shard_dir_name, tblock_dir_name, validate_sharded_store_dir, validate_store_dir,
+    validate_timeblocked_store_dir, write_sharded_manifest_into, ShardEntry, ShardedManifest,
+    TimeBlockEntry, TimeBlockedManifest, COMPONENT_FILES, MANIFEST_FILE, SHARD_FILES,
 };
 use ats_storage::{CachedFile, MatrixFile, StoreManifest, StoreWriter};
 use std::path::Path;
@@ -588,6 +589,315 @@ fn sharded_manifest_tampering_is_corrupt() {
     std::fs::remove_file(&path).unwrap();
     assert!(matches!(
         validate_sharded_store_dir(&target),
+        Err(AtsError::Corrupt(_))
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Time-blocked store-directory (format v4) kill-point and corruption
+// suite: two time blocks, each a complete nested v3 store with two
+// row shards.
+// ---------------------------------------------------------------------
+
+const DEMO_TBLOCKS: usize = 2;
+const DEMO_BLOCK_COLS: usize = 3;
+const DEMO_BLOCK_SHARDS: usize = 2;
+
+fn demo_block_manifest() -> ShardedManifest {
+    let entries = (0..DEMO_BLOCK_SHARDS)
+        .map(|i| ShardEntry {
+            start: i * 2,
+            end: (i + 1) * 2,
+            deltas: 0,
+            crc_u: 0,
+            crc_deltas: 0,
+            append_sse: None,
+        })
+        .collect();
+    ShardedManifest {
+        method: "svdd".into(),
+        rows: 2 * DEMO_BLOCK_SHARDS,
+        cols: DEMO_BLOCK_COLS,
+        k: 2,
+        deltas: 0,
+        bloom: false,
+        crc_v: 0,
+        crc_lambda: 0,
+        shards: entries,
+        source_version: 0, // filled in by write_sharded_manifest_into
+    }
+}
+
+fn demo_timeblocked_manifest() -> TimeBlockedManifest {
+    let blocks = (0..DEMO_TBLOCKS)
+        .map(|b| TimeBlockEntry {
+            start: b * DEMO_BLOCK_COLS,
+            end: (b + 1) * DEMO_BLOCK_COLS,
+            sse: Some(0.25),
+            crc_manifest: 0, // filled in by commit_timeblocked
+        })
+        .collect();
+    TimeBlockedManifest {
+        method: "svdd".into(),
+        rows: 2 * DEMO_BLOCK_SHARDS,
+        cols: DEMO_TBLOCKS * DEMO_BLOCK_COLS,
+        bloom: false,
+        blocks,
+        source_version: 0, // stamped v4 by commit_timeblocked
+    }
+}
+
+/// Every file of a multi-block save in the order the save writes them:
+/// per block, the shared factors, then each row shard's partition, then
+/// the nested v3 manifest that seals the block.
+fn timeblocked_component_files() -> Vec<String> {
+    let mut files = Vec::new();
+    for b in 0..DEMO_TBLOCKS {
+        let block = tblock_dir_name(b);
+        files.push(format!("{block}/v.atsm"));
+        files.push(format!("{block}/lambda.atsm"));
+        for s in 0..DEMO_BLOCK_SHARDS {
+            for name in SHARD_FILES {
+                files.push(format!("{block}/{}/{name}", shard_dir_name(s)));
+            }
+        }
+        files.push(format!("{block}/{MANIFEST_FILE}"));
+    }
+    files
+}
+
+/// Stage the components of time block `b` under `dir/tblock-NNNN/` and
+/// seal the block with its nested v3 manifest.
+fn stage_demo_block(dir: &Path, b: usize, tag: f64) {
+    let block = dir.join(tblock_dir_name(b));
+    std::fs::create_dir_all(&block).unwrap();
+    write_matrix(
+        block.join("v.atsm"),
+        &Matrix::from_fn(DEMO_BLOCK_COLS, 2, |i, j| tag + (b * 9 + i + j) as f64),
+    )
+    .unwrap();
+    write_matrix(
+        block.join("lambda.atsm"),
+        &Matrix::from_fn(1, 2, |_, j| (j + 1) as f64),
+    )
+    .unwrap();
+    for s in 0..DEMO_BLOCK_SHARDS {
+        let shard = block.join(shard_dir_name(s));
+        std::fs::create_dir_all(&shard).unwrap();
+        write_matrix(
+            shard.join("u.atsm"),
+            &Matrix::from_fn(2, 2, |i, j| tag + (b * 31 + s * 4 + i * 2 + j) as f64),
+        )
+        .unwrap();
+        std::fs::write(shard.join("deltas.bin"), [tag as u8 ^ b as u8; 8]).unwrap();
+    }
+    write_sharded_manifest_into(&block, demo_block_manifest()).unwrap();
+}
+
+/// Stage and commit a valid two-block v4 store at `target`, returning
+/// the committed bytes of block 1 / shard 1's `u.atsm` as a probe.
+fn commit_demo_timeblocked_store(target: &Path, tag: f64) -> Vec<u8> {
+    let w = StoreWriter::begin(target).unwrap();
+    for b in 0..DEMO_TBLOCKS {
+        stage_demo_block(w.path(), b, tag);
+    }
+    w.commit_timeblocked(demo_timeblocked_manifest()).unwrap();
+    std::fs::read(
+        target
+            .join(tblock_dir_name(1))
+            .join(shard_dir_name(1))
+            .join("u.atsm"),
+    )
+    .unwrap()
+}
+
+#[test]
+fn timeblocked_kill_point_at_every_save_stage_preserves_old_store() {
+    let dir = dir();
+    let target = dir.file("store");
+    let old_u = commit_demo_timeblocked_store(&target, 60.0);
+    let files = timeblocked_component_files();
+
+    // Crash after each file write of a new multi-block save — including
+    // after each block's nested manifest is sealed but before the
+    // top-level commit. The committed store stays valid and
+    // byte-identical at every kill point.
+    for stage in 0..=files.len() {
+        let staged = dir.file(format!(".store.tmp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&staged);
+        std::fs::create_dir_all(&staged).unwrap();
+        for name in &files[..stage] {
+            let path = staged.join(name);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(path, b"partial new generation").unwrap();
+        }
+        let (m, blocks) = validate_timeblocked_store_dir(&target)
+            .unwrap_or_else(|e| panic!("stage {stage}: {e}"));
+        assert_eq!(m.blocks.len(), DEMO_TBLOCKS, "stage {stage}");
+        assert_eq!(blocks.len(), DEMO_TBLOCKS, "stage {stage}");
+        assert_eq!(
+            std::fs::read(
+                target
+                    .join(tblock_dir_name(1))
+                    .join(shard_dir_name(1))
+                    .join("u.atsm")
+            )
+            .unwrap(),
+            old_u,
+            "stage {stage}: old store must be untouched"
+        );
+        std::fs::remove_dir_all(&staged).unwrap();
+    }
+
+    // A crash inside the swap window leaves a clean absence, not a torn
+    // multi-block store.
+    let aside = dir.file(".store.old-sim");
+    std::fs::rename(&target, &aside).unwrap();
+    assert!(matches!(
+        validate_timeblocked_store_dir(&target),
+        Err(AtsError::Io(_))
+    ));
+    std::fs::rename(&aside, &target).unwrap();
+    validate_timeblocked_store_dir(&target).unwrap();
+}
+
+#[test]
+fn timeblocked_interrupted_save_never_exposes_new_data_early() {
+    // Even with every block fully staged and sealed, the store at
+    // `target` is the old generation until the commit rename lands.
+    let dir = dir();
+    let target = dir.file("store");
+    let old_u = commit_demo_timeblocked_store(&target, 2.0);
+    {
+        let w = StoreWriter::begin(&target).unwrap();
+        for b in 0..DEMO_TBLOCKS {
+            stage_demo_block(w.path(), b, 77.0);
+        }
+        // Writer dropped without commit_timeblocked: crash-before-rename.
+    }
+    validate_timeblocked_store_dir(&target).unwrap();
+    assert_eq!(
+        std::fs::read(
+            target
+                .join(tblock_dir_name(1))
+                .join(shard_dir_name(1))
+                .join("u.atsm")
+        )
+        .unwrap(),
+        old_u
+    );
+}
+
+#[test]
+fn timeblocked_commit_without_staged_block_is_rejected() {
+    // Committing with a block table that names a time block whose nested
+    // store was never staged must fail the commit and leave nothing at
+    // the target.
+    let dir = dir();
+    let target = dir.file("store");
+    let w = StoreWriter::begin(&target).unwrap();
+    stage_demo_block(w.path(), 0, 4.0); // block 1 never staged
+    match w.commit_timeblocked(demo_timeblocked_manifest()) {
+        Err(AtsError::InvalidArgument(msg)) => assert!(msg.contains("time block 1"), "{msg}"),
+        other => panic!("commit with missing block: {other:?}"),
+    }
+    assert!(!target.exists(), "failed commit must not create the store");
+}
+
+#[test]
+fn timeblocked_every_component_truncation_deletion_bitflip_is_corrupt() {
+    let dir = dir();
+    let target = dir.file("store");
+    commit_demo_timeblocked_store(&target, 9.0);
+
+    for name in timeblocked_component_files() {
+        let path = target.join(&name);
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Truncation at several depths, including to zero bytes.
+        for cut in [0usize, 1, pristine.len() / 2, pristine.len() - 1] {
+            std::fs::write(&path, &pristine[..cut]).unwrap();
+            match validate_timeblocked_store_dir(&target) {
+                Err(AtsError::Corrupt(_)) => {}
+                other => panic!("{name} cut at {cut}: {other:?}"),
+            }
+        }
+
+        // Bit flips at several offsets — in a nested manifest these must
+        // trip the top-level block-table CRC, in a component file the
+        // nested store's own CRCs.
+        for off in [0usize, pristine.len() / 3, pristine.len() - 1] {
+            let mut bytes = pristine.clone();
+            bytes[off] ^= 0x40;
+            std::fs::write(&path, &bytes).unwrap();
+            match validate_timeblocked_store_dir(&target) {
+                Err(AtsError::Corrupt(_)) => {}
+                other => panic!("{name} flip at {off}: {other:?}"),
+            }
+        }
+
+        // Deletion.
+        std::fs::remove_file(&path).unwrap();
+        match validate_timeblocked_store_dir(&target) {
+            Err(AtsError::Corrupt(_)) => {}
+            other => panic!("{name} deleted: {other:?}"),
+        }
+
+        std::fs::write(&path, &pristine).unwrap();
+        validate_timeblocked_store_dir(&target).unwrap();
+    }
+
+    // Losing a whole time-block directory is corruption too.
+    let block = target.join(tblock_dir_name(DEMO_TBLOCKS - 1));
+    std::fs::remove_dir_all(&block).unwrap();
+    assert!(matches!(
+        validate_timeblocked_store_dir(&target),
+        Err(AtsError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn timeblocked_manifest_tampering_is_corrupt() {
+    let dir = dir();
+    let target = dir.file("store");
+    commit_demo_timeblocked_store(&target, 5.0);
+    let path = target.join(MANIFEST_FILE);
+    let pristine = std::fs::read(&path).unwrap();
+
+    // Any single-byte flip anywhere in the top-level manifest — version,
+    // block ranges, SSE bits, nested-manifest CRCs, the self-checksum —
+    // must be rejected.
+    for off in 0..pristine.len() {
+        let mut bytes = pristine.clone();
+        bytes[off] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            validate_timeblocked_store_dir(&target).is_err(),
+            "manifest flip at {off} accepted"
+        );
+    }
+    std::fs::write(&path, &pristine).unwrap();
+
+    // Swapping two blocks' nested manifests (both individually valid)
+    // must trip the per-block CRC pinning in the block table.
+    let m0 = target.join(tblock_dir_name(0)).join(MANIFEST_FILE);
+    let m1 = target.join(tblock_dir_name(1)).join(MANIFEST_FILE);
+    let (b0, b1) = (std::fs::read(&m0).unwrap(), std::fs::read(&m1).unwrap());
+    std::fs::write(&m0, &b1).unwrap();
+    std::fs::write(&m1, &b0).unwrap();
+    assert!(matches!(
+        validate_timeblocked_store_dir(&target),
+        Err(AtsError::Corrupt(_))
+    ));
+    std::fs::write(&m0, &b0).unwrap();
+    std::fs::write(&m1, &b1).unwrap();
+    validate_timeblocked_store_dir(&target).unwrap();
+
+    // Deleting the top-level manifest makes the directory a corrupt
+    // store, not a mystery I/O failure.
+    std::fs::remove_file(&path).unwrap();
+    assert!(matches!(
+        validate_timeblocked_store_dir(&target),
         Err(AtsError::Corrupt(_))
     ));
 }

@@ -28,8 +28,11 @@ use adhoc_ts::compress::delta::DELTA_BYTES;
 use adhoc_ts::compress::method::BYTES_PER_NUMBER;
 use adhoc_ts::compress::{SpaceBudget, SvddCompressed, SvddOptions};
 use adhoc_ts::core::disk::{save_svd, save_svdd};
-use adhoc_ts::core::shard::{append_rows, ShardedStore};
+use adhoc_ts::core::shard::append_rows;
 use adhoc_ts::core::store::{method_by_name, SequenceStore};
+use adhoc_ts::core::timeblock::{
+    append_time_block, retrain_flags, TimeBlockedStore, RETRAIN_SSE_FACTOR,
+};
 use adhoc_ts::data::{
     generate_phone, generate_stocks, PhoneConfig, StocksConfig, StreamingPhone, StreamingStocks,
 };
@@ -38,7 +41,7 @@ use adhoc_ts::query::metrics::error_report;
 use adhoc_ts::query::parse::{parse_batch_file, run_query};
 use adhoc_ts::query::serve::{serve, ServeConfig};
 use adhoc_ts::storage::file::write_source;
-use adhoc_ts::storage::store_dir::validate_sharded_store_dir;
+use adhoc_ts::storage::store_dir::{validate_timeblocked_store_dir, TIMEBLOCKED_STORE_VERSION};
 use adhoc_ts::storage::MatrixFile;
 use adhoc_ts::storage::RowSource;
 use std::collections::HashMap;
@@ -58,16 +61,25 @@ USAGE:
                                  statistics (mean/std dev) — small N only
   ats info <FILE|DIR>            matrix-file header, or the validated
                                  manifest of a store directory (format
-                                 version, shards, row ranges) without
-                                 paging any U data
+                                 version, shards, row ranges; for a
+                                 time-blocked v4 store the block table:
+                                 column ranges, k, reconstruction SSE,
+                                 delta counts, and a RETRAIN flag on
+                                 blocks whose per-cell SSE exceeds the
+                                 threshold) without paging any U data
   ats compress FILE --out DIR [--percent P] [--method svd|svdd] [--threads T]
   ats save FILE --out DIR [--percent P] [--method svd|svdd] [--threads T]
                                  build a SequenceStore and persist it
                                  crash-safely (sharded format v3);
                                  --shards R splits the build and the
                                  store into R row-range shards (results
-                                 are bit-identical for any R); --no-bloom
-                                 to drop the delta Bloom filter
+                                 are bit-identical for any R);
+                                 --time-blocks B partitions the *time*
+                                 axis into B column blocks, each with its
+                                 own decomposition (format v4) so range
+                                 queries read only overlapping blocks;
+                                 --no-bloom to drop the delta Bloom
+                                 filter
   ats save --generate <phone|stocks> [--rows N] [--cols M] [--seed S] --out DIR
                                  build straight from the streaming
                                  generator — no intermediate .atsm file,
@@ -77,8 +89,17 @@ USAGE:
                                  they land in a fresh shard under the
                                  frozen global factors, with the batch's
                                  reconstruction SSE recorded
+  ats append DIR FILE --time [--percent P]
+                                 append FILE's *columns* as new time
+                                 points to a time-blocked (v4) store:
+                                 they become a fresh block with its own
+                                 decomposition (never a projection under
+                                 a frozen V), published atomically
   ats open DIR [--pool-pages N]  validate and summarize a saved store
-  ats query DIR \"<query>\"       e.g. \"cell 42 17\", \"avg rows 0..100 cols all\"
+  ats query DIR \"<query>\"       e.g. \"cell 42 17\", \"avg rows 0..100 cols all\",
+                                 \"sum rows all in time [30..90]\" — a
+                                 time-range aggregate reads only the
+                                 blocks overlapping [t1..t2)
   ats query DIR --batch-file F [--threads T]
                                  answer a file of cell queries (`cell i j`
                                  or bare `i j`, one per line, `#` comments)
@@ -110,7 +131,7 @@ const USAGE_LINE: &str =
     "usage: ats <generate|info|compress|save|append|open|query|serve|verify|help> — run `ats help` for details";
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["no-bloom", "summary"];
+const BOOL_FLAGS: &[&str] = &["no-bloom", "summary", "time"];
 
 /// A CLI failure, split by whose fault it is: bad invocation (exit 2)
 /// versus a runtime error in a well-formed command (exit 1).
@@ -288,31 +309,69 @@ fn run() -> Result<(), CliError> {
             if std::path::Path::new(path).is_dir() {
                 // A store directory: print the validated manifest — every
                 // component CRC is checked, but no U page is served.
-                let m = validate_sharded_store_dir(path).map_err(rt)?;
-                let total =
-                    (m.rows * m.k + m.k + m.cols * m.k) * BYTES_PER_NUMBER + m.deltas * DELTA_BYTES;
-                println!(
-                    "{path}: format v{}, {} store, {} x {}, k={}, {} deltas, bloom={}, {} shards, {:.2} MB compressed",
-                    m.source_version,
-                    m.method,
-                    m.rows,
-                    m.cols,
-                    m.k,
-                    m.deltas,
-                    m.bloom,
-                    m.shards.len(),
-                    total as f64 / 1e6
-                );
-                for (i, s) in m.shards.iter().enumerate() {
-                    match s.append_sse {
-                        Some(sse) => println!(
-                            "  shard {i}: rows {}..{}, {} deltas, append sse {sse:.4}",
-                            s.start, s.end, s.deltas
-                        ),
-                        None => println!(
-                            "  shard {i}: rows {}..{}, {} deltas",
-                            s.start, s.end, s.deltas
-                        ),
+                let (top, nested) = validate_timeblocked_store_dir(path).map_err(rt)?;
+                if top.source_version == TIMEBLOCKED_STORE_VERSION {
+                    let total: usize = nested
+                        .iter()
+                        .map(|b| {
+                            (b.rows * b.k + b.k + b.cols * b.k) * BYTES_PER_NUMBER
+                                + b.deltas * DELTA_BYTES
+                        })
+                        .sum();
+                    let deltas: usize = nested.iter().map(|b| b.deltas).sum();
+                    println!(
+                        "{path}: format v4, {} store, {} x {}, {} deltas, bloom={}, {} time blocks, {:.2} MB compressed",
+                        top.method,
+                        top.rows,
+                        top.cols,
+                        deltas,
+                        top.bloom,
+                        top.blocks.len(),
+                        total as f64 / 1e6
+                    );
+                    let flags = retrain_flags(&top.blocks, top.rows, RETRAIN_SSE_FACTOR);
+                    for (i, ((b, n), flagged)) in
+                        top.blocks.iter().zip(&nested).zip(&flags).enumerate()
+                    {
+                        let sse = b
+                            .sse
+                            .map_or("sse n/a".to_string(), |s| format!("sse {s:.4}"));
+                        let mark = if *flagged { "  RETRAIN" } else { "" };
+                        println!(
+                            "  tblock {i}: cols {}..{}, k={}, {} deltas, {} shards, {sse}{mark}",
+                            b.start,
+                            b.end,
+                            n.k,
+                            n.deltas,
+                            n.shards.len(),
+                        );
+                    }
+                } else if let Some(m) = nested.first() {
+                    let total = (m.rows * m.k + m.k + m.cols * m.k) * BYTES_PER_NUMBER
+                        + m.deltas * DELTA_BYTES;
+                    println!(
+                        "{path}: format v{}, {} store, {} x {}, k={}, {} deltas, bloom={}, {} shards, {:.2} MB compressed",
+                        m.source_version,
+                        m.method,
+                        m.rows,
+                        m.cols,
+                        m.k,
+                        m.deltas,
+                        m.bloom,
+                        m.shards.len(),
+                        total as f64 / 1e6
+                    );
+                    for (i, s) in m.shards.iter().enumerate() {
+                        match s.append_sse {
+                            Some(sse) => println!(
+                                "  shard {i}: rows {}..{}, {} deltas, append sse {sse:.4}",
+                                s.start, s.end, s.deltas
+                            ),
+                            None => println!(
+                                "  shard {i}: rows {}..{}, {} deltas",
+                                s.start, s.end, s.deltas
+                            ),
+                        }
                     }
                 }
             } else {
@@ -375,8 +434,17 @@ fn run() -> Result<(), CliError> {
                 "save",
                 &flags,
                 &[
-                    "out", "percent", "method", "threads", "shards", "no-bloom", "generate",
-                    "rows", "cols", "seed",
+                    "out",
+                    "percent",
+                    "method",
+                    "threads",
+                    "shards",
+                    "time-blocks",
+                    "no-bloom",
+                    "generate",
+                    "rows",
+                    "cols",
+                    "seed",
                 ],
             )?;
             let out = flags
@@ -430,47 +498,70 @@ fn run() -> Result<(), CliError> {
             if flags.contains_key("shards") {
                 builder = builder.shards(flag_usize(&flags, "shards", 1)?);
             }
+            if flags.contains_key("time-blocks") {
+                builder = builder.time_blocks(flag_usize(&flags, "time-blocks", 1)?);
+            }
             let store = builder.build(source.as_ref()).map_err(rt)?;
             store.save(out).map_err(rt)?;
             println!(
-                "{}: {} x {}, {} shards, {:.2}% space, {:.1}s -> {out}",
+                "{}: {} x {}, {} shards, {} time blocks, {:.2}% space, {:.1}s -> {out}",
                 store.method().name(),
                 store.rows(),
                 store.cols(),
                 store.shards(),
+                store.time_blocks(),
                 100.0 * store.space_ratio(),
                 t0.elapsed().as_secs_f64()
             );
             Ok(())
         }
         Some("append") => {
-            check_flags("append", &flags, &["threads"])?;
+            check_flags("append", &flags, &["threads", "time", "percent"])?;
             let dir = pos.get(1).ok_or_else(|| usage("append needs DIR FILE"))?;
             let input = pos.get(2).ok_or_else(|| usage("append needs DIR FILE"))?;
             let threads = flag_usize(&flags, "threads", 1)?;
             let batch = MatrixFile::open(input).map_err(rt)?;
-            let report = append_rows(dir, &batch, threads, None).map_err(rt)?;
-            println!(
-                "appended {} rows into shard {} of {dir} (frozen-V sse {:.4})",
-                report.rows, report.shard_index, report.sse
-            );
+            if flags.contains_key("time") {
+                // New *time points*: a fresh block with its own
+                // decomposition, never a projection under a frozen V.
+                let budget = SpaceBudget::from_percent(flag_f64(&flags, "percent", 10.0)?);
+                let report = append_time_block(dir, &batch, budget, threads).map_err(rt)?;
+                println!(
+                    "appended {} time points as block {} of {dir} (block sse {:.4})",
+                    report.cols, report.block_index, report.sse
+                );
+            } else {
+                if flags.contains_key("percent") {
+                    return Err(usage("--percent only applies with --time"));
+                }
+                let report = append_rows(dir, &batch, threads, None).map_err(rt)?;
+                println!(
+                    "appended {} rows into shard {} of {dir} (frozen-V sse {:.4})",
+                    report.rows, report.shard_index, report.sse
+                );
+            }
             Ok(())
         }
         Some("open") => {
             check_flags("open", &flags, &["pool-pages"])?;
             let dir = pos.get(1).ok_or_else(|| usage("open needs DIR"))?;
             let pool = flag_usize(&flags, "pool-pages", 1024)?;
-            let store = ShardedStore::open(dir, pool).map_err(rt)?;
+            let store = TimeBlockedStore::open(dir, pool).map_err(rt)?;
             let m = store.manifest();
+            let shards: usize = store
+                .nested_manifests()
+                .iter()
+                .map(|n| n.shards.len())
+                .sum();
             println!(
-                "{dir}: {} store, {} x {}, k={}, {} deltas, bloom={}, {} shards, {:.2} MB compressed",
+                "{dir}: {} store, {} x {}, {} deltas, bloom={}, {} time blocks, {} shards, {:.2} MB compressed",
                 m.method,
                 m.rows,
                 m.cols,
-                m.k,
-                m.deltas,
+                store.num_deltas(),
                 m.bloom,
-                store.shard_count(),
+                store.block_count(),
+                shards,
                 adhoc_ts::compress::CompressedMatrix::storage_bytes(&store) as f64 / 1e6
             );
             Ok(())
@@ -485,7 +576,7 @@ fn run() -> Result<(), CliError> {
                 )),
                 (None, None) => Err(usage("query needs a query string or --batch-file FILE")),
                 (None, Some(q)) => {
-                    let store = ShardedStore::open(dir, 1024).map_err(rt)?;
+                    let store = TimeBlockedStore::open(dir, 1024).map_err(rt)?;
                     let engine = QueryEngine::new(&store).with_threads(threads);
                     let v = run_query(&engine, q).map_err(rt)?;
                     println!("{v}");
@@ -495,7 +586,7 @@ fn run() -> Result<(), CliError> {
                     let text = std::fs::read_to_string(file)
                         .map_err(|e| rt(format!("cannot read batch file {file}: {e}")))?;
                     let req = parse_batch_file(&text).map_err(rt)?;
-                    let store = ShardedStore::open(dir, 1024).map_err(rt)?;
+                    let store = TimeBlockedStore::open(dir, 1024).map_err(rt)?;
                     let engine = QueryEngine::new(&store).with_threads(threads);
                     let res = engine.batch_cells(&req).map_err(rt)?;
                     let mut out = String::new();
@@ -535,8 +626,8 @@ fn run() -> Result<(), CliError> {
                 pending_max: flag_usize(&flags, "pending-max", 64)?,
             };
             // One store, one page pool: every connection and every batch
-            // shares the same Arc'd ShardedStore through a 'static engine.
-            let store = Arc::new(ShardedStore::open(dir, pool).map_err(rt)?);
+            // shares the same Arc'd store through a 'static engine.
+            let store = Arc::new(TimeBlockedStore::open(dir, pool).map_err(rt)?);
             let io_store = Arc::clone(&store);
             let engine = QueryEngine::shared(store).with_threads(cfg.threads);
             let handle = serve(
@@ -584,7 +675,7 @@ fn run() -> Result<(), CliError> {
             let data = pos.get(1).ok_or_else(|| usage("verify needs FILE DIR"))?;
             let dir = pos.get(2).ok_or_else(|| usage("verify needs FILE DIR"))?;
             let source = MatrixFile::open(data).map_err(rt)?;
-            let store = ShardedStore::open(dir, 1024).map_err(rt)?;
+            let store = TimeBlockedStore::open(dir, 1024).map_err(rt)?;
             let r = error_report(&source, &store).map_err(rt)?;
             println!(
                 "cells {}  rmspe {:.3}%  worst_abs {:.4}  worst/sigma {:.2}%  mean_abs {:.5}",

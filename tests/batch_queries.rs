@@ -119,9 +119,12 @@ fn store_level_batch_matches_cells() {
 fn saved_store_batch_fetches_each_distinct_row_once_per_shard() {
     let dir = TestDir::new("ats-batch");
     let x = phone(120, 24, 5);
+    // Pinned to one time block: this test opens the v3 sharded layout
+    // directly to count per-shard fetches.
     SequenceStore::builder()
         .budget(SpaceBudget::from_percent(15.0))
         .shards(3)
+        .time_blocks(1)
         .build(&x)
         .unwrap()
         .save(dir.file("store"))
@@ -179,6 +182,7 @@ fn out_of_range_batch_does_no_io() {
     SequenceStore::builder()
         .budget(SpaceBudget::from_percent(20.0))
         .shards(2)
+        .time_blocks(1)
         .build(&x)
         .unwrap()
         .save(dir.file("store"))
@@ -212,6 +216,7 @@ fn blocked_kernels_match_scalar_baseline_bitwise() {
         .unwrap();
     let svdd = SequenceStore::builder()
         .budget(SpaceBudget::from_percent(25.0))
+        .time_blocks(1)
         .build(&x)
         .unwrap();
     svdd.save(dir.file("store")).unwrap();
@@ -260,6 +265,7 @@ fn blocked_aggregates_match_scalar_baseline_bitwise() {
     let store = SequenceStore::builder()
         .budget(SpaceBudget::from_percent(20.0))
         .shards(3)
+        .time_blocks(1)
         .build(&x)
         .unwrap();
     store.save(dir.file("store")).unwrap();

@@ -6,7 +6,13 @@ use ats_common::TestDir;
 use std::process::Command;
 
 fn ats() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_ats"))
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ats"));
+    // These tests assert exact on-disk layouts and exit codes, so the
+    // workspace-wide store-shape knobs must not leak into the binary;
+    // shard and time-block counts are always passed explicitly here.
+    cmd.env_remove("ATS_TEST_SHARDS");
+    cmd.env_remove("ATS_TEST_TBLOCKS");
+    cmd
 }
 
 #[test]
@@ -523,4 +529,236 @@ fn cli_sharded_save_info_append_flow() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("error"), "{err}");
     assert!(err.contains("shard 2") || err.contains("checksum"), "{err}");
+}
+
+#[test]
+fn cli_timeblocked_save_info_query_append_flow() {
+    let dir = TestDir::new("ats-cli");
+    let data = dir.file("data.atsm");
+    let more = dir.file("more.atsm");
+    let store = dir.file("store");
+
+    // 160 sequences of 48 points, plus a 12-point extension batch.
+    for (path, cols) in [(&data, "48"), (&more, "12")] {
+        assert!(ats()
+            .args([
+                "generate",
+                "phone",
+                "--rows",
+                "160",
+                "--cols",
+                cols,
+                "--out",
+                path.to_str().unwrap(),
+            ])
+            .status()
+            .unwrap()
+            .success());
+    }
+
+    // save with time blocks AND row shards: the v4 grid on disk.
+    let out = ats()
+        .args([
+            "save",
+            data.to_str().unwrap(),
+            "--out",
+            store.to_str().unwrap(),
+            "--percent",
+            "15",
+            "--shards",
+            "2",
+            "--time-blocks",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2 shards"), "{text}");
+    assert!(text.contains("3 time blocks"), "{text}");
+    for b in 0..3 {
+        assert!(store
+            .join(format!("tblock-{b:04}/shard-0001/u.atsm"))
+            .exists());
+    }
+
+    // info prints the validated block table: ranges, k, SSE, deltas.
+    let out = ats()
+        .args(["info", store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("format v4"), "{text}");
+    assert!(text.contains("160 x 48"), "{text}");
+    assert!(text.contains("3 time blocks"), "{text}");
+    assert!(text.contains("tblock 0: cols 0..16"), "{text}");
+    assert!(text.contains("tblock 2: cols 32..48"), "{text}");
+    assert!(text.contains("k="), "{text}");
+    assert!(text.contains("sse "), "{text}");
+    assert!(text.contains("deltas"), "{text}");
+
+    // open serves the v4 directory.
+    let out = ats()
+        .args(["open", store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("3 time blocks"), "{text}");
+
+    // A time-range aggregate answers, as do plain queries and cells.
+    for q in [
+        "avg rows all in time [10..30]",
+        "sum rows 0..40 in time [16..32]",
+        "avg rows all cols all",
+        "cell 7 20",
+    ] {
+        let out = ats()
+            .args(["query", store.to_str().unwrap(), q])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{q}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let val: f64 = String::from_utf8_lossy(&out.stdout).trim().parse().unwrap();
+        assert!(val.is_finite(), "{q}");
+    }
+
+    // An empty time range is a usage-level runtime error, not a panic.
+    let out = ats()
+        .args([
+            "query",
+            store.to_str().unwrap(),
+            "avg rows all in time [9..9]",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+
+    // verify runs the error report against the original file.
+    let out = ats()
+        .args(["verify", data.to_str().unwrap(), store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("rmspe"));
+
+    // append --time grows the time axis with a fresh block…
+    let out = ats()
+        .args([
+            "append",
+            store.to_str().unwrap(),
+            more.to_str().unwrap(),
+            "--time",
+            "--percent",
+            "15",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("12 time points"), "{text}");
+    assert!(text.contains("block 3"), "{text}");
+
+    // …visible to info and queryable end to end.
+    let out = ats()
+        .args(["info", store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("160 x 60"), "{text}");
+    assert!(text.contains("4 time blocks"), "{text}");
+    assert!(text.contains("tblock 3: cols 48..60"), "{text}");
+    let out = ats()
+        .args([
+            "query",
+            store.to_str().unwrap(),
+            "avg rows all in time [48..60]",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // --time on a legacy (v3) store is refused with the re-save hint.
+    let v3 = dir.file("v3store");
+    assert!(ats()
+        .args([
+            "save",
+            data.to_str().unwrap(),
+            "--out",
+            v3.to_str().unwrap(),
+            "--percent",
+            "15",
+        ])
+        .status()
+        .unwrap()
+        .success());
+    let out = ats()
+        .args([
+            "append",
+            v3.to_str().unwrap(),
+            more.to_str().unwrap(),
+            "--time",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--time-blocks"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // --percent without --time is a usage error (exit 2).
+    let out = ats()
+        .args([
+            "append",
+            store.to_str().unwrap(),
+            more.to_str().unwrap(),
+            "--percent",
+            "15",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // Tampering with a nested block manifest is caught by info (exit 1).
+    let nested = store.join("tblock-0001").join("manifest.txt");
+    let mut bytes = std::fs::read(&nested).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&nested, &bytes).unwrap();
+    let out = ats()
+        .args(["info", store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("checksum") || err.contains("manifest") || err.contains("block"),
+        "{err}"
+    );
 }

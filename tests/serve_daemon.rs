@@ -31,9 +31,12 @@ fn phone(rows: usize, cols: usize, seed: u64) -> Matrix {
 
 /// Build, save, and reopen a paged store with the given shard count.
 fn saved_store(dir: &TestDir, x: &Matrix, shards: usize) -> Arc<ShardedStore> {
+    // Pinned to one time block: the daemon fixture opens the v3 sharded
+    // layout directly (time-blocked serving is covered separately below).
     SequenceStore::builder()
         .budget(SpaceBudget::from_percent(15.0))
         .shards(shards)
+        .time_blocks(1)
         .build(x)
         .unwrap()
         .save(dir.file("store"))
@@ -356,4 +359,80 @@ fn shutdown_verb_acknowledges_then_drains() {
     drop(s);
     let m = handle.join().unwrap();
     assert_eq!(m.queries, 1);
+}
+
+#[test]
+fn coalesced_range_aggregates_share_one_block_scan() {
+    use adhoc_ts::core::timeblock::TimeBlockedStore;
+
+    // A time-blocked (v4) store: 4 blocks of 8 columns each.
+    let x = phone(80, 32, 77);
+    let dir = TestDir::new("ats-serve");
+    SequenceStore::builder()
+        .budget(SpaceBudget::from_percent(15.0))
+        .shards(2)
+        .time_blocks(4)
+        .build(&x)
+        .unwrap()
+        .save(dir.file("store"))
+        .unwrap();
+    let store = Arc::new(TimeBlockedStore::open(dir.file("store"), 256).unwrap());
+    assert_eq!(store.block_count(), 4);
+
+    // A long window with batch_max = 5: the five concurrent requests
+    // below land in one admission window and fire it by count.
+    let io = Arc::clone(&store);
+    let handle = serve(
+        QueryEngine::shared(store.clone()).with_threads(1),
+        ServeConfig {
+            window: Duration::from_millis(5_000),
+            batch_max: 5,
+            ..ServeConfig::default()
+        },
+        Some(Box::new(move || io.shard_io_snapshots())),
+    )
+    .unwrap();
+
+    // Five clients ask the identical range aggregate confined to block 1
+    // (columns 10..14 of blocks [0..8, 8..16, 16..24, 24..32]).
+    let q = "avg rows all in time [10..14]";
+    let mut clients: Vec<TcpStream> = (0..5).map(|_| connect(&handle)).collect();
+    for c in &mut clients {
+        client::send(c, q).unwrap();
+    }
+    let replies: Vec<f64> = clients
+        .iter_mut()
+        .map(|c| ok_value(&client::recv(c).unwrap()))
+        .collect();
+    for w in replies.windows(2) {
+        assert_eq!(w[0].to_bits(), w[1].to_bits());
+    }
+
+    // IoStats: the five requests shared ONE scan, and that scan touched
+    // only the overlapping block — every other block stayed cold.
+    let per_block = store.block_io_snapshots();
+    assert_eq!(per_block.len(), 4);
+    assert!(per_block[1].physical_reads > 0, "block 1 must have served");
+    for (b, snap) in per_block.iter().enumerate() {
+        if b != 1 {
+            assert_eq!(snap.physical_reads, 0, "block {b} must stay cold");
+            assert_eq!(snap.logical_reads, 0, "block {b} must stay cold");
+        }
+    }
+    let scan_reads = per_block[1].physical_reads;
+
+    handle.begin_shutdown();
+    let m = handle.join().unwrap();
+    assert_eq!(m.aggregates, 5);
+    assert_eq!(m.coalesced_aggs, 5);
+    assert_eq!(m.agg_scans, 1, "five identical aggregates, one scan");
+
+    // The answer matches a direct engine ask bitwise, and a second,
+    // uncoalesced run of the same scan on a fresh store does the same
+    // physical I/O — so sharing saved 4 of the 5 scans' worth.
+    let fresh = Arc::new(TimeBlockedStore::open(dir.file("store"), 256).unwrap());
+    let engine = QueryEngine::shared(fresh.clone());
+    let want = run_query(&engine, q).unwrap();
+    assert_eq!(want.to_bits(), replies[0].to_bits());
+    assert_eq!(fresh.block_io_snapshots()[1].physical_reads, scan_reads);
 }

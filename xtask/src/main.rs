@@ -183,6 +183,7 @@ const BENCH_REQUIRED_FIELDS: &[&str] = &[
     "\"ladder_build\"",
     "\"peak_rss_bytes\"",
     "\"serve_throughput\"",
+    "\"range_query\"",
     "\"lint_wall_ms\"",
     "\"notes\"",
 ];
@@ -210,7 +211,7 @@ fn run_bench_report(flags: &[String]) -> ExitCode {
                 root.join(p)
             }
         })
-        .unwrap_or_else(|| root.join("BENCH_008.json"));
+        .unwrap_or_else(|| root.join("BENCH_009.json"));
 
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
     let mut cmd = std::process::Command::new(cargo);

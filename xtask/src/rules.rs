@@ -98,6 +98,7 @@ pub const UNTRUSTED_SURFACES: &[&str] = &[
     "crates/storage/src/pool.rs",
     "crates/core/src/disk.rs",
     "crates/core/src/shard.rs",
+    "crates/core/src/timeblock.rs",
     "crates/linalg/src/kernels.rs",
     "crates/query/src/parse.rs",
     "crates/query/src/metrics.rs",

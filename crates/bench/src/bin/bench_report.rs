@@ -16,10 +16,14 @@
 //!    observed coalescing factor;
 //! 7. `range_query` — a `[t1..t2)` time-range aggregate against stores
 //!    built with 1, 8, and 32 time blocks, vs the full scan on each —
-//!    pinning the block-pruning payoff of the v4 layout.
+//!    pinning the block-pruning payoff of the v4 layout;
+//! 8. `predicate_scan` — `where value > x` aggregates at pinned
+//!    selectivities (~0.1%, 1%, 10%, 100%) over the saved phone store,
+//!    zone-map pruning on vs off: wall time and U pages actually read —
+//!    pinning the synopsis layer's payoff.
 //!
 //! `--quick` shrinks every size (CI smoke); `--out PATH` overrides the
-//! default `BENCH_009.json` in the workspace root. Timing is hand-rolled
+//! default `BENCH_010.json` in the workspace root. Timing is hand-rolled
 //! (`Instant` + best-of-R) because Criterion is a dev-dependency only.
 
 use ats_compress::{SpaceBudget, SvdCompressed, SvddCompressed, SvddOptions};
@@ -33,7 +37,7 @@ use std::time::Instant;
 /// Report schema identifier; bump when fields change shape.
 const SCHEMA: &str = "ats-bench-report/v1";
 /// The PR issue this trajectory file belongs to.
-const ISSUE: u32 = 9;
+const ISSUE: u32 = 10;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -178,6 +182,9 @@ fn main() {
     // 7: time-range aggregate vs full scan across block counts.
     eprintln!("bench-report: range query across time-block counts …");
     suites.push_str(&range_query(ds.matrix(), quick));
+    // 8: predicate pushdown at pinned selectivities, pruned vs exact.
+    eprintln!("bench-report: predicate scan across selectivities …");
+    suites.push_str(&predicate_scan(ds.matrix(), quick));
 
     let json = render_report(quick, &suites);
     std::fs::write(&out_path, &json).expect("write report");
@@ -367,12 +374,108 @@ fn range_query(x: &ats_linalg::Matrix, quick: bool) -> String {
     }
     format!(
         "    \"range_query\": {{ \"rows\": {}, \"cols\": {cols}, \"t1\": {t1}, \"t2\": {t2}, \
-         \"reps\": {reps}, \"variants\": [{variants}] }}\n",
+         \"reps\": {reps}, \"variants\": [{variants}] }},\n",
         x.rows(),
     )
 }
 
-/// Workspace-root default output path: `BENCH_009.json`.
+/// Time `sum … where value > x` at pinned selectivities over the phone
+/// store saved to disk (zone-map synopses are a save-time artifact),
+/// with pruning on vs off. Each variant reports wall time (best-of-R on
+/// a warm pool — pruning also skips reconstruction, not just I/O) and
+/// the U pages physically read by one cold scan of each mode.
+fn predicate_scan(x: &ats_linalg::Matrix, quick: bool) -> String {
+    use ats_compress::CompressedMatrix;
+    use ats_core::store::SequenceStore;
+    use ats_core::timeblock::TimeBlockedStore;
+    use ats_query::{CmpOp, Predicate};
+
+    let dir = std::env::temp_dir().join(format!("ats-bench-predscan-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    SequenceStore::builder()
+        .budget(SpaceBudget::from_percent(10.0))
+        .build(x)
+        .expect("predicate-scan build")
+        .save(&dir)
+        .expect("predicate-scan save");
+
+    let (rows, cols) = (x.rows(), x.cols());
+    // Thresholds at pinned quantiles of the *served* values, so `> x`
+    // hits the target selectivities regardless of dataset scale.
+    let mut vals = Vec::with_capacity(rows * cols);
+    {
+        let store = TimeBlockedStore::open(&dir, 4096).expect("predicate-scan open");
+        let mut buf = vec![0.0; cols];
+        for i in 0..rows {
+            store.row_into(i, &mut buf).expect("row");
+            vals.extend_from_slice(&buf);
+        }
+    }
+    vals.sort_by(f64::total_cmp);
+    let quantile = |q: f64| {
+        let idx = ((vals.len() - 1) as f64 * q) as usize;
+        vals[idx.min(vals.len() - 1)]
+    };
+    let targets = [
+        (0.001, quantile(0.999)),
+        (0.01, quantile(0.99)),
+        (0.10, quantile(0.90)),
+        (1.0, quantile(0.0) - 1.0),
+    ];
+
+    let reps = if quick { 3 } else { 10 };
+    let sel = Selection::all();
+    let mut variants = String::new();
+    for (i, (target, threshold)) in targets.into_iter().enumerate() {
+        let pred = Predicate::new(CmpOp::Gt, threshold).expect("finite threshold");
+        // One cold scan per mode for the page counts …
+        let pages = |synopsis: bool| -> (u64, f64) {
+            let store = TimeBlockedStore::open(&dir, 4096).expect("reopen");
+            let engine = QueryEngine::new(&store).with_synopsis(synopsis);
+            let matched = engine
+                .aggregate_where(&sel, AggregateFn::Count, &pred)
+                .expect("count");
+            let phys: u64 = store
+                .shard_io_snapshots()
+                .iter()
+                .map(|s| s.physical_reads)
+                .sum();
+            (phys, matched)
+        };
+        let (pruned_pages, matched) = pages(true);
+        let (exact_pages, _) = pages(false);
+        // … then warm-pool wall times for the value aggregate.
+        let store = TimeBlockedStore::open(&dir, 4096).expect("reopen");
+        let pruned_engine = QueryEngine::new(&store).with_synopsis(true);
+        let exact_engine = QueryEngine::new(&store).with_synopsis(false);
+        let pruned_secs = best_of(reps, || {
+            pruned_engine
+                .aggregate_where(&sel, AggregateFn::Sum, &pred)
+                .expect("pruned sum")
+        });
+        let exact_secs = best_of(reps, || {
+            exact_engine
+                .aggregate_where(&sel, AggregateFn::Sum, &pred)
+                .expect("exact sum")
+        });
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(
+            variants,
+            "{sep}{{ \"selectivity_target\": {target}, \"threshold\": {threshold:.4}, \
+             \"matched\": {matched}, \"pruned_secs\": {pruned_secs:.6}, \
+             \"exact_secs\": {exact_secs:.6}, \"speedup\": {:.3}, \
+             \"pruned_pages\": {pruned_pages}, \"exact_pages\": {exact_pages} }}",
+            exact_secs / pruned_secs,
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    format!(
+        "    \"predicate_scan\": {{ \"rows\": {rows}, \"cols\": {cols}, \"op\": \">\", \
+         \"reps\": {reps}, \"variants\": [{variants}] }}\n"
+    )
+}
+
+/// Workspace-root default output path: `BENCH_010.json`.
 fn default_out_path() -> String {
     let mut p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     p.pop();

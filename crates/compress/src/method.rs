@@ -150,6 +150,19 @@ pub trait CompressedMatrix: Send + Sync {
         let _ = b;
         None
     }
+
+    /// Borrow the zone-map synopsis of row-range shard `shard` (indices
+    /// follow [`CompressedMatrix::shard_starts`]; a monolithic store is
+    /// shard 0). The tiles bound the *served* values — reconstruction
+    /// plus deltas — so a query engine may prune any tile whose bounds
+    /// prove a predicate false without touching `U`. `None` — the
+    /// default — means "no synopsis here": legacy stores, out-of-range
+    /// indices, and implementations that never emit synopses all fall
+    /// back to the exact scan.
+    fn shard_synopsis(&self, shard: usize) -> Option<&ats_storage::ShardSynopsis> {
+        let _ = shard;
+        None
+    }
 }
 
 /// Per-block space budget for a time-blocked build: the same global

@@ -31,7 +31,7 @@
 //! store or an unreferenced orphan directory, never a torn store.
 
 use crate::disk::{encode_deltas, read_deltas, DeltaTriplet};
-use ats_common::codec::u64_from_usize;
+use ats_common::codec::{u64_from_usize, usize_from_u64};
 use ats_common::{AtsError, Result};
 use ats_compress::delta::DELTA_BYTES;
 use ats_compress::method::BYTES_PER_NUMBER;
@@ -42,6 +42,7 @@ use ats_storage::file::{read_matrix, write_matrix, MatrixFile, MatrixFileWriter}
 use ats_storage::store_dir::{
     file_crc, shard_dir_name, validate_sharded_store_dir, MANIFEST_FILE, SHARDED_STORE_VERSION,
 };
+use ats_storage::synopsis::{ShardSynopsis, SynopsisBuilder, SYNOPSIS_FILE};
 use ats_storage::{
     CachedFile, IoSnapshot, IoStats, RowSource, ShardEntry, ShardedManifest, StoreWriter,
 };
@@ -129,6 +130,11 @@ pub(crate) fn write_sharded_components(
     let lambda_m = Matrix::from_vec(1, svd.lambda().len(), svd.lambda().to_vec())?;
     write_matrix(dir.join("lambda.atsm"), &lambda_m)?;
 
+    // Pass 3 is already walking every row of `U`; reconstruct each row
+    // through the same panel kernel the serving path uses and patch the
+    // shard's deltas in, so the emitted synopsis bounds the *served*
+    // values exactly — no widening slack for deltas is needed.
+    let vt = VPanel::from_v(svd.v());
     let mut entries = Vec::with_capacity(ranges.len());
     for (idx, (&(start, end), bucket)) in ranges.iter().zip(&buckets).enumerate() {
         let sdir = dir.join(shard_dir_name(idx));
@@ -142,12 +148,32 @@ pub(crate) fn write_sharded_components(
             sdir.join("deltas.bin"),
             encode_deltas(u64_from_usize(cols), bucket),
         )?;
+        let mut synopsis = SynopsisBuilder::new(end - start, cols)?;
+        let mut served = vec![0.0f64; cols];
+        let mut cursor = 0usize; // bucket is sorted by (local row, col)
+        for (local, i) in (start..end).enumerate() {
+            kernels::reconstruct_row(svd.u().row(i), svd.lambda(), &vt, &mut served);
+            let local_u = u64_from_usize(local);
+            while let Some(&(r, c, dv)) = bucket.get(cursor) {
+                if r != local_u {
+                    break;
+                }
+                let j = usize_from_u64(c, "delta column")?;
+                if let Some(slot) = served.get_mut(j) {
+                    *slot += dv;
+                }
+                cursor += 1;
+            }
+            synopsis.push_row(&served)?;
+        }
+        std::fs::write(sdir.join(SYNOPSIS_FILE), synopsis.finish()?.encode())?;
         entries.push(ShardEntry {
             start,
             end,
             deltas: bucket.len(),
             crc_u: 0,
             crc_deltas: 0,
+            crc_synopsis: None, // pinned from the staged file at commit
             append_sse: None,
         });
     }
@@ -205,6 +231,11 @@ pub struct ShardedStore {
     vt: VPanel,
     lambda: Vec<f64>,
     shards: Vec<ShardHandle>,
+    /// Per-shard zone-map synopses, in shard order, loaded eagerly at
+    /// open (they are small — 32 bytes per tile). `None` for shards
+    /// whose manifest entry pins no synopsis (legacy stores): queries
+    /// over those fall back to the exact scan.
+    synopses: Vec<Option<ShardSynopsis>>,
     /// Buffer-pool page budget per shard (the open-time budget split
     /// evenly, minimum one page).
     pool_pages: usize,
@@ -263,6 +294,30 @@ impl ShardedStore {
                 state: OnceLock::new(),
             })
             .collect();
+        // Synopses are tiny and gate query planning, so unlike the `U`
+        // pagers they load eagerly: decode every manifest-pinned
+        // synopsis now (bytes already CRC-verified above) and
+        // cross-check its geometry against the shard it claims to
+        // describe.
+        let mut synopses = Vec::with_capacity(shards.len());
+        for (i, h) in shards.iter().enumerate() {
+            synopses.push(match h.entry.crc_synopsis {
+                Some(_) => {
+                    let syn = ShardSynopsis::decode(&std::fs::read(h.dir.join(SYNOPSIS_FILE))?)?;
+                    if syn.rows() != h.entry.rows() || syn.cols() != manifest.cols {
+                        return Err(AtsError::Corrupt(format!(
+                            "shard {i}: synopsis covers {}x{}, shard holds {} rows of {} columns",
+                            syn.rows(),
+                            syn.cols(),
+                            h.entry.rows(),
+                            manifest.cols
+                        )));
+                    }
+                    Some(syn)
+                }
+                None => None,
+            });
+        }
         let pool_pages = (pool_pages / shards.len().max(1)).max(1);
         let vt = VPanel::from_v(&v);
         Ok(ShardedStore {
@@ -271,6 +326,7 @@ impl ShardedStore {
             vt,
             lambda,
             shards,
+            synopses,
             pool_pages,
         })
     }
@@ -551,6 +607,10 @@ impl CompressedMatrix for ShardedStore {
     fn shard_starts(&self) -> Vec<usize> {
         self.shards.iter().map(|h| h.entry.start).collect()
     }
+
+    fn shard_synopsis(&self, shard: usize) -> Option<&ShardSynopsis> {
+        self.synopses.get(shard).and_then(Option::as_ref)
+    }
 }
 
 /// What [`append_rows`] did: which shard the batch landed in, how many
@@ -639,8 +699,20 @@ pub fn append_rows<S: RowSource + ?Sized>(
         staged.join("deltas.bin"),
         encode_deltas(u64_from_usize(manifest.cols), &[]),
     )?;
+    // The fresh shard gets its synopsis too: appended rows serve as
+    // reconstructions under the frozen factors with no deltas, so the
+    // tiles bound exactly what queries will see.
+    let vt = VPanel::from_v(&v);
+    let mut synopsis = SynopsisBuilder::new(u_new.rows(), manifest.cols)?;
+    let mut served = vec![0.0f64; manifest.cols];
+    for i in 0..u_new.rows() {
+        kernels::reconstruct_row(u_new.row(i), &lambda, &vt, &mut served);
+        synopsis.push_row(&served)?;
+    }
+    std::fs::write(staged.join(SYNOPSIS_FILE), synopsis.finish()?.encode())?;
     sync_path(&staged.join("u.atsm"))?;
     sync_path(&staged.join("deltas.bin"))?;
+    sync_path(&staged.join(SYNOPSIS_FILE))?;
     sync_path(&staged)?;
     let target = dir.join(&final_name);
     if target.exists() {
@@ -660,6 +732,7 @@ pub fn append_rows<S: RowSource + ?Sized>(
         deltas: 0,
         crc_u: file_crc(target.join("u.atsm"))?,
         crc_deltas: file_crc(target.join("deltas.bin"))?,
+        crc_synopsis: Some(file_crc(target.join(SYNOPSIS_FILE))?),
         append_sse: Some(sse),
     });
     let tmp_manifest = dir.join(format!(".manifest.tmp-{}", std::process::id()));
@@ -807,6 +880,84 @@ mod tests {
         let rolled = store.io_snapshot();
         assert_eq!(rolled.physical_reads, 10);
         assert_eq!(rolled.cache_hits, 10);
+    }
+
+    /// The emitted synopses describe the *served* values exactly: every
+    /// cell the store reconstructs (deltas included) falls inside its
+    /// tile's bounds, and per-tile sum/count match a naive recount.
+    #[test]
+    fn synopses_bound_served_values_exactly() {
+        let x = spiky(96, 21); // spikes land as deltas under svdd
+        let svdd = svdd_sharded(&x, 15.0, 3);
+        let ranges = shard_ranges(96, 3);
+        let tmp = TestDir::new("ats-shard");
+        let dir = tmp.file("syn");
+        save_sharded(&dir, svdd.svd(), Some(svdd.deltas()), "svdd", &ranges).unwrap();
+        let store = ShardedStore::open(&dir, 64).unwrap();
+        for (s, &(start, end)) in ranges.iter().enumerate() {
+            let syn = store.shard_synopsis(s).expect("fresh store has synopses");
+            assert_eq!((syn.rows(), syn.cols()), (end - start, 21));
+            let mut row = vec![0.0; 21];
+            let mut sums = vec![0.0f64; syn.tile_rows() * syn.tile_cols()];
+            let mut counts = vec![0u64; sums.len()];
+            for local in 0..(end - start) {
+                store.row_into(start + local, &mut row).unwrap();
+                for (j, &v) in row.iter().enumerate() {
+                    let (tr, tc) = (local / 8, j / 16);
+                    let t = syn.tile(tr, tc).unwrap();
+                    assert!(
+                        t.min <= v && v <= t.max,
+                        "cell {v} outside [{}, {}]",
+                        t.min,
+                        t.max
+                    );
+                    sums[tr * syn.tile_cols() + tc] += v;
+                    counts[tr * syn.tile_cols() + tc] += 1;
+                }
+            }
+            for (i, t) in syn.tiles().iter().enumerate() {
+                assert_eq!(t.sum.to_bits(), sums[i].to_bits(), "tile {i} sum");
+                assert_eq!(t.count, counts[i], "tile {i} count");
+            }
+        }
+        // A v2 store opens with no synopses and serves unchanged.
+        let v2 = tmp.file("v2");
+        save_svdd(&v2, &svdd).unwrap();
+        let legacy = ShardedStore::open(&v2, 16).unwrap();
+        assert!(legacy.shard_synopsis(0).is_none());
+        assert!(legacy.shard_synopsis(7).is_none());
+    }
+
+    #[test]
+    fn append_emits_synopsis_for_the_fresh_shard() {
+        let x = spiky(80, 12);
+        let svdd = svdd_sharded(&x, 20.0, 2);
+        let tmp = TestDir::new("ats-shard");
+        let dir = tmp.file("append-syn");
+        save_sharded(
+            &dir,
+            svdd.svd(),
+            Some(svdd.deltas()),
+            "svdd",
+            &shard_ranges(80, 2),
+        )
+        .unwrap();
+        let batch = Matrix::from_fn(10, 12, |i, j| (i as f64) - (j as f64) * 0.25);
+        append_rows(&dir, &batch, 1, None).unwrap();
+        let store = ShardedStore::open(&dir, 32).unwrap();
+        let syn = store
+            .shard_synopsis(2)
+            .expect("appended shard has a synopsis");
+        assert_eq!((syn.rows(), syn.cols()), (10, 12));
+        assert!(store.manifest().shards[2].crc_synopsis.is_some());
+        let mut row = vec![0.0; 12];
+        for local in 0..10 {
+            store.row_into(80 + local, &mut row).unwrap();
+            for (j, &v) in row.iter().enumerate() {
+                let t = syn.tile(local / 8, j / 16).unwrap();
+                assert!(t.min <= v && v <= t.max);
+            }
+        }
     }
 
     #[test]

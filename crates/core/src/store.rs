@@ -480,6 +480,20 @@ impl SequenceStore {
         self.engine().aggregate(sel, f)
     }
 
+    /// Predicate-filtered aggregate (`where value > x`) over a
+    /// selection, scanned with the store's configured thread count.
+    /// Over a store carrying zone-map synopses, tiles the predicate's
+    /// bounds prove all-out are skipped without reconstruction — the
+    /// answer is bitwise identical either way.
+    pub fn aggregate_where(
+        &self,
+        sel: &Selection,
+        f: AggregateFn,
+        pred: &ats_query::Predicate,
+    ) -> Result<f64> {
+        self.engine().aggregate_where(sel, f, pred)
+    }
+
     /// Every aggregate function at once, over a single selection scan.
     pub fn aggregate_all(&self, sel: &Selection) -> Result<ats_query::engine::AggregateRow> {
         self.engine().aggregate_all(sel)

@@ -54,7 +54,8 @@ use ats_storage::store_dir::{
     TIMEBLOCKED_STORE_VERSION,
 };
 use ats_storage::{
-    IoSnapshot, RowSource, ShardedManifest, StoreWriter, TimeBlockEntry, TimeBlockedManifest,
+    IoSnapshot, RowSource, ShardSynopsis, ShardedManifest, StoreWriter, TimeBlockEntry,
+    TimeBlockedManifest,
 };
 use std::path::Path;
 use std::sync::Arc;
@@ -298,6 +299,18 @@ impl CompressedMatrix for MemTimeBlocked {
     fn time_block(&self, b: usize) -> Option<&dyn CompressedMatrix> {
         self.blocks.get(b).map(AsRef::as_ref)
     }
+
+    /// A single-block grid delegates straight through — wrapping a
+    /// monolithic store changes nothing, including its synopses. A
+    /// multi-block grid exposes none at the top level: each block's
+    /// synopses describe *block-local* columns, so pruning happens per
+    /// block via [`CompressedMatrix::time_block`].
+    fn shard_synopsis(&self, shard: usize) -> Option<&ShardSynopsis> {
+        match self.blocks.as_slice() {
+            [only] => only.shard_synopsis(shard),
+            _ => None,
+        }
+    }
 }
 
 /// An opened time-blocked store: one lazily-paged [`ShardedStore`] per
@@ -443,6 +456,9 @@ impl CompressedMatrix for TimeBlockedStore {
     }
     fn time_block(&self, b: usize) -> Option<&dyn CompressedMatrix> {
         self.grid.time_block(b)
+    }
+    fn shard_synopsis(&self, shard: usize) -> Option<&ShardSynopsis> {
+        self.grid.shard_synopsis(shard)
     }
 }
 

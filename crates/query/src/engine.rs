@@ -11,10 +11,12 @@
 //! The engine reconstructs whole rows where it can (one `U`-row fetch
 //! amortized over all selected columns) rather than per-cell.
 
+use crate::predicate::{Predicate, TileTruth};
 use crate::selection::Selection;
 use ats_common::{AtsError, OnlineStats, Result};
 use ats_compress::CompressedMatrix;
 use ats_linalg::Matrix;
+use ats_storage::ShardSynopsis;
 use std::sync::Arc;
 
 /// Aggregate functions supported by [`QueryEngine::aggregate`] (the
@@ -108,6 +110,19 @@ pub(crate) enum MatrixHandle<'a> {
 pub struct QueryEngine<'a> {
     pub(crate) handle: MatrixHandle<'a>,
     pub(crate) threads: usize,
+    /// Whether `where` scans consult the store's zone-map synopses to
+    /// prune tiles. Defaults on (`ATS_TEST_SYNOPSIS=off` flips the
+    /// default for CI's exact-scan leg); [`QueryEngine::with_synopsis`]
+    /// overrides per engine. Pruning never changes results — only which
+    /// tiles are reconstructed — so this knob exists for fallback
+    /// pinning and benchmarks, not correctness.
+    pub(crate) synopsis: bool,
+}
+
+/// Default for the synopsis-pruning knob: on, unless the environment
+/// pins the exact-scan fallback (`ATS_TEST_SYNOPSIS=off`).
+fn synopsis_default() -> bool {
+    std::env::var("ATS_TEST_SYNOPSIS").map_or(true, |v| v != "off")
 }
 
 /// Rows fetched per [`CompressedMatrix::rows_into`] call by the dense
@@ -122,6 +137,7 @@ impl<'a> QueryEngine<'a> {
         QueryEngine {
             handle: MatrixHandle::Borrowed(matrix),
             threads: 1,
+            synopsis: synopsis_default(),
         }
     }
 
@@ -133,6 +149,7 @@ impl<'a> QueryEngine<'a> {
         QueryEngine {
             handle: MatrixHandle::Shared(matrix),
             threads: 1,
+            synopsis: synopsis_default(),
         }
     }
 
@@ -151,6 +168,16 @@ impl<'a> QueryEngine<'a> {
     /// are deterministic for a given thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Enable or disable zone-map pruning for `where` scans (see the
+    /// [`QueryEngine::aggregate_where`] docs). Off forces the exact
+    /// tile-by-tile scan even when the store carries synopses — the
+    /// fallback legacy stores always take. Results are bitwise
+    /// identical either way.
+    pub fn with_synopsis(mut self, on: bool) -> Self {
+        self.synopsis = on;
         self
     }
 
@@ -319,6 +346,7 @@ impl<'a> QueryEngine<'a> {
             let sub = QueryEngine {
                 handle: MatrixHandle::Borrowed(block),
                 threads: self.threads,
+                synopsis: self.synopsis,
             };
             stats.merge(&sub.stats_dispatch(rows, local, dense)?);
         }
@@ -418,6 +446,339 @@ impl<'a> QueryEngine<'a> {
             }
         }
         Ok(stats)
+    }
+
+    /// Predicate-filtered aggregate: fold `f` over the selected cells
+    /// whose reconstructed value satisfies `pred`.
+    ///
+    /// When the store carries zone-map synopses (and pruning is on —
+    /// [`QueryEngine::with_synopsis`]), each row's column tiles are
+    /// classified three-valued against the predicate before any
+    /// reconstruction: tiles proved `False` are skipped without touching
+    /// `U` (a row all of whose selected tiles are `False` costs zero
+    /// I/O), tiles proved `True` feed `count` straight from the number
+    /// of selected cells, and only `Maybe` tiles — plus `True` tiles of
+    /// value-carrying aggregates, which need the actual values — are
+    /// reconstructed and tested cell by cell.
+    ///
+    /// Pruned and exact scans traverse matching cells in the identical
+    /// order (rows in selection order, columns ascending within each
+    /// row, partials merged in time-block → shard → chunk order), so
+    /// the result is **bitwise equal** with pruning on, off, or absent,
+    /// at any shards × time-blocks × threads combination. `Sum`, `Avg`,
+    /// `Min`, `Max`, and `StdDev` deliberately never substitute a
+    /// tile's stored `(sum, count)` even when the tile is all-`True`:
+    /// the tile sum was accumulated in tile order, not scan order, and
+    /// would re-associate the floats.
+    ///
+    /// Zero matching cells is an error for every aggregate except
+    /// `Count`, which answers `0` — an empty *match set* is an answer,
+    /// unlike an empty selection, which is rejected up front.
+    pub fn aggregate_where(
+        &self,
+        sel: &Selection,
+        f: AggregateFn,
+        pred: &Predicate,
+    ) -> Result<f64> {
+        let (n, m) = (self.matrix().rows(), self.matrix().cols());
+        sel.validate(n, m)?;
+        let rows: Vec<usize> = sel.rows.iter(n).collect();
+        let cols: Vec<usize> = sel.cols.to_vec(m);
+        if rows.is_empty() || cols.is_empty() {
+            return Err(AtsError::InvalidArgument(
+                "aggregate over an empty selection (0 cells) is undefined".into(),
+            ));
+        }
+        let count_only = matches!(f, AggregateFn::Count);
+        let tstarts = self.matrix().time_block_starts();
+        let ws = if tstarts.len() > 1 {
+            self.timeblocked_where(&rows, &cols, pred, count_only, &tstarts)?
+        } else {
+            self.where_dispatch(&rows, &cols, pred, count_only)?
+        };
+        match f {
+            AggregateFn::Count => {
+                let total = ws
+                    .stats
+                    .count()
+                    .checked_add(ws.proved)
+                    .ok_or_else(|| AtsError::internal("where-count overflows u64"))?;
+                Ok(total as f64)
+            }
+            _ => {
+                if ws.stats.count() == 0 {
+                    return Err(AtsError::InvalidArgument(format!(
+                        "no selected cell satisfies `{pred}`; {}() over an empty match set \
+                         is undefined (count is defined, and 0)",
+                        f.name()
+                    )));
+                }
+                f.finish(&ws.stats)
+            }
+        }
+    }
+
+    /// Time-block fan-out for `where` scans: the predicate-filtered
+    /// sibling of [`QueryEngine::timeblocked_stats`]. Each overlapping
+    /// block classifies against its *own* synopses (tile columns are
+    /// block-local), and per-block partials merge in block order.
+    fn timeblocked_where(
+        &self,
+        rows: &[usize],
+        cols: &[usize],
+        pred: &Predicate,
+        count_only: bool,
+        tstarts: &[usize],
+    ) -> Result<WhereStats> {
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); tstarts.len()];
+        for &j in cols {
+            let idx = match tstarts.binary_search(&j) {
+                Ok(p) => p,
+                Err(p) => p.saturating_sub(1),
+            };
+            let start = tstarts.get(idx).copied().unwrap_or(0);
+            if let Some(g) = groups.get_mut(idx) {
+                g.push(j - start);
+            }
+        }
+        let mut ws = WhereStats::new();
+        for (b, local) in groups.iter().enumerate() {
+            if local.is_empty() {
+                continue;
+            }
+            let block = self.matrix().time_block(b).ok_or_else(|| {
+                AtsError::internal(format!("time block {b} advertised but not served"))
+            })?;
+            let sub = QueryEngine {
+                handle: MatrixHandle::Borrowed(block),
+                threads: self.threads,
+                synopsis: self.synopsis,
+            };
+            ws.merge(&sub.where_dispatch(rows, local, pred, count_only)?);
+        }
+        Ok(ws)
+    }
+
+    /// Shard/thread dispatch for `where` scans over one decomposition,
+    /// mirroring [`QueryEngine::stats_dispatch`]: fan out by owning
+    /// shard when the matrix is sharded (each shard classifies against
+    /// its own synopsis), otherwise chunk the selected rows across
+    /// threads, and merge partials in shard/chunk order.
+    fn where_dispatch(
+        &self,
+        rows: &[usize],
+        cols: &[usize],
+        pred: &Predicate,
+        count_only: bool,
+    ) -> Result<WhereStats> {
+        let starts = self.matrix().shard_starts();
+        if starts.len() > 1 {
+            return self.sharded_where(rows, cols, pred, count_only, &starts);
+        }
+        let syn = self.pruning_synopsis(0, 0);
+        if self.threads <= 1 || rows.len() < 2 * self.threads {
+            return self.where_over_rows(rows, cols, pred, count_only, syn);
+        }
+        let chunk = rows.len().div_ceil(self.threads);
+        let parts: Vec<Result<WhereStats>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = rows
+                .chunks(chunk)
+                .map(|rows| {
+                    scope.spawn(move |_| self.where_over_rows(rows, cols, pred, count_only, syn))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(_) => Err(AtsError::internal("where scan worker panicked")),
+                })
+                .collect()
+        })
+        .map_err(|_| AtsError::internal("where scan thread scope panicked"))?;
+        let mut ws = WhereStats::new();
+        for p in parts {
+            ws.merge(&p?);
+        }
+        Ok(ws)
+    }
+
+    /// Shard fan-out for `where` scans: group the selected rows by
+    /// owning shard, scan each group against that shard's synopsis (up
+    /// to `self.threads` shards concurrently, in waves), and merge the
+    /// per-shard partials in ascending shard order.
+    fn sharded_where(
+        &self,
+        rows: &[usize],
+        cols: &[usize],
+        pred: &Predicate,
+        count_only: bool,
+        starts: &[usize],
+    ) -> Result<WhereStats> {
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); starts.len()];
+        for &i in rows {
+            let idx = match starts.binary_search(&i) {
+                Ok(p) => p,
+                Err(p) => p.saturating_sub(1),
+            };
+            groups[idx].push(i);
+        }
+        let mut partials: Vec<WhereStats> = Vec::with_capacity(groups.len());
+        if self.threads <= 1 {
+            for (s, g) in groups.iter().enumerate() {
+                let syn = self.pruning_synopsis(s, starts.get(s).copied().unwrap_or(0));
+                partials.push(self.where_over_rows(g, cols, pred, count_only, syn)?);
+            }
+        } else {
+            let indexed: Vec<(usize, &Vec<usize>)> = groups.iter().enumerate().collect();
+            for wave in indexed.chunks(self.threads) {
+                let wave_stats: Vec<Result<WhereStats>> = crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = wave
+                        .iter()
+                        .map(|&(s, g)| {
+                            let cols = &cols;
+                            let syn = self.pruning_synopsis(s, starts.get(s).copied().unwrap_or(0));
+                            scope.spawn(move |_| {
+                                self.where_over_rows(g, cols, pred, count_only, syn)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| match h.join() {
+                            Ok(r) => r,
+                            Err(_) => Err(AtsError::internal("where shard worker panicked")),
+                        })
+                        .collect()
+                })
+                .map_err(|_| AtsError::internal("where shard thread scope panicked"))?;
+                for s in wave_stats {
+                    partials.push(s?);
+                }
+            }
+        }
+        let mut ws = WhereStats::new();
+        for p in &partials {
+            ws.merge(p);
+        }
+        Ok(ws)
+    }
+
+    /// The synopsis to prune shard `shard` with (whose rows start at
+    /// absolute row `start`), or `None` when pruning is off or the
+    /// store carries none — the exact-scan fallback either way.
+    fn pruning_synopsis(&self, shard: usize, start: usize) -> Option<(&ShardSynopsis, usize)> {
+        if !self.synopsis {
+            return None;
+        }
+        self.matrix().shard_synopsis(shard).map(|s| (s, start))
+    }
+
+    /// Serial `where` kernel: scan the selected columns of `rows`,
+    /// pushing values that satisfy `pred` into one accumulator.
+    ///
+    /// With a synopsis, each row's tile band (`local row / ROW_BLOCK`)
+    /// is classified once and reused for the band's rows: selected
+    /// columns in `False` tiles are dropped before reconstruction — a
+    /// row left with nothing to fetch does **zero** I/O — and, when
+    /// `count_only`, columns in `True` tiles are tallied without
+    /// reconstruction. Fetched values are always tested through
+    /// [`Predicate::eval`] (for a `True` tile the bounds guarantee the
+    /// test passes), so the pushed value sequence is identical to the
+    /// no-synopsis scan and results stay bitwise equal.
+    ///
+    /// Defensive: rows outside the synopsis grid (a hand-rolled
+    /// [`CompressedMatrix`] lying about its geometry — disk stores
+    /// cross-check at open) classify `Maybe`, degrading to the exact
+    /// scan, never to a wrong answer.
+    fn where_over_rows(
+        &self,
+        rows: &[usize],
+        cols: &[usize],
+        pred: &Predicate,
+        count_only: bool,
+        syn: Option<(&ShardSynopsis, usize)>,
+    ) -> Result<WhereStats> {
+        let mut ws = WhereStats::new();
+        let mut fetch: Vec<usize> = Vec::with_capacity(cols.len());
+        let mut vals = vec![0.0f64; cols.len()];
+        // The classification of the current row band, reused while
+        // consecutive rows stay in the same band.
+        let mut band: Option<(usize, Vec<TileTruth>)> = None;
+        for &i in rows {
+            fetch.clear();
+            let mut proved = 0u64;
+            match syn {
+                Some((s, start)) => {
+                    let tr = i.checked_sub(start).map(|lr| lr / s.row_block());
+                    let classes: Option<&[TileTruth]> = match tr {
+                        Some(tr) if tr < s.tile_rows() => {
+                            if band.as_ref().is_none_or(|&(b, _)| b != tr) {
+                                let row_classes = (0..s.tile_cols())
+                                    .map(|tc| {
+                                        s.tile(tr, tc).map_or(TileTruth::Maybe, |t| {
+                                            pred.classify(t.min, t.max)
+                                        })
+                                    })
+                                    .collect();
+                                band = Some((tr, row_classes));
+                            }
+                            band.as_ref().map(|(_, c)| c.as_slice())
+                        }
+                        _ => None,
+                    };
+                    for &j in cols {
+                        let truth = classes
+                            .and_then(|c| c.get(j / s.col_block()))
+                            .copied()
+                            .unwrap_or(TileTruth::Maybe);
+                        match truth {
+                            TileTruth::False => {}
+                            TileTruth::True if count_only => proved += 1,
+                            _ => fetch.push(j),
+                        }
+                    }
+                }
+                None => fetch.extend_from_slice(cols),
+            }
+            ws.proved += proved;
+            if fetch.is_empty() {
+                continue; // every selected tile proved: zero I/O for this row
+            }
+            let out = vals
+                .get_mut(..fetch.len())
+                .ok_or_else(|| AtsError::internal("where scan scratch undersized"))?;
+            self.matrix().cells_in_row(i, &fetch, out)?;
+            for &v in out.iter() {
+                if pred.eval(v) {
+                    ws.stats.push(v);
+                }
+            }
+        }
+        Ok(ws)
+    }
+}
+
+/// Accumulator of a `where` scan: the Welford fold over reconstructed
+/// matching cells, plus the cells *proved* matching by all-`True` tiles
+/// that a `count`-only scan never reconstructed.
+#[derive(Debug, Clone)]
+struct WhereStats {
+    stats: OnlineStats,
+    proved: u64,
+}
+
+impl WhereStats {
+    fn new() -> Self {
+        WhereStats {
+            stats: OnlineStats::new(),
+            proved: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &WhereStats) {
+        self.stats.merge(&other.stats);
+        self.proved += other.proved;
     }
 }
 
@@ -1104,6 +1465,283 @@ mod tests {
         // Range past the end: refused.
         let over = Selection::time_range(Axis::All, 8, 13);
         assert!(q.aggregate(&over, AggregateFn::Sum).is_err());
+    }
+
+    use crate::predicate::CmpOp;
+
+    /// Brute-force `where` baseline: per-cell reconstruction and
+    /// evaluation in rows-then-ascending-columns order — the order the
+    /// engine documents — over an uncompressed matrix.
+    fn where_exact(m: &Matrix, sel: &Selection, f: AggregateFn, pred: &Predicate) -> Result<f64> {
+        let (n, mm) = m.shape();
+        sel.validate(n, mm)?;
+        let mut stats = OnlineStats::new();
+        for i in sel.rows.iter(n) {
+            for j in sel.cols.to_vec(mm) {
+                let v = m[(i, j)];
+                if pred.eval(v) {
+                    stats.push(v);
+                }
+            }
+        }
+        if let AggregateFn::Count = f {
+            return Ok(stats.count() as f64);
+        }
+        f.finish(&stats)
+    }
+
+    /// The exact adapter wearing a zone-map synopsis: same cells, plus
+    /// a [`ShardSynopsis`] built from the data and a counter of
+    /// `cells_in_row` fetches (the unit of `U` I/O the pruning saves).
+    struct SynopticExact {
+        data: Matrix,
+        syn: ShardSynopsis,
+        fetches: std::sync::atomic::AtomicU64,
+    }
+
+    impl SynopticExact {
+        fn build(data: Matrix) -> Self {
+            let mut b = ats_storage::SynopsisBuilder::new(data.rows(), data.cols()).unwrap();
+            for i in 0..data.rows() {
+                b.push_row(data.row(i)).unwrap();
+            }
+            let syn = b.finish().unwrap();
+            SynopticExact {
+                data,
+                syn,
+                fetches: std::sync::atomic::AtomicU64::new(0),
+            }
+        }
+
+        fn fetches(&self) -> u64 {
+            self.fetches.load(std::sync::atomic::Ordering::Relaxed)
+        }
+    }
+
+    impl CompressedMatrix for SynopticExact {
+        fn rows(&self) -> usize {
+            self.data.rows()
+        }
+        fn cols(&self) -> usize {
+            self.data.cols()
+        }
+        fn cell(&self, i: usize, j: usize) -> Result<f64> {
+            self.data.get(i, j)
+        }
+        fn cells_in_row(&self, i: usize, cols: &[usize], out: &mut [f64]) -> Result<()> {
+            self.fetches
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            for (&j, o) in cols.iter().zip(out.iter_mut()) {
+                *o = self.data.get(i, j)?;
+            }
+            Ok(())
+        }
+        fn storage_bytes(&self) -> usize {
+            0
+        }
+        fn method_name(&self) -> &'static str {
+            "synoptic-exact"
+        }
+        fn shard_synopsis(&self, shard: usize) -> Option<&ShardSynopsis> {
+            (shard == 0).then_some(&self.syn)
+        }
+    }
+
+    /// Rows carry their index as value, so each 8-row tile band has
+    /// bounds [8t, 8t+7]: a threshold mid-band makes some bands prove
+    /// False, some True, one straddle — all three classifications live.
+    fn banded(n: usize, m: usize) -> Matrix {
+        Matrix::from_fn(n, m, |i, j| i as f64 + (j % 4) as f64 * 0.01)
+    }
+
+    #[test]
+    fn where_matches_brute_force_on_plain_matrix() {
+        // No synopsis anywhere: the pure fallback path, every operator
+        // and aggregate, bitwise against the hand scan.
+        let m = bumpy(50, 13);
+        let e = ExactMatrix(m.clone());
+        let q = QueryEngine::new(&e);
+        let sel = Selection {
+            rows: Axis::Range(3, 47),
+            cols: Axis::Range(1, 12),
+        };
+        for op in [CmpOp::Gt, CmpOp::Ge, CmpOp::Lt, CmpOp::Le, CmpOp::Eq] {
+            let pred = Predicate::new(op, 2.0).unwrap();
+            for f in AggregateFn::ALL {
+                match (
+                    q.aggregate_where(&sel, f, &pred),
+                    where_exact(&m, &sel, f, &pred),
+                ) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{:?} {}", op, f.name())
+                    }
+                    (a, b) => assert!(
+                        a.is_err() && b.is_err(),
+                        "{:?} {}: engine {a:?} vs exact {b:?}",
+                        op,
+                        f.name()
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn where_pruned_equals_fallback_bitwise_and_skips_fetches() {
+        let e = SynopticExact::build(banded(48, 20));
+        let sel = Selection::all();
+        let pred = Predicate::new(CmpOp::Gt, 30.0).unwrap();
+        // Bands [0..8) … [24..32) hold values ≤ 31.03: bands 0-2 prove
+        // False, band 3 (rows 24..32, max 31.03) straddles, bands 4-5
+        // prove True.
+        let baseline: Vec<f64> = AggregateFn::ALL
+            .iter()
+            .map(|&f| {
+                QueryEngine::new(&e)
+                    .with_synopsis(false)
+                    .aggregate_where(&sel, f, &pred)
+                    .unwrap()
+            })
+            .collect();
+        let unpruned = e.fetches(); // 48 rows × 6 aggregates
+        assert_eq!(unpruned, 48 * 6);
+        for (&f, &want) in AggregateFn::ALL.iter().zip(&baseline) {
+            let before = e.fetches();
+            let got = QueryEngine::new(&e)
+                .with_synopsis(true)
+                .aggregate_where(&sel, f, &pred)
+                .unwrap();
+            assert_eq!(got.to_bits(), want.to_bits(), "{}", f.name());
+            let spent = e.fetches() - before;
+            match f {
+                // count needs only the straddling band reconstructed.
+                AggregateFn::Count => assert_eq!(spent, 8, "count fetches"),
+                // value aggregates reconstruct True bands too, but the
+                // three False bands (24 rows) still cost nothing.
+                _ => assert_eq!(spent, 48 - 24, "{} fetches", f.name()),
+            }
+        }
+        // Sanity on the actual value: count of cells > 30.
+        let expect = where_exact(&e.data, &sel, AggregateFn::Count, &pred).unwrap();
+        assert_eq!(baseline[2], expect);
+    }
+
+    #[test]
+    fn where_zero_matches_counts_zero_and_errors_elsewhere() {
+        let e = SynopticExact::build(banded(16, 8));
+        let pred = Predicate::new(CmpOp::Gt, 1e6).unwrap(); // nothing matches
+        let sel = Selection::all();
+        for on in [true, false] {
+            let q = QueryEngine::new(&e).with_synopsis(on);
+            assert_eq!(
+                q.aggregate_where(&sel, AggregateFn::Count, &pred).unwrap(),
+                0.0
+            );
+            for f in [AggregateFn::Sum, AggregateFn::Min, AggregateFn::StdDev] {
+                let err = q.aggregate_where(&sel, f, &pred).unwrap_err();
+                assert!(matches!(err, AtsError::InvalidArgument(_)), "{err}");
+                assert!(err.to_string().contains("count is defined"), "{err}");
+            }
+        }
+        // With pruning on, the all-False store does zero fetches.
+        let before = e.fetches();
+        QueryEngine::new(&e)
+            .with_synopsis(true)
+            .aggregate_where(&sel, AggregateFn::Count, &pred)
+            .unwrap();
+        assert_eq!(e.fetches(), before, "all-False scan must not reconstruct");
+        // An empty *selection* is still rejected, count included.
+        let empty = Selection {
+            rows: Axis::Range(3, 3),
+            cols: Axis::All,
+        };
+        assert!(QueryEngine::new(&e)
+            .aggregate_where(&empty, AggregateFn::Count, &pred)
+            .is_err());
+    }
+
+    #[test]
+    fn where_handles_nan_cells_identically_with_and_without_pruning() {
+        let mut m = banded(24, 10);
+        m[(20, 3)] = f64::NAN; // poisons tile (2, 0): True band degrades to Maybe
+        let e = SynopticExact::build(m.clone());
+        let sel = Selection::all();
+        let pred = Predicate::new(CmpOp::Gt, 10.0).unwrap();
+        for f in [AggregateFn::Count, AggregateFn::Sum, AggregateFn::Max] {
+            let pruned = QueryEngine::new(&e)
+                .with_synopsis(true)
+                .aggregate_where(&sel, f, &pred)
+                .unwrap();
+            let fallback = QueryEngine::new(&e)
+                .with_synopsis(false)
+                .aggregate_where(&sel, f, &pred)
+                .unwrap();
+            assert_eq!(pruned.to_bits(), fallback.to_bits(), "{}", f.name());
+            assert!(pruned.is_finite(), "NaN must be excluded, not aggregated");
+        }
+        // The NaN cell itself is never a match.
+        let count = QueryEngine::new(&e)
+            .aggregate_where(&sel, AggregateFn::Count, &pred)
+            .unwrap();
+        let expect = where_exact(&m, &sel, AggregateFn::Count, &pred).unwrap();
+        assert_eq!(count, expect);
+    }
+
+    #[test]
+    fn where_threaded_and_sharded_paths_agree_with_serial() {
+        // Thread chunking and shard fan-out must answer what the serial
+        // scan answers (bitwise for order-independent aggregates, to
+        // tolerance for Welford merges), synopsis on or off.
+        let m = bumpy(97, 17);
+        let pred = Predicate::new(CmpOp::Ge, 0.0).unwrap();
+        let plain = ExactMatrix(m.clone());
+        let sharded = ShardedExact(m.clone(), vec![0, 32, 64]);
+        let sel = Selection::all();
+        let serial = QueryEngine::new(&plain)
+            .aggregate_where(&sel, AggregateFn::Sum, &pred)
+            .unwrap();
+        let count = QueryEngine::new(&plain)
+            .aggregate_where(&sel, AggregateFn::Count, &pred)
+            .unwrap();
+        for threads in [1, 3, 8] {
+            for on in [true, false] {
+                let qp = QueryEngine::new(&plain)
+                    .with_threads(threads)
+                    .with_synopsis(on);
+                let qs = QueryEngine::new(&sharded)
+                    .with_threads(threads)
+                    .with_synopsis(on);
+                for q in [&qp, &qs] {
+                    let s = q.aggregate_where(&sel, AggregateFn::Sum, &pred).unwrap();
+                    assert!((s - serial).abs() <= 1e-9 * serial.abs().max(1.0));
+                    let c = q.aggregate_where(&sel, AggregateFn::Count, &pred).unwrap();
+                    assert_eq!(c, count, "threads={threads} synopsis={on}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn where_routes_time_blocks_and_prunes_untouched_ones() {
+        let m = bumpy(40, 30);
+        let e = TimeBlockedExact::split(&m, vec![0, 10, 20]);
+        let sel = Selection::time_range(Axis::All, 12, 18);
+        let pred = Predicate::new(CmpOp::Lt, 100.0).unwrap(); // everything matches
+        let got = QueryEngine::new(&e)
+            .aggregate_where(&sel, AggregateFn::Sum, &pred)
+            .unwrap();
+        let expect: f64 = {
+            let mut s = OnlineStats::new();
+            for i in 0..40 {
+                for j in 12..18 {
+                    s.push(m[(i, j)]);
+                }
+            }
+            s.sum()
+        };
+        assert_eq!(got.to_bits(), expect.to_bits());
+        assert_eq!(e.blocks[0].calls(), 0, "block 0 must stay cold");
+        assert_eq!(e.blocks[2].calls(), 0, "block 2 must stay cold");
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod batch;
 pub mod engine;
 pub mod metrics;
 pub mod parse;
+pub mod predicate;
 pub mod selection;
 pub mod serve;
 pub mod workload;
@@ -38,5 +39,6 @@ pub use batch::{BatchRequest, BatchResult};
 pub use engine::{AggregateFn, QueryEngine};
 pub use metrics::{ErrorReport, QueryError};
 pub use parse::{parse_batch_file, parse_query, run_query, Query};
+pub use predicate::{CmpOp, Predicate, TileTruth};
 pub use selection::Selection;
 pub use serve::{serve, MetricsSnapshot, ServeConfig, ServerHandle};

@@ -10,19 +10,29 @@
 //! cell <row> <col>                       -- single cell
 //! <agg> rows <axis> cols <axis>          -- aggregate over a selection
 //! <agg> rows <axis> in time [t1..t2]     -- range-restricted aggregate
+//! <agg> rows <axis> [cols <axis>] where value <op> <x> [in time [t1..t2]]
+//!                                        -- predicate-filtered aggregate
 //!
 //! <agg>  ::= sum | avg | count | min | max | stddev
 //! <axis> ::= all | <a>..<b> | <i>,<i>,...
+//! <op>   ::= > | >= | < | <= | =
 //! ```
 //!
 //! Examples: `cell 42 17`, `avg rows 0..100 cols all`,
-//! `sum rows 1,5,9 cols 0..7`, `avg rows all in time [30..90]`.
+//! `sum rows 1,5,9 cols 0..7`, `avg rows all in time [30..90]`,
+//! `count rows all where value > 450`,
+//! `avg rows 0..2000 where value >= 1.5 in time [30..90]`.
 //!
 //! The `in time` form is sugar for a half-open column range written in
 //! the paper's time-axis vocabulary; over a time-blocked (v4) store the
 //! engine answers it by touching only the blocks the range overlaps.
+//! The `where` form filters to cells whose reconstructed value
+//! satisfies the predicate; over a store with zone-map synopses the
+//! engine proves whole tiles in or out before reconstructing anything
+//! (see [`crate::engine::QueryEngine::aggregate_where`]).
 
 use crate::engine::AggregateFn;
+use crate::predicate::{CmpOp, Predicate};
 use crate::selection::{Axis, Selection};
 use ats_common::{AtsError, Result};
 
@@ -33,6 +43,8 @@ pub enum Query {
     Cell(usize, usize),
     /// `<agg> rows … cols …`
     Aggregate(AggregateFn, Selection),
+    /// `<agg> rows … [cols …] where value <op> <x> [in time […]]`
+    AggregateWhere(AggregateFn, Selection, Predicate),
 }
 
 fn parse_usize(tok: &str, what: &str) -> Result<usize> {
@@ -102,6 +114,14 @@ fn parse_time_range(tok: &str) -> Result<(usize, usize)> {
     Ok((start, end))
 }
 
+/// Parse a `where value <op> <x>` tail into a [`Predicate`].
+fn parse_predicate(op: &str, x: &str) -> Result<Predicate> {
+    let value = x.parse::<f64>().map_err(|_| {
+        AtsError::InvalidArgument(format!("expected a number for the threshold, got {x:?}"))
+    })?;
+    Predicate::new(CmpOp::parse(op)?, value)
+}
+
 /// Parse one query line.
 pub fn parse_query(line: &str) -> Result<Query> {
     let tokens: Vec<&str> = line.split_whitespace().collect();
@@ -125,9 +145,34 @@ pub fn parse_query(line: &str) -> Result<Query> {
                 Selection::time_range(parse_axis(rows)?, t1, t2),
             ))
         }
+        [agg, "rows", rows, "where", "value", op, x] => Ok(Query::AggregateWhere(
+            parse_agg(agg)?,
+            Selection {
+                rows: parse_axis(rows)?,
+                cols: Axis::All,
+            },
+            parse_predicate(op, x)?,
+        )),
+        [agg, "rows", rows, "cols", cols, "where", "value", op, x] => Ok(Query::AggregateWhere(
+            parse_agg(agg)?,
+            Selection {
+                rows: parse_axis(rows)?,
+                cols: parse_axis(cols)?,
+            },
+            parse_predicate(op, x)?,
+        )),
+        [agg, "rows", rows, "where", "value", op, x, "in", "time", range] => {
+            let (t1, t2) = parse_time_range(range)?;
+            Ok(Query::AggregateWhere(
+                parse_agg(agg)?,
+                Selection::time_range(parse_axis(rows)?, t1, t2),
+                parse_predicate(op, x)?,
+            ))
+        }
         _ => Err(AtsError::InvalidArgument(format!(
             "cannot parse {line:?}; expected `cell <i> <j>`, `<agg> rows <axis> cols <axis>`, \
-             or `<agg> rows <axis> in time [t1..t2]`"
+             `<agg> rows <axis> in time [t1..t2]`, or a `where value <op> <x>` form such as \
+             `count rows all where value > 450`"
         ))),
     }
 }
@@ -137,6 +182,7 @@ pub fn run_query(engine: &crate::engine::QueryEngine<'_>, line: &str) -> Result<
     match parse_query(line)? {
         Query::Cell(i, j) => engine.cell(i, j),
         Query::Aggregate(f, sel) => engine.aggregate(&sel, f),
+        Query::AggregateWhere(f, sel, pred) => engine.aggregate_where(&sel, f, &pred),
     }
 }
 
@@ -240,6 +286,51 @@ mod tests {
     }
 
     #[test]
+    fn parses_where_aggregates() {
+        let pred = Predicate::new(CmpOp::Gt, 450.0).unwrap();
+        let q = parse_query("count rows all where value > 450").unwrap();
+        assert_eq!(
+            q,
+            Query::AggregateWhere(
+                AggregateFn::Count,
+                Selection {
+                    rows: Axis::All,
+                    cols: Axis::All
+                },
+                pred
+            )
+        );
+        let q = parse_query("avg rows 0..10 cols 2..4 where value <= -1.5").unwrap();
+        assert_eq!(
+            q,
+            Query::AggregateWhere(
+                AggregateFn::Avg,
+                Selection {
+                    rows: Axis::Range(0, 10),
+                    cols: Axis::Range(2, 4)
+                },
+                Predicate::new(CmpOp::Le, -1.5).unwrap()
+            )
+        );
+        let q = parse_query("sum rows 0..2000 where value >= 1.5 in time [30..90]").unwrap();
+        assert_eq!(
+            q,
+            Query::AggregateWhere(
+                AggregateFn::Sum,
+                Selection::time_range(Axis::Range(0, 2000), 30, 90),
+                Predicate::new(CmpOp::Ge, 1.5).unwrap()
+            )
+        );
+        // Malformed where clauses are refused.
+        assert!(parse_query("avg rows all where value ! 3").is_err());
+        assert!(parse_query("avg rows all where value > x").is_err());
+        assert!(parse_query("avg rows all where value > inf").is_err());
+        assert!(parse_query("avg rows all where value > NaN").is_err());
+        assert!(parse_query("avg rows all where cell > 3").is_err());
+        assert!(parse_query("avg rows all where value >").is_err());
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(parse_query("").is_err());
         assert!(parse_query("median rows all cols all").is_err());
@@ -258,6 +349,14 @@ mod tests {
         assert_eq!(run_query(&engine, "sum rows all cols all").unwrap(), 10.0);
         assert_eq!(run_query(&engine, "max rows 0..2 cols 1,1").unwrap(), 4.0);
         assert_eq!(run_query(&engine, "count rows all cols 0").unwrap(), 2.0);
+        assert_eq!(
+            run_query(&engine, "sum rows all cols all where value > 1.5").unwrap(),
+            9.0
+        );
+        assert_eq!(
+            run_query(&engine, "count rows all where value <= 2").unwrap(),
+            2.0
+        );
         assert!(run_query(&engine, "cell 9 9").is_err());
     }
 

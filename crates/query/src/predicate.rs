@@ -1,0 +1,239 @@
+//! Value predicates (`where value > x`) and their three-valued tile
+//! classification against zone-map bounds.
+//!
+//! A [`Predicate`] is a comparison between a reconstructed cell value
+//! and a finite constant. Evaluated per cell it is two-valued; evaluated
+//! against a synopsis tile's `[min, max]` envelope it is *three*-valued
+//! ([`TileTruth`]): the bounds can prove every cell of the tile matches
+//! (`True`), prove none does (`False`), or prove nothing (`Maybe`).
+//! Because the store's synopses bound the served values **exactly**
+//! (deltas applied at emit time — see `ats_storage::synopsis`), `False`
+//! tiles are safe to skip without reconstruction and `True` tiles can
+//! feed `count` straight from cell counts; only `Maybe` tiles must be
+//! reconstructed and tested cell by cell.
+//!
+//! NaN discipline: a NaN cell compares false under every operator, and a
+//! tile containing a NaN has NaN (poisoned) bounds, which classify as
+//! `Maybe` — the cells are then tested individually and excluded, so
+//! pruned and exact scans agree on NaN-bearing data.
+
+use ats_common::{AtsError, Result};
+
+/// Comparison operators of the `where` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `value > x`
+    Gt,
+    /// `value >= x`
+    Ge,
+    /// `value < x`
+    Lt,
+    /// `value <= x`
+    Le,
+    /// `value = x`
+    Eq,
+}
+
+impl CmpOp {
+    /// The operator's query-language spelling.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+        }
+    }
+
+    /// Parse a query-language operator token.
+    pub fn parse(tok: &str) -> Result<CmpOp> {
+        Ok(match tok {
+            ">" => CmpOp::Gt,
+            ">=" => CmpOp::Ge,
+            "<" => CmpOp::Lt,
+            "<=" => CmpOp::Le,
+            "=" | "==" => CmpOp::Eq,
+            other => {
+                return Err(AtsError::InvalidArgument(format!(
+                    "unknown comparison operator {other:?} (try >, >=, <, <=, =)"
+                )))
+            }
+        })
+    }
+}
+
+/// What a tile's `[min, max]` bounds prove about a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileTruth {
+    /// Every cell in the tile satisfies the predicate.
+    True,
+    /// No cell in the tile satisfies the predicate.
+    False,
+    /// The bounds prove nothing; cells must be tested individually.
+    Maybe,
+}
+
+/// A value predicate: `value <op> threshold`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Predicate {
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// The comparison constant (always finite — see [`Predicate::new`]).
+    pub value: f64,
+}
+
+impl Predicate {
+    /// Build a predicate; the threshold must be finite (a NaN or
+    /// infinite threshold makes every tile bound vacuous).
+    pub fn new(op: CmpOp, value: f64) -> Result<Self> {
+        if !value.is_finite() {
+            return Err(AtsError::InvalidArgument(format!(
+                "predicate threshold must be finite, got {value}"
+            )));
+        }
+        Ok(Predicate { op, value })
+    }
+
+    /// Evaluate against one cell value. NaN compares false everywhere.
+    pub fn eval(&self, v: f64) -> bool {
+        match self.op {
+            CmpOp::Gt => v > self.value,
+            CmpOp::Ge => v >= self.value,
+            CmpOp::Lt => v < self.value,
+            CmpOp::Le => v <= self.value,
+            CmpOp::Eq => v == self.value,
+        }
+    }
+
+    /// Classify a tile from its exact `[min, max]` bounds. NaN bounds
+    /// (a poisoned tile) classify `Maybe`: every comparison below is
+    /// false on NaN, so neither proof branch can fire.
+    pub fn classify(&self, min: f64, max: f64) -> TileTruth {
+        let x = self.value;
+        let (all, none) = match self.op {
+            CmpOp::Gt => (min > x, max <= x),
+            CmpOp::Ge => (min >= x, max < x),
+            CmpOp::Lt => (max < x, min >= x),
+            CmpOp::Le => (max <= x, min > x),
+            CmpOp::Eq => (min == x && max == x, x < min || x > max),
+        };
+        if all {
+            TileTruth::True
+        } else if none {
+            TileTruth::False
+        } else {
+            TileTruth::Maybe
+        }
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "value {} {}", self.op.symbol(), self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(op: CmpOp, x: f64) -> Predicate {
+        Predicate::new(op, x).unwrap()
+    }
+
+    #[test]
+    fn eval_matches_operator_semantics() {
+        assert!(p(CmpOp::Gt, 1.0).eval(1.5));
+        assert!(!p(CmpOp::Gt, 1.0).eval(1.0));
+        assert!(p(CmpOp::Ge, 1.0).eval(1.0));
+        assert!(p(CmpOp::Lt, 1.0).eval(0.5));
+        assert!(!p(CmpOp::Lt, 1.0).eval(1.0));
+        assert!(p(CmpOp::Le, 1.0).eval(1.0));
+        assert!(p(CmpOp::Eq, -2.5).eval(-2.5));
+        assert!(!p(CmpOp::Eq, -2.5).eval(2.5));
+        // NaN fails every operator.
+        for op in [CmpOp::Gt, CmpOp::Ge, CmpOp::Lt, CmpOp::Le, CmpOp::Eq] {
+            assert!(!p(op, 0.0).eval(f64::NAN), "{op:?}");
+        }
+    }
+
+    /// classify() must agree with brute-force evaluation over any values
+    /// inside the bounds: `True` only if *all* candidate values pass,
+    /// `False` only if *none* does.
+    #[test]
+    fn classification_is_sound_against_brute_force() {
+        let bounds = [(-2.0, -1.0), (-1.0, 1.0), (1.0, 1.0), (0.5, 3.5)];
+        let thresholds = [-2.0, -1.5, -1.0, 0.0, 0.5, 1.0, 2.0, 3.5, 4.0];
+        let ops = [CmpOp::Gt, CmpOp::Ge, CmpOp::Lt, CmpOp::Le, CmpOp::Eq];
+        for &(lo, hi) in &bounds {
+            // Candidate cell values: the bounds and points between/around.
+            let probes: Vec<f64> = vec![lo, hi, (lo + hi) / 2.0, lo + 1e-9, hi - 1e-9]
+                .into_iter()
+                .filter(|v| *v >= lo && *v <= hi)
+                .collect();
+            for &x in &thresholds {
+                for &op in &ops {
+                    let pred = p(op, x);
+                    match pred.classify(lo, hi) {
+                        TileTruth::True => {
+                            assert!(
+                                probes.iter().all(|&v| pred.eval(v)),
+                                "[{lo},{hi}] {op:?} {x}: True but a probe fails"
+                            );
+                        }
+                        TileTruth::False => {
+                            assert!(
+                                probes.iter().all(|&v| !pred.eval(v)),
+                                "[{lo},{hi}] {op:?} {x}: False but a probe passes"
+                            );
+                        }
+                        TileTruth::Maybe => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classify_proves_when_bounds_allow() {
+        assert_eq!(p(CmpOp::Gt, 0.0).classify(1.0, 5.0), TileTruth::True);
+        assert_eq!(p(CmpOp::Gt, 5.0).classify(1.0, 5.0), TileTruth::False);
+        assert_eq!(p(CmpOp::Gt, 3.0).classify(1.0, 5.0), TileTruth::Maybe);
+        assert_eq!(p(CmpOp::Eq, 2.0).classify(2.0, 2.0), TileTruth::True);
+        assert_eq!(p(CmpOp::Eq, 2.0).classify(3.0, 9.0), TileTruth::False);
+        assert_eq!(p(CmpOp::Eq, 2.0).classify(1.0, 3.0), TileTruth::Maybe);
+    }
+
+    #[test]
+    fn nan_bounds_classify_maybe() {
+        for op in [CmpOp::Gt, CmpOp::Ge, CmpOp::Lt, CmpOp::Le, CmpOp::Eq] {
+            let pred = p(op, 0.0);
+            assert_eq!(pred.classify(f64::NAN, f64::NAN), TileTruth::Maybe);
+            assert_eq!(pred.classify(f64::NAN, 1.0), TileTruth::Maybe);
+        }
+    }
+
+    #[test]
+    fn non_finite_thresholds_rejected() {
+        assert!(Predicate::new(CmpOp::Gt, f64::NAN).is_err());
+        assert!(Predicate::new(CmpOp::Lt, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn operator_parsing_roundtrips() {
+        for (tok, op) in [
+            (">", CmpOp::Gt),
+            (">=", CmpOp::Ge),
+            ("<", CmpOp::Lt),
+            ("<=", CmpOp::Le),
+            ("=", CmpOp::Eq),
+        ] {
+            assert_eq!(CmpOp::parse(tok).unwrap(), op);
+            assert_eq!(op.symbol(), tok);
+        }
+        assert_eq!(CmpOp::parse("==").unwrap(), CmpOp::Eq);
+        assert!(CmpOp::parse("!=").is_err());
+        assert_eq!(p(CmpOp::Ge, 1.5).to_string(), "value >= 1.5");
+    }
+}

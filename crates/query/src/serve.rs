@@ -40,6 +40,7 @@
 use crate::batch::BatchRequest;
 use crate::engine::{AggregateFn, QueryEngine};
 use crate::parse::{parse_query, Query};
+use crate::predicate::Predicate;
 use crate::selection::Selection;
 use ats_common::{AtsError, Result};
 use ats_storage::IoSnapshot;
@@ -166,10 +167,12 @@ struct Pending {
 }
 
 /// One aggregate query waiting in the admission window. Identical
-/// `(f, sel)` pairs collected in the same window share one scan.
+/// `(f, sel, pred)` triples collected in the same window share one scan
+/// (`pred` is `None` for plain aggregates, `Some` for `where` forms).
 struct PendingAgg {
     f: AggregateFn,
     sel: Selection,
+    pred: Option<Predicate>,
     tx: mpsc::Sender<std::result::Result<f64, String>>,
 }
 
@@ -448,10 +451,10 @@ fn execute_batch(shared: &Shared, pending: Vec<Pending>) {
     }
 }
 
-/// Run one admission window's aggregates: group identical `(f, sel)`
-/// requests, scan each distinct group exactly once, and fan the result
-/// out to every waiting requester. A failed scan errs only its own
-/// group — the other groups in the window still answer.
+/// Run one admission window's aggregates: group identical
+/// `(f, sel, pred)` requests, scan each distinct group exactly once, and
+/// fan the result out to every waiting requester. A failed scan errs
+/// only its own group — the other groups in the window still answer.
 fn execute_aggs(shared: &Shared, pending: Vec<PendingAgg>) {
     if pending.is_empty() {
         return;
@@ -461,19 +464,28 @@ fn execute_aggs(shared: &Shared, pending: Vec<PendingAgg>) {
         .metrics
         .coalesced_aggs
         .fetch_add(count, Ordering::Relaxed);
-    let mut groups: Vec<(AggregateFn, Selection, Vec<mpsc::Sender<_>>)> = Vec::new();
+    let mut groups: Vec<(
+        AggregateFn,
+        Selection,
+        Option<Predicate>,
+        Vec<mpsc::Sender<_>>,
+    )> = Vec::new();
     for p in pending {
         match groups
             .iter_mut()
-            .find(|(f, sel, _)| *f == p.f && *sel == p.sel)
+            .find(|(f, sel, pred, _)| *f == p.f && *sel == p.sel && *pred == p.pred)
         {
-            Some((_, _, txs)) => txs.push(p.tx),
-            None => groups.push((p.f, p.sel, vec![p.tx])),
+            Some((_, _, _, txs)) => txs.push(p.tx),
+            None => groups.push((p.f, p.sel, p.pred, vec![p.tx])),
         }
     }
-    for (f, sel, txs) in groups {
+    for (f, sel, pred, txs) in groups {
         shared.metrics.agg_scans.fetch_add(1, Ordering::Relaxed);
-        match shared.engine.aggregate(&sel, f) {
+        let res = match &pred {
+            Some(pred) => shared.engine.aggregate_where(&sel, f, pred),
+            None => shared.engine.aggregate(&sel, f),
+        };
+        match res {
             Ok(v) => {
                 for tx in txs {
                     let _ = tx.send(Ok(v));
@@ -799,7 +811,10 @@ fn dispatch(
     match parse_query(line) {
         Ok(Query::Cell(i, j)) => cell_via_batcher(shared, conn, cells_in_flight, i, j, started),
         Ok(Query::Aggregate(f, sel)) => {
-            agg_via_batcher(shared, conn, cells_in_flight, f, sel, started)
+            agg_via_batcher(shared, conn, cells_in_flight, f, sel, None, started)
+        }
+        Ok(Query::AggregateWhere(f, sel, pred)) => {
+            agg_via_batcher(shared, conn, cells_in_flight, f, sel, Some(pred), started)
         }
         Err(e) => immediate_err(shared, conn, e.to_string(), started),
     }
@@ -871,16 +886,17 @@ fn cell_via_batcher(
 }
 
 /// Admit one aggregate query into the coalescing window; identical
-/// `(aggregate, selection)` requests collected in the same window share
-/// one scan. The selection is bounds-checked at admission so a bad
-/// request earns its own immediate `ERR`; in-flight aggregates count
-/// against the same per-connection `pending_max` cap as cells.
+/// `(aggregate, selection, predicate)` requests collected in the same
+/// window share one scan. The selection is bounds-checked at admission
+/// so a bad request earns its own immediate `ERR`; in-flight aggregates
+/// count against the same per-connection `pending_max` cap as cells.
 fn agg_via_batcher(
     shared: &Shared,
     conn: &ConnMetrics,
     cells_in_flight: &AtomicU64,
     f: AggregateFn,
     sel: Selection,
+    pred: Option<Predicate>,
     started: Instant,
 ) -> WriterItem {
     if let Err(e) = sel.validate(shared.engine.rows(), shared.engine.cols()) {
@@ -902,7 +918,7 @@ fn agg_via_batcher(
         if q.closed {
             false
         } else {
-            q.aggs.push(PendingAgg { f, sel, tx });
+            q.aggs.push(PendingAgg { f, sel, pred, tx });
             true
         }
     };
@@ -1134,6 +1150,52 @@ mod tests {
         assert_eq!(m.coalesced_aggs, 4);
         assert_eq!(m.agg_scans, 2, "three identical + one distinct = two scans");
         assert_eq!(m.batches, 0, "no cell batches ran");
+    }
+
+    #[test]
+    fn where_aggregates_coalesce_by_predicate() {
+        // Two identical `where` queries share one scan; the same
+        // selection with a different threshold — and the predicate-free
+        // form of the same selection — each get their own.
+        let (handle, engine) = start(30_000, 4);
+        let mut clients: Vec<TcpStream> = (0..4).map(|_| connect(&handle)).collect();
+        let queries = [
+            "count rows all where value > 3",
+            "count rows all where value > 3",
+            "count rows all where value > 5",
+            "count rows all cols all",
+        ];
+        for (c, q) in clients.iter_mut().zip(queries) {
+            client::send(c, q).unwrap();
+        }
+        let mut replies = Vec::new();
+        for c in &mut clients {
+            replies.push(client::recv(c).unwrap());
+        }
+        let sel = Selection {
+            rows: crate::selection::Axis::All,
+            cols: crate::selection::Axis::All,
+        };
+        let want = engine
+            .aggregate_where(
+                &sel,
+                AggregateFn::Count,
+                &Predicate::new(crate::predicate::CmpOp::Gt, 3.0).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(replies[0], format!("OK {want}"));
+        assert_eq!(replies[1], format!("OK {want}"));
+        assert!(replies[2].starts_with("OK "), "{}", replies[2]);
+        assert_ne!(replies[2], replies[0]);
+        assert_eq!(replies[3], "OK 108", "12x9 cells unfiltered");
+        handle.begin_shutdown();
+        let m = handle.join().unwrap();
+        assert_eq!(m.aggregates, 4);
+        assert_eq!(m.coalesced_aggs, 4);
+        assert_eq!(
+            m.agg_scans, 3,
+            "two identical where + distinct threshold + plain = three scans"
+        );
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! - [`store_dir`] — store-directory format v2: the versioned, checksummed
 //!   [`store_dir::StoreManifest`] and the crash-safe atomic
 //!   [`store_dir::StoreWriter`] used by `ats-core`'s persistence layer;
+//! - [`synopsis`] — per-shard zone-map synopses (`synopsis.bin`): exact
+//!   min/max/sum/count tiles over the *served* values, the pruning index
+//!   behind sublinear `where` scans;
 //! - [`iostats`] — atomic I/O counters shared by the readers.
 
 pub mod file;
@@ -32,6 +35,7 @@ pub mod iostats;
 pub mod pool;
 pub mod source;
 pub mod store_dir;
+pub mod synopsis;
 
 pub use file::{MatrixFile, MatrixFileWriter};
 pub use format::Header;
@@ -41,3 +45,4 @@ pub use source::{ColumnSlice, MemSource, RowSource};
 pub use store_dir::{
     ShardEntry, ShardedManifest, StoreManifest, StoreWriter, TimeBlockEntry, TimeBlockedManifest,
 };
+pub use synopsis::{ShardSynopsis, SynopsisBuilder, TileStat, COL_BLOCK, ROW_BLOCK, SYNOPSIS_FILE};

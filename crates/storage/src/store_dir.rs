@@ -294,6 +294,11 @@ pub struct ShardEntry {
     pub crc_u: u64,
     /// CRC of the shard's `deltas.bin`.
     pub crc_deltas: u64,
+    /// CRC of the shard's `synopsis.bin` zone-map, when the shard
+    /// carries one. `None` for stores written before the synopsis layer
+    /// existed — they open unchanged and queries fall back to exact
+    /// scans.
+    pub crc_synopsis: Option<u64>,
     /// For shards created by the append path: the sum of squared
     /// reconstruction errors of the new rows under the frozen global
     /// `V/Λ` (they carry no deltas, so this is the honest error record).
@@ -390,6 +395,9 @@ impl ShardedManifest {
             text.push_str(&format!("shard.{i}.deltas={}\n", s.deltas));
             text.push_str(&format!("shard.{i}.crc.u={:016x}\n", s.crc_u));
             text.push_str(&format!("shard.{i}.crc.deltas={:016x}\n", s.crc_deltas));
+            if let Some(crc) = s.crc_synopsis {
+                text.push_str(&format!("shard.{i}.crc.synopsis={crc:016x}\n"));
+            }
             if let Some(sse) = s.append_sse {
                 text.push_str(&format!("shard.{i}.append-sse={:016x}\n", sse.to_bits()));
             }
@@ -432,6 +440,7 @@ impl ShardedManifest {
                 deltas: m.deltas,
                 crc_u,
                 crc_deltas,
+                crc_synopsis: None,
                 append_sse: None,
             }],
             source_version: STORE_VERSION,
@@ -622,6 +631,7 @@ struct ShardSlot {
     deltas: Option<usize>,
     crc_u: Option<u64>,
     crc_deltas: Option<u64>,
+    crc_synopsis: Option<u64>,
     append_sse: Option<f64>,
 }
 
@@ -636,6 +646,7 @@ impl ShardSlot {
             deltas: self.deltas.ok_or_else(|| missing("deltas"))?,
             crc_u: self.crc_u.ok_or_else(|| missing("crc.u"))?,
             crc_deltas: self.crc_deltas.ok_or_else(|| missing("crc.deltas"))?,
+            crc_synopsis: self.crc_synopsis,
             append_sse: self.append_sse,
         })
     }
@@ -663,6 +674,7 @@ fn parse_shard_key(
         "deltas" => set_once(key, &mut slot.deltas, parse_usize(key, value)?),
         "crc.u" => set_once(key, &mut slot.crc_u, parse_hex_u64(value)?),
         "crc.deltas" => set_once(key, &mut slot.crc_deltas, parse_hex_u64(value)?),
+        "crc.synopsis" => set_once(key, &mut slot.crc_synopsis, parse_hex_u64(value)?),
         "append-sse" => set_once(
             key,
             &mut slot.append_sse,
@@ -702,6 +714,13 @@ pub fn validate_sharded_store_dir(dir: impl AsRef<Path>) -> Result<ShardedManife
             s.crc_deltas,
             format!("shard {i} deltas.bin"),
         ));
+        if let Some(crc) = s.crc_synopsis {
+            checks.push((
+                shard_dir.join(crate::synopsis::SYNOPSIS_FILE),
+                crc,
+                format!("shard {i} synopsis.bin"),
+            ));
+        }
     }
     for (path, expected, what) in checks {
         let got = match file_crc(&path) {
@@ -1132,6 +1151,14 @@ pub fn write_sharded_manifest_into(
         let shard = dir.join(shard_dir_name(i));
         s.crc_u = staged_crc(&shard.join("u.atsm"), &format!("shard {i} u.atsm"))?;
         s.crc_deltas = staged_crc(&shard.join("deltas.bin"), &format!("shard {i} deltas.bin"))?;
+        // The synopsis is optional (legacy stores have none): pin it in
+        // the manifest exactly when the emitter staged one.
+        let synopsis = shard.join(crate::synopsis::SYNOPSIS_FILE);
+        s.crc_synopsis = if synopsis.exists() {
+            Some(staged_crc(&synopsis, &format!("shard {i} synopsis.bin"))?)
+        } else {
+            None
+        };
     }
     manifest.source_version = SHARDED_STORE_VERSION;
     fs::write(dir.join(MANIFEST_FILE), manifest.encode())?;
@@ -1553,6 +1580,7 @@ mod tests {
                     deltas: 20,
                     crc_u: 21,
                     crc_deltas: 22,
+                    crc_synopsis: Some(23),
                     append_sse: None,
                 },
                 ShardEntry {
@@ -1561,6 +1589,7 @@ mod tests {
                     deltas: 17,
                     crc_u: 31,
                     crc_deltas: 32,
+                    crc_synopsis: None,
                     append_sse: Some(0.125),
                 },
             ],
@@ -1704,6 +1733,7 @@ mod tests {
             deltas: 37,
             crc_u: 0,
             crc_deltas: 0,
+            crc_synopsis: None,
             append_sse: None,
         }];
         w.commit_sharded(m1).unwrap();
@@ -1741,6 +1771,46 @@ mod tests {
         std::fs::remove_file(&victim).unwrap();
         let err = validate_sharded_store_dir(&target).unwrap_err();
         assert!(matches!(err, AtsError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn staged_synopsis_is_pinned_and_corruption_detected() {
+        // commit_sharded autodetects a staged synopsis.bin per shard:
+        // shard 0 gets one (pinned by CRC), shard 1 stays legacy (None).
+        let t = ats_common::TestDir::new("ats-storedir");
+        let target = t.file("store");
+        let w = StoreWriter::begin(&target).unwrap();
+        stage_sharded_components(w.path(), 2);
+        std::fs::write(
+            w.path().join(shard_dir_name(0)).join("synopsis.bin"),
+            b"synopsis payload",
+        )
+        .unwrap();
+        w.commit_sharded(sharded_manifest()).unwrap();
+
+        let m = validate_sharded_store_dir(&target).unwrap();
+        assert!(m.shards[0].crc_synopsis.is_some());
+        assert_eq!(m.shards[1].crc_synopsis, None);
+
+        // Truncate, bitflip, delete: each must surface as Corrupt — a
+        // synopsis must never silently degrade to an unpruned store.
+        let victim = target.join(shard_dir_name(0)).join("synopsis.bin");
+        let original = std::fs::read(&victim).unwrap();
+        std::fs::write(&victim, &original[..original.len() - 1]).unwrap();
+        assert!(matches!(
+            validate_sharded_store_dir(&target),
+            Err(AtsError::Corrupt(_))
+        ));
+        let mut bytes = original.clone();
+        bytes[3] ^= 0x40;
+        std::fs::write(&victim, &bytes).unwrap();
+        let err = validate_sharded_store_dir(&target).unwrap_err();
+        assert!(err.to_string().contains("shard 0 synopsis.bin"), "{err}");
+        std::fs::remove_file(&victim).unwrap();
+        let err = validate_sharded_store_dir(&target).unwrap_err();
+        assert!(err.to_string().contains("missing"), "{err}");
+        std::fs::write(&victim, &original).unwrap();
+        validate_sharded_store_dir(&target).unwrap();
     }
 
     #[test]

@@ -17,6 +17,7 @@ use ats_storage::store_dir::{
     validate_timeblocked_store_dir, write_sharded_manifest_into, ShardEntry, ShardedManifest,
     TimeBlockEntry, TimeBlockedManifest, COMPONENT_FILES, MANIFEST_FILE, SHARD_FILES,
 };
+use ats_storage::synopsis::{SynopsisBuilder, SYNOPSIS_FILE};
 use ats_storage::{CachedFile, MatrixFile, StoreManifest, StoreWriter};
 use std::path::Path;
 use std::sync::Arc;
@@ -364,6 +365,7 @@ fn demo_sharded_manifest() -> ShardedManifest {
             deltas: 0,
             crc_u: 0,
             crc_deltas: 0,
+            crc_synopsis: None, // autodetected from the staged files
             append_sse: None,
         })
         .collect();
@@ -382,15 +384,28 @@ fn demo_sharded_manifest() -> ShardedManifest {
 }
 
 /// Every component file of a multi-shard save in the order the save
-/// writes them: shared factors first, then each shard's partition.
+/// writes them: shared factors first, then each shard's partition
+/// (`U`, deltas, and the zone-map synopsis).
 fn sharded_component_files() -> Vec<String> {
     let mut files = vec!["v.atsm".to_string(), "lambda.atsm".to_string()];
     for i in 0..DEMO_SHARDS {
         for name in SHARD_FILES {
             files.push(format!("{}/{name}", shard_dir_name(i)));
         }
+        files.push(format!("{}/{SYNOPSIS_FILE}", shard_dir_name(i)));
     }
     files
+}
+
+/// A real encoded 2-row synopsis, so the demo stores exercise the same
+/// bytes the emitter writes (the corruption loops then cover it).
+fn demo_synopsis_bytes(cols: usize, tag: f64) -> Vec<u8> {
+    let mut b = SynopsisBuilder::new(2, cols).unwrap();
+    for i in 0..2 {
+        let row: Vec<f64> = (0..cols).map(|j| tag + (i * cols + j) as f64).collect();
+        b.push_row(&row).unwrap();
+    }
+    b.finish().unwrap().encode()
 }
 
 /// Stage and commit a valid multi-shard store at `target`, returning the
@@ -416,8 +431,14 @@ fn commit_demo_sharded_store(target: &Path, tag: f64) -> Vec<u8> {
         )
         .unwrap();
         std::fs::write(shard.join("deltas.bin"), [tag as u8; 8]).unwrap();
+        std::fs::write(shard.join(SYNOPSIS_FILE), demo_synopsis_bytes(3, tag)).unwrap();
     }
     w.commit_sharded(demo_sharded_manifest()).unwrap();
+    let m = validate_sharded_store_dir(target).unwrap();
+    assert!(
+        m.shards.iter().all(|s| s.crc_synopsis.is_some()),
+        "every staged synopsis must be CRC-pinned by the commit"
+    );
     std::fs::read(target.join(shard_dir_name(1)).join("u.atsm")).unwrap()
 }
 
@@ -611,6 +632,7 @@ fn demo_block_manifest() -> ShardedManifest {
             deltas: 0,
             crc_u: 0,
             crc_deltas: 0,
+            crc_synopsis: None, // autodetected from the staged files
             append_sse: None,
         })
         .collect();
@@ -660,6 +682,7 @@ fn timeblocked_component_files() -> Vec<String> {
             for name in SHARD_FILES {
                 files.push(format!("{block}/{}/{name}", shard_dir_name(s)));
             }
+            files.push(format!("{block}/{}/{SYNOPSIS_FILE}", shard_dir_name(s)));
         }
         files.push(format!("{block}/{MANIFEST_FILE}"));
     }
@@ -690,6 +713,11 @@ fn stage_demo_block(dir: &Path, b: usize, tag: f64) {
         )
         .unwrap();
         std::fs::write(shard.join("deltas.bin"), [tag as u8 ^ b as u8; 8]).unwrap();
+        std::fs::write(
+            shard.join(SYNOPSIS_FILE),
+            demo_synopsis_bytes(DEMO_BLOCK_COLS, tag + (b * 7 + s) as f64),
+        )
+        .unwrap();
     }
     write_sharded_manifest_into(&block, demo_block_manifest()).unwrap();
 }

@@ -44,6 +44,7 @@ use adhoc_ts::storage::file::write_source;
 use adhoc_ts::storage::store_dir::{validate_timeblocked_store_dir, TIMEBLOCKED_STORE_VERSION};
 use adhoc_ts::storage::MatrixFile;
 use adhoc_ts::storage::RowSource;
+use adhoc_ts::storage::{ShardSynopsis, SYNOPSIS_FILE};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -66,7 +67,11 @@ USAGE:
                                  column ranges, k, reconstruction SSE,
                                  delta counts, and a RETRAIN flag on
                                  blocks whose per-cell SSE exceeds the
-                                 threshold) without paging any U data
+                                 threshold) without paging any U data;
+                                 each shard's zone-map synopsis is
+                                 summarized (tiles, bytes, avg bound
+                                 width vs the store's value spread —
+                                 `synopsis none` on legacy stores)
   ats compress FILE --out DIR [--percent P] [--method svd|svdd] [--threads T]
   ats save FILE --out DIR [--percent P] [--method svd|svdd] [--threads T]
                                  build a SequenceStore and persist it
@@ -99,7 +104,13 @@ USAGE:
   ats query DIR \"<query>\"       e.g. \"cell 42 17\", \"avg rows 0..100 cols all\",
                                  \"sum rows all in time [30..90]\" — a
                                  time-range aggregate reads only the
-                                 blocks overlapping [t1..t2)
+                                 blocks overlapping [t1..t2); a `where`
+                                 clause (\"count rows all where value >
+                                 450\", \"avg rows 0..100 where value <=
+                                 1.5 in time [30..90]\") filters cells by
+                                 their reconstructed value, pruning
+                                 whole tiles through the store's
+                                 zone-map synopses before touching U
   ats query DIR --batch-file F [--threads T]
                                  answer a file of cell queries (`cell i j`
                                  or bare `i j`, one per line, `#` comments)
@@ -218,6 +229,104 @@ fn flag_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> Result<
     }
 }
 
+/// Facts about one shard's zone-map synopsis for the `ats info` table,
+/// read from `synopsis.bin` alone — `info` never serves a U page.
+struct SynopsisInfo {
+    tiles: usize,
+    bytes: usize,
+    /// Sum of per-tile `max - min` over tiles with finite bounds, and
+    /// how many such tiles there are (NaN-poisoned tiles are skipped).
+    width_sum: f64,
+    bounded: usize,
+    /// Extremes over the same tiles, pooled into the store-wide spread.
+    lo: f64,
+    hi: f64,
+}
+
+fn read_synopsis(dir: &std::path::Path) -> Result<SynopsisInfo, CliError> {
+    let bytes = std::fs::read(dir.join(SYNOPSIS_FILE)).map_err(rt)?;
+    let syn = ShardSynopsis::decode(&bytes).map_err(rt)?;
+    let mut info = SynopsisInfo {
+        tiles: syn.tiles().len(),
+        bytes: syn.storage_bytes(),
+        width_sum: 0.0,
+        bounded: 0,
+        lo: f64::INFINITY,
+        hi: f64::NEG_INFINITY,
+    };
+    for t in syn.tiles() {
+        if t.min.is_nan() || t.max.is_nan() {
+            continue;
+        }
+        info.width_sum += t.max - t.min;
+        info.bounded += 1;
+        info.lo = info.lo.min(t.min);
+        info.hi = info.hi.max(t.max);
+    }
+    Ok(info)
+}
+
+/// Render one `synopsis …` cell: tile count, footprint, and the mean
+/// tile bound width as a fraction of the store-wide value spread — the
+/// number that says how often predicate pruning can prove a tile in or
+/// out without reconstructing it. Legacy shards print `synopsis none`.
+fn synopsis_cell(info: Option<&SynopsisInfo>, spread: f64) -> String {
+    let Some(s) = info else {
+        return "synopsis none".to_string();
+    };
+    let avg = if s.bounded > 0 {
+        s.width_sum / s.bounded as f64
+    } else {
+        f64::NAN
+    };
+    if spread > 0.0 && avg.is_finite() {
+        format!(
+            "synopsis {} tiles, {} B, avg bound width {:.3} ({:.1}% of store spread)",
+            s.tiles,
+            s.bytes,
+            avg,
+            100.0 * avg / spread
+        )
+    } else {
+        format!(
+            "synopsis {} tiles, {} B, avg bound width {avg:.3}",
+            s.tiles, s.bytes
+        )
+    }
+}
+
+/// Per-block, per-shard synopsis facts (`None` for legacy shards).
+type SynopsisGrid = Vec<Vec<Option<SynopsisInfo>>>;
+
+/// Read every shard's synopsis across all blocks up front: the
+/// bound-width column is reported relative to the *store-wide* value
+/// spread, which needs every tile before any line prints. Returns the
+/// per-block, per-shard facts plus that spread.
+fn collect_synopses(
+    base: &std::path::Path,
+    top: &adhoc_ts::storage::store_dir::TimeBlockedManifest,
+    nested: &[adhoc_ts::storage::store_dir::ShardedManifest],
+) -> Result<(SynopsisGrid, f64), CliError> {
+    let mut per_block = Vec::new();
+    for (i, n) in nested.iter().enumerate() {
+        let bdir = top.block_dir(base, i);
+        let mut per_shard = Vec::new();
+        for (s, entry) in n.shards.iter().enumerate() {
+            per_shard.push(match entry.crc_synopsis {
+                Some(_) => Some(read_synopsis(&n.shard_dir(&bdir, s))?),
+                None => None,
+            });
+        }
+        per_block.push(per_shard);
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in per_block.iter().flatten().flatten() {
+        lo = lo.min(s.lo);
+        hi = hi.max(s.hi);
+    }
+    Ok((per_block, hi - lo))
+}
+
 fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -310,6 +419,7 @@ fn run() -> Result<(), CliError> {
                 // A store directory: print the validated manifest — every
                 // component CRC is checked, but no U page is served.
                 let (top, nested) = validate_timeblocked_store_dir(path).map_err(rt)?;
+                let (syn, spread) = collect_synopses(std::path::Path::new(path), &top, &nested)?;
                 if top.source_version == TIMEBLOCKED_STORE_VERSION {
                     let total: usize = nested
                         .iter()
@@ -345,6 +455,15 @@ fn run() -> Result<(), CliError> {
                             n.deltas,
                             n.shards.len(),
                         );
+                        let block_syn = syn.get(i).map(Vec::as_slice).unwrap_or(&[]);
+                        for (s, (entry, info)) in n.shards.iter().zip(block_syn).enumerate() {
+                            println!(
+                                "    shard {s}: rows {}..{}, {}",
+                                entry.start,
+                                entry.end,
+                                synopsis_cell(info.as_ref(), spread)
+                            );
+                        }
                     }
                 } else if let Some(m) = nested.first() {
                     let total = (m.rows * m.k + m.k + m.cols * m.k) * BYTES_PER_NUMBER
@@ -361,14 +480,16 @@ fn run() -> Result<(), CliError> {
                         m.shards.len(),
                         total as f64 / 1e6
                     );
-                    for (i, s) in m.shards.iter().enumerate() {
+                    let block_syn = syn.first().map(Vec::as_slice).unwrap_or(&[]);
+                    for (i, (s, info)) in m.shards.iter().zip(block_syn).enumerate() {
+                        let cell = synopsis_cell(info.as_ref(), spread);
                         match s.append_sse {
                             Some(sse) => println!(
-                                "  shard {i}: rows {}..{}, {} deltas, append sse {sse:.4}",
+                                "  shard {i}: rows {}..{}, {} deltas, append sse {sse:.4}, {cell}",
                                 s.start, s.end, s.deltas
                             ),
                             None => println!(
-                                "  shard {i}: rows {}..{}, {} deltas",
+                                "  shard {i}: rows {}..{}, {} deltas, {cell}",
                                 s.start, s.end, s.deltas
                             ),
                         }

@@ -184,6 +184,7 @@ const BENCH_REQUIRED_FIELDS: &[&str] = &[
     "\"peak_rss_bytes\"",
     "\"serve_throughput\"",
     "\"range_query\"",
+    "\"predicate_scan\"",
     "\"lint_wall_ms\"",
     "\"notes\"",
 ];
@@ -211,7 +212,7 @@ fn run_bench_report(flags: &[String]) -> ExitCode {
                 root.join(p)
             }
         })
-        .unwrap_or_else(|| root.join("BENCH_009.json"));
+        .unwrap_or_else(|| root.join("BENCH_010.json"));
 
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
     let mut cmd = std::process::Command::new(cargo);

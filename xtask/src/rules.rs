@@ -96,6 +96,7 @@ pub const UNTRUSTED_SURFACES: &[&str] = &[
     "crates/storage/src/store_dir.rs",
     "crates/storage/src/file.rs",
     "crates/storage/src/pool.rs",
+    "crates/storage/src/synopsis.rs",
     "crates/core/src/disk.rs",
     "crates/core/src/shard.rs",
     "crates/core/src/timeblock.rs",
